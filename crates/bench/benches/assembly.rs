@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the complete SC assembly (original vs optimized
+//! configuration) and of the sparse-RHS Schur baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::KernelWorkload;
+use sc_core::{assemble_sc, CpuExec, FactorStorage, ScConfig};
+use sc_factor::schur_from_factor;
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assembly");
+    group.sample_size(10);
+    for (dim, cells) in [(2usize, 20usize), (3, 7)] {
+        let w = KernelWorkload::build(dim, cells);
+        let three_d = dim == 3;
+        let orig = ScConfig::original(if three_d {
+            FactorStorage::Dense
+        } else {
+            FactorStorage::Sparse
+        });
+        let opt = ScConfig::optimized(false, three_d);
+        group.bench_function(format!("{dim}d/original/n{}", w.n), |b| {
+            b.iter(|| std::hint::black_box(assemble_sc(&mut CpuExec, &w.l, &w.bt_perm, &orig)))
+        });
+        group.bench_function(format!("{dim}d/optimized/n{}", w.n), |b| {
+            b.iter(|| std::hint::black_box(assemble_sc(&mut CpuExec, &w.l, &w.bt_perm, &opt)))
+        });
+        group.bench_function(format!("{dim}d/sparse_rhs_schur/n{}", w.n), |b| {
+            b.iter(|| std::hint::black_box(schur_from_factor(&w.l, &w.parent, &w.bt_perm)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the FETI building blocks: numeric factorization
+//! engines, the dual-operator application (implicit vs explicit), and a full
+//! small solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::ScConfig;
+use sc_factor::Engine;
+use sc_fem::{Gluing, HeatProblem};
+use sc_feti::solver::{DualMode, FetiOptions, FetiSolver};
+use sc_feti::SubdomainFactors;
+use sc_order::Ordering;
+
+fn bench_factorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorization");
+    group.sample_size(10);
+    let p = HeatProblem::build_3d(6, (2, 1, 1), Gluing::Redundant);
+    let sd = &p.subdomains[1];
+    for engine in [Engine::Simplicial, Engine::Supernodal] {
+        group.bench_function(format!("{engine:?}/n{}", sd.n_dofs()), |b| {
+            b.iter(|| {
+                std::hint::black_box(SubdomainFactors::build(
+                    sd,
+                    engine,
+                    Ordering::NestedDissection,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feti_solve");
+    group.sample_size(10);
+    let p = HeatProblem::build_2d(6, (2, 2), Gluing::Redundant);
+    for (name, dual) in [
+        ("implicit", DualMode::Implicit),
+        ("explicit_cpu", DualMode::ExplicitCpu(ScConfig::optimized(false, false))),
+    ] {
+        let opts = FetiOptions {
+            dual,
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let solver = FetiSolver::new(&p, &opts);
+                std::hint::black_box(solver.solve(&opts))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization, bench_solve);
+criterion_main!(benches);

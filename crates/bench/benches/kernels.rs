@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks of the TRSM/SYRK kernel variants (CPU, real
+//! execution) on a fixed mid-size 2D and 3D subdomain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::{KernelInputs, KernelWorkload};
+use sc_core::{
+    run_syrk_variant, run_trsm_variant, BlockParam, CpuExec, FactorStorage, SyrkVariant,
+    TrsmVariant,
+};
+use sc_dense::Mat;
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trsm");
+    group.sample_size(10);
+    for (dim, cells, storage) in [(2usize, 20usize, FactorStorage::Sparse), (3, 7, FactorStorage::Dense)] {
+        let w = KernelWorkload::build(dim, cells);
+        let inputs = KernelInputs::new(&w);
+        let variants: [(&str, TrsmVariant); 3] = [
+            ("plain", TrsmVariant::Plain),
+            ("rhs_split", TrsmVariant::RhsSplit(BlockParam::Size(100))),
+            (
+                "factor_split_prune",
+                TrsmVariant::FactorSplit {
+                    block: BlockParam::Size(100),
+                    prune: true,
+                },
+            ),
+        ];
+        for (name, variant) in variants {
+            group.bench_function(format!("{dim}d/{name}/n{}", w.n), |b| {
+                b.iter(|| {
+                    let mut y = inputs.y0.clone();
+                    run_trsm_variant(&mut CpuExec, &w.l, &inputs.stepped, storage, variant, &mut y);
+                    std::hint::black_box(&y);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syrk");
+    group.sample_size(10);
+    for (dim, cells) in [(2usize, 20usize), (3, 7)] {
+        let w = KernelWorkload::build(dim, cells);
+        let inputs = KernelInputs::new(&w);
+        let variants: [(&str, SyrkVariant); 3] = [
+            ("plain", SyrkVariant::Plain),
+            ("input_split", SyrkVariant::InputSplit(BlockParam::Size(100))),
+            ("output_split", SyrkVariant::OutputSplit(BlockParam::Size(100))),
+        ];
+        for (name, variant) in variants {
+            group.bench_function(format!("{dim}d/{name}/n{}", w.n), |b| {
+                b.iter(|| {
+                    let m = inputs.stepped.ncols();
+                    let mut f = Mat::zeros(m, m);
+                    run_syrk_variant(&mut CpuExec, &inputs.y0, &inputs.stepped, variant, &mut f);
+                    std::hint::black_box(&f);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trsm, bench_syrk);
+criterion_main!(benches);

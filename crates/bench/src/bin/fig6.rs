@@ -1,0 +1,132 @@
+//! Figure 6: comparison of TRSM splitting variants (RHS split, factor split,
+//! factor split + pruning) and SYRK splitting variants (input split, output
+//! split), on CPU and simulated GPU, for 2D and 3D subdomain ladders.
+//!
+//! Usage: `cargo run -p sc-bench --release --bin fig6 [--full] [--reps N]`
+
+use sc_bench::{
+    ladder_2d, ladder_3d, time_syrk_cpu, time_syrk_gpu, time_trsm_cpu, time_trsm_gpu, BenchArgs,
+    KernelInputs, KernelWorkload, Table,
+};
+use sc_core::tune::table1_defaults as t1;
+use sc_core::{FactorStorage, SyrkVariant, TrsmVariant};
+use sc_gpu::{Device, DeviceSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let device = Device::new(DeviceSpec::a100(), 1);
+
+    for dim in [2usize, 3] {
+        let (ladder, storage) = if dim == 2 {
+            (ladder_2d(args.max_dofs_cpu), FactorStorage::Sparse)
+        } else {
+            (ladder_3d(args.max_dofs_cpu), FactorStorage::Dense)
+        };
+        let (trsm_rhs_cpu, trsm_f_cpu) = if dim == 2 {
+            (t1::TRSM_RHS_CPU_2D, t1::TRSM_FACTOR_CPU_2D)
+        } else {
+            (t1::TRSM_RHS_CPU_3D, t1::TRSM_FACTOR_CPU_3D)
+        };
+        let (trsm_rhs_gpu, trsm_f_gpu) = if dim == 2 {
+            (t1::TRSM_RHS_GPU_2D, t1::TRSM_FACTOR_GPU_2D)
+        } else {
+            (t1::TRSM_RHS_GPU_3D, t1::TRSM_FACTOR_GPU_3D)
+        };
+        let (syrk_in_cpu, syrk_out_cpu) = if dim == 2 {
+            (t1::SYRK_INPUT_CPU_2D, t1::SYRK_OUTPUT_CPU_2D)
+        } else {
+            (t1::SYRK_INPUT_CPU_3D, t1::SYRK_OUTPUT_CPU_3D)
+        };
+        let (syrk_in_gpu, syrk_out_gpu) = if dim == 2 {
+            (t1::SYRK_INPUT_GPU_2D, t1::SYRK_OUTPUT_GPU_2D)
+        } else {
+            (t1::SYRK_INPUT_GPU_3D, t1::SYRK_OUTPUT_GPU_3D)
+        };
+
+        let mut trsm_table = Table::new(
+            &format!("Fig 6 (top): TRSM splitting variants, {dim}D [ms per subdomain]"),
+            &[
+                "dofs", "m", "cpu_rhs", "cpu_f", "cpu_f+prune", "gpu_rhs", "gpu_f", "gpu_f+prune",
+            ],
+        );
+        let mut syrk_table = Table::new(
+            &format!("Fig 6 (bottom): SYRK splitting variants, {dim}D [ms per subdomain]"),
+            &["dofs", "m", "cpu_input", "cpu_output", "gpu_input", "gpu_output"],
+        );
+
+        for &c in &ladder {
+            let w = KernelWorkload::build(dim, c);
+            let inputs = KernelInputs::new(&w);
+            let rhs = TrsmVariant::RhsSplit(trsm_rhs_cpu);
+            let f_noprune = TrsmVariant::FactorSplit {
+                block: trsm_f_cpu,
+                prune: false,
+            };
+            let f_prune = TrsmVariant::FactorSplit {
+                block: trsm_f_cpu,
+                prune: true,
+            };
+            let cpu_rhs = time_trsm_cpu(&w, &inputs, storage, rhs, args.reps);
+            let cpu_f = time_trsm_cpu(&w, &inputs, storage, f_noprune, args.reps);
+            let cpu_fp = time_trsm_cpu(&w, &inputs, storage, f_prune, args.reps);
+            let gpu_rhs = time_trsm_gpu(
+                &w,
+                &inputs,
+                storage,
+                TrsmVariant::RhsSplit(trsm_rhs_gpu),
+                &device,
+            );
+            let gpu_f = time_trsm_gpu(
+                &w,
+                &inputs,
+                storage,
+                TrsmVariant::FactorSplit {
+                    block: trsm_f_gpu,
+                    prune: false,
+                },
+                &device,
+            );
+            let gpu_fp = time_trsm_gpu(
+                &w,
+                &inputs,
+                storage,
+                TrsmVariant::FactorSplit {
+                    block: trsm_f_gpu,
+                    prune: true,
+                },
+                &device,
+            );
+            trsm_table.row(vec![
+                w.n.to_string(),
+                w.m.to_string(),
+                fmt_ms(cpu_rhs),
+                fmt_ms(cpu_f),
+                fmt_ms(cpu_fp),
+                fmt_ms(gpu_rhs),
+                fmt_ms(gpu_f),
+                fmt_ms(gpu_fp),
+            ]);
+
+            let cpu_in = time_syrk_cpu(&inputs, SyrkVariant::InputSplit(syrk_in_cpu), args.reps);
+            let cpu_out = time_syrk_cpu(&inputs, SyrkVariant::OutputSplit(syrk_out_cpu), args.reps);
+            let gpu_in = time_syrk_gpu(&inputs, SyrkVariant::InputSplit(syrk_in_gpu), &device);
+            let gpu_out = time_syrk_gpu(&inputs, SyrkVariant::OutputSplit(syrk_out_gpu), &device);
+            syrk_table.row(vec![
+                w.n.to_string(),
+                w.m.to_string(),
+                fmt_ms(cpu_in),
+                fmt_ms(cpu_out),
+                fmt_ms(gpu_in),
+                fmt_ms(gpu_out),
+            ]);
+        }
+        trsm_table.emit(&format!("fig6_trsm_{dim}d"));
+        syrk_table.emit(&format!("fig6_syrk_{dim}d"));
+    }
+    println!("note: cpu_* columns are measured wall time of the real kernels;");
+    println!("      gpu_* columns are simulated A100 time from the sc-gpu cost model.");
+}
+
+fn fmt_ms(s: f64) -> String {
+    format!("{:.4}", s * 1e3)
+}

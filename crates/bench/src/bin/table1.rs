@@ -1,0 +1,128 @@
+//! Table 1: optimal splitting of the matrices — for each algorithm
+//! (TRSM RHS / TRSM factor / SYRK input / SYRK output), platform (CPU / GPU)
+//! and dimension (2D / 3D), sweep block-size and block-count parameters and
+//! report the best one (`S <size>` or `C <count>`, as in the paper).
+//!
+//! Usage: `cargo run -p sc-bench --release --bin table1 [--full] [--reps N]`
+
+use sc_bench::{
+    time_syrk_cpu, time_syrk_gpu, time_trsm_cpu, time_trsm_gpu, BenchArgs, KernelInputs,
+    KernelWorkload, Table,
+};
+use sc_core::{BlockParam, FactorStorage, SyrkVariant, TrsmVariant};
+use sc_gpu::{Device, DeviceSpec};
+
+const SIZES: [usize; 7] = [25, 50, 100, 200, 500, 1000, 2000];
+const COUNTS: [usize; 5] = [1, 5, 10, 50, 100];
+
+fn candidates() -> Vec<BlockParam> {
+    SIZES
+        .iter()
+        .map(|&s| BlockParam::Size(s))
+        .chain(COUNTS.iter().map(|&c| BlockParam::Count(c)))
+        .collect()
+}
+
+fn label(p: BlockParam) -> String {
+    match p {
+        BlockParam::Size(s) => format!("S {s}"),
+        BlockParam::Count(c) => format!("C {c}"),
+        BlockParam::Balanced(c) => format!("B {c}"),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let device = Device::new(DeviceSpec::a100(), 1);
+    let mut table = Table::new(
+        "Table 1: optimal splitting of the matrices (S = block size, C = block count)",
+        &["algorithm", "CPU 2D", "CPU 3D", "GPU 2D", "GPU 3D"],
+    );
+
+    // representative mid-size subdomains per dimension
+    let w2 = KernelWorkload::build(2, usize::min(63, isqrt(args.max_dofs_cpu) - 1)); // up to 64² dofs
+    let w3 = KernelWorkload::build(3, usize::min(13, icbrt(args.max_dofs_cpu) - 1)); // up to 14³ dofs
+    let in2 = KernelInputs::new(&w2);
+    let in3 = KernelInputs::new(&w3);
+
+    let best = |f: &mut dyn FnMut(BlockParam) -> f64| -> String {
+        let mut best_p = BlockParam::Size(SIZES[0]);
+        let mut best_t = f64::INFINITY;
+        for p in candidates() {
+            let t = f(p);
+            if t < best_t {
+                best_t = t;
+                best_p = p;
+            }
+        }
+        label(best_p)
+    };
+
+    // --- TRSM, RHS splitting ---
+    let row = vec![
+        "TRSM, RHS splitting".to_string(),
+        best(&mut |p| {
+            time_trsm_cpu(&w2, &in2, FactorStorage::Sparse, TrsmVariant::RhsSplit(p), args.reps)
+        }),
+        best(&mut |p| {
+            time_trsm_cpu(&w3, &in3, FactorStorage::Sparse, TrsmVariant::RhsSplit(p), args.reps)
+        }),
+        best(&mut |p| {
+            time_trsm_gpu(&w2, &in2, FactorStorage::Sparse, TrsmVariant::RhsSplit(p), &device)
+        }),
+        best(&mut |p| {
+            time_trsm_gpu(&w3, &in3, FactorStorage::Sparse, TrsmVariant::RhsSplit(p), &device)
+        }),
+    ];
+    table.row(row);
+
+    // --- TRSM, factor splitting (with pruning, the paper's §4.1 setting) ---
+    let fs = |p: BlockParam| TrsmVariant::FactorSplit {
+        block: p,
+        prune: true,
+    };
+    let row = vec![
+        "TRSM, factor splitting".to_string(),
+        best(&mut |p| time_trsm_cpu(&w2, &in2, FactorStorage::Sparse, fs(p), args.reps)),
+        best(&mut |p| time_trsm_cpu(&w3, &in3, FactorStorage::Dense, fs(p), args.reps)),
+        best(&mut |p| time_trsm_gpu(&w2, &in2, FactorStorage::Sparse, fs(p), &device)),
+        best(&mut |p| time_trsm_gpu(&w3, &in3, FactorStorage::Dense, fs(p), &device)),
+    ];
+    table.row(row);
+
+    // --- SYRK, input splitting ---
+    let row = vec![
+        "SYRK, input splitting".to_string(),
+        best(&mut |p| time_syrk_cpu(&in2, SyrkVariant::InputSplit(p), args.reps)),
+        best(&mut |p| time_syrk_cpu(&in3, SyrkVariant::InputSplit(p), args.reps)),
+        best(&mut |p| time_syrk_gpu(&in2, SyrkVariant::InputSplit(p), &device)),
+        best(&mut |p| time_syrk_gpu(&in3, SyrkVariant::InputSplit(p), &device)),
+    ];
+    table.row(row);
+
+    // --- SYRK, output splitting ---
+    let row = vec![
+        "SYRK, output splitting".to_string(),
+        best(&mut |p| time_syrk_cpu(&in2, SyrkVariant::OutputSplit(p), args.reps)),
+        best(&mut |p| time_syrk_cpu(&in3, SyrkVariant::OutputSplit(p), args.reps)),
+        best(&mut |p| time_syrk_gpu(&in2, SyrkVariant::OutputSplit(p), &device)),
+        best(&mut |p| time_syrk_gpu(&in3, SyrkVariant::OutputSplit(p), &device)),
+    ];
+    table.row(row);
+
+    table.emit("table1");
+    println!(
+        "workloads: 2D {} dofs (m={}), 3D {} dofs (m={}); paper Table 1 for reference:",
+        w2.n, w2.m, w3.n, w3.m
+    );
+    println!("  TRSM RHS:    S100 S100 C1 S1000 | TRSM factor: S200 S200 S1000 S500");
+    println!("  SYRK input:  S200 C50 S2000 S1000 | SYRK output: S200 C10 S200 S1000");
+}
+
+fn isqrt(n: usize) -> usize {
+    (n as f64).sqrt() as usize
+}
+
+fn icbrt(n: usize) -> usize {
+    (n as f64).cbrt() as usize
+}

@@ -1,0 +1,167 @@
+//! Workload generation: the heat-transfer subdomain ladders of the paper's
+//! §4 and single-subdomain kernel-bench extractions.
+
+use sc_factor::{Engine, SparseCholesky};
+use sc_fem::{Gluing, HeatProblem};
+use sc_order::Ordering;
+use sc_sparse::Csc;
+
+/// Command-line knobs shared by all experiment drivers.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Largest subdomain size (dofs) for CPU-executed series.
+    pub max_dofs_cpu: usize,
+    /// Largest subdomain size (dofs) for simulated-GPU series (cost-only
+    /// sweeps tolerate bigger sizes).
+    pub max_dofs_gpu: usize,
+    /// Repetitions per measured point.
+    pub reps: usize,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`: `--full`, `--max-dofs N`, `--reps N`.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs {
+            max_dofs_cpu: 3_000,
+            max_dofs_gpu: 10_000,
+            reps: 1,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => {
+                    args.max_dofs_cpu = 10_000;
+                    args.max_dofs_gpu = 36_000;
+                }
+                "--max-dofs" => {
+                    let v: usize = it
+                        .next()
+                        .expect("--max-dofs needs a value")
+                        .parse()
+                        .expect("--max-dofs value");
+                    args.max_dofs_cpu = v;
+                    args.max_dofs_gpu = v;
+                }
+                "--reps" => {
+                    args.reps = it
+                        .next()
+                        .expect("--reps needs a value")
+                        .parse()
+                        .expect("--reps value");
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// 2D ladder: cells-per-subdomain values whose dof counts `(c+1)²` roughly
+/// double, capped at `max_dofs`.
+pub fn ladder_2d(max_dofs: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut target = 100.0f64;
+    loop {
+        let c = (target.sqrt().round() as usize).saturating_sub(1).max(2);
+        let dofs = (c + 1) * (c + 1);
+        if dofs > max_dofs {
+            break;
+        }
+        if out.last() != Some(&c) {
+            out.push(c);
+        }
+        target *= 2.0;
+    }
+    out
+}
+
+/// 3D ladder: the paper's cube sizes `k³` (k nodes per edge), capped.
+pub fn ladder_3d(max_dofs: usize) -> Vec<usize> {
+    // paper: 64, 125, 216, 343, 729, 1331, 2744, 4913, 9261, 17576, 35937
+    [4usize, 5, 6, 7, 9, 11, 14, 17, 21, 26, 33]
+        .iter()
+        .map(|&k| k - 1) // cells per subdomain
+        .filter(|&c| (c + 1).pow(3) <= max_dofs)
+        .collect()
+}
+
+/// One representative subdomain prepared for kernel benches: the factor `L`,
+/// the row-permuted `B̃ᵀ`, and metadata.
+pub struct KernelWorkload {
+    /// Factor of the regularized subdomain matrix.
+    pub l: Csc,
+    /// Elimination tree of the factor.
+    pub parent: Vec<usize>,
+    /// `B̃ᵀ` with rows in factor space.
+    pub bt_perm: Csc,
+    /// Subdomain dof count.
+    pub n: usize,
+    /// Local multiplier count.
+    pub m: usize,
+}
+
+impl KernelWorkload {
+    /// Build the center subdomain of a small decomposition: 3×3 subdomains in
+    /// 2D, 3×3×3 in 3D (the center one is floating and glued on every side,
+    /// like a production interior subdomain).
+    pub fn build(dim: usize, cells_per_sub: usize) -> Self {
+        let (problem, center) = if dim == 2 {
+            (
+                HeatProblem::build_2d(cells_per_sub, (3, 3), Gluing::Redundant),
+                4usize, // (1,1) of 3x3
+            )
+        } else {
+            (
+                HeatProblem::build_3d(cells_per_sub, (3, 3, 3), Gluing::Redundant),
+                13usize, // (1,1,1) of 3x3x3
+            )
+        };
+        let sd = &problem.subdomains[center];
+        let kreg = sc_feti::regularize_fixing_node(
+            &sd.k,
+            sd.kernel.as_deref(),
+            sd.fixing_dof,
+            None,
+        );
+        let perm = Ordering::NestedDissection.compute(&kreg);
+        let chol = SparseCholesky::factorize_with_perm(&kreg, perm, Engine::Simplicial)
+            .expect("kernel workload factorization");
+        let bt_perm = sd.bt.permute_rows(chol.perm());
+        KernelWorkload {
+            parent: chol.symbolic().parent.clone(),
+            l: chol.factor_csc(),
+            n: sd.n_dofs(),
+            m: sd.n_lambda(),
+            bt_perm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_are_increasing_and_capped() {
+        let l2 = ladder_2d(5000);
+        assert!(!l2.is_empty());
+        assert!(l2.windows(2).all(|w| w[0] < w[1]));
+        assert!(l2.iter().all(|&c| (c + 1) * (c + 1) <= 5000));
+        let l3 = ladder_3d(5000);
+        assert!(l3.iter().all(|&c| (c + 1).pow(3) <= 5000));
+        assert_eq!(l3.first(), Some(&3)); // 4³ = 64
+    }
+
+    #[test]
+    fn kernel_workload_shapes_consistent() {
+        let w = KernelWorkload::build(2, 4);
+        assert_eq!(w.l.ncols(), w.n);
+        assert_eq!(w.bt_perm.nrows(), w.n);
+        assert_eq!(w.bt_perm.ncols(), w.m);
+        assert!(w.m > 0, "center subdomain must be glued");
+        // 3D variant
+        let w3 = KernelWorkload::build(3, 2);
+        assert_eq!(w3.n, 27);
+        assert!(w3.m > w3.n / 2, "3D center subdomain has a large interface");
+    }
+}

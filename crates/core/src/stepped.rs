@@ -1,0 +1,147 @@
+//! The stepped-shape column permutation of `B̃ᵀ` (paper §3).
+//!
+//! Rows of `B̃ᵀ` live in the factor's fill-reducing order and are **not**
+//! permuted ("Permuting its rows … would interfere with the fill-reducing
+//! permutation and be counterproductive. Hence, we only permute its
+//! columns."). Columns are stably sorted by their pivot row, producing
+//! non-decreasing column pivots — the property every splitting kernel relies
+//! on.
+
+use sc_sparse::{pattern, Csc, Perm};
+
+/// `B̃ᵀ` in stepped form: the column-permuted matrix, its pivots, and the
+/// permutation needed to map the assembled Schur complement back.
+#[derive(Clone, Debug)]
+pub struct SteppedRhs {
+    /// Column-permuted `B̃ᵀ` (rows untouched).
+    pub bt: Csc,
+    /// Column pivots (first non-zero row per column), non-decreasing; empty
+    /// columns carry the sentinel `nrows` and sort to the right.
+    pub pivots: Vec<usize>,
+    /// Column permutation applied (`old_of_new`).
+    pub col_perm: Perm,
+}
+
+impl SteppedRhs {
+    /// Build the stepped form of `bt` (`n × m`, rows already in the factor's
+    /// permuted space).
+    pub fn new(bt: &Csc) -> Self {
+        let raw_pivots = pattern::pivots_or_end(bt);
+        let mut order: Vec<usize> = (0..bt.ncols()).collect();
+        order.sort_by_key(|&j| raw_pivots[j]); // stable: preserves ties
+        let col_perm = Perm::from_old_of_new(order);
+        let stepped = bt.permute_cols(&col_perm);
+        let pivots = pattern::pivots_or_end(&stepped);
+        debug_assert!(pattern::is_stepped(&stepped));
+        SteppedRhs {
+            bt: stepped,
+            pivots,
+            col_perm,
+        }
+    }
+
+    /// Number of rows (factor dimension).
+    pub fn nrows(&self) -> usize {
+        self.bt.nrows()
+    }
+
+    /// Number of columns (local multipliers).
+    pub fn ncols(&self) -> usize {
+        self.bt.ncols()
+    }
+
+    /// Number of columns whose pivot is strictly below `row_end` — the
+    /// *effective width* used by factor splitting and input-split SYRK.
+    pub fn active_width(&self, row_end: usize) -> usize {
+        self.pivots.partition_point(|&p| p < row_end)
+    }
+
+    /// Dense expansion of the stepped matrix (the TRSM right-hand side).
+    pub fn to_dense(&self) -> sc_dense::Mat {
+        self.bt.to_dense()
+    }
+
+    /// Map a matrix indexed by stepped columns back to original multiplier
+    /// indices: `out[orig_i, orig_j] = f[step_i, step_j]`.
+    pub fn unpermute_symmetric(&self, f: &sc_dense::Mat) -> sc_dense::Mat {
+        let m = self.ncols();
+        assert_eq!(f.nrows(), m);
+        assert_eq!(f.ncols(), m);
+        let mut out = sc_dense::Mat::zeros(m, m);
+        for js in 0..m {
+            let jo = self.col_perm.old_of_new(js);
+            for is in 0..m {
+                let io = self.col_perm.old_of_new(is);
+                out[(io, jo)] = f[(is, js)];
+            }
+        }
+        out
+    }
+
+    /// Fraction of the dense area below the pivots (work remaining after the
+    /// optimization; → 1/3 for a perfect triangle, paper §4.3).
+    pub fn fill_ratio(&self) -> f64 {
+        pattern::stepped_fill_ratio(&self.bt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_sparse::Coo;
+
+    fn unsorted_bt() -> Csc {
+        // 6×4, pivots: col0 -> 4, col1 -> 0, col2 -> 2, col3 -> 0
+        let mut c = Coo::new(6, 4);
+        c.push(4, 0, 1.0);
+        c.push(0, 1, 1.0);
+        c.push(5, 1, -1.0);
+        c.push(2, 2, 1.0);
+        c.push(0, 3, -1.0);
+        c.push(1, 3, 1.0);
+        c.to_csc()
+    }
+
+    #[test]
+    fn permutation_sorts_pivots() {
+        let s = SteppedRhs::new(&unsorted_bt());
+        assert_eq!(s.pivots, vec![0, 0, 2, 4]);
+        assert!(sc_sparse::pattern::is_stepped(&s.bt));
+        // stable: among pivot-0 columns, original order (1 before 3) kept
+        assert_eq!(s.col_perm.old_of_new(0), 1);
+        assert_eq!(s.col_perm.old_of_new(1), 3);
+    }
+
+    #[test]
+    fn active_width_counts_started_columns() {
+        let s = SteppedRhs::new(&unsorted_bt());
+        assert_eq!(s.active_width(0), 0);
+        assert_eq!(s.active_width(1), 2);
+        assert_eq!(s.active_width(3), 3);
+        assert_eq!(s.active_width(6), 4);
+    }
+
+    #[test]
+    fn unpermute_restores_original_indexing() {
+        let s = SteppedRhs::new(&unsorted_bt());
+        let m = s.ncols();
+        // f_perm[i][j] = i*10 + j in stepped space
+        let f = sc_dense::Mat::from_fn(m, m, |i, j| (i * 10 + j) as f64);
+        let out = s.unpermute_symmetric(&f);
+        for js in 0..m {
+            for is in 0..m {
+                let io = s.col_perm.old_of_new(is);
+                let jo = s.col_perm.old_of_new(js);
+                assert_eq!(out[(io, jo)], f[(is, js)]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_columns_sort_last() {
+        let mut c = Coo::new(4, 3);
+        c.push(1, 1, 1.0); // cols 0 and 2 empty
+        let s = SteppedRhs::new(&c.to_csc());
+        assert_eq!(s.pivots, vec![1, 4, 4]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Block-partition parameters and helpers (paper §4.1, Table 1).
+//!
+//! The splitting kernels partition a matrix dimension into uniform blocks,
+//! either by **fixing the block size** (count grows with the problem) or by
+//! **fixing the block count** (size grows with the problem). The paper finds
+//! fixed block *size* transfers across subdomain sizes (Figure 5), which is
+//! why Table 1 reports mostly `S` entries.
+
+/// Block partitioning parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockParam {
+    /// Fixed block size (`S` rows/columns per block), uniform.
+    Size(usize),
+    /// Fixed number of blocks (`C` blocks over the whole dimension), uniform.
+    Count(usize),
+    /// Fixed number of blocks with **non-uniform** boundaries chosen so each
+    /// block carries approximately the same number of FLOPs given the
+    /// stepped pattern (the paper's footnote 3: "One can also split the
+    /// matrices in a non-uniform way to minimize the theoretical number of
+    /// FLOPs for a given number of blocks. It was tested without observable
+    /// differences."). Kept for the ablation benches.
+    Balanced(usize),
+}
+
+impl BlockParam {
+    /// Resolve to a concrete uniform block size for a dimension of length
+    /// `n` (`Balanced` falls back to uniform here; use [`resolve_block_cuts`]
+    /// for the pattern-aware boundaries).
+    pub fn block_size(self, n: usize) -> usize {
+        match self {
+            BlockParam::Size(s) => s.max(1),
+            BlockParam::Count(c) | BlockParam::Balanced(c) => n.div_ceil(c.max(1)).max(1),
+        }
+    }
+}
+
+/// Resolve a block parameter and return the block boundaries covering
+/// `0..n`: `[0, b, 2b, ..., n]` (uniform variants; `Balanced` degrades to
+/// uniform without pattern information).
+pub fn resolve_block(param: BlockParam, n: usize) -> Vec<usize> {
+    let bs = param.block_size(n);
+    let mut cuts = Vec::with_capacity(n / bs + 2);
+    let mut p = 0;
+    while p < n {
+        cuts.push(p);
+        p += bs;
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// Pattern-aware block resolution for **row-dimension** splits (TRSM factor
+/// splitting, SYRK input splitting): for [`BlockParam::Balanced`] the cuts
+/// are placed so every block covers roughly the same amount of *work*, where
+/// the work of row `i` is the number of stepped columns active at `i`
+/// (`pivots` must be sorted ascending). Uniform variants ignore `pivots`.
+pub fn resolve_block_cuts(param: BlockParam, n: usize, pivots: &[usize]) -> Vec<usize> {
+    let BlockParam::Balanced(count) = param else {
+        return resolve_block(param, n);
+    };
+    // prefix sums of per-row active widths
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0usize);
+    let mut j = 0usize;
+    for i in 0..n {
+        while j < pivots.len() && pivots[j] <= i {
+            j += 1;
+        }
+        prefix.push(prefix[i] + j);
+    }
+    cuts_from_prefix(&prefix, count)
+}
+
+/// Pattern-aware block resolution for **column-dimension** splits (TRSM RHS
+/// splitting, SYRK output splitting): the work of stepped column `j` is its
+/// height below the pivot, `n − pivots[j]`.
+pub fn resolve_block_cuts_cols(
+    param: BlockParam,
+    m: usize,
+    pivots: &[usize],
+    n: usize,
+) -> Vec<usize> {
+    let BlockParam::Balanced(count) = param else {
+        return resolve_block(param, m);
+    };
+    let mut prefix = Vec::with_capacity(m + 1);
+    prefix.push(0usize);
+    for j in 0..m {
+        prefix.push(prefix[j] + n.saturating_sub(pivots[j]));
+    }
+    cuts_from_prefix(&prefix, count)
+}
+
+/// Place `count` cuts at the equal-work quantiles of a prefix-sum table.
+fn cuts_from_prefix(prefix: &[usize], count: usize) -> Vec<usize> {
+    let n = prefix.len() - 1;
+    let count = count.max(1);
+    let total = *prefix.last().unwrap();
+    let mut cuts = vec![0usize];
+    for k in 1..count {
+        let target = total * k / count;
+        let mut cut = prefix.partition_point(|&p| p < target).min(n);
+        // enforce strictly increasing cuts
+        if cut <= *cuts.last().unwrap() {
+            cut = (*cuts.last().unwrap() + 1).min(n);
+        }
+        if cut >= n {
+            break;
+        }
+        cuts.push(cut);
+    }
+    if n > 0 || cuts.last() != Some(&0) {
+        cuts.push(n);
+    }
+    cuts
+}
+
+/// The paper's Table 1: optimal splitting parameters per algorithm, platform
+/// and dimension (`S` = block size, `C` = block count). Used as defaults by
+/// the benches and the FETI pipeline.
+pub mod table1_defaults {
+    use super::BlockParam;
+
+    /// TRSM, RHS splitting — CPU 2D: `S 100`.
+    pub const TRSM_RHS_CPU_2D: BlockParam = BlockParam::Size(100);
+    /// TRSM, RHS splitting — CPU 3D: `S 100`.
+    pub const TRSM_RHS_CPU_3D: BlockParam = BlockParam::Size(100);
+    /// TRSM, RHS splitting — GPU 2D: `C 1`.
+    pub const TRSM_RHS_GPU_2D: BlockParam = BlockParam::Count(1);
+    /// TRSM, RHS splitting — GPU 3D: `S 1000`.
+    pub const TRSM_RHS_GPU_3D: BlockParam = BlockParam::Size(1000);
+    /// TRSM, factor splitting — CPU 2D: `S 200`.
+    pub const TRSM_FACTOR_CPU_2D: BlockParam = BlockParam::Size(200);
+    /// TRSM, factor splitting — CPU 3D: `S 200`.
+    pub const TRSM_FACTOR_CPU_3D: BlockParam = BlockParam::Size(200);
+    /// TRSM, factor splitting — GPU 2D: `S 1000`.
+    pub const TRSM_FACTOR_GPU_2D: BlockParam = BlockParam::Size(1000);
+    /// TRSM, factor splitting — GPU 3D: `S 500`.
+    pub const TRSM_FACTOR_GPU_3D: BlockParam = BlockParam::Size(500);
+    /// SYRK, input splitting — CPU 2D: `S 200`.
+    pub const SYRK_INPUT_CPU_2D: BlockParam = BlockParam::Size(200);
+    /// SYRK, input splitting — CPU 3D: `C 50`.
+    pub const SYRK_INPUT_CPU_3D: BlockParam = BlockParam::Count(50);
+    /// SYRK, input splitting — GPU 2D: `S 2000`.
+    pub const SYRK_INPUT_GPU_2D: BlockParam = BlockParam::Size(2000);
+    /// SYRK, input splitting — GPU 3D: `S 1000`.
+    pub const SYRK_INPUT_GPU_3D: BlockParam = BlockParam::Size(1000);
+    /// SYRK, output splitting — CPU 2D: `S 200`.
+    pub const SYRK_OUTPUT_CPU_2D: BlockParam = BlockParam::Size(200);
+    /// SYRK, output splitting — CPU 3D: `C 10`.
+    pub const SYRK_OUTPUT_CPU_3D: BlockParam = BlockParam::Count(10);
+    /// SYRK, output splitting — GPU 2D: `S 200`.
+    pub const SYRK_OUTPUT_GPU_2D: BlockParam = BlockParam::Size(200);
+    /// SYRK, output splitting — GPU 3D: `S 1000`.
+    pub const SYRK_OUTPUT_GPU_3D: BlockParam = BlockParam::Size(1000);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_param_gives_uniform_cuts() {
+        let cuts = resolve_block(BlockParam::Size(3), 10);
+        assert_eq!(cuts, vec![0, 3, 6, 9, 10]);
+    }
+
+    #[test]
+    fn count_param_divides_dimension() {
+        let cuts = resolve_block(BlockParam::Count(4), 10);
+        // block size = ceil(10/4) = 3
+        assert_eq!(cuts, vec![0, 3, 6, 9, 10]);
+    }
+
+    #[test]
+    fn count_one_is_single_block() {
+        assert_eq!(resolve_block(BlockParam::Count(1), 7), vec![0, 7]);
+    }
+
+    #[test]
+    fn degenerate_dimensions() {
+        assert_eq!(resolve_block(BlockParam::Size(5), 0), vec![0]);
+        assert_eq!(resolve_block(BlockParam::Size(100), 3), vec![0, 3]);
+    }
+
+    #[test]
+    fn balanced_cuts_equalize_work() {
+        // pivots concentrated early: all 8 columns active from row 2 on —
+        // work ramps up quickly, so balanced blocks must be smaller at the
+        // top? No: equal-work blocks are smaller where MORE columns are
+        // active. With all pivots at 0..2, later rows carry full width and
+        // cuts are near-uniform; with pivots spread late, early blocks grow.
+        let n = 100;
+        let pivots: Vec<usize> = (0..8).map(|j| j * 12).collect();
+        let cuts = resolve_block_cuts(BlockParam::Balanced(4), n, &pivots);
+        assert_eq!(*cuts.first().unwrap(), 0);
+        assert_eq!(*cuts.last().unwrap(), n);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        // early blocks (few active columns) must be wider than late blocks
+        let first = cuts[1] - cuts[0];
+        let last = n - cuts[cuts.len() - 2];
+        assert!(
+            first > last,
+            "balanced cuts should widen where the pattern is empty: {cuts:?}"
+        );
+        // per-block work within 2x of each other
+        let work = |r0: usize, r1: usize| -> usize {
+            (r0..r1)
+                .map(|i| pivots.iter().filter(|&&p| p <= i).count())
+                .sum()
+        };
+        let works: Vec<usize> = cuts.windows(2).map(|w| work(w[0], w[1])).collect();
+        let (mn, mx) = (
+            *works.iter().min().unwrap(),
+            *works.iter().max().unwrap(),
+        );
+        assert!(mx <= 2 * mn + 8, "unbalanced works: {works:?}");
+    }
+
+    #[test]
+    fn balanced_without_pattern_is_uniform() {
+        let cuts = resolve_block_cuts(BlockParam::Size(3), 9, &[0, 5]);
+        assert_eq!(cuts, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn balanced_handles_empty_pattern() {
+        // no active columns at all: degenerate, must still terminate with
+        // valid monotone cuts
+        let cuts = resolve_block_cuts(BlockParam::Balanced(3), 10, &[10, 10]);
+        assert_eq!(*cuts.first().unwrap(), 0);
+        assert_eq!(*cuts.last().unwrap(), 10);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,332 @@
+//! General matrix-matrix multiply: `C = alpha * op(A) * op(B) + beta * C`.
+//!
+//! The kernel is written for column-major data: the `NoTrans × NoTrans` case
+//! runs as a sequence of column AXPYs (contiguous, vectorizable) and the
+//! `Trans × NoTrans` case as column dot products. These two cases are the only
+//! ones on the assembler's hot path (factor-splitting TRSM uses
+//! `C -= L_sub * R_top`; output-split SYRK uses `C += Yᵀ * Y`).
+
+use crate::mat::{MatMut, MatRef};
+
+/// Transposition selector for [`gemm`] operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+#[inline]
+fn op_shape(a: MatRef<'_>, t: Trans) -> (usize, usize) {
+    match t {
+        Trans::No => (a.nrows(), a.ncols()),
+        Trans::Yes => (a.ncols(), a.nrows()),
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C` (sequential).
+///
+/// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`.
+pub fn gemm(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let (m, ka) = op_shape(a, ta);
+    let (kb, n) = op_shape(b, tb);
+    assert_eq!(ka, kb, "gemm inner dimension mismatch");
+    assert_eq!(c.nrows(), m, "gemm C row mismatch");
+    assert_eq!(c.ncols(), n, "gemm C col mismatch");
+    scale(beta, c.as_mut());
+    if alpha == 0.0 || m == 0 || n == 0 || ka == 0 {
+        return;
+    }
+    match (ta, tb) {
+        (Trans::No, Trans::No) => gemm_nn(alpha, a, b, c),
+        (Trans::Yes, Trans::No) => gemm_tn(alpha, a, b, c),
+        (Trans::No, Trans::Yes) => gemm_nt(alpha, a, b, c),
+        (Trans::Yes, Trans::Yes) => gemm_tt(alpha, a, b, c),
+    }
+}
+
+#[inline]
+fn scale(beta: f64, mut c: MatMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        c.fill(0.0);
+        return;
+    }
+    for j in 0..c.ncols() {
+        for v in c.col_mut(j) {
+            *v *= beta;
+        }
+    }
+}
+
+/// AXPY-based `C += alpha * A * B` for column-major operands.
+fn gemm_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let k = a.ncols();
+    for j in 0..c.ncols() {
+        let bcol = b.col(j);
+        let ccol = c.col_mut(j);
+        for (p, &bpj) in bcol.iter().enumerate().take(k) {
+            // unconditional AXPY: dense BLAS does not branch on values
+            axpy(alpha * bpj, a.col(p), ccol);
+        }
+    }
+}
+
+/// Dot-product-based `C += alpha * Aᵀ * B`.
+fn gemm_tn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    for j in 0..c.ncols() {
+        let bcol = b.col(j);
+        let ccol = c.col_mut(j);
+        for (i, cij) in ccol.iter_mut().enumerate() {
+            *cij += alpha * dot_slices(a.col(i), bcol);
+        }
+    }
+}
+
+fn gemm_nt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    // C[:, j] += alpha * sum_p A[:, p] * B[j, p]
+    for j in 0..c.ncols() {
+        let ccol = c.col_mut(j);
+        for p in 0..a.ncols() {
+            axpy(alpha * b.get(j, p), a.col(p), ccol);
+        }
+    }
+}
+
+fn gemm_tt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    // C[i, j] += alpha * sum_p A[p, i] * B[j, p]
+    for j in 0..c.ncols() {
+        for i in 0..c.nrows() {
+            let acol = a.col(i);
+            let mut s = 0.0;
+            for p in 0..acol.len() {
+                s += acol[p] * b.get(j, p);
+            }
+            let v = c.get(i, j) + alpha * s;
+            c.set(i, j, v);
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[inline]
+pub(crate) fn dot_slices(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    // Four-way unrolled accumulation: keeps FP dependencies short so LLVM can
+    // vectorize without needing -ffast-math-style reassociation.
+    let mut s0 = 0.0;
+    let mut s1 = 0.0;
+    let mut s2 = 0.0;
+    let mut s3 = 0.0;
+    let n4 = x.len() / 4 * 4;
+    let mut i = 0;
+    while i < n4 {
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+        i += 4;
+    }
+    for p in n4..x.len() {
+        s0 += x[p] * y[p];
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Rayon-parallel `C = alpha * op(A) * op(B) + beta * C`, parallelized over
+/// column blocks of `C`. Used for large reference computations.
+pub fn par_gemm(
+    alpha: f64,
+    a: MatRef<'_>,
+    ta: Trans,
+    b: MatRef<'_>,
+    tb: Trans,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    let n = c.ncols();
+    let workers = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(workers).max(1);
+    // Split C into disjoint column blocks and process them in parallel. The
+    // recursion depth is small (log2 of block count).
+    fn rec(
+        alpha: f64,
+        a: MatRef<'_>,
+        ta: Trans,
+        b: MatRef<'_>,
+        tb: Trans,
+        beta: f64,
+        c: MatMut<'_>,
+        c0: usize,
+        chunk: usize,
+    ) {
+        let n = c.ncols();
+        if n <= chunk {
+            let bsub = match tb {
+                Trans::No => b.sub(0, c0, b.nrows(), n),
+                Trans::Yes => b.sub(c0, 0, n, b.ncols()),
+            };
+            gemm(alpha, a, ta, bsub, tb, beta, c);
+            return;
+        }
+        let half = (n / chunk / 2 * chunk).max(chunk);
+        let (l, r) = c.split_cols_at(half);
+        rayon::join(
+            || rec(alpha, a, ta, b, tb, beta, l, c0, chunk),
+            || rec(alpha, a, ta, b, tb, beta, r, c0 + half, chunk),
+        );
+    }
+    rec(alpha, a, ta, b, tb, beta, c, 0, chunk);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn naive(
+        alpha: f64,
+        a: &Mat,
+        ta: Trans,
+        b: &Mat,
+        tb: Trans,
+        beta: f64,
+        c: &Mat,
+    ) -> Mat {
+        let ae = |i: usize, j: usize| match ta {
+            Trans::No => a[(i, j)],
+            Trans::Yes => a[(j, i)],
+        };
+        let be = |i: usize, j: usize| match tb {
+            Trans::No => b[(i, j)],
+            Trans::Yes => b[(j, i)],
+        };
+        let (m, k) = match ta {
+            Trans::No => (a.nrows(), a.ncols()),
+            Trans::Yes => (a.ncols(), a.nrows()),
+        };
+        let n = c.ncols();
+        Mat::from_fn(m, n, |i, j| {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += ae(i, p) * be(p, j);
+            }
+            alpha * s + beta * c[(i, j)]
+        })
+    }
+
+    fn mk(m: usize, n: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_naive() {
+        let (m, k, n) = (7, 5, 6);
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a = match ta {
+                Trans::No => mk(m, k, 1),
+                Trans::Yes => mk(k, m, 2),
+            };
+            let b = match tb {
+                Trans::No => mk(k, n, 3),
+                Trans::Yes => mk(n, k, 4),
+            };
+            let mut c = mk(m, n, 5);
+            let expect = naive(1.5, &a, ta, &b, tb, 0.5, &c);
+            gemm(1.5, a.as_ref(), ta, b.as_ref(), tb, 0.5, c.as_mut());
+            assert!(
+                crate::max_abs_diff(c.as_ref(), expect.as_ref()) < 1e-12,
+                "mismatch for ({ta:?},{tb:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_free() {
+        let a = mk(3, 3, 7);
+        let b = mk(3, 3, 8);
+        let mut c = Mat::from_fn(3, 3, |_, _| f64::NAN);
+        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut());
+        for j in 0..3 {
+            for i in 0..3 {
+                assert!(c[(i, j)].is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_only_scales() {
+        let a = mk(3, 4, 9);
+        let b = mk(4, 2, 10);
+        let mut c = mk(3, 2, 11);
+        let expect = Mat::from_fn(3, 2, |i, j| 2.0 * c[(i, j)]);
+        gemm(0.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 2.0, c.as_mut());
+        assert!(crate::max_abs_diff(c.as_ref(), expect.as_ref()) < 1e-15);
+    }
+
+    #[test]
+    fn par_gemm_matches_gemm() {
+        let (m, k, n) = (23, 17, 31);
+        let a = mk(m, k, 20);
+        let b = mk(k, n, 21);
+        let mut c1 = mk(m, n, 22);
+        let mut c2 = c1.clone();
+        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 1.0, c1.as_mut());
+        par_gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 1.0, c2.as_mut());
+        assert!(crate::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn par_gemm_trans_matches() {
+        let (m, k, n) = (13, 19, 29);
+        let a = mk(k, m, 30);
+        let b = mk(k, n, 31);
+        let mut c1 = Mat::zeros(m, n);
+        let mut c2 = Mat::zeros(m, n);
+        gemm(1.0, a.as_ref(), Trans::Yes, b.as_ref(), Trans::No, 0.0, c1.as_mut());
+        par_gemm(1.0, a.as_ref(), Trans::Yes, b.as_ref(), Trans::No, 0.0, c2.as_mut());
+        assert!(crate::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let a = Mat::zeros(0, 0);
+        let b = Mat::zeros(0, 5);
+        let mut c = Mat::zeros(0, 5);
+        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 1.0, c.as_mut());
+        let a = Mat::zeros(3, 0);
+        let b = Mat::zeros(0, 2);
+        let mut c = crate::mat::Mat::from_fn(3, 2, |_, _| 1.0);
+        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 1.0, c.as_mut());
+        assert_eq!(c[(0, 0)], 1.0); // beta=1 keeps C
+    }
+}

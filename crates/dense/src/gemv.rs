@@ -1,0 +1,154 @@
+//! Dense matrix-vector kernels: GEMV, transposed GEMV, triangular solves with
+//! a single RHS, and dot products. These drive the *solution phase* of the
+//! explicit dual operator (dense `F̃ᵢ` times a dual vector) and the coarse
+//! problem of the FETI solver.
+
+use crate::gemm::{axpy, dot_slices};
+use crate::mat::MatRef;
+
+/// `y = alpha * A x + beta * y`.
+pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.ncols(), x.len(), "gemv x length mismatch");
+    assert_eq!(a.nrows(), y.len(), "gemv y length mismatch");
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for (j, &xj) in x.iter().enumerate() {
+        let w = alpha * xj;
+        if w != 0.0 {
+            axpy(w, a.col(j), y);
+        }
+    }
+}
+
+/// `y = alpha * Aᵀ x + beta * y`.
+pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(a.nrows(), x.len(), "gemv_t x length mismatch");
+    assert_eq!(a.ncols(), y.len(), "gemv_t y length mismatch");
+    for (j, yj) in y.iter_mut().enumerate() {
+        let s = dot_slices(a.col(j), x);
+        *yj = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yj };
+    }
+}
+
+/// Solve `L x = b` in place for a dense lower-triangular `L`.
+pub fn trsv_lower(l: MatRef<'_>, x: &mut [f64]) {
+    let n = l.nrows();
+    assert_eq!(l.ncols(), n);
+    assert_eq!(x.len(), n);
+    for k in 0..n {
+        let lk = l.col(k);
+        let xk = x[k] / lk[k];
+        x[k] = xk;
+        if xk != 0.0 {
+            axpy(-xk, &lk[k + 1..], &mut x[k + 1..]);
+        }
+    }
+}
+
+/// Solve `Lᵀ x = b` in place for a dense lower-triangular `L`.
+pub fn trsv_lower_t(l: MatRef<'_>, x: &mut [f64]) {
+    let n = l.nrows();
+    assert_eq!(l.ncols(), n);
+    assert_eq!(x.len(), n);
+    for k in (0..n).rev() {
+        let lk = l.col(k);
+        let mut s = x[k];
+        for i in k + 1..n {
+            s -= lk[i] * x[i];
+        }
+        x[k] = s / lk[k];
+    }
+}
+
+/// Euclidean dot product of two equal-length slices.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    dot_slices(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn mk(m: usize, n: usize, seed: u64) -> Mat {
+        let mut state = seed | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn gemv_matches_naive() {
+        let a = mk(4, 3, 1);
+        let x = [1.0, -2.0, 0.5];
+        let mut y = [1.0, 1.0, 1.0, 1.0];
+        gemv(2.0, a.as_ref(), &x, 0.5, &mut y);
+        for i in 0..4 {
+            let mut s = 0.0;
+            for j in 0..3 {
+                s += a[(i, j)] * x[j];
+            }
+            assert!((y[i] - (2.0 * s + 0.5)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gemv_t_matches_naive() {
+        let a = mk(4, 3, 2);
+        let x = [0.3, -1.0, 2.0, 0.7];
+        let mut y = [0.0; 3];
+        gemv_t(1.0, a.as_ref(), &x, 0.0, &mut y);
+        for j in 0..3 {
+            let mut s = 0.0;
+            for i in 0..4 {
+                s += a[(i, j)] * x[i];
+            }
+            assert!((y[j] - s).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn trsv_roundtrips() {
+        let n = 7;
+        let l = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0
+            } else if i > j {
+                ((i * j + 1) % 3) as f64 * 0.25
+            } else {
+                0.0
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let mut x = b.clone();
+        trsv_lower(l.as_ref(), &mut x);
+        // L x == b
+        let mut lx = vec![0.0; n];
+        gemv(1.0, l.as_ref(), &x, 0.0, &mut lx);
+        for i in 0..n {
+            assert!((lx[i] - b[i]).abs() < 1e-12);
+        }
+        let mut xt = b.clone();
+        trsv_lower_t(l.as_ref(), &mut xt);
+        let mut ltx = vec![0.0; n];
+        gemv_t(1.0, l.as_ref(), &xt, 0.0, &mut ltx);
+        for i in 0..n {
+            assert!((ltx[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Dense linear algebra substrate for the Schur-complement assembler.
+//!
+//! Provides a column-major [`Mat`] type with borrowed views ([`MatRef`],
+//! [`MatMut`]) plus the BLAS-like kernels the paper's algorithms are built
+//! from: [`gemm`](gemm::gemm), [`syrk`](syrk::syrk_t), [`trsm`](trsm::trsm_lower_left),
+//! [`gemv`](gemv::gemv), and dense [Cholesky](chol) (full and partial, the
+//! latter used by the multifrontal factorization's frontal matrices).
+//!
+//! All kernels are sequential by default — the FETI solver parallelizes across
+//! subdomains, one worker per subdomain, exactly like the paper's
+//! one-thread-per-subdomain loop. Rayon-parallel variants (`par_*`) exist for
+//! whole-matrix reference computations in tests and benches.
+
+pub mod chol;
+pub mod gemm;
+pub mod gemv;
+pub mod mat;
+pub mod syrk;
+pub mod trsm;
+
+pub use chol::{
+    cholesky_in_place, cholesky_logdet, cholesky_solve, dense_schur_reference,
+    partial_cholesky_in_place, reconstruction_error, CholError,
+};
+pub use gemm::{gemm, par_gemm, Trans};
+pub use gemv::{dot, gemv, gemv_t, trsv_lower, trsv_lower_t};
+pub use mat::{Mat, MatMut, MatRef};
+pub use syrk::{par_syrk_t, syrk_t};
+pub use trsm::{trsm_lower_left, trsm_lower_left_t};
+
+/// Maximum absolute difference between two matrices of identical shape.
+///
+/// Panics if shapes differ. Used pervasively by tests.
+pub fn max_abs_diff(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
+    assert_eq!(a.nrows(), b.nrows(), "row mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "col mismatch");
+    let mut m = 0.0f64;
+    for j in 0..a.ncols() {
+        let ca = a.col(j);
+        let cb = b.col(j);
+        for i in 0..a.nrows() {
+            let d = (ca[i] - cb[i]).abs();
+            if d > m {
+                m = d;
+            }
+        }
+    }
+    m
+}
+
+/// Frobenius norm of a matrix.
+pub fn frob_norm(a: MatRef<'_>) -> f64 {
+    let mut s = 0.0;
+    for j in 0..a.ncols() {
+        for &v in a.col(j) {
+            s += v * v;
+        }
+    }
+    s.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_diff_zero_for_identical() {
+        let a = Mat::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        assert_eq!(max_abs_diff(a.as_ref(), a.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn frob_norm_simple() {
+        let a = Mat::from_fn(2, 2, |i, j| if i == j { 3.0 } else { 4.0 });
+        // entries 3,4,4,3 -> sqrt(9+16+16+9) = sqrt(50)
+        assert!((frob_norm(a.as_ref()) - 50f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn max_abs_diff_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 2);
+        let b = Mat::zeros(3, 2);
+        max_abs_diff(a.as_ref(), b.as_ref());
+    }
+}

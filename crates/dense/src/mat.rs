@@ -1,0 +1,463 @@
+//! Column-major dense matrix storage and borrowed views.
+//!
+//! [`Mat`] owns its data with leading dimension equal to the row count.
+//! [`MatRef`]/[`MatMut`] are borrowed windows with an explicit leading
+//! dimension (`ld`), which is what lets the blocked TRSM/SYRK kernels of the
+//! paper address sub-matrices with plain pointer arithmetic ("extracting the
+//! submatrix is trivial using pointer arithmetic due to the leading dimension
+//! parameter of BLAS routines", §3.2).
+
+/// Owned column-major `f64` matrix. `data[j * nrows + i]` is entry `(i, j)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero-filled matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Mat {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a generator function `f(i, j)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                data.push(f(i, j));
+            }
+        }
+        Mat { nrows, ncols, data }
+    }
+
+    /// Build from a column-major data vector (length must be `nrows * ncols`).
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "data length mismatch");
+        Mat { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Immutable full view.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ld: self.nrows,
+            data: &self.data,
+        }
+    }
+
+    /// Mutable full view.
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ld: self.nrows,
+            data: &mut self.data,
+        }
+    }
+
+    /// Immutable column slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Mutable column slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Underlying column-major storage.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying column-major storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Fill every entry with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Extract a rectangular copy `rows × cols` starting at `(r0, c0)`.
+    pub fn submatrix(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Mat {
+        assert!(r0 + rows <= self.nrows && c0 + cols <= self.ncols);
+        Mat::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Mirror the (strictly) lower triangle into the upper triangle in place.
+    ///
+    /// SYRK-style kernels only fill the lower triangle; the explicit dual
+    /// operator application wants a full symmetric matrix.
+    pub fn symmetrize_from_lower(&mut self) {
+        assert_eq!(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            for i in (j + 1)..self.nrows {
+                let v = self[(i, j)];
+                self[(j, i)] = v;
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[j * self.nrows + i]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[j * self.nrows + i]
+    }
+}
+
+/// Immutable view of a column-major matrix window with leading dimension `ld`.
+#[derive(Clone, Copy, Debug)]
+pub struct MatRef<'a> {
+    nrows: usize,
+    ncols: usize,
+    ld: usize,
+    /// Slice starting at entry (0, 0) of the window; column `j` occupies
+    /// `data[j*ld .. j*ld + nrows]`.
+    data: &'a [f64],
+}
+
+impl<'a> MatRef<'a> {
+    /// Construct a view from raw parts. `data` must cover every addressed
+    /// entry: `(ncols-1)*ld + nrows <= data.len()` when non-empty.
+    pub fn from_parts(nrows: usize, ncols: usize, ld: usize, data: &'a [f64]) -> Self {
+        assert!(ld >= nrows.max(1));
+        if nrows > 0 && ncols > 0 {
+            assert!((ncols - 1) * ld + nrows <= data.len(), "view out of bounds");
+        }
+        MatRef {
+            nrows,
+            ncols,
+            ld,
+            data,
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Entry access (bounds-checked in debug builds only).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[j * self.ld + i]
+    }
+
+    /// Column `j` as a contiguous slice of length `nrows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [f64] {
+        &self.data[j * self.ld..j * self.ld + self.nrows]
+    }
+
+    /// Sub-window of shape `rows × cols` at offset `(r0, c0)`.
+    #[inline]
+    pub fn sub(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatRef<'a> {
+        assert!(r0 + rows <= self.nrows && c0 + cols <= self.ncols);
+        let start = c0 * self.ld + r0;
+        let end = if rows > 0 && cols > 0 {
+            start + (cols - 1) * self.ld + rows
+        } else {
+            start
+        };
+        MatRef {
+            nrows: rows,
+            ncols: cols,
+            ld: self.ld,
+            data: &self.data[start..end.max(start)],
+        }
+    }
+
+    /// Copy into an owned [`Mat`].
+    pub fn to_mat(&self) -> Mat {
+        Mat::from_fn(self.nrows, self.ncols, |i, j| self.get(i, j))
+    }
+}
+
+/// Mutable view of a column-major matrix window with leading dimension `ld`.
+#[derive(Debug)]
+pub struct MatMut<'a> {
+    nrows: usize,
+    ncols: usize,
+    ld: usize,
+    data: &'a mut [f64],
+}
+
+impl<'a> MatMut<'a> {
+    /// Construct a mutable view from raw parts (same contract as
+    /// [`MatRef::from_parts`]).
+    pub fn from_parts(nrows: usize, ncols: usize, ld: usize, data: &'a mut [f64]) -> Self {
+        assert!(ld >= nrows.max(1));
+        if nrows > 0 && ncols > 0 {
+            assert!((ncols - 1) * ld + nrows <= data.len(), "view out of bounds");
+        }
+        MatMut {
+            nrows,
+            ncols,
+            ld,
+            data,
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Immutable reborrow.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ld: self.ld,
+            data: self.data,
+        }
+    }
+
+    /// Mutable reborrow (shorter lifetime).
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_> {
+        MatMut {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            ld: self.ld,
+            data: self.data,
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[j * self.ld + i]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[j * self.ld + i] = v;
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.ld..j * self.ld + self.nrows]
+    }
+
+    /// Mutable column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.ld..j * self.ld + self.nrows]
+    }
+
+    /// Mutable sub-window of shape `rows × cols` at offset `(r0, c0)`,
+    /// consuming the view (use [`Self::as_mut`] to reborrow first).
+    pub fn into_sub(self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatMut<'a> {
+        assert!(r0 + rows <= self.nrows && c0 + cols <= self.ncols);
+        let start = c0 * self.ld + r0;
+        let end = if rows > 0 && cols > 0 {
+            start + (cols - 1) * self.ld + rows
+        } else {
+            start
+        };
+        MatMut {
+            nrows: rows,
+            ncols: cols,
+            ld: self.ld,
+            data: &mut self.data[start..end.max(start)],
+        }
+    }
+
+    /// Mutable sub-window (reborrowing convenience).
+    pub fn sub_mut(&mut self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatMut<'_> {
+        self.as_mut().into_sub(r0, c0, rows, cols)
+    }
+
+    /// Split into two disjoint mutable column-block views `[0, c)` and `[c, ncols)`.
+    pub fn split_cols_at(self, c: usize) -> (MatMut<'a>, MatMut<'a>) {
+        assert!(c <= self.ncols);
+        let (left, right) = self.data.split_at_mut(c * self.ld);
+        (
+            MatMut {
+                nrows: self.nrows,
+                ncols: c,
+                ld: self.ld,
+                data: left,
+            },
+            MatMut {
+                nrows: self.nrows,
+                ncols: self.ncols - c,
+                ld: self.ld,
+                data: right,
+            },
+        )
+    }
+
+    /// Copy all entries from `src` (shapes must match).
+    pub fn copy_from(&mut self, src: MatRef<'_>) {
+        assert_eq!(self.nrows, src.nrows());
+        assert_eq!(self.ncols, src.ncols());
+        for j in 0..self.ncols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Set every entry to `v`.
+    pub fn fill(&mut self, v: f64) {
+        for j in 0..self.ncols {
+            self.col_mut(j).fill(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_column_major() {
+        let m = Mat::from_col_major(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m[(0, 0)], 1.);
+        assert_eq!(m[(1, 0)], 2.);
+        assert_eq!(m[(0, 1)], 3.);
+        assert_eq!(m[(1, 2)], 6.);
+    }
+
+    #[test]
+    fn views_address_subwindows() {
+        let m = Mat::from_fn(4, 4, |i, j| (10 * i + j) as f64);
+        let v = m.as_ref().sub(1, 2, 2, 2);
+        assert_eq!(v.get(0, 0), m[(1, 2)]);
+        assert_eq!(v.get(1, 1), m[(2, 3)]);
+        assert_eq!(v.col(1)[0], m[(1, 3)]);
+    }
+
+    #[test]
+    fn mut_views_write_through() {
+        let mut m = Mat::zeros(3, 3);
+        {
+            let mut v = m.as_mut().into_sub(1, 1, 2, 2);
+            v.set(0, 0, 7.0);
+            v.set(1, 1, 8.0);
+        }
+        assert_eq!(m[(1, 1)], 7.0);
+        assert_eq!(m[(2, 2)], 8.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn split_cols_gives_disjoint_views() {
+        let mut m = Mat::from_fn(2, 4, |_, j| j as f64);
+        let (mut l, mut r) = m.as_mut().split_cols_at(2);
+        assert_eq!(l.ncols(), 2);
+        assert_eq!(r.ncols(), 2);
+        l.set(0, 0, -1.0);
+        r.set(0, 0, -2.0);
+        assert_eq!(m[(0, 0)], -1.0);
+        assert_eq!(m[(0, 2)], -2.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Mat::from_fn(3, 5, |i, j| (i * 7 + j * 3) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn symmetrize_mirrors_lower() {
+        let mut m = Mat::zeros(3, 3);
+        m[(1, 0)] = 5.0;
+        m[(2, 1)] = 6.0;
+        m.symmetrize_from_lower();
+        assert_eq!(m[(0, 1)], 5.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn submatrix_copies() {
+        let m = Mat::from_fn(4, 4, |i, j| (i + 4 * j) as f64);
+        let s = m.submatrix(1, 1, 2, 3);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s[(0, 0)], m[(1, 1)]);
+        assert_eq!(s[(1, 2)], m[(2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "view out of bounds")]
+    fn view_bounds_checked() {
+        let data = vec![0.0; 5];
+        MatRef::from_parts(3, 2, 3, &data);
+    }
+}

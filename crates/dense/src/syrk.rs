@@ -1,0 +1,162 @@
+//! Symmetric rank-k update: `C(lower) = beta * C + alpha * Aᵀ A`.
+//!
+//! This is the transposed flavour used by the Schur assembler
+//! (`F = Yᵀ Y`, paper Eq. 14). Only the lower triangle of `C` is referenced
+//! and written, matching BLAS `SYRK('L', 'T', ...)` semantics.
+
+use crate::gemm::dot_slices;
+use crate::mat::{MatMut, MatRef};
+
+/// `C(lower) = beta * C(lower) + alpha * Aᵀ A` (sequential).
+///
+/// `A` is `k × n`, `C` is `n × n`. The strictly upper triangle of `C` is left
+/// untouched.
+pub fn syrk_t(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+    let n = a.ncols();
+    assert_eq!(c.nrows(), n, "syrk C row mismatch");
+    assert_eq!(c.ncols(), n, "syrk C col mismatch");
+    for j in 0..n {
+        let aj = a.col(j);
+        let ccol = c.col_mut(j);
+        if beta == 0.0 {
+            for (i, cij) in ccol.iter_mut().enumerate().skip(j) {
+                *cij = alpha * dot_slices(a.col(i), aj);
+            }
+        } else {
+            for (i, cij) in ccol.iter_mut().enumerate().skip(j) {
+                *cij = beta * *cij + alpha * dot_slices(a.col(i), aj);
+            }
+        }
+    }
+}
+
+/// Rayon-parallel [`syrk_t`], parallelized over output columns by recursive
+/// column-block splitting (each split produces disjoint `MatMut` views, so no
+/// unsafe code is needed).
+pub fn par_syrk_t(alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    let n = a.ncols();
+    assert_eq!(c.nrows(), n, "syrk C row mismatch");
+    assert_eq!(c.ncols(), n, "syrk C col mismatch");
+    split_cols(alpha, a, beta, c, 0);
+}
+
+/// Process the column block of `C` starting at global column `c0`.
+fn split_cols(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>, c0: usize) {
+    let ncols = c.ncols();
+    // Small blocks: compute directly. Column j (global) writes rows j..n.
+    if ncols <= 8 {
+        for j in 0..ncols {
+            let gj = c0 + j;
+            let aj = a.col(gj);
+            let ccol = c.col_mut(j);
+            if beta == 0.0 {
+                for (i, cij) in ccol.iter_mut().enumerate().skip(gj) {
+                    *cij = alpha * dot_slices(a.col(i), aj);
+                }
+            } else {
+                for (i, cij) in ccol.iter_mut().enumerate().skip(gj) {
+                    *cij = beta * *cij + alpha * dot_slices(a.col(i), aj);
+                }
+            }
+        }
+        return;
+    }
+    let half = ncols / 2;
+    let (l, r) = c.split_cols_at(half);
+    rayon::join(
+        || split_cols(alpha, a, beta, l, c0),
+        || split_cols(alpha, a, beta, r, c0 + half),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn mk(m: usize, n: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn naive_lower(alpha: f64, a: &Mat, beta: f64, c: &Mat) -> Mat {
+        let n = a.ncols();
+        Mat::from_fn(n, n, |i, j| {
+            if i < j {
+                c[(i, j)]
+            } else {
+                let mut s = 0.0;
+                for p in 0..a.nrows() {
+                    s += a[(p, i)] * a[(p, j)];
+                }
+                alpha * s + beta * c[(i, j)]
+            }
+        })
+    }
+
+    #[test]
+    fn syrk_matches_naive() {
+        let a = mk(9, 6, 1);
+        let mut c = mk(6, 6, 2);
+        let expect = naive_lower(2.0, &a, 0.5, &c);
+        syrk_t(2.0, a.as_ref(), 0.5, c.as_mut());
+        assert!(crate::max_abs_diff(c.as_ref(), expect.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_beta_zero_ignores_garbage() {
+        let a = mk(4, 3, 3);
+        let mut c = Mat::from_fn(3, 3, |i, j| if i >= j { f64::NAN } else { 9.0 });
+        syrk_t(1.0, a.as_ref(), 0.0, c.as_mut());
+        for j in 0..3 {
+            for i in j..3 {
+                assert!(c[(i, j)].is_finite());
+            }
+        }
+        assert_eq!(c[(0, 1)], 9.0, "upper triangle untouched");
+    }
+
+    #[test]
+    fn syrk_result_is_positive_semidefinite_diagonal() {
+        let a = mk(5, 4, 4);
+        let mut c = Mat::zeros(4, 4);
+        syrk_t(1.0, a.as_ref(), 0.0, c.as_mut());
+        for i in 0..4 {
+            assert!(c[(i, i)] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn par_syrk_matches_seq() {
+        let a = mk(40, 33, 5);
+        let mut c1 = mk(33, 33, 6);
+        let mut c2 = c1.clone();
+        syrk_t(1.0, a.as_ref(), 1.0, c1.as_mut());
+        par_syrk_t(1.0, a.as_ref(), 1.0, c2.as_mut());
+        assert!(crate::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn par_syrk_beta_zero_matches_seq() {
+        let a = mk(25, 19, 7);
+        let mut c1 = Mat::zeros(19, 19);
+        let mut c2 = Mat::zeros(19, 19);
+        syrk_t(1.5, a.as_ref(), 0.0, c1.as_mut());
+        par_syrk_t(1.5, a.as_ref(), 0.0, c2.as_mut());
+        assert!(crate::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn empty_k_scales_only() {
+        let a = Mat::zeros(0, 3);
+        let mut c = Mat::from_fn(3, 3, |_, _| 2.0);
+        syrk_t(1.0, a.as_ref(), 0.5, c.as_mut());
+        assert_eq!(c[(2, 0)], 1.0);
+        assert_eq!(c[(0, 2)], 2.0); // upper untouched
+    }
+}

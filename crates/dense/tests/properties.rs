@@ -1,0 +1,95 @@
+//! Property-based tests of the dense kernel algebra.
+
+use proptest::prelude::*;
+use sc_dense::{
+    cholesky_in_place, gemm, syrk_t, trsm_lower_left, trsm_lower_left_t, Mat, Trans,
+};
+
+fn mat_strategy(m: usize, n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-2.0f64..2.0, m * n)
+        .prop_map(move |v| Mat::from_col_major(m, n, v))
+}
+
+fn spd_strategy(n: usize) -> impl Strategy<Value = Mat> {
+    mat_strategy(n, n).prop_map(move |g| {
+        let mut a = Mat::zeros(n, n);
+        syrk_t(1.0, g.as_ref(), 0.0, a.as_mut());
+        for i in 0..n {
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        a.symmetrize_from_lower();
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_is_linear_in_alpha(a in mat_strategy(5, 4), b in mat_strategy(4, 6)) {
+        let mut c1 = Mat::zeros(5, 6);
+        gemm(2.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c1.as_mut());
+        let mut c2 = Mat::zeros(5, 6);
+        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c2.as_mut());
+        for j in 0..6 {
+            for i in 0..5 {
+                prop_assert!((c1[(i, j)] - 2.0 * c2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_identity(a in mat_strategy(4, 5), b in mat_strategy(4, 3)) {
+        // AᵀB == (Aᵀ)B computed through the transposed copy
+        let mut c1 = Mat::zeros(5, 3);
+        gemm(1.0, a.as_ref(), Trans::Yes, b.as_ref(), Trans::No, 0.0, c1.as_mut());
+        let at = a.transpose();
+        let mut c2 = Mat::zeros(5, 3);
+        gemm(1.0, at.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c2.as_mut());
+        prop_assert!(sc_dense::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_equals_explicit_product(a in mat_strategy(6, 4)) {
+        let mut c = Mat::zeros(4, 4);
+        syrk_t(1.0, a.as_ref(), 0.0, c.as_mut());
+        let mut full = Mat::zeros(4, 4);
+        gemm(1.0, a.as_ref(), Trans::Yes, a.as_ref(), Trans::No, 0.0, full.as_mut());
+        for j in 0..4 {
+            for i in j..4 {
+                prop_assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip(a in spd_strategy(6), b in mat_strategy(6, 2)) {
+        let mut l = a.clone();
+        cholesky_in_place(l.as_mut()).unwrap();
+        let mut x = b.clone();
+        trsm_lower_left(l.as_ref(), x.as_mut());
+        trsm_lower_left_t(l.as_ref(), x.as_mut());
+        // A x == b
+        let mut ax = Mat::zeros(6, 2);
+        gemm(1.0, a.as_ref(), Trans::No, x.as_ref(), Trans::No, 0.0, ax.as_mut());
+        prop_assert!(sc_dense::max_abs_diff(ax.as_ref(), b.as_ref()) < 1e-6);
+    }
+
+    #[test]
+    fn trsm_solution_is_unique(a in spd_strategy(5), b in mat_strategy(5, 3)) {
+        let mut l = a.clone();
+        cholesky_in_place(l.as_mut()).unwrap();
+        let mut x1 = b.clone();
+        trsm_lower_left(l.as_ref(), x1.as_mut());
+        // column-by-column solve must agree with the blocked matrix solve
+        let mut x2 = b.clone();
+        for j in 0..3 {
+            let mut col: Vec<f64> = (0..5).map(|i| b[(i, j)]).collect();
+            sc_dense::trsv_lower(l.as_ref(), &mut col);
+            for i in 0..5 {
+                x2[(i, j)] = col[i];
+            }
+        }
+        prop_assert!(sc_dense::max_abs_diff(x1.as_ref(), x2.as_ref()) < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! Sparse Cholesky factorization substrate.
+//!
+//! Plays the role of the two sparse solver libraries the paper builds on:
+//!
+//! - the **simplicial up-looking** factorization ([`simplicial`]) is the
+//!   CHOLMOD analog — slightly slower numeric phase, but the factor is a
+//!   plain CSC matrix that can be *extracted* and handed to the GPU Schur
+//!   assembler (the property the paper needs from CHOLMOD, §4);
+//! - the **supernodal multifrontal** factorization ([`supernodal`]) is the
+//!   MKL PARDISO analog — dense frontal panels factored with Level-3 kernels,
+//!   faster on 3D problems.
+//!
+//! Both share the same [`symbolic`] analysis (elimination tree + factor
+//! pattern), mirroring the two-stage symbolic/numeric split the paper
+//! describes in §2.2, so multi-step simulations pay the symbolic cost once.
+//!
+//! [`schur`] implements the *sparse-RHS* Schur complement — forward solves
+//! restricted to the elimination-tree reach of each right-hand-side column —
+//! which stands in for PARDISO's augmented incomplete factorization
+//! (`expl_mkl` in the paper's Figure 9).
+
+pub mod etree;
+pub mod schur;
+pub mod simplicial;
+pub mod solver;
+pub mod supernodal;
+pub mod symbolic;
+
+pub use etree::{etree, postorder};
+pub use schur::{schur_from_factor, sparse_solve_reach};
+pub use simplicial::{simplicial_factorize, FactorError};
+pub use solver::{CholOptions, Engine, SparseCholesky};
+pub use supernodal::{SupernodalFactor, SupernodalSymbolic};
+pub use symbolic::Symbolic;

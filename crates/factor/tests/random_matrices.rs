@@ -1,0 +1,83 @@
+//! Property tests of the sparse Cholesky stack on random SPD matrices:
+//! engines agree, orderings preserve solutions, refactorization is exact.
+
+use proptest::prelude::*;
+use sc_factor::{CholOptions, Engine, SparseCholesky};
+use sc_order::Ordering;
+use sc_sparse::{Coo, Csc};
+
+fn spd_strategy(n: usize) -> impl Strategy<Value = Csc> {
+    proptest::collection::vec((0usize..n, 0usize..n, 0.05f64..1.0), n..(4 * n)).prop_map(
+        move |entries| {
+            let mut coo = Coo::new(n, n);
+            let mut diag = vec![1.0f64; n];
+            for (i, j, v) in entries {
+                if i != j {
+                    coo.push(i, j, -v);
+                    coo.push(j, i, -v);
+                    diag[i] += v;
+                    diag[j] += v;
+                }
+            }
+            for (i, d) in diag.iter().enumerate() {
+                coo.push(i, i, d + 0.1);
+            }
+            coo.to_csc()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engines_agree_on_solutions(a in spd_strategy(30)) {
+        let b: Vec<f64> = (0..30).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let xs = SparseCholesky::factorize(&a, CholOptions {
+            ordering: Ordering::NestedDissection,
+            engine: Engine::Simplicial,
+        }).unwrap().solve(&b);
+        let xm = SparseCholesky::factorize(&a, CholOptions {
+            ordering: Ordering::NestedDissection,
+            engine: Engine::Supernodal,
+        }).unwrap().solve(&b);
+        for i in 0..30 {
+            prop_assert!((xs[i] - xm[i]).abs() < 1e-7, "at {}: {} vs {}", i, xs[i], xm[i]);
+        }
+    }
+
+    #[test]
+    fn solve_residual_small_for_every_ordering(a in spd_strategy(25)) {
+        let n = 25;
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        for ordering in [Ordering::Natural, Ordering::Rcm, Ordering::NestedDissection] {
+            let x = SparseCholesky::factorize(&a, CholOptions {
+                ordering,
+                engine: Engine::Simplicial,
+            }).unwrap().solve(&b);
+            let mut r = vec![0.0; n];
+            a.spmv(1.0, &x, 0.0, &mut r);
+            for i in 0..n {
+                prop_assert!((r[i] - b[i]).abs() < 1e-7, "{:?} residual at {}", ordering, i);
+            }
+        }
+    }
+
+    #[test]
+    fn refactorization_tracks_scaling(a in spd_strategy(20), scale in 0.5f64..4.0) {
+        let n = 20;
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut chol = SparseCholesky::factorize(&a, CholOptions::default()).unwrap();
+        let x1 = chol.solve(&b);
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= scale;
+        }
+        chol.refactorize(&a2).unwrap();
+        let x2 = chol.solve(&b);
+        // (s A) x2 = b  =>  x2 = x1 / s
+        for i in 0..n {
+            prop_assert!((x2[i] * scale - x1[i]).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! P1 (linear) element stiffness matrices for the heat (Laplace) operator.
+
+/// Stiffness of a linear triangle with vertices `p0, p1, p2` (unit
+/// conductivity): `K[i][j] = area * ∇φᵢ · ∇φⱼ`.
+pub fn tri_stiffness(p: [[f64; 2]; 3]) -> [[f64; 3]; 3] {
+    // Edge vectors opposite each vertex; ∇φᵢ = rot90(e_i) / (2A)
+    let e = [
+        [p[2][0] - p[1][0], p[2][1] - p[1][1]],
+        [p[0][0] - p[2][0], p[0][1] - p[2][1]],
+        [p[1][0] - p[0][0], p[1][1] - p[0][1]],
+    ];
+    let double_area = e[1][0] * e[2][1] - e[1][1] * e[2][0];
+    let area = 0.5 * double_area.abs();
+    assert!(area > 0.0, "degenerate triangle");
+    let mut k = [[0.0; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            // rot90(a)·rot90(b) = a·b
+            let dot = e[i][0] * e[j][0] + e[i][1] * e[j][1];
+            k[i][j] = dot / (4.0 * area);
+        }
+    }
+    k
+}
+
+/// Stiffness of a linear tetrahedron with vertices `p0..p3` (unit
+/// conductivity): `K[i][j] = vol * ∇φᵢ · ∇φⱼ`.
+pub fn tet_stiffness(p: [[f64; 3]; 4]) -> [[f64; 4]; 4] {
+    // Gradients of barycentric coordinates from the inverse Jacobian.
+    let d = [
+        [p[1][0] - p[0][0], p[1][1] - p[0][1], p[1][2] - p[0][2]],
+        [p[2][0] - p[0][0], p[2][1] - p[0][1], p[2][2] - p[0][2]],
+        [p[3][0] - p[0][0], p[3][1] - p[0][1], p[3][2] - p[0][2]],
+    ];
+    let det = d[0][0] * (d[1][1] * d[2][2] - d[1][2] * d[2][1])
+        - d[0][1] * (d[1][0] * d[2][2] - d[1][2] * d[2][0])
+        + d[0][2] * (d[1][0] * d[2][1] - d[1][1] * d[2][0]);
+    let vol = det.abs() / 6.0;
+    assert!(vol > 0.0, "degenerate tetrahedron");
+    // inverse transpose of J (rows = gradients of φ1..φ3 w.r.t. x)
+    let inv_det = 1.0 / det;
+    let cof = |r1: usize, c1: usize, r2: usize, c2: usize| {
+        d[r1][c1] * d[r2][c2] - d[r1][c2] * d[r2][c1]
+    };
+    // grad φ_{i+1} = row i of J^{-T}
+    let g1 = [
+        cof(1, 1, 2, 2) * inv_det,
+        -cof(1, 0, 2, 2) * inv_det,
+        cof(1, 0, 2, 1) * inv_det,
+    ];
+    let g2 = [
+        -cof(0, 1, 2, 2) * inv_det,
+        cof(0, 0, 2, 2) * inv_det,
+        -cof(0, 0, 2, 1) * inv_det,
+    ];
+    let g3 = [
+        cof(0, 1, 1, 2) * inv_det,
+        -cof(0, 0, 1, 2) * inv_det,
+        cof(0, 0, 1, 1) * inv_det,
+    ];
+    let g0 = [
+        -(g1[0] + g2[0] + g3[0]),
+        -(g1[1] + g2[1] + g3[1]),
+        -(g1[2] + g2[2] + g3[2]),
+    ];
+    let g = [g0, g1, g2, g3];
+    let mut k = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            k[i][j] = vol * (g[i][0] * g[j][0] + g[i][1] * g[j][1] + g[i][2] * g[j][2]);
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tri_rows_sum_to_zero() {
+        // constant functions are in the kernel of the Laplace stiffness
+        let k = tri_stiffness([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]);
+        for row in &k {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn unit_right_triangle_known_values() {
+        // classical result for the unit right triangle:
+        // K = 1/2 * [[2,-1,-1],[-1,1,0],[-1,0,1]]
+        let k = tri_stiffness([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]);
+        let expect = [[1.0, -0.5, -0.5], [-0.5, 0.5, 0.0], [-0.5, 0.0, 0.5]];
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((k[i][j] - expect[i][j]).abs() < 1e-14, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn tri_is_symmetric_and_scale_invariant() {
+        let k1 = tri_stiffness([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0]]);
+        let k2 = tri_stiffness([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((k1[i][j] - k1[j][i]).abs() < 1e-14);
+                // Laplace stiffness in 2D is scale invariant
+                assert!((k1[i][j] - k2[i][j]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn tet_rows_sum_to_zero_and_symmetric() {
+        let k = tet_stiffness([
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]);
+        for i in 0..4 {
+            let s: f64 = k[i].iter().sum();
+            assert!(s.abs() < 1e-13);
+            for j in 0..4 {
+                assert!((k[i][j] - k[j][i]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn tet_diag_positive() {
+        let k = tet_stiffness([
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0],
+        ]);
+        for i in 0..4 {
+            assert!(k[i][i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn tet_permutation_consistency() {
+        // swapping two vertices permutes rows/cols identically
+        let p = [
+            [0.1, 0.0, 0.0],
+            [1.0, 0.2, 0.0],
+            [0.0, 1.0, 0.3],
+            [0.0, 0.1, 1.0],
+        ];
+        let k = tet_stiffness(p);
+        let q = [p[1], p[0], p[2], p[3]];
+        let kq = tet_stiffness(q);
+        let map = [1usize, 0, 2, 3];
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((kq[i][j] - k[map[i]][map[j]]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Finite element substrate: the synthetic heat-transfer problems the paper
+//! evaluates on (§4: "a heat transfer problem ... a square or cube domain
+//! uniformly discretized into triangles or tetrahedra"), decomposed into a
+//! regular grid of subdomains with Lagrange-multiplier gluing.
+//!
+//! The output of [`HeatProblem::build_2d`] / [`HeatProblem::build_3d`] is the
+//! exact input the FETI machinery needs per subdomain `i`:
+//!
+//! - `K_i` — local stiffness (SPD when the subdomain touches the Dirichlet
+//!   boundary, singular SPSD with a constant-vector kernel otherwise);
+//! - `f_i` — local load;
+//! - `B̃ᵢᵀ` — the local gluing block (`n_i × m_i`, entries ±1), columns being
+//!   the Lagrange multipliers connected to the subdomain;
+//! - `R_i` — kernel basis (the constant vector for floating heat-transfer
+//!   subdomains);
+//! - a fixing node for the analytic regularization of §2.2.
+//!
+//! A small-problem global assembly ([`HeatProblem::assemble_global`]) backs
+//! the correctness tests: the FETI solution must match the direct solve.
+
+pub mod element;
+pub mod problem;
+
+pub use element::{tet_stiffness, tri_stiffness};
+pub use problem::{Gluing, HeatProblem, Subdomain};

@@ -1,0 +1,98 @@
+//! Analytic regularization by fixing nodes (paper §2.2, ref. \[11\]).
+//!
+//! For a floating heat-transfer subdomain, `ker K = span{1}` and
+//! `K_reg = K + ρ e_f e_fᵀ` (one fixing node `f`) is SPD with the property
+//! `K K_reg⁻¹ K = K`, i.e. `K_reg⁻¹` is a valid generalized inverse `K⁺` on
+//! `range(K)` — exactly what the dual operator needs.
+
+use sc_sparse::{Coo, Csc};
+
+/// Regularize a singular SPSD matrix by adding `rho` to the diagonal entry of
+/// the fixing dof. `rho` defaults to the largest diagonal entry when `None`.
+/// SPD matrices (no kernel) are returned unchanged.
+pub fn regularize_fixing_node(
+    k: &Csc,
+    kernel: Option<&[f64]>,
+    fixing_dof: usize,
+    rho: Option<f64>,
+) -> Csc {
+    if kernel.is_none() {
+        return k.clone();
+    }
+    let n = k.ncols();
+    let rho = rho.unwrap_or_else(|| {
+        (0..n)
+            .map(|j| k.get(j, j))
+            .fold(0.0f64, f64::max)
+    });
+    // rebuild with the bumped diagonal (pattern may or may not contain the
+    // entry already; COO summation handles both)
+    let mut coo = Coo::with_capacity(n, n, k.nnz() + 1);
+    for j in 0..n {
+        let (rows, vals) = k.col(j);
+        for (&i, &v) in rows.iter().zip(vals) {
+            coo.push(i, j, v);
+        }
+    }
+    coo.push(fixing_dof, fixing_dof, rho);
+    coo.to_csc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_fem::{Gluing, HeatProblem};
+
+    #[test]
+    fn spd_matrix_unchanged() {
+        let p = HeatProblem::build_2d(3, (2, 1), Gluing::Redundant);
+        let sd = &p.subdomains[0]; // touches Dirichlet => SPD
+        let r = regularize_fixing_node(&sd.k, sd.kernel.as_deref(), sd.fixing_dof, None);
+        assert_eq!(r, sd.k);
+    }
+
+    #[test]
+    fn regularized_matrix_is_spd() {
+        let p = HeatProblem::build_2d(3, (2, 1), Gluing::Redundant);
+        let sd = &p.subdomains[1]; // floating
+        let r = regularize_fixing_node(&sd.k, sd.kernel.as_deref(), sd.fixing_dof, None);
+        let mut d = r.to_dense();
+        assert!(sc_dense::cholesky_in_place(d.as_mut()).is_ok());
+    }
+
+    #[test]
+    fn generalized_inverse_property() {
+        // K * K_reg^{-1} * K == K  (the fixing-node guarantee)
+        let p = HeatProblem::build_2d(2, (2, 1), Gluing::Redundant);
+        let sd = &p.subdomains[1];
+        let n = sd.n_dofs();
+        let kreg = regularize_fixing_node(&sd.k, sd.kernel.as_deref(), sd.fixing_dof, None);
+        let mut l = kreg.to_dense();
+        sc_dense::cholesky_in_place(l.as_mut()).unwrap();
+        let kd = sd.k.to_dense();
+        // columns of K, solved and re-multiplied
+        for j in 0..n {
+            let mut x: Vec<f64> = (0..n).map(|i| kd[(i, j)]).collect();
+            sc_dense::cholesky_solve(l.as_ref(), &mut x);
+            let mut kx = vec![0.0; n];
+            sd.k.spmv(1.0, &x, 0.0, &mut kx);
+            for i in 0..n {
+                assert!(
+                    (kx[i] - kd[(i, j)]).abs() < 1e-8,
+                    "K K_reg^-1 K != K at ({i},{j}): {} vs {}",
+                    kx[i],
+                    kd[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_rho_is_used() {
+        let p = HeatProblem::build_2d(2, (2, 1), Gluing::Redundant);
+        let sd = &p.subdomains[1];
+        let r = regularize_fixing_node(&sd.k, sd.kernel.as_deref(), sd.fixing_dof, Some(42.0));
+        let diff = r.get(sd.fixing_dof, sd.fixing_dof) - sd.k.get(sd.fixing_dof, sd.fixing_dof);
+        assert!((diff - 42.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,478 @@
+//! The Total-FETI solver driver: per-subdomain preprocessing, coarse problem,
+//! PCPG solve, and primal solution recovery.
+
+use crate::dualop::{DualOperator, SubdomainFactors};
+use crate::pcpg::PcpgStats;
+use rayon::prelude::*;
+use sc_core::ScConfig;
+use sc_dense::Mat;
+use sc_factor::Engine;
+use sc_fem::HeatProblem;
+use sc_gpu::{Device, GpuKernels};
+use sc_order::Ordering;
+use sc_sparse::{Coo, Csc};
+use std::sync::Arc;
+
+/// How the dual operator is realized.
+#[derive(Clone)]
+pub enum DualMode {
+    /// Implicit application (factorization only in preprocessing).
+    Implicit,
+    /// Explicit dense `F̃ᵢ`, assembled on the CPU.
+    ExplicitCpu(ScConfig),
+    /// Explicit dense `F̃ᵢ`, assembled on the simulated GPU; subdomains are
+    /// distributed round-robin over the device's streams.
+    ExplicitGpu(ScConfig, Arc<Device>),
+}
+
+/// Dual preconditioner selection for PCPG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preconditioner {
+    /// No preconditioning (identity).
+    None,
+    /// The lumped preconditioner `M⁻¹ = Σᵢ B̃ᵢ Kᵢ B̃ᵢᵀ` — three sparse
+    /// products per subdomain per iteration, the cheap standard choice in
+    /// FETI practice.
+    Lumped,
+}
+
+/// Solver options.
+#[derive(Clone)]
+pub struct FetiOptions {
+    /// Dual operator realization.
+    pub dual: DualMode,
+    /// Numeric factorization engine for `K_reg`.
+    pub engine: Engine,
+    /// Fill-reducing ordering.
+    pub ordering: Ordering,
+    /// Dual preconditioner.
+    pub preconditioner: Preconditioner,
+    /// PCPG relative tolerance.
+    pub tol: f64,
+    /// PCPG iteration budget.
+    pub max_iter: usize,
+}
+
+impl Default for FetiOptions {
+    fn default() -> Self {
+        FetiOptions {
+            dual: DualMode::Implicit,
+            engine: Engine::Simplicial,
+            ordering: Ordering::NestedDissection,
+            preconditioner: Preconditioner::None,
+            tol: 1e-9,
+            max_iter: 1000,
+        }
+    }
+}
+
+/// Solution of a FETI solve.
+pub struct FetiSolution {
+    /// Per-subdomain primal solutions.
+    pub u_locals: Vec<Vec<f64>>,
+    /// The dual solution `λ`.
+    pub lambda: Vec<f64>,
+    /// PCPG statistics.
+    pub stats: PcpgStats,
+}
+
+/// A preprocessed FETI solver ready to run PCPG.
+pub struct FetiSolver<'p> {
+    problem: &'p HeatProblem,
+    factors: Vec<SubdomainFactors>,
+    /// `Some` for the explicit modes; the implicit mode applies through
+    /// `factors` directly.
+    explicit_ops: Option<Vec<DualOperator>>,
+    /// Sparse `G = B R` (`n_lambda × n_kernels`).
+    g: Csc,
+    /// Dense Cholesky factor of `GᵀG`.
+    gtg: Mat,
+    /// Kernel column of each subdomain (floating ones only).
+    kernel_col: Vec<Option<usize>>,
+    /// Dual right-hand side `d = B K⁺ f`.
+    d: Vec<f64>,
+    /// Coarse right-hand side `e = Rᵀ f`.
+    e: Vec<f64>,
+}
+
+impl<'p> FetiSolver<'p> {
+    /// Run the initialization + preprocessing stages (paper §2.2): orderings,
+    /// factorizations, explicit assembly (if requested), coarse problem.
+    pub fn new(problem: &'p HeatProblem, opts: &FetiOptions) -> Self {
+        // per-subdomain factorizations in parallel (the paper's loop over the
+        // cluster's subdomains, one thread per subdomain)
+        let factors: Vec<SubdomainFactors> = problem
+            .subdomains
+            .par_iter()
+            .map(|sd| SubdomainFactors::build(sd, opts.engine, opts.ordering))
+            .collect();
+
+        // dual operators: explicit modes pre-assemble the dense F̃ᵢ; the
+        // implicit mode reuses `factors` directly at application time
+        let explicit_ops: Option<Vec<DualOperator>> = match &opts.dual {
+            DualMode::Implicit => None,
+            DualMode::ExplicitCpu(cfg) => Some(
+                factors
+                    .par_iter()
+                    .map(|f| DualOperator::explicit_cpu(f, cfg))
+                    .collect(),
+            ),
+            DualMode::ExplicitGpu(cfg, device) => {
+                let n_streams = device.n_streams();
+                Some(
+                    factors
+                        .par_iter()
+                        .enumerate()
+                        .map(|(i, f)| {
+                            let kernels = GpuKernels::new(device.stream(i % n_streams));
+                            DualOperator::explicit_gpu(f, cfg, kernels)
+                        })
+                        .collect(),
+                )
+            }
+        };
+
+        // kernel numbering and G = B R (kernel = constant vector: G entries
+        // are just the B̃ signs, since each B̃ᵀ column has a single ±1)
+        let mut kernel_col = vec![None; problem.subdomains.len()];
+        let mut n_kernels = 0;
+        for (i, sd) in problem.subdomains.iter().enumerate() {
+            if sd.kernel.is_some() {
+                kernel_col[i] = Some(n_kernels);
+                n_kernels += 1;
+            }
+        }
+        let mut g_coo = Coo::new(problem.n_lambda, n_kernels.max(1));
+        let mut e = vec![0.0; n_kernels.max(1)];
+        for (i, sd) in problem.subdomains.iter().enumerate() {
+            let Some(kc) = kernel_col[i] else { continue };
+            let ker = sd.kernel.as_ref().expect("kernel column implies kernel");
+            // G[:, kc] = B_i r_i
+            let mut gr = vec![0.0; sd.n_lambda()];
+            sd.bt.spmv_t(1.0, ker, 0.0, &mut gr);
+            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                if gr[ll] != 0.0 {
+                    g_coo.push(gl, kc, gr[ll]);
+                }
+            }
+            // e_i = R_iᵀ f_i
+            e[kc] = sd.f.iter().zip(ker).map(|(fi, ri)| fi * ri).sum();
+        }
+        let g = g_coo.to_csc();
+
+        // coarse factor (GᵀG); for zero kernels keep a 1x1 identity
+        let gtg = if n_kernels == 0 {
+            Mat::identity(1)
+        } else {
+            let gd = g.to_dense();
+            let mut gtg = Mat::zeros(n_kernels, n_kernels);
+            sc_dense::syrk_t(1.0, gd.as_ref(), 0.0, gtg.as_mut());
+            gtg.symmetrize_from_lower();
+            let mut l = gtg;
+            sc_dense::cholesky_in_place(l.as_mut())
+                .expect("GᵀG must be SPD (decomposition has a fixed subdomain)");
+            l
+        };
+
+        // d = B K⁺ f
+        let d_locals: Vec<Vec<f64>> = factors
+            .par_iter()
+            .zip(&problem.subdomains)
+            .map(|(f, sd)| {
+                let kf = f.solve_kplus(&sd.f);
+                let mut dl = vec![0.0; sd.n_lambda()];
+                sd.bt.spmv_t(1.0, &kf, 0.0, &mut dl);
+                dl
+            })
+            .collect();
+        let mut d = vec![0.0; problem.n_lambda];
+        for (sd, dl) in problem.subdomains.iter().zip(&d_locals) {
+            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                d[gl] += dl[ll];
+            }
+        }
+
+        FetiSolver {
+            problem,
+            factors,
+            explicit_ops,
+            g,
+            gtg,
+            kernel_col,
+            d,
+            e,
+        }
+    }
+
+    /// Number of kernel columns (size of the coarse problem).
+    pub fn n_kernels(&self) -> usize {
+        self.kernel_col.iter().flatten().count()
+    }
+
+    /// Apply the assembled dual operator `F` to a global dual vector.
+    pub fn apply_f(&self, p: &[f64]) -> Vec<f64> {
+        let locals: Vec<Vec<f64>> = self
+            .problem
+            .subdomains
+            .par_iter()
+            .enumerate()
+            .map(|(i, sd)| {
+                let pl: Vec<f64> = sd.lambda_ids.iter().map(|&gl| p[gl]).collect();
+                let mut ql = vec![0.0; sd.n_lambda()];
+                match &self.explicit_ops {
+                    Some(ops) => ops[i].apply(&pl, &mut ql),
+                    None => crate::dualop::apply_implicit(&self.factors[i], &pl, &mut ql),
+                }
+                ql
+            })
+            .collect();
+        let mut q = vec![0.0; self.problem.n_lambda];
+        for (sd, ql) in self.problem.subdomains.iter().zip(&locals) {
+            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                q[gl] += ql[ll];
+            }
+        }
+        q
+    }
+
+    /// Solve the small coarse system `(GᵀG) x = b`.
+    fn coarse_solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        sc_dense::cholesky_solve(self.gtg.as_ref(), &mut x);
+        x
+    }
+
+    /// Projector `P x = x − G (GᵀG)⁻¹ Gᵀ x`.
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        if self.n_kernels() == 0 {
+            return x.to_vec();
+        }
+        let mut gtx = vec![0.0; self.g.ncols()];
+        self.g.spmv_t(1.0, x, 0.0, &mut gtx);
+        let y = self.coarse_solve(&gtx);
+        let mut out = x.to_vec();
+        self.g.spmv(-1.0, &y, 1.0, &mut out);
+        out
+    }
+
+    /// Apply the lumped preconditioner `M⁻¹ w = Σᵢ B̃ᵢ Kᵢ B̃ᵢᵀ w̃ᵢ`.
+    pub fn apply_lumped(&self, w: &[f64]) -> Vec<f64> {
+        let locals: Vec<Vec<f64>> = self
+            .problem
+            .subdomains
+            .par_iter()
+            .map(|sd| {
+                let wl: Vec<f64> = sd.lambda_ids.iter().map(|&gl| w[gl]).collect();
+                let mut t = vec![0.0; sd.n_dofs()];
+                sd.bt.spmv(1.0, &wl, 0.0, &mut t); // B̃ᵀ w̃
+                let mut kt = vec![0.0; sd.n_dofs()];
+                sd.k.spmv(1.0, &t, 0.0, &mut kt); // K B̃ᵀ w̃
+                let mut zl = vec![0.0; sd.n_lambda()];
+                sd.bt.spmv_t(1.0, &kt, 0.0, &mut zl); // B̃ K B̃ᵀ w̃
+                zl
+            })
+            .collect();
+        let mut z = vec![0.0; self.problem.n_lambda];
+        for (sd, zl) in self.problem.subdomains.iter().zip(&locals) {
+            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                z[gl] += zl[ll];
+            }
+        }
+        z
+    }
+
+    /// Full FETI solve: PCPG on the dual, then primal recovery.
+    pub fn solve(&self, opts: &FetiOptions) -> FetiSolution {
+        // λ0 = G (GᵀG)⁻¹ e satisfies Gᵀ λ0 = e (Eq. 4)
+        let lambda0 = if self.n_kernels() == 0 {
+            vec![0.0; self.problem.n_lambda]
+        } else {
+            let y = self.coarse_solve(&self.e);
+            let mut l0 = vec![0.0; self.problem.n_lambda];
+            self.g.spmv(1.0, &y, 0.0, &mut l0);
+            l0
+        };
+        let res = crate::pcpg::pcpg_preconditioned(
+            &self.d,
+            lambda0,
+            |p| self.apply_f(p),
+            |x| self.project(x),
+            |w| match opts.preconditioner {
+                Preconditioner::None => w.to_vec(),
+                Preconditioner::Lumped => self.apply_lumped(w),
+            },
+            opts.tol,
+            opts.max_iter,
+        );
+        let u_locals = self.recover_primal(&res.lambda);
+        FetiSolution {
+            u_locals,
+            lambda: res.lambda,
+            stats: res.stats,
+        }
+    }
+
+    /// Primal recovery: `α = (GᵀG)⁻¹Gᵀ(Fλ − d)`,
+    /// `uᵢ = K⁺(fᵢ − B̃ᵢᵀ λ̃ᵢ) + Rᵢ αᵢ` (Eq. 5).
+    pub fn recover_primal(&self, lambda: &[f64]) -> Vec<Vec<f64>> {
+        let alphas: Vec<f64> = if self.n_kernels() == 0 {
+            Vec::new()
+        } else {
+            let flam = self.apply_f(lambda);
+            let resid: Vec<f64> = flam.iter().zip(&self.d).map(|(a, b)| a - b).collect();
+            let mut gtr = vec![0.0; self.g.ncols()];
+            self.g.spmv_t(1.0, &resid, 0.0, &mut gtr);
+            self.coarse_solve(&gtr)
+        };
+        self.factors
+            .par_iter()
+            .zip(&self.problem.subdomains)
+            .enumerate()
+            .map(|(i, (fac, sd))| {
+                // f_i - B̃ᵀ λ̃
+                let pl: Vec<f64> = sd.lambda_ids.iter().map(|&gl| lambda[gl]).collect();
+                let mut rhs = sd.f.clone();
+                sd.bt.spmv(-1.0, &pl, 1.0, &mut rhs);
+                let mut u = fac.solve_kplus(&rhs);
+                if let (Some(kc), Some(ker)) = (self.kernel_col[i], sd.kernel.as_ref()) {
+                    let a = alphas[kc];
+                    for (ui, ri) in u.iter_mut().zip(ker) {
+                        *ui += a * ri;
+                    }
+                }
+                u
+            })
+            .collect()
+    }
+
+    /// The dual right-hand side.
+    pub fn dual_rhs(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Borrow the per-subdomain factor bundles.
+    pub fn factors(&self) -> &[SubdomainFactors] {
+        &self.factors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_factor::{CholOptions, SparseCholesky};
+    use sc_fem::Gluing;
+    use sc_gpu::DeviceSpec;
+
+    fn direct_solution(problem: &HeatProblem) -> Vec<f64> {
+        let (k, f) = problem.assemble_global();
+        let chol = SparseCholesky::factorize(&k, CholOptions::default()).unwrap();
+        chol.solve(&f)
+    }
+
+    fn check_against_direct(problem: &HeatProblem, opts: &FetiOptions, tol: f64) {
+        let solver = FetiSolver::new(problem, opts);
+        let sol = solver.solve(opts);
+        assert!(sol.stats.converged, "PCPG did not converge: {:?}", sol.stats);
+        let direct = direct_solution(problem);
+        let u = problem.gather_global(&sol.u_locals);
+        let scale = direct.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        for i in 0..u.len() {
+            assert!(
+                (u[i] - direct[i]).abs() < tol * scale,
+                "dof {i}: feti {} vs direct {}",
+                u[i],
+                direct[i]
+            );
+        }
+    }
+
+    #[test]
+    fn implicit_2d_matches_direct() {
+        let p = HeatProblem::build_2d(4, (3, 2), Gluing::Redundant);
+        check_against_direct(&p, &FetiOptions::default(), 1e-6);
+    }
+
+    #[test]
+    fn explicit_cpu_2d_matches_direct() {
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        let opts = FetiOptions {
+            dual: DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
+            ..Default::default()
+        };
+        check_against_direct(&p, &opts, 1e-6);
+    }
+
+    #[test]
+    fn explicit_gpu_3d_matches_direct() {
+        let p = HeatProblem::build_3d(2, (2, 2, 1), Gluing::Redundant);
+        let dev = Device::new(DeviceSpec::a100(), 4);
+        let opts = FetiOptions {
+            dual: DualMode::ExplicitGpu(ScConfig::optimized(true, true), Arc::clone(&dev)),
+            ..Default::default()
+        };
+        check_against_direct(&p, &opts, 1e-6);
+        assert!(dev.synchronize() > 0.0, "GPU must have been used");
+    }
+
+    #[test]
+    fn chain_gluing_also_converges() {
+        let p = HeatProblem::build_2d(3, (3, 1), Gluing::Chain);
+        check_against_direct(&p, &FetiOptions::default(), 1e-6);
+    }
+
+    #[test]
+    fn supernodal_engine_matches() {
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        let opts = FetiOptions {
+            engine: Engine::Supernodal,
+            ..Default::default()
+        };
+        check_against_direct(&p, &opts, 1e-6);
+    }
+
+    #[test]
+    fn lumped_preconditioner_converges_and_matches() {
+        let p = HeatProblem::build_2d(5, (3, 2), Gluing::Redundant);
+        let plain = FetiOptions::default();
+        let lumped = FetiOptions {
+            preconditioner: Preconditioner::Lumped,
+            ..Default::default()
+        };
+        let s1 = FetiSolver::new(&p, &plain).solve(&plain);
+        let s2 = FetiSolver::new(&p, &lumped).solve(&lumped);
+        assert!(s1.stats.converged && s2.stats.converged);
+        // same solution
+        let u1 = p.gather_global(&s1.u_locals);
+        let u2 = p.gather_global(&s2.u_locals);
+        let scale = u1.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        for i in 0..u1.len() {
+            assert!((u1[i] - u2[i]).abs() < 1e-6 * scale);
+        }
+        // the lumped preconditioner should not need more iterations
+        assert!(
+            s2.stats.iterations <= s1.stats.iterations + 2,
+            "lumped {} vs plain {}",
+            s2.stats.iterations,
+            s1.stats.iterations
+        );
+    }
+
+    #[test]
+    fn lambda_jump_is_closed() {
+        // after convergence the interface jump B u must vanish
+        let p = HeatProblem::build_2d(3, (2, 2), Gluing::Redundant);
+        let opts = FetiOptions::default();
+        let solver = FetiSolver::new(&p, &opts);
+        let sol = solver.solve(&opts);
+        let mut jump = vec![0.0; p.n_lambda];
+        for (sd, ul) in p.subdomains.iter().zip(&sol.u_locals) {
+            let mut local = vec![0.0; sd.n_lambda()];
+            sd.bt.spmv_t(1.0, ul, 0.0, &mut local);
+            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                jump[gl] += local[ll];
+            }
+        }
+        let max_jump = jump.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        assert!(max_jump < 1e-6, "interface jump {max_jump}");
+    }
+}

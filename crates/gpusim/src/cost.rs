@@ -1,0 +1,116 @@
+//! Kernel cost descriptors and cost builders for the BLAS/sparse-BLAS kernel
+//! set the Schur assembler uses.
+
+/// Work performed by one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelCost {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved (device memory traffic, or transfer size for copies).
+    pub bytes: f64,
+    /// True for host<->device copies (charged against PCIe bandwidth).
+    pub over_pcie: bool,
+}
+
+impl KernelCost {
+    /// A compute kernel with the given FLOPs and device-memory traffic.
+    pub fn compute(flops: f64, bytes: f64) -> Self {
+        KernelCost {
+            flops,
+            bytes,
+            over_pcie: false,
+        }
+    }
+
+    /// A host<->device transfer of `bytes`.
+    pub fn transfer(bytes: f64) -> Self {
+        KernelCost {
+            flops: 0.0,
+            bytes,
+            over_pcie: true,
+        }
+    }
+
+    /// Dense TRSM `L X = B`: factor `n × n`, RHS `n × m`.
+    pub fn trsm_dense(n: usize, m: usize) -> Self {
+        let flops = n as f64 * n as f64 * m as f64; // n²m (triangular)
+        let bytes = 8.0 * (0.5 * n as f64 * n as f64 + 2.0 * n as f64 * m as f64);
+        KernelCost::compute(flops, bytes)
+    }
+
+    /// Sparse TRSM with a CSC/CSR factor of `nnz` non-zeros and `m` RHS
+    /// columns: every factor entry touches every RHS column once.
+    pub fn trsm_sparse(nnz: usize, m: usize) -> Self {
+        let flops = 2.0 * nnz as f64 * m as f64;
+        // sparse kernels are memory-heavier per flop (index traffic, poor
+        // locality): charge the factor read per column block of 32
+        let col_blocks = (m as f64 / 32.0).ceil().max(1.0);
+        let bytes = 8.0 * (2.0 * nnz as f64) * col_blocks + 16.0 * nnz as f64;
+        KernelCost::compute(flops, bytes)
+    }
+
+    /// SYRK `C += Aᵀ A` with `A` `k × n` (output `n × n`, lower triangle).
+    pub fn syrk(n: usize, k: usize) -> Self {
+        let flops = n as f64 * n as f64 * k as f64; // n²k (half of 2n²k)
+        let bytes = 8.0 * (n as f64 * k as f64 + 0.5 * n as f64 * n as f64);
+        KernelCost::compute(flops, bytes)
+    }
+
+    /// GEMM `C += A B` with `A` `m × k`, `B` `k × n`.
+    pub fn gemm(m: usize, n: usize, k: usize) -> Self {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let bytes = 8.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
+        KernelCost::compute(flops, bytes)
+    }
+
+    /// Sparse-times-dense GEMM with `nnz` stored entries against `n` columns.
+    pub fn spmm(nnz: usize, n: usize) -> Self {
+        let flops = 2.0 * nnz as f64 * n as f64;
+        let bytes = 16.0 * nnz as f64 + 8.0 * nnz as f64 * (n as f64 / 16.0).ceil();
+        KernelCost::compute(flops, bytes)
+    }
+
+    /// Gather/scatter of `count` elements (pruning compaction, permutation).
+    pub fn gather(count: usize) -> Self {
+        KernelCost::compute(0.0, 16.0 * count as f64)
+    }
+
+    /// Dense GEMV `y = A x` for `m × n` A.
+    pub fn gemv(m: usize, n: usize) -> Self {
+        let flops = 2.0 * m as f64 * n as f64;
+        let bytes = 8.0 * (m as f64 * n as f64);
+        KernelCost::compute(flops, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trsm_scales_quadratically_in_n() {
+        let a = KernelCost::trsm_dense(100, 10);
+        let b = KernelCost::trsm_dense(200, 10);
+        assert!((b.flops / a.flops - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_has_no_flops() {
+        let t = KernelCost::transfer(1024.0);
+        assert_eq!(t.flops, 0.0);
+        assert!(t.over_pcie);
+    }
+
+    #[test]
+    fn gemm_flops_standard() {
+        let c = KernelCost::gemm(3, 4, 5);
+        assert_eq!(c.flops, 120.0);
+    }
+
+    #[test]
+    fn syrk_half_of_gemm() {
+        let s = KernelCost::syrk(10, 20);
+        let g = KernelCost::gemm(10, 10, 20);
+        assert!((s.flops * 2.0 - g.flops).abs() < 1e-12);
+    }
+}

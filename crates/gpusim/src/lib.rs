@@ -1,0 +1,31 @@
+//! Event-driven GPU execution simulator — the workspace's substitute for the
+//! CUDA/A100 stack of the paper (see DESIGN.md, "Substitutions").
+//!
+//! Every "GPU kernel" in this crate does two things:
+//!
+//! 1. **computes the real result on the host** (using `sc-dense`/`sc-sparse`
+//!    kernels), so all downstream numerics are exact and testable; and
+//! 2. **advances a simulated device timeline** according to a calibrated
+//!    cost model (kernel-launch latency, FLOP throughput with an occupancy
+//!    ramp, HBM and PCIe bandwidth), so reported "GPU time" reproduces the
+//!    *shape* of real GPU behaviour: small kernels are launch-bound (the
+//!    paper's footnote 1), large ones are compute/bandwidth-bound, and
+//!    many-small-blocks configurations pay per-launch overhead (the left
+//!    branch of the U-curve in the paper's Figure 5).
+//!
+//! The device supports multiple [`Stream`]s (the paper submits with 16 CUDA
+//! streams, one per OpenMP thread) with a bounded number of concurrently
+//! executing kernels, plus the paper's §3.1 memory management: a persistent
+//! pool sized at initialization and a blocking temporary arena allocator.
+
+pub mod cost;
+pub mod device;
+pub mod kernels;
+pub mod memory;
+pub mod timeline;
+
+pub use cost::KernelCost;
+pub use device::DeviceSpec;
+pub use kernels::GpuKernels;
+pub use memory::{TempAlloc, TempPool};
+pub use timeline::{Device, SimSpan, Stream};

@@ -1,0 +1,199 @@
+//! Device memory pools per the paper's §3.1.
+//!
+//! The original algorithm "mentally splits the GPU memory into two parts —
+//! persistent and temporary. … The temporary memory allocator can reuse
+//! memory without calling the GPU library's memory allocation routines. If
+//! there is enough remaining memory in the allocator's memory pool, memory is
+//! assigned and returned immediately. Otherwise, the allocating thread is
+//! blocked until enough memory becomes available."
+//!
+//! [`TempPool`] reproduces exactly that contract (bytes accounting +
+//! blocking), which is what the multi-stream assembly loop relies on to bound
+//! its footprint when many subdomains are in flight.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct PoolState {
+    free: usize,
+    high_water: usize,
+    capacity: usize,
+}
+
+/// Blocking temporary-arena allocator.
+pub struct TempPool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+impl TempPool {
+    /// Create a pool of `capacity` bytes.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(TempPool {
+            state: Mutex::new(PoolState {
+                free: capacity,
+                high_water: 0,
+                capacity,
+            }),
+            available: Condvar::new(),
+        })
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().capacity
+    }
+
+    /// Currently free bytes.
+    pub fn free_bytes(&self) -> usize {
+        self.state.lock().free
+    }
+
+    /// Largest amount of simultaneously allocated bytes observed.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().high_water
+    }
+
+    /// Allocate `bytes`, blocking until available. Panics if the request can
+    /// never be satisfied (larger than capacity) — that is a configuration
+    /// error, mirroring a CUDA OOM on a buffer bigger than the card.
+    pub fn alloc(self: &Arc<Self>, bytes: usize) -> TempAlloc {
+        let mut st = self.state.lock();
+        assert!(
+            bytes <= st.capacity,
+            "temporary allocation of {bytes} B exceeds pool capacity {} B",
+            st.capacity
+        );
+        while st.free < bytes {
+            self.available.wait(&mut st);
+        }
+        st.free -= bytes;
+        let used = st.capacity - st.free;
+        if used > st.high_water {
+            st.high_water = used;
+        }
+        drop(st);
+        TempAlloc {
+            pool: Arc::clone(self),
+            bytes,
+        }
+    }
+
+    /// Non-blocking variant: `None` when the pool cannot satisfy the request
+    /// right now.
+    pub fn try_alloc(self: &Arc<Self>, bytes: usize) -> Option<TempAlloc> {
+        let mut st = self.state.lock();
+        if bytes > st.free {
+            return None;
+        }
+        st.free -= bytes;
+        let used = st.capacity - st.free;
+        if used > st.high_water {
+            st.high_water = used;
+        }
+        drop(st);
+        Some(TempAlloc {
+            pool: Arc::clone(self),
+            bytes,
+        })
+    }
+
+    fn release(&self, bytes: usize) {
+        let mut st = self.state.lock();
+        st.free += bytes;
+        debug_assert!(st.free <= st.capacity, "double free in temp pool");
+        drop(st);
+        self.available.notify_all();
+    }
+}
+
+/// RAII guard for a temporary allocation; returns the bytes on drop.
+pub struct TempAlloc {
+    pool: Arc<TempPool>,
+    bytes: usize,
+}
+
+impl TempAlloc {
+    /// Size of this allocation.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for TempAlloc {
+    fn drop(&mut self) {
+        self.pool.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn alloc_and_drop_roundtrip() {
+        let p = TempPool::new(1000);
+        {
+            let a = p.alloc(400);
+            assert_eq!(p.free_bytes(), 600);
+            let b = p.alloc(600);
+            assert_eq!(p.free_bytes(), 0);
+            drop(a);
+            assert_eq!(p.free_bytes(), 400);
+            drop(b);
+        }
+        assert_eq!(p.free_bytes(), 1000);
+        assert_eq!(p.high_water(), 1000);
+    }
+
+    #[test]
+    fn try_alloc_fails_when_exhausted() {
+        let p = TempPool::new(100);
+        let _a = p.alloc(80);
+        assert!(p.try_alloc(50).is_none());
+        assert!(p.try_alloc(20).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pool capacity")]
+    fn oversized_request_panics() {
+        let p = TempPool::new(10);
+        let _ = p.alloc(11);
+    }
+
+    #[test]
+    fn blocked_thread_wakes_on_release() {
+        let p = TempPool::new(100);
+        let a = p.alloc(100);
+        let p2 = Arc::clone(&p);
+        let t = std::thread::spawn(move || {
+            // blocks until the main thread drops `a`
+            let g = p2.alloc(60);
+            g.bytes()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(a);
+        let got = t.join().unwrap();
+        assert_eq!(got, 60);
+    }
+
+    #[test]
+    fn many_threads_never_exceed_capacity() {
+        let p = TempPool::new(256);
+        crossbeam::scope(|s| {
+            for i in 0..8 {
+                let p = Arc::clone(&p);
+                s.spawn(move |_| {
+                    for _ in 0..50 {
+                        let g = p.alloc(32 + (i % 3) * 16);
+                        std::hint::black_box(&g);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(p.free_bytes(), 256);
+        assert!(p.high_water() <= 256);
+    }
+}

@@ -1,0 +1,266 @@
+//! Event-driven device timeline: streams, bounded kernel concurrency, spans.
+
+use crate::cost::KernelCost;
+use crate::device::DeviceSpec;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Simulated execution interval of one kernel, in seconds since device
+/// creation (or the last [`Device::reset`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimSpan {
+    /// Simulated start time.
+    pub start: f64,
+    /// Simulated end time.
+    pub end: f64,
+}
+
+impl SimSpan {
+    /// Kernel duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Totally ordered f64 wrapper for the slot heap.
+#[derive(PartialEq, PartialOrd)]
+struct F(f64);
+impl Eq for F {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for F {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN in timeline")
+    }
+}
+
+struct TimelineState {
+    /// Per-stream completion clock.
+    stream_clock: Vec<f64>,
+    /// Free times of the `concurrency` execution slots (min-heap).
+    slots: BinaryHeap<Reverse<F>>,
+    /// Total busy kernel-seconds (utilization accounting).
+    busy: f64,
+    /// Number of kernels launched.
+    launches: usize,
+}
+
+/// A simulated GPU: capability spec + execution timeline + memory pools.
+pub struct Device {
+    spec: DeviceSpec,
+    state: Mutex<TimelineState>,
+    temp_pool: Arc<crate::memory::TempPool>,
+}
+
+impl Device {
+    /// Create a device with `n_streams` streams. The temporary-arena pool is
+    /// sized at 1/2 of device memory (the rest is "persistent", §3.1).
+    pub fn new(spec: DeviceSpec, n_streams: usize) -> Arc<Self> {
+        let temp_pool = crate::memory::TempPool::new(spec.memory_bytes / 2);
+        let concurrency = spec.concurrency.max(1);
+        Arc::new(Device {
+            spec,
+            state: Mutex::new(TimelineState {
+                stream_clock: vec![0.0; n_streams],
+                slots: (0..concurrency).map(|_| Reverse(F(0.0))).collect(),
+                busy: 0.0,
+                launches: 0,
+            }),
+            temp_pool,
+        })
+    }
+
+    /// Capability spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The device's temporary-arena pool.
+    pub fn temp_pool(&self) -> &Arc<crate::memory::TempPool> {
+        &self.temp_pool
+    }
+
+    /// Handle to stream `i`.
+    pub fn stream(self: &Arc<Self>, i: usize) -> Stream {
+        Stream {
+            device: Arc::clone(self),
+            id: i,
+        }
+    }
+
+    /// Number of streams.
+    pub fn n_streams(&self) -> usize {
+        self.state.lock().stream_clock.len()
+    }
+
+    /// Submit a kernel on stream `id`, not starting before `ready_at`
+    /// (simulated seconds). Returns its simulated span.
+    pub fn submit(&self, id: usize, cost: &KernelCost, ready_at: f64) -> SimSpan {
+        let dur = self.spec.kernel_seconds(cost);
+        let mut st = self.state.lock();
+        let t0 = st.stream_clock[id].max(ready_at);
+        let Reverse(F(slot_free)) = st.slots.pop().expect("no slots");
+        let start = t0.max(slot_free);
+        let end = start + dur;
+        st.slots.push(Reverse(F(end)));
+        st.stream_clock[id] = end;
+        st.busy += dur;
+        st.launches += 1;
+        SimSpan { start, end }
+    }
+
+    /// Current simulated clock of stream `id` (completion of its last
+    /// kernel) — the analog of a stream-synchronize + timer read.
+    pub fn stream_time(&self, id: usize) -> f64 {
+        self.state.lock().stream_clock[id]
+    }
+
+    /// Device-wide synchronize: simulated completion time of all streams.
+    pub fn synchronize(&self) -> f64 {
+        let st = self.state.lock();
+        st.stream_clock.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total busy kernel-seconds since the last reset.
+    pub fn busy_seconds(&self) -> f64 {
+        self.state.lock().busy
+    }
+
+    /// Kernels launched since the last reset.
+    pub fn launches(&self) -> usize {
+        self.state.lock().launches
+    }
+
+    /// Advance stream `id`'s clock to at least `t` (models a host-side
+    /// dependency: kernels enqueued afterwards cannot start earlier — e.g.
+    /// "this subdomain's factorization finished at `t`" in the overlapped
+    /// `mix` configuration of the paper's §4.4).
+    pub fn advance_stream(&self, id: usize, t: f64) {
+        let mut st = self.state.lock();
+        if st.stream_clock[id] < t {
+            st.stream_clock[id] = t;
+        }
+    }
+
+    /// Reset the timeline (new experiment), keeping the spec and pools.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        let n = st.stream_clock.len();
+        st.stream_clock = vec![0.0; n];
+        st.slots = (0..self.spec.concurrency.max(1))
+            .map(|_| Reverse(F(0.0)))
+            .collect();
+        st.busy = 0.0;
+        st.launches = 0;
+    }
+}
+
+/// Handle to one simulated CUDA stream.
+#[derive(Clone)]
+pub struct Stream {
+    device: Arc<Device>,
+    id: usize,
+}
+
+impl Stream {
+    /// Owning device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Stream index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Submit a kernel on this stream (ready immediately).
+    pub fn submit(&self, cost: &KernelCost) -> SimSpan {
+        self.device.submit(self.id, cost, 0.0)
+    }
+
+    /// Submit a kernel that cannot start before `ready_at` (models host-side
+    /// dependencies, e.g. "factorization of this subdomain finished at t").
+    pub fn submit_after(&self, cost: &KernelCost, ready_at: f64) -> SimSpan {
+        self.device.submit(self.id, cost, ready_at)
+    }
+
+    /// Simulated completion time of this stream's last kernel.
+    pub fn time(&self) -> f64 {
+        self.device.stream_time(self.id)
+    }
+
+    /// Advance this stream's clock to at least `t` (host dependency).
+    pub fn advance_to(&self, t: f64) {
+        self.device.advance_stream(self.id, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Arc<Device> {
+        Device::new(DeviceSpec::tiny_test_device(), 4)
+    }
+
+    #[test]
+    fn kernels_serialize_within_a_stream() {
+        let d = dev();
+        let s = d.stream(0);
+        let c = KernelCost::compute(1e6, 8e3);
+        let a = s.submit(&c);
+        let b = s.submit(&c);
+        assert!(b.start >= a.end, "in-stream ordering violated");
+    }
+
+    #[test]
+    fn streams_overlap_up_to_concurrency() {
+        let d = dev(); // concurrency = 2
+        let c = KernelCost::compute(1e7, 8e3);
+        let s0 = d.stream(0).submit(&c);
+        let s1 = d.stream(1).submit(&c);
+        let s2 = d.stream(2).submit(&c);
+        // first two run concurrently, third must wait for a slot
+        assert_eq!(s0.start, 0.0);
+        assert_eq!(s1.start, 0.0);
+        assert!(s2.start >= s0.end.min(s1.end) - 1e-15);
+    }
+
+    #[test]
+    fn ready_at_delays_start() {
+        let d = dev();
+        let c = KernelCost::compute(1e6, 8e3);
+        let span = d.stream(3).submit_after(&c, 1.5);
+        assert!(span.start >= 1.5);
+    }
+
+    #[test]
+    fn synchronize_is_max_over_streams() {
+        let d = dev();
+        let c = KernelCost::compute(1e6, 8e3);
+        d.stream(0).submit(&c);
+        d.stream(1).submit(&c);
+        d.stream(1).submit(&c);
+        assert!((d.synchronize() - d.stream_time(1)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn reset_clears_clocks() {
+        let d = dev();
+        d.stream(0).submit(&KernelCost::compute(1e6, 8e3));
+        d.reset();
+        assert_eq!(d.synchronize(), 0.0);
+        assert_eq!(d.launches(), 0);
+    }
+
+    #[test]
+    fn busy_accounts_all_kernels() {
+        let d = dev();
+        let c = KernelCost::compute(1e6, 8e3);
+        let t = d.spec().kernel_seconds(&c);
+        d.stream(0).submit(&c);
+        d.stream(1).submit(&c);
+        assert!((d.busy_seconds() - 2.0 * t).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Undirected adjacency structure extracted from a symmetric sparse matrix.
+
+use sc_sparse::Csc;
+
+/// Compressed adjacency of an undirected graph (no self loops).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    ptr: Vec<usize>,
+    adj: Vec<usize>,
+}
+
+impl Graph {
+    /// Build from a structurally symmetric CSC matrix (both triangles
+    /// stored); the diagonal is ignored.
+    pub fn from_symmetric_csc(a: &Csc) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "graph needs a square matrix");
+        let n = a.ncols();
+        let mut ptr = vec![0usize; n + 1];
+        for j in 0..n {
+            let (rows, _) = a.col(j);
+            ptr[j + 1] = ptr[j] + rows.iter().filter(|&&i| i != j).count();
+        }
+        let mut adj = vec![0usize; ptr[n]];
+        let mut pos = ptr.clone();
+        for j in 0..n {
+            let (rows, _) = a.col(j);
+            for &i in rows {
+                if i != j {
+                    adj[pos[j]] = i;
+                    pos[j] += 1;
+                }
+            }
+        }
+        Graph { ptr, adj }
+    }
+
+    /// Build directly from adjacency lists (used by tests and generators).
+    pub fn from_adjacency(lists: &[Vec<usize>]) -> Self {
+        let n = lists.len();
+        let mut ptr = vec![0usize; n + 1];
+        for (i, l) in lists.iter().enumerate() {
+            ptr[i + 1] = ptr[i] + l.len();
+        }
+        let mut adj = Vec::with_capacity(ptr[n]);
+        for l in lists {
+            adj.extend_from_slice(l);
+        }
+        Graph { ptr, adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.ptr.len() - 1
+    }
+
+    /// Neighbors of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[self.ptr[v]..self.ptr[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.ptr[v + 1] - self.ptr[v]
+    }
+
+    /// BFS levels from `start`, restricted to vertices where `in_set` is
+    /// true. Returns `(levels, order)` where `levels[v] == usize::MAX` for
+    /// unreached vertices and `order` lists reached vertices in BFS order.
+    pub fn bfs_levels(&self, start: usize, in_set: &[bool]) -> (Vec<usize>, Vec<usize>) {
+        let n = self.n();
+        let mut levels = vec![usize::MAX; n];
+        let mut order = Vec::new();
+        debug_assert!(in_set[start]);
+        levels[start] = 0;
+        order.push(start);
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            for &w in self.neighbors(v) {
+                if in_set[w] && levels[w] == usize::MAX {
+                    levels[w] = levels[v] + 1;
+                    order.push(w);
+                }
+            }
+        }
+        (levels, order)
+    }
+
+    /// Heuristic pseudo-peripheral vertex within the subset containing
+    /// `start`: repeated BFS to the farthest, smallest-degree vertex until
+    /// the eccentricity stops growing (George & Liu).
+    pub fn pseudo_peripheral(&self, start: usize, in_set: &[bool]) -> usize {
+        let (mut levels, mut order) = self.bfs_levels(start, in_set);
+        let mut ecc = levels[*order.last().unwrap()];
+        loop {
+            let last_level = ecc;
+            // candidates: vertices in the last level, pick min degree
+            let u = order
+                .iter()
+                .rev()
+                .take_while(|&&w| levels[w] == last_level)
+                .copied()
+                .min_by_key(|&w| self.degree(w))
+                .unwrap();
+            let (l2, o2) = self.bfs_levels(u, in_set);
+            let ecc2 = l2[*o2.last().unwrap()];
+            if ecc2 > ecc {
+                levels = l2;
+                order = o2;
+                ecc = ecc2;
+            } else {
+                return u;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_sparse::Coo;
+
+    fn path(n: usize) -> Graph {
+        let lists: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut l = Vec::new();
+                if i > 0 {
+                    l.push(i - 1);
+                }
+                if i + 1 < n {
+                    l.push(i + 1);
+                }
+                l
+            })
+            .collect();
+        Graph::from_adjacency(&lists)
+    }
+
+    #[test]
+    fn csc_adjacency_excludes_diagonal() {
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(1, 1, 1.0);
+        c.push(2, 2, 1.0);
+        c.push(0, 1, 1.0);
+        c.push(1, 0, 1.0);
+        let g = Graph::from_symmetric_csc(&c.to_csc());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[] as &[usize]);
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = path(5);
+        let in_set = vec![true; 5];
+        let (levels, order) = g.bfs_levels(0, &in_set);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn bfs_respects_subset() {
+        let g = path(5);
+        let mut in_set = vec![true; 5];
+        in_set[2] = false; // cut the path
+        let (levels, order) = g.bfs_levels(0, &in_set);
+        assert_eq!(order.len(), 2);
+        assert_eq!(levels[3], usize::MAX);
+    }
+
+    #[test]
+    fn pseudo_peripheral_of_path_is_an_end() {
+        let g = path(9);
+        let in_set = vec![true; 9];
+        let v = g.pseudo_peripheral(4, &in_set);
+        assert!(v == 0 || v == 8, "got {v}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Recursive-bisection nested dissection (METIS stand-in).
+//!
+//! The graph is split by a BFS level-set bisection from a pseudo-peripheral
+//! vertex; the vertex separator is taken on the boundary of the two halves
+//! and ordered **last**, the halves recursively before it. Leaves below
+//! `leaf_size` are ordered with Cuthill-McKee.
+//!
+//! On mesh graphs this yields separators of size `O(√n)` (2D) / `O(n^{2/3})`
+//! (3D) and the roughly uniform pivot spread the stepped shape needs.
+
+use crate::graph::Graph;
+use crate::rcm::rcm_order_subset;
+use sc_sparse::Perm;
+
+/// Nested dissection options.
+#[derive(Clone, Debug)]
+pub struct NdOptions {
+    /// Subgraphs of at most this many vertices are ordered directly.
+    pub leaf_size: usize,
+}
+
+impl Default for NdOptions {
+    fn default() -> Self {
+        NdOptions { leaf_size: 32 }
+    }
+}
+
+/// Compute a nested-dissection ordering of `g`.
+pub fn nested_dissection(g: &Graph, opts: &NdOptions) -> Perm {
+    let n = g.n();
+    let mut order = Vec::with_capacity(n);
+    let in_set = vec![true; n];
+    dissect(g, in_set, opts, &mut order);
+    debug_assert_eq!(order.len(), n);
+    Perm::from_old_of_new(order)
+}
+
+fn subset_vertices(in_set: &[bool]) -> Vec<usize> {
+    in_set
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &b)| if b { Some(v) } else { None })
+        .collect()
+}
+
+fn dissect(g: &Graph, in_set: Vec<bool>, opts: &NdOptions, order: &mut Vec<usize>) {
+    let verts = subset_vertices(&in_set);
+    if verts.is_empty() {
+        return;
+    }
+    if verts.len() <= opts.leaf_size {
+        order.extend(rcm_order_subset(g, &in_set));
+        return;
+    }
+    // Level-set bisection of the component containing a pseudo-peripheral
+    // vertex; other components are lumped into side A and handled by the
+    // recursion (they will be bisected on their own once they dominate).
+    let start = g.pseudo_peripheral(verts[0], &in_set);
+    let (levels, reached) = g.bfs_levels(start, &in_set);
+    let reached_count = reached.len();
+    // cut level: median position of the reached vertices
+    let cut = levels[reached[reached_count / 2]].max(1);
+
+    let mut side_a = vec![false; g.n()]; // levels < cut, plus unreached
+    let mut side_b = vec![false; g.n()]; // levels >= cut
+    for &v in &verts {
+        if levels[v] == usize::MAX || levels[v] < cut {
+            side_a[v] = true;
+        } else {
+            side_b[v] = true;
+        }
+    }
+    // Vertex separator: vertices of side B adjacent to side A. Moving them
+    // out of B leaves A and B\S disconnected.
+    let mut sep = Vec::new();
+    for &v in &verts {
+        if side_b[v] && g.neighbors(v).iter().any(|&w| side_a[w]) {
+            sep.push(v);
+        }
+    }
+    for &v in &sep {
+        side_b[v] = false;
+    }
+    // Degenerate split (e.g. a clique): separator swallowed a whole side —
+    // fall back to direct ordering to guarantee termination.
+    let a_count = side_a.iter().filter(|&&b| b).count();
+    let b_count = side_b.iter().filter(|&&b| b).count();
+    if a_count == 0 || (a_count + sep.len() == verts.len() && b_count == 0) {
+        order.extend(rcm_order_subset(g, &in_set));
+        return;
+    }
+    dissect(g, side_a, opts, order);
+    dissect(g, side_b, opts, order);
+    order.extend_from_slice(&sep);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2D grid graph helper.
+    fn grid(nx: usize, ny: usize) -> Graph {
+        let idx = |x: usize, y: usize| y * nx + x;
+        let mut lists = vec![Vec::new(); nx * ny];
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = idx(x, y);
+                if x > 0 {
+                    lists[v].push(idx(x - 1, y));
+                }
+                if x + 1 < nx {
+                    lists[v].push(idx(x + 1, y));
+                }
+                if y > 0 {
+                    lists[v].push(idx(x, y - 1));
+                }
+                if y + 1 < ny {
+                    lists[v].push(idx(x, y + 1));
+                }
+            }
+        }
+        Graph::from_adjacency(&lists)
+    }
+
+    #[test]
+    fn produces_full_permutation_on_grid() {
+        let g = grid(17, 13);
+        let p = nested_dissection(&g, &NdOptions::default());
+        assert_eq!(p.len(), 17 * 13);
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        let lists = vec![vec![1], vec![0], vec![3], vec![2], vec![], vec![]];
+        let g = Graph::from_adjacency(&lists);
+        let p = nested_dissection(&g, &NdOptions { leaf_size: 1 });
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn handles_clique() {
+        let n = 40;
+        let lists: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect();
+        let g = Graph::from_adjacency(&lists);
+        let p = nested_dissection(&g, &NdOptions { leaf_size: 4 });
+        assert_eq!(p.len(), n);
+    }
+
+    #[test]
+    fn last_vertices_form_a_separator_on_grid() {
+        // The tail of the ordering (top-level separator) must disconnect the
+        // grid: removing it leaves no edge between the two remaining parts
+        // ordered before it. We verify the weaker but meaningful property
+        // that the vertices ordered before the top separator split into >= 2
+        // connected components after separator removal.
+        let nx = 16;
+        let ny = 16;
+        let g = grid(nx, ny);
+        let p = nested_dissection(&g, &NdOptions { leaf_size: 8 });
+        // take the last 5% as "separator"
+        let n = nx * ny;
+        let sep_start = n - (n / 16).max(1);
+        let mut in_set = vec![false; n];
+        for k in 0..sep_start {
+            in_set[p.old_of_new(k)] = true;
+        }
+        // count components of in_set
+        let mut visited: Vec<bool> = in_set.iter().map(|&b| !b).collect();
+        let mut comps = 0;
+        for v in 0..n {
+            if !visited[v] {
+                comps += 1;
+                let (_, order) = g.bfs_levels(v, &in_set);
+                for w in order {
+                    visited[w] = true;
+                }
+            }
+        }
+        assert!(comps >= 2, "expected a separating tail, got {comps} component(s)");
+    }
+}

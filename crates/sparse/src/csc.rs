@@ -1,0 +1,613 @@
+//! Compressed sparse column storage.
+
+use crate::csr::Csr;
+use crate::perm::Perm;
+use sc_dense::Mat;
+
+/// CSC sparse matrix with sorted row indices inside each column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// Build from raw parts. Validates monotone `col_ptr`, in-range and
+    /// strictly increasing row indices per column.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(col_ptr.len(), ncols + 1, "col_ptr length");
+        assert_eq!(col_ptr[0], 0, "col_ptr must start at 0");
+        assert_eq!(*col_ptr.last().unwrap(), row_idx.len(), "col_ptr end");
+        assert_eq!(row_idx.len(), values.len(), "index/value length mismatch");
+        for j in 0..ncols {
+            assert!(col_ptr[j] <= col_ptr[j + 1], "col_ptr not monotone");
+            let mut prev = None;
+            for &i in &row_idx[col_ptr[j]..col_ptr[j + 1]] {
+                assert!(i < nrows, "row index out of range");
+                if let Some(p) = prev {
+                    assert!(i > p, "row indices must be strictly increasing");
+                }
+                prev = Some(i);
+            }
+        }
+        Csc {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// All-zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Csc {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Csc {
+            nrows: n,
+            ncols: n,
+            col_ptr: (0..=n).collect(),
+            row_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index array.
+    #[inline]
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable value array (pattern stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Row indices and values of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let r = self.col_ptr[j]..self.col_ptr[j + 1];
+        (&self.row_idx[r.clone()], &self.values[r])
+    }
+
+    /// Entry `(i, j)` or `0.0` if not stored (binary search within column).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(p) => vals[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dense copy.
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            let mcol = m.col_mut(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                mcol[i] = v;
+            }
+        }
+        m
+    }
+
+    /// Convert to CSR (transpose of the internal layout; `O(nnz)`).
+    pub fn to_csr(&self) -> Csr {
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &i in &self.row_idx {
+            row_counts[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut vals = vec![0f64; self.nnz()];
+        let mut next = row_counts.clone();
+        for j in 0..self.ncols {
+            let (rows, v) = self.col(j);
+            for (&i, &x) in rows.iter().zip(v) {
+                let p = next[i];
+                next[i] += 1;
+                col_idx[p] = j;
+                vals[p] = x;
+            }
+        }
+        Csr::from_parts(self.nrows, self.ncols, row_counts, col_idx, vals)
+    }
+
+    /// Transposed copy (CSC of the transpose).
+    pub fn transpose(&self) -> Csc {
+        let t = self.to_csr();
+        // A CSR of A reinterpreted as CSC of Aᵀ.
+        Csc::from_parts(
+            self.ncols,
+            self.nrows,
+            t.row_ptr().to_vec(),
+            t.col_idx().to_vec(),
+            t.values().to_vec(),
+        )
+    }
+
+    /// `y = alpha * A x + beta * y`.
+    pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        if beta == 0.0 {
+            y.fill(0.0);
+        } else if beta != 1.0 {
+            for v in y.iter_mut() {
+                *v *= beta;
+            }
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            let w = alpha * xj;
+            if w != 0.0 {
+                let (rows, vals) = self.col(j);
+                for (&i, &v) in rows.iter().zip(vals) {
+                    y[i] += w * v;
+                }
+            }
+        }
+    }
+
+    /// `y = alpha * Aᵀ x + beta * y`.
+    pub fn spmv_t(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows);
+        assert_eq!(y.len(), self.ncols);
+        for (j, yj) in y.iter_mut().enumerate() {
+            let (rows, vals) = self.col(j);
+            let mut s = 0.0;
+            for (&i, &v) in rows.iter().zip(vals) {
+                s += v * x[i];
+            }
+            *yj = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yj };
+        }
+    }
+
+    /// Sparse-dense product `C = alpha * A * B + beta * C` (`A` is this
+    /// matrix, `B`/`C` dense column-major).
+    pub fn spmm(&self, alpha: f64, b: sc_dense::MatRef<'_>, beta: f64, c: &mut sc_dense::MatMut<'_>) {
+        assert_eq!(b.nrows(), self.ncols, "spmm inner dimension");
+        assert_eq!(c.nrows(), self.nrows, "spmm C rows");
+        assert_eq!(c.ncols(), b.ncols(), "spmm C cols");
+        for j in 0..c.ncols() {
+            let bcol = b.col(j);
+            let ccol = c.col_mut(j);
+            if beta == 0.0 {
+                ccol.fill(0.0);
+            } else if beta != 1.0 {
+                for v in ccol.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            for (k, &bkj) in bcol.iter().enumerate() {
+                let w = alpha * bkj;
+                if w != 0.0 {
+                    let (rows, vals) = self.col(k);
+                    for (&i, &v) in rows.iter().zip(vals) {
+                        ccol[i] += w * v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Symmetric permutation `P A Pᵀ` of a (structurally) symmetric matrix:
+    /// new index `i` corresponds to old index `perm.old_of_new(i)`.
+    pub fn sym_perm(&self, perm: &Perm) -> Csc {
+        assert_eq!(self.nrows, self.ncols, "sym_perm needs a square matrix");
+        assert_eq!(perm.len(), self.ncols);
+        let n = self.ncols;
+        let mut out = crate::coo::Coo::with_capacity(n, n, self.nnz());
+        for j_old in 0..n {
+            let j_new = perm.new_of_old(j_old);
+            let (rows, vals) = self.col(j_old);
+            for (&i_old, &v) in rows.iter().zip(vals) {
+                out.push(perm.new_of_old(i_old), j_new, v);
+            }
+        }
+        out.to_csc()
+    }
+
+    /// Permute the **rows** only: row `i_old` becomes `perm.new_of_old(i_old)`.
+    pub fn permute_rows(&self, perm: &Perm) -> Csc {
+        assert_eq!(perm.len(), self.nrows);
+        let mut col_ptr = self.col_ptr.clone();
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        let mut p = 0;
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            scratch.clear();
+            scratch.extend(
+                rows.iter()
+                    .zip(vals)
+                    .map(|(&i, &v)| (perm.new_of_old(i), v)),
+            );
+            scratch.sort_unstable_by_key(|&(i, _)| i);
+            for &(i, v) in &scratch {
+                row_idx[p] = i;
+                values[p] = v;
+                p += 1;
+            }
+            col_ptr[j + 1] = p;
+        }
+        Csc::from_parts(self.nrows, self.ncols, col_ptr, row_idx, values)
+    }
+
+    /// Permute the **columns** only: new column `j` is old column
+    /// `perm.old_of_new(j)`. This is the stepped-shape permutation applied to
+    /// `B̃ᵀ` (paper §3: "we only permute its columns").
+    pub fn permute_cols(&self, perm: &Perm) -> Csc {
+        assert_eq!(perm.len(), self.ncols);
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        let mut row_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for j_new in 0..self.ncols {
+            let j_old = perm.old_of_new(j_new);
+            let (rows, vals) = self.col(j_old);
+            row_idx.extend_from_slice(rows);
+            values.extend_from_slice(vals);
+            col_ptr[j_new + 1] = row_idx.len();
+        }
+        Csc::from_parts(self.nrows, self.ncols, col_ptr, row_idx, values)
+    }
+
+    /// Extract the sub-matrix of rows `r0..` and columns `c0..c1`, shifting
+    /// row indices down by `r0`. Entries with row `< r0` must not exist in the
+    /// selected columns (checked) — this is the *subfactor extraction* used by
+    /// RHS-splitting TRSM with a sparse factor (paper §3.2).
+    pub fn trailing_submatrix(&self, r0: usize, c0: usize, c1: usize) -> Csc {
+        assert!(c0 <= c1 && c1 <= self.ncols);
+        let mut col_ptr = vec![0usize; c1 - c0 + 1];
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for (jn, j) in (c0..c1).enumerate() {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                assert!(i >= r0, "entry above the requested trailing block");
+                row_idx.push(i - r0);
+                values.push(v);
+            }
+            col_ptr[jn + 1] = row_idx.len();
+        }
+        Csc::from_parts(self.nrows - r0, c1 - c0, col_ptr, row_idx, values)
+    }
+
+    /// Extract a general rectangular block `rows r0..r1 × cols c0..c1`,
+    /// dropping entries outside the row range.
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Csc {
+        assert!(r0 <= r1 && r1 <= self.nrows && c0 <= c1 && c1 <= self.ncols);
+        let mut col_ptr = vec![0usize; c1 - c0 + 1];
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for (jn, j) in (c0..c1).enumerate() {
+            let (rows, vals) = self.col(j);
+            // rows are sorted: binary search the window
+            let lo = rows.partition_point(|&i| i < r0);
+            let hi = rows.partition_point(|&i| i < r1);
+            for k in lo..hi {
+                row_idx.push(rows[k] - r0);
+                values.push(vals[k]);
+            }
+            col_ptr[jn + 1] = row_idx.len();
+        }
+        Csc::from_parts(r1 - r0, c1 - c0, col_ptr, row_idx, values)
+    }
+
+    /// Indices of rows that contain at least one entry (sorted). Used by the
+    /// *pruning* optimization to compact empty rows out of sub-diagonal factor
+    /// blocks before a GEMM (paper §3.2).
+    pub fn nonempty_rows(&self) -> Vec<usize> {
+        let mut mark = vec![false; self.nrows];
+        for &i in &self.row_idx {
+            mark[i] = true;
+        }
+        mark.iter()
+            .enumerate()
+            .filter_map(|(i, &m)| if m { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Gather the given rows into a dense `rows.len() × ncols` matrix
+    /// (rows must be sorted ascending; entries in other rows are dropped).
+    pub fn gather_rows_dense(&self, rows: &[usize]) -> Mat {
+        let mut pos = vec![usize::MAX; self.nrows];
+        for (k, &i) in rows.iter().enumerate() {
+            pos[i] = k;
+        }
+        let mut m = Mat::zeros(rows.len(), self.ncols);
+        for j in 0..self.ncols {
+            let (ri, vals) = self.col(j);
+            let mcol = m.col_mut(j);
+            for (&i, &v) in ri.iter().zip(vals) {
+                let p = pos[i];
+                if p != usize::MAX {
+                    mcol[p] = v;
+                }
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm of the stored values.
+    pub fn frob_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csc {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(2, 0, 4.0);
+        c.push(1, 1, 3.0);
+        c.push(0, 2, 2.0);
+        c.push(2, 2, 5.0);
+        c.to_csc()
+    }
+
+    #[test]
+    fn get_and_to_dense_agree() {
+        let m = sample();
+        let d = m.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), d[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_entries() {
+        let m = sample();
+        let r = m.to_csr();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), r.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = sample();
+        let t = m.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.0, -1.0, 2.0];
+        let mut y = [0.5, 0.5, 0.5];
+        let mut yd = y;
+        m.spmv(2.0, &x, 0.5, &mut y);
+        sc_dense::gemv(2.0, d.as_ref(), &x, 0.5, &mut yd);
+        for i in 0..3 {
+            assert!((y[i] - yd[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn spmv_t_matches_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        let mut yd = [0.0; 3];
+        m.spmv_t(1.0, &x, 0.0, &mut y);
+        sc_dense::gemv_t(1.0, d.as_ref(), &x, 0.0, &mut yd);
+        for j in 0..3 {
+            assert!((y[j] - yd[j]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sym_perm_matches_dense_permutation() {
+        // symmetric matrix
+        let mut c = Coo::new(3, 3);
+        for (i, j, v) in [
+            (0, 0, 2.0),
+            (1, 1, 3.0),
+            (2, 2, 4.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 0.5),
+            (2, 1, 0.5),
+        ] {
+            c.push(i, j, v);
+        }
+        let a = c.to_csc();
+        let perm = Perm::from_old_of_new(vec![2, 0, 1]);
+        let p = a.sym_perm(&perm);
+        for i_new in 0..3 {
+            for j_new in 0..3 {
+                assert_eq!(
+                    p.get(i_new, j_new),
+                    a.get(perm.old_of_new(i_new), perm.old_of_new(j_new))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permute_cols_reorders() {
+        let m = sample();
+        let perm = Perm::from_old_of_new(vec![2, 1, 0]);
+        let p = m.permute_cols(&perm);
+        for i in 0..3 {
+            for jn in 0..3 {
+                assert_eq!(p.get(i, jn), m.get(i, perm.old_of_new(jn)));
+            }
+        }
+    }
+
+    #[test]
+    fn permute_rows_reorders() {
+        let m = sample();
+        let perm = Perm::from_old_of_new(vec![1, 2, 0]);
+        let p = m.permute_rows(&perm);
+        for io in 0..3 {
+            for j in 0..3 {
+                assert_eq!(p.get(perm.new_of_old(io), j), m.get(io, j));
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_submatrix_shifts() {
+        // lower-triangular example
+        let mut c = Coo::new(4, 4);
+        for (i, j, v) in [
+            (0, 0, 1.0),
+            (1, 1, 2.0),
+            (2, 2, 3.0),
+            (3, 3, 4.0),
+            (2, 1, 0.5),
+            (3, 2, 0.25),
+        ] {
+            c.push(i, j, v);
+        }
+        let l = c.to_csc();
+        let s = l.trailing_submatrix(1, 1, 4);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(1, 0), 0.5);
+        assert_eq!(s.get(2, 1), 0.25);
+    }
+
+    #[test]
+    fn block_extraction() {
+        let m = sample();
+        let b = m.block(1, 3, 0, 2);
+        assert_eq!(b.nrows(), 2);
+        assert_eq!(b.ncols(), 2);
+        assert_eq!(b.get(0, 1), 3.0); // old (1,1)
+        assert_eq!(b.get(1, 0), 4.0); // old (2,0)
+    }
+
+    #[test]
+    fn nonempty_rows_and_gather() {
+        let mut c = Coo::new(5, 2);
+        c.push(1, 0, 1.0);
+        c.push(3, 0, 2.0);
+        c.push(3, 1, 4.0);
+        let m = c.to_csc();
+        assert_eq!(m.nonempty_rows(), vec![1, 3]);
+        let g = m.gather_rows_dense(&[1, 3]);
+        assert_eq!(g.nrows(), 2);
+        assert_eq!(g[(0, 0)], 1.0);
+        assert_eq!(g[(1, 0)], 2.0);
+        assert_eq!(g[(1, 1)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "above the requested trailing block")]
+    fn trailing_submatrix_checks_rows() {
+        let m = sample(); // has entry (0, 2)
+        m.trailing_submatrix(1, 2, 3);
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        let a = sample();
+        let ad = a.to_dense();
+        let b = sc_dense::Mat::from_fn(3, 4, |i, j| (i * 4 + j) as f64 - 5.0);
+        let mut c = sc_dense::Mat::from_fn(3, 4, |i, j| (i + j) as f64);
+        let mut cd = c.clone();
+        let mut cm = c.as_mut();
+        a.spmm(2.0, b.as_ref(), 0.5, &mut cm);
+        drop(cm);
+        sc_dense::gemm(
+            2.0,
+            ad.as_ref(),
+            sc_dense::Trans::No,
+            b.as_ref(),
+            sc_dense::Trans::No,
+            0.5,
+            cd.as_mut(),
+        );
+        assert!(sc_dense::max_abs_diff(c.as_ref(), cd.as_ref()) < 1e-13);
+    }
+
+    #[test]
+    fn spmm_beta_zero_clears_output() {
+        let a = sample();
+        let b = sc_dense::Mat::identity(3);
+        let mut c = sc_dense::Mat::from_fn(3, 3, |_, _| f64::NAN);
+        let mut cm = c.as_mut();
+        a.spmm(1.0, b.as_ref(), 0.0, &mut cm);
+        drop(cm);
+        assert!(sc_dense::max_abs_diff(c.as_ref(), a.to_dense().as_ref()) < 1e-14);
+    }
+
+    #[test]
+    fn frob_norm_matches_values() {
+        let m = sample();
+        let expect = (1.0f64 + 16.0 + 9.0 + 4.0 + 25.0).sqrt();
+        assert!((m.frob_norm() - expect).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,208 @@
+//! Compressed sparse row storage.
+
+use sc_dense::Mat;
+
+/// CSR sparse matrix with sorted column indices inside each row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from raw parts, validating the structure (mirror of
+    /// [`crate::Csc::from_parts`]).
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
+        assert_eq!(col_idx.len(), values.len(), "index/value length mismatch");
+        for i in 0..nrows {
+            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr not monotone");
+            let mut prev = None;
+            for &j in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
+                assert!(j < ncols, "column index out of range");
+                if let Some(p) = prev {
+                    assert!(j > p, "column indices must be strictly increasing");
+                }
+                prev = Some(j);
+            }
+        }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let r = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[r.clone()], &self.values[r])
+    }
+
+    /// Entry `(i, j)` or `0.0` when absent.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(p) => vals[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Convert to CSC.
+    pub fn to_csc(&self) -> crate::Csc {
+        // CSR of A is CSC of Aᵀ; transpose it back.
+        crate::Csc::from_parts(
+            self.ncols,
+            self.nrows,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            self.values.clone(),
+        )
+        .transpose()
+    }
+
+    /// Dense copy.
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// `y = alpha * A x + beta * y` (row-wise dot products).
+    pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut s = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                s += v * x[j];
+            }
+            *yi = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yi };
+        }
+    }
+
+    /// `y = alpha * Aᵀ x + beta * y` (scatter).
+    pub fn spmv_t(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows);
+        assert_eq!(y.len(), self.ncols);
+        if beta == 0.0 {
+            y.fill(0.0);
+        } else if beta != 1.0 {
+            for v in y.iter_mut() {
+                *v *= beta;
+            }
+        }
+        for (i, &xi) in x.iter().enumerate() {
+            let w = alpha * xi;
+            if w != 0.0 {
+                let (cols, vals) = self.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    y[j] += w * v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr {
+        let mut c = Coo::new(3, 4);
+        c.push(0, 1, 1.0);
+        c.push(0, 3, 2.0);
+        c.push(1, 0, 3.0);
+        c.push(2, 2, 4.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn row_access() {
+        let m = sample();
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[1, 3]);
+        assert_eq!(vals, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn spmv_and_transpose_match_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        let x4 = [1.0, 2.0, 3.0, 4.0];
+        let mut y = [0.0; 3];
+        m.spmv(1.0, &x4, 0.0, &mut y);
+        let mut yd = [0.0; 3];
+        sc_dense::gemv(1.0, d.as_ref(), &x4, 0.0, &mut yd);
+        assert_eq!(y, yd);
+
+        let x3 = [1.0, -1.0, 0.5];
+        let mut z = [0.0; 4];
+        m.spmv_t(1.0, &x3, 0.0, &mut z);
+        let mut zd = [0.0; 4];
+        sc_dense::gemv_t(1.0, d.as_ref(), &x3, 0.0, &mut zd);
+        assert_eq!(z, zd);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let m = sample();
+        let c = m.to_csc();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), c.get(i, j));
+            }
+        }
+    }
+}

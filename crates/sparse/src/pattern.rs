@@ -1,0 +1,145 @@
+//! Sparsity-pattern analysis for the stepped shape.
+//!
+//! The paper's optimizations revolve around two pattern quantities of the
+//! (column-permuted) `B̃ᵀ` matrix:
+//!
+//! - the **column pivot**: row index of the first nonzero in each column;
+//! - the **row trail**: column index of the last nonzero in each row.
+//!
+//! A matrix is in *stepped shape* when column pivots are non-decreasing from
+//! left to right (which makes row trails non-decreasing from top to bottom).
+
+use crate::csc::Csc;
+
+/// Row index of the first stored entry of each column; `None` for empty
+/// columns.
+pub fn column_pivots(b: &Csc) -> Vec<Option<usize>> {
+    (0..b.ncols())
+        .map(|j| b.col(j).0.first().copied())
+        .collect()
+}
+
+/// True when the column pivots are non-decreasing left to right (empty
+/// columns are treated as pivoting at `nrows`, i.e. they sort to the right).
+pub fn is_stepped(b: &Csc) -> bool {
+    let mut last = 0usize;
+    for j in 0..b.ncols() {
+        let p = b.col(j).0.first().copied().unwrap_or(b.nrows());
+        if p < last {
+            return false;
+        }
+        last = p;
+    }
+    true
+}
+
+/// Pivots with empty columns mapped to `nrows` (the sentinel used by the
+/// splitting kernels; an empty column contributes no work anywhere).
+pub fn pivots_or_end(b: &Csc) -> Vec<usize> {
+    (0..b.ncols())
+        .map(|j| b.col(j).0.first().copied().unwrap_or(b.nrows()))
+        .collect()
+}
+
+/// Given non-decreasing column pivots, the *row trail* of row `i` is the
+/// index of the right-most column whose pivot is `<= i` — i.e. the number of
+/// columns "active" at row `i`, minus one. Returns, for each row, the count
+/// of active columns (`trail + 1`), which is the quantity the kernels need
+/// (an effective width).
+pub fn active_width_per_row(pivots: &[usize], nrows: usize) -> Vec<usize> {
+    // pivots must be sorted ascending (stepped shape).
+    debug_assert!(pivots.windows(2).all(|w| w[0] <= w[1]));
+    let mut widths = vec![0usize; nrows];
+    let mut j = 0usize;
+    for (i, w) in widths.iter_mut().enumerate() {
+        while j < pivots.len() && pivots[j] <= i {
+            j += 1;
+        }
+        *w = j;
+    }
+    widths
+}
+
+/// Fraction of the dense `nrows × ncols` area that lies **at or below** the
+/// column pivots — the fraction of a dense TRSM's work that the stepped
+/// kernels actually have to perform. For a perfectly triangular RHS this is
+/// `1/3` at large sizes, matching the paper's theoretical speedup of 3 (§4.3).
+pub fn stepped_fill_ratio(b: &Csc) -> f64 {
+    if b.nrows() == 0 || b.ncols() == 0 {
+        return 0.0;
+    }
+    let total = (b.nrows() * b.ncols()) as f64;
+    let mut below = 0usize;
+    for j in 0..b.ncols() {
+        let p = b.col(j).0.first().copied().unwrap_or(b.nrows());
+        below += b.nrows() - p;
+    }
+    below as f64 / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn stepped_example() -> Csc {
+        // pivots: col0 -> row0, col1 -> row1, col2 -> row3
+        let mut c = Coo::new(4, 3);
+        c.push(0, 0, 1.0);
+        c.push(3, 0, 1.0);
+        c.push(1, 1, 1.0);
+        c.push(2, 1, 1.0);
+        c.push(3, 2, 1.0);
+        c.to_csc()
+    }
+
+    #[test]
+    fn pivots_found() {
+        let b = stepped_example();
+        assert_eq!(
+            column_pivots(&b),
+            vec![Some(0), Some(1), Some(3)]
+        );
+        assert!(is_stepped(&b));
+    }
+
+    #[test]
+    fn non_stepped_detected() {
+        let mut c = Coo::new(4, 2);
+        c.push(2, 0, 1.0);
+        c.push(0, 1, 1.0);
+        let b = c.to_csc();
+        assert!(!is_stepped(&b));
+    }
+
+    #[test]
+    fn empty_columns_sort_right() {
+        let mut c = Coo::new(3, 2);
+        c.push(1, 0, 1.0);
+        let b = c.to_csc(); // col 1 empty
+        assert!(is_stepped(&b));
+        assert_eq!(pivots_or_end(&b), vec![1, 3]);
+    }
+
+    #[test]
+    fn active_widths_accumulate() {
+        let piv = vec![0, 1, 3];
+        let w = active_width_per_row(&piv, 4);
+        assert_eq!(w, vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn fill_ratio_of_triangle_approaches_half() {
+        // strictly triangular pivots p_j = j in an n × n matrix: ratio =
+        // sum(n - j)/n² = (n+1)/(2n) → 1/2
+        let n = 50;
+        let mut c = Coo::new(n, n);
+        for j in 0..n {
+            c.push(j, j, 1.0);
+            c.push(n - 1, j, 1.0);
+        }
+        let b = c.to_csc();
+        let r = stepped_fill_ratio(&b);
+        assert!((r - (n + 1) as f64 / (2 * n) as f64).abs() < 1e-12);
+    }
+}

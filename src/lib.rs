@@ -1,0 +1,60 @@
+//! # schur-dd
+//!
+//! Sparsity-utilizing (simulated-)GPU assembly of Schur complement matrices
+//! in FETI domain decomposition — a from-scratch Rust reproduction of
+//! *"Utilizing Sparsity in the GPU-accelerated Assembly of Schur Complement
+//! Matrices in Domain Decomposition Methods"* (Homola, Meca, Říha,
+//! Brzobohatý — SC 2025, arXiv:2509.21037).
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`sc_dense`]  | dense BLAS-like kernels (GEMM/SYRK/TRSM/Cholesky) |
+//! | [`sc_sparse`] | CSR/CSC/COO, permutations, pattern analysis |
+//! | [`sc_order`]  | nested dissection / RCM / minimum degree orderings |
+//! | [`sc_factor`] | sparse Cholesky (simplicial + supernodal multifrontal) |
+//! | [`sc_fem`]    | heat-transfer meshes, decomposition, gluing `B`, kernels `R` |
+//! | [`sc_gpu`]    | event-driven GPU execution simulator (A100 cost model) |
+//! | [`sc_core`]   | **the paper's contribution**: stepped TRSM/SYRK splitting |
+//! | [`sc_feti`]   | Total-FETI solver (PCPG, dual operator strategies) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use schur_dd::prelude::*;
+//!
+//! // 2D heat transfer, 3x3 cells per subdomain, 2x2 subdomains
+//! let problem = HeatProblem::build_2d(3, (2, 2), Gluing::Redundant);
+//! let opts = FetiOptions::default();
+//! let solver = FetiSolver::new(&problem, &opts);
+//! let solution = solver.solve(&opts);
+//! assert!(solution.stats.converged);
+//! ```
+
+pub use sc_core;
+pub use sc_dense;
+pub use sc_factor;
+pub use sc_fem;
+pub use sc_feti;
+pub use sc_gpu;
+pub use sc_order;
+pub use sc_sparse;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use sc_core::{
+        assemble_sc, BlockParam, CpuExec, FactorStorage, GpuExec, ScConfig, SteppedRhs,
+        SyrkVariant, TrsmVariant,
+    };
+    pub use sc_dense::Mat;
+    pub use sc_factor::{CholOptions, Engine, SparseCholesky};
+    pub use sc_fem::{Gluing, HeatProblem};
+    pub use sc_feti::solver::DualMode;
+    pub use sc_feti::{
+        preprocess_approach, DualOpApproach, FetiOptions, FetiSolution, FetiSolver,
+    };
+    pub use sc_gpu::{Device, DeviceSpec, GpuKernels};
+    pub use sc_order::Ordering;
+    pub use sc_sparse::{Csc, Csr, Perm};
+}

@@ -1,0 +1,161 @@
+//! End-to-end integration tests: the full FETI pipeline against direct
+//! solves, across dual-operator modes, engines, orderings, and dimensions.
+
+use schur_dd::prelude::*;
+use std::sync::Arc;
+
+fn direct(problem: &HeatProblem) -> Vec<f64> {
+    let (k, f) = problem.assemble_global();
+    SparseCholesky::factorize(&k, CholOptions::default())
+        .unwrap()
+        .solve(&f)
+}
+
+fn check(problem: &HeatProblem, opts: &FetiOptions) {
+    let solver = FetiSolver::new(problem, opts);
+    let sol = solver.solve(opts);
+    assert!(sol.stats.converged, "PCPG did not converge: {:?}", sol.stats);
+    let u = problem.gather_global(&sol.u_locals);
+    let d = direct(problem);
+    let scale = d.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    for i in 0..u.len() {
+        assert!(
+            (u[i] - d[i]).abs() < 1e-6 * scale,
+            "dof {i}: {} vs {}",
+            u[i],
+            d[i]
+        );
+    }
+}
+
+#[test]
+fn implicit_2d_various_decompositions() {
+    for (c, subs) in [(3, (2, 2)), (4, (3, 2)), (5, (1, 3))] {
+        let p = HeatProblem::build_2d(c, subs, Gluing::Redundant);
+        check(&p, &FetiOptions::default());
+    }
+}
+
+#[test]
+fn implicit_3d() {
+    let p = HeatProblem::build_3d(3, (2, 2, 2), Gluing::Redundant);
+    check(&p, &FetiOptions::default());
+}
+
+#[test]
+fn explicit_cpu_all_configs_2d() {
+    let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+    for cfg in [
+        ScConfig::original(FactorStorage::Sparse),
+        ScConfig::original(FactorStorage::Dense),
+        ScConfig::optimized(false, false),
+        ScConfig::optimized(false, true),
+    ] {
+        let opts = FetiOptions {
+            dual: DualMode::ExplicitCpu(cfg),
+            ..Default::default()
+        };
+        check(&p, &opts);
+    }
+}
+
+#[test]
+fn explicit_gpu_3d_with_multiple_streams() {
+    let p = HeatProblem::build_3d(3, (2, 1, 2), Gluing::Redundant);
+    let dev = Device::new(DeviceSpec::a100(), 3);
+    let opts = FetiOptions {
+        dual: DualMode::ExplicitGpu(ScConfig::optimized(true, true), Arc::clone(&dev)),
+        ..Default::default()
+    };
+    check(&p, &opts);
+    assert!(dev.launches() > 0);
+}
+
+#[test]
+fn supernodal_engine_full_pipeline() {
+    let p = HeatProblem::build_2d(5, (2, 2), Gluing::Redundant);
+    let opts = FetiOptions {
+        engine: Engine::Supernodal,
+        dual: DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
+        ..Default::default()
+    };
+    check(&p, &opts);
+}
+
+#[test]
+fn chain_gluing_full_pipeline() {
+    let p = HeatProblem::build_2d(4, (3, 2), Gluing::Chain);
+    check(&p, &FetiOptions::default());
+}
+
+#[test]
+fn rcm_and_natural_orderings_work_end_to_end() {
+    let p = HeatProblem::build_2d(3, (2, 2), Gluing::Redundant);
+    for ordering in [Ordering::Rcm, Ordering::Natural, Ordering::MinimumDegree] {
+        let opts = FetiOptions {
+            ordering,
+            dual: DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
+            ..Default::default()
+        };
+        check(&p, &opts);
+    }
+}
+
+#[test]
+fn all_dual_approaches_are_interchangeable() {
+    // all eight Table-2 approaches produce dual operators that PCPG can use
+    // and that lead to the same primal solution
+    let p = HeatProblem::build_2d(3, (2, 2), Gluing::Redundant);
+    let d = direct(&p);
+    let scale = d.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    let device = Device::new(DeviceSpec::a100(), 2);
+    for approach in DualOpApproach::ALL {
+        // route through the generic FETI solver by translating the approach
+        // to a DualMode where possible; approaches with bespoke assembly
+        // (ExplMkl / ExplHybrid) are covered by their own apply-equivalence
+        // test in sc-feti, so here we spot-check the solver-compatible ones.
+        let dual = match approach {
+            DualOpApproach::ImplMkl | DualOpApproach::ImplCholmod => DualMode::Implicit,
+            DualOpApproach::ExplCholmod => {
+                DualMode::ExplicitCpu(ScConfig::original(FactorStorage::Sparse))
+            }
+            DualOpApproach::ExplCpuOpt => {
+                DualMode::ExplicitCpu(ScConfig::optimized(false, false))
+            }
+            DualOpApproach::ExplCuda => DualMode::ExplicitGpu(
+                ScConfig::original(FactorStorage::Sparse),
+                Arc::clone(&device),
+            ),
+            DualOpApproach::ExplGpuOpt => {
+                DualMode::ExplicitGpu(ScConfig::optimized(true, false), Arc::clone(&device))
+            }
+            DualOpApproach::ExplMkl | DualOpApproach::ExplHybrid => continue,
+        };
+        let opts = FetiOptions {
+            dual,
+            ..Default::default()
+        };
+        let solver = FetiSolver::new(&p, &opts);
+        let sol = solver.solve(&opts);
+        assert!(sol.stats.converged, "{approach:?}");
+        let u = p.gather_global(&sol.u_locals);
+        for i in 0..u.len() {
+            assert!(
+                (u[i] - d[i]).abs() < 1e-6 * scale,
+                "{approach:?} deviates at dof {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn solution_is_physical() {
+    // unit source, zero Dirichlet at x=0: temperature must be positive and
+    // increase monotonically with x along the centerline
+    let p = HeatProblem::build_2d(6, (2, 1), Gluing::Redundant);
+    let opts = FetiOptions::default();
+    let solver = FetiSolver::new(&p, &opts);
+    let sol = solver.solve(&opts);
+    let u = p.gather_global(&sol.u_locals);
+    assert!(u.iter().all(|&v| v > 0.0), "temperature must be positive");
+}

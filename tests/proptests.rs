@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) on the core invariants: stepped-shape
+//! permutation, TRSM/SYRK splitting correctness on arbitrary patterns,
+//! permutation algebra, sparse Cholesky reconstruction, and the temp pool.
+
+use proptest::prelude::*;
+use schur_dd::prelude::*;
+use schur_dd::sc_core::{run_syrk_variant, run_trsm_variant};
+use schur_dd::sc_sparse::{pattern, Coo};
+
+/// Random sparse SPD matrix via diagonally dominant construction.
+fn spd_strategy(n: usize) -> impl Strategy<Value = Csc> {
+    proptest::collection::vec(
+        (0usize..n, 0usize..n, -1.0f64..1.0),
+        0..(n * 4),
+    )
+    .prop_map(move |entries| {
+        let mut coo = Coo::new(n, n);
+        let mut diag = vec![1.0f64; n];
+        for (i, j, v) in entries {
+            if i != j {
+                coo.push(i, j, v);
+                coo.push(j, i, v);
+                diag[i] += v.abs();
+                diag[j] += v.abs();
+            }
+        }
+        for (i, d) in diag.iter().enumerate() {
+            coo.push(i, i, *d + 0.5);
+        }
+        coo.to_csc()
+    })
+}
+
+/// Random gluing-like B̃ᵀ: one or a few ±1 entries per column.
+fn bt_strategy(n: usize, m: usize) -> impl Strategy<Value = Csc> {
+    proptest::collection::vec((0usize..n, prop::bool::ANY), m..=m).prop_map(move |cols| {
+        let mut coo = Coo::new(n, m);
+        for (j, (row, sign)) in cols.into_iter().enumerate() {
+            coo.push(row, j, if sign { 1.0 } else { -1.0 });
+        }
+        coo.to_csc()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stepped_permutation_always_sorts_pivots(bt in bt_strategy(20, 12)) {
+        let stepped = SteppedRhs::new(&bt);
+        prop_assert!(pattern::is_stepped(&stepped.bt));
+        // permutation round-trip: unpermuting the identity-permuted F works
+        let m = stepped.ncols();
+        let f = Mat::from_fn(m, m, |i, j| (i * m + j) as f64);
+        let g = stepped.unpermute_symmetric(&f);
+        // applying the permutation again must give back f
+        let mut back = Mat::zeros(m, m);
+        for js in 0..m {
+            for is in 0..m {
+                back[(is, js)] = g[(
+                    stepped.col_perm.old_of_new(is),
+                    stepped.col_perm.old_of_new(js),
+                )];
+            }
+        }
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn sc_assembly_invariant_under_all_configs(
+        a in spd_strategy(18),
+        bt in bt_strategy(18, 9),
+        trsm_block in 1usize..20,
+        syrk_block in 1usize..20,
+        prune in prop::bool::ANY,
+    ) {
+        let chol = SparseCholesky::factorize(&a, CholOptions::default()).unwrap();
+        let l = chol.factor_csc();
+        let bt_perm = bt.permute_rows(chol.perm());
+        let reference = assemble_sc(
+            &mut CpuExec, &l, &bt_perm, &ScConfig::original(FactorStorage::Sparse));
+        for trsm in [
+            TrsmVariant::RhsSplit(BlockParam::Size(trsm_block)),
+            TrsmVariant::FactorSplit { block: BlockParam::Size(trsm_block), prune },
+        ] {
+            for syrk in [
+                SyrkVariant::InputSplit(BlockParam::Size(syrk_block)),
+                SyrkVariant::OutputSplit(BlockParam::Size(syrk_block)),
+            ] {
+                for storage in [FactorStorage::Sparse, FactorStorage::Dense] {
+                    let cfg = ScConfig {
+                        trsm, syrk, factor_storage: storage, stepped_permutation: true,
+                    };
+                    let f = assemble_sc(&mut CpuExec, &l, &bt_perm, &cfg);
+                    let d = sc_dense::max_abs_diff(f.as_ref(), reference.as_ref());
+                    prop_assert!(d < 1e-8, "{:?}/{:?}/{:?}: {}", trsm, syrk, storage, d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_variants_preserve_zeros_above_pivots(
+        a in spd_strategy(16),
+        bt in bt_strategy(16, 8),
+        block in 1usize..18,
+    ) {
+        let chol = SparseCholesky::factorize(&a, CholOptions::default()).unwrap();
+        let l = chol.factor_csc();
+        let stepped = SteppedRhs::new(&bt.permute_rows(chol.perm()));
+        for variant in [
+            TrsmVariant::Plain,
+            TrsmVariant::RhsSplit(BlockParam::Size(block)),
+            TrsmVariant::FactorSplit { block: BlockParam::Size(block), prune: true },
+        ] {
+            let mut y = stepped.to_dense();
+            run_trsm_variant(
+                &mut CpuExec, &l, &stepped, FactorStorage::Sparse, variant, &mut y);
+            for j in 0..stepped.ncols() {
+                for i in 0..stepped.pivots[j] {
+                    prop_assert_eq!(y[(i, j)], 0.0, "zero destroyed at ({},{})", i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_variants_agree_on_random_stepped_input(
+        bt in bt_strategy(20, 10),
+        block in 1usize..22,
+    ) {
+        let stepped = SteppedRhs::new(&bt);
+        let n = stepped.nrows();
+        let m = stepped.ncols();
+        // fill below pivots deterministically
+        let mut y = Mat::zeros(n, m);
+        for j in 0..m {
+            for i in stepped.pivots[j]..n {
+                y[(i, j)] = ((i * 31 + j * 7) % 11) as f64 - 5.0;
+            }
+        }
+        let mut reference = Mat::zeros(m, m);
+        run_syrk_variant(&mut CpuExec, &y, &stepped, SyrkVariant::Plain, &mut reference);
+        for variant in [
+            SyrkVariant::InputSplit(BlockParam::Size(block)),
+            SyrkVariant::OutputSplit(BlockParam::Size(block)),
+        ] {
+            let mut f = Mat::zeros(m, m);
+            run_syrk_variant(&mut CpuExec, &y, &stepped, variant, &mut f);
+            for j in 0..m {
+                for i in j..m {
+                    prop_assert!((f[(i, j)] - reference[(i, j)]).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_cholesky_reconstructs_random_spd(a in spd_strategy(24)) {
+        for engine in [Engine::Simplicial, Engine::Supernodal] {
+            let chol = SparseCholesky::factorize(
+                &a,
+                CholOptions { ordering: Ordering::NestedDissection, engine },
+            ).unwrap();
+            let l = chol.factor_csc().to_dense();
+            let ap = a.sym_perm(chol.perm()).to_dense();
+            let n = a.ncols();
+            for i in 0..n {
+                for j in 0..=i {
+                    let mut s = 0.0;
+                    for k in 0..=j {
+                        s += l[(i, k)] * l[(j, k)];
+                    }
+                    prop_assert!((s - ap[(i, j)]).abs() < 1e-8,
+                        "{:?} LLᵀ mismatch at ({},{})", engine, i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perm_roundtrip(keys in proptest::collection::vec(0u64..1000, 15)) {
+        let mut idx: Vec<usize> = (0..keys.len()).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        let p = Perm::from_old_of_new(idx);
+        let v: Vec<f64> = (0..p.len()).map(|i| i as f64).collect();
+        let w = p.apply(&v);
+        let back = p.apply_inverse(&w);
+        prop_assert_eq!(back, v);
+        let q = p.inverse();
+        for i in 0..p.len() {
+            prop_assert_eq!(q.new_of_old(i), p.old_of_new(i));
+        }
+    }
+}
