@@ -2,8 +2,8 @@
 //! configuration) and of the sparse-RHS Schur baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sc_bench::KernelWorkload;
-use sc_core::{assemble_sc, CpuExec, FactorStorage, ScConfig};
+use sc_bench::{BatchWorkload, KernelWorkload};
+use sc_core::{assemble_sc, assemble_sc_batch, CpuExec, FactorStorage, ScConfig};
 use sc_factor::schur_from_factor;
 
 fn bench_assembly(c: &mut Criterion) {
@@ -31,5 +31,30 @@ fn bench_assembly(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assembly);
+/// Batched multi-subdomain assembly: rayon-parallel driver (with the shared
+/// block-cut cache) vs. a sequential per-subdomain loop, over the full 3×3
+/// (2D) / 2×2×2 (3D) clusters — ≥ 8 subdomains per batch.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_assembly");
+    group.sample_size(10);
+    for (dim, cells) in [(2usize, 12usize), (3, 5)] {
+        let w = BatchWorkload::build(dim, cells);
+        let cfg = ScConfig::optimized(false, dim == 3);
+        let nsub = w.n_subdomains();
+        group.bench_function(format!("{dim}d/sequential/{nsub}sub/n{}", w.n), |b| {
+            b.iter(|| {
+                for (l, bt) in &w.factors {
+                    std::hint::black_box(assemble_sc(&mut CpuExec, l, bt, &cfg));
+                }
+            })
+        });
+        group.bench_function(format!("{dim}d/batched/{nsub}sub/n{}", w.n), |b| {
+            let items = w.items();
+            b.iter(|| std::hint::black_box(assemble_sc_batch(&items, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly, bench_batch);
 criterion_main!(benches);

@@ -22,4 +22,4 @@ pub use runner::{
     time_trsm_gpu, KernelInputs,
 };
 pub use timing::{time_min, time_once};
-pub use workloads::{ladder_2d, ladder_3d, BenchArgs, KernelWorkload};
+pub use workloads::{ladder_2d, ladder_3d, BatchWorkload, BenchArgs, KernelWorkload};

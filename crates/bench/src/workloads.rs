@@ -137,6 +137,63 @@ impl KernelWorkload {
     }
 }
 
+/// A whole cluster prepared for the batched-assembly benches: **every**
+/// subdomain of a regular decomposition factorized, with its `B̃ᵀ` in factor
+/// row order — the input of `sc_core::assemble_sc_batch`.
+pub struct BatchWorkload {
+    /// Per-subdomain `(L, B̃ᵀ_permuted)` pairs.
+    pub factors: Vec<(Csc, Csc)>,
+    /// Largest subdomain dof count in the batch (subdomains touching the
+    /// Dirichlet boundary carry fewer dofs).
+    pub n: usize,
+}
+
+impl BatchWorkload {
+    /// Build a full decomposition: 3×3 subdomains in 2D (9 subdomains),
+    /// 2×2×2 in 3D (8 subdomains) — enough to exercise every gluing shape
+    /// (corner, edge, interior) in one batch.
+    pub fn build(dim: usize, cells_per_sub: usize) -> Self {
+        let problem = if dim == 2 {
+            HeatProblem::build_2d(cells_per_sub, (3, 3), Gluing::Redundant)
+        } else {
+            HeatProblem::build_3d(cells_per_sub, (2, 2, 2), Gluing::Redundant)
+        };
+        // the exact production preparation pipeline, per subdomain
+        let factors = problem
+            .subdomains
+            .iter()
+            .map(|sd| {
+                let f = sc_feti::SubdomainFactors::build(
+                    sd,
+                    Engine::Simplicial,
+                    Ordering::NestedDissection,
+                );
+                (f.chol.factor_csc(), f.bt_perm)
+            })
+            .collect();
+        let n = problem
+            .subdomains
+            .iter()
+            .map(|sd| sd.n_dofs())
+            .max()
+            .unwrap_or(0);
+        BatchWorkload { factors, n }
+    }
+
+    /// Borrow the factors as batch-driver items.
+    pub fn items(&self) -> Vec<sc_core::BatchItem<'_>> {
+        self.factors
+            .iter()
+            .map(|(l, bt)| sc_core::BatchItem { l, bt })
+            .collect()
+    }
+
+    /// Number of subdomains in the batch.
+    pub fn n_subdomains(&self) -> usize {
+        self.factors.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +207,36 @@ mod tests {
         let l3 = ladder_3d(5000);
         assert!(l3.iter().all(|&c| (c + 1).pow(3) <= 5000));
         assert_eq!(l3.first(), Some(&3)); // 4³ = 64
+    }
+
+    #[test]
+    fn batch_workload_covers_at_least_eight_subdomains() {
+        for dim in [2usize, 3] {
+            let w = BatchWorkload::build(dim, 3);
+            assert!(
+                w.n_subdomains() >= 8,
+                "{dim}D batch must exercise >= 8 subdomains"
+            );
+            let items = w.items();
+            assert_eq!(items.len(), w.n_subdomains());
+            for (l, bt) in &w.factors {
+                assert!(l.ncols() > 0 && l.ncols() <= w.n);
+                assert_eq!(bt.nrows(), l.ncols());
+                assert!(bt.ncols() > 0, "every subdomain is glued");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_assembly_matches_sequential_on_workload() {
+        use sc_core::{assemble_sc, assemble_sc_batch, CpuExec, ScConfig};
+        let w = BatchWorkload::build(2, 3);
+        let cfg = ScConfig::optimized(false, false);
+        let batch = assemble_sc_batch(&w.items(), &cfg);
+        for (i, (l, bt)) in w.factors.iter().enumerate() {
+            let seq = assemble_sc(&mut CpuExec, l, bt, &cfg);
+            assert_eq!(batch.f[i], seq, "subdomain {i}");
+        }
     }
 
     #[test]

@@ -9,8 +9,9 @@
 
 use crate::exec::Exec;
 use crate::stepped::SteppedRhs;
-use crate::syrk::{run_syrk, SyrkVariant};
-use crate::trsm::{run_trsm, FactorStorage, TrsmVariant};
+use crate::syrk::{run_syrk_with_cache, SyrkVariant};
+use crate::trsm::{run_trsm_with_cache, FactorStorage, TrsmVariant};
+use crate::tune::BlockCutsCache;
 use sc_dense::Mat;
 use sc_sparse::Csc;
 
@@ -77,6 +78,19 @@ impl ScConfig {
 /// The result is indexed by the original (unstepped) multiplier order and is
 /// fully symmetric.
 pub fn assemble_sc<E: Exec>(exec: &mut E, l: &Csc, bt: &Csc, cfg: &ScConfig) -> Mat {
+    assemble_sc_with_cache(exec, l, bt, cfg, None)
+}
+
+/// [`assemble_sc`] with an optional shared [`BlockCutsCache`]; the batched
+/// driver passes one cache for the whole cluster so equal-shape subdomains
+/// resolve their block partitions once.
+pub fn assemble_sc_with_cache<E: Exec>(
+    exec: &mut E,
+    l: &Csc,
+    bt: &Csc,
+    cfg: &ScConfig,
+    cache: Option<&BlockCutsCache>,
+) -> Mat {
     let n = l.ncols();
     assert_eq!(bt.nrows(), n, "B̃ᵀ rows must live in factor space");
     let m = bt.ncols();
@@ -101,10 +115,18 @@ pub fn assemble_sc<E: Exec>(exec: &mut E, l: &Csc, bt: &Csc, cfg: &ScConfig) -> 
     let mut y = stepped.to_dense();
     exec.gather(stepped.bt.nnz());
 
-    run_trsm(exec, l, &stepped, cfg.factor_storage, trsm_variant, &mut y);
+    run_trsm_with_cache(
+        exec,
+        l,
+        &stepped,
+        cfg.factor_storage,
+        trsm_variant,
+        &mut y,
+        cache,
+    );
 
     let mut f = Mat::zeros(m, m);
-    run_syrk(exec, &y, &stepped, syrk_variant, &mut f);
+    run_syrk_with_cache(exec, &y, &stepped, syrk_variant, &mut f, cache);
     f.symmetrize_from_lower();
 
     // back to original multiplier ordering (the "final phase" permutation)

@@ -19,15 +19,22 @@
 //! only needs basic BLAS/sparse-BLAS routines available on any platform.
 
 pub mod assemble;
+pub mod batch;
 pub mod exec;
 pub mod stepped;
 pub mod syrk;
 pub mod trsm;
 pub mod tune;
 
-pub use assemble::{assemble_sc, assemble_sc_reference, ScConfig};
+pub use assemble::{assemble_sc, assemble_sc_reference, assemble_sc_with_cache, ScConfig};
+pub use batch::{
+    assemble_sc_batch, assemble_sc_batch_gpu, assemble_sc_batch_gpu_map, assemble_sc_batch_map,
+    assemble_sc_batch_with, BatchItem, BatchReport, BatchResult, SubdomainTiming,
+};
 pub use exec::{CpuExec, Exec, GpuExec};
 pub use stepped::SteppedRhs;
-pub use syrk::{run_syrk as run_syrk_variant, SyrkVariant};
-pub use trsm::{run_trsm as run_trsm_variant, FactorStorage, TrsmVariant};
-pub use tune::{resolve_block, resolve_block_cuts, resolve_block_cuts_cols, BlockParam};
+pub use syrk::{run_syrk as run_syrk_variant, run_syrk_with_cache, SyrkVariant};
+pub use trsm::{run_trsm as run_trsm_variant, run_trsm_with_cache, FactorStorage, TrsmVariant};
+pub use tune::{
+    resolve_block, resolve_block_cuts, resolve_block_cuts_cols, BlockCutsCache, BlockParam,
+};

@@ -138,6 +138,63 @@ mod tests {
     }
 
     #[test]
+    fn pivots_monotone_for_random_patterns() {
+        // The stepped invariant on arbitrary gluing patterns: after the
+        // column permutation the pivot row indices are sorted ascending
+        // (the staircase descends left to right), with empty columns (pivot
+        // sentinel = nrows) at the far right.
+        let mut state = 0x5EEDu64;
+        let mut rnd = move |bound: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound
+        };
+        for trial in 0..50 {
+            let n = 5 + rnd(40);
+            let m = 1 + rnd(25);
+            let mut c = Coo::new(n, m);
+            for j in 0..m {
+                if trial % 7 == 0 && j % 5 == 4 {
+                    continue; // leave some columns empty
+                }
+                let k = 1 + rnd(3);
+                for _ in 0..k {
+                    c.push(rnd(n), j, 1.0);
+                }
+            }
+            let s = SteppedRhs::new(&c.to_csc());
+            assert!(
+                s.pivots.windows(2).all(|w| w[0] <= w[1]),
+                "pivots must be sorted after the stepped permutation: {:?}",
+                s.pivots
+            );
+            assert!(sc_sparse::pattern::is_stepped(&s.bt));
+            assert!(s.pivots.iter().all(|&p| p <= n));
+        }
+    }
+
+    #[test]
+    fn unpermute_roundtrip_is_exact() {
+        // un-permuting F̃ and re-applying the stepped permutation must
+        // reproduce the original matrix bitwise — the "final phase"
+        // permutation of the assembler is a pure relabeling.
+        let s = SteppedRhs::new(&unsorted_bt());
+        let m = s.ncols();
+        let f = sc_dense::Mat::from_fn(m, m, |i, j| {
+            ((i * 31 + j * 17) % 13) as f64 * 0.125 - 0.75
+        });
+        let g = s.unpermute_symmetric(&f);
+        let mut back = sc_dense::Mat::zeros(m, m);
+        for js in 0..m {
+            for is in 0..m {
+                back[(is, js)] = g[(s.col_perm.old_of_new(is), s.col_perm.old_of_new(js))];
+            }
+        }
+        assert_eq!(back, f, "round-trip must be bitwise exact");
+    }
+
+    #[test]
     fn empty_columns_sort_last() {
         let mut c = Coo::new(4, 3);
         c.push(1, 1, 1.0); // cols 0 and 2 empty

@@ -13,7 +13,7 @@
 
 use crate::exec::Exec;
 use crate::stepped::SteppedRhs;
-use crate::tune::{resolve_block_cuts, resolve_block_cuts_cols, BlockParam};
+use crate::tune::{col_cuts, row_cuts, BlockCutsCache, BlockParam};
 use sc_dense::{Mat, Trans};
 
 /// SYRK algorithm selector.
@@ -37,6 +37,19 @@ pub fn run_syrk<E: Exec>(
     variant: SyrkVariant,
     f: &mut Mat,
 ) {
+    run_syrk_with_cache(exec, y, stepped, variant, f, None)
+}
+
+/// [`run_syrk`] with an optional shared block-cut memo table (see
+/// [`BlockCutsCache`]).
+pub fn run_syrk_with_cache<E: Exec>(
+    exec: &mut E,
+    y: &Mat,
+    stepped: &SteppedRhs,
+    variant: SyrkVariant,
+    f: &mut Mat,
+    cache: Option<&BlockCutsCache>,
+) {
     let n = y.nrows();
     let m = y.ncols();
     assert_eq!(f.nrows(), m);
@@ -48,7 +61,7 @@ pub fn run_syrk<E: Exec>(
         }
         SyrkVariant::InputSplit(block) => {
             f.fill(0.0);
-            let cuts = resolve_block_cuts(block, n, &stepped.pivots);
+            let cuts = row_cuts(cache, block, n, &stepped.pivots);
             for w in cuts.windows(2) {
                 let (r0, r1) = (w[0], w[1]);
                 // columns active in this block row ("the width of each block
@@ -64,7 +77,7 @@ pub fn run_syrk<E: Exec>(
             }
         }
         SyrkVariant::OutputSplit(block) => {
-            let cuts = resolve_block_cuts_cols(block, m, &stepped.pivots, n);
+            let cuts = col_cuts(cache, block, m, &stepped.pivots, n);
             for w in cuts.windows(2) {
                 let (c0, c1) = (w[0], w[1]);
                 // k range starts at the block column's first pivot ("the k

@@ -15,7 +15,7 @@
 
 use crate::exec::Exec;
 use crate::stepped::SteppedRhs;
-use crate::tune::{resolve_block_cuts, resolve_block_cuts_cols, BlockParam};
+use crate::tune::{col_cuts, row_cuts, BlockCutsCache, BlockParam};
 use sc_dense::{Mat, MatMut, Trans};
 use sc_sparse::Csc;
 
@@ -57,14 +57,31 @@ pub fn run_trsm<E: Exec>(
     variant: TrsmVariant,
     y: &mut Mat,
 ) {
+    run_trsm_with_cache(exec, l, stepped, storage, variant, y, None)
+}
+
+/// [`run_trsm`] with an optional shared block-cut memo table (used by the
+/// batched multi-subdomain driver so equal-shape subdomains resolve their
+/// block partitions once).
+pub fn run_trsm_with_cache<E: Exec>(
+    exec: &mut E,
+    l: &Csc,
+    stepped: &SteppedRhs,
+    storage: FactorStorage,
+    variant: TrsmVariant,
+    y: &mut Mat,
+    cache: Option<&BlockCutsCache>,
+) {
     let n = l.ncols();
     assert_eq!(y.nrows(), n, "Y row mismatch");
     assert_eq!(y.ncols(), stepped.ncols(), "Y column mismatch");
     match variant {
         TrsmVariant::Plain => trsm_plain(exec, l, storage, y.as_mut()),
-        TrsmVariant::RhsSplit(block) => trsm_rhs_split(exec, l, stepped, storage, block, y),
+        TrsmVariant::RhsSplit(block) => {
+            trsm_rhs_split(exec, l, stepped, storage, block, y, cache)
+        }
         TrsmVariant::FactorSplit { block, prune } => {
-            trsm_factor_split(exec, l, stepped, storage, block, prune, y)
+            trsm_factor_split(exec, l, stepped, storage, block, prune, y, cache)
         }
     }
 }
@@ -89,10 +106,11 @@ fn trsm_rhs_split<E: Exec>(
     storage: FactorStorage,
     block: BlockParam,
     y: &mut Mat,
+    cache: Option<&BlockCutsCache>,
 ) {
     let n = l.ncols();
     let m = stepped.ncols();
-    let cuts = resolve_block_cuts_cols(block, m, &stepped.pivots, n);
+    let cuts = col_cuts(cache, block, m, &stepped.pivots, n);
     // Dense factor materialized once; subfactors are views (leading
     // dimension arithmetic — free, as the paper notes).
     let ld = match storage {
@@ -129,6 +147,7 @@ fn trsm_rhs_split<E: Exec>(
 /// Factor splitting (paper Figure 3b): blocked forward substitution with a
 /// TRSM on each diagonal block (restricted to active RHS columns) and a GEMM
 /// for the sub-diagonal block, optionally pruned.
+#[allow(clippy::too_many_arguments)]
 fn trsm_factor_split<E: Exec>(
     exec: &mut E,
     l: &Csc,
@@ -137,9 +156,10 @@ fn trsm_factor_split<E: Exec>(
     block: BlockParam,
     prune: bool,
     y: &mut Mat,
+    cache: Option<&BlockCutsCache>,
 ) {
     let n = l.ncols();
-    let cuts = resolve_block_cuts(block, n, &stepped.pivots);
+    let cuts = row_cuts(cache, block, n, &stepped.pivots);
     for w in cuts.windows(2) {
         let (r0, r1) = (w[0], w[1]);
         // active columns: pivots strictly below r1 ("the width of the RHS

@@ -7,7 +7,7 @@
 //! why Table 1 reports mostly `S` entries.
 
 /// Block partitioning parameter.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BlockParam {
     /// Fixed block size (`S` rows/columns per block), uniform.
     Size(usize),
@@ -113,6 +113,135 @@ fn cuts_from_prefix(prefix: &[usize], count: usize) -> Vec<usize> {
         cuts.push(n);
     }
     cuts
+}
+
+/// Thread-safe memo table for [`BlockParam`] cut resolution, shared across
+/// the subdomains of one batched assembly.
+///
+/// In a FETI decomposition most subdomains have identical (or near-identical)
+/// dimensions, so the same `(param, n)` resolution repeats once per
+/// subdomain. Uniform variants ([`BlockParam::Size`]/[`BlockParam::Count`])
+/// depend only on `(param, n)` and are keyed pattern-free, so
+/// differently-glued subdomains of equal size share entries;
+/// [`BlockParam::Balanced`] cuts also depend on the stepped pivots, which
+/// are carried in the key verbatim — a cache hit therefore always returns
+/// exactly the cuts an uncached resolution would compute, preserving the
+/// batch driver's bitwise-equality guarantee.
+#[derive(Default)]
+pub struct BlockCutsCache {
+    rows: std::sync::Mutex<std::collections::HashMap<CutsKey, std::sync::Arc<Vec<usize>>>>,
+    cols: std::sync::Mutex<std::collections::HashMap<CutsKey, std::sync::Arc<Vec<usize>>>>,
+    hits: std::sync::atomic::AtomicUsize,
+    misses: std::sync::atomic::AtomicUsize,
+}
+
+type CutsKey = (BlockParam, usize, usize, Vec<usize>);
+
+fn pivots_key(param: BlockParam, pivots: &[usize]) -> Vec<usize> {
+    // Only Balanced cuts depend on the pattern; uniform keys stay empty (no
+    // allocation on the default-config path). The O(m) pivot copy per
+    // Balanced lookup is noise next to the O((n+m)·m) kernel work behind it,
+    // and Balanced is an ablation config.
+    if matches!(param, BlockParam::Balanced(_)) {
+        pivots.to_vec()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Row-dimension cuts, via the shared memo table when one is provided
+/// (cache-optional form of [`resolve_block_cuts`], used by the splitting
+/// kernels).
+pub fn row_cuts(
+    cache: Option<&BlockCutsCache>,
+    param: BlockParam,
+    n: usize,
+    pivots: &[usize],
+) -> std::sync::Arc<Vec<usize>> {
+    match cache {
+        Some(c) => c.rows(param, n, pivots),
+        None => std::sync::Arc::new(resolve_block_cuts(param, n, pivots)),
+    }
+}
+
+/// Column-dimension cuts, via the shared memo table when one is provided
+/// (cache-optional form of [`resolve_block_cuts_cols`]).
+pub fn col_cuts(
+    cache: Option<&BlockCutsCache>,
+    param: BlockParam,
+    m: usize,
+    pivots: &[usize],
+    n: usize,
+) -> std::sync::Arc<Vec<usize>> {
+    match cache {
+        Some(c) => c.cols(param, m, pivots, n),
+        None => std::sync::Arc::new(resolve_block_cuts_cols(param, m, pivots, n)),
+    }
+}
+
+impl BlockCutsCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached [`resolve_block_cuts`] (row-dimension splits).
+    pub fn rows(&self, param: BlockParam, n: usize, pivots: &[usize]) -> std::sync::Arc<Vec<usize>> {
+        let key = (param, n, usize::MAX, pivots_key(param, pivots));
+        self.lookup(&self.rows, key, || resolve_block_cuts(param, n, pivots))
+    }
+
+    /// Cached [`resolve_block_cuts_cols`] (column-dimension splits).
+    pub fn cols(
+        &self,
+        param: BlockParam,
+        m: usize,
+        pivots: &[usize],
+        n: usize,
+    ) -> std::sync::Arc<Vec<usize>> {
+        let key = (param, m, n, pivots_key(param, pivots));
+        self.lookup(&self.cols, key, || resolve_block_cuts_cols(param, m, pivots, n))
+    }
+
+    fn lookup(
+        &self,
+        table: &std::sync::Mutex<std::collections::HashMap<CutsKey, std::sync::Arc<Vec<usize>>>>,
+        key: CutsKey,
+        compute: impl FnOnce() -> Vec<usize>,
+    ) -> std::sync::Arc<Vec<usize>> {
+        use std::collections::hash_map::Entry;
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(cuts) = table.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            self.hits.fetch_add(1, Relaxed);
+            return std::sync::Arc::clone(cuts);
+        }
+        // Compute outside the lock, then re-check under it: a lookup that
+        // loses the insert race serves (and counts) the winner's entry, so
+        // hit/miss stats stay deterministic per distinct key regardless of
+        // how many tasks raced on first touch.
+        let cuts = std::sync::Arc::new(compute());
+        let mut t = table.lock().unwrap_or_else(|e| e.into_inner());
+        match t.entry(key) {
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Relaxed);
+                std::sync::Arc::clone(e.get())
+            }
+            Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Relaxed);
+                v.insert(std::sync::Arc::clone(&cuts));
+                cuts
+            }
+        }
+    }
+
+    /// Number of lookups served from the memo table.
+    pub fn hits(&self) -> usize {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute fresh cuts.
+    pub fn misses(&self) -> usize {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 /// The paper's Table 1: optimal splitting parameters per algorithm, platform

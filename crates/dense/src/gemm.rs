@@ -110,8 +110,8 @@ fn gemm_tt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
         for i in 0..c.nrows() {
             let acol = a.col(i);
             let mut s = 0.0;
-            for p in 0..acol.len() {
-                s += acol[p] * b.get(j, p);
+            for (p, &apv) in acol.iter().enumerate() {
+                s += apv * b.get(j, p);
             }
             let v = c.get(i, j) + alpha * s;
             c.set(i, j, v);
@@ -167,6 +167,7 @@ pub fn par_gemm(
     let chunk = n.div_ceil(workers).max(1);
     // Split C into disjoint column blocks and process them in parallel. The
     // recursion depth is small (log2 of block count).
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         alpha: f64,
         a: MatRef<'_>,

@@ -54,8 +54,8 @@ pub fn postorder(parent: &[usize]) -> Vec<usize> {
     }
     let mut post = Vec::with_capacity(n);
     let mut stack = Vec::new();
-    for root in 0..n {
-        if parent[root] != NONE {
+    for (root, &par) in parent.iter().enumerate() {
+        if par != NONE {
             continue;
         }
         stack.push(root);
@@ -121,8 +121,8 @@ mod tests {
             }
         }
         let p = etree(&c.to_csc());
-        for i in 0..n - 1 {
-            assert_eq!(p[i], i + 1);
+        for (i, &pi) in p.iter().enumerate().take(n - 1) {
+            assert_eq!(pi, i + 1);
         }
         assert_eq!(p[n - 1], NONE);
     }
@@ -133,7 +133,7 @@ mod tests {
         let parent = etree(&a);
         let post = postorder(&parent);
         assert_eq!(post.len(), 5);
-        let mut pos = vec![0usize; 5];
+        let mut pos = [0usize; 5];
         for (k, &v) in post.iter().enumerate() {
             pos[v] = k;
         }

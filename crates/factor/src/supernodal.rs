@@ -60,8 +60,8 @@ impl SupernodalSymbolic {
         let nsuper = snode_start.len() - 1;
         let mut snode_of_col = vec![0usize; n];
         for s in 0..nsuper {
-            for c in snode_start[s]..snode_start[s + 1] {
-                snode_of_col[c] = s;
+            for slot in &mut snode_of_col[snode_start[s]..snode_start[s + 1]] {
+                *slot = s;
             }
         }
         let mut rows = Vec::with_capacity(nsuper);
@@ -204,9 +204,7 @@ impl SupernodalFactor {
             let (c0, c1) = self.ssym.cols(s);
             let r = &self.ssym.rows[s];
             let panel = &self.panels[s];
-            for c in c0..c1 {
-                let i0 = c - c0;
-                let dst = col_ptr[c];
+            for (i0, &dst) in col_ptr[c0..c1].iter().enumerate() {
                 for (k, &g) in r[i0..].iter().enumerate() {
                     row_idx[dst + k] = g;
                     values[dst + k] = panel[(i0 + k, i0)];

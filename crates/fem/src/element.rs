@@ -121,11 +121,11 @@ mod tests {
             [0.0, 1.0, 0.0],
             [0.0, 0.0, 1.0],
         ]);
-        for i in 0..4 {
-            let s: f64 = k[i].iter().sum();
+        for (i, row) in k.iter().enumerate() {
+            let s: f64 = row.iter().sum();
             assert!(s.abs() < 1e-13);
-            for j in 0..4 {
-                assert!((k[i][j] - k[j][i]).abs() < 1e-13);
+            for (j, &kij) in row.iter().enumerate() {
+                assert!((kij - k[j][i]).abs() < 1e-13);
             }
         }
     }
@@ -138,8 +138,8 @@ mod tests {
             [1.0, 1.0, 0.0],
             [1.0, 1.0, 1.0],
         ]);
-        for i in 0..4 {
-            assert!(k[i][i] > 0.0);
+        for (i, row) in k.iter().enumerate() {
+            assert!(row[i] > 0.0);
         }
     }
 

@@ -287,7 +287,7 @@ fn build(dim: usize, c: usize, subs: (usize, usize, usize), gluing: Gluing) -> H
     // finalize bt per subdomain (every column has exactly one entry)
     for (sd, (cols, ids)) in subdomains
         .iter_mut()
-        .zip(bt_cols.into_iter().zip(lambda_ids.into_iter()))
+        .zip(bt_cols.into_iter().zip(lambda_ids))
     {
         let m = cols.len();
         let col_ptr: Vec<usize> = (0..=m).collect();

@@ -48,6 +48,10 @@ pub fn apply_implicit(factors: &SubdomainFactors, p: &[f64], out: &mut [f64]) {
 }
 
 /// A ready-to-apply local dual operator.
+// Variant sizes differ by design: Implicit carries the whole factor bundle,
+// the explicit variants just a dense matrix. Operators live in a short Vec
+// (one per subdomain), so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 pub enum DualOperator {
     /// Implicit: `q̃ = B̃ (L⁻ᵀ(L⁻¹(B̃ᵀ p̃)))` — SpMV + two sparse solves per
     /// application (paper Eq. 11).
@@ -81,7 +85,8 @@ impl DualOperator {
     /// uploaded first, mirroring the original algorithm's H2D copy).
     pub fn explicit_gpu(factors: &SubdomainFactors, cfg: &ScConfig, kernels: GpuKernels) -> Self {
         let l = factors.chol.factor_csc();
-        kernels.upload_bytes(16 * l.nnz() + 16 * factors.bt_perm.nnz());
+        kernels.upload_csc(&l);
+        kernels.upload_csc(&factors.bt_perm);
         let mut exec = GpuExec::new(&kernels);
         let f = assemble_sc(&mut exec, &l, &factors.bt_perm, cfg);
         kernels.download_bytes(0); // result stays on device; placeholder sync

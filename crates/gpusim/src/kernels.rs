@@ -60,6 +60,14 @@ impl GpuKernels {
         self.stream.submit(&KernelCost::transfer(bytes as f64))
     }
 
+    /// Simulated H2D upload of a CSC matrix: ~16 bytes per stored entry
+    /// (8-byte index + 8-byte value; pointer array is noise). The single
+    /// home of the sparse-transfer cost model — used by every explicit-GPU
+    /// preprocessing path.
+    pub fn upload_csc(&self, m: &Csc) -> SimSpan {
+        self.upload_bytes(16 * m.nnz())
+    }
+
     /// Dense TRSM: solve `L X = B` in place (`L` lower triangular).
     pub fn trsm_dense(&self, l: MatRef<'_>, b: MatMut<'_>) -> SimSpan {
         let cost = KernelCost::trsm_dense(l.nrows(), b.ncols());

@@ -181,18 +181,17 @@ mod tests {
     #[test]
     fn many_threads_never_exceed_capacity() {
         let p = TempPool::new(256);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for i in 0..8 {
                 let p = Arc::clone(&p);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..50 {
                         let g = p.alloc(32 + (i % 3) * 16);
                         std::hint::black_box(&g);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(p.free_bytes(), 256);
         assert!(p.high_water() <= 256);
     }

@@ -87,7 +87,7 @@ mod tests {
         ] {
             let p = o.compute(&a);
             assert_eq!(p.len(), 30);
-            let mut seen = vec![false; 30];
+            let mut seen = [false; 30];
             for i in 0..30 {
                 seen[p.old_of_new(i)] = true;
             }

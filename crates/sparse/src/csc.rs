@@ -15,8 +15,13 @@ pub struct Csc {
 }
 
 impl Csc {
-    /// Build from raw parts. Validates monotone `col_ptr`, in-range and
-    /// strictly increasing row indices per column.
+    /// Build from raw parts. The O(1) shape invariants (pointer array length,
+    /// first/last pointer, index/value length match) are always checked; the
+    /// O(nnz) structural invariants (monotone `col_ptr`, in-range and strictly
+    /// increasing row indices per column) are checked through
+    /// [`check_invariants`](Csc::check_invariants) in debug builds only —
+    /// every in-crate producer (COO conversion, permutation, block
+    /// extraction) maintains them by construction.
     pub fn from_parts(
         nrows: usize,
         ncols: usize,
@@ -28,24 +33,80 @@ impl Csc {
         assert_eq!(col_ptr[0], 0, "col_ptr must start at 0");
         assert_eq!(*col_ptr.last().unwrap(), row_idx.len(), "col_ptr end");
         assert_eq!(row_idx.len(), values.len(), "index/value length mismatch");
-        for j in 0..ncols {
-            assert!(col_ptr[j] <= col_ptr[j + 1], "col_ptr not monotone");
-            let mut prev = None;
-            for &i in &row_idx[col_ptr[j]..col_ptr[j + 1]] {
-                assert!(i < nrows, "row index out of range");
-                if let Some(p) = prev {
-                    assert!(i > p, "row indices must be strictly increasing");
-                }
-                prev = Some(i);
-            }
-        }
-        Csc {
+        let m = Csc {
             nrows,
             ncols,
             col_ptr,
             row_idx,
             values,
+        };
+        #[cfg(debug_assertions)]
+        if let Err(e) = m.check_invariants() {
+            panic!("Csc::from_parts: {e}");
         }
+        m
+    }
+
+    /// Verify every structural invariant of the format, returning a
+    /// description of the first violation found:
+    ///
+    /// - `col_ptr` has `ncols + 1` entries, starts at 0, ends at `nnz`, and
+    ///   is monotone non-decreasing;
+    /// - `row_idx` and `values` have equal length;
+    /// - row indices are in `0..nrows` and strictly increasing within each
+    ///   column (sorted, no duplicates).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.col_ptr.len() != self.ncols + 1 {
+            return Err(format!(
+                "col_ptr length {} != ncols + 1 = {}",
+                self.col_ptr.len(),
+                self.ncols + 1
+            ));
+        }
+        if self.col_ptr[0] != 0 {
+            return Err(format!("col_ptr[0] = {} != 0", self.col_ptr[0]));
+        }
+        if *self.col_ptr.last().unwrap() != self.row_idx.len() {
+            return Err(format!(
+                "col_ptr end {} != nnz {}",
+                self.col_ptr.last().unwrap(),
+                self.row_idx.len()
+            ));
+        }
+        if self.row_idx.len() != self.values.len() {
+            return Err(format!(
+                "row_idx length {} != values length {}",
+                self.row_idx.len(),
+                self.values.len()
+            ));
+        }
+        for j in 0..self.ncols {
+            if self.col_ptr[j] > self.col_ptr[j + 1] {
+                return Err(format!(
+                    "col_ptr not monotone at column {j}: {} > {}",
+                    self.col_ptr[j],
+                    self.col_ptr[j + 1]
+                ));
+            }
+            let mut prev = None;
+            for &i in &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]] {
+                if i >= self.nrows {
+                    return Err(format!(
+                        "row index {i} out of range (nrows {}) in column {j}",
+                        self.nrows
+                    ));
+                }
+                if let Some(p) = prev {
+                    if i <= p {
+                        return Err(format!(
+                            "row indices not strictly increasing in column {j}: {p} then {i}"
+                        ));
+                    }
+                }
+                prev = Some(i);
+            }
+        }
+        Ok(())
     }
 
     /// All-zero matrix of the given shape.
@@ -578,9 +639,7 @@ mod tests {
         let b = sc_dense::Mat::from_fn(3, 4, |i, j| (i * 4 + j) as f64 - 5.0);
         let mut c = sc_dense::Mat::from_fn(3, 4, |i, j| (i + j) as f64);
         let mut cd = c.clone();
-        let mut cm = c.as_mut();
-        a.spmm(2.0, b.as_ref(), 0.5, &mut cm);
-        drop(cm);
+        a.spmm(2.0, b.as_ref(), 0.5, &mut c.as_mut());
         sc_dense::gemm(
             2.0,
             ad.as_ref(),
@@ -598,10 +657,33 @@ mod tests {
         let a = sample();
         let b = sc_dense::Mat::identity(3);
         let mut c = sc_dense::Mat::from_fn(3, 3, |_, _| f64::NAN);
-        let mut cm = c.as_mut();
-        a.spmm(1.0, b.as_ref(), 0.0, &mut cm);
-        drop(cm);
+        a.spmm(1.0, b.as_ref(), 0.0, &mut c.as_mut());
         assert!(sc_dense::max_abs_diff(c.as_ref(), a.to_dense().as_ref()) < 1e-14);
+    }
+
+    #[test]
+    fn check_invariants_accepts_valid_and_rejects_broken() {
+        assert!(sample().check_invariants().is_ok());
+        assert!(Csc::zeros(4, 0).check_invariants().is_ok());
+        assert!(Csc::identity(5).check_invariants().is_ok());
+
+        // out-of-range row index
+        let mut bad = sample();
+        bad.row_idx[0] = 99;
+        assert!(bad.check_invariants().unwrap_err().contains("out of range"));
+
+        // unsorted rows within a column
+        let mut bad = sample();
+        bad.row_idx.swap(0, 1); // column 0 had rows [0, 2]
+        assert!(bad
+            .check_invariants()
+            .unwrap_err()
+            .contains("strictly increasing"));
+
+        // broken pointer array (col_ptr decreases between columns 1 and 2)
+        let mut bad = sample();
+        bad.col_ptr[2] = bad.col_ptr[1] - 1;
+        assert!(bad.check_invariants().unwrap_err().contains("monotone"));
     }
 
     #[test]

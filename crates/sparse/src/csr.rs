@@ -13,8 +13,9 @@ pub struct Csr {
 }
 
 impl Csr {
-    /// Build from raw parts, validating the structure (mirror of
-    /// [`crate::Csc::from_parts`]).
+    /// Build from raw parts (mirror of [`crate::Csc::from_parts`]): O(1)
+    /// shape invariants always checked, O(nnz) structural invariants via
+    /// [`check_invariants`](Csr::check_invariants) in debug builds.
     pub fn from_parts(
         nrows: usize,
         ncols: usize,
@@ -26,24 +27,75 @@ impl Csr {
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
         assert_eq!(col_idx.len(), values.len(), "index/value length mismatch");
-        for i in 0..nrows {
-            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr not monotone");
-            let mut prev = None;
-            for &j in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
-                assert!(j < ncols, "column index out of range");
-                if let Some(p) = prev {
-                    assert!(j > p, "column indices must be strictly increasing");
-                }
-                prev = Some(j);
-            }
-        }
-        Csr {
+        let m = Csr {
             nrows,
             ncols,
             row_ptr,
             col_idx,
             values,
+        };
+        #[cfg(debug_assertions)]
+        if let Err(e) = m.check_invariants() {
+            panic!("Csr::from_parts: {e}");
         }
+        m
+    }
+
+    /// Verify every structural invariant of the format (monotone `row_ptr`,
+    /// in-range strictly increasing column indices per row), returning a
+    /// description of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(format!(
+                "row_ptr length {} != nrows + 1 = {}",
+                self.row_ptr.len(),
+                self.nrows + 1
+            ));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(format!("row_ptr[0] = {} != 0", self.row_ptr[0]));
+        }
+        if *self.row_ptr.last().unwrap() != self.col_idx.len() {
+            return Err(format!(
+                "row_ptr end {} != nnz {}",
+                self.row_ptr.last().unwrap(),
+                self.col_idx.len()
+            ));
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err(format!(
+                "col_idx length {} != values length {}",
+                self.col_idx.len(),
+                self.values.len()
+            ));
+        }
+        for i in 0..self.nrows {
+            if self.row_ptr[i] > self.row_ptr[i + 1] {
+                return Err(format!(
+                    "row_ptr not monotone at row {i}: {} > {}",
+                    self.row_ptr[i],
+                    self.row_ptr[i + 1]
+                ));
+            }
+            let mut prev = None;
+            for &j in &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]] {
+                if j >= self.ncols {
+                    return Err(format!(
+                        "column index {j} out of range (ncols {}) in row {i}",
+                        self.ncols
+                    ));
+                }
+                if let Some(p) = prev {
+                    if j <= p {
+                        return Err(format!(
+                            "column indices not strictly increasing in row {i}: {p} then {j}"
+                        ));
+                    }
+                }
+                prev = Some(j);
+            }
+        }
+        Ok(())
     }
 
     #[inline]
@@ -193,6 +245,22 @@ mod tests {
         let mut zd = [0.0; 4];
         sc_dense::gemv_t(1.0, d.as_ref(), &x3, 0.0, &mut zd);
         assert_eq!(z, zd);
+    }
+
+    #[test]
+    fn check_invariants_accepts_valid_and_rejects_broken() {
+        assert!(sample().check_invariants().is_ok());
+
+        let mut bad = sample();
+        bad.col_idx[0] = 99;
+        assert!(bad.check_invariants().unwrap_err().contains("out of range"));
+
+        let mut bad = sample();
+        bad.col_idx.swap(0, 1); // row 0 had cols [1, 3]
+        assert!(bad
+            .check_invariants()
+            .unwrap_err()
+            .contains("strictly increasing"));
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub fn csc_lower_t_solve_mat(l: &Csc, mut b: MatMut<'_>) {
         let bcol = b.col_mut(c);
         for j in (0..n).rev() {
             let (rows, vals) = l.col(j);
+            debug_assert_eq!(rows.first(), Some(&j), "missing diagonal in column {j}");
             let mut s = bcol[j];
             for (&i, &v) in rows[1..].iter().zip(&vals[1..]) {
                 s -= v * bcol[i];

@@ -16,8 +16,11 @@
 //! | [`sc_factor`] | sparse Cholesky (simplicial + supernodal multifrontal) |
 //! | [`sc_fem`]    | heat-transfer meshes, decomposition, gluing `B`, kernels `R` |
 //! | [`sc_gpu`]    | event-driven GPU execution simulator (A100 cost model) |
-//! | [`sc_core`]   | **the paper's contribution**: stepped TRSM/SYRK splitting |
+//! | [`sc_core`]   | **the paper's contribution**: stepped TRSM/SYRK splitting + the batched multi-subdomain driver |
 //! | [`sc_feti`]   | Total-FETI solver (PCPG, dual operator strategies) |
+//!
+//! `sc_bench` (not re-exported) holds the experiment drivers that regenerate
+//! the paper's tables and figures.
 //!
 //! ## Quickstart
 //!
@@ -44,8 +47,9 @@ pub use sc_sparse;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use sc_core::{
-        assemble_sc, BlockParam, CpuExec, FactorStorage, GpuExec, ScConfig, SteppedRhs,
-        SyrkVariant, TrsmVariant,
+        assemble_sc, assemble_sc_batch, assemble_sc_batch_gpu, BatchItem, BatchReport,
+        BatchResult, BlockCutsCache, BlockParam, CpuExec, FactorStorage, GpuExec, ScConfig,
+        SteppedRhs, SubdomainTiming, SyrkVariant, TrsmVariant,
     };
     pub use sc_dense::Mat;
     pub use sc_factor::{CholOptions, Engine, SparseCholesky};
