@@ -3,8 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sc_bench::{BatchWorkload, KernelWorkload};
-use sc_core::{assemble_sc, assemble_sc_batch, CpuExec, FactorStorage, ScConfig};
+use sc_core::{
+    assemble_sc, assemble_sc_batch, assemble_sc_batch_scheduled, CpuExec, FactorStorage, ScConfig,
+    ScheduleOptions, StreamPolicy,
+};
 use sc_factor::schur_from_factor;
+use sc_gpu::{Device, DeviceSpec};
 
 fn bench_assembly(c: &mut Criterion) {
     let mut group = c.benchmark_group("assembly");
@@ -56,5 +60,41 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assembly, bench_batch);
+/// GPU batch scheduling: blind round-robin vs the cost-model-driven LPT
+/// scheduler, on the size-skewed heterogeneous cluster (≥ 16 subdomains,
+/// ≥ 4× dof spread). Criterion measures the host wall time of the whole
+/// driver; the simulated makespans are printed once for reference (the
+/// `schedule` bin reports them in full).
+fn bench_gpu_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_schedule");
+    group.sample_size(10);
+    let w = BatchWorkload::build_skewed(2, &[12, 4, 6, 3]);
+    let items = w.items();
+    let cfg = ScConfig::optimized(true, false);
+    let nsub = w.n_subdomains();
+    for (name, policy) in [
+        ("round_robin", StreamPolicy::RoundRobin),
+        ("scheduled", StreamPolicy::LptLeastLoaded),
+    ] {
+        let opts = ScheduleOptions {
+            policy,
+            ready_at: None,
+        };
+        let dev = Device::new(DeviceSpec::a100(), 4);
+        let res = assemble_sc_batch_scheduled(&items, &cfg, &dev, &opts);
+        println!(
+            "gpu_schedule/{name}: simulated makespan {:.3} ms over {nsub} subdomains",
+            res.report.device_seconds * 1e3
+        );
+        group.bench_function(format!("{name}/{nsub}sub/n{}", w.n), |b| {
+            b.iter(|| {
+                let dev = Device::new(DeviceSpec::a100(), 4);
+                std::hint::black_box(assemble_sc_batch_scheduled(&items, &cfg, &dev, &opts))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly, bench_batch, bench_gpu_schedule);
 criterion_main!(benches);

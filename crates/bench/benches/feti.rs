@@ -35,7 +35,10 @@ fn bench_solve(c: &mut Criterion) {
     let p = HeatProblem::build_2d(6, (2, 2), Gluing::Redundant);
     for (name, dual) in [
         ("implicit", DualMode::Implicit),
-        ("explicit_cpu", DualMode::ExplicitCpu(ScConfig::optimized(false, false))),
+        (
+            "explicit_cpu",
+            DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
+        ),
     ] {
         let opts = FetiOptions {
             dual,

@@ -12,7 +12,10 @@ use sc_dense::Mat;
 fn bench_trsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("trsm");
     group.sample_size(10);
-    for (dim, cells, storage) in [(2usize, 20usize, FactorStorage::Sparse), (3, 7, FactorStorage::Dense)] {
+    for (dim, cells, storage) in [
+        (2usize, 20usize, FactorStorage::Sparse),
+        (3, 7, FactorStorage::Dense),
+    ] {
         let w = KernelWorkload::build(dim, cells);
         let inputs = KernelInputs::new(&w);
         let variants: [(&str, TrsmVariant); 3] = [
@@ -30,7 +33,14 @@ fn bench_trsm(c: &mut Criterion) {
             group.bench_function(format!("{dim}d/{name}/n{}", w.n), |b| {
                 b.iter(|| {
                     let mut y = inputs.y0.clone();
-                    run_trsm_variant(&mut CpuExec, &w.l, &inputs.stepped, storage, variant, &mut y);
+                    run_trsm_variant(
+                        &mut CpuExec,
+                        &w.l,
+                        &inputs.stepped,
+                        storage,
+                        variant,
+                        &mut y,
+                    );
                     std::hint::black_box(&y);
                 })
             });
@@ -47,8 +57,14 @@ fn bench_syrk(c: &mut Criterion) {
         let inputs = KernelInputs::new(&w);
         let variants: [(&str, SyrkVariant); 3] = [
             ("plain", SyrkVariant::Plain),
-            ("input_split", SyrkVariant::InputSplit(BlockParam::Size(100))),
-            ("output_split", SyrkVariant::OutputSplit(BlockParam::Size(100))),
+            (
+                "input_split",
+                SyrkVariant::InputSplit(BlockParam::Size(100)),
+            ),
+            (
+                "output_split",
+                SyrkVariant::OutputSplit(BlockParam::Size(100)),
+            ),
         ];
         for (name, variant) in variants {
             group.bench_function(format!("{dim}d/{name}/n{}", w.n), |b| {

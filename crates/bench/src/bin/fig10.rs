@@ -64,8 +64,7 @@ fn main() {
                 .iter()
                 .map(|&a| {
                     let prepared = preprocess_approach(&problem, a, Some(&device));
-                    let apply =
-                        measure_apply_cost(&problem, &prepared, a, Some(&device), 3);
+                    let apply = measure_apply_cost(&problem, &prepared, a, Some(&device), 3);
                     (
                         prepared.report.total_s() / nsub,
                         apply.per_iteration_s / nsub,
@@ -74,10 +73,7 @@ fn main() {
                 .collect();
 
             for &iters in &ITERS {
-                let mut row = vec![
-                    problem.dofs_per_subdomain().to_string(),
-                    iters.to_string(),
-                ];
+                let mut row = vec![problem.dofs_per_subdomain().to_string(), iters.to_string()];
                 let mut best = (f64::INFINITY, "");
                 for (&a, &(pre, app)) in approaches.iter().zip(&costs) {
                     let step = pre / iters as f64 + app;
@@ -95,11 +91,13 @@ fn main() {
             let implicit_best: Option<(f64, f64)> = approaches
                 .iter()
                 .zip(&costs)
-                .filter(|(a, _)| {
-                    matches!(a, DualOpApproach::ImplMkl | DualOpApproach::ImplCholmod)
-                })
+                .filter(|(a, _)| matches!(a, DualOpApproach::ImplMkl | DualOpApproach::ImplCholmod))
                 .map(|(_, &c)| c)
-                .min_by(|a, b| (a.0 + 100.0 * a.1).partial_cmp(&(b.0 + 100.0 * b.1)).unwrap());
+                .min_by(|a, b| {
+                    (a.0 + 100.0 * a.1)
+                        .partial_cmp(&(b.0 + 100.0 * b.1))
+                        .unwrap()
+                });
             if let Some((ipre, iapp)) = implicit_best {
                 for (&a, &(pre, app)) in approaches.iter().zip(&costs) {
                     if matches!(a, DualOpApproach::ImplMkl | DualOpApproach::ImplCholmod) {

@@ -8,16 +8,16 @@
 //! Usage: `cargo run -p sc-bench --release --bin fig5 [--full]`
 
 use sc_bench::{time_assembly_gpu, BenchArgs, KernelWorkload, Table};
-use sc_core::{BlockParam, FactorStorage, ScConfig, SyrkVariant, TrsmVariant};
+use sc_core::{BlockParam, FactorStorage, ScConfig, ScParams, SyrkVariant, TrsmVariant};
 use sc_gpu::{Device, DeviceSpec};
 
 fn config(block: BlockParam) -> ScConfig {
-    ScConfig {
+    ScConfig::Fixed(ScParams {
         trsm: TrsmVariant::FactorSplit { block, prune: true },
         syrk: SyrkVariant::InputSplit(block),
         factor_storage: FactorStorage::Dense,
         stepped_permutation: true,
-    }
+    })
 }
 
 fn main() {
@@ -41,7 +41,13 @@ fn main() {
              small = {} dofs, large = {} dofs [simulated ms per subdomain]",
             small.n, large.n
         ),
-        &["param", "small_count", "small_size", "large_count", "large_size"],
+        &[
+            "param",
+            "small_count",
+            "small_size",
+            "large_count",
+            "large_size",
+        ],
     );
 
     for &p in &params {

@@ -46,12 +46,26 @@ fn main() {
         let mut trsm_table = Table::new(
             &format!("Fig 6 (top): TRSM splitting variants, {dim}D [ms per subdomain]"),
             &[
-                "dofs", "m", "cpu_rhs", "cpu_f", "cpu_f+prune", "gpu_rhs", "gpu_f", "gpu_f+prune",
+                "dofs",
+                "m",
+                "cpu_rhs",
+                "cpu_f",
+                "cpu_f+prune",
+                "gpu_rhs",
+                "gpu_f",
+                "gpu_f+prune",
             ],
         );
         let mut syrk_table = Table::new(
             &format!("Fig 6 (bottom): SYRK splitting variants, {dim}D [ms per subdomain]"),
-            &["dofs", "m", "cpu_input", "cpu_output", "gpu_input", "gpu_output"],
+            &[
+                "dofs",
+                "m",
+                "cpu_input",
+                "cpu_output",
+                "gpu_input",
+                "gpu_output",
+            ],
         );
 
         for &c in &ladder {

@@ -10,7 +10,7 @@ use sc_bench::{
     ladder_2d, ladder_3d, time_min, time_syrk_cpu, time_syrk_gpu, time_trsm_cpu, time_trsm_gpu,
     BenchArgs, KernelInputs, KernelWorkload, Table,
 };
-use sc_core::{FactorStorage, ScConfig, SyrkVariant, TrsmVariant};
+use sc_core::{FactorStorage, ScParams, SyrkVariant, TrsmVariant};
 use sc_gpu::{Device, DeviceSpec};
 
 fn main() {
@@ -39,15 +39,17 @@ fn main() {
         );
         let mut syrk = Table::new(
             &format!("Fig 7 (SYRK, {dim}D) [ms per subdomain]"),
-            &["dofs", "m", "cpu_orig", "cpu_opt", "gpu_orig", "gpu_opt", "su_cpu", "su_gpu"],
+            &[
+                "dofs", "m", "cpu_orig", "cpu_opt", "gpu_orig", "gpu_opt", "su_cpu", "su_gpu",
+            ],
         );
 
         for &c in &ladder {
             let w = KernelWorkload::build(dim, c);
             let inputs = KernelInputs::new(&w);
             let three_d = dim == 3;
-            let opt = ScConfig::optimized(false, three_d);
-            let opt_gpu = ScConfig::optimized(true, three_d);
+            let opt = ScParams::optimized(false, three_d);
+            let opt_gpu = ScParams::optimized(true, three_d);
 
             // TRSM: original = plain over the full factor
             let cpu_orig = time_trsm_cpu(&w, &inputs, storage, TrsmVariant::Plain, args.reps);

@@ -84,7 +84,9 @@ fn main() {
             let factors: Vec<SubdomainFactors> = problem
                 .subdomains
                 .par_iter()
-                .map(|sd| SubdomainFactors::build(sd, Engine::Simplicial, Ordering::NestedDissection))
+                .map(|sd| {
+                    SubdomainFactors::build(sd, Engine::Simplicial, Ordering::NestedDissection)
+                })
                 .collect();
 
             // --- CPU ---

@@ -36,10 +36,7 @@ fn main() {
             let mut row = vec![problem.dofs_per_subdomain().to_string()];
             for approach in DualOpApproach::ALL {
                 let prepared = preprocess_approach(&problem, approach, Some(&device));
-                row.push(format!(
-                    "{:.3}",
-                    prepared.report.total_s() / nsub * 1e3
-                ));
+                row.push(format!("{:.3}", prepared.report.total_s() / nsub * 1e3));
             }
             table.row(row);
         }

@@ -7,8 +7,10 @@
 //!
 //! Usage: `cargo run -p sc-bench --release --bin headline [--full]`
 
-use sc_bench::{ladder_3d, time_assembly_gpu, BenchArgs, KernelWorkload, Table};
-use sc_core::{FactorStorage, ScConfig};
+use sc_bench::{ladder_3d, time_assembly_gpu, BatchWorkload, BenchArgs, KernelWorkload, Table};
+use sc_core::{
+    assemble_sc_batch_scheduled, FactorStorage, ScConfig, ScheduleOptions, StreamPolicy,
+};
 use sc_fem::{Gluing, HeatProblem};
 use sc_feti::{measure_apply_cost, preprocess_approach, DualOpApproach};
 use sc_gpu::{Device, DeviceSpec};
@@ -49,7 +51,10 @@ fn main() {
     let (mkl_pre, _) = report(DualOpApproach::ExplMkl);
     let (impl_pre, impl_app) = report(DualOpApproach::ImplCholmod);
     table.row(vec![
-        format!("whole assembly speedup vs expl_cuda ({} dofs)", problem.dofs_per_subdomain()),
+        format!(
+            "whole assembly speedup vs expl_cuda ({} dofs)",
+            problem.dofs_per_subdomain()
+        ),
         "up to 3.3x".into(),
         format!("{:.2}x", cuda_pre / gpuopt_pre),
     ]);
@@ -64,7 +69,9 @@ fn main() {
         format!("{:.2}x", gpuopt_pre / impl_pre),
     ]);
     let amort = if gpuopt_app < impl_app {
-        ((gpuopt_pre - impl_pre) / (impl_app - gpuopt_app)).ceil().max(0.0)
+        ((gpuopt_pre - impl_pre) / (impl_app - gpuopt_app))
+            .ceil()
+            .max(0.0)
     } else {
         f64::INFINITY
     };
@@ -72,6 +79,36 @@ fn main() {
         "amortization point (iterations)".into(),
         "~10".into(),
         format!("{amort:.0}"),
+    ]);
+
+    // --- §4.4 batch scheduling: cost-model LPT vs blind round-robin -------
+    // (no paper headline number: the paper fixes 16 streams and reports
+    // configuration sweeps; the comparison target here is the naive driver)
+    let skew = BatchWorkload::build_skewed(2, &[40, 10, 16, 6]);
+    let skew_items = skew.items();
+    let cfg = ScConfig::optimized(true, false);
+    let makespan = |policy: StreamPolicy| {
+        let dev = Device::new(DeviceSpec::a100(), 4);
+        assemble_sc_batch_scheduled(
+            &skew_items,
+            &cfg,
+            &dev,
+            &ScheduleOptions {
+                policy,
+                ready_at: None,
+            },
+        );
+        dev.synchronize()
+    };
+    let rr = makespan(StreamPolicy::RoundRobin);
+    let lpt = makespan(StreamPolicy::LptLeastLoaded);
+    table.row(vec![
+        format!(
+            "scheduled vs round-robin batch makespan ({} skewed subdomains)",
+            skew.n_subdomains()
+        ),
+        "n/a (§4.4)".into(),
+        format!("{:.2}x", rr / lpt),
     ]);
     table.emit("headline");
     println!("caveats: CPU quantities are measured on this host (not a 64-core EPYC),");

@@ -62,16 +62,40 @@ fn main() {
     let row = vec![
         "TRSM, RHS splitting".to_string(),
         best(&mut |p| {
-            time_trsm_cpu(&w2, &in2, FactorStorage::Sparse, TrsmVariant::RhsSplit(p), args.reps)
+            time_trsm_cpu(
+                &w2,
+                &in2,
+                FactorStorage::Sparse,
+                TrsmVariant::RhsSplit(p),
+                args.reps,
+            )
         }),
         best(&mut |p| {
-            time_trsm_cpu(&w3, &in3, FactorStorage::Sparse, TrsmVariant::RhsSplit(p), args.reps)
+            time_trsm_cpu(
+                &w3,
+                &in3,
+                FactorStorage::Sparse,
+                TrsmVariant::RhsSplit(p),
+                args.reps,
+            )
         }),
         best(&mut |p| {
-            time_trsm_gpu(&w2, &in2, FactorStorage::Sparse, TrsmVariant::RhsSplit(p), &device)
+            time_trsm_gpu(
+                &w2,
+                &in2,
+                FactorStorage::Sparse,
+                TrsmVariant::RhsSplit(p),
+                &device,
+            )
         }),
         best(&mut |p| {
-            time_trsm_gpu(&w3, &in3, FactorStorage::Sparse, TrsmVariant::RhsSplit(p), &device)
+            time_trsm_gpu(
+                &w3,
+                &in3,
+                FactorStorage::Sparse,
+                TrsmVariant::RhsSplit(p),
+                &device,
+            )
         }),
     ];
     table.row(row);

@@ -44,7 +44,11 @@ impl Table {
             s.trim_end().to_string()
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -61,11 +65,7 @@ impl Table {
 }
 
 /// Write a CSV file under `results/`.
-pub fn write_csv(
-    name: &str,
-    headers: &[String],
-    rows: &[Vec<String>],
-) -> std::io::Result<()> {
+pub fn write_csv(name: &str, headers: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
     let mut f = std::fs::File::create(format!("results/{name}.csv"))?;
     writeln!(f, "{}", headers.join(","))?;

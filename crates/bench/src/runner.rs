@@ -60,7 +60,14 @@ pub fn time_trsm_cpu(
 ) -> f64 {
     time_min(reps, || {
         let mut y = inputs.y0.clone();
-        run_trsm_variant(&mut CpuExec, &w.l, &inputs.stepped, storage, variant, &mut y);
+        run_trsm_variant(
+            &mut CpuExec,
+            &w.l,
+            &inputs.stepped,
+            storage,
+            variant,
+            &mut y,
+        );
         std::hint::black_box(&y);
     })
 }

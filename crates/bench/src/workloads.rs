@@ -117,12 +117,8 @@ impl KernelWorkload {
             )
         };
         let sd = &problem.subdomains[center];
-        let kreg = sc_feti::regularize_fixing_node(
-            &sd.k,
-            sd.kernel.as_deref(),
-            sd.fixing_dof,
-            None,
-        );
+        let kreg =
+            sc_feti::regularize_fixing_node(&sd.k, sd.kernel.as_deref(), sd.fixing_dof, None);
         let perm = Ordering::NestedDissection.compute(&kreg);
         let chol = SparseCholesky::factorize_with_perm(&kreg, perm, Engine::Simplicial)
             .expect("kernel workload factorization");
@@ -180,6 +176,54 @@ impl BatchWorkload {
         BatchWorkload { factors, n }
     }
 
+    /// Build a **heterogeneous, size-skewed** cluster: one 2×2 decomposition
+    /// per entry of `cells`, concatenated into a single batch. With cells
+    /// like `[12, 4, 6, 3]` the subdomain dof counts spread well beyond the
+    /// 4× ratio the scheduler benches need, and the heavy subdomains land at
+    /// stride `cells.len()` — the adversarial layout for round-robin stream
+    /// assignment.
+    pub fn build_skewed(dim: usize, cells: &[usize]) -> Self {
+        assert!(!cells.is_empty(), "skewed workload needs at least one size");
+        let mut factors: Vec<(Csc, Csc)> = Vec::new();
+        let problems: Vec<HeatProblem> = cells
+            .iter()
+            .map(|&c| {
+                if dim == 2 {
+                    HeatProblem::build_2d(c, (2, 2), Gluing::Redundant)
+                } else {
+                    HeatProblem::build_3d(c, (2, 2, 1), Gluing::Redundant)
+                }
+            })
+            .collect();
+        let nsub = problems[0].subdomains.len();
+        // interleave across problems so consecutive batch indices alternate
+        // between small and large subdomains
+        for k in 0..nsub {
+            for problem in &problems {
+                let sd = &problem.subdomains[k];
+                let f = sc_feti::SubdomainFactors::build(
+                    sd,
+                    Engine::Simplicial,
+                    Ordering::NestedDissection,
+                );
+                factors.push((f.chol.factor_csc(), f.bt_perm));
+            }
+        }
+        let n = factors.iter().map(|(l, _)| l.ncols()).max().unwrap_or(0);
+        BatchWorkload { factors, n }
+    }
+
+    /// Ratio of the largest to the smallest subdomain dof count.
+    pub fn size_spread(&self) -> f64 {
+        let min = self
+            .factors
+            .iter()
+            .map(|(l, _)| l.ncols())
+            .min()
+            .unwrap_or(1);
+        self.n as f64 / min.max(1) as f64
+    }
+
     /// Borrow the factors as batch-driver items.
     pub fn items(&self) -> Vec<sc_core::BatchItem<'_>> {
         self.factors
@@ -225,6 +269,17 @@ mod tests {
                 assert!(bt.ncols() > 0, "every subdomain is glued");
             }
         }
+    }
+
+    #[test]
+    fn skewed_workload_is_large_and_skewed() {
+        let w = BatchWorkload::build_skewed(2, &[12, 4, 6, 3]);
+        assert!(w.n_subdomains() >= 16, "got {}", w.n_subdomains());
+        assert!(
+            w.size_spread() >= 4.0,
+            "dof spread must be ≥ 4×, got {}",
+            w.size_spread()
+        );
     }
 
     #[test]

@@ -15,9 +15,9 @@ use crate::tune::BlockCutsCache;
 use sc_dense::Mat;
 use sc_sparse::Csc;
 
-/// Assembler configuration: one entry per knob the paper tunes.
-#[derive(Clone, Copy, Debug)]
-pub struct ScConfig {
+/// Fully resolved assembler parameters: one entry per knob the paper tunes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScParams {
     /// TRSM algorithm (plain / RHS split / factor split + pruning).
     pub trsm: TrsmVariant,
     /// SYRK algorithm (plain / input split / output split).
@@ -29,10 +29,10 @@ pub struct ScConfig {
     pub stepped_permutation: bool,
 }
 
-impl ScConfig {
+impl ScParams {
     /// The baseline of \[9\]: no splitting, no stepped permutation.
     pub fn original(storage: FactorStorage) -> Self {
-        ScConfig {
+        ScParams {
             trsm: TrsmVariant::Plain,
             syrk: SyrkVariant::Plain,
             factor_storage: storage,
@@ -50,7 +50,7 @@ impl ScConfig {
             (true, false) => (t::TRSM_FACTOR_GPU_2D, t::SYRK_INPUT_GPU_2D),
             (true, true) => (t::TRSM_FACTOR_GPU_3D, t::SYRK_INPUT_GPU_3D),
         };
-        ScConfig {
+        ScParams {
             trsm: TrsmVariant::FactorSplit {
                 block: trsm_block,
                 // pruning always helps large factors (paper §4.1); in 2D the
@@ -65,6 +65,91 @@ impl ScConfig {
             },
             stepped_permutation: true,
         }
+    }
+}
+
+/// Assembler configuration: either every knob fixed up front, or a
+/// per-subdomain Table-1-style automatic selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScConfig {
+    /// Use exactly these parameters for every subdomain.
+    Fixed(ScParams),
+    /// Pick `TrsmVariant`/`SyrkVariant`/`FactorStorage` per subdomain from
+    /// the factor's density and the problem size, mirroring how the paper's
+    /// Table 1 splits its recommendations by platform (CPU/GPU) and
+    /// dimension (2D/3D). The platform comes from the executing backend
+    /// ([`Exec::is_gpu`]); "2D-vs-3D" is decided
+    /// from the factor fill (3D nested-dissection factors are far denser
+    /// than 2D ones), and very small subdomains fall back to the plain
+    /// kernels, whose launch overhead beats splitting at those sizes.
+    Auto,
+}
+
+/// Density of a lower-triangular CSC factor relative to a full triangle.
+fn factor_density(l: &Csc) -> f64 {
+    let n = l.ncols();
+    if n == 0 {
+        return 0.0;
+    }
+    let tri = n as f64 * (n as f64 + 1.0) / 2.0;
+    l.nnz() as f64 / tri
+}
+
+/// 2D nested-dissection factors stay a few percent dense; 3D ones fill an
+/// order of magnitude more. This threshold separates the two regimes on the
+/// workspace's heat-transfer ladders.
+const AUTO_THREE_D_DENSITY: f64 = 0.15;
+/// Below these sizes the splitting variants cannot amortize their extra
+/// kernel launches (the left branch of the paper's Figure 5 U-curve).
+const AUTO_MIN_DOFS: usize = 96;
+const AUTO_MIN_LAMBDA: usize = 8;
+
+impl ScConfig {
+    /// The baseline of \[9\]: no splitting, no stepped permutation.
+    pub fn original(storage: FactorStorage) -> Self {
+        ScConfig::Fixed(ScParams::original(storage))
+    }
+
+    /// The paper's optimized configuration with Table 1 defaults for the
+    /// given platform/dimension (`gpu`, `three_d` flags).
+    pub fn optimized(gpu: bool, three_d: bool) -> Self {
+        ScConfig::Fixed(ScParams::optimized(gpu, three_d))
+    }
+
+    /// Resolve to concrete parameters for one subdomain. `gpu` is the
+    /// executing platform ([`ScConfig::Fixed`] ignores it; callers inside
+    /// the pipeline pass [`Exec::is_gpu`]).
+    pub fn resolve(&self, gpu: bool, l: &Csc, bt: &Csc) -> ScParams {
+        match self {
+            ScConfig::Fixed(params) => *params,
+            ScConfig::Auto => {
+                let n = l.ncols();
+                let m = bt.ncols();
+                let three_d_like = factor_density(l) > AUTO_THREE_D_DENSITY;
+                if n < AUTO_MIN_DOFS || m < AUTO_MIN_LAMBDA {
+                    ScParams {
+                        trsm: TrsmVariant::Plain,
+                        syrk: SyrkVariant::Plain,
+                        factor_storage: if three_d_like {
+                            FactorStorage::Dense
+                        } else {
+                            FactorStorage::Sparse
+                        },
+                        // the stepped permutation is a cheap relabeling and
+                        // never hurts, keep it on
+                        stepped_permutation: true,
+                    }
+                } else {
+                    ScParams::optimized(gpu, three_d_like)
+                }
+            }
+        }
+    }
+}
+
+impl From<ScParams> for ScConfig {
+    fn from(params: ScParams) -> Self {
+        ScConfig::Fixed(params)
     }
 }
 
@@ -94,8 +179,9 @@ pub fn assemble_sc_with_cache<E: Exec>(
     let n = l.ncols();
     assert_eq!(bt.nrows(), n, "B̃ᵀ rows must live in factor space");
     let m = bt.ncols();
+    let params = cfg.resolve(exec.is_gpu(), l, bt);
 
-    let stepped = if cfg.stepped_permutation {
+    let stepped = if params.stepped_permutation {
         SteppedRhs::new(bt)
     } else {
         SteppedRhs {
@@ -108,8 +194,16 @@ pub fn assemble_sc_with_cache<E: Exec>(
     // the splitting kernels require sorted pivots, so fall back to plain
     // variants in that case (this is what "original" does anyway).
     let sorted = stepped.pivots.windows(2).all(|w| w[0] <= w[1]);
-    let trsm_variant = if sorted { cfg.trsm } else { TrsmVariant::Plain };
-    let syrk_variant = if sorted { cfg.syrk } else { SyrkVariant::Plain };
+    let trsm_variant = if sorted {
+        params.trsm
+    } else {
+        TrsmVariant::Plain
+    };
+    let syrk_variant = if sorted {
+        params.syrk
+    } else {
+        SyrkVariant::Plain
+    };
 
     // dense RHS expansion (the TRSM is in-place on the dense Y)
     let mut y = stepped.to_dense();
@@ -119,7 +213,7 @@ pub fn assemble_sc_with_cache<E: Exec>(
         exec,
         l,
         &stepped,
-        cfg.factor_storage,
+        params.factor_storage,
         trsm_variant,
         &mut y,
         cache,
@@ -256,12 +350,12 @@ mod tests {
         for trsm in trsms {
             for syrk in syrks {
                 for storage in [FactorStorage::Sparse, FactorStorage::Dense] {
-                    let cfg = ScConfig {
+                    let cfg = ScConfig::Fixed(ScParams {
                         trsm,
                         syrk,
                         factor_storage: storage,
                         stepped_permutation: true,
-                    };
+                    });
                     let (f, fref) = assemble_with(&cfg, 6, 10);
                     let d = sc_dense::max_abs_diff(f.as_ref(), fref.as_ref());
                     assert!(d < 1e-9, "{trsm:?} {syrk:?} {storage:?}: {d}");
@@ -275,7 +369,7 @@ mod tests {
         // the paper's footnote-3 non-uniform (equal-FLOP) partitioning must
         // be numerically identical to the uniform variants
         for count in [1usize, 3, 7] {
-            let cfg = ScConfig {
+            let cfg = ScConfig::Fixed(ScParams {
                 trsm: TrsmVariant::FactorSplit {
                     block: BlockParam::Balanced(count),
                     prune: true,
@@ -283,18 +377,18 @@ mod tests {
                 syrk: SyrkVariant::InputSplit(BlockParam::Balanced(count)),
                 factor_storage: FactorStorage::Dense,
                 stepped_permutation: true,
-            };
+            });
             let (f, fref) = assemble_with(&cfg, 7, 13);
             let d = sc_dense::max_abs_diff(f.as_ref(), fref.as_ref());
             assert!(d < 1e-9, "balanced count {count}: {d}");
         }
         // column-dimension balanced splits (RHS / output splitting)
-        let cfg = ScConfig {
+        let cfg = ScConfig::Fixed(ScParams {
             trsm: TrsmVariant::RhsSplit(BlockParam::Balanced(4)),
             syrk: SyrkVariant::OutputSplit(BlockParam::Balanced(3)),
             factor_storage: FactorStorage::Sparse,
             stepped_permutation: true,
-        };
+        });
         let (f, fref) = assemble_with(&cfg, 6, 11);
         assert!(sc_dense::max_abs_diff(f.as_ref(), fref.as_ref()) < 1e-9);
     }
@@ -332,7 +426,12 @@ mod tests {
 
         let t0 = dev.synchronize();
         let mut gpu = GpuExec::new(&kernels);
-        assemble_sc(&mut gpu, &l, &bt_perm, &ScConfig::original(FactorStorage::Dense));
+        assemble_sc(
+            &mut gpu,
+            &l,
+            &bt_perm,
+            &ScConfig::original(FactorStorage::Dense),
+        );
         let t_orig = dev.synchronize() - t0;
 
         let t1 = dev.synchronize();
@@ -346,6 +445,82 @@ mod tests {
     }
 
     #[test]
+    fn zero_lambda_subdomain_yields_empty_f() {
+        // n_lambda == 0: B̃ᵀ has zero columns, F̃ must be a clean 0×0 matrix
+        // under every variant combination and on both backends
+        let k = spd_matrix(5);
+        let chol = SparseCholesky::factorize(&k, CholOptions::default()).unwrap();
+        let l = chol.factor_csc();
+        let bt = Csc::zeros(l.ncols(), 0);
+        for cfg in [
+            ScConfig::original(FactorStorage::Sparse),
+            ScConfig::original(FactorStorage::Dense),
+            ScConfig::optimized(false, false),
+            ScConfig::optimized(true, true),
+            ScConfig::Auto,
+        ] {
+            let f = assemble_sc(&mut CpuExec, &l, &bt, &cfg);
+            assert_eq!((f.nrows(), f.ncols()), (0, 0), "{cfg:?}");
+        }
+        let dev = Device::new(DeviceSpec::a100(), 1);
+        let kernels = GpuKernels::new(dev.stream(0));
+        let mut gpu = GpuExec::new(&kernels);
+        let f = assemble_sc(&mut gpu, &l, &bt, &ScConfig::optimized(true, false));
+        assert_eq!((f.nrows(), f.ncols()), (0, 0));
+    }
+
+    #[test]
+    fn zero_dof_subdomain_yields_zero_f() {
+        // degenerate 0×0 factor with multipliers attached to nothing: F̃ is
+        // the m×m zero matrix (B̃ K⁺ B̃ᵀ over an empty dof space)
+        let l = Csc::zeros(0, 0);
+        let bt = Csc::zeros(0, 3);
+        for cfg in [
+            ScConfig::original(FactorStorage::Dense),
+            ScConfig::optimized(false, true),
+            ScConfig::Auto,
+        ] {
+            let f = assemble_sc(&mut CpuExec, &l, &bt, &cfg);
+            assert_eq!((f.nrows(), f.ncols()), (3, 3), "{cfg:?}");
+            for j in 0..3 {
+                for i in 0..3 {
+                    assert_eq!(f[(i, j)], 0.0, "{cfg:?} at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_column_bt_matches_reference() {
+        let (f, fref) = assemble_with(&ScConfig::optimized(false, false), 6, 1);
+        assert_eq!((f.nrows(), f.ncols()), (1, 1));
+        assert!(sc_dense::max_abs_diff(f.as_ref(), fref.as_ref()) < 1e-9);
+    }
+
+    #[test]
+    fn auto_config_matches_reference_and_adapts() {
+        let (f, fref) = assemble_with(&ScConfig::Auto, 7, 12);
+        assert!(sc_dense::max_abs_diff(f.as_ref(), fref.as_ref()) < 1e-9);
+        // tiny subdomain resolves to plain kernels; a large one to splitting
+        let k_small = spd_matrix(4);
+        let chol = SparseCholesky::factorize(&k_small, CholOptions::default()).unwrap();
+        let bt_small = gluing(k_small.ncols(), 3);
+        let p_small = ScConfig::Auto.resolve(false, &chol.factor_csc(), &bt_small);
+        assert_eq!(p_small.trsm, TrsmVariant::Plain);
+        assert_eq!(p_small.syrk, SyrkVariant::Plain);
+        let k_big = spd_matrix(16); // 256 dofs
+        let chol = SparseCholesky::factorize(&k_big, CholOptions::default()).unwrap();
+        let bt_big = gluing(k_big.ncols(), 40);
+        let p_big = ScConfig::Auto.resolve(true, &chol.factor_csc(), &bt_big);
+        assert!(
+            matches!(p_big.trsm, TrsmVariant::FactorSplit { .. }),
+            "large subdomains must use splitting, got {:?}",
+            p_big.trsm
+        );
+        assert!(p_big.stepped_permutation);
+    }
+
+    #[test]
     fn result_is_symmetric_spd() {
         let (f, _) = assemble_with(&ScConfig::optimized(false, true), 8, 14);
         let m = f.nrows();
@@ -355,6 +530,9 @@ mod tests {
             }
         }
         let mut chol = f.clone();
-        assert!(sc_dense::cholesky_in_place(chol.as_mut()).is_ok(), "SC must be SPD for this B");
+        assert!(
+            sc_dense::cholesky_in_place(chol.as_mut()).is_ok(),
+            "SC must be SPD for this B"
+        );
     }
 }

@@ -21,17 +21,25 @@
 pub mod assemble;
 pub mod batch;
 pub mod exec;
+pub mod schedule;
 pub mod stepped;
 pub mod syrk;
 pub mod trsm;
 pub mod tune;
 
-pub use assemble::{assemble_sc, assemble_sc_reference, assemble_sc_with_cache, ScConfig};
+pub use assemble::{
+    assemble_sc, assemble_sc_reference, assemble_sc_with_cache, ScConfig, ScParams,
+};
 pub use batch::{
     assemble_sc_batch, assemble_sc_batch_gpu, assemble_sc_batch_gpu_map, assemble_sc_batch_map,
-    assemble_sc_batch_with, BatchItem, BatchReport, BatchResult, SubdomainTiming,
+    assemble_sc_batch_scheduled, assemble_sc_batch_scheduled_map, assemble_sc_batch_with,
+    BatchItem, BatchReport, BatchResult, SubdomainTiming,
 };
-pub use exec::{CpuExec, Exec, GpuExec};
+pub use exec::{CpuExec, Exec, GpuExec, RecordingExec};
+pub use schedule::{
+    estimate_cost, plan, ArenaSim, CostEstimate, ScheduleOptions, ScheduledSpan, StreamPlan,
+    StreamPolicy,
+};
 pub use stepped::SteppedRhs;
 pub use syrk::{run_syrk as run_syrk_variant, run_syrk_with_cache, SyrkVariant};
 pub use trsm::{run_trsm as run_trsm_variant, run_trsm_with_cache, FactorStorage, TrsmVariant};

@@ -1,0 +1,477 @@
+//! Memory-aware, cost-model-driven stream scheduling for the batched GPU
+//! assembly (paper §4.4).
+//!
+//! The paper's production loop assembles hundreds of `F̃ᵢ` per cluster by
+//! submitting subdomains over 16 CUDA streams under a fixed temporary-arena
+//! budget; its CUDA predecessor (arXiv:2502.08382) shows that *stream
+//! scheduling and memory admission*, not kernel speed alone, decide
+//! throughput at that scale. This module is the planner behind
+//! [`assemble_sc_batch_scheduled`](crate::batch::assemble_sc_batch_scheduled):
+//!
+//! 1. [`estimate_cost`] prices each subdomain from its stepped pattern —
+//!    TRSM and SYRK FLOPs below the column pivots, H2D transfer bytes, and
+//!    the peak temporary footprint (`Y` plus densified factor blocks);
+//! 2. [`plan`] orders submission **longest-processing-time-first** and
+//!    assigns each subdomain to the **least-loaded stream**
+//!    ([`StreamPolicy::LptLeastLoaded`]; [`StreamPolicy::RoundRobin`] keeps
+//!    the naive index-order assignment as the comparison baseline);
+//! 3. [`ArenaSim`] admits each subdomain against the device's
+//!    [`TempPool`](sc_gpu::TempPool) capacity **in simulated time**, so
+//!    concurrent temporaries never oversubscribe the arena. A stream whose
+//!    next subdomain does not fit *stalls until a holder releases* — the
+//!    paper's **"wait"** configuration. Per-subdomain host-readiness times
+//!    (factorization finishing on the CPU while the device assembles other
+//!    subdomains) are applied through
+//!    [`Device::advance_stream`](sc_gpu::Device::advance_stream) — the
+//!    paper's **"mix"** configuration
+//!    ([`ScheduleOptions::ready_at`]).
+
+use crate::assemble::ScParams;
+use crate::trsm::{FactorStorage, TrsmVariant};
+use sc_gpu::{DeviceSpec, SimSpan};
+use sc_sparse::{pattern, Csc};
+
+/// Stream-assignment policy for a batched GPU assembly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StreamPolicy {
+    /// Subdomain `i` goes to stream `i % n_streams`, in index order — the
+    /// blind baseline (and the only thing the pre-scheduler driver did).
+    RoundRobin,
+    /// Longest-processing-time-first: subdomains sorted by estimated cost
+    /// descending, each assigned to the currently least-loaded stream. The
+    /// classic 4/3-approximation for makespan on identical machines.
+    #[default]
+    LptLeastLoaded,
+}
+
+/// Options of the scheduled batch driver.
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleOptions {
+    /// Stream-assignment policy.
+    pub policy: StreamPolicy,
+    /// Per-subdomain host-readiness times in simulated seconds (the paper's
+    /// "mix" configuration: subdomain `i`'s factorization finishes on the
+    /// host at `ready_at[i]`, so its kernels cannot start earlier — applied
+    /// via `Device::advance_stream`). `None` means everything is ready at
+    /// `t = 0` (the "wait"-only configuration).
+    pub ready_at: Option<Vec<f64>>,
+}
+
+/// Cost estimate of one subdomain's assembly, derived from the stepped
+/// pattern (pivots), `n_dofs`, and `n_lambda` — computed *before* any kernel
+/// runs, which is what lets the planner order submissions.
+#[derive(Clone, Debug)]
+pub struct CostEstimate {
+    /// Position of the subdomain in the input batch.
+    pub index: usize,
+    /// Factor dimension.
+    pub n_dofs: usize,
+    /// Local multiplier count.
+    pub n_lambda: usize,
+    /// Estimated TRSM FLOPs: dense forward substitution below each column's
+    /// pivot, `Σⱼ (n − pⱼ)²`.
+    pub trsm_flops: f64,
+    /// Estimated SYRK FLOPs: with sorted pivots, column `j` pairs with the
+    /// `j + 1` columns left of it over rows `pⱼ..n`: `Σⱼ 2 (j+1) (n − pⱼ)`.
+    pub syrk_flops: f64,
+    /// H2D bytes for the factor and gluing block.
+    pub transfer_bytes: f64,
+    /// Peak temporary-arena footprint: the dense `Y` (`8 n m` bytes) plus
+    /// densified factor blocks when the TRSM densifies.
+    pub temp_bytes: usize,
+    /// Single-stream device-seconds estimate under `spec` (compute at peak
+    /// FP64 plus the PCIe transfer) — the LPT ordering key.
+    pub seconds: f64,
+}
+
+/// Price one subdomain under the given device spec and resolved parameters.
+pub fn estimate_cost(
+    spec: &DeviceSpec,
+    l: &Csc,
+    bt: &Csc,
+    params: &ScParams,
+    index: usize,
+) -> CostEstimate {
+    let n = l.ncols();
+    let m = bt.ncols();
+    // sorted pivots — the stepped pattern the kernels will actually see
+    // (identical to SteppedRhs::new's, without building the permuted matrix)
+    let mut pivots = pattern::pivots_or_end(bt);
+    pivots.sort_unstable();
+
+    let mut trsm_flops = 0.0;
+    let mut syrk_flops = 0.0;
+    for (j, &p) in pivots.iter().enumerate() {
+        let below = n.saturating_sub(p) as f64;
+        trsm_flops += below * below;
+        syrk_flops += 2.0 * (j + 1) as f64 * below;
+    }
+    let transfer_bytes = 16.0 * (l.nnz() + bt.nnz()) as f64;
+
+    // temporary footprint: the dense RHS/solution Y always lives in the
+    // arena; densifying TRSM variants additionally materialize factor
+    // blocks, and the pruning path gathers a dense sub-diagonal panel plus
+    // a compacted GEMM output regardless of factor storage
+    let y_bytes = 8 * n * m;
+    let factor_bytes = match (params.factor_storage, params.trsm) {
+        (storage, TrsmVariant::FactorSplit { block, prune }) => {
+            let bs = block.block_size(n).min(n);
+            // densified diagonal block + sub-diagonal panel, one at a time
+            let dense_blocks = if storage == FactorStorage::Dense || prune {
+                8 * n * bs
+            } else {
+                0
+            };
+            // pruning: compacted rows of the GEMM update (≤ n × width)
+            let prune_out = if prune { 8 * n * m } else { 0 };
+            dense_blocks + prune_out
+        }
+        (FactorStorage::Dense, _) => 8 * n * n,
+        // sparse kernels work off the (persistent) CSC factor; RHS splitting
+        // extracts trailing subfactors, bounded by the factor itself
+        (FactorStorage::Sparse, TrsmVariant::RhsSplit(_)) => 16 * l.nnz(),
+        (FactorStorage::Sparse, _) => 0,
+    };
+    let temp_bytes = y_bytes + factor_bytes;
+
+    let compute_s = (trsm_flops + syrk_flops) / (spec.fp64_gflops * 1e9);
+    let transfer_s = transfer_bytes / (spec.pcie_bandwidth_gbps * 1e9);
+    CostEstimate {
+        index,
+        n_dofs: n,
+        n_lambda: m,
+        trsm_flops,
+        syrk_flops,
+        transfer_bytes,
+        temp_bytes,
+        seconds: compute_s + transfer_s,
+    }
+}
+
+/// Per-stream submission queues produced by [`plan`].
+#[derive(Clone, Debug)]
+pub struct StreamPlan {
+    /// `assignments[s]` lists the subdomain indices stream `s` will process,
+    /// in submission order.
+    pub assignments: Vec<Vec<usize>>,
+    /// Estimated total load per stream (seconds), for diagnostics.
+    pub est_load: Vec<f64>,
+}
+
+/// Assign subdomains to `n_streams` streams under the given policy.
+pub fn plan(costs: &[CostEstimate], n_streams: usize, policy: StreamPolicy) -> StreamPlan {
+    let n_streams = n_streams.max(1);
+    let mut assignments = vec![Vec::new(); n_streams];
+    let mut est_load = vec![0.0f64; n_streams];
+    match policy {
+        StreamPolicy::RoundRobin => {
+            for (k, c) in costs.iter().enumerate() {
+                assignments[k % n_streams].push(c.index);
+                est_load[k % n_streams] += c.seconds;
+            }
+        }
+        StreamPolicy::LptLeastLoaded => {
+            let mut order: Vec<usize> = (0..costs.len()).collect();
+            // longest first; ties broken by index for determinism
+            order.sort_by(|&a, &b| {
+                costs[b]
+                    .seconds
+                    .partial_cmp(&costs[a].seconds)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(costs[a].index.cmp(&costs[b].index))
+            });
+            for k in order {
+                let s = (0..n_streams)
+                    .min_by(|&a, &b| {
+                        est_load[a]
+                            .partial_cmp(&est_load[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    })
+                    .expect("n_streams >= 1");
+                assignments[s].push(costs[k].index);
+                est_load[s] += costs[k].seconds;
+            }
+        }
+    }
+    StreamPlan {
+        assignments,
+        est_load,
+    }
+}
+
+/// One subdomain's placement in the executed schedule (per-stream timeline
+/// entry of the batch report).
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledSpan {
+    /// Subdomain index in the input batch.
+    pub index: usize,
+    /// Stream it ran on.
+    pub stream: usize,
+    /// Simulated time its temporary-arena reservation was granted (equals
+    /// `span.start` up to stream availability; strictly earlier stalls mean
+    /// the stream waited on the arena — the "wait" configuration).
+    pub admitted_at: f64,
+    /// Simulated execution interval (first kernel start .. last kernel end).
+    pub span: SimSpan,
+    /// Bytes reserved in the temporary arena for the interval.
+    pub temp_bytes: usize,
+}
+
+/// Simulated-time admission against the temporary arena: reservations are
+/// intervals `[start, release)` of bytes; [`ArenaSim::admit`] returns the
+/// earliest instant at which a new reservation can *permanently* fit — i.e.
+/// after which committed usage never again exceeds `capacity − bytes`. The
+/// conservative "permanently" guard is what keeps admission safe even though
+/// a reservation's release time is only known after its kernels are
+/// replayed.
+pub struct ArenaSim {
+    capacity: usize,
+    /// Committed reservations as `(start, release, bytes)`.
+    live: Vec<(f64, f64, usize)>,
+}
+
+impl ArenaSim {
+    /// Arena of `capacity` bytes (use the device's
+    /// [`TempPool::capacity`](sc_gpu::TempPool::capacity)).
+    pub fn new(capacity: usize) -> Self {
+        ArenaSim {
+            capacity,
+            live: Vec::new(),
+        }
+    }
+
+    /// Arena capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Earliest admission instant `t ≥ not_before` for a reservation of
+    /// `bytes`, against the committed reservation set.
+    ///
+    /// # Panics
+    ///
+    /// When `bytes > capacity` — the request can never be satisfied,
+    /// mirroring [`TempPool::alloc`](sc_gpu::TempPool::alloc)'s contract.
+    pub fn admit(&self, bytes: usize, not_before: f64) -> f64 {
+        self.try_admit(bytes, not_before)
+            .expect("admission blocked only by open (in-flight) reservations")
+    }
+
+    /// [`ArenaSim::admit`], but `None` when admission is blocked by an
+    /// **open** reservation (one whose release time is not yet known — an
+    /// in-flight subdomain): the caller must replay other streams until the
+    /// holder closes.
+    pub fn try_admit(&self, bytes: usize, not_before: f64) -> Option<f64> {
+        assert!(
+            bytes <= self.capacity,
+            "temporary reservation of {bytes} B exceeds the device arena \
+             capacity {} B — the subdomain cannot be scheduled on this device",
+            self.capacity
+        );
+        let budget = self.capacity as isize - bytes as isize;
+        // sweep usage over the committed breakpoints; admission must wait
+        // past the *last* segment whose usage exceeds the remaining budget
+        let mut events: Vec<(f64, isize)> = Vec::with_capacity(2 * self.live.len());
+        for &(start, release, b) in &self.live {
+            events.push((start, b as isize));
+            events.push((release, -(b as isize)));
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // releases before acquisitions at the same instant
+                .then(a.1.cmp(&b.1))
+        });
+        let mut t = not_before;
+        let mut usage = 0isize;
+        for (w, &(at, delta)) in events.iter().enumerate() {
+            usage += delta;
+            // usage holds on [at, seg_end)
+            let seg_end = events.get(w + 1).map(|e| e.0).unwrap_or(at);
+            if usage > budget && seg_end > at {
+                // cannot be resident during an over-budget segment: wait
+                // until it ends
+                t = t.max(seg_end);
+            }
+        }
+        debug_assert_eq!(usage, 0, "reservation events must balance");
+        t.is_finite().then_some(t)
+    }
+
+    /// Commit a reservation of `bytes` over `[start, release)`.
+    pub fn reserve(&mut self, start: f64, release: f64, bytes: usize) {
+        debug_assert!(release >= start, "reservation released before it starts");
+        self.live.push((start, release.max(start), bytes));
+    }
+
+    /// Open a reservation whose release time is not yet known (an in-flight
+    /// subdomain): it holds `bytes` from `start` indefinitely until
+    /// [`ArenaSim::close`] stamps the release. Returns a handle.
+    pub fn open(&mut self, start: f64, bytes: usize) -> usize {
+        self.live.push((start, f64::INFINITY, bytes));
+        self.live.len() - 1
+    }
+
+    /// Stamp the release time of an open reservation.
+    pub fn close(&mut self, handle: usize, release: f64) {
+        debug_assert!(
+            self.live[handle].1.is_infinite(),
+            "closing an already-closed reservation"
+        );
+        self.live[handle].1 = release.max(self.live[handle].0);
+    }
+
+    /// Peak simultaneous committed bytes over all reservations.
+    pub fn high_water(&self) -> usize {
+        let mut events: Vec<(f64, isize)> = Vec::with_capacity(2 * self.live.len());
+        for &(start, release, b) in &self.live {
+            events.push((start, b as isize));
+            events.push((release, -(b as isize)));
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // releases before acquisitions at the same instant
+                .then(a.1.cmp(&b.1))
+        });
+        let mut usage = 0isize;
+        let mut peak = 0isize;
+        for (_, delta) in events {
+            usage += delta;
+            peak = peak.max(usage);
+        }
+        peak.max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::ScConfig;
+    use sc_sparse::Coo;
+
+    fn bt_with_pivots(n: usize, pivots: &[usize]) -> Csc {
+        let mut c = Coo::new(n, pivots.len());
+        for (j, &p) in pivots.iter().enumerate() {
+            if p < n {
+                c.push(p, j, 1.0);
+            }
+        }
+        c.to_csc()
+    }
+
+    fn diag_factor(n: usize) -> Csc {
+        let mut c = Coo::new(n, n);
+        for j in 0..n {
+            c.push(j, j, 2.0);
+        }
+        c.to_csc()
+    }
+
+    fn est(n: usize, pivots: &[usize]) -> CostEstimate {
+        let l = diag_factor(n);
+        let bt = bt_with_pivots(n, pivots);
+        let params = ScConfig::optimized(true, false).resolve(true, &l, &bt);
+        estimate_cost(&DeviceSpec::a100(), &l, &bt, &params, 0)
+    }
+
+    #[test]
+    fn cost_grows_with_size_and_pivot_depth() {
+        let small = est(50, &[40, 45]);
+        let big = est(500, &[10, 20]);
+        assert!(big.seconds > small.seconds);
+        assert!(big.trsm_flops > small.trsm_flops);
+        // deep pivots (little work below) must be cheaper than shallow ones
+        let shallow = est(100, &[0, 0, 0]);
+        let deep = est(100, &[90, 90, 90]);
+        assert!(shallow.trsm_flops > deep.trsm_flops);
+        assert!(shallow.syrk_flops > deep.syrk_flops);
+    }
+
+    #[test]
+    fn empty_subdomain_costs_only_transfer() {
+        let e = est(10, &[]);
+        assert_eq!(e.n_lambda, 0);
+        assert_eq!(e.trsm_flops, 0.0);
+        assert_eq!(e.syrk_flops, 0.0);
+        assert!(e.transfer_bytes > 0.0, "the factor still travels");
+    }
+
+    #[test]
+    fn lpt_balances_a_skewed_batch_better_than_round_robin() {
+        // sizes arranged so round-robin piles the heavy items onto stream 0
+        let costs: Vec<CostEstimate> = (0..8)
+            .map(|i| {
+                let mut c = est(40, &[0; 12]);
+                c.index = i;
+                c.seconds = if i % 2 == 0 { 8.0 } else { 1.0 };
+                c
+            })
+            .collect();
+        let rr = plan(&costs, 2, StreamPolicy::RoundRobin);
+        let lpt = plan(&costs, 2, StreamPolicy::LptLeastLoaded);
+        let makespan = |p: &StreamPlan| p.est_load.iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            makespan(&lpt) < makespan(&rr),
+            "LPT {:?} must beat round-robin {:?}",
+            lpt.est_load,
+            rr.est_load
+        );
+        // every subdomain appears exactly once
+        let mut seen: Vec<usize> = lpt.assignments.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_handles_degenerate_shapes() {
+        let p = plan(&[], 4, StreamPolicy::LptLeastLoaded);
+        assert!(p.assignments.iter().all(|a| a.is_empty()));
+        let one = vec![est(10, &[2])];
+        let p = plan(&one, 1, StreamPolicy::RoundRobin);
+        assert_eq!(p.assignments, vec![vec![0]]);
+    }
+
+    #[test]
+    fn arena_admits_immediately_when_it_fits() {
+        let a = ArenaSim::new(1000);
+        assert_eq!(a.admit(1000, 0.5), 0.5);
+    }
+
+    #[test]
+    fn arena_waits_for_release() {
+        let mut a = ArenaSim::new(1000);
+        a.reserve(0.0, 2.0, 800);
+        // 300 B do not fit until t = 2.0
+        assert_eq!(a.admit(300, 0.0), 2.0);
+        // 200 B fit right away
+        assert_eq!(a.admit(200, 0.0), 0.0);
+    }
+
+    #[test]
+    fn arena_respects_future_reservations() {
+        let mut a = ArenaSim::new(1000);
+        // committed for the future: [5, 9)
+        a.reserve(5.0, 9.0, 800);
+        // a 300 B request at t=0 must NOT slot in before 5.0, because its
+        // release time is unknown and could overlap [5, 9)
+        assert_eq!(a.admit(300, 0.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the device arena")]
+    fn arena_rejects_oversized_requests() {
+        let a = ArenaSim::new(10);
+        let _ = a.admit(11, 0.0);
+    }
+
+    #[test]
+    fn arena_high_water_tracks_peak() {
+        let mut a = ArenaSim::new(1000);
+        a.reserve(0.0, 4.0, 400);
+        a.reserve(1.0, 2.0, 300);
+        a.reserve(2.0, 5.0, 300);
+        assert_eq!(a.high_water(), 700);
+    }
+}

@@ -181,9 +181,7 @@ mod tests {
         // permutation of the assembler is a pure relabeling.
         let s = SteppedRhs::new(&unsorted_bt());
         let m = s.ncols();
-        let f = sc_dense::Mat::from_fn(m, m, |i, j| {
-            ((i * 31 + j * 17) % 13) as f64 * 0.125 - 0.75
-        });
+        let f = sc_dense::Mat::from_fn(m, m, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.125 - 0.75);
         let g = s.unpermute_symmetric(&f);
         let mut back = sc_dense::Mat::zeros(m, m);
         for js in 0..m {

@@ -177,14 +177,22 @@ mod tests {
 
     #[test]
     fn input_split_matches_reference() {
-        for block in [BlockParam::Size(3), BlockParam::Size(10), BlockParam::Count(4)] {
+        for block in [
+            BlockParam::Size(3),
+            BlockParam::Size(10),
+            BlockParam::Count(4),
+        ] {
             check(SyrkVariant::InputSplit(block));
         }
     }
 
     #[test]
     fn output_split_matches_reference() {
-        for block in [BlockParam::Size(2), BlockParam::Size(8), BlockParam::Count(3)] {
+        for block in [
+            BlockParam::Size(2),
+            BlockParam::Size(8),
+            BlockParam::Count(3),
+        ] {
             check(SyrkVariant::OutputSplit(block));
         }
     }

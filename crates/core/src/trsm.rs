@@ -77,9 +77,7 @@ pub fn run_trsm_with_cache<E: Exec>(
     assert_eq!(y.ncols(), stepped.ncols(), "Y column mismatch");
     match variant {
         TrsmVariant::Plain => trsm_plain(exec, l, storage, y.as_mut()),
-        TrsmVariant::RhsSplit(block) => {
-            trsm_rhs_split(exec, l, stepped, storage, block, y, cache)
-        }
+        TrsmVariant::RhsSplit(block) => trsm_rhs_split(exec, l, stepped, storage, block, y, cache),
         TrsmVariant::FactorSplit { block, prune } => {
             trsm_factor_split(exec, l, stepped, storage, block, prune, y, cache)
         }
@@ -328,7 +326,11 @@ mod tests {
 
     #[test]
     fn rhs_split_matches_reference() {
-        for block in [BlockParam::Size(4), BlockParam::Size(64), BlockParam::Count(3)] {
+        for block in [
+            BlockParam::Size(4),
+            BlockParam::Size(64),
+            BlockParam::Count(3),
+        ] {
             check_variant(TrsmVariant::RhsSplit(block), FactorStorage::Sparse);
             check_variant(TrsmVariant::RhsSplit(block), FactorStorage::Dense);
         }
@@ -336,7 +338,11 @@ mod tests {
 
     #[test]
     fn factor_split_matches_reference() {
-        for block in [BlockParam::Size(5), BlockParam::Size(16), BlockParam::Count(2)] {
+        for block in [
+            BlockParam::Size(5),
+            BlockParam::Size(16),
+            BlockParam::Count(2),
+        ] {
             for prune in [false, true] {
                 check_variant(
                     TrsmVariant::FactorSplit { block, prune },
@@ -359,7 +365,10 @@ mod tests {
             },
             FactorStorage::Dense,
         );
-        check_variant(TrsmVariant::RhsSplit(BlockParam::Size(1)), FactorStorage::Sparse);
+        check_variant(
+            TrsmVariant::RhsSplit(BlockParam::Size(1)),
+            FactorStorage::Sparse,
+        );
     }
 
     #[test]

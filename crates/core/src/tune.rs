@@ -185,7 +185,12 @@ impl BlockCutsCache {
     }
 
     /// Cached [`resolve_block_cuts`] (row-dimension splits).
-    pub fn rows(&self, param: BlockParam, n: usize, pivots: &[usize]) -> std::sync::Arc<Vec<usize>> {
+    pub fn rows(
+        &self,
+        param: BlockParam,
+        n: usize,
+        pivots: &[usize],
+    ) -> std::sync::Arc<Vec<usize>> {
         let key = (param, n, usize::MAX, pivots_key(param, pivots));
         self.lookup(&self.rows, key, || resolve_block_cuts(param, n, pivots))
     }
@@ -199,7 +204,9 @@ impl BlockCutsCache {
         n: usize,
     ) -> std::sync::Arc<Vec<usize>> {
         let key = (param, m, n, pivots_key(param, pivots));
-        self.lookup(&self.cols, key, || resolve_block_cuts_cols(param, m, pivots, n))
+        self.lookup(&self.cols, key, || {
+            resolve_block_cuts_cols(param, m, pivots, n)
+        })
     }
 
     fn lookup(
@@ -310,6 +317,19 @@ mod tests {
     fn degenerate_dimensions() {
         assert_eq!(resolve_block(BlockParam::Size(5), 0), vec![0]);
         assert_eq!(resolve_block(BlockParam::Size(100), 3), vec![0, 3]);
+        // the zero-dimension single-cut `[0]` must be a no-op under the
+        // `windows(2)` iteration every splitting kernel performs
+        for param in [
+            BlockParam::Size(5),
+            BlockParam::Count(3),
+            BlockParam::Balanced(3),
+        ] {
+            let cuts = resolve_block_cuts(param, 0, &[]);
+            assert_eq!(cuts, vec![0], "{param:?}");
+            assert_eq!(cuts.windows(2).count(), 0, "{param:?} must yield no blocks");
+            let ccuts = resolve_block_cuts_cols(param, 0, &[], 7);
+            assert_eq!(ccuts.windows(2).count(), 0, "{param:?} (cols)");
+        }
     }
 
     #[test]
@@ -339,10 +359,7 @@ mod tests {
                 .sum()
         };
         let works: Vec<usize> = cuts.windows(2).map(|w| work(w[0], w[1])).collect();
-        let (mn, mx) = (
-            *works.iter().min().unwrap(),
-            *works.iter().max().unwrap(),
-        );
+        let (mn, mx) = (*works.iter().min().unwrap(), *works.iter().max().unwrap());
         assert!(mx <= 2 * mn + 8, "unbalanced works: {works:?}");
     }
 

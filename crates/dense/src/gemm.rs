@@ -203,15 +203,7 @@ mod tests {
     use super::*;
     use crate::mat::Mat;
 
-    fn naive(
-        alpha: f64,
-        a: &Mat,
-        ta: Trans,
-        b: &Mat,
-        tb: Trans,
-        beta: f64,
-        c: &Mat,
-    ) -> Mat {
+    fn naive(alpha: f64, a: &Mat, ta: Trans, b: &Mat, tb: Trans, beta: f64, c: &Mat) -> Mat {
         let ae = |i: usize, j: usize| match ta {
             Trans::No => a[(i, j)],
             Trans::Yes => a[(j, i)],
@@ -276,7 +268,15 @@ mod tests {
         let a = mk(3, 3, 7);
         let b = mk(3, 3, 8);
         let mut c = Mat::from_fn(3, 3, |_, _| f64::NAN);
-        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c.as_mut(),
+        );
         for j in 0..3 {
             for i in 0..3 {
                 assert!(c[(i, j)].is_finite());
@@ -290,7 +290,15 @@ mod tests {
         let b = mk(4, 2, 10);
         let mut c = mk(3, 2, 11);
         let expect = Mat::from_fn(3, 2, |i, j| 2.0 * c[(i, j)]);
-        gemm(0.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 2.0, c.as_mut());
+        gemm(
+            0.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            2.0,
+            c.as_mut(),
+        );
         assert!(crate::max_abs_diff(c.as_ref(), expect.as_ref()) < 1e-15);
     }
 
@@ -301,8 +309,24 @@ mod tests {
         let b = mk(k, n, 21);
         let mut c1 = mk(m, n, 22);
         let mut c2 = c1.clone();
-        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 1.0, c1.as_mut());
-        par_gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 1.0, c2.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            1.0,
+            c1.as_mut(),
+        );
+        par_gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            1.0,
+            c2.as_mut(),
+        );
         assert!(crate::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
     }
 
@@ -313,8 +337,24 @@ mod tests {
         let b = mk(k, n, 31);
         let mut c1 = Mat::zeros(m, n);
         let mut c2 = Mat::zeros(m, n);
-        gemm(1.0, a.as_ref(), Trans::Yes, b.as_ref(), Trans::No, 0.0, c1.as_mut());
-        par_gemm(1.0, a.as_ref(), Trans::Yes, b.as_ref(), Trans::No, 0.0, c2.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Trans::Yes,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c1.as_mut(),
+        );
+        par_gemm(
+            1.0,
+            a.as_ref(),
+            Trans::Yes,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c2.as_mut(),
+        );
         assert!(crate::max_abs_diff(c1.as_ref(), c2.as_ref()) < 1e-12);
     }
 
@@ -323,11 +363,27 @@ mod tests {
         let a = Mat::zeros(0, 0);
         let b = Mat::zeros(0, 5);
         let mut c = Mat::zeros(0, 5);
-        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 1.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            1.0,
+            c.as_mut(),
+        );
         let a = Mat::zeros(3, 0);
         let b = Mat::zeros(0, 2);
         let mut c = crate::mat::Mat::from_fn(3, 2, |_, _| 1.0);
-        gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 1.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            1.0,
+            c.as_mut(),
+        );
         assert_eq!(c[(0, 0)], 1.0); // beta=1 keeps C
     }
 }

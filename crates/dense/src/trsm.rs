@@ -97,7 +97,15 @@ mod tests {
         trsm_lower_left(l.as_ref(), x.as_mut());
         // L * X should equal B
         let mut lx = Mat::zeros(n, 5);
-        gemm(1.0, l.as_ref(), Trans::No, x.as_ref(), Trans::No, 0.0, lx.as_mut());
+        gemm(
+            1.0,
+            l.as_ref(),
+            Trans::No,
+            x.as_ref(),
+            Trans::No,
+            0.0,
+            lx.as_mut(),
+        );
         assert!(crate::max_abs_diff(lx.as_ref(), b.as_ref()) < 1e-10);
     }
 
@@ -109,7 +117,15 @@ mod tests {
         let mut x = b.clone();
         trsm_lower_left_t(l.as_ref(), x.as_mut());
         let mut ltx = Mat::zeros(n, 4);
-        gemm(1.0, l.as_ref(), Trans::Yes, x.as_ref(), Trans::No, 0.0, ltx.as_mut());
+        gemm(
+            1.0,
+            l.as_ref(),
+            Trans::Yes,
+            x.as_ref(),
+            Trans::No,
+            0.0,
+            ltx.as_mut(),
+        );
         assert!(crate::max_abs_diff(ltx.as_ref(), b.as_ref()) < 1e-10);
     }
 

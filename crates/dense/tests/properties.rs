@@ -1,13 +1,10 @@
 //! Property-based tests of the dense kernel algebra.
 
 use proptest::prelude::*;
-use sc_dense::{
-    cholesky_in_place, gemm, syrk_t, trsm_lower_left, trsm_lower_left_t, Mat, Trans,
-};
+use sc_dense::{cholesky_in_place, gemm, syrk_t, trsm_lower_left, trsm_lower_left_t, Mat, Trans};
 
 fn mat_strategy(m: usize, n: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(-2.0f64..2.0, m * n)
-        .prop_map(move |v| Mat::from_col_major(m, n, v))
+    proptest::collection::vec(-2.0f64..2.0, m * n).prop_map(move |v| Mat::from_col_major(m, n, v))
 }
 
 fn spd_strategy(n: usize) -> impl Strategy<Value = Mat> {

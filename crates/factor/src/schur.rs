@@ -202,8 +202,7 @@ mod tests {
     fn schur_is_symmetric_positive_semidefinite() {
         let n = 15;
         let a = laplace_1d(n);
-        let chol =
-            SparseCholesky::factorize(&a, CholOptions::default()).unwrap();
+        let chol = SparseCholesky::factorize(&a, CholOptions::default()).unwrap();
         let l = chol.factor_csc();
         let mut bt = Coo::new(n, 2);
         bt.push(3, 0, 1.0);

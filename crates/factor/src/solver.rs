@@ -64,7 +64,10 @@ impl SparseCholesky {
         let ap = a.sym_perm(&perm);
         let sym = analyze(&ap);
         let (ssym, numeric) = match engine {
-            Engine::Simplicial => (None, NumericFactor::Simplicial(simplicial_factorize(&ap, &sym)?)),
+            Engine::Simplicial => (
+                None,
+                NumericFactor::Simplicial(simplicial_factorize(&ap, &sym)?),
+            ),
             Engine::Supernodal => {
                 let ssym = SupernodalSymbolic::from_symbolic(&sym);
                 let f = supernodal_factorize(&ap, &sym, &ssym)?;

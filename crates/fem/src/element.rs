@@ -39,9 +39,8 @@ pub fn tet_stiffness(p: [[f64; 3]; 4]) -> [[f64; 4]; 4] {
     assert!(vol > 0.0, "degenerate tetrahedron");
     // inverse transpose of J (rows = gradients of φ1..φ3 w.r.t. x)
     let inv_det = 1.0 / det;
-    let cof = |r1: usize, c1: usize, r2: usize, c2: usize| {
-        d[r1][c1] * d[r2][c2] - d[r1][c2] * d[r2][c1]
-    };
+    let cof =
+        |r1: usize, c1: usize, r2: usize, c2: usize| d[r1][c1] * d[r2][c2] - d[r1][c2] * d[r2][c1];
     // grad φ_{i+1} = row i of J^{-T}
     let g1 = [
         cof(1, 1, 2, 2) * inv_det,

@@ -331,7 +331,13 @@ fn assemble_subdomain(geo: &Geometry, si: usize, sj: usize, sk: usize) -> Subdom
                         .iter()
                         .map(|&(lx, ly, lz)| geo.local_dof(si, lx, ly, lz))
                         .collect();
-                    scatter_element(&mut coo, &mut f, &dofs, &ke[..].iter().map(|r| r.to_vec()).collect::<Vec<_>>(), area_third);
+                    scatter_element(
+                        &mut coo,
+                        &mut f,
+                        &dofs,
+                        &ke[..].iter().map(|r| r.to_vec()).collect::<Vec<_>>(),
+                        area_third,
+                    );
                 }
             }
         }
@@ -407,7 +413,12 @@ fn assemble_subdomain(geo: &Geometry, si: usize, sj: usize, sk: usize) -> Subdom
     };
     // fixing node: subdomain center (free by construction for si > 0)
     let fixing_dof = geo
-        .local_dof(si, c / 2 + usize::from(si == 0 && c / 2 == 0), c / 2, if dim == 3 { c / 2 } else { 0 })
+        .local_dof(
+            si,
+            c / 2 + usize::from(si == 0 && c / 2 == 0),
+            c / 2,
+            if dim == 3 { c / 2 } else { 0 },
+        )
         .expect("fixing node must be free");
 
     Subdomain {
@@ -473,7 +484,7 @@ mod tests {
         let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
         assert_eq!(p.subdomains.len(), 4);
         assert_eq!(p.n_free, 8 * 9); // (nx-1) * ny with nx=ny=9
-        // left subdomains lose the Dirichlet column
+                                     // left subdomains lose the Dirichlet column
         assert_eq!(p.subdomains[0].n_dofs(), 4 * 5);
         assert_eq!(p.subdomains[1].n_dofs(), 5 * 5);
     }

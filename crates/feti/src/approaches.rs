@@ -122,13 +122,11 @@ pub struct PreparedDualOp {
 
 fn sc_config_for(approach: DualOpApproach, three_d: bool) -> ScConfig {
     match approach {
-        DualOpApproach::ExplCholmod | DualOpApproach::ExplCuda => ScConfig::original(
-            if three_d {
-                FactorStorage::Dense
-            } else {
-                FactorStorage::Sparse
-            },
-        ),
+        DualOpApproach::ExplCholmod | DualOpApproach::ExplCuda => ScConfig::original(if three_d {
+            FactorStorage::Dense
+        } else {
+            FactorStorage::Sparse
+        }),
         DualOpApproach::ExplCpuOpt => ScConfig::optimized(false, three_d),
         DualOpApproach::ExplGpuOpt => ScConfig::optimized(true, three_d),
         _ => ScConfig::original(FactorStorage::Sparse),

@@ -173,10 +173,7 @@ mod tests {
         let prob = HeatProblem::build_2d(3, (2, 1), Gluing::Redundant);
         let sd = &prob.subdomains[0];
         let factors = factors_for(sd);
-        let op = DualOperator::explicit_cpu(
-            &factors,
-            &ScConfig::original(FactorStorage::Sparse),
-        );
+        let op = DualOperator::explicit_cpu(&factors, &ScConfig::original(FactorStorage::Sparse));
         let f = op.explicit_matrix().unwrap();
         let m = f.nrows();
         for i in 0..m {

@@ -212,13 +212,17 @@ mod tests {
     #[test]
     fn iteration_budget_respected() {
         let n = 30;
-        let a = Mat::from_fn(n, n, |i, j| {
-            if i == j {
-                1.0 + i as f64 * 100.0
-            } else {
-                0.5
-            }
-        });
+        let a = Mat::from_fn(
+            n,
+            n,
+            |i, j| {
+                if i == j {
+                    1.0 + i as f64 * 100.0
+                } else {
+                    0.5
+                }
+            },
+        );
         let d = vec![1.0; n];
         let res = pcpg(
             &d,

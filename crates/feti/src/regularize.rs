@@ -20,11 +20,7 @@ pub fn regularize_fixing_node(
         return k.clone();
     }
     let n = k.ncols();
-    let rho = rho.unwrap_or_else(|| {
-        (0..n)
-            .map(|j| k.get(j, j))
-            .fold(0.0f64, f64::max)
-    });
+    let rho = rho.unwrap_or_else(|| (0..n).map(|j| k.get(j, j)).fold(0.0f64, f64::max));
     // rebuild with the bumped diagonal (pattern may or may not contain the
     // entry already; COO summation handles both)
     let mut coo = Coo::with_capacity(n, n, k.nnz() + 1);

@@ -4,7 +4,10 @@
 use crate::dualop::{DualOperator, SubdomainFactors};
 use crate::pcpg::PcpgStats;
 use rayon::prelude::*;
-use sc_core::{assemble_sc_batch_gpu_map, assemble_sc_batch_map, BatchReport, ScConfig};
+use sc_core::{
+    assemble_sc_batch_gpu_map, assemble_sc_batch_map, assemble_sc_batch_scheduled_map, BatchReport,
+    ScConfig, ScheduleOptions,
+};
 use sc_dense::Mat;
 use sc_factor::Engine;
 use sc_fem::HeatProblem;
@@ -23,6 +26,12 @@ pub enum DualMode {
     /// Explicit dense `F̃ᵢ`, assembled on the simulated GPU; subdomains are
     /// distributed round-robin over the device's streams.
     ExplicitGpu(ScConfig, Arc<Device>),
+    /// Explicit dense `F̃ᵢ`, assembled on the simulated GPU through the
+    /// §4.4 scheduler (`sc_core::schedule`): cost-model-driven LPT stream
+    /// assignment with temporary-arena admission instead of blind
+    /// round-robin. The schedule's per-stream timeline is exposed through
+    /// [`FetiSolver::assembly_report`].
+    ExplicitGpuScheduled(ScConfig, Arc<Device>, ScheduleOptions),
 }
 
 /// Dual preconditioner selection for PCPG.
@@ -148,6 +157,35 @@ impl<'p> FetiSolver<'p> {
                         .map(|(i, f)| DualOperator::ExplicitGpu {
                             f,
                             kernels: GpuKernels::new(device.stream(i % n_streams)),
+                        })
+                        .collect(),
+                )
+            }
+            DualMode::ExplicitGpuScheduled(cfg, device, sched_opts) => {
+                let batch = assemble_sc_batch_scheduled_map(
+                    &factors,
+                    cfg,
+                    device,
+                    sched_opts,
+                    |_, f| std::borrow::Cow::Owned(f.chol.factor_csc()),
+                    |f| &f.bt_perm,
+                );
+                // keep each operator on the stream its schedule placed it on
+                let stream_of: Vec<usize> = batch
+                    .report
+                    .timings
+                    .iter()
+                    .map(|t| t.stream.unwrap_or(0))
+                    .collect();
+                assembly_report = Some(batch.report);
+                Some(
+                    batch
+                        .f
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, f)| DualOperator::ExplicitGpu {
+                            f,
+                            kernels: GpuKernels::new(device.stream(stream_of[i])),
                         })
                         .collect(),
                 )
@@ -402,7 +440,11 @@ mod tests {
     fn check_against_direct(problem: &HeatProblem, opts: &FetiOptions, tol: f64) {
         let solver = FetiSolver::new(problem, opts);
         let sol = solver.solve(opts);
-        assert!(sol.stats.converged, "PCPG did not converge: {:?}", sol.stats);
+        assert!(
+            sol.stats.converged,
+            "PCPG did not converge: {:?}",
+            sol.stats
+        );
         let direct = direct_solution(problem);
         let u = problem.gather_global(&sol.u_locals);
         let scale = direct.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
@@ -442,6 +484,27 @@ mod tests {
         };
         check_against_direct(&p, &opts, 1e-6);
         assert!(dev.synchronize() > 0.0, "GPU must have been used");
+    }
+
+    #[test]
+    fn explicit_gpu_scheduled_matches_direct_and_reports_schedule() {
+        let p = HeatProblem::build_3d(2, (2, 2, 1), Gluing::Redundant);
+        let dev = Device::new(DeviceSpec::a100(), 4);
+        let opts = FetiOptions {
+            dual: DualMode::ExplicitGpuScheduled(
+                ScConfig::Auto,
+                Arc::clone(&dev),
+                sc_core::ScheduleOptions::default(),
+            ),
+            ..Default::default()
+        };
+        check_against_direct(&p, &opts, 1e-6);
+        assert!(dev.synchronize() > 0.0, "GPU must have been used");
+        let solver = FetiSolver::new(&p, &opts);
+        let report = solver.assembly_report().expect("scheduled mode reports");
+        assert_eq!(report.schedule.len(), p.subdomains.len());
+        assert!(report.device_seconds > 0.0);
+        assert!(report.timings.iter().all(|t| t.stream.is_some()));
     }
 
     #[test]

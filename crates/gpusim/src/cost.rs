@@ -4,6 +4,9 @@
 /// Work performed by one kernel launch.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct KernelCost {
+    /// Kernel family this cost describes (diagnostics: names the kernel in
+    /// validation errors raised at submission).
+    pub label: &'static str,
     /// Floating-point operations.
     pub flops: f64,
     /// Bytes moved (device memory traffic, or transfer size for copies).
@@ -16,6 +19,7 @@ impl KernelCost {
     /// A compute kernel with the given FLOPs and device-memory traffic.
     pub fn compute(flops: f64, bytes: f64) -> Self {
         KernelCost {
+            label: "compute",
             flops,
             bytes,
             over_pcie: false,
@@ -25,9 +29,21 @@ impl KernelCost {
     /// A host<->device transfer of `bytes`.
     pub fn transfer(bytes: f64) -> Self {
         KernelCost {
+            label: "transfer",
             flops: 0.0,
             bytes,
             over_pcie: true,
+        }
+    }
+
+    /// H2D transfer of a CSC matrix with `nnz` stored entries: ~16 bytes per
+    /// entry (8-byte index + 8-byte value; pointer array is noise). The
+    /// single home of the sparse-transfer cost model — `GpuKernels` and the
+    /// scheduled batch driver's cost recorder both use it.
+    pub fn csc_transfer(nnz: usize) -> Self {
+        KernelCost {
+            label: "upload_csc",
+            ..KernelCost::transfer(16.0 * nnz as f64)
         }
     }
 
@@ -35,7 +51,10 @@ impl KernelCost {
     pub fn trsm_dense(n: usize, m: usize) -> Self {
         let flops = n as f64 * n as f64 * m as f64; // n²m (triangular)
         let bytes = 8.0 * (0.5 * n as f64 * n as f64 + 2.0 * n as f64 * m as f64);
-        KernelCost::compute(flops, bytes)
+        KernelCost {
+            label: "trsm_dense",
+            ..KernelCost::compute(flops, bytes)
+        }
     }
 
     /// Sparse TRSM with a CSC/CSR factor of `nnz` non-zeros and `m` RHS
@@ -46,40 +65,80 @@ impl KernelCost {
         // locality): charge the factor read per column block of 32
         let col_blocks = (m as f64 / 32.0).ceil().max(1.0);
         let bytes = 8.0 * (2.0 * nnz as f64) * col_blocks + 16.0 * nnz as f64;
-        KernelCost::compute(flops, bytes)
+        KernelCost {
+            label: "trsm_sparse",
+            ..KernelCost::compute(flops, bytes)
+        }
     }
 
     /// SYRK `C += Aᵀ A` with `A` `k × n` (output `n × n`, lower triangle).
     pub fn syrk(n: usize, k: usize) -> Self {
         let flops = n as f64 * n as f64 * k as f64; // n²k (half of 2n²k)
         let bytes = 8.0 * (n as f64 * k as f64 + 0.5 * n as f64 * n as f64);
-        KernelCost::compute(flops, bytes)
+        KernelCost {
+            label: "syrk",
+            ..KernelCost::compute(flops, bytes)
+        }
     }
 
     /// GEMM `C += A B` with `A` `m × k`, `B` `k × n`.
     pub fn gemm(m: usize, n: usize, k: usize) -> Self {
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
         let bytes = 8.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
-        KernelCost::compute(flops, bytes)
+        KernelCost {
+            label: "gemm",
+            ..KernelCost::compute(flops, bytes)
+        }
     }
 
     /// Sparse-times-dense GEMM with `nnz` stored entries against `n` columns.
     pub fn spmm(nnz: usize, n: usize) -> Self {
         let flops = 2.0 * nnz as f64 * n as f64;
         let bytes = 16.0 * nnz as f64 + 8.0 * nnz as f64 * (n as f64 / 16.0).ceil();
-        KernelCost::compute(flops, bytes)
+        KernelCost {
+            label: "spmm",
+            ..KernelCost::compute(flops, bytes)
+        }
     }
 
     /// Gather/scatter of `count` elements (pruning compaction, permutation).
     pub fn gather(count: usize) -> Self {
-        KernelCost::compute(0.0, 16.0 * count as f64)
+        KernelCost {
+            label: "gather",
+            ..KernelCost::compute(0.0, 16.0 * count as f64)
+        }
     }
 
     /// Dense GEMV `y = A x` for `m × n` A.
     pub fn gemv(m: usize, n: usize) -> Self {
         let flops = 2.0 * m as f64 * n as f64;
         let bytes = 8.0 * (m as f64 * n as f64);
-        KernelCost::compute(flops, bytes)
+        KernelCost {
+            label: "gemv",
+            ..KernelCost::compute(flops, bytes)
+        }
+    }
+
+    /// `Err` with a descriptive message when the cost carries NaN, infinite,
+    /// or negative work — checked by [`Device::submit`] so a malformed cost
+    /// fails loudly at the submission site instead of as an opaque
+    /// `partial_cmp` panic deep inside the timeline's slot heap.
+    ///
+    /// [`Device::submit`]: crate::timeline::Device::submit
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.flops.is_finite() && self.flops >= 0.0) {
+            return Err(format!(
+                "kernel '{}': invalid flops {} (must be finite and >= 0)",
+                self.label, self.flops
+            ));
+        }
+        if !(self.bytes.is_finite() && self.bytes >= 0.0) {
+            return Err(format!(
+                "kernel '{}': invalid bytes {} (must be finite and >= 0)",
+                self.label, self.bytes
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -102,6 +161,14 @@ mod tests {
     }
 
     #[test]
+    fn csc_transfer_charges_16_bytes_per_entry() {
+        let t = KernelCost::csc_transfer(100);
+        assert_eq!(t.bytes, 1600.0);
+        assert!(t.over_pcie);
+        assert_eq!(t.label, "upload_csc");
+    }
+
+    #[test]
     fn gemm_flops_standard() {
         let c = KernelCost::gemm(3, 4, 5);
         assert_eq!(c.flops, 120.0);
@@ -112,5 +179,21 @@ mod tests {
         let s = KernelCost::syrk(10, 20);
         let g = KernelCost::gemm(10, 10, 20);
         assert!((s.flops * 2.0 - g.flops).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_negative() {
+        assert!(KernelCost::compute(1.0, 1.0).validate().is_ok());
+        assert!(KernelCost::compute(0.0, 0.0).validate().is_ok());
+        let nan = KernelCost::compute(f64::NAN, 1.0);
+        let err = nan.validate().unwrap_err();
+        assert!(err.contains("compute"), "error must name the kernel: {err}");
+        assert!(KernelCost::compute(1.0, f64::NEG_INFINITY)
+            .validate()
+            .is_err());
+        assert!(KernelCost::compute(-1.0, 0.0).validate().is_err());
+        let mut t = KernelCost::trsm_dense(4, 4);
+        t.bytes = f64::NAN;
+        assert!(t.validate().unwrap_err().contains("trsm_dense"));
     }
 }

@@ -69,7 +69,16 @@ impl DeviceSpec {
             self.mem_bandwidth_gbps
         };
         let memory = cost.bytes / (mem_bw * 1e9);
-        launch + compute.max(memory)
+        let total = launch + compute.max(memory);
+        debug_assert!(
+            total.is_finite() && total >= 0.0,
+            "kernel '{}' produced a non-finite or negative duration {total} \
+             (flops={}, bytes={})",
+            cost.label,
+            cost.flops,
+            cost.bytes
+        );
+        total
     }
 }
 

@@ -9,13 +9,21 @@
 
 use crate::cost::KernelCost;
 use crate::timeline::{SimSpan, Stream};
+use parking_lot::Mutex;
 use sc_dense::{MatMut, MatRef, Trans};
 use sc_sparse::Csc;
 
 /// Kernel-set facade bound to one stream.
+///
+/// Every submission is also folded into a per-instance *captured span* (the
+/// union `[earliest start, latest end]` of everything this instance
+/// launched). A caller that creates one `GpuKernels` per subdomain — as the
+/// batched drivers do — gets the subdomain's simulated execution span for
+/// free from [`GpuKernels::captured_span`].
 pub struct GpuKernels {
     stream: Stream,
     cost_only: bool,
+    captured: Mutex<Option<SimSpan>>,
 }
 
 impl GpuKernels {
@@ -24,6 +32,7 @@ impl GpuKernels {
         GpuKernels {
             stream,
             cost_only: false,
+            captured: Mutex::new(None),
         }
     }
 
@@ -37,6 +46,7 @@ impl GpuKernels {
         GpuKernels {
             stream,
             cost_only: true,
+            captured: Mutex::new(None),
         }
     }
 
@@ -50,22 +60,48 @@ impl GpuKernels {
         &self.stream
     }
 
+    /// Submit on the bound stream and fold the span into the captured union.
+    fn submit(&self, cost: &KernelCost) -> SimSpan {
+        let span = self.stream.submit(cost);
+        let mut captured = self.captured.lock();
+        *captured = Some(match *captured {
+            None => span,
+            Some(acc) => SimSpan {
+                start: acc.start.min(span.start),
+                end: acc.end.max(span.end),
+            },
+        });
+        span
+    }
+
+    /// Union span of every kernel submitted through this instance since
+    /// creation (or the last [`GpuKernels::reset_captured_span`]); `None`
+    /// when nothing was submitted. On the device this is the subdomain's
+    /// simulated residence interval on its stream.
+    pub fn captured_span(&self) -> Option<SimSpan> {
+        *self.captured.lock()
+    }
+
+    /// Clear the captured span (start a new measurement window).
+    pub fn reset_captured_span(&self) {
+        *self.captured.lock() = None;
+    }
+
     /// Simulated H2D upload of `bytes`.
     pub fn upload_bytes(&self, bytes: usize) -> SimSpan {
-        self.stream.submit(&KernelCost::transfer(bytes as f64))
+        self.submit(&KernelCost::transfer(bytes as f64))
     }
 
     /// Simulated D2H download of `bytes`.
     pub fn download_bytes(&self, bytes: usize) -> SimSpan {
-        self.stream.submit(&KernelCost::transfer(bytes as f64))
+        self.submit(&KernelCost::transfer(bytes as f64))
     }
 
-    /// Simulated H2D upload of a CSC matrix: ~16 bytes per stored entry
-    /// (8-byte index + 8-byte value; pointer array is noise). The single
-    /// home of the sparse-transfer cost model — used by every explicit-GPU
-    /// preprocessing path.
+    /// Simulated H2D upload of a CSC matrix (16 bytes per stored entry, see
+    /// [`KernelCost::csc_transfer`] — the single home of the sparse-transfer
+    /// cost model). Used by every explicit-GPU preprocessing path.
     pub fn upload_csc(&self, m: &Csc) -> SimSpan {
-        self.upload_bytes(16 * m.nnz())
+        self.submit(&KernelCost::csc_transfer(m.nnz()))
     }
 
     /// Dense TRSM: solve `L X = B` in place (`L` lower triangular).
@@ -74,7 +110,7 @@ impl GpuKernels {
         if !self.cost_only {
             sc_dense::trsm_lower_left(l, b);
         }
-        self.stream.submit(&cost)
+        self.submit(&cost)
     }
 
     /// Sparse TRSM: solve `L X = B` in place with a CSC factor.
@@ -83,7 +119,7 @@ impl GpuKernels {
         if !self.cost_only {
             sc_sparse::csc_lower_solve_mat(l, b);
         }
-        self.stream.submit(&cost)
+        self.submit(&cost)
     }
 
     /// Dense GEMM `C = alpha op(A) op(B) + beta C`.
@@ -107,7 +143,7 @@ impl GpuKernels {
         if !self.cost_only {
             sc_dense::gemm(alpha, a, ta, b, tb, beta, c);
         }
-        self.stream.submit(&cost)
+        self.submit(&cost)
     }
 
     /// Sparse-dense GEMM `C = alpha A B + beta C` (`A` CSC).
@@ -123,7 +159,7 @@ impl GpuKernels {
         if !self.cost_only {
             a.spmm(alpha, b, beta, &mut c);
         }
-        self.stream.submit(&cost)
+        self.submit(&cost)
     }
 
     /// SYRK `C(lower) = alpha Aᵀ A + beta C`.
@@ -132,12 +168,12 @@ impl GpuKernels {
         if !self.cost_only {
             sc_dense::syrk_t(alpha, a, beta, c);
         }
-        self.stream.submit(&cost)
+        self.submit(&cost)
     }
 
     /// Gather `count` scattered elements (pruning compaction, permutations).
     pub fn gather(&self, count: usize) -> SimSpan {
-        self.stream.submit(&KernelCost::gather(count))
+        self.submit(&KernelCost::gather(count))
     }
 
     /// Dense GEMV `y = alpha A x + beta y` (explicit dual operator apply).
@@ -146,7 +182,7 @@ impl GpuKernels {
         if !self.cost_only {
             sc_dense::gemv(alpha, a, x, beta, y);
         }
-        self.stream.submit(&cost)
+        self.submit(&cost)
     }
 }
 
@@ -172,6 +208,21 @@ mod tests {
                 0.0
             }
         })
+    }
+
+    #[test]
+    fn captured_span_is_union_of_submissions() {
+        let k = kernels();
+        assert!(k.captured_span().is_none());
+        let a = k.upload_bytes(1000);
+        let b = k.gather(64);
+        let got = k.captured_span().expect("span captured");
+        assert_eq!(got.start, a.start);
+        assert_eq!(got.end, b.end);
+        k.reset_captured_span();
+        assert!(k.captured_span().is_none());
+        let c = k.gather(8);
+        assert_eq!(k.captured_span(), Some(c));
     }
 
     #[test]
@@ -201,9 +252,25 @@ mod tests {
 
         let b = Mat::from_fn(4, 5, |i, j| (i + j) as f64);
         let mut g1 = Mat::zeros(6, 5);
-        k.gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, g1.as_mut());
+        k.gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            g1.as_mut(),
+        );
         let mut g2 = Mat::zeros(6, 5);
-        sc_dense::gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, g2.as_mut());
+        sc_dense::gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            g2.as_mut(),
+        );
         assert!(sc_dense::max_abs_diff(g1.as_ref(), g2.as_ref()) < 1e-14);
     }
 

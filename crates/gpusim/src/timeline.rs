@@ -44,6 +44,9 @@ struct TimelineState {
     busy: f64,
     /// Number of kernels launched.
     launches: usize,
+    /// Per-kernel `(stream, span)` log, recorded when enabled (scheduler
+    /// invariant tests reconstruct concurrency from it).
+    span_log: Option<Vec<(usize, SimSpan)>>,
 }
 
 /// A simulated GPU: capability spec + execution timeline + memory pools.
@@ -66,6 +69,7 @@ impl Device {
                 slots: (0..concurrency).map(|_| Reverse(F(0.0))).collect(),
                 busy: 0.0,
                 launches: 0,
+                span_log: None,
             }),
             temp_pool,
         })
@@ -96,7 +100,21 @@ impl Device {
 
     /// Submit a kernel on stream `id`, not starting before `ready_at`
     /// (simulated seconds). Returns its simulated span.
+    ///
+    /// # Panics
+    ///
+    /// When `cost` carries NaN, infinite, or negative work (see
+    /// [`KernelCost::validate`]) — malformed costs fail here with an error
+    /// naming the kernel, instead of corrupting the slot heap's ordering.
     pub fn submit(&self, id: usize, cost: &KernelCost, ready_at: f64) -> SimSpan {
+        if let Err(e) = cost.validate() {
+            panic!("rejected submission on stream {id}: {e}");
+        }
+        assert!(
+            ready_at.is_finite() && ready_at >= 0.0,
+            "kernel '{}' submitted with invalid ready_at {ready_at}",
+            cost.label
+        );
         let dur = self.spec.kernel_seconds(cost);
         let mut st = self.state.lock();
         let t0 = st.stream_clock[id].max(ready_at);
@@ -107,7 +125,31 @@ impl Device {
         st.stream_clock[id] = end;
         st.busy += dur;
         st.launches += 1;
-        SimSpan { start, end }
+        let span = SimSpan { start, end };
+        if let Some(log) = st.span_log.as_mut() {
+            log.push((id, span));
+        }
+        span
+    }
+
+    /// Start recording every submitted kernel's `(stream, span)` (cleared
+    /// and re-armed by [`Device::reset`]). Used by tests that check the
+    /// concurrency invariant of the timeline.
+    pub fn enable_span_log(&self) {
+        let mut st = self.state.lock();
+        if st.span_log.is_none() {
+            st.span_log = Some(Vec::new());
+        }
+    }
+
+    /// Drain the recorded kernel spans (empty when logging is disabled).
+    pub fn take_span_log(&self) -> Vec<(usize, SimSpan)> {
+        self.state
+            .lock()
+            .span_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Current simulated clock of stream `id` (completion of its last
@@ -153,6 +195,9 @@ impl Device {
             .collect();
         st.busy = 0.0;
         st.launches = 0;
+        if let Some(log) = st.span_log.as_mut() {
+            log.clear();
+        }
     }
 }
 
@@ -252,6 +297,51 @@ mod tests {
         d.reset();
         assert_eq!(d.synchronize(), 0.0);
         assert_eq!(d.launches(), 0);
+    }
+
+    #[test]
+    fn nan_cost_is_rejected_with_kernel_name() {
+        let d = dev();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.stream(0).submit(&KernelCost::compute(f64::NAN, 8e3));
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("compute") && msg.contains("flops"),
+            "error must name the kernel and the bad field: {msg}"
+        );
+    }
+
+    #[test]
+    fn negative_bytes_are_rejected() {
+        let d = dev();
+        let mut cost = KernelCost::gather(4);
+        cost.bytes = -1.0;
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.stream(1).submit(&cost);
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn span_log_records_and_resets() {
+        let d = dev();
+        d.enable_span_log();
+        let c = KernelCost::compute(1e6, 8e3);
+        d.stream(0).submit(&c);
+        d.stream(1).submit(&c);
+        let log = d.take_span_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, 0);
+        assert_eq!(log[1].0, 1);
+        assert!(d.take_span_log().is_empty(), "take drains the log");
+        d.stream(2).submit(&c);
+        d.reset();
+        assert!(d.take_span_log().is_empty(), "reset clears the log");
     }
 
     #[test]

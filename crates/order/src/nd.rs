@@ -178,6 +178,9 @@ mod tests {
                 }
             }
         }
-        assert!(comps >= 2, "expected a separating tail, got {comps} component(s)");
+        assert!(
+            comps >= 2,
+            "expected a separating tail, got {comps} component(s)"
+        );
     }
 }

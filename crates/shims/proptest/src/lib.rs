@@ -23,12 +23,12 @@ pub mod test_runner {
 
 /// Everything call sites get from `use proptest::prelude::*`.
 pub mod prelude {
+    /// `any::<T>()` for the handful of types the shim supports.
+    pub use crate::arbitrary::any;
     pub use crate::{
         prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
         Strategy, TestCaseError,
     };
-    /// `any::<T>()` for the handful of types the shim supports.
-    pub use crate::arbitrary::any;
 }
 
 /// Namespace alias mirroring `proptest::prelude::prop::*`.
@@ -432,7 +432,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Size specification for [`vec`]: an exact count or a range.
+    /// Size specification for [`vec()`]: an exact count or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -14,7 +14,7 @@
 //! - `range.into_par_iter()` / `vec.into_par_iter()` (via [`IntoParallelIterator`])
 //! - adapters: `map`, `enumerate`, `zip`, `with_min_len`
 //! - consumers: `collect`, `for_each`, `sum`, `reduce`
-//! - [`join`], [`scope`], [`current_num_threads`]
+//! - [`join`], `scope` (via `std::thread::scope`), [`current_num_threads`]
 
 use std::ops::Range;
 

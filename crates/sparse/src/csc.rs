@@ -275,7 +275,13 @@ impl Csc {
 
     /// Sparse-dense product `C = alpha * A * B + beta * C` (`A` is this
     /// matrix, `B`/`C` dense column-major).
-    pub fn spmm(&self, alpha: f64, b: sc_dense::MatRef<'_>, beta: f64, c: &mut sc_dense::MatMut<'_>) {
+    pub fn spmm(
+        &self,
+        alpha: f64,
+        b: sc_dense::MatRef<'_>,
+        beta: f64,
+        c: &mut sc_dense::MatMut<'_>,
+    ) {
         assert_eq!(b.nrows(), self.ncols, "spmm inner dimension");
         assert_eq!(c.nrows(), self.nrows, "spmm C rows");
         assert_eq!(c.ncols(), b.ncols(), "spmm C cols");

@@ -26,4 +26,6 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use pattern::{column_pivots, is_stepped, stepped_fill_ratio};
 pub use perm::Perm;
-pub use trisolve::{csc_lower_solve, csc_lower_solve_mat, csc_lower_t_solve, csc_lower_t_solve_mat};
+pub use trisolve::{
+    csc_lower_solve, csc_lower_solve_mat, csc_lower_t_solve, csc_lower_t_solve_mat,
+};

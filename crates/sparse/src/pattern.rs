@@ -96,10 +96,7 @@ mod tests {
     #[test]
     fn pivots_found() {
         let b = stepped_example();
-        assert_eq!(
-            column_pivots(&b),
-            vec![Some(0), Some(1), Some(3)]
-        );
+        assert_eq!(column_pivots(&b), vec![Some(0), Some(1), Some(3)]);
         assert!(is_stepped(&b));
     }
 

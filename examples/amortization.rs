@@ -18,13 +18,8 @@ fn main() {
     // preprocessing + per-iteration costs for the implicit CPU operator and
     // the explicit simulated-GPU operator
     let implicit = preprocess_approach(&problem, DualOpApproach::ImplCholmod, None);
-    let impl_apply = sc_feti::measure_apply_cost(
-        &problem,
-        &implicit,
-        DualOpApproach::ImplCholmod,
-        None,
-        5,
-    );
+    let impl_apply =
+        sc_feti::measure_apply_cost(&problem, &implicit, DualOpApproach::ImplCholmod, None, 5);
     let explicit = preprocess_approach(&problem, DualOpApproach::ExplGpuOpt, Some(&device));
     let expl_apply = sc_feti::measure_apply_cost(
         &problem,
@@ -54,7 +49,11 @@ fn main() {
         if te < ti && amortized_at.is_none() {
             amortized_at = Some(k);
         }
-        println!("{k:10} | {:12.3} ms | {:12.3} ms | {winner}", ti * 1e3, te * 1e3);
+        println!(
+            "{k:10} | {:12.3} ms | {:12.3} ms | {winner}",
+            ti * 1e3,
+            te * 1e3
+        );
     }
     match amortized_at {
         Some(k) => println!(

@@ -22,9 +22,7 @@ fn main() {
     let factors: Vec<SubdomainFactors> = problem
         .subdomains
         .iter()
-        .map(|sd| {
-            SubdomainFactors::build(sd, Engine::Simplicial, Ordering::NestedDissection)
-        })
+        .map(|sd| SubdomainFactors::build(sd, Engine::Simplicial, Ordering::NestedDissection))
         .collect();
 
     let device = Device::new(DeviceSpec::a100(), 4);
@@ -60,10 +58,16 @@ fn main() {
     );
 
     // the assembled operators are bit-identical to a CPU assembly, so the
-    // FETI solve works off the simulated device transparently:
+    // FETI solve works off the simulated device transparently — here through
+    // the §4.4 scheduler (cost-model LPT + arena admission) with per-knob
+    // auto-selection:
     let dev: Arc<Device> = Device::new(DeviceSpec::a100(), 4);
     let opts = FetiOptions {
-        dual: DualMode::ExplicitGpu(ScConfig::optimized(true, true), Arc::clone(&dev)),
+        dual: DualMode::ExplicitGpuScheduled(
+            ScConfig::Auto,
+            Arc::clone(&dev),
+            ScheduleOptions::default(),
+        ),
         ..Default::default()
     };
     let solver = FetiSolver::new(&problem, &opts);
@@ -72,4 +76,20 @@ fn main() {
         "FETI solve with GPU-assembled dual operator: {} iterations, residual {:.1e}",
         solution.stats.iterations, solution.stats.rel_residual
     );
+    if let Some(report) = solver.assembly_report() {
+        println!(
+            "scheduled assembly: device makespan {:.3} ms, arena peak {:.1} KiB",
+            report.device_seconds * 1e3,
+            report.temp_high_water as f64 / 1024.0
+        );
+        for entry in &report.schedule {
+            println!(
+                "  subdomain {:2} -> stream {} @ [{:8.3}, {:8.3}] us",
+                entry.index,
+                entry.stream,
+                entry.span.start * 1e6,
+                entry.span.end * 1e6
+            );
+        }
+    }
 }

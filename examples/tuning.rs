@@ -24,7 +24,7 @@ fn main() {
     println!("block size | simulated GPU assembly time [ms] | launches");
     let mut best = (0usize, f64::INFINITY);
     for bs in [1usize, 5, 10, 25, 50, 100, 250, 500, 1000, 5000] {
-        let cfg = ScConfig {
+        let cfg = ScConfig::Fixed(ScParams {
             trsm: TrsmVariant::FactorSplit {
                 block: BlockParam::Size(bs),
                 prune: true,
@@ -32,7 +32,7 @@ fn main() {
             syrk: SyrkVariant::InputSplit(BlockParam::Size(bs)),
             factor_storage: FactorStorage::Dense,
             stepped_permutation: true,
-        };
+        });
         device.reset();
         let kernels = GpuKernels::new(device.stream(0));
         let mut exec = GpuExec::new(&kernels);

@@ -14,7 +14,11 @@ fn direct(problem: &HeatProblem) -> Vec<f64> {
 fn check(problem: &HeatProblem, opts: &FetiOptions) {
     let solver = FetiSolver::new(problem, opts);
     let sol = solver.solve(opts);
-    assert!(sol.stats.converged, "PCPG did not converge: {:?}", sol.stats);
+    assert!(
+        sol.stats.converged,
+        "PCPG did not converge: {:?}",
+        sol.stats
+    );
     let u = problem.gather_global(&sol.u_locals);
     let d = direct(problem);
     let scale = d.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
@@ -119,9 +123,7 @@ fn all_dual_approaches_are_interchangeable() {
             DualOpApproach::ExplCholmod => {
                 DualMode::ExplicitCpu(ScConfig::original(FactorStorage::Sparse))
             }
-            DualOpApproach::ExplCpuOpt => {
-                DualMode::ExplicitCpu(ScConfig::optimized(false, false))
-            }
+            DualOpApproach::ExplCpuOpt => DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
             DualOpApproach::ExplCuda => DualMode::ExplicitGpu(
                 ScConfig::original(FactorStorage::Sparse),
                 Arc::clone(&device),

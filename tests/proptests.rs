@@ -9,26 +9,24 @@ use schur_dd::sc_sparse::{pattern, Coo};
 
 /// Random sparse SPD matrix via diagonally dominant construction.
 fn spd_strategy(n: usize) -> impl Strategy<Value = Csc> {
-    proptest::collection::vec(
-        (0usize..n, 0usize..n, -1.0f64..1.0),
-        0..(n * 4),
-    )
-    .prop_map(move |entries| {
-        let mut coo = Coo::new(n, n);
-        let mut diag = vec![1.0f64; n];
-        for (i, j, v) in entries {
-            if i != j {
-                coo.push(i, j, v);
-                coo.push(j, i, v);
-                diag[i] += v.abs();
-                diag[j] += v.abs();
+    proptest::collection::vec((0usize..n, 0usize..n, -1.0f64..1.0), 0..(n * 4)).prop_map(
+        move |entries| {
+            let mut coo = Coo::new(n, n);
+            let mut diag = vec![1.0f64; n];
+            for (i, j, v) in entries {
+                if i != j {
+                    coo.push(i, j, v);
+                    coo.push(j, i, v);
+                    diag[i] += v.abs();
+                    diag[j] += v.abs();
+                }
             }
-        }
-        for (i, d) in diag.iter().enumerate() {
-            coo.push(i, i, *d + 0.5);
-        }
-        coo.to_csc()
-    })
+            for (i, d) in diag.iter().enumerate() {
+                coo.push(i, i, *d + 0.5);
+            }
+            coo.to_csc()
+        },
+    )
 }
 
 /// Random gluing-like B̃ᵀ: one or a few ±1 entries per column.
@@ -88,9 +86,9 @@ proptest! {
                 SyrkVariant::OutputSplit(BlockParam::Size(syrk_block)),
             ] {
                 for storage in [FactorStorage::Sparse, FactorStorage::Dense] {
-                    let cfg = ScConfig {
+                    let cfg = ScConfig::Fixed(ScParams {
                         trsm, syrk, factor_storage: storage, stepped_permutation: true,
-                    };
+                    });
                     let f = assemble_sc(&mut CpuExec, &l, &bt_perm, &cfg);
                     let d = sc_dense::max_abs_diff(f.as_ref(), reference.as_ref());
                     prop_assert!(d < 1e-8, "{:?}/{:?}/{:?}: {}", trsm, syrk, storage, d);

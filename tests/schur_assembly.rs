@@ -53,12 +53,12 @@ fn all_configs_match_dense_reference_2d() {
             SyrkVariant::OutputSplit(BlockParam::Count(3)),
         ] {
             for storage in [FactorStorage::Sparse, FactorStorage::Dense] {
-                let cfg = ScConfig {
+                let cfg = ScConfig::Fixed(ScParams {
                     trsm,
                     syrk,
                     factor_storage: storage,
                     stepped_permutation: true,
-                };
+                });
                 let f = assemble_sc(&mut CpuExec, &l, &fx.factors.bt_perm, &cfg);
                 let d = sc_dense::max_abs_diff(f.as_ref(), reference.as_ref());
                 assert!(d < 1e-8, "{trsm:?}/{syrk:?}/{storage:?}: {d}");
@@ -88,11 +88,7 @@ fn sparse_rhs_schur_equals_kernel_assembly() {
     // the expl_mkl analog must produce the same matrix as the TRSM+SYRK path
     let fx = fixture(2, 4);
     let l = fx.factors.chol.factor_csc();
-    let f1 = schur_from_factor(
-        &l,
-        &fx.factors.chol.symbolic().parent,
-        &fx.factors.bt_perm,
-    );
+    let f1 = schur_from_factor(&l, &fx.factors.chol.symbolic().parent, &fx.factors.bt_perm);
     let f2 = assemble_sc(
         &mut CpuExec,
         &l,
@@ -122,10 +118,11 @@ fn stepped_permutation_ablation_changes_nothing_numerically() {
     // are unsorted
     let fx = fixture(2, 4);
     let l = fx.factors.chol.factor_csc();
-    let mut with = ScConfig::optimized(false, false);
-    with.stepped_permutation = true;
-    let mut without = with;
-    without.stepped_permutation = false;
+    let mut params = ScParams::optimized(false, false);
+    params.stepped_permutation = true;
+    let with = ScConfig::Fixed(params);
+    params.stepped_permutation = false;
+    let without = ScConfig::Fixed(params);
     let f1 = assemble_sc(&mut CpuExec, &l, &fx.factors.bt_perm, &with);
     let f2 = assemble_sc(&mut CpuExec, &l, &fx.factors.bt_perm, &without);
     assert!(sc_dense::max_abs_diff(f1.as_ref(), f2.as_ref()) < 1e-8);
