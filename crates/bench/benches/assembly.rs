@@ -4,11 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sc_bench::{BatchWorkload, KernelWorkload};
 use sc_core::{
-    assemble_sc, assemble_sc_batch, assemble_sc_batch_scheduled, CpuExec, FactorStorage, ScConfig,
-    ScheduleOptions, StreamPolicy,
+    assemble_sc, assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_scheduled,
+    ClusterOptions, CpuExec, FactorStorage, ScConfig, ScheduleOptions, StreamPolicy,
 };
 use sc_factor::schur_from_factor;
-use sc_gpu::{Device, DeviceSpec};
+use sc_gpu::{Device, DevicePool, DeviceSpec};
 
 fn bench_assembly(c: &mut Criterion) {
     let mut group = c.benchmark_group("assembly");
@@ -96,5 +96,44 @@ fn bench_gpu_schedule(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assembly, bench_batch, bench_gpu_schedule);
+/// Cluster sharding across a device pool: the skewed 32-subdomain batch on
+/// 1 vs 4 simulated A100s. Criterion measures the host wall time of the
+/// whole two-level driver; the simulated cluster makespans are printed once
+/// for reference (the `cluster` bin reports them in full and gates CI).
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_assembly");
+    group.sample_size(10);
+    let w = BatchWorkload::build_cluster32();
+    let items = w.items();
+    let cfg = ScConfig::optimized(true, false);
+    let nsub = w.n_subdomains();
+    for n_devices in [1usize, 4] {
+        let pool = DevicePool::uniform(DeviceSpec::a100(), n_devices, 4);
+        let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+        println!(
+            "cluster_assembly/{n_devices}dev: simulated makespan {:.3} ms over {nsub} subdomains",
+            res.report.makespan * 1e3
+        );
+        group.bench_function(format!("{n_devices}dev/{nsub}sub/n{}", w.n), |b| {
+            b.iter(|| {
+                let pool = DevicePool::uniform(DeviceSpec::a100(), n_devices, 4);
+                std::hint::black_box(assemble_sc_batch_cluster(
+                    &items,
+                    &cfg,
+                    &pool,
+                    &ClusterOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assembly,
+    bench_batch,
+    bench_gpu_schedule,
+    bench_cluster
+);
 criterion_main!(benches);

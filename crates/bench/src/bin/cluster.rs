@@ -1,0 +1,147 @@
+//! Cluster-level sharding experiment: the skewed 32-subdomain batch on
+//! device pools of 1, 2, and 4 simulated A100s (the paper's production
+//! setting runs 8 GPUs per Karolina node), plus a heterogeneous A100+H100
+//! pool. Reports per-pool simulated makespan, scaling efficiency vs the
+//! single device, and per-device utilization/arena peaks.
+//!
+//! Doubles as the CI smoke test for the cluster planner: it **fails**
+//! (non-zero exit) if the 4-device makespan is not at least 2.5× better
+//! than the 1-device makespan, or if sharding changes the numerics.
+//!
+//! Usage: `cargo run -p sc_bench --release --bin cluster [-- --devices a100,h100]`
+//! (`--devices` picks the heterogeneous row's specs by registry name).
+
+use sc_bench::{BatchWorkload, Table};
+use sc_core::{assemble_sc_batch_cluster, ClusterOptions, ClusterResult, ScConfig};
+use sc_gpu::{DevicePool, DeviceSpec};
+use std::sync::Arc;
+
+const N_STREAMS: usize = 4;
+
+fn run(items: &[sc_core::BatchItem<'_>], cfg: &ScConfig, pool: &Arc<DevicePool>) -> ClusterResult {
+    assemble_sc_batch_cluster(items, cfg, pool, &ClusterOptions::default())
+}
+
+/// Parse `--devices a100,h100`: the heterogeneous pool's specs by registry
+/// name (`DeviceSpec::from_name`); defaults to `a100,h100`.
+fn parse_devices() -> Vec<DeviceSpec> {
+    let mut names = "a100,h100".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--devices" => names = it.next().expect("--devices needs a value"),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    names
+        .split(',')
+        .map(|n| {
+            DeviceSpec::from_name(n.trim()).unwrap_or_else(|| {
+                panic!(
+                    "unknown device '{n}' — the registry knows {:?}",
+                    DeviceSpec::registry()
+                )
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let w = BatchWorkload::build_cluster32();
+    let items = w.items();
+    let cfg = ScConfig::optimized(true, false);
+
+    let mut table = Table::new(
+        &format!(
+            "Cluster sharding of the skewed batch ({} subdomains, {:.1}x dof spread, {N_STREAMS} streams/device)",
+            w.n_subdomains(),
+            w.size_spread()
+        ),
+        &[
+            "pool",
+            "sim makespan [ms]",
+            "speedup vs 1 dev",
+            "efficiency",
+            "min/max device util",
+            "arena peak [KiB]",
+        ],
+    );
+
+    let mut baseline: Option<f64> = None;
+    let mut row = |name: &str, res: &ClusterResult, n_devices: usize| -> f64 {
+        let makespan = res.report.makespan;
+        let base = *baseline.get_or_insert(makespan);
+        let speedup = base / makespan;
+        let util_min = res
+            .report
+            .utilization
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let util_max = res.report.utilization.iter().copied().fold(0.0, f64::max);
+        table.row(vec![
+            name.to_string(),
+            format!("{:.3}", makespan * 1e3),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", 100.0 * speedup / n_devices as f64),
+            format!("{:.0}%/{:.0}%", 100.0 * util_min, 100.0 * util_max),
+            format!("{:.1}", res.report.temp_high_water() as f64 / 1024.0),
+        ]);
+        speedup
+    };
+
+    let mut reference: Option<ClusterResult> = None;
+    let mut speedup4 = 0.0;
+    for n_devices in [1usize, 2, 4] {
+        let pool = DevicePool::uniform(DeviceSpec::a100(), n_devices, N_STREAMS);
+        let res = run(&items, &cfg, &pool);
+        let speedup = row(&format!("{n_devices}x A100"), &res, n_devices);
+        if n_devices == 4 {
+            speedup4 = speedup;
+        }
+        match &reference {
+            None => reference = Some(res),
+            Some(r) => {
+                for i in 0..items.len() {
+                    assert_eq!(
+                        r.f[i], res.f[i],
+                        "sharding changed numerics at subdomain {i} ({n_devices} devices)"
+                    );
+                }
+            }
+        }
+    }
+
+    // heterogeneous mix (`--devices`, default A100+H100): the planner
+    // prices every recorded kernel sequence under each device's own
+    // duration model, so faster cards absorb proportionally larger shares
+    let specs = parse_devices();
+    let mix_name = specs
+        .iter()
+        .map(|s| s.name.trim_start_matches("sim-"))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    let pool = DevicePool::heterogeneous(&specs, N_STREAMS);
+    let res = run(&items, &cfg, &pool);
+    let last_share = res.report.partition.last().map_or(0, |p| p.len());
+    row(&mix_name, &res, specs.len());
+    let reference = reference.expect("1-device run recorded");
+    for i in 0..items.len() {
+        assert_eq!(
+            reference.f[i], res.f[i],
+            "heterogeneous sharding changed numerics at subdomain {i}"
+        );
+    }
+
+    table.emit("cluster");
+    println!(
+        "4-device speedup: {speedup4:.2}x; heterogeneous pool sent {last_share}/{} subdomains to its last device.",
+        items.len()
+    );
+
+    // smoke gate: 4 devices must be >= 2.5x better than 1 device
+    if speedup4 < 2.5 {
+        eprintln!("FAIL: 4-device cluster speedup {speedup4:.2}x is below the 2.5x gate");
+        std::process::exit(1);
+    }
+}

@@ -9,11 +9,12 @@
 
 use sc_bench::{ladder_3d, time_assembly_gpu, BatchWorkload, BenchArgs, KernelWorkload, Table};
 use sc_core::{
-    assemble_sc_batch_scheduled, FactorStorage, ScConfig, ScheduleOptions, StreamPolicy,
+    assemble_sc_batch_cluster, assemble_sc_batch_scheduled, ClusterOptions, FactorStorage,
+    ScConfig, ScheduleOptions, StreamPolicy,
 };
 use sc_fem::{Gluing, HeatProblem};
 use sc_feti::{measure_apply_cost, preprocess_approach, DualOpApproach};
-use sc_gpu::{Device, DeviceSpec};
+use sc_gpu::{Device, DevicePool, DeviceSpec};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -109,6 +110,28 @@ fn main() {
         ),
         "n/a (§4.4)".into(),
         format!("{:.2}x", rr / lpt),
+    ]);
+
+    // --- cluster sharding: 4-device pool vs a single device ---------------
+    // (the paper's production node runs 8 GPUs; the `cluster` bin sweeps
+    // 1/2/4 devices and gates CI on this ratio)
+    let cl = BatchWorkload::build_cluster32();
+    let cl_items = cl.items();
+    let cluster_makespan = |n_devices: usize| {
+        let pool = DevicePool::uniform(DeviceSpec::a100(), n_devices, 4);
+        assemble_sc_batch_cluster(&cl_items, &cfg, &pool, &ClusterOptions::default())
+            .report
+            .makespan
+    };
+    let one_dev = cluster_makespan(1);
+    let four_dev = cluster_makespan(4);
+    table.row(vec![
+        format!(
+            "4-device vs 1-device cluster makespan ({} skewed subdomains)",
+            cl.n_subdomains()
+        ),
+        "n/a (8-GPU node)".into(),
+        format!("{:.2}x", one_dev / four_dev),
     ]);
     table.emit("headline");
     println!("caveats: CPU quantities are measured on this host (not a 64-core EPYC),");

@@ -213,6 +213,19 @@ impl BatchWorkload {
         BatchWorkload { factors, n }
     }
 
+    /// The **32-subdomain skewed cluster workload** of the multi-GPU
+    /// sharding experiments: eight 2×2 decompositions with cell counts
+    /// `[16, 12, 14, 10, 15, 11, 13, 9]`, interleaved. The per-subdomain
+    /// cost spread is wide (≈ 15× between the 289-dof and 100-dof
+    /// subdomains) but no single subdomain dominates the batch, so a
+    /// well-partitioned 4-device pool can approach 4× the single-device
+    /// throughput — the acceptance workload of the `cluster` bin.
+    pub fn build_cluster32() -> Self {
+        let w = Self::build_skewed(2, &[16, 12, 14, 10, 15, 11, 13, 9]);
+        debug_assert_eq!(w.n_subdomains(), 32);
+        w
+    }
+
     /// Ratio of the largest to the smallest subdomain dof count.
     pub fn size_spread(&self) -> f64 {
         let min = self
@@ -280,6 +293,14 @@ mod tests {
             "dof spread must be ≥ 4×, got {}",
             w.size_spread()
         );
+    }
+
+    #[test]
+    fn cluster32_workload_shape() {
+        let w = BatchWorkload::build_cluster32();
+        assert_eq!(w.n_subdomains(), 32);
+        assert!(w.size_spread() >= 2.0, "spread {}", w.size_spread());
+        assert_eq!(w.n, 17 * 17, "largest subdomain is the 16-cell one");
     }
 
     #[test]

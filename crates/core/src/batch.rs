@@ -39,11 +39,11 @@
 
 use crate::assemble::{assemble_sc_with_cache, ScConfig};
 use crate::exec::{CpuExec, Exec, GpuExec, RecordingExec};
-use crate::schedule::{self, ArenaSim, ScheduleOptions, ScheduledSpan};
+use crate::schedule::{self, ArenaSim, ScheduleOptions, ScheduledSpan, StreamPolicy};
 use crate::tune::BlockCutsCache;
 use rayon::prelude::*;
 use sc_dense::Mat;
-use sc_gpu::{Device, GpuKernels, SimSpan};
+use sc_gpu::{Device, DevicePool, GpuKernels, SimSpan};
 use sc_sparse::Csc;
 use std::time::Instant;
 
@@ -190,7 +190,15 @@ where
     FP: for<'a> Fn(usize, &'a T) -> std::borrow::Cow<'a, Csc> + Sync + Send,
     FB: Fn(&T) -> &Csc + Sync + Send,
 {
-    let n_streams = device.n_streams().max(1);
+    if items.is_empty() {
+        return empty_batch_result();
+    }
+    assert!(
+        device.n_streams() > 0,
+        "cannot run a GPU batch of {} subdomains on a device with 0 streams",
+        items.len()
+    );
+    let n_streams = device.n_streams();
     let cache = BlockCutsCache::new();
     let t0 = Instant::now();
     let sync0 = device.synchronize();
@@ -311,11 +319,6 @@ where
     FP: for<'a> Fn(usize, &'a T) -> std::borrow::Cow<'a, Csc> + Sync + Send,
     FB: Fn(&T) -> &Csc + Sync + Send,
 {
-    let n_streams = device.n_streams().max(1);
-    let cache = BlockCutsCache::new();
-    let t0 = Instant::now();
-    let sync0 = device.synchronize();
-    let spec = device.spec().clone();
     if let Some(ready) = opts.ready_at.as_ref() {
         assert_eq!(
             ready.len(),
@@ -326,15 +329,86 @@ where
             items.len()
         );
     }
-
-    // --- phase 1: host-parallel compute + cost recording -------------------
-    struct Recorded {
-        f: Mat,
-        costs: Vec<sc_gpu::KernelCost>,
-        estimate: schedule::CostEstimate,
-        host_seconds: f64,
+    if items.is_empty() {
+        return empty_batch_result();
     }
-    let mut recorded: Vec<Recorded> = (0..items.len())
+    assert!(
+        device.n_streams() > 0,
+        "cannot schedule a batch of {} subdomains onto a device with 0 streams",
+        items.len()
+    );
+    let cache = BlockCutsCache::new();
+    let t0 = Instant::now();
+    let sync0 = device.synchronize();
+    let spec = device.spec().clone();
+
+    // phase 1: host-parallel compute + cost recording
+    let recorded = record_scheduled_batch(items, cfg, &spec, &cache, &prepare, &bt_of);
+
+    // phase 2: plan + deterministic replay onto the device
+    let refs: Vec<&Recorded> = recorded.iter().collect();
+    let estimates = refine_estimates(&refs, &spec);
+    let plan = schedule::plan(&estimates, device.n_streams(), opts.policy);
+    let outcome = replay_recorded(device, &refs, &estimates, &plan, opts.ready_at.as_deref());
+    let device_seconds = device.synchronize() - sync0;
+
+    // assemble the report in batch order
+    let mut f = Vec::with_capacity(items.len());
+    let mut timings = Vec::with_capacity(items.len());
+    for (i, r) in recorded.into_iter().enumerate() {
+        let (stream, span) = outcome.spans[i].expect("every subdomain was replayed");
+        f.push(r.f);
+        timings.push(SubdomainTiming {
+            index: i,
+            n_dofs: r.estimate.n_dofs,
+            n_lambda: r.estimate.n_lambda,
+            seconds: span.duration(),
+            host_seconds: r.host_seconds,
+            stream: Some(stream),
+            span: Some(span),
+        });
+    }
+    BatchResult {
+        f,
+        report: BatchReport {
+            timings,
+            total_seconds: t0.elapsed().as_secs_f64(),
+            device_seconds,
+            schedule: outcome.executed,
+            temp_high_water: outcome.temp_high_water,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        },
+    }
+}
+
+/// One subdomain's record-phase output: the host-computed `F̃ᵢ` (bitwise
+/// identical to the CPU path), the kernel-cost sequence to replay, the
+/// analytic cost estimate, and the host task time.
+struct Recorded {
+    f: Mat,
+    costs: Vec<sc_gpu::KernelCost>,
+    estimate: schedule::CostEstimate,
+    host_seconds: f64,
+}
+
+/// Phase 1 of the scheduled/cluster drivers: host-parallel numerics through
+/// [`RecordingExec`], plus per-subdomain analytic cost estimates under
+/// `spec` (a reference spec — planners re-price per device as needed).
+fn record_scheduled_batch<T, FP, FB>(
+    items: &[T],
+    cfg: &ScConfig,
+    spec: &sc_gpu::DeviceSpec,
+    cache: &BlockCutsCache,
+    prepare: &FP,
+    bt_of: &FB,
+) -> Vec<Recorded>
+where
+    T: Sync,
+    FP: for<'a> Fn(usize, &'a T) -> std::borrow::Cow<'a, Csc> + Sync + Send,
+    FB: Fn(&T) -> &Csc + Sync + Send,
+{
+    (0..items.len())
         .into_par_iter()
         .map(|i| {
             let t_host = Instant::now();
@@ -342,11 +416,11 @@ where
             let l = prepare(i, item);
             let bt = bt_of(item);
             let params = cfg.resolve(true, &l, bt);
-            let estimate = schedule::estimate_cost(&spec, &l, bt, &params, i);
+            let estimate = schedule::estimate_cost(spec, &l, bt, &params, i);
             let mut rec = RecordingExec::new();
             rec.record_upload_csc(&l);
             rec.record_upload_csc(bt);
-            let f = assemble_sc_with_cache(&mut rec, &l, bt, cfg, Some(&cache));
+            let f = assemble_sc_with_cache(&mut rec, &l, bt, cfg, Some(cache));
             rec.record_download_bytes(0); // result stays on device
             Recorded {
                 f,
@@ -355,29 +429,60 @@ where
                 host_seconds: t_host.elapsed().as_secs_f64(),
             }
         })
-        .collect();
+        .collect()
+}
 
-    // --- phase 2: plan + deterministic replay onto the device --------------
-    // refine the analytic ordering key with the recorded kernel sequence
-    // priced by the device's own duration model: at small sizes per-launch
-    // overhead dominates raw FLOPs, and the recorder has the exact launch
-    // count in hand before anything replays
-    let estimates: Vec<schedule::CostEstimate> = recorded
+/// Refine the analytic ordering key with the recorded kernel sequence
+/// priced by the device's own duration model: at small sizes per-launch
+/// overhead dominates raw FLOPs, and the recorder has the exact launch
+/// count in hand before anything replays. Estimate indices are renumbered
+/// to the slice position (local order).
+fn refine_estimates(
+    recorded: &[&Recorded],
+    spec: &sc_gpu::DeviceSpec,
+) -> Vec<schedule::CostEstimate> {
+    recorded
         .iter()
-        .map(|r| {
+        .enumerate()
+        .map(|(local, r)| {
             let mut est = r.estimate.clone();
+            est.index = local;
             est.seconds = r.costs.iter().map(|c| spec.kernel_seconds(c)).sum();
             est
         })
-        .collect();
-    let plan = schedule::plan(&estimates, n_streams, opts.policy);
+        .collect()
+}
+
+/// Outcome of one device's replay: the executed schedule and per-subdomain
+/// spans (both in the **local** index space of the replayed slice) plus the
+/// arena high water.
+struct ReplayOutcome {
+    executed: Vec<ScheduledSpan>,
+    spans: Vec<Option<(usize, SimSpan)>>,
+    temp_high_water: usize,
+}
+
+/// Phase 2 of the scheduled/cluster drivers: replay the recorded kernel
+/// sequences onto `device` under `plan`, admitting each subdomain against
+/// the device's temporary arena ("wait") and applying per-subdomain host
+/// readiness ("mix"). All indices (plan assignments, `estimates`,
+/// `ready_at`) are local to the `recorded` slice.
+///
+/// The replay merges the per-stream queues **kernel by kernel** in
+/// stream-clock order: submitting a whole subdomain at once would hand the
+/// concurrency slot heap a non-chronological sequence and serialize streams
+/// that really overlap.
+fn replay_recorded(
+    device: &std::sync::Arc<Device>,
+    recorded: &[&Recorded],
+    estimates: &[schedule::CostEstimate],
+    plan: &schedule::StreamPlan,
+    ready_at: Option<&[f64]>,
+) -> ReplayOutcome {
+    let n_streams = plan.assignments.len();
     let mut arena = ArenaSim::new(device.temp_pool().capacity());
-    let mut executed: Vec<ScheduledSpan> = Vec::with_capacity(items.len());
-    let mut spans: Vec<Option<(usize, SimSpan)>> = vec![None; items.len()];
-    // the replay merges the per-stream queues **kernel by kernel** in
-    // stream-clock order: submitting a whole subdomain at once would hand
-    // the concurrency slot heap a non-chronological sequence and serialize
-    // streams that really overlap
+    let mut executed: Vec<ScheduledSpan> = Vec::with_capacity(recorded.len());
+    let mut spans: Vec<Option<(usize, SimSpan)>> = vec![None; recorded.len()];
     struct InFlight {
         index: usize,
         kpos: usize,
@@ -439,7 +544,7 @@ where
             }
             let i = plan.assignments[s][next[s]];
             // "mix": the subdomain's host preparation finished at ready_at[i]
-            if let Some(ready) = opts.ready_at.as_ref() {
+            if let Some(ready) = ready_at {
                 device.advance_stream(s, ready[i]);
             }
             // "wait": stall the stream until the arena can hold the
@@ -469,36 +574,298 @@ where
              nothing in flight (admission bookkeeping bug)"
         );
     }
-    let device_seconds = device.synchronize() - sync0;
-    let temp_high_water = arena.high_water();
+    ReplayOutcome {
+        executed,
+        spans,
+        temp_high_water: arena.high_water(),
+    }
+}
 
-    // --- assemble the report in batch order --------------------------------
-    let mut f = Vec::with_capacity(items.len());
-    let mut timings = Vec::with_capacity(items.len());
-    for (i, r) in recorded.drain(..).enumerate() {
-        let (stream, span) = spans[i].expect("every subdomain was replayed");
-        f.push(r.f);
-        timings.push(SubdomainTiming {
-            index: i,
-            n_dofs: r.estimate.n_dofs,
-            n_lambda: r.estimate.n_lambda,
-            seconds: span.duration(),
-            host_seconds: r.host_seconds,
-            stream: Some(stream),
-            span: Some(span),
+/// Options of the cluster (multi-device) batch driver.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterOptions {
+    /// Per-device stream-assignment policy (the second planning level).
+    pub policy: StreamPolicy,
+    /// Per-subdomain host-readiness times, indexed like the input batch
+    /// (the "mix" configuration; sliced per device by the partition).
+    pub ready_at: Option<Vec<f64>>,
+}
+
+/// Roll-up diagnostics of one cluster-sharded batched assembly.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterReport {
+    /// Per-device [`BatchReport`]s; subdomain indices inside (timings and
+    /// schedule entries) are remapped to **batch order**, streams stay
+    /// device-local.
+    pub per_device: Vec<BatchReport>,
+    /// Subdomain indices assigned to each device, in execution order.
+    pub partition: Vec<Vec<usize>>,
+    /// Device of each subdomain, in batch order.
+    pub device_of: Vec<usize>,
+    /// Cluster makespan: the largest per-device simulated makespan (devices
+    /// run concurrently, so the slowest device bounds the node).
+    pub makespan: f64,
+    /// Per-device utilization: busy kernel-seconds over `makespan ×
+    /// n_streams` of that device (0 for idle devices).
+    pub utilization: Vec<f64>,
+    /// Host wall time of the whole cluster assembly.
+    pub total_seconds: f64,
+}
+
+impl ClusterReport {
+    /// Number of devices in the pool the batch ran on.
+    pub fn n_devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Largest per-device temporary-arena high water, bytes.
+    pub fn temp_high_water(&self) -> usize {
+        self.per_device
+            .iter()
+            .map(|r| r.temp_high_water)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Flatten into a single [`BatchReport`]: timings in batch order,
+    /// `device_seconds` = cluster makespan, schedules concatenated in device
+    /// order (stream ids stay device-local — pair them with
+    /// [`ClusterReport::device_of`]), cache counters summed.
+    pub fn combined(&self) -> BatchReport {
+        let mut timings: Vec<SubdomainTiming> = self
+            .per_device
+            .iter()
+            .flat_map(|r| r.timings.iter().copied())
+            .collect();
+        timings.sort_by_key(|t| t.index);
+        let schedule: Vec<ScheduledSpan> = self
+            .per_device
+            .iter()
+            .flat_map(|r| r.schedule.iter().copied())
+            .collect();
+        BatchReport {
+            timings,
+            total_seconds: self.total_seconds,
+            device_seconds: self.makespan,
+            schedule,
+            temp_high_water: self.temp_high_water(),
+            cache_hits: self.per_device.iter().map(|r| r.cache_hits).sum(),
+            cache_misses: self.per_device.iter().map(|r| r.cache_misses).sum(),
+        }
+    }
+}
+
+/// Result of a cluster-sharded batched assembly: one dense `F̃ᵢ` per input
+/// subdomain (batch order preserved) plus the cluster roll-up.
+pub struct ClusterResult {
+    /// Assembled local dual operators, indexed like the input batch.
+    pub f: Vec<Mat>,
+    /// Per-device and roll-up diagnostics.
+    pub report: ClusterReport,
+}
+
+/// Assemble a batch across a **pool of devices** (the paper's 8-GPU node):
+/// subdomains are **recorded once** (host-parallel numerics + kernel-cost
+/// sequences, shared block-cut cache), then a two-level plan partitions
+/// them across devices — cost-aware LPT under each device's own spec, with
+/// per-device arena-capacity admissibility
+/// ([`crate::schedule::plan_cluster`]) — and each device replays its share
+/// through the single-device §4.4 machinery of
+/// [`assemble_sc_batch_scheduled`]: LPT stream assignment (estimates
+/// refined under that device's duration model), arena admission,
+/// kernel-granular deterministic replay. Numerics stay bitwise identical to
+/// the sequential CPU path; the partition only moves work between
+/// independent simulated timelines.
+///
+/// # Panics
+///
+/// When the pool is empty or a subdomain's temporaries exceed every
+/// device's arena (see
+/// [`ClusterPlanError`](crate::schedule::ClusterPlanError)).
+pub fn assemble_sc_batch_cluster(
+    items: &[BatchItem<'_>],
+    cfg: &ScConfig,
+    pool: &DevicePool,
+    opts: &ClusterOptions,
+) -> ClusterResult {
+    assemble_sc_batch_cluster_map(
+        items,
+        cfg,
+        pool,
+        opts,
+        |_, item| std::borrow::Cow::Borrowed(item.l),
+        |item| item.bt,
+    )
+}
+
+/// [`assemble_sc_batch_cluster`] with per-task factor derivation (the
+/// `_map` shape used by [`FetiSolver`]-style callers).
+///
+/// [`FetiSolver`]: ../../sc_feti/struct.FetiSolver.html
+pub fn assemble_sc_batch_cluster_map<T, FP, FB>(
+    items: &[T],
+    cfg: &ScConfig,
+    pool: &DevicePool,
+    opts: &ClusterOptions,
+    prepare: FP,
+    bt_of: FB,
+) -> ClusterResult
+where
+    T: Sync,
+    FP: for<'a> Fn(usize, &'a T) -> std::borrow::Cow<'a, Csc> + Sync + Send,
+    FB: Fn(&T) -> &Csc + Sync + Send,
+{
+    if let Some(ready) = opts.ready_at.as_ref() {
+        assert_eq!(
+            ready.len(),
+            items.len(),
+            "ClusterOptions::ready_at must carry one readiness time per \
+             batch item ({} given, {} items)",
+            ready.len(),
+            items.len()
+        );
+    }
+    let t0 = Instant::now();
+    if items.is_empty() {
+        return ClusterResult {
+            f: Vec::new(),
+            report: ClusterReport {
+                per_device: vec![BatchReport::default(); pool.n_devices()],
+                partition: vec![Vec::new(); pool.n_devices()],
+                device_of: Vec::new(),
+                makespan: 0.0,
+                utilization: vec![0.0; pool.n_devices()],
+                total_seconds: t0.elapsed().as_secs_f64(),
+            },
+        };
+    }
+
+    assert!(
+        !pool.is_empty(),
+        "cluster partition failed: {}",
+        schedule::ClusterPlanError::NoDevices
+    );
+
+    // phase 1: record every subdomain **once** — the numerics, kernel
+    // sequences, and cost estimates feed both planning levels, so `prepare`
+    // (which may derive the factor) runs once per subdomain
+    let cache = BlockCutsCache::new();
+    let ref_spec = pool.device(0).spec().clone();
+    let recorded = record_scheduled_batch(items, cfg, &ref_spec, &cache, &prepare, &bt_of);
+
+    // level 1: partition across devices, pricing each subdomain's recorded
+    // kernel sequence under every device's own duration model — launch
+    // overhead and occupancy included, so launch-bound batches do not
+    // overload the card with the biggest peak-FLOP number
+    let slots: Vec<schedule::DeviceSlot> = pool
+        .devices()
+        .iter()
+        .map(|d| schedule::DeviceSlot::of(d))
+        .collect();
+    let costs: Vec<schedule::CostEstimate> = recorded.iter().map(|r| r.estimate.clone()).collect();
+    let kernel_seconds: Vec<Vec<f64>> = recorded
+        .iter()
+        .map(|r| {
+            slots
+                .iter()
+                .map(|s| r.costs.iter().map(|c| s.spec.kernel_seconds(c)).sum())
+                .collect()
+        })
+        .collect();
+    let cplan = schedule::plan_cluster_by(&costs, &slots, |c, d| kernel_seconds[c.index][d])
+        .unwrap_or_else(|e| panic!("cluster partition failed: {e}"));
+
+    // level 2: each device plans its share with the single-device LPT
+    // stream scheduler (estimates refined under *its own* duration model)
+    // and replays it with arena admission, device-by-device for a
+    // deterministic simulated timeline
+    let mut per_device = Vec::with_capacity(pool.n_devices());
+    let mut utilization = Vec::with_capacity(pool.n_devices());
+    let mut makespan = 0.0f64;
+    for (d, dev) in pool.devices().iter().enumerate() {
+        let idx = &cplan.per_device[d];
+        let sync0 = dev.synchronize();
+        let busy0 = dev.busy_seconds();
+        let refs: Vec<&Recorded> = idx.iter().map(|&g| &recorded[g]).collect();
+        // local estimates reuse the kernel-cost pricing already computed
+        // for the partition — same duration model, priced once
+        let estimates: Vec<schedule::CostEstimate> = idx
+            .iter()
+            .enumerate()
+            .map(|(local, &g)| {
+                let mut e = recorded[g].estimate.clone();
+                e.index = local;
+                e.seconds = kernel_seconds[g][d];
+                e
+            })
+            .collect();
+        let plan = schedule::plan(&estimates, dev.n_streams(), opts.policy);
+        let ready_local: Option<Vec<f64>> = opts
+            .ready_at
+            .as_ref()
+            .map(|r| idx.iter().map(|&g| r[g]).collect());
+        let outcome = replay_recorded(dev, &refs, &estimates, &plan, ready_local.as_deref());
+        let device_seconds = dev.synchronize() - sync0;
+
+        // per-device report, indices remapped back to batch order
+        let mut timings = Vec::with_capacity(idx.len());
+        for (local, &g) in idx.iter().enumerate() {
+            let (stream, span) = outcome.spans[local].expect("every subdomain was replayed");
+            timings.push(SubdomainTiming {
+                index: g,
+                n_dofs: recorded[g].estimate.n_dofs,
+                n_lambda: recorded[g].estimate.n_lambda,
+                seconds: span.duration(),
+                host_seconds: recorded[g].host_seconds,
+                stream: Some(stream),
+                span: Some(span),
+            });
+        }
+        let mut schedule_log = outcome.executed;
+        for e in &mut schedule_log {
+            e.index = idx[e.index];
+        }
+        makespan = makespan.max(device_seconds);
+        let busy = dev.busy_seconds() - busy0;
+        let cap = device_seconds * dev.n_streams().max(1) as f64;
+        utilization.push(if cap > 0.0 { busy / cap } else { 0.0 });
+        per_device.push(BatchReport {
+            timings,
+            total_seconds: 0.0, // stamped with the cluster wall time below
+            device_seconds,
+            schedule: schedule_log,
+            temp_high_water: outcome.temp_high_water,
+            // the block-cut cache is shared across the whole cluster; its
+            // totals live on the first device's report so that summing
+            // per-device counters (ClusterReport::combined) stays correct
+            cache_hits: if d == 0 { cache.hits() } else { 0 },
+            cache_misses: if d == 0 { cache.misses() } else { 0 },
         });
     }
-    BatchResult {
+
+    let f: Vec<Mat> = recorded.into_iter().map(|r| r.f).collect();
+    let total_seconds = t0.elapsed().as_secs_f64();
+    for rep in &mut per_device {
+        rep.total_seconds = total_seconds;
+    }
+    ClusterResult {
         f,
-        report: BatchReport {
-            timings,
-            total_seconds: t0.elapsed().as_secs_f64(),
-            device_seconds,
-            schedule: executed,
-            temp_high_water,
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
+        report: ClusterReport {
+            per_device,
+            partition: cplan.per_device,
+            device_of: cplan.device_of,
+            makespan,
+            utilization,
+            total_seconds,
         },
+    }
+}
+
+/// An all-zero [`BatchResult`] for empty batches (no device interaction).
+fn empty_batch_result() -> BatchResult {
+    BatchResult {
+        f: Vec::new(),
+        report: BatchReport::default(),
     }
 }
 
@@ -923,6 +1290,244 @@ mod tests {
             assemble_sc_batch_scheduled(&[], &ScConfig::Auto, &dev, &ScheduleOptions::default());
         assert!(sched.f.is_empty());
         assert!(sched.report.schedule.is_empty());
+        // empty batches never touch the device timeline
+        assert_eq!(dev.synchronize(), 0.0);
+        assert_eq!(dev.launches(), 0);
+        // cluster driver: clean empty report, even on an empty pool
+        let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
+        let cl = assemble_sc_batch_cluster(&[], &ScConfig::Auto, &pool, &ClusterOptions::default());
+        assert!(cl.f.is_empty());
+        assert_eq!(cl.report.n_devices(), 2);
+        assert_eq!(cl.report.makespan, 0.0);
+        assert!(cl.report.device_of.is_empty());
+        let none = DevicePool::from_devices(Vec::new());
+        let cl = assemble_sc_batch_cluster(&[], &ScConfig::Auto, &none, &ClusterOptions::default());
+        assert!(cl.f.is_empty() && cl.report.per_device.is_empty());
+    }
+
+    #[test]
+    fn zero_stream_devices_are_rejected_with_a_clear_error() {
+        let data = factorized(&cluster(2, 5, 6));
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(true, false);
+        // empty batches are fine even on a 0-stream device
+        let dev0 = Device::new(DeviceSpec::a100(), 0);
+        assert!(assemble_sc_batch_gpu(&[], &cfg, &dev0).f.is_empty());
+        assert!(
+            assemble_sc_batch_scheduled(&[], &cfg, &dev0, &ScheduleOptions::default())
+                .f
+                .is_empty()
+        );
+        // non-empty batches fail with a descriptive message, not an index panic
+        for run in [true, false] {
+            let items = items.clone();
+            let dev = Device::new(DeviceSpec::a100(), 0);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if run {
+                    assemble_sc_batch_gpu(&items, &cfg, &dev);
+                } else {
+                    assemble_sc_batch_scheduled(&items, &cfg, &dev, &ScheduleOptions::default());
+                }
+            }))
+            .unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+            assert!(msg.contains("0 streams"), "unexpected panic: {msg}");
+        }
+    }
+
+    #[test]
+    fn cluster_matches_sequential_bitwise_and_places_each_subdomain_once() {
+        let data = factorized(&skewed_cluster(12, &[4, 9, 6, 12], 10));
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        for cfg in [ScConfig::optimized(true, false), ScConfig::Auto] {
+            let pool = DevicePool::uniform(DeviceSpec::a100(), 3, 2);
+            let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+            for (i, (l, bt)) in data.iter().enumerate() {
+                let seq = assemble_sc(&mut RecordingExec::new(), l, bt, &cfg);
+                assert_eq!(res.f[i], seq, "cluster F̃ must be bitwise sequential ({i})");
+                if matches!(cfg, ScConfig::Fixed(_)) {
+                    let cpu = assemble_sc(&mut CpuExec, l, bt, &cfg);
+                    assert_eq!(res.f[i], cpu, "fixed configs match the CPU backend bitwise");
+                }
+            }
+            // partition integrity
+            let mut seen: Vec<usize> = res.report.partition.concat();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..items.len()).collect::<Vec<_>>());
+            assert_eq!(res.report.device_of.len(), items.len());
+            for (i, &d) in res.report.device_of.iter().enumerate() {
+                assert!(res.report.partition[d].contains(&i));
+            }
+            // roll-up consistency
+            assert_eq!(
+                res.report.makespan,
+                res.report
+                    .per_device
+                    .iter()
+                    .map(|r| r.device_seconds)
+                    .fold(0.0, f64::max)
+            );
+            let combined = res.report.combined();
+            assert_eq!(combined.timings.len(), items.len());
+            for (i, t) in combined.timings.iter().enumerate() {
+                assert_eq!(t.index, i, "combined timings must be in batch order");
+            }
+            assert!(res
+                .report
+                .utilization
+                .iter()
+                .all(|&u| (0.0..=1.0).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn cluster_beats_single_device_on_skewed_batches() {
+        let data = factorized(&skewed_cluster(16, &[12, 4, 6, 3], 10));
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(true, false);
+        let one = DevicePool::uniform(DeviceSpec::a100(), 1, 4);
+        let r1 = assemble_sc_batch_cluster(&items, &cfg, &one, &ClusterOptions::default());
+        let four = DevicePool::uniform(DeviceSpec::a100(), 4, 4);
+        let r4 = assemble_sc_batch_cluster(&items, &cfg, &four, &ClusterOptions::default());
+        assert!(
+            r4.report.makespan < r1.report.makespan,
+            "4 devices ({}) must beat 1 device ({})",
+            r4.report.makespan,
+            r1.report.makespan
+        );
+        // the single-device cluster path is exactly the scheduled driver
+        let dev = Device::new(DeviceSpec::a100(), 4);
+        let sched = assemble_sc_batch_scheduled(&items, &cfg, &dev, &ScheduleOptions::default());
+        assert_eq!(r1.report.makespan, sched.report.device_seconds);
+        for i in 0..items.len() {
+            assert_eq!(r1.f[i], sched.f[i]);
+            assert_eq!(r1.f[i], r4.f[i], "device count must not change numerics");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pool_falls_back_to_the_big_card() {
+        // big subdomains whose temporaries exceed the tiny card's 512 KiB
+        // arena (8 n m > 2¹⁹ needs n·m > 65536): the planner must route
+        // them to the A100, small ones may go anywhere
+        let data = factorized(&skewed_cluster(4, &[31, 3], 70));
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(true, false);
+        let pool =
+            DevicePool::heterogeneous(&[DeviceSpec::a100(), DeviceSpec::tiny_test_device()], 2);
+        let tiny_arena = pool.device(1).temp_pool().capacity();
+        let spec = pool.device(0).spec().clone();
+        let mut oversized = 0;
+        for (i, it) in items.iter().enumerate() {
+            let params = cfg.resolve(true, it.l, it.bt);
+            let est = crate::schedule::estimate_cost(&spec, it.l, it.bt, &params, i);
+            if est.temp_bytes > tiny_arena {
+                oversized += 1;
+            }
+        }
+        assert!(
+            oversized > 0,
+            "workload must contain tiny-card-oversized subdomains"
+        );
+        let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+        for (i, it) in items.iter().enumerate() {
+            let params = cfg.resolve(true, it.l, it.bt);
+            let est = crate::schedule::estimate_cost(&spec, it.l, it.bt, &params, i);
+            if est.temp_bytes > tiny_arena {
+                assert_eq!(
+                    res.report.device_of[i], 0,
+                    "oversized subdomain {i} must run on the big card"
+                );
+            }
+            let seq = assemble_sc(&mut CpuExec, it.l, it.bt, &cfg);
+            assert_eq!(res.f[i], seq, "heterogeneous F̃ deviates at {i}");
+        }
+        // per-device arenas were never oversubscribed
+        for (d, rep) in res.report.per_device.iter().enumerate() {
+            assert!(rep.temp_high_water <= pool.device(d).temp_pool().capacity());
+        }
+    }
+
+    #[test]
+    fn cluster_mix_applies_host_readiness() {
+        let data = factorized(&cluster(6, 6, 8));
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
+        let ready: Vec<f64> = (0..items.len()).map(|i| 0.25 * i as f64).collect();
+        let res = assemble_sc_batch_cluster(
+            &items,
+            &ScConfig::optimized(true, false),
+            &pool,
+            &ClusterOptions {
+                policy: StreamPolicy::LptLeastLoaded,
+                ready_at: Some(ready.clone()),
+            },
+        );
+        for rep in &res.report.per_device {
+            for e in &rep.schedule {
+                assert!(
+                    e.span.start >= ready[e.index] - 1e-15,
+                    "subdomain {} started at {} before its readiness {}",
+                    e.index,
+                    e.span.start,
+                    ready[e.index]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_routes_around_a_zero_stream_device() {
+        // a pool carrying a drained (0-stream) card next to a working one:
+        // the planner must keep the dead card idle instead of stranding
+        // subdomains on it
+        let data = factorized(&cluster(5, 6, 8));
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(true, false);
+        let pool = DevicePool::from_devices(vec![
+            Device::new(DeviceSpec::a100(), 0),
+            Device::new(DeviceSpec::a100(), 4),
+        ]);
+        let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+        assert!(
+            res.report.partition[0].is_empty(),
+            "dead card must stay idle"
+        );
+        assert_eq!(res.report.partition[1].len(), items.len());
+        assert_eq!(pool.device(0).synchronize(), 0.0);
+        for (i, (l, bt)) in data.iter().enumerate() {
+            let seq = assemble_sc(&mut CpuExec, l, bt, &cfg);
+            assert_eq!(res.f[i], seq, "subdomain {i} deviates");
+        }
+    }
+
+    #[test]
+    fn cluster_panics_when_a_subdomain_fits_nowhere() {
+        // 8 n m = 8 · 1024 · 80 = 640 KiB of temporaries > the tiny card's
+        // 512 KiB arena, on every device of the pool
+        let data = factorized(&cluster(1, 32, 80));
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let pool = DevicePool::uniform(DeviceSpec::tiny_test_device(), 2, 2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = assemble_sc_batch_cluster(
+                &items,
+                &ScConfig::optimized(true, false),
+                &pool,
+                &ClusterOptions::default(),
+            );
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(
+            msg.contains("cluster partition failed"),
+            "unexpected panic: {msg}"
+        );
     }
 
     #[test]

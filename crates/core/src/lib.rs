@@ -31,14 +31,16 @@ pub use assemble::{
     assemble_sc, assemble_sc_reference, assemble_sc_with_cache, ScConfig, ScParams,
 };
 pub use batch::{
-    assemble_sc_batch, assemble_sc_batch_gpu, assemble_sc_batch_gpu_map, assemble_sc_batch_map,
+    assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_cluster_map,
+    assemble_sc_batch_gpu, assemble_sc_batch_gpu_map, assemble_sc_batch_map,
     assemble_sc_batch_scheduled, assemble_sc_batch_scheduled_map, assemble_sc_batch_with,
-    BatchItem, BatchReport, BatchResult, SubdomainTiming,
+    BatchItem, BatchReport, BatchResult, ClusterOptions, ClusterReport, ClusterResult,
+    SubdomainTiming,
 };
 pub use exec::{CpuExec, Exec, GpuExec, RecordingExec};
 pub use schedule::{
-    estimate_cost, plan, ArenaSim, CostEstimate, ScheduleOptions, ScheduledSpan, StreamPlan,
-    StreamPolicy,
+    estimate_cost, plan, plan_cluster, ArenaSim, ClusterPlan, ClusterPlanError, CostEstimate,
+    DeviceSlot, ScheduleOptions, ScheduledSpan, StreamPlan, StreamPolicy,
 };
 pub use stepped::SteppedRhs;
 pub use syrk::{run_syrk as run_syrk_variant, run_syrk_with_cache, SyrkVariant};

@@ -134,9 +134,7 @@ pub fn estimate_cost(
     };
     let temp_bytes = y_bytes + factor_bytes;
 
-    let compute_s = (trsm_flops + syrk_flops) / (spec.fp64_gflops * 1e9);
-    let transfer_s = transfer_bytes / (spec.pcie_bandwidth_gbps * 1e9);
-    CostEstimate {
+    let mut est = CostEstimate {
         index,
         n_dofs: n,
         n_lambda: m,
@@ -144,7 +142,19 @@ pub fn estimate_cost(
         syrk_flops,
         transfer_bytes,
         temp_bytes,
-        seconds: compute_s + transfer_s,
+        seconds: 0.0,
+    };
+    est.seconds = est.seconds_on(spec);
+    est
+}
+
+impl CostEstimate {
+    /// Re-price the single-stream seconds estimate under a different device
+    /// spec (compute at peak FP64 plus the PCIe transfer) — what the
+    /// cluster planner uses to compare placements on heterogeneous pools.
+    pub fn seconds_on(&self, spec: &DeviceSpec) -> f64 {
+        (self.trsm_flops + self.syrk_flops) / (spec.fp64_gflops * 1e9)
+            + self.transfer_bytes / (spec.pcie_bandwidth_gbps * 1e9)
     }
 }
 
@@ -159,8 +169,22 @@ pub struct StreamPlan {
 }
 
 /// Assign subdomains to `n_streams` streams under the given policy.
+///
+/// An empty batch yields an empty plan for any stream count (including 0);
+/// planning a non-empty batch onto 0 streams is a configuration error and
+/// panics with a descriptive message instead of silently rounding up.
 pub fn plan(costs: &[CostEstimate], n_streams: usize, policy: StreamPolicy) -> StreamPlan {
-    let n_streams = n_streams.max(1);
+    if costs.is_empty() {
+        return StreamPlan {
+            assignments: vec![Vec::new(); n_streams],
+            est_load: vec![0.0; n_streams],
+        };
+    }
+    assert!(
+        n_streams > 0,
+        "cannot plan a batch of {} subdomains onto 0 streams",
+        costs.len()
+    );
     let mut assignments = vec![Vec::new(); n_streams];
     let mut est_load = vec![0.0f64; n_streams];
     match policy {
@@ -198,6 +222,187 @@ pub fn plan(costs: &[CostEstimate], n_streams: usize, policy: StreamPolicy) -> S
         assignments,
         est_load,
     }
+}
+
+/// Planner-facing description of one device of a pool: its capability spec,
+/// its temporary-arena capacity, and its stream count.
+#[derive(Clone, Debug)]
+pub struct DeviceSlot {
+    /// Capability spec (per-device cost pricing on heterogeneous pools).
+    pub spec: DeviceSpec,
+    /// Temporary-arena capacity in bytes
+    /// ([`TempPool::capacity`](sc_gpu::TempPool::capacity)) — the
+    /// admissibility bound: a subdomain whose peak temporaries exceed it can
+    /// never run on this device.
+    pub arena_capacity: usize,
+    /// Number of streams (parallel capacity of the device).
+    pub n_streams: usize,
+}
+
+impl DeviceSlot {
+    /// Describe a simulated device for the planner.
+    pub fn of(device: &sc_gpu::Device) -> Self {
+        DeviceSlot {
+            spec: device.spec().clone(),
+            arena_capacity: device.temp_pool().capacity(),
+            n_streams: device.n_streams(),
+        }
+    }
+}
+
+/// Device-level partition of a batch produced by [`plan_cluster`].
+#[derive(Clone, Debug)]
+pub struct ClusterPlan {
+    /// `per_device[d]` lists the subdomain indices
+    /// ([`CostEstimate::index`]) assigned to device `d`.
+    pub per_device: Vec<Vec<usize>>,
+    /// Estimated total load per device in that device's own seconds.
+    pub est_load: Vec<f64>,
+    /// Device of each entry of the input cost slice, in slice order (batch
+    /// order when the costs were priced in batch order).
+    pub device_of: Vec<usize>,
+}
+
+/// Why a batch could not be partitioned across a device pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterPlanError {
+    /// The batch is non-empty but the pool holds no device that could
+    /// execute anything (no devices at all, or none with streams).
+    NoDevices,
+    /// A subdomain's peak temporary footprint exceeds every stream-capable
+    /// device's arena: it cannot run anywhere in this pool.
+    SubdomainTooLarge {
+        /// Batch index of the offending subdomain.
+        index: usize,
+        /// Its peak temporary footprint in bytes.
+        temp_bytes: usize,
+        /// The largest arena capacity in the pool.
+        max_arena: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterPlanError::NoDevices => write!(
+                f,
+                "cannot partition a non-empty batch: the pool holds no \
+                 device with streams"
+            ),
+            ClusterPlanError::SubdomainTooLarge {
+                index,
+                temp_bytes,
+                max_arena,
+            } => write!(
+                f,
+                "subdomain {index} needs {temp_bytes} B of temporaries but the \
+                 largest device arena in the pool holds only {max_arena} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterPlanError {}
+
+/// Partition a batch across the devices of a pool: **cost-aware LPT with
+/// per-device arena admissibility**. Subdomains are taken longest-first
+/// (priced under each device's own spec, so a slow card sees bigger numbers)
+/// and each goes to the admissible device whose estimated completion time —
+/// accumulated load over its stream count — stays lowest. A subdomain whose
+/// temporaries exceed a device's arena capacity is never placed there;
+/// when only the big card fits it, it falls back to the big card regardless
+/// of load. The per-device queues are then scheduled independently by
+/// [`plan`] + arena admission inside the batch driver.
+///
+/// Pricing is the analytic [`CostEstimate::seconds_on`]; when the exact
+/// per-device kernel durations are already known (recorded kernel
+/// sequences), use [`plan_cluster_by`] — peak-FLOP pricing ignores launch
+/// overhead and overloads fast cards on launch-bound batches.
+pub fn plan_cluster(
+    costs: &[CostEstimate],
+    devices: &[DeviceSlot],
+) -> Result<ClusterPlan, ClusterPlanError> {
+    plan_cluster_by(costs, devices, |c, d| c.seconds_on(&devices[d].spec))
+}
+
+/// [`plan_cluster`] with caller-supplied pricing: `seconds_of(cost, d)`
+/// returns the subdomain's single-stream seconds on device `d`. The batch
+/// drivers pass the recorded kernel sequences priced by each device's own
+/// duration model ([`DeviceSpec::kernel_seconds`]), which accounts for
+/// launch overhead and the occupancy ramp that the analytic estimate
+/// ignores.
+pub fn plan_cluster_by(
+    costs: &[CostEstimate],
+    devices: &[DeviceSlot],
+    seconds_of: impl Fn(&CostEstimate, usize) -> f64,
+) -> Result<ClusterPlan, ClusterPlanError> {
+    if costs.is_empty() {
+        return Ok(ClusterPlan {
+            per_device: vec![Vec::new(); devices.len()],
+            est_load: vec![0.0; devices.len()],
+            device_of: Vec::new(),
+        });
+    }
+    // a device without streams can never execute anything: it is not a
+    // partition candidate (pools may carry one, e.g. a drained card)
+    if !devices.iter().any(|d| d.n_streams > 0) {
+        return Err(ClusterPlanError::NoDevices);
+    }
+    // per-device seconds of every subdomain, priced under that device's spec
+    let seconds: Vec<Vec<f64>> = costs
+        .iter()
+        .map(|c| (0..devices.len()).map(|d| seconds_of(c, d)).collect())
+        .collect();
+    // longest-first under the worst-case device (standard heuristic ordering
+    // for unrelated machines); ties broken by index for determinism
+    let worst: Vec<f64> = seconds
+        .iter()
+        .map(|s| s.iter().copied().fold(0.0f64, f64::max))
+        .collect();
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        worst[b]
+            .partial_cmp(&worst[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(costs[a].index.cmp(&costs[b].index))
+    });
+
+    let mut per_device = vec![Vec::new(); devices.len()];
+    let mut est_load = vec![0.0f64; devices.len()];
+    let mut device_of = vec![usize::MAX; costs.len()];
+    for k in order {
+        let best = (0..devices.len())
+            .filter(|&d| {
+                devices[d].n_streams > 0 && costs[k].temp_bytes <= devices[d].arena_capacity
+            })
+            .min_by(|&a, &b| {
+                let fa = (est_load[a] + seconds[k][a]) / devices[a].n_streams as f64;
+                let fb = (est_load[b] + seconds[k][b]) / devices[b].n_streams as f64;
+                fa.partial_cmp(&fb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        let Some(d) = best else {
+            return Err(ClusterPlanError::SubdomainTooLarge {
+                index: costs[k].index,
+                temp_bytes: costs[k].temp_bytes,
+                max_arena: devices
+                    .iter()
+                    .filter(|d| d.n_streams > 0)
+                    .map(|d| d.arena_capacity)
+                    .max()
+                    .unwrap_or(0),
+            });
+        };
+        per_device[d].push(costs[k].index);
+        est_load[d] += seconds[k][d];
+        device_of[k] = d;
+    }
+    Ok(ClusterPlan {
+        per_device,
+        est_load,
+        device_of,
+    })
 }
 
 /// One subdomain's placement in the executed schedule (per-stream timeline
@@ -431,6 +636,168 @@ mod tests {
         let one = vec![est(10, &[2])];
         let p = plan(&one, 1, StreamPolicy::RoundRobin);
         assert_eq!(p.assignments, vec![vec![0]]);
+    }
+
+    fn slot(spec: DeviceSpec, arena: usize, n_streams: usize) -> DeviceSlot {
+        DeviceSlot {
+            spec,
+            arena_capacity: arena,
+            n_streams,
+        }
+    }
+
+    #[test]
+    fn plan_rejects_zero_streams_for_nonempty_batches_only() {
+        let empty = plan(&[], 0, StreamPolicy::LptLeastLoaded);
+        assert!(empty.assignments.is_empty());
+        assert!(empty.est_load.is_empty());
+        let one = vec![est(10, &[2])];
+        let err = std::panic::catch_unwind(|| plan(&one, 0, StreamPolicy::RoundRobin)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(msg.contains("0 streams"), "descriptive error, got: {msg}");
+    }
+
+    #[test]
+    fn cluster_plan_balances_across_uniform_devices() {
+        let costs: Vec<CostEstimate> = (0..8)
+            .map(|i| {
+                let mut c = est(40, &[0; 12]);
+                c.index = i;
+                c.trsm_flops = if i % 2 == 0 { 8.0e9 } else { 1.0e9 };
+                c.syrk_flops = 0.0;
+                c.transfer_bytes = 0.0;
+                c
+            })
+            .collect();
+        let devs = vec![
+            slot(DeviceSpec::a100(), usize::MAX, 2),
+            slot(DeviceSpec::a100(), usize::MAX, 2),
+        ];
+        let p = plan_cluster(&costs, &devs).unwrap();
+        // every subdomain placed exactly once
+        let mut seen: Vec<usize> = p.per_device.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert_eq!(p.device_of.len(), 8);
+        // LPT must split the 4 heavy items evenly
+        let heavy_per_dev: Vec<usize> = p
+            .per_device
+            .iter()
+            .map(|idx| idx.iter().filter(|&&i| i % 2 == 0).count())
+            .collect();
+        assert_eq!(heavy_per_dev, vec![2, 2], "heavy items must spread");
+        let spread = (p.est_load[0] - p.est_load[1]).abs();
+        assert!(
+            spread <= p.est_load[0].max(p.est_load[1]) * 0.5,
+            "loads {:?} must be roughly balanced",
+            p.est_load
+        );
+    }
+
+    #[test]
+    fn cluster_plan_respects_arena_admissibility() {
+        // one subdomain too big for the small card: it must land on the big
+        // one even though the big one is the slower device
+        let mut big = est(400, &[0; 20]);
+        big.index = 0;
+        big.temp_bytes = 1 << 20;
+        let mut small_a = est(40, &[0; 8]);
+        small_a.index = 1;
+        small_a.temp_bytes = 1 << 10;
+        let mut small_b = small_a.clone();
+        small_b.index = 2;
+        let devs = vec![
+            slot(DeviceSpec::tiny_test_device(), 2 << 20, 2), // big arena, slow
+            slot(DeviceSpec::a100(), 16 << 10, 2),            // small arena, fast
+        ];
+        let p = plan_cluster(&[big, small_a, small_b], &devs).unwrap();
+        assert_eq!(p.device_of[0], 0, "oversized subdomain must use device 0");
+        assert!(p.per_device[0].contains(&0));
+    }
+
+    #[test]
+    fn cluster_plan_prefers_the_faster_device_for_heavy_work() {
+        let costs: Vec<CostEstimate> = (0..6)
+            .map(|i| {
+                let mut c = est(40, &[0; 12]);
+                c.index = i;
+                c.trsm_flops = 4.0e9;
+                c.syrk_flops = 0.0;
+                c.transfer_bytes = 0.0;
+                c.temp_bytes = 1;
+                c
+            })
+            .collect();
+        let devs = vec![
+            slot(DeviceSpec::h100(), usize::MAX, 2),
+            slot(DeviceSpec::tiny_test_device(), usize::MAX, 2),
+        ];
+        let p = plan_cluster(&costs, &devs).unwrap();
+        // the H100 is ~3000x faster than the tiny card: everything goes there
+        assert!(
+            p.per_device[0].len() > p.per_device[1].len(),
+            "fast device must absorb most of the equal-cost work: {:?}",
+            p.per_device
+        );
+    }
+
+    #[test]
+    fn cluster_plan_skips_zero_stream_devices() {
+        let costs: Vec<CostEstimate> = (0..4)
+            .map(|i| {
+                let mut c = est(20, &[0; 6]);
+                c.index = i;
+                c
+            })
+            .collect();
+        // a drained (0-stream) card next to a working one: everything must
+        // land on the working card, never on the unusable one
+        let devs = vec![
+            slot(DeviceSpec::a100(), usize::MAX, 0),
+            slot(DeviceSpec::a100(), usize::MAX, 2),
+        ];
+        let p = plan_cluster(&costs, &devs).unwrap();
+        assert!(p.per_device[0].is_empty(), "0-stream device must stay idle");
+        assert_eq!(p.per_device[1].len(), 4);
+        assert!(p.device_of.iter().all(|&d| d == 1));
+        // a pool of only 0-stream devices cannot run anything
+        let dead = vec![slot(DeviceSpec::a100(), usize::MAX, 0)];
+        assert_eq!(
+            plan_cluster(&costs, &dead).unwrap_err(),
+            ClusterPlanError::NoDevices
+        );
+    }
+
+    #[test]
+    fn cluster_plan_errors_are_descriptive() {
+        let one = vec![est(10, &[2])];
+        assert_eq!(
+            plan_cluster(&one, &[]).unwrap_err(),
+            ClusterPlanError::NoDevices
+        );
+        let empty = plan_cluster(&[], &[]).unwrap();
+        assert!(empty.per_device.is_empty());
+        assert!(empty.device_of.is_empty());
+
+        let mut huge = est(10, &[2]);
+        huge.temp_bytes = 1 << 30;
+        let err = plan_cluster(&[huge], &[slot(DeviceSpec::a100(), 1 << 20, 2)]).unwrap_err();
+        match err {
+            ClusterPlanError::SubdomainTooLarge {
+                index,
+                temp_bytes,
+                max_arena,
+            } => {
+                assert_eq!(index, 0);
+                assert_eq!(temp_bytes, 1 << 30);
+                assert_eq!(max_arena, 1 << 20);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("largest device arena"));
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub use approaches::{
     PreprocessReport,
 };
 pub use dualop::{DualOperator, SubdomainFactors};
-pub use pcpg::{pcpg_preconditioned, PcpgResult, PcpgStats};
+pub use pcpg::{pcpg_preconditioned, PcpgBreakdown, PcpgResult, PcpgStats};
 pub use regularize::regularize_fixing_node;
 pub use solver::{DualMode, FetiOptions, FetiSolution, FetiSolver, Preconditioner};

@@ -8,16 +8,40 @@
 
 use sc_dense::dot;
 
+/// Why PCPG stopped before reaching the tolerance or exhausting the
+/// iteration budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PcpgBreakdown {
+    /// `pᵀFp ≤ 0`: the dual operator is not positive definite on the
+    /// current search direction (carries the offending curvature).
+    IndefiniteOperator {
+        /// The non-positive curvature `pᵀFp`.
+        pfp: f64,
+    },
+    /// `wᵀz ≤ 0`: the preconditioned residual inner product lost
+    /// positivity — the preconditioner is not SPD on this subspace.
+    IndefinitePreconditioner {
+        /// The non-positive inner product `wᵀz`.
+        wz: f64,
+    },
+}
+
 /// Convergence statistics.
 #[derive(Clone, Copy, Debug)]
 pub struct PcpgStats {
-    /// Iterations performed (dual operator applications, excluding the
-    /// initial residual).
+    /// CG iterations performed (λ updates; residual-confirmation operator
+    /// applications are not counted).
     pub iterations: usize,
-    /// Final relative projected residual.
+    /// Final relative projected residual `‖P(d − Fλ)‖ / ‖Pd‖`, **freshly
+    /// recomputed** from λ — never the recursively updated residual, which
+    /// can drift from the truth in finite precision.
     pub rel_residual: f64,
-    /// True when the tolerance was reached within the iteration budget.
+    /// True when [`PcpgStats::rel_residual`] — the recomputed true
+    /// residual, not the recursive estimate — reached the tolerance.
     pub converged: bool,
+    /// `Some` when the iteration stopped on a loss of positivity instead of
+    /// converging or running out of budget.
+    pub breakdown: Option<PcpgBreakdown>,
 }
 
 /// Result of a PCPG run.
@@ -75,25 +99,65 @@ pub fn pcpg_preconditioned(
                 iterations: 0,
                 rel_residual: 0.0,
                 converged: true,
+                breakdown: None,
             },
         };
     }
 
+    // the true projected residual P(d − Fλ) — the single definition behind
+    // the initial residual, the convergence confirmation, and the final
+    // reported statistic
+    fn true_residual(
+        d: &[f64],
+        lambda: &[f64],
+        apply_f: &mut impl FnMut(&[f64]) -> Vec<f64>,
+        project: &mut impl FnMut(&[f64]) -> Vec<f64>,
+    ) -> Vec<f64> {
+        let flam = apply_f(lambda);
+        let r: Vec<f64> = d.iter().zip(&flam).map(|(di, fi)| di - fi).collect();
+        project(&r)
+    }
+
     // w = P (d - F λ0), z = P M⁻¹ w, p = z
-    let flam = apply_f(&lambda);
-    let r: Vec<f64> = d.iter().zip(&flam).map(|(di, fi)| di - fi).collect();
-    let mut w = project(&r);
+    let mut w = true_residual(d, &lambda, &mut apply_f, &mut project);
+    // whether `w` currently equals the freshly computed P(d − Fλ) (the
+    // recursive update below makes it an estimate that can drift)
+    let mut w_is_true = true;
     let mut z = project(&precond(&w));
     let mut p = z.clone();
     let mut wz = dot(&w, &z);
     let mut iterations = 0;
-    let mut converged = dot(&w, &w).sqrt() / norm0 <= tol;
+    let mut breakdown = None;
 
-    while !converged && iterations < max_iter {
+    loop {
+        if dot(&w, &w).sqrt() / norm0 <= tol {
+            if w_is_true {
+                break; // confirmed on the true residual
+            }
+            // the recursive residual claims convergence: confirm against
+            // the freshly recomputed true projected residual
+            w = true_residual(d, &lambda, &mut apply_f, &mut project);
+            w_is_true = true;
+            if dot(&w, &w).sqrt() / norm0 <= tol {
+                break;
+            }
+            // false convergence — restart the recursion from the truth
+            z = project(&precond(&w));
+            p = z.clone();
+            wz = dot(&w, &z);
+            continue;
+        }
+        if iterations >= max_iter {
+            break;
+        }
         let fp = apply_f(&p);
         let pfp = dot(&p, &fp);
-        if pfp <= 0.0 || wz <= 0.0 {
-            // operator or preconditioner not SPD on this subspace: stop
+        if pfp <= 0.0 {
+            breakdown = Some(PcpgBreakdown::IndefiniteOperator { pfp });
+            break;
+        }
+        if wz <= 0.0 {
+            breakdown = Some(PcpgBreakdown::IndefinitePreconditioner { wz });
             break;
         }
         let gamma = wz / pfp;
@@ -104,6 +168,7 @@ pub fn pcpg_preconditioned(
         for i in 0..m {
             w[i] -= gamma * pfp_vec[i];
         }
+        w_is_true = false;
         z = project(&precond(&w));
         let wz_new = dot(&w, &z);
         let beta = wz_new / wz;
@@ -112,15 +177,21 @@ pub fn pcpg_preconditioned(
         }
         wz = wz_new;
         iterations += 1;
-        converged = dot(&w, &w).sqrt() / norm0 <= tol;
     }
 
+    // honest exit report: whatever stopped the loop, the returned residual
+    // is the true P(d − Fλ) of the final iterate
+    if !w_is_true {
+        w = true_residual(d, &lambda, &mut apply_f, &mut project);
+    }
+    let rel_residual = dot(&w, &w).sqrt() / norm0;
     PcpgResult {
         lambda,
         stats: PcpgStats {
             iterations,
-            rel_residual: dot(&w, &w).sqrt() / norm0,
-            converged,
+            rel_residual,
+            converged: rel_residual <= tol,
+            breakdown,
         },
     }
 }
@@ -207,6 +278,148 @@ mod tests {
         );
         assert_eq!(res.stats.iterations, 0);
         assert!(res.stats.converged);
+    }
+
+    #[test]
+    fn indefinite_operator_reports_breakdown_not_convergence() {
+        // F = -I is negative definite: pᵀFp < 0 on the first direction. The
+        // old code silently broke out and left the stats ambiguous; now the
+        // breakdown is named and convergence is judged on the true residual.
+        let n = 6;
+        let d = vec![1.0; n];
+        let res = pcpg(
+            &d,
+            vec![0.0; n],
+            |p| p.iter().map(|x| -x).collect(),
+            |x| x.to_vec(),
+            1e-10,
+            50,
+        );
+        assert_eq!(res.stats.iterations, 0);
+        assert!(!res.stats.converged);
+        match res.stats.breakdown {
+            Some(PcpgBreakdown::IndefiniteOperator { pfp }) => assert!(pfp < 0.0),
+            other => panic!("expected operator breakdown, got {other:?}"),
+        }
+        // true residual of the untouched iterate: ‖d‖/‖d‖ = 1
+        assert!((res.stats.rel_residual - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn indefinite_preconditioner_reports_breakdown() {
+        let n = 6;
+        let a = Mat::from_fn(n, n, |i, j| if i == j { 2.0 } else { 0.0 });
+        let d = vec![1.0; n];
+        let res = pcpg_preconditioned(
+            &d,
+            vec![0.0; n],
+            |p| {
+                let mut out = vec![0.0; n];
+                sc_dense::gemv(1.0, a.as_ref(), p, 0.0, &mut out);
+                out
+            },
+            |x| x.to_vec(),
+            |w| w.iter().map(|x| -x).collect(), // M⁻¹ = -I: wᵀz < 0
+            1e-10,
+            50,
+        );
+        assert!(!res.stats.converged);
+        match res.stats.breakdown {
+            Some(PcpgBreakdown::IndefinitePreconditioner { wz }) => assert!(wz < 0.0),
+            other => panic!("expected preconditioner breakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reported_residual_is_the_true_projected_residual() {
+        let n = 10;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                3.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let res = pcpg(
+            &d,
+            vec![0.0; n],
+            |p| {
+                let mut out = vec![0.0; n];
+                sc_dense::gemv(1.0, a.as_ref(), p, 0.0, &mut out);
+                out
+            },
+            |x| x.to_vec(),
+            1e-11,
+            100,
+        );
+        assert!(res.stats.converged);
+        assert!(res.stats.breakdown.is_none());
+        // recompute ‖d − Aλ‖ / ‖d‖ externally: must equal the reported stat
+        let mut alam = vec![0.0; n];
+        sc_dense::gemv(1.0, a.as_ref(), &res.lambda, 0.0, &mut alam);
+        let num = d
+            .iter()
+            .zip(&alam)
+            .map(|(di, fi)| (di - fi) * (di - fi))
+            .sum::<f64>()
+            .sqrt();
+        let rel = num / d.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(
+            (rel - res.stats.rel_residual).abs() <= 1e-14,
+            "reported {} vs recomputed {rel}",
+            res.stats.rel_residual
+        );
+    }
+
+    #[test]
+    fn false_convergence_of_the_recursive_residual_is_caught() {
+        use std::cell::Cell;
+        // An operator that injects one large deterministic error into its
+        // 3rd application: the recursive residual update absorbs the bad
+        // vector and can claim convergence while the true residual is far
+        // off. The confirmation step must catch it and keep iterating until
+        // λ genuinely solves the system.
+        let n = 8;
+        let a = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let d: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64).sin()).collect();
+        let calls = Cell::new(0usize);
+        let res = pcpg(
+            &d,
+            vec![0.0; n],
+            |p| {
+                let mut out = vec![0.0; n];
+                sc_dense::gemv(1.0, a.as_ref(), p, 0.0, &mut out);
+                calls.set(calls.get() + 1);
+                if calls.get() == 3 {
+                    out[0] += 10.0; // corrupt exactly one application
+                }
+                out
+            },
+            |x| x.to_vec(),
+            1e-10,
+            200,
+        );
+        assert!(res.stats.converged, "must recover from the corrupted apply");
+        let mut alam = vec![0.0; n];
+        sc_dense::gemv(1.0, a.as_ref(), &res.lambda, 0.0, &mut alam);
+        for i in 0..n {
+            assert!(
+                (alam[i] - d[i]).abs() < 1e-8,
+                "dof {i}: residual {} — convergence was claimed falsely",
+                alam[i] - d[i]
+            );
+        }
     }
 
     #[test]

@@ -5,13 +5,14 @@ use crate::dualop::{DualOperator, SubdomainFactors};
 use crate::pcpg::PcpgStats;
 use rayon::prelude::*;
 use sc_core::{
-    assemble_sc_batch_gpu_map, assemble_sc_batch_map, assemble_sc_batch_scheduled_map, BatchReport,
-    ScConfig, ScheduleOptions,
+    assemble_sc_batch_cluster_map, assemble_sc_batch_gpu_map, assemble_sc_batch_map,
+    assemble_sc_batch_scheduled_map, BatchReport, ClusterOptions, ClusterReport, ScConfig,
+    ScheduleOptions,
 };
 use sc_dense::Mat;
 use sc_factor::Engine;
 use sc_fem::HeatProblem;
-use sc_gpu::{Device, GpuKernels};
+use sc_gpu::{Device, DevicePool, GpuKernels};
 use sc_order::Ordering;
 use sc_sparse::{Coo, Csc};
 use std::sync::Arc;
@@ -32,6 +33,21 @@ pub enum DualMode {
     /// round-robin. The schedule's per-stream timeline is exposed through
     /// [`FetiSolver::assembly_report`].
     ExplicitGpuScheduled(ScConfig, Arc<Device>, ScheduleOptions),
+    /// Explicit dense `F̃ᵢ`, sharded across a **pool of simulated GPUs**
+    /// (the paper's 8-GPU Karolina node): a two-level plan partitions
+    /// subdomains across devices (cost-aware LPT with per-device
+    /// arena-capacity admissibility), then each device runs the §4.4
+    /// scheduler on its share. Numerics stay bitwise identical to the
+    /// sequential CPU path; [`FetiSolver::cluster_report`] exposes the
+    /// per-device roll-up.
+    ExplicitGpuCluster {
+        /// Assembly configuration.
+        cfg: ScConfig,
+        /// The device pool (heterogeneous mixes allowed).
+        pool: Arc<DevicePool>,
+        /// Cluster scheduling options.
+        opts: ClusterOptions,
+    },
 }
 
 /// Dual preconditioner selection for PCPG.
@@ -105,6 +121,9 @@ pub struct FetiSolver<'p> {
     /// Timing/cache diagnostics of the batched explicit assembly (`None` for
     /// the implicit mode).
     assembly_report: Option<BatchReport>,
+    /// Per-device roll-up of the cluster-sharded assembly (`None` unless
+    /// [`DualMode::ExplicitGpuCluster`] was used).
+    cluster_report: Option<ClusterReport>,
 }
 
 impl<'p> FetiSolver<'p> {
@@ -124,6 +143,7 @@ impl<'p> FetiSolver<'p> {
         // cache); the implicit mode reuses `factors` directly at application
         // time
         let mut assembly_report: Option<BatchReport> = None;
+        let mut cluster_report: Option<ClusterReport> = None;
         let explicit_ops: Option<Vec<DualOperator>> = match &opts.dual {
             DualMode::Implicit => None,
             DualMode::ExplicitCpu(cfg) => {
@@ -186,6 +206,39 @@ impl<'p> FetiSolver<'p> {
                         .map(|(i, f)| DualOperator::ExplicitGpu {
                             f,
                             kernels: GpuKernels::new(device.stream(stream_of[i])),
+                        })
+                        .collect(),
+                )
+            }
+            DualMode::ExplicitGpuCluster { cfg, pool, opts } => {
+                let res = assemble_sc_batch_cluster_map(
+                    &factors,
+                    cfg,
+                    pool,
+                    opts,
+                    |_, f| std::borrow::Cow::Owned(f.chol.factor_csc()),
+                    |f| &f.bt_perm,
+                );
+                // bind each operator to the device and stream its schedule
+                // placed it on
+                let combined = res.report.combined();
+                let placement: Vec<(usize, usize)> = combined
+                    .timings
+                    .iter()
+                    .map(|t| (res.report.device_of[t.index], t.stream.unwrap_or(0)))
+                    .collect();
+                assembly_report = Some(combined);
+                cluster_report = Some(res.report);
+                Some(
+                    res.f
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, f)| {
+                            let (dev, stream) = placement[i];
+                            DualOperator::ExplicitGpu {
+                                f,
+                                kernels: GpuKernels::new(pool.device(dev).stream(stream)),
+                            }
                         })
                         .collect(),
                 )
@@ -262,14 +315,24 @@ impl<'p> FetiSolver<'p> {
             d,
             e,
             assembly_report,
+            cluster_report,
         }
     }
 
     /// Diagnostics of the batched explicit assembly: per-subdomain wall
     /// times, achieved parallel speedup, and block-cut cache hit counts.
-    /// `None` when the dual operator is applied implicitly.
+    /// `None` when the dual operator is applied implicitly. For
+    /// [`DualMode::ExplicitGpuCluster`] this is the flattened cluster
+    /// roll-up ([`ClusterReport::combined`]).
     pub fn assembly_report(&self) -> Option<&BatchReport> {
         self.assembly_report.as_ref()
+    }
+
+    /// Per-device diagnostics of the cluster-sharded assembly: the device
+    /// partition, per-device makespans/utilization, and the cluster
+    /// makespan. `None` unless [`DualMode::ExplicitGpuCluster`] was used.
+    pub fn cluster_report(&self) -> Option<&ClusterReport> {
+        self.cluster_report.as_ref()
     }
 
     /// Number of kernel columns (size of the coarse problem).
@@ -505,6 +568,46 @@ mod tests {
         assert_eq!(report.schedule.len(), p.subdomains.len());
         assert!(report.device_seconds > 0.0);
         assert!(report.timings.iter().all(|t| t.stream.is_some()));
+    }
+
+    #[test]
+    fn explicit_gpu_cluster_matches_direct_and_reports_partition() {
+        use sc_gpu::DevicePool;
+        let p = HeatProblem::build_3d(2, (2, 2, 2), Gluing::Redundant);
+        let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
+        let opts = FetiOptions {
+            dual: DualMode::ExplicitGpuCluster {
+                cfg: ScConfig::optimized(true, true),
+                pool: Arc::clone(&pool),
+                opts: sc_core::ClusterOptions::default(),
+            },
+            ..Default::default()
+        };
+        check_against_direct(&p, &opts, 1e-6);
+        assert!(pool.synchronize_all() > 0.0, "the pool must have been used");
+
+        let solver = FetiSolver::new(&p, &opts);
+        let report = solver.cluster_report().expect("cluster mode reports");
+        assert_eq!(report.device_of.len(), p.subdomains.len());
+        let mut placed: Vec<usize> = report.partition.concat();
+        placed.sort_unstable();
+        assert_eq!(placed, (0..p.subdomains.len()).collect::<Vec<_>>());
+        assert!(report.makespan > 0.0);
+        let combined = solver.assembly_report().expect("combined roll-up");
+        assert_eq!(combined.timings.len(), p.subdomains.len());
+        assert_eq!(combined.device_seconds, report.makespan);
+
+        // the cluster-assembled F̃ᵢ are bitwise identical to the CPU
+        // explicit path (same fixed config ⇒ same kernel sequence)
+        let cpu_opts = FetiOptions {
+            dual: DualMode::ExplicitCpu(ScConfig::optimized(true, true)),
+            ..Default::default()
+        };
+        let s_cpu = FetiSolver::new(&p, &cpu_opts);
+        let lam: Vec<f64> = (0..p.n_lambda).map(|i| (i as f64 * 0.3).sin()).collect();
+        let a = solver.apply_f(&lam);
+        let b = s_cpu.apply_f(&lam);
+        assert_eq!(a, b, "cluster dual operator must match the CPU one bitwise");
     }
 
     #[test]

@@ -38,6 +38,39 @@ impl DeviceSpec {
         }
     }
 
+    /// NVIDIA H100-SXM5-80GB — the successor card, for heterogeneous
+    /// device-pool experiments: ~3.5× the FP64 throughput and ~2× the
+    /// interconnect and HBM bandwidth of the A100, double the memory.
+    pub fn h100() -> Self {
+        DeviceSpec {
+            name: "sim-H100-80GB",
+            fp64_gflops: 33_500.0,
+            mem_bandwidth_gbps: 3_350.0,
+            pcie_bandwidth_gbps: 50.0,
+            kernel_launch_us: 4.0,
+            concurrency: 16,
+            // a bigger device needs more in-flight work to fill
+            occupancy_half_flops: 6.0e7,
+            memory_bytes: 80 * (1usize << 30),
+        }
+    }
+
+    /// Look a spec up by short name (`"a100"`, `"h100"`, `"tiny"`) — the
+    /// registry behind CLI flags like `--devices a100,h100`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "a100" => Some(Self::a100()),
+            "h100" => Some(Self::h100()),
+            "tiny" => Some(Self::tiny_test_device()),
+            _ => None,
+        }
+    }
+
+    /// Short names accepted by [`DeviceSpec::from_name`].
+    pub fn registry() -> &'static [&'static str] {
+        &["a100", "h100", "tiny"]
+    }
+
     /// A deliberately small test device: tiny memory and high launch
     /// overhead, to exercise pool-blocking and launch-bound paths in tests.
     pub fn tiny_test_device() -> Self {

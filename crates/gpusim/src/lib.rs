@@ -22,10 +22,12 @@ pub mod cost;
 pub mod device;
 pub mod kernels;
 pub mod memory;
+pub mod pool;
 pub mod timeline;
 
 pub use cost::KernelCost;
 pub use device::DeviceSpec;
 pub use kernels::GpuKernels;
 pub use memory::{TempAlloc, TempPool};
+pub use pool::DevicePool;
 pub use timeline::{Device, SimSpan, Stream};

@@ -10,14 +10,25 @@
 //! [`TempPool`] reproduces exactly that contract (bytes accounting +
 //! blocking), which is what the multi-stream assembly loop relies on to bound
 //! its footprint when many subdomains are in flight.
+//!
+//! Waiting is **FIFO**: each blocked [`TempPool::alloc`] takes a ticket and
+//! is admitted strictly in ticket order. Without the queue, a blocked large
+//! request could wait forever while a stream of smaller requests kept
+//! slipping past the condvar every time bytes were released — admission
+//! order is part of the allocator's contract, not a best-effort hint.
 
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 struct PoolState {
     free: usize,
     high_water: usize,
     capacity: usize,
+    /// Tickets of threads blocked in [`TempPool::alloc`], oldest first.
+    waiters: VecDeque<u64>,
+    /// Next ticket to hand out.
+    next_ticket: u64,
 }
 
 /// Blocking temporary-arena allocator.
@@ -34,6 +45,8 @@ impl TempPool {
                 free: capacity,
                 high_water: 0,
                 capacity,
+                waiters: VecDeque::new(),
+                next_ticket: 0,
             }),
             available: Condvar::new(),
         })
@@ -54,9 +67,21 @@ impl TempPool {
         self.state.lock().high_water
     }
 
-    /// Allocate `bytes`, blocking until available. Panics if the request can
-    /// never be satisfied (larger than capacity) — that is a configuration
-    /// error, mirroring a CUDA OOM on a buffer bigger than the card.
+    /// Allocate `bytes`, blocking until available. Admission is **FIFO**:
+    /// a blocked request is served strictly in arrival order, so a large
+    /// request cannot be starved by a stream of smaller ones that would
+    /// otherwise keep fitting into the freed bytes first. Panics if the
+    /// request can never be satisfied (larger than capacity) — that is a
+    /// configuration error, mirroring a CUDA OOM on a buffer bigger than the
+    /// card.
+    ///
+    /// **Contract (the paper's usage):** a worker allocates the whole
+    /// temporary footprint of its subdomain as *one* request and holds no
+    /// earlier allocation while blocking. Strict admission ordering means a
+    /// thread that blocks on a second allocation while still holding a
+    /// first can deadlock behind a queued request that is itself waiting
+    /// for the held bytes — size the request up front, or use
+    /// [`TempPool::try_alloc`] for opportunistic nested buffers.
     pub fn alloc(self: &Arc<Self>, bytes: usize) -> TempAlloc {
         let mut st = self.state.lock();
         assert!(
@@ -64,8 +89,17 @@ impl TempPool {
             "temporary allocation of {bytes} B exceeds pool capacity {} B",
             st.capacity
         );
-        while st.free < bytes {
-            self.available.wait(&mut st);
+        if st.free < bytes || !st.waiters.is_empty() {
+            // take a ticket and wait until (a) it is our turn and (b) the
+            // bytes are there; later arrivals queue behind us even when
+            // their smaller requests would fit right now
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            st.waiters.push_back(ticket);
+            while st.waiters.front() != Some(&ticket) || st.free < bytes {
+                self.available.wait(&mut st);
+            }
+            st.waiters.pop_front();
         }
         st.free -= bytes;
         let used = st.capacity - st.free;
@@ -73,6 +107,8 @@ impl TempPool {
             st.high_water = used;
         }
         drop(st);
+        // the next ticket holder may also fit into what remains
+        self.available.notify_all();
         TempAlloc {
             pool: Arc::clone(self),
             bytes,
@@ -80,10 +116,11 @@ impl TempPool {
     }
 
     /// Non-blocking variant: `None` when the pool cannot satisfy the request
-    /// right now.
+    /// right now. Honors the FIFO queue — when blocked allocations are
+    /// waiting, `try_alloc` refuses rather than jumping the line.
     pub fn try_alloc(self: &Arc<Self>, bytes: usize) -> Option<TempAlloc> {
         let mut st = self.state.lock();
-        if bytes > st.free {
+        if bytes > st.free || !st.waiters.is_empty() {
             return None;
         }
         st.free -= bytes;
@@ -176,6 +213,70 @@ mod tests {
         drop(a);
         let got = t.join().unwrap();
         assert_eq!(got, 60);
+    }
+
+    #[test]
+    fn fifo_big_request_wins_against_a_stream_of_small_ones() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        // Starvation regression: a full-capacity request arrives while the
+        // pool is partially held, and small allocations keep churning. With
+        // wakeup-race admission the small ones would keep slipping past the
+        // condvar forever; FIFO tickets guarantee the big request is served
+        // as soon as everything ahead of it drains.
+        let p = TempPool::new(100);
+        let holder = p.alloc(60);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let churned = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            // churner: an endless stream of 30 B allocations
+            let p2 = Arc::clone(&p);
+            let stop2 = Arc::clone(&stop);
+            let churned2 = Arc::clone(&churned);
+            s.spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let g = p2.alloc(30);
+                    churned2.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_micros(200));
+                    drop(g);
+                }
+            });
+            // let the churn establish itself, then enqueue the big request
+            std::thread::sleep(Duration::from_millis(20));
+            let p3 = Arc::clone(&p);
+            let big = s.spawn(move || {
+                let g = p3.alloc(100);
+                g.bytes()
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            // release the held 60 B: once the in-flight small one drains, the
+            // big request is next in line and must be admitted
+            drop(holder);
+            assert_eq!(big.join().unwrap(), 100, "big request must be served");
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert!(
+            churned.load(Ordering::Relaxed) > 0,
+            "the small-allocation churn must actually have run"
+        );
+        assert_eq!(p.free_bytes(), 100);
+    }
+
+    #[test]
+    fn try_alloc_does_not_jump_the_fifo_queue() {
+        let p = TempPool::new(100);
+        let holder = p.alloc(80);
+        let p2 = Arc::clone(&p);
+        let waiter = std::thread::spawn(move || p2.alloc(50).bytes());
+        // wait until the 50 B request is queued
+        while p.state.lock().waiters.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // 20 B fit into the free bytes, but a blocked allocation is ahead
+        assert!(p.try_alloc(20).is_none(), "try_alloc must not overtake");
+        drop(holder);
+        assert_eq!(waiter.join().unwrap(), 50);
     }
 
     #[test]

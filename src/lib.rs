@@ -47,17 +47,21 @@ pub use sc_sparse;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use sc_core::{
-        assemble_sc, assemble_sc_batch, assemble_sc_batch_gpu, assemble_sc_batch_scheduled,
-        BatchItem, BatchReport, BatchResult, BlockCutsCache, BlockParam, CostEstimate, CpuExec,
-        FactorStorage, GpuExec, RecordingExec, ScConfig, ScParams, ScheduleOptions, ScheduledSpan,
-        SteppedRhs, StreamPolicy, SubdomainTiming, SyrkVariant, TrsmVariant,
+        assemble_sc, assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_gpu,
+        assemble_sc_batch_scheduled, plan_cluster, BatchItem, BatchReport, BatchResult,
+        BlockCutsCache, BlockParam, ClusterOptions, ClusterPlan, ClusterPlanError, ClusterReport,
+        ClusterResult, CostEstimate, CpuExec, DeviceSlot, FactorStorage, GpuExec, RecordingExec,
+        ScConfig, ScParams, ScheduleOptions, ScheduledSpan, SteppedRhs, StreamPolicy,
+        SubdomainTiming, SyrkVariant, TrsmVariant,
     };
     pub use sc_dense::Mat;
     pub use sc_factor::{CholOptions, Engine, SparseCholesky};
     pub use sc_fem::{Gluing, HeatProblem};
     pub use sc_feti::solver::DualMode;
-    pub use sc_feti::{preprocess_approach, DualOpApproach, FetiOptions, FetiSolution, FetiSolver};
-    pub use sc_gpu::{Device, DeviceSpec, GpuKernels};
+    pub use sc_feti::{
+        preprocess_approach, DualOpApproach, FetiOptions, FetiSolution, FetiSolver, PcpgBreakdown,
+    };
+    pub use sc_gpu::{Device, DevicePool, DeviceSpec, GpuKernels};
     pub use sc_order::Ordering;
     pub use sc_sparse::{Csc, Csr, Perm};
 }

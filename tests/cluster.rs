@@ -1,0 +1,167 @@
+//! Property-based tests of the cluster-level (multi-device) partition
+//! invariants: every subdomain is placed on exactly one device, no device's
+//! simulated arena is oversubscribed beyond its own capacity, the cluster
+//! makespan never exceeds the single-device makespan on the same hardware,
+//! and the sharded numerics are bitwise identical to the sequential CPU
+//! reference.
+
+use proptest::prelude::*;
+use schur_dd::prelude::*;
+use schur_dd::sc_gpu::{Device, DevicePool, DeviceSpec};
+use schur_dd::sc_sparse::{Coo, Csc};
+
+/// A cluster of SPD subdomains with sizes drawn per subdomain — factorized
+/// like the production pipeline (`(L, B̃ᵀ_permuted)` pairs).
+fn cluster_strategy() -> impl Strategy<Value = Vec<(Csc, Csc)>> {
+    proptest::collection::vec((3usize..9, 0usize..10, 0u64..1000), 4..12).prop_map(|subs| {
+        subs.into_iter()
+            .map(|(nx, m, seed)| {
+                let n = nx * nx;
+                let idx = |x: usize, y: usize| y * nx + x;
+                let mut c = Coo::new(n, n);
+                for y in 0..nx {
+                    for x in 0..nx {
+                        let v = idx(x, y);
+                        c.push(v, v, 4.05 + (seed % 7) as f64 * 0.01);
+                        if x > 0 {
+                            c.push(v, idx(x - 1, y), -1.0);
+                        }
+                        if x + 1 < nx {
+                            c.push(v, idx(x + 1, y), -1.0);
+                        }
+                        if y > 0 {
+                            c.push(v, idx(x, y - 1), -1.0);
+                        }
+                        if y + 1 < nx {
+                            c.push(v, idx(x, y + 1), -1.0);
+                        }
+                    }
+                }
+                let k = c.to_csc();
+                let mut b = Coo::new(n, m);
+                for j in 0..m {
+                    let d = ((j as u64 * 7919 + seed * 131) % n as u64) as usize;
+                    b.push(
+                        d,
+                        j,
+                        if (j as u64 + seed) % 2 == 0 {
+                            1.0
+                        } else {
+                            -1.0
+                        },
+                    );
+                }
+                let chol = SparseCholesky::factorize(&k, CholOptions::default()).unwrap();
+                (chol.factor_csc(), b.to_csc().permute_rows(chol.perm()))
+            })
+            .collect()
+    })
+}
+
+/// A memory-tight spec so arena admission binds inside each device.
+fn tight_spec() -> DeviceSpec {
+    DeviceSpec {
+        memory_bytes: 128 * 1024, // 64 KiB arena
+        concurrency: 2,
+        ..DeviceSpec::a100()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn cluster_partition_invariants_hold(
+        data in cluster_strategy(),
+        n_devices in 1usize..5,
+        n_streams in 1usize..4,
+    ) {
+        let items: Vec<BatchItem<'_>> =
+            data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let pool = DevicePool::uniform(tight_spec(), n_devices, n_streams);
+        let res = assemble_sc_batch_cluster(&items, &ScConfig::optimized(true, false), &pool, &ClusterOptions::default());
+        let report = &res.report;
+
+        // --- every subdomain placed on exactly one device
+        let mut placed: Vec<usize> = report.partition.concat();
+        placed.sort_unstable();
+        prop_assert_eq!(placed, (0..items.len()).collect::<Vec<_>>());
+        prop_assert_eq!(report.device_of.len(), items.len());
+        for (i, &d) in report.device_of.iter().enumerate() {
+            prop_assert!(report.partition[d].contains(&i));
+        }
+
+        // --- no device's simulated arena exceeds its own capacity
+        prop_assert_eq!(report.per_device.len(), n_devices);
+        for (d, rep) in report.per_device.iter().enumerate() {
+            let capacity = pool.device(d).temp_pool().capacity();
+            prop_assert!(
+                rep.temp_high_water <= capacity,
+                "device {d}: arena high water {} > capacity {capacity}",
+                rep.temp_high_water
+            );
+            // sweep the executed schedule: committed usage never exceeds it
+            let mut events: Vec<(f64, i64)> = Vec::new();
+            for e in &rep.schedule {
+                events.push((e.admitted_at, e.temp_bytes as i64));
+                events.push((e.span.end.max(e.admitted_at), -(e.temp_bytes as i64)));
+            }
+            events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let mut usage = 0i64;
+            for (at, delta) in events {
+                usage += delta;
+                prop_assert!(
+                    usage <= capacity as i64,
+                    "device {d} oversubscribed at t={at}: {usage} > {capacity}"
+                );
+            }
+        }
+
+        // --- cluster makespan never exceeds the single-device makespan on
+        //     identical hardware
+        let single = Device::new(tight_spec(), n_streams);
+        let sres = assemble_sc_batch_scheduled(
+            &items,
+            &ScConfig::optimized(true, false),
+            &single,
+            &ScheduleOptions::default(),
+        );
+        prop_assert!(
+            report.makespan <= sres.report.device_seconds * (1.0 + 1e-12),
+            "cluster makespan {} over {n_devices} devices exceeds the \
+             single-device makespan {}",
+            report.makespan,
+            sres.report.device_seconds
+        );
+
+        // --- numerics: bitwise equal to the sequential CPU reference
+        for (i, (l, bt)) in data.iter().enumerate() {
+            let seq = assemble_sc(&mut CpuExec, l, bt, &ScConfig::optimized(true, false));
+            prop_assert_eq!(&res.f[i], &seq, "subdomain {} deviates", i);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pools_place_admissibly_and_bitwise(
+        data in cluster_strategy(),
+        n_streams in 1usize..4,
+    ) {
+        // one tight card next to a full A100: placement must respect each
+        // device's own arena and numerics must stay bitwise CPU-identical
+        let items: Vec<BatchItem<'_>> =
+            data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let pool = DevicePool::heterogeneous(&[DeviceSpec::a100(), tight_spec()], n_streams);
+        let cfg = ScConfig::optimized(true, false);
+        let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+        for (d, rep) in res.report.per_device.iter().enumerate() {
+            prop_assert!(rep.temp_high_water <= pool.device(d).temp_pool().capacity());
+        }
+        let mut placed: Vec<usize> = res.report.partition.concat();
+        placed.sort_unstable();
+        prop_assert_eq!(placed, (0..items.len()).collect::<Vec<_>>());
+        for (i, (l, bt)) in data.iter().enumerate() {
+            let seq = assemble_sc(&mut CpuExec, l, bt, &cfg);
+            prop_assert_eq!(&res.f[i], &seq, "subdomain {} deviates", i);
+        }
+    }
+}
