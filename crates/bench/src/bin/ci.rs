@@ -1,0 +1,170 @@
+//! Local CI parity: run the exact build/test/clippy/fmt/doc/perf-gate
+//! sequence the GitHub workflow runs, in one command, so contributors
+//! reproduce CI without guessing which flags the workflow passes. The
+//! workflow's perf-gate job calls this same bin (`--stage perf-gate
+//! --only <bin>`), which is what keeps the two from drifting.
+//!
+//! Usage:
+//!   cargo run -p sc_bench --bin ci                      # everything
+//!   cargo run -p sc_bench --bin ci -- --stage perf-gate # just the bench gates
+//!   cargo run -p sc_bench --bin ci -- --stage perf-gate --only hybrid
+//!
+//! The perf-gate stage runs every `sc_bench` bin with `--json`, writing the
+//! per-bin records under `--out` (default `target/bench-json`); a full
+//! (non-`--only`) perf-gate run additionally merges them into
+//! `results/bench.json`, the committed machine-readable bench trajectory.
+//!
+//! Scope note: the **hard** perf gates (the bins' exit codes) and the
+//! record emission run identically here and in CI. The *warn-only* drift
+//! diff against the committed `results/bench.json` currently lives only in
+//! the workflow (a tolerant numeric comparison needs a JSON parser, which
+//! this offline crate deliberately does not carry) — locally, regenerate
+//! and `git diff results/bench.json` for the same signal.
+
+use sc_bench::{git_describe, write_json, Json, BENCH_SCHEMA};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The perf-gate bins, in run order. `headline` carries no exit gate of its
+/// own (it reports paper-vs-measured ratios); the other three exit non-zero
+/// when their speedup gates regress.
+const PERF_BINS: &[&str] = &["headline", "schedule", "cluster", "hybrid"];
+
+const STAGES: &[&str] = &["fmt", "clippy", "build", "test", "doc", "perf-gate"];
+
+struct Args {
+    stage: String,
+    only: Option<String>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        stage: "all".to_string(),
+        only: None,
+        out: PathBuf::from("target/bench-json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stage" => args.stage = it.next().expect("--stage needs a value"),
+            "--only" => args.only = Some(it.next().expect("--only needs a bin name")),
+            "--out" => args.out = it.next().expect("--out needs a path").into(),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    if args.stage != "all" && !STAGES.contains(&args.stage.as_str()) {
+        eprintln!("unknown stage '{}' — stages: all, {STAGES:?}", args.stage);
+        std::process::exit(2);
+    }
+    if let Some(only) = &args.only {
+        if !PERF_BINS.contains(&only.as_str()) {
+            eprintln!("unknown perf-gate bin '{only}' — bins: {PERF_BINS:?}");
+            std::process::exit(2);
+        }
+    }
+    args
+}
+
+/// Run one command with inherited stdio; exit the whole driver on failure
+/// (mirroring a failing CI step).
+fn step(name: &str, mut cmd: Command) {
+    println!("\n== ci step: {name} ==");
+    let status = cmd.status().unwrap_or_else(|e| {
+        eprintln!("FAIL [{name}]: could not launch {cmd:?}: {e}");
+        std::process::exit(1);
+    });
+    if !status.success() {
+        eprintln!("FAIL [{name}]: exit {status}");
+        std::process::exit(1);
+    }
+}
+
+fn cargo(args: &[&str]) -> Command {
+    let mut c = Command::new("cargo");
+    c.args(args);
+    c
+}
+
+fn main() {
+    let args = parse_args();
+    let run = |s: &str| args.stage == "all" || args.stage == s;
+
+    // the same commands the workflow jobs run, in the same order
+    if run("fmt") {
+        step("fmt", cargo(&["fmt", "--all", "--check"]));
+    }
+    if run("clippy") {
+        step(
+            "clippy",
+            cargo(&[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ]),
+        );
+    }
+    if run("build") {
+        step(
+            "build",
+            cargo(&["build", "--release", "--workspace", "--all-targets"]),
+        );
+    }
+    if run("test") {
+        step("test", cargo(&["test", "-q", "--workspace"]));
+    }
+    if run("doc") {
+        let mut doc = cargo(&["doc", "--workspace", "--no-deps"]);
+        doc.env("RUSTDOCFLAGS", "-D warnings");
+        step("doc", doc);
+    }
+    if run("perf-gate") {
+        let bins: Vec<&str> = match &args.only {
+            Some(only) => vec![only.as_str()],
+            None => PERF_BINS.to_vec(),
+        };
+        for bin in &bins {
+            let json = args.out.join(format!("{bin}.json"));
+            step(
+                &format!("perf-gate:{bin}"),
+                cargo(&[
+                    "run",
+                    "--release",
+                    "-p",
+                    "sc_bench",
+                    "--bin",
+                    bin,
+                    "--",
+                    "--json",
+                    json.to_str().expect("utf-8 path"),
+                ]),
+            );
+        }
+        // a full perf-gate run regenerates the committed trajectory file
+        if args.only.is_none() {
+            let mut bins_obj = Json::obj();
+            for bin in PERF_BINS {
+                let path = args.out.join(format!("{bin}.json"));
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("FAIL [merge]: cannot read {}: {e}", path.display());
+                    std::process::exit(1);
+                });
+                bins_obj = bins_obj.field(bin, Json::Raw(text));
+            }
+            let merged = Json::obj()
+                .field("schema", BENCH_SCHEMA)
+                .field("git", git_describe())
+                .field("bins", bins_obj);
+            let out = PathBuf::from("results/bench.json");
+            if let Err(e) = write_json(&out, &merged) {
+                eprintln!("FAIL [merge]: cannot write {}: {e}", out.display());
+                std::process::exit(1);
+            }
+            println!("\nwrote {}", out.display());
+        }
+    }
+    println!("\nci: all requested stages passed");
+}

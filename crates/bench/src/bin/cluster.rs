@@ -22,18 +22,21 @@ fn run(items: &[sc_core::BatchItem<'_>], cfg: &ScConfig, pool: &Arc<DevicePool>)
     assemble_sc_batch_cluster(items, cfg, pool, &ClusterOptions::default())
 }
 
-/// Parse `--devices a100,h100`: the heterogeneous pool's specs by registry
-/// name (`DeviceSpec::from_name`); defaults to `a100,h100`.
-fn parse_devices() -> Vec<DeviceSpec> {
+/// Parse `--devices a100,h100` (the heterogeneous pool's specs by registry
+/// name, `DeviceSpec::from_name`; defaults to `a100,h100`) and
+/// `--json PATH`.
+fn parse_args() -> (Vec<DeviceSpec>, Option<std::path::PathBuf>) {
     let mut names = "a100,h100".to_string();
+    let mut json = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--devices" => names = it.next().expect("--devices needs a value"),
+            "--json" => json = Some(it.next().expect("--json needs a path").into()),
             other => eprintln!("ignoring unknown argument {other}"),
         }
     }
-    names
+    let specs = names
         .split(',')
         .map(|n| {
             DeviceSpec::from_name(n.trim()).unwrap_or_else(|| {
@@ -43,13 +46,16 @@ fn parse_devices() -> Vec<DeviceSpec> {
                 )
             })
         })
-        .collect()
+        .collect();
+    (specs, json)
 }
 
 fn main() {
+    let (specs, json_path) = parse_args();
     let w = BatchWorkload::build_cluster32();
     let items = w.items();
     let cfg = ScConfig::optimized(true, false);
+    let mut pool_metrics: Vec<(String, f64)> = Vec::new();
 
     let mut table = Table::new(
         &format!(
@@ -95,6 +101,7 @@ fn main() {
     for n_devices in [1usize, 2, 4] {
         let pool = DevicePool::uniform(DeviceSpec::a100(), n_devices, N_STREAMS);
         let res = run(&items, &cfg, &pool);
+        pool_metrics.push((format!("{n_devices}x_a100"), res.report.makespan));
         let speedup = row(&format!("{n_devices}x A100"), &res, n_devices);
         if n_devices == 4 {
             speedup4 = speedup;
@@ -115,7 +122,6 @@ fn main() {
     // heterogeneous mix (`--devices`, default A100+H100): the planner
     // prices every recorded kernel sequence under each device's own
     // duration model, so faster cards absorb proportionally larger shares
-    let specs = parse_devices();
     let mix_name = specs
         .iter()
         .map(|s| s.name.trim_start_matches("sim-"))
@@ -133,11 +139,32 @@ fn main() {
         );
     }
 
+    pool_metrics.push((mix_name.replace(" + ", "_"), res.report.makespan));
     table.emit("cluster");
     println!(
         "4-device speedup: {speedup4:.2}x; heterogeneous pool sent {last_share}/{} subdomains to its last device.",
         items.len()
     );
+
+    if let Some(path) = &json_path {
+        let mut metrics = sc_bench::Json::obj().field("speedup_4dev", speedup4);
+        for (name, makespan) in &pool_metrics {
+            metrics = metrics.field(&format!("makespan_{name}_s"), *makespan);
+        }
+        metrics = metrics.field("heterogeneous_last_device_share", last_share);
+        let record = sc_bench::bench_record(
+            "cluster",
+            sc_bench::Json::obj()
+                .field("name", "cluster32")
+                .field("n_subdomains", w.n_subdomains())
+                .field("size_spread", w.size_spread())
+                .field("n_streams", N_STREAMS),
+            metrics,
+        );
+        if let Err(err) = sc_bench::write_json(path, &record) {
+            eprintln!("warning: failed to write {}: {err}", path.display());
+        }
+    }
 
     // smoke gate: 4 devices must be >= 2.5x better than 1 device
     if speedup4 < 2.5 {

@@ -138,4 +138,27 @@ fn main() {
     println!("GPU quantities are simulated A100 time; ratios mixing the two regimes");
     println!("(e.g. amortization of simulated-GPU apply vs measured-CPU implicit apply)");
     println!("reproduce the paper's *shape*, not its absolute scale. See EXPERIMENTS.md.");
+
+    if let Some(path) = &args.json {
+        let record = sc_bench::bench_record(
+            "headline",
+            sc_bench::Json::obj()
+                .field("name", "headline_3d")
+                .field("gpu_kernel_dofs", w.n)
+                .field("feti_dofs_per_subdomain", problem.dofs_per_subdomain())
+                .field("sched_subdomains", skew.n_subdomains())
+                .field("cluster_subdomains", cl.n_subdomains()),
+            sc_bench::Json::obj()
+                .field("gpu_section_speedup", orig / opt)
+                .field("whole_assembly_speedup_vs_cuda", cuda_pre / gpuopt_pre)
+                .field("gpu_opt_vs_mkl_speedup", mkl_pre / gpuopt_pre)
+                .field("explicit_vs_implicit_preprocessing", gpuopt_pre / impl_pre)
+                .field("amortization_iters", amort)
+                .field("sched_vs_round_robin", rr / lpt)
+                .field("cluster_4dev_speedup", one_dev / four_dev),
+        );
+        if let Err(err) = sc_bench::write_json(path, &record) {
+            eprintln!("warning: failed to write {}: {err}", path.display());
+        }
+    }
 }

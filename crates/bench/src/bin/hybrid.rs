@@ -1,0 +1,258 @@
+//! Hybrid explicit/implicit dual-operator experiment: the per-subdomain
+//! formulation decision (`sc_core::plan_hybrid`) on the mixed-fit workload,
+//! where ~¼ of the subdomains exceed the device arena and must spill.
+//!
+//! Compares, at the same expected PCPG iteration count, the predicted
+//! simulated cost-to-solution (Σ assembly + iters × apply) of:
+//!
+//! - **hybrid** — per-subdomain minimum under arena admissibility;
+//! - **all-explicit** — the forced-explicit collapse, whose oversized
+//!   subdomains *must* fail over to explicit-CPU assembly (the spill);
+//! - **all-implicit** — no assembly, every application a solve pipeline.
+//!
+//! The explicit-GPU share is then actually assembled through the cluster
+//! driver to report the realized makespan/arena high water and to verify
+//! the numerics stay bitwise identical to the CPU reference.
+//!
+//! Doubles as the CI perf-gate for the hybrid planner: it **fails**
+//! (non-zero exit) unless hybrid beats both uniform strategies by ≥ 1.3×,
+//! the all-explicit baseline really spilled, and the sharded numerics match.
+//!
+//! Usage: `cargo run -p sc_bench --release --bin hybrid [--iters N] [--json PATH]`
+
+use sc_bench::{bench_record, write_json, BatchWorkload, Json, Table};
+use sc_core::{
+    assemble_sc, assemble_sc_batch_cluster_map, estimate_apply, estimate_cost, plan_hybrid,
+    ApplyEstimate, ClusterOptions, CostEstimate, CpuExec, DeviceSlot, Formulation, HybridForce,
+    HybridPlan, HybridPlanOptions, ScConfig,
+};
+use sc_gpu::{DevicePool, DeviceSpec};
+
+const GATE: f64 = 1.3;
+
+fn parse_args() -> (f64, Option<std::path::PathBuf>, bool) {
+    let mut iters = 40.0f64;
+    let mut json = None;
+    let mut verbose = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters value");
+            }
+            "--json" => json = Some(it.next().expect("--json needs a path").into()),
+            "--verbose" => verbose = true,
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    (iters, json, verbose)
+}
+
+fn main() {
+    let (iters, json_path, verbose) = parse_args();
+    let w = BatchWorkload::build_mixed_fit();
+    let items = w.items();
+    let cfg = ScConfig::optimized(true, false);
+
+    // per-subdomain estimates under the reference spec
+    let ref_spec = DeviceSpec::a100();
+    let (costs, applies): (Vec<CostEstimate>, Vec<ApplyEstimate>) = items
+        .iter()
+        .enumerate()
+        .map(|(i, it)| {
+            let params = cfg.resolve(true, it.l, it.bt);
+            (
+                estimate_cost(&ref_spec, it.l, it.bt, &params, i),
+                estimate_apply(it.l, it.bt, i),
+            )
+        })
+        .unzip();
+
+    // size the arena between the workload's footprint quartiles so the top
+    // quarter of the batch cannot be admitted explicitly
+    let mut temps: Vec<usize> = costs.iter().map(|c| c.temp_bytes).collect();
+    temps.sort_unstable();
+    let q = temps.len() - temps.len() / 4; // first index of the top quarter
+    let arena = (temps[q - 1] + temps[q]) / 2;
+    assert!(
+        temps[q - 1] < arena && arena < temps[q],
+        "mixed-fit workload must straddle the arena: {temps:?}"
+    );
+    let spec = DeviceSpec {
+        memory_bytes: 2 * arena, // the arena is half of device memory
+        ..ref_spec
+    };
+    let pool = DevicePool::uniform(spec, 2, 4);
+    assert_eq!(
+        pool.max_arena_capacity(),
+        arena,
+        "pool arena sizing must match the planner's spill threshold"
+    );
+    let slots: Vec<DeviceSlot> = pool.devices().iter().map(|d| DeviceSlot::of(d)).collect();
+
+    let plan_with = |force: HybridForce| -> HybridPlan {
+        plan_hybrid(
+            &costs,
+            &applies,
+            &slots,
+            &HybridPlanOptions {
+                iters,
+                force,
+                ..Default::default()
+            },
+        )
+    };
+    let hybrid = plan_with(HybridForce::Auto);
+    let all_expl = plan_with(HybridForce::AllExplicit);
+    let all_impl = plan_with(HybridForce::AllImplicit);
+
+    if verbose {
+        let host = DeviceSpec::host();
+        println!(
+            "pool: {} devices x {} streams, arenas {:?} B",
+            pool.n_devices(),
+            pool.total_streams() / pool.n_devices().max(1),
+            pool.arena_capacities()
+        );
+        println!("per-subdomain candidate costs (seconds):");
+        for (c, a) in costs.iter().zip(&applies) {
+            println!(
+                "  #{:<2} n={:<5} m={:<4} temp={:>9}B | gpu asm {:.3e} apply {:.3e} | \
+                 cpu asm {:.3e} apply {:.3e} | impl apply {:.3e} | chose {:?}",
+                c.index,
+                c.n_dofs,
+                c.n_lambda,
+                c.temp_bytes,
+                c.seconds_on(&ref_spec),
+                a.explicit_seconds_on(&ref_spec),
+                c.seconds_on(&host),
+                a.explicit_seconds_on(&host),
+                a.implicit_seconds_on(&host),
+                hybrid.choices[c.index].formulation,
+            );
+        }
+    }
+
+    // the all-explicit baseline must really have spilled: its oversized
+    // quarter failed over off the pool
+    let n_spilled = all_expl.spilled.len();
+    assert_eq!(
+        n_spilled,
+        temps.len() / 4,
+        "exactly the top quarter must spill, got {:?}",
+        all_expl.spilled
+    );
+
+    // realize the hybrid plan's explicit-GPU share through the cluster
+    // driver: realized makespan, arena high water, bitwise verification
+    let gpu_idx = hybrid.indices_of(Formulation::ExplicitGpu);
+    let (realized_makespan, arena_high_water) = if gpu_idx.is_empty() {
+        (0.0, 0)
+    } else {
+        let share: Vec<sc_core::BatchItem<'_>> = gpu_idx.iter().map(|&g| items[g]).collect();
+        let res = assemble_sc_batch_cluster_map(
+            &share,
+            &cfg,
+            &pool,
+            &ClusterOptions::default(),
+            |_, it| std::borrow::Cow::Borrowed(it.l),
+            |it| it.bt,
+        );
+        for (local, &g) in gpu_idx.iter().enumerate() {
+            let reference = assemble_sc(&mut CpuExec, items[g].l, items[g].bt, &cfg);
+            assert_eq!(
+                res.f[local], reference,
+                "hybrid GPU share diverged from the CPU reference at subdomain {g}"
+            );
+        }
+        (res.report.makespan, res.report.temp_high_water())
+    };
+    assert!(arena_high_water <= arena, "arena oversubscribed");
+
+    let mut table = Table::new(
+        &format!(
+            "Hybrid dual operator on the mixed-fit batch ({} subdomains, {n_spilled} over-arena, {iters:.0} expected iterations)",
+            w.n_subdomains()
+        ),
+        &[
+            "strategy",
+            "expl-gpu",
+            "expl-cpu",
+            "implicit",
+            "assembly [ms]",
+            "apply/iter [ms]",
+            "cost-to-solution [ms]",
+        ],
+    );
+    let mut row = |name: &str, p: &HybridPlan| {
+        let assembly: f64 = p.choices.iter().map(|c| c.assembly_seconds).sum();
+        let apply: f64 = p.choices.iter().map(|c| c.apply_seconds).sum();
+        table.row(vec![
+            name.to_string(),
+            p.count_of(Formulation::ExplicitGpu).to_string(),
+            p.count_of(Formulation::ExplicitCpu).to_string(),
+            p.count_of(Formulation::Implicit).to_string(),
+            format!("{:.3}", assembly * 1e3),
+            format!("{:.3}", apply * 1e3),
+            format!("{:.3}", p.cost_at(iters) * 1e3),
+        ]);
+    };
+    row("hybrid (auto)", &hybrid);
+    row("all-explicit (spill→cpu)", &all_expl);
+    row("all-implicit", &all_impl);
+    table.emit("hybrid");
+
+    let h = hybrid.cost_at(iters);
+    let e = all_expl.cost_at(iters);
+    let i = all_impl.cost_at(iters);
+    println!(
+        "hybrid {h:.6}s vs all-explicit {e:.6}s ({:.2}x) and all-implicit {i:.6}s ({:.2}x); \
+         realized GPU-share makespan {realized_makespan:.6}s, arena peak {arena_high_water} B of {arena} B.",
+        e / h,
+        i / h
+    );
+
+    if let Some(path) = &json_path {
+        let record = bench_record(
+            "hybrid",
+            Json::obj()
+                .field("name", "mixed_fit")
+                .field("n_subdomains", w.n_subdomains())
+                .field("n_over_arena", n_spilled)
+                .field("arena_bytes", arena)
+                .field("n_devices", pool.n_devices())
+                .field("total_streams", pool.total_streams())
+                .field("expected_iters", iters),
+            Json::obj()
+                .field("hybrid_cost_s", h)
+                .field("all_explicit_cost_s", e)
+                .field("all_implicit_cost_s", i)
+                .field("speedup_vs_all_explicit", e / h)
+                .field("speedup_vs_all_implicit", i / h)
+                .field("n_explicit_gpu", hybrid.count_of(Formulation::ExplicitGpu))
+                .field("n_explicit_cpu", hybrid.count_of(Formulation::ExplicitCpu))
+                .field("n_implicit", hybrid.count_of(Formulation::Implicit))
+                .field("realized_gpu_makespan_s", realized_makespan)
+                .field("arena_high_water_bytes", arena_high_water)
+                .field("gate", GATE),
+        );
+        if let Err(err) = write_json(path, &record) {
+            eprintln!("warning: failed to write {}: {err}", path.display());
+        }
+    }
+
+    // smoke gate: hybrid must beat both uniform strategies by >= GATE
+    if e / h < GATE || i / h < GATE {
+        eprintln!(
+            "FAIL: hybrid cost {h:.6}s must beat all-explicit {e:.6}s and \
+             all-implicit {i:.6}s by >= {GATE}x (got {:.2}x / {:.2}x)",
+            e / h,
+            i / h
+        );
+        std::process::exit(1);
+    }
+}

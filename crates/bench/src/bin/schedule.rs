@@ -138,6 +138,30 @@ fn main() {
         rr_makespan / lpt_makespan
     );
 
+    if let Some(path) = &args.json {
+        let record = sc_bench::bench_record(
+            "schedule",
+            sc_bench::Json::obj()
+                .field("name", "skewed_batch")
+                .field("n_subdomains", w.n_subdomains())
+                .field("size_spread", w.size_spread())
+                .field("n_streams", n_streams),
+            sc_bench::Json::obj()
+                .field("round_robin_makespan_s", rr_makespan)
+                .field("lpt_makespan_s", lpt_makespan)
+                .field("lpt_speedup", rr_makespan / lpt_makespan)
+                .field("tight_arena_makespan_s", tight_makespan)
+                .field("lpt_busy_s", lpt_busy)
+                .field(
+                    "tight_arena_high_water_bytes",
+                    lpt_tight.report.temp_high_water,
+                ),
+        );
+        if let Err(err) = sc_bench::write_json(path, &record) {
+            eprintln!("warning: failed to write {}: {err}", path.display());
+        }
+    }
+
     // numerics must agree across policies
     for i in 0..items.len() {
         assert_eq!(

@@ -1,0 +1,261 @@
+//! Minimal JSON emission for the machine-readable bench records — the
+//! workspace is offline (no serde), so this is a small hand-rolled value
+//! tree with stable (insertion-order) keys and proper string escaping.
+//!
+//! Every `sc_bench` bin accepts `--json <path>` and writes one
+//! [`bench_record`] there: a schema-versioned object carrying the bin name,
+//! `git describe` of the working tree, a workload description, and the
+//! bin's headline metrics. The `ci` bin merges the per-bin records into
+//! `results/bench.json`, the committed trajectory the CI perf-gate diffs
+//! against (warn-only — the hard gates are the bins' own exit codes).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Schema tag stamped into every record; bump on breaking shape changes.
+pub const BENCH_SCHEMA: &str = "sc-bench/v1";
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null` (also the rendering of non-finite numbers).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (rendered `null` when not finite — JSON has no NaN/∞).
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON text embedded verbatim (the `ci` bin uses this to
+    /// merge per-bin record files without a parser). The caller guarantees
+    /// the text is valid JSON.
+    Raw(String),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+impl Json {
+    /// Start an empty object (chain [`Json::field`]).
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key to an object (panics on non-objects: builder misuse).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on a non-object Json value: {other:?}"),
+        }
+        self
+    }
+
+    /// Render with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Raw(text) => {
+                // re-indent the embedded document to the current depth; its
+                // structural newlines are unambiguous because the renderer
+                // escapes newlines inside strings
+                let _ = write!(
+                    out,
+                    "{}",
+                    text.trim_end().replace('\n', &format!("\n{close}"))
+                );
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{}{pad}", if i == 0 { "\n" } else { ",\n" });
+                    item.render_into(out, indent + 1);
+                }
+                let _ = write!(out, "\n{close}]");
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{}{pad}", if i == 0 { "\n" } else { ",\n" });
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                let _ = write!(out, "\n{close}}}");
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `git describe --always --dirty --tags` of the working tree, or
+/// `"unknown"` when git is unavailable (records stay well-formed either
+/// way — the field is informational, never compared by the gate).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The stable per-bin record shape: schema, bin name, git describe,
+/// workload description, and the bin's headline metrics.
+pub fn bench_record(bin: &str, workload: Json, metrics: Json) -> Json {
+    Json::obj()
+        .field("schema", BENCH_SCHEMA)
+        .field("bin", bin)
+        .field("git", git_describe())
+        .field("workload", workload)
+        .field("metrics", metrics)
+}
+
+/// Write a rendered value to `path`, creating parent directories.
+pub fn write_json(path: &Path, value: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(value.render().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_stable_ordered_pretty_json() {
+        let j = Json::obj()
+            .field("b", 1.5)
+            .field("a", "x\"y\n")
+            .field("list", vec![Json::Num(1.0), Json::Bool(true), Json::Null])
+            .field("nested", Json::obj().field("k", 2usize))
+            .field("empty", Json::Arr(Vec::new()));
+        let s = j.render();
+        // insertion order preserved (b before a), escapes applied
+        let bi = s.find("\"b\"").unwrap();
+        let ai = s.find("\"a\"").unwrap();
+        assert!(bi < ai, "keys must keep insertion order:\n{s}");
+        assert!(s.contains("\"x\\\"y\\n\""), "escaping broken:\n{s}");
+        assert!(s.contains("\"k\": 2"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        let s = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY)]).render();
+        assert!(!s.contains("NaN") && !s.contains("inf"), "{s}");
+        assert_eq!(s.matches("null").count(), 2);
+    }
+
+    #[test]
+    fn raw_embeds_verbatim() {
+        let inner = "{\n  \"x\": 1\n}\n";
+        let j = Json::obj().field("bin", Json::Raw(inner.to_string()));
+        let s = j.render();
+        assert!(s.contains("\"x\": 1"), "{s}");
+    }
+
+    #[test]
+    fn bench_record_has_the_stable_shape() {
+        let r = bench_record(
+            "demo",
+            Json::obj().field("n", 4usize),
+            Json::obj().field("speedup", 2.0),
+        );
+        let s = r.render();
+        for key in ["schema", "bin", "git", "workload", "metrics"] {
+            assert!(s.contains(&format!("\"{key}\"")), "missing {key}:\n{s}");
+        }
+        assert!(s.contains(BENCH_SCHEMA));
+    }
+
+    #[test]
+    fn git_describe_is_nonempty() {
+        assert!(!git_describe().is_empty());
+    }
+}

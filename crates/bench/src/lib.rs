@@ -11,11 +11,13 @@
 //!   2D) but default to smaller maxima so the host-executed kernels finish in
 //!   minutes; pass `--full` to extend, `--max-dofs N` to override.
 
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod timing;
 pub mod workloads;
 
+pub use json::{bench_record, git_describe, write_json, Json, BENCH_SCHEMA};
 pub use report::{write_csv, Table};
 pub use runner::{
     time_assembly_cpu, time_assembly_gpu, time_syrk_cpu, time_syrk_gpu, time_trsm_cpu,

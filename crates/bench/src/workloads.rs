@@ -16,15 +16,20 @@ pub struct BenchArgs {
     pub max_dofs_gpu: usize,
     /// Repetitions per measured point.
     pub reps: usize,
+    /// Where to write the machine-readable bench record (`--json <path>`);
+    /// `None` skips the JSON emission.
+    pub json: Option<std::path::PathBuf>,
 }
 
 impl BenchArgs {
-    /// Parse from `std::env::args`: `--full`, `--max-dofs N`, `--reps N`.
+    /// Parse from `std::env::args`: `--full`, `--max-dofs N`, `--reps N`,
+    /// `--json PATH`.
     pub fn parse() -> Self {
         let mut args = BenchArgs {
             max_dofs_cpu: 3_000,
             max_dofs_gpu: 10_000,
             reps: 1,
+            json: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -48,6 +53,9 @@ impl BenchArgs {
                         .expect("--reps needs a value")
                         .parse()
                         .expect("--reps value");
+                }
+                "--json" => {
+                    args.json = Some(it.next().expect("--json needs a path").into());
                 }
                 other => eprintln!("ignoring unknown argument {other}"),
             }
@@ -223,6 +231,22 @@ impl BatchWorkload {
     pub fn build_cluster32() -> Self {
         let w = Self::build_skewed(2, &[16, 12, 14, 10, 15, 11, 13, 9]);
         debug_assert_eq!(w.n_subdomains(), 32);
+        w
+    }
+
+    /// The **mixed-fit workload** of the hybrid explicit/implicit bench:
+    /// twelve medium subdomains (52²-node grids) interleaved with four large
+    /// ones (104²-node grids) whose temporary footprints far exceed the
+    /// medium ones — so an arena sized between the two classes admits the
+    /// medium subdomains explicitly and forces the large quarter of the
+    /// batch to spill. The medium class is big enough that implicit applies
+    /// carry real triangular-solve cost (explicit-GPU wins at moderate
+    /// iteration counts) while the large class's explicit-CPU fail-over
+    /// assembly is expensive (implicit wins) — the regime where the
+    /// per-subdomain hybrid decision beats both uniform strategies.
+    pub fn build_mixed_fit() -> Self {
+        let w = Self::build_skewed(2, &[103, 51, 51, 51]);
+        debug_assert_eq!(w.n_subdomains(), 16);
         w
     }
 

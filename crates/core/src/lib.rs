@@ -39,8 +39,10 @@ pub use batch::{
 };
 pub use exec::{CpuExec, Exec, GpuExec, RecordingExec};
 pub use schedule::{
-    estimate_cost, plan, plan_cluster, ArenaSim, ClusterPlan, ClusterPlanError, CostEstimate,
-    DeviceSlot, ScheduleOptions, ScheduledSpan, StreamPlan, StreamPolicy,
+    estimate_apply, estimate_cost, plan, plan_cluster, plan_cluster_spill, plan_hybrid,
+    ApplyEstimate, ArenaSim, ClusterPlan, ClusterPlanError, CostEstimate, DeviceSlot, Formulation,
+    HybridChoice, HybridForce, HybridPlan, HybridPlanOptions, ScheduleOptions, ScheduledSpan,
+    StreamPlan, StreamPolicy,
 };
 pub use stepped::SteppedRhs;
 pub use syrk::{run_syrk as run_syrk_variant, run_syrk_with_cache, SyrkVariant};

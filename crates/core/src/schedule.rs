@@ -28,7 +28,7 @@
 
 use crate::assemble::ScParams;
 use crate::trsm::{FactorStorage, TrsmVariant};
-use sc_gpu::{DeviceSpec, SimSpan};
+use sc_gpu::{DeviceSpec, KernelCost, SimSpan};
 use sc_sparse::{pattern, Csc};
 
 /// Stream-assignment policy for a batched GPU assembly.
@@ -158,6 +158,58 @@ impl CostEstimate {
     }
 }
 
+/// Per-PCPG-iteration cost of *applying* one subdomain's dual operator in
+/// each formulation, as kernel sequences priced under any [`DeviceSpec`]'s
+/// duration model (launch overhead and occupancy included — which is what
+/// makes many tiny implicit solves expensive on a GPU and cheap on the
+/// host). Together with [`CostEstimate`] (the one-time assembly cost) this
+/// is the input of the hybrid explicit-vs-implicit decision:
+///
+/// - **explicit** apply is one dense GEMV with the assembled `m × m` `F̃ᵢ`
+///   (paper Eq. 12);
+/// - **implicit** apply is the Eq. 11 pipeline: scatter `B̃ᵀ p̃` (SpMV),
+///   two sparse triangular solves with `L`, gather `B̃ (·)` (SpMV).
+#[derive(Clone, Debug)]
+pub struct ApplyEstimate {
+    /// Position of the subdomain in the input batch.
+    pub index: usize,
+    /// Local multiplier count (order of `F̃ᵢ`).
+    pub n_lambda: usize,
+    /// Kernel sequence of one explicit application.
+    pub explicit: Vec<KernelCost>,
+    /// Kernel sequence of one implicit application.
+    pub implicit: Vec<KernelCost>,
+}
+
+/// Price one subdomain's per-iteration apply cost in both formulations from
+/// its factor and gluing block (shapes only — no kernel runs).
+pub fn estimate_apply(l: &Csc, bt: &Csc, index: usize) -> ApplyEstimate {
+    let m = bt.ncols();
+    ApplyEstimate {
+        index,
+        n_lambda: m,
+        explicit: vec![KernelCost::gemv(m, m)],
+        implicit: vec![
+            KernelCost::spmm(bt.nnz(), 1),       // t = B̃ᵀ p̃ (scatter)
+            KernelCost::trsm_sparse(l.nnz(), 1), // L y = t
+            KernelCost::trsm_sparse(l.nnz(), 1), // Lᵀ z = y
+            KernelCost::spmm(bt.nnz(), 1),       // q̃ = B̃ z (gather)
+        ],
+    }
+}
+
+impl ApplyEstimate {
+    /// Seconds of one explicit application under `spec`.
+    pub fn explicit_seconds_on(&self, spec: &DeviceSpec) -> f64 {
+        self.explicit.iter().map(|c| spec.kernel_seconds(c)).sum()
+    }
+
+    /// Seconds of one implicit application under `spec`.
+    pub fn implicit_seconds_on(&self, spec: &DeviceSpec) -> f64 {
+        self.implicit.iter().map(|c| spec.kernel_seconds(c)).sum()
+    }
+}
+
 /// Per-stream submission queues produced by [`plan`].
 #[derive(Clone, Debug)]
 pub struct StreamPlan {
@@ -244,9 +296,24 @@ impl DeviceSlot {
     pub fn of(device: &sc_gpu::Device) -> Self {
         DeviceSlot {
             spec: device.spec().clone(),
-            arena_capacity: device.temp_pool().capacity(),
+            arena_capacity: device.arena_capacity(),
             n_streams: device.n_streams(),
         }
+    }
+
+    /// Whether the device can execute anything at all (a drained card with
+    /// 0 streams cannot) — the **single** usability predicate every planner
+    /// filters on.
+    pub fn is_usable(&self) -> bool {
+        self.n_streams > 0
+    }
+
+    /// Whether a subdomain whose peak temporaries are `temp_bytes` may be
+    /// placed on this device: usable and within the arena capacity. The
+    /// admissibility rule shared by the cluster partition and the hybrid
+    /// formulation decision.
+    pub fn admits(&self, temp_bytes: usize) -> bool {
+        self.is_usable() && temp_bytes <= self.arena_capacity
     }
 }
 
@@ -259,7 +326,8 @@ pub struct ClusterPlan {
     /// Estimated total load per device in that device's own seconds.
     pub est_load: Vec<f64>,
     /// Device of each entry of the input cost slice, in slice order (batch
-    /// order when the costs were priced in batch order).
+    /// order when the costs were priced in batch order). Entries spilled by
+    /// [`plan_cluster_spill_by`] hold `usize::MAX`.
     pub device_of: Vec<usize>,
 }
 
@@ -269,14 +337,18 @@ pub enum ClusterPlanError {
     /// The batch is non-empty but the pool holds no device that could
     /// execute anything (no devices at all, or none with streams).
     NoDevices,
-    /// A subdomain's peak temporary footprint exceeds every stream-capable
-    /// device's arena: it cannot run anywhere in this pool.
-    SubdomainTooLarge {
-        /// Batch index of the offending subdomain.
-        index: usize,
-        /// Its peak temporary footprint in bytes.
-        temp_bytes: usize,
-        /// The largest arena capacity in the pool.
+    /// One or more subdomains' peak temporary footprints exceed every
+    /// stream-capable device's arena: they cannot be assembled explicitly
+    /// anywhere in this pool. Unlike a hard placement failure this is
+    /// **recoverable**: the payload names every offending subdomain, so a
+    /// caller with a fallback formulation (the hybrid operator's implicit
+    /// path) can reroute them and re-plan the remainder — that is exactly
+    /// what [`plan_cluster_spill`] automates.
+    Spilled {
+        /// Batch indices of every subdomain that fits no device arena,
+        /// ascending.
+        spilled: Vec<usize>,
+        /// The largest usable (stream-capable) arena capacity in the pool.
         max_arena: usize,
     },
 }
@@ -289,14 +361,13 @@ impl std::fmt::Display for ClusterPlanError {
                 "cannot partition a non-empty batch: the pool holds no \
                  device with streams"
             ),
-            ClusterPlanError::SubdomainTooLarge {
-                index,
-                temp_bytes,
-                max_arena,
-            } => write!(
+            ClusterPlanError::Spilled { spilled, max_arena } => write!(
                 f,
-                "subdomain {index} needs {temp_bytes} B of temporaries but the \
-                 largest device arena in the pool holds only {max_arena} B"
+                "{} subdomain(s) {spilled:?} need more temporaries than the \
+                 largest device arena in the pool ({max_arena} B); recoverable: \
+                 reroute them to the implicit formulation (plan_cluster_spill \
+                 / DualMode::Hybrid) or re-plan without them",
+                spilled.len()
             ),
         }
     }
@@ -336,16 +407,62 @@ pub fn plan_cluster_by(
     devices: &[DeviceSlot],
     seconds_of: impl Fn(&CostEstimate, usize) -> f64,
 ) -> Result<ClusterPlan, ClusterPlanError> {
+    let (plan, spilled) = plan_cluster_spill_by(costs, devices, seconds_of)?;
+    if spilled.is_empty() {
+        Ok(plan)
+    } else {
+        Err(ClusterPlanError::Spilled {
+            spilled,
+            max_arena: max_usable_arena(devices),
+        })
+    }
+}
+
+/// Largest arena capacity among stream-capable devices (0 when none).
+fn max_usable_arena(devices: &[DeviceSlot]) -> usize {
+    devices
+        .iter()
+        .filter(|d| d.is_usable())
+        .map(|d| d.arena_capacity)
+        .max()
+        .unwrap_or(0)
+}
+
+/// [`plan_cluster_spill_by`] with the analytic [`CostEstimate::seconds_on`]
+/// pricing.
+pub fn plan_cluster_spill(
+    costs: &[CostEstimate],
+    devices: &[DeviceSlot],
+) -> Result<(ClusterPlan, Vec<usize>), ClusterPlanError> {
+    plan_cluster_spill_by(costs, devices, |c, d| c.seconds_on(&devices[d].spec))
+}
+
+/// Spill-tolerant cluster partition: like [`plan_cluster_by`], but a
+/// subdomain whose temporaries fit no stream-capable device arena is
+/// **spilled** — returned in the second tuple element (batch order) instead
+/// of failing the whole plan. Spilled entries keep `device_of == usize::MAX`
+/// and appear in no per-device queue; the caller reroutes them (the hybrid
+/// operator applies them implicitly). [`ClusterPlanError::NoDevices`] is
+/// still an error: with no usable device *nothing* can be planned, spilling
+/// everything would just disguise a configuration error.
+pub fn plan_cluster_spill_by(
+    costs: &[CostEstimate],
+    devices: &[DeviceSlot],
+    seconds_of: impl Fn(&CostEstimate, usize) -> f64,
+) -> Result<(ClusterPlan, Vec<usize>), ClusterPlanError> {
     if costs.is_empty() {
-        return Ok(ClusterPlan {
-            per_device: vec![Vec::new(); devices.len()],
-            est_load: vec![0.0; devices.len()],
-            device_of: Vec::new(),
-        });
+        return Ok((
+            ClusterPlan {
+                per_device: vec![Vec::new(); devices.len()],
+                est_load: vec![0.0; devices.len()],
+                device_of: Vec::new(),
+            },
+            Vec::new(),
+        ));
     }
     // a device without streams can never execute anything: it is not a
     // partition candidate (pools may carry one, e.g. a drained card)
-    if !devices.iter().any(|d| d.n_streams > 0) {
+    if !devices.iter().any(|d| d.is_usable()) {
         return Err(ClusterPlanError::NoDevices);
     }
     // per-device seconds of every subdomain, priced under that device's spec
@@ -370,11 +487,10 @@ pub fn plan_cluster_by(
     let mut per_device = vec![Vec::new(); devices.len()];
     let mut est_load = vec![0.0f64; devices.len()];
     let mut device_of = vec![usize::MAX; costs.len()];
+    let mut spilled = Vec::new();
     for k in order {
         let best = (0..devices.len())
-            .filter(|&d| {
-                devices[d].n_streams > 0 && costs[k].temp_bytes <= devices[d].arena_capacity
-            })
+            .filter(|&d| devices[d].admits(costs[k].temp_bytes))
             .min_by(|&a, &b| {
                 let fa = (est_load[a] + seconds[k][a]) / devices[a].n_streams as f64;
                 let fb = (est_load[b] + seconds[k][b]) / devices[b].n_streams as f64;
@@ -383,26 +499,281 @@ pub fn plan_cluster_by(
                     .then(a.cmp(&b))
             });
         let Some(d) = best else {
-            return Err(ClusterPlanError::SubdomainTooLarge {
-                index: costs[k].index,
-                temp_bytes: costs[k].temp_bytes,
-                max_arena: devices
-                    .iter()
-                    .filter(|d| d.n_streams > 0)
-                    .map(|d| d.arena_capacity)
-                    .max()
-                    .unwrap_or(0),
-            });
+            spilled.push(costs[k].index);
+            continue;
         };
         per_device[d].push(costs[k].index);
         est_load[d] += seconds[k][d];
         device_of[k] = d;
     }
-    Ok(ClusterPlan {
-        per_device,
-        est_load,
-        device_of,
-    })
+    spilled.sort_unstable();
+    Ok((
+        ClusterPlan {
+            per_device,
+            est_load,
+            device_of,
+        },
+        spilled,
+    ))
+}
+
+/// How one subdomain's dual operator is realized (the hybrid decision).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Formulation {
+    /// Dense `F̃ᵢ` assembled on a pool device (scheduled/cluster path),
+    /// applied by device GEMV.
+    ExplicitGpu,
+    /// Dense `F̃ᵢ` assembled and applied on the host.
+    ExplicitCpu,
+    /// No assembly; every application runs the Eq. 11 solve pipeline on the
+    /// host.
+    Implicit,
+}
+
+/// Collapse override of the hybrid decision (diagnostics and the
+/// all-explicit / all-implicit comparison baselines of the `hybrid` bench).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HybridForce {
+    /// Per-subdomain cost minimization (the real planner).
+    #[default]
+    Auto,
+    /// Force an explicit formulation everywhere; subdomains whose
+    /// temporaries fit no device arena **fail over** to explicit-CPU (or,
+    /// when explicit-CPU is disallowed, to implicit — never an error).
+    AllExplicit,
+    /// Force the implicit formulation everywhere.
+    AllImplicit,
+}
+
+/// Inputs of [`plan_hybrid`] beyond the per-subdomain estimates.
+#[derive(Clone, Debug)]
+pub struct HybridPlanOptions {
+    /// Expected PCPG iteration count: how many times each subdomain's
+    /// operator will be applied. `0.0` makes assembly pure overhead
+    /// (collapses to all-implicit); `f64::INFINITY` makes apply cost the
+    /// only criterion (collapses to all-explicit).
+    pub iters: f64,
+    /// Spec pricing host-side work (explicit-CPU assembly/apply, implicit
+    /// applies). Defaults to [`DeviceSpec::host`].
+    pub host: DeviceSpec,
+    /// Whether explicit-CPU is in the candidate set (it is the fail-over
+    /// for arena-spilled subdomains when the iteration count is high).
+    pub allow_explicit_cpu: bool,
+    /// Collapse override.
+    pub force: HybridForce,
+}
+
+impl Default for HybridPlanOptions {
+    fn default() -> Self {
+        HybridPlanOptions {
+            iters: 50.0,
+            host: DeviceSpec::host(),
+            allow_explicit_cpu: true,
+            force: HybridForce::Auto,
+        }
+    }
+}
+
+/// One subdomain's hybrid decision with its predicted costs.
+#[derive(Clone, Debug)]
+pub struct HybridChoice {
+    /// Position of the subdomain in the input batch.
+    pub index: usize,
+    /// Chosen formulation.
+    pub formulation: Formulation,
+    /// For [`Formulation::ExplicitGpu`]: the pool device the analytic model
+    /// prefers. A hint only — the cluster planner re-partitions the explicit
+    /// share under the recorded kernel durations and may place differently.
+    pub device_hint: Option<usize>,
+    /// Predicted one-time assembly seconds of the chosen formulation
+    /// (0 for implicit).
+    pub assembly_seconds: f64,
+    /// Predicted per-iteration apply seconds of the chosen formulation.
+    pub apply_seconds: f64,
+    /// `assembly_seconds + iters × apply_seconds` (infinite when
+    /// `iters = ∞`).
+    pub total_seconds: f64,
+    /// True when the subdomain's temporaries fit **no** device arena: the
+    /// explicit-GPU formulation was never a candidate (the recoverable
+    /// [`ClusterPlanError::Spilled`] condition).
+    pub spilled: bool,
+}
+
+/// The per-subdomain explicit-vs-implicit plan produced by [`plan_hybrid`].
+#[derive(Clone, Debug)]
+pub struct HybridPlan {
+    /// One decision per subdomain, batch order.
+    pub choices: Vec<HybridChoice>,
+    /// The expected iteration count the plan was made for.
+    pub iters: f64,
+    /// Indices whose temporaries fit no device arena, ascending (they were
+    /// decided between explicit-CPU and implicit only).
+    pub spilled: Vec<usize>,
+}
+
+impl HybridPlan {
+    /// Batch indices assigned the given formulation, ascending.
+    pub fn indices_of(&self, f: Formulation) -> Vec<usize> {
+        self.choices
+            .iter()
+            .filter(|c| c.formulation == f)
+            .map(|c| c.index)
+            .collect()
+    }
+
+    /// Number of subdomains assigned the given formulation.
+    pub fn count_of(&self, f: Formulation) -> usize {
+        self.choices.iter().filter(|c| c.formulation == f).count()
+    }
+
+    /// Predicted cost-to-solution at `iters` iterations: the sum over
+    /// subdomains of `assembly + iters × apply` — the sequential-equivalent
+    /// work the node performs, the comparison metric of the `hybrid` bench
+    /// gate (device-level overlap shrinks all strategies alike).
+    pub fn cost_at(&self, iters: f64) -> f64 {
+        self.choices
+            .iter()
+            .map(|c| c.assembly_seconds + iters * c.apply_seconds)
+            .sum()
+    }
+
+    /// [`HybridPlan::cost_at`] the plan's own expected iteration count.
+    pub fn total_cost(&self) -> f64 {
+        self.cost_at(self.iters)
+    }
+}
+
+/// Decide, **per subdomain**, whichever of {explicit-GPU, explicit-CPU,
+/// implicit} minimizes `assembly + iters × apply`, subject to the device
+/// arena capacities (paper-style Table-1 auto-selection extended from
+/// "which kernel config" to "which operator formulation"):
+///
+/// - explicit-GPU assembly/apply are priced per pool device
+///   ([`CostEstimate::seconds_on`] / [`ApplyEstimate::explicit_seconds_on`])
+///   and only devices whose arena holds the subdomain's peak temporaries
+///   are candidates — an oversized subdomain **spills** to the remaining
+///   formulations instead of erroring;
+/// - explicit-CPU and implicit are priced under `opts.host`;
+/// - `iters = 0` collapses to all-implicit (assembly is pure overhead),
+///   `iters = ∞` to all-explicit (ordering by apply cost alone, assembly
+///   as the tie-break).
+///
+/// Ties prefer implicit (no assembly risk), then explicit-GPU.
+pub fn plan_hybrid(
+    costs: &[CostEstimate],
+    applies: &[ApplyEstimate],
+    devices: &[DeviceSlot],
+    opts: &HybridPlanOptions,
+) -> HybridPlan {
+    assert_eq!(
+        costs.len(),
+        applies.len(),
+        "one ApplyEstimate per CostEstimate required"
+    );
+    assert!(
+        opts.iters >= 0.0 && !opts.iters.is_nan(),
+        "expected iteration count must be a non-negative number, got {}",
+        opts.iters
+    );
+    let mut choices = Vec::with_capacity(costs.len());
+    let mut spilled = Vec::new();
+    for (c, a) in costs.iter().zip(applies) {
+        debug_assert_eq!(c.index, a.index, "estimate slices must align");
+        // candidate list: (formulation, device_hint, assembly_s, apply_s)
+        let mut candidates: Vec<(Formulation, Option<usize>, f64, f64)> = Vec::with_capacity(3);
+        let gpu_best = (0..devices.len())
+            .filter(|&d| devices[d].admits(c.temp_bytes))
+            .map(|d| {
+                (
+                    d,
+                    c.seconds_on(&devices[d].spec),
+                    a.explicit_seconds_on(&devices[d].spec),
+                )
+            })
+            .min_by(|x, y| {
+                total_key(x.1, x.2, opts.iters)
+                    .partial_cmp(&total_key(y.1, y.2, opts.iters))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.0.cmp(&y.0))
+            });
+        let is_spilled = gpu_best.is_none();
+        if let Some((d, asm, app)) = gpu_best {
+            candidates.push((Formulation::ExplicitGpu, Some(d), asm, app));
+        } else {
+            spilled.push(c.index);
+        }
+        if opts.allow_explicit_cpu {
+            candidates.push((
+                Formulation::ExplicitCpu,
+                None,
+                c.seconds_on(&opts.host),
+                a.explicit_seconds_on(&opts.host),
+            ));
+        }
+        candidates.push((
+            Formulation::Implicit,
+            None,
+            0.0,
+            a.implicit_seconds_on(&opts.host),
+        ));
+
+        match opts.force {
+            HybridForce::Auto => {}
+            HybridForce::AllExplicit => {
+                // keep the explicit candidates; fall back to implicit only
+                // when nothing explicit exists at all
+                if candidates.iter().any(|x| x.0 != Formulation::Implicit) {
+                    candidates.retain(|x| x.0 != Formulation::Implicit);
+                }
+            }
+            HybridForce::AllImplicit => {
+                candidates.retain(|x| x.0 == Formulation::Implicit);
+            }
+        }
+
+        // preference on exact ties: implicit (no assembly to lose), then
+        // explicit-GPU, then explicit-CPU
+        let pref = |f: Formulation| match f {
+            Formulation::Implicit => 0u8,
+            Formulation::ExplicitGpu => 1,
+            Formulation::ExplicitCpu => 2,
+        };
+        let (formulation, device_hint, assembly_seconds, apply_seconds) = candidates
+            .into_iter()
+            .min_by(|x, y| {
+                total_key(x.2, x.3, opts.iters)
+                    .partial_cmp(&total_key(y.2, y.3, opts.iters))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(pref(x.0).cmp(&pref(y.0)))
+            })
+            .expect("the implicit formulation is always a candidate");
+        choices.push(HybridChoice {
+            index: c.index,
+            formulation,
+            device_hint,
+            assembly_seconds,
+            apply_seconds,
+            total_seconds: assembly_seconds + opts.iters * apply_seconds,
+            spilled: is_spilled,
+        });
+    }
+    spilled.sort_unstable();
+    HybridPlan {
+        choices,
+        iters: opts.iters,
+        spilled,
+    }
+}
+
+/// Ordering key of `assembly + iters × apply`: at `iters = ∞` every total
+/// is infinite, so the comparison degenerates — order by apply cost alone
+/// with assembly as an infinitesimal tie-break instead.
+fn total_key(assembly: f64, apply: f64, iters: f64) -> (f64, f64) {
+    if iters.is_infinite() {
+        (apply, assembly)
+    } else {
+        (assembly + iters * apply, 0.0)
+    }
 }
 
 /// One subdomain's placement in the executed schedule (per-stream timeline
@@ -785,19 +1156,249 @@ mod tests {
         let mut huge = est(10, &[2]);
         huge.temp_bytes = 1 << 30;
         let err = plan_cluster(&[huge], &[slot(DeviceSpec::a100(), 1 << 20, 2)]).unwrap_err();
-        match err {
-            ClusterPlanError::SubdomainTooLarge {
-                index,
-                temp_bytes,
-                max_arena,
-            } => {
-                assert_eq!(index, 0);
-                assert_eq!(temp_bytes, 1 << 30);
-                assert_eq!(max_arena, 1 << 20);
+        match &err {
+            ClusterPlanError::Spilled { spilled, max_arena } => {
+                assert_eq!(spilled, &vec![0]);
+                assert_eq!(*max_arena, 1 << 20);
             }
             other => panic!("wrong error: {other}"),
         }
         assert!(err.to_string().contains("largest device arena"));
+        assert!(
+            err.to_string().contains("recoverable"),
+            "the Spilled error must advertise the fallback: {err}"
+        );
+    }
+
+    #[test]
+    fn spill_plan_places_the_rest_and_reports_the_overflow() {
+        // two small subdomains fit, the middle one fits nowhere: the plan
+        // must carry the small ones and spill index 1 instead of erroring
+        let mut a = est(20, &[0; 4]);
+        a.index = 0;
+        a.temp_bytes = 1 << 8;
+        let mut big = est(200, &[0; 20]);
+        big.index = 1;
+        big.temp_bytes = 1 << 30;
+        let mut b = a.clone();
+        b.index = 2;
+        let devs = vec![slot(DeviceSpec::a100(), 1 << 20, 2)];
+        let (plan, spilled) = plan_cluster_spill(&[a, big, b], &devs).unwrap();
+        assert_eq!(spilled, vec![1]);
+        assert_eq!(plan.device_of[1], usize::MAX, "spilled entry unplaced");
+        let mut placed: Vec<usize> = plan.per_device.concat();
+        placed.sort_unstable();
+        assert_eq!(placed, vec![0, 2]);
+        // the strict planner surfaces the same condition as an error
+        assert!(matches!(
+            plan_cluster(
+                &[est(10, &[2]), {
+                    let mut h = est(10, &[2]);
+                    h.index = 1;
+                    h.temp_bytes = 1 << 30;
+                    h
+                }],
+                &devs
+            ),
+            Err(ClusterPlanError::Spilled { .. })
+        ));
+    }
+
+    fn apply_est(n: usize, pivots: &[usize]) -> ApplyEstimate {
+        let l = diag_factor(n);
+        let bt = bt_with_pivots(n, pivots);
+        estimate_apply(&l, &bt, 0)
+    }
+
+    #[test]
+    fn implicit_apply_scales_with_factor_not_interface() {
+        let spec = DeviceSpec::host();
+        // same interface, much bigger factor: implicit apply must grow,
+        // explicit apply (GEMV over m × m) must not
+        let small = apply_est(50, &[0, 1, 2]);
+        let big = apply_est(5000, &[0, 1, 2]);
+        assert!(big.implicit_seconds_on(&spec) > small.implicit_seconds_on(&spec));
+        assert!(
+            (big.explicit_seconds_on(&spec) - small.explicit_seconds_on(&spec)).abs() < 1e-12,
+            "explicit apply depends only on n_lambda"
+        );
+        // four launches per implicit apply vs one for explicit
+        assert_eq!(big.implicit.len(), 4);
+        assert_eq!(big.explicit.len(), 1);
+    }
+
+    fn hybrid_inputs(shapes: &[(usize, usize)]) -> (Vec<CostEstimate>, Vec<ApplyEstimate>) {
+        let mut costs = Vec::new();
+        let mut applies = Vec::new();
+        for (i, &(n, m)) in shapes.iter().enumerate() {
+            let l = diag_factor(n);
+            let pivots: Vec<usize> = (0..m).map(|j| j % n).collect();
+            let bt = bt_with_pivots(n, &pivots);
+            let params = ScConfig::optimized(true, false).resolve(true, &l, &bt);
+            let mut c = estimate_cost(&DeviceSpec::a100(), &l, &bt, &params, i);
+            c.index = i;
+            let mut a = estimate_apply(&l, &bt, i);
+            a.index = i;
+            costs.push(c);
+            applies.push(a);
+        }
+        (costs, applies)
+    }
+
+    #[test]
+    fn hybrid_iteration_extremes_collapse_the_decision() {
+        let (costs, applies) = hybrid_inputs(&[(200, 40), (400, 60), (100, 20)]);
+        let devs = vec![slot(DeviceSpec::a100(), usize::MAX, 2)];
+        let zero = plan_hybrid(
+            &costs,
+            &applies,
+            &devs,
+            &HybridPlanOptions {
+                iters: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            zero.count_of(Formulation::Implicit),
+            3,
+            "iters→0 ⇒ implicit"
+        );
+        let inf = plan_hybrid(
+            &costs,
+            &applies,
+            &devs,
+            &HybridPlanOptions {
+                iters: f64::INFINITY,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            inf.count_of(Formulation::Implicit),
+            0,
+            "iters→∞ ⇒ all-explicit: {:?}",
+            inf.choices
+        );
+        // each subdomain decided exactly once
+        assert_eq!(zero.choices.len(), 3);
+        for (i, c) in inf.choices.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    /// Synthetic estimate pair with controlled regimes: pure-compute costs
+    /// large enough that occupancy ramps are saturated, so the seconds are
+    /// (almost exactly) flops over peak throughput.
+    fn synth(
+        index: usize,
+        temp_bytes: usize,
+        asm_flops: f64,
+        expl_apply_flops: f64,
+        impl_apply_flops: f64,
+    ) -> (CostEstimate, ApplyEstimate) {
+        let c = CostEstimate {
+            index,
+            n_dofs: 100,
+            n_lambda: 10,
+            trsm_flops: asm_flops,
+            syrk_flops: 0.0,
+            transfer_bytes: 0.0,
+            temp_bytes,
+            seconds: 0.0,
+        };
+        let a = ApplyEstimate {
+            index,
+            n_lambda: 10,
+            explicit: vec![KernelCost::compute(expl_apply_flops, 0.0)],
+            implicit: vec![KernelCost::compute(impl_apply_flops, 0.0)],
+        };
+        (c, a)
+    }
+
+    #[test]
+    fn hybrid_spills_oversized_subdomains_to_implicit() {
+        // subdomain 0 fits the arena, subdomain 1 does not; implicit applies
+        // cost 4x the explicit GEMV (the typical large-subdomain regime)
+        let (c0, a0) = synth(0, 1 << 10, 1e9, 1e9, 4e9);
+        let (c1, a1) = synth(1, 1 << 30, 1e12, 1e9, 4e9);
+        let costs = vec![c0, c1];
+        let applies = vec![a0, a1];
+        let devs = vec![slot(DeviceSpec::a100(), 1 << 20, 2)];
+        let opts = HybridPlanOptions {
+            iters: 1e6, // explicit-favoring
+            allow_explicit_cpu: false,
+            ..Default::default()
+        };
+        let plan = plan_hybrid(&costs, &applies, &devs, &opts);
+        assert_eq!(plan.spilled, vec![1]);
+        assert_eq!(plan.choices[0].formulation, Formulation::ExplicitGpu);
+        assert_eq!(plan.choices[0].device_hint, Some(0));
+        assert_eq!(
+            plan.choices[1].formulation,
+            Formulation::Implicit,
+            "oversized subdomain must fall back, not error"
+        );
+        assert!(plan.choices[1].spilled);
+        assert_eq!(plan.choices[1].assembly_seconds, 0.0);
+        // with explicit-CPU allowed, the high-iteration spill fails over to
+        // the CPU-explicit formulation instead
+        let with_cpu = plan_hybrid(
+            &costs,
+            &applies,
+            &devs,
+            &HybridPlanOptions {
+                allow_explicit_cpu: true,
+                ..opts
+            },
+        );
+        assert_eq!(with_cpu.choices[1].formulation, Formulation::ExplicitCpu);
+    }
+
+    #[test]
+    fn hybrid_force_overrides_follow_admissibility() {
+        let (c0, a0) = synth(0, 1 << 10, 1e9, 1e9, 4e9);
+        let (c1, a1) = synth(1, 1 << 30, 1e12, 1e9, 4e9);
+        let costs = vec![c0, c1];
+        let applies = vec![a0, a1];
+        let devs = vec![slot(DeviceSpec::a100(), 1 << 20, 2)];
+        let all_expl = plan_hybrid(
+            &costs,
+            &applies,
+            &devs,
+            &HybridPlanOptions {
+                iters: 10.0,
+                force: HybridForce::AllExplicit,
+                ..Default::default()
+            },
+        );
+        assert_eq!(all_expl.count_of(Formulation::Implicit), 0);
+        assert_eq!(
+            all_expl.choices[1].formulation,
+            Formulation::ExplicitCpu,
+            "forced explicit must fail over the spilled subdomain to the CPU"
+        );
+        let all_impl = plan_hybrid(
+            &costs,
+            &applies,
+            &devs,
+            &HybridPlanOptions {
+                iters: 1e9,
+                force: HybridForce::AllImplicit,
+                ..Default::default()
+            },
+        );
+        assert_eq!(all_impl.count_of(Formulation::Implicit), 2);
+        // cost roll-up: forced plans can only be costlier than Auto
+        let auto = plan_hybrid(
+            &costs,
+            &applies,
+            &devs,
+            &HybridPlanOptions {
+                iters: 10.0,
+                ..Default::default()
+            },
+        );
+        assert!(auto.cost_at(10.0) <= all_expl.cost_at(10.0) + 1e-15);
+        assert!(auto.cost_at(10.0) <= all_impl.cost_at(10.0) + 1e-15);
     }
 
     #[test]

@@ -9,13 +9,85 @@ use sc_fem::Subdomain;
 use sc_gpu::GpuKernels;
 use sc_sparse::Csc;
 
-/// Per-subdomain factorization bundle: the regularized factor plus `B̃ᵢᵀ`
-/// pre-permuted into factor row space.
+/// Hoisted gather/scatter index map of `B̃ᵢᵀ`, flattened column-major:
+/// column `j` of the gluing block owns `rows[offsets[j]..offsets[j+1]]` with
+/// matching `coeffs` (the ±1 boundary signs, one entry per column on
+/// redundant gluing). Precomputed **once** per subdomain so the implicit
+/// dual-operator application resolves its boundary permutation by direct
+/// indexed loops instead of re-walking the sparse matrix machinery every
+/// PCPG iteration.
+pub struct BoundaryMap {
+    /// Per-column offsets into `rows`/`coeffs` (`n_lambda + 1` entries).
+    offsets: Vec<usize>,
+    /// Factor-space row of each stored coefficient.
+    rows: Vec<usize>,
+    /// Coefficient values (the B̃ signs).
+    coeffs: Vec<f64>,
+    /// Factor dimension (length of the dof-space work vector).
+    n_rows: usize,
+}
+
+impl BoundaryMap {
+    /// Extract the map from the row-permuted gluing block.
+    pub fn of(bt_perm: &Csc) -> Self {
+        BoundaryMap {
+            offsets: bt_perm.col_ptr().to_vec(),
+            rows: bt_perm.row_idx().to_vec(),
+            coeffs: bt_perm.values().to_vec(),
+            n_rows: bt_perm.nrows(),
+        }
+    }
+
+    /// Local multiplier count.
+    pub fn n_lambda(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Factor dimension.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Scatter `t = B̃ᵀ p̃` into the (pre-zeroed) dof-space vector `t` —
+    /// bitwise identical to `bt_perm.spmv(1.0, p, 0.0, t)`.
+    pub fn scatter(&self, p: &[f64], t: &mut [f64]) {
+        debug_assert_eq!(p.len(), self.n_lambda());
+        debug_assert_eq!(t.len(), self.n_rows);
+        for (j, &pj) in p.iter().enumerate() {
+            if pj != 0.0 {
+                for k in self.offsets[j]..self.offsets[j + 1] {
+                    t[self.rows[k]] += pj * self.coeffs[k];
+                }
+            }
+        }
+    }
+
+    /// Gather `out = B̃ t` from the dof-space vector — bitwise identical to
+    /// `bt_perm.spmv_t(1.0, t, 0.0, out)`.
+    pub fn gather(&self, t: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.n_lambda());
+        debug_assert_eq!(t.len(), self.n_rows);
+        for (j, oj) in out.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for k in self.offsets[j]..self.offsets[j + 1] {
+                s += self.coeffs[k] * t[self.rows[k]];
+            }
+            *oj = s;
+        }
+    }
+}
+
+/// Per-subdomain factorization bundle: the regularized factor, `B̃ᵢᵀ`
+/// pre-permuted into factor row space, and the hoisted boundary index map
+/// the implicit application reuses across PCPG iterations.
 pub struct SubdomainFactors {
     /// Factorized `K_reg`.
     pub chol: SparseCholesky,
     /// `B̃ᵢᵀ` with rows in the factor's permuted space.
     pub bt_perm: Csc,
+    /// Gather/scatter map of `bt_perm`, hoisted out of the per-iteration
+    /// apply path.
+    pub map: BoundaryMap,
 }
 
 impl SubdomainFactors {
@@ -26,7 +98,8 @@ impl SubdomainFactors {
         let chol = SparseCholesky::factorize_with_perm(&kreg, perm, engine)
             .expect("regularized subdomain matrix must be SPD");
         let bt_perm = sd.bt.permute_rows(chol.perm());
-        SubdomainFactors { chol, bt_perm }
+        let map = BoundaryMap::of(&bt_perm);
+        SubdomainFactors { chol, bt_perm, map }
     }
 
     /// `K⁺ v` in original dof space.
@@ -37,14 +110,31 @@ impl SubdomainFactors {
 
 /// Implicit application `q̃ = B̃ (L⁻ᵀ(L⁻¹(B̃ᵀ p̃)))` from a factor bundle
 /// (paper Eq. 11) — shared by [`DualOperator::Implicit`] and the solver's
-/// borrowing implicit path.
+/// borrowing implicit path. Allocates its own work vector; inside an
+/// iteration loop use [`apply_implicit_with`] to reuse one.
 pub fn apply_implicit(factors: &SubdomainFactors, p: &[f64], out: &mut [f64]) {
-    let n = factors.bt_perm.nrows();
-    let mut t = vec![0.0; n];
-    factors.bt_perm.spmv(1.0, p, 0.0, &mut t);
-    factors.chol.solve_fwd_permuted(&mut t);
-    factors.chol.solve_bwd_permuted(&mut t);
-    factors.bt_perm.spmv_t(1.0, &t, 0.0, out);
+    let mut scratch = Vec::new();
+    apply_implicit_with(factors, p, out, &mut scratch);
+}
+
+/// [`apply_implicit`] with a caller-owned scratch vector (resized to the
+/// factor dimension, contents overwritten): the boundary permutation lives
+/// in the hoisted [`BoundaryMap`] and the dof-space work vector is reused,
+/// so the per-iteration cost is the two triangular solves plus the indexed
+/// gather/scatter — no allocation, no sparse-matrix traversal machinery.
+pub fn apply_implicit_with(
+    factors: &SubdomainFactors,
+    p: &[f64],
+    out: &mut [f64],
+    scratch: &mut Vec<f64>,
+) {
+    let n = factors.map.n_rows();
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    factors.map.scatter(p, scratch);
+    factors.chol.solve_fwd_permuted(scratch);
+    factors.chol.solve_bwd_permuted(scratch);
+    factors.map.gather(scratch, out);
 }
 
 /// A ready-to-apply local dual operator.
@@ -166,6 +256,43 @@ mod tests {
             gpu.explicit_matrix().unwrap()
         );
         assert!(dev.synchronize() > 0.0);
+    }
+
+    #[test]
+    fn hoisted_map_is_bitwise_the_sparse_formulation() {
+        // the BoundaryMap fast path must reproduce the original
+        // spmv → solve → spmv_t pipeline bit for bit, in 2D and 3D, for
+        // every subdomain shape (corner, edge, interior)
+        let problems = [
+            HeatProblem::build_2d(4, (3, 2), Gluing::Redundant),
+            HeatProblem::build_3d(2, (2, 2, 1), Gluing::Redundant),
+        ];
+        for prob in &problems {
+            for sd in &prob.subdomains {
+                let factors = factors_for(sd);
+                let m = sd.n_lambda();
+                let n = sd.n_dofs();
+                let p: Vec<f64> = (0..m).map(|i| ((i * 17 % 13) as f64) - 6.0).collect();
+                // reference: the pre-hoist formulation through the Csc
+                let mut t = vec![0.0; n];
+                factors.bt_perm.spmv(1.0, &p, 0.0, &mut t);
+                factors.chol.solve_fwd_permuted(&mut t);
+                factors.chol.solve_bwd_permuted(&mut t);
+                let mut reference = vec![0.0; m];
+                factors.bt_perm.spmv_t(1.0, &t, 0.0, &mut reference);
+
+                let mut fast = vec![0.0; m];
+                apply_implicit(&factors, &p, &mut fast);
+                assert_eq!(fast, reference, "hoisted map diverged");
+
+                // scratch reuse across applications must not leak state
+                let mut scratch = vec![7.0; 3];
+                let mut again = vec![42.0; m];
+                apply_implicit_with(&factors, &p, &mut again, &mut scratch);
+                assert_eq!(again, reference, "scratch reuse diverged");
+                assert_eq!(scratch.len(), n);
+            }
+        }
     }
 
     #[test]

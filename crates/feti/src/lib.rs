@@ -21,7 +21,11 @@ pub use approaches::{
     measure_apply_cost, preprocess_approach, ApplyCost, DualOpApproach, PreparedDualOp,
     PreprocessReport,
 };
-pub use dualop::{DualOperator, SubdomainFactors};
+pub use dualop::{
+    apply_implicit, apply_implicit_with, BoundaryMap, DualOperator, SubdomainFactors,
+};
 pub use pcpg::{pcpg_preconditioned, PcpgBreakdown, PcpgResult, PcpgStats};
 pub use regularize::regularize_fixing_node;
-pub use solver::{DualMode, FetiOptions, FetiSolution, FetiSolver, Preconditioner};
+pub use solver::{
+    DualMode, FetiOptions, FetiSolution, FetiSolver, HybridOptions, HybridReport, Preconditioner,
+};

@@ -32,6 +32,11 @@ pub struct PcpgStats {
     /// CG iterations performed (λ updates; residual-confirmation operator
     /// applications are not counted).
     pub iterations: usize,
+    /// Total dual-operator applications, **including** the initial residual,
+    /// convergence confirmations, and the final honest-exit recomputation —
+    /// the realized per-subdomain apply count the hybrid cost model's
+    /// expected-iteration input is compared against.
+    pub operator_applications: usize,
     /// Final relative projected residual `‖P(d − Fλ)‖ / ‖Pd‖`, **freshly
     /// recomputed** from λ — never the recursively updated residual, which
     /// can drift from the truth in finite precision.
@@ -88,6 +93,14 @@ pub fn pcpg_preconditioned(
     let mut lambda = lambda0;
     assert_eq!(lambda.len(), m);
 
+    // instrument the operator: every application counted, wherever it
+    // happens (search directions, confirmations, honest-exit residual)
+    let mut applications = 0usize;
+    let mut apply_f = |p: &[f64]| {
+        applications += 1;
+        apply_f(p)
+    };
+
     let norm0 = {
         let pd = project(d);
         dot(&pd, &pd).sqrt()
@@ -97,6 +110,7 @@ pub fn pcpg_preconditioned(
             lambda,
             stats: PcpgStats {
                 iterations: 0,
+                operator_applications: 0,
                 rel_residual: 0.0,
                 converged: true,
                 breakdown: None,
@@ -189,6 +203,7 @@ pub fn pcpg_preconditioned(
         lambda,
         stats: PcpgStats {
             iterations,
+            operator_applications: applications,
             rel_residual,
             converged: rel_residual <= tol,
             breakdown,
@@ -229,6 +244,14 @@ mod tests {
             200,
         );
         assert!(res.stats.converged);
+        // one application per iteration, plus the initial residual and any
+        // confirmation/honest-exit recomputations
+        assert!(
+            res.stats.operator_applications > res.stats.iterations,
+            "applications {} must exceed iterations {}",
+            res.stats.operator_applications,
+            res.stats.iterations
+        );
         let mut check = vec![0.0; n];
         sc_dense::gemv(1.0, a.as_ref(), &res.lambda, 0.0, &mut check);
         for i in 0..n {

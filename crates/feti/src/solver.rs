@@ -6,8 +6,9 @@ use crate::pcpg::PcpgStats;
 use rayon::prelude::*;
 use sc_core::{
     assemble_sc_batch_cluster_map, assemble_sc_batch_gpu_map, assemble_sc_batch_map,
-    assemble_sc_batch_scheduled_map, BatchReport, ClusterOptions, ClusterReport, ScConfig,
-    ScheduleOptions,
+    assemble_sc_batch_scheduled_map, estimate_apply, estimate_cost, plan_hybrid, BatchReport,
+    ClusterOptions, ClusterReport, DeviceSlot, Formulation, HybridPlan, HybridPlanOptions,
+    ScConfig, ScheduleOptions,
 };
 use sc_dense::Mat;
 use sc_factor::Engine;
@@ -48,6 +49,37 @@ pub enum DualMode {
         /// Cluster scheduling options.
         opts: ClusterOptions,
     },
+    /// **Per-subdomain** explicit-vs-implicit selection (the paper's Table-1
+    /// auto-selection extended from "which kernel config" to "which operator
+    /// formulation"): the §4.4 cost model prices, for every subdomain, the
+    /// explicit-GPU (cluster path), explicit-CPU, and implicit realizations
+    /// — one-time assembly plus the expected PCPG iterations times the
+    /// per-application cost — and picks the cheapest **subject to the
+    /// device arena capacities**. Subdomains whose temporaries fit no arena
+    /// are never assembled on a device: they *spill* to the implicit (or
+    /// explicit-CPU) formulation instead of erroring. The decisions,
+    /// predicted-vs-realized costs, and arena high water roll up into
+    /// [`FetiSolver::hybrid_report`].
+    Hybrid {
+        /// Assembly configuration of the explicit shares.
+        cfg: ScConfig,
+        /// The device pool (may be empty: everything then runs on the host).
+        pool: Arc<DevicePool>,
+        /// Hybrid decision + scheduling options.
+        opts: HybridOptions,
+    },
+}
+
+/// Options of [`DualMode::Hybrid`].
+#[derive(Clone, Debug, Default)]
+pub struct HybridOptions {
+    /// Decision-layer inputs: expected iteration count, host pricing spec,
+    /// candidate set, collapse override.
+    pub plan: HybridPlanOptions,
+    /// Scheduling options of the explicit-GPU share (`ready_at` is indexed
+    /// by **subdomain**, like the other modes; it is sliced down to the
+    /// share the planner sends to the pool).
+    pub cluster: ClusterOptions,
 }
 
 /// Dual preconditioner selection for PCPG.
@@ -101,13 +133,87 @@ pub struct FetiSolution {
     pub stats: PcpgStats,
 }
 
+/// Roll-up of one hybrid preprocessing run: the decision layer's plan plus
+/// the realized assembly diagnostics of both explicit shares, in the
+/// existing [`BatchReport`]/[`ClusterReport`] vocabulary. All subdomain
+/// indices are **problem-global** (the per-share reports are remapped).
+#[derive(Clone, Debug)]
+pub struct HybridReport {
+    /// Per-subdomain decisions with predicted assembly/apply costs.
+    pub plan: HybridPlan,
+    /// Cluster roll-up of the explicit-GPU share (`None` when the planner
+    /// sent nothing to the pool). `device_of` spans the whole problem with
+    /// `usize::MAX` for subdomains not assembled on the pool.
+    pub cluster: Option<ClusterReport>,
+    /// Batch report of the explicit-CPU share (`None` when empty).
+    pub cpu_batch: Option<BatchReport>,
+    /// Σ predicted assembly seconds over the explicit decisions.
+    pub predicted_assembly_seconds: f64,
+    /// Realized simulated makespan of the explicit-GPU share.
+    pub realized_gpu_assembly_seconds: f64,
+    /// Realized host wall seconds of the explicit-CPU share.
+    pub realized_cpu_assembly_seconds: f64,
+    /// Largest per-device temporary-arena high water of the GPU share,
+    /// bytes.
+    pub arena_high_water: usize,
+}
+
+impl HybridReport {
+    /// Number of subdomains realized with the given formulation.
+    pub fn count_of(&self, f: Formulation) -> usize {
+        self.plan.count_of(f)
+    }
+
+    /// Predicted cost-to-solution at `iters` operator applications (see
+    /// [`HybridPlan::cost_at`]); compare against the expected-iteration
+    /// input and the realized [`PcpgStats::operator_applications`].
+    ///
+    /// [`PcpgStats::operator_applications`]: crate::pcpg::PcpgStats::operator_applications
+    pub fn predicted_cost_at(&self, iters: f64) -> f64 {
+        self.plan.cost_at(iters)
+    }
+
+    /// Subdomain indices that fit no device arena and therefore could never
+    /// be assembled explicitly on the pool (the recoverable spill set).
+    pub fn spilled(&self) -> &[usize] {
+        &self.plan.spilled
+    }
+}
+
+/// Per-subdomain operator dispatch slot of the explicit/hybrid modes.
+// Variant sizes differ by design, mirroring DualOperator: slots live in one
+// short per-subdomain Vec, boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum OpSlot {
+    /// An owned, ready-to-apply operator.
+    Own(DualOperator),
+    /// Apply implicitly through the solver's shared factor bundle (the
+    /// hybrid mode's spill/low-iteration choice — avoids duplicating the
+    /// factorization the solver keeps for `K⁺` solves anyway). Carries the
+    /// subdomain's dof-space scratch vector so PCPG iterations reuse one
+    /// allocation ([`apply_implicit_with`](crate::dualop::apply_implicit_with));
+    /// the mutex is uncontended — `apply_f` runs one task per subdomain.
+    SharedImplicit {
+        /// Reused dof-space work vector.
+        scratch: std::sync::Mutex<Vec<f64>>,
+    },
+}
+
+impl OpSlot {
+    fn shared_implicit() -> Self {
+        OpSlot::SharedImplicit {
+            scratch: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+}
+
 /// A preprocessed FETI solver ready to run PCPG.
 pub struct FetiSolver<'p> {
     problem: &'p HeatProblem,
     factors: Vec<SubdomainFactors>,
-    /// `Some` for the explicit modes; the implicit mode applies through
-    /// `factors` directly.
-    explicit_ops: Option<Vec<DualOperator>>,
+    /// `Some` for the explicit and hybrid modes; the implicit mode applies
+    /// through `factors` directly.
+    explicit_ops: Option<Vec<OpSlot>>,
     /// Sparse `G = B R` (`n_lambda × n_kernels`).
     g: Csc,
     /// Dense Cholesky factor of `GᵀG`.
@@ -122,8 +228,46 @@ pub struct FetiSolver<'p> {
     /// the implicit mode).
     assembly_report: Option<BatchReport>,
     /// Per-device roll-up of the cluster-sharded assembly (`None` unless
-    /// [`DualMode::ExplicitGpuCluster`] was used).
+    /// [`DualMode::ExplicitGpuCluster`] or [`DualMode::Hybrid`] was used).
     cluster_report: Option<ClusterReport>,
+    /// Decision/cost roll-up of the hybrid mode (`None` otherwise).
+    hybrid_report: Option<HybridReport>,
+}
+
+/// Remap a share-local [`BatchReport`]'s subdomain indices to problem-global
+/// ones through `map` (timings re-sorted into global order).
+fn remap_batch_report(mut rep: BatchReport, map: &[usize]) -> BatchReport {
+    for t in &mut rep.timings {
+        t.index = map[t.index];
+    }
+    for e in &mut rep.schedule {
+        e.index = map[e.index];
+    }
+    rep.timings.sort_by_key(|t| t.index);
+    rep
+}
+
+/// Remap a share-local [`ClusterReport`] to problem-global indices:
+/// per-device reports and the partition go through `map`, `device_of` is
+/// re-expanded to `n_total` entries with `usize::MAX` for subdomains outside
+/// the share.
+fn remap_cluster_report(mut rep: ClusterReport, map: &[usize], n_total: usize) -> ClusterReport {
+    rep.per_device = rep
+        .per_device
+        .into_iter()
+        .map(|r| remap_batch_report(r, map))
+        .collect();
+    for part in &mut rep.partition {
+        for g in part.iter_mut() {
+            *g = map[*g];
+        }
+    }
+    let mut device_of = vec![usize::MAX; n_total];
+    for (local, d) in rep.device_of.iter().enumerate() {
+        device_of[map[local]] = *d;
+    }
+    rep.device_of = device_of;
+    rep
 }
 
 impl<'p> FetiSolver<'p> {
@@ -144,7 +288,8 @@ impl<'p> FetiSolver<'p> {
         // time
         let mut assembly_report: Option<BatchReport> = None;
         let mut cluster_report: Option<ClusterReport> = None;
-        let explicit_ops: Option<Vec<DualOperator>> = match &opts.dual {
+        let mut hybrid_report: Option<HybridReport> = None;
+        let explicit_ops: Option<Vec<OpSlot>> = match &opts.dual {
             DualMode::Implicit => None,
             DualMode::ExplicitCpu(cfg) => {
                 // each task extracts its own factor copy, so peak memory is
@@ -157,7 +302,13 @@ impl<'p> FetiSolver<'p> {
                     |f| &f.bt_perm,
                 );
                 assembly_report = Some(batch.report);
-                Some(batch.f.into_iter().map(DualOperator::ExplicitCpu).collect())
+                Some(
+                    batch
+                        .f
+                        .into_iter()
+                        .map(|f| OpSlot::Own(DualOperator::ExplicitCpu(f)))
+                        .collect(),
+                )
             }
             DualMode::ExplicitGpu(cfg, device) => {
                 let n_streams = device.n_streams();
@@ -174,9 +325,11 @@ impl<'p> FetiSolver<'p> {
                         .f
                         .into_iter()
                         .enumerate()
-                        .map(|(i, f)| DualOperator::ExplicitGpu {
-                            f,
-                            kernels: GpuKernels::new(device.stream(i % n_streams)),
+                        .map(|(i, f)| {
+                            OpSlot::Own(DualOperator::ExplicitGpu {
+                                f,
+                                kernels: GpuKernels::new(device.stream(i % n_streams)),
+                            })
                         })
                         .collect(),
                 )
@@ -203,9 +356,11 @@ impl<'p> FetiSolver<'p> {
                         .f
                         .into_iter()
                         .enumerate()
-                        .map(|(i, f)| DualOperator::ExplicitGpu {
-                            f,
-                            kernels: GpuKernels::new(device.stream(stream_of[i])),
+                        .map(|(i, f)| {
+                            OpSlot::Own(DualOperator::ExplicitGpu {
+                                f,
+                                kernels: GpuKernels::new(device.stream(stream_of[i])),
+                            })
                         })
                         .collect(),
                 )
@@ -235,13 +390,153 @@ impl<'p> FetiSolver<'p> {
                         .enumerate()
                         .map(|(i, f)| {
                             let (dev, stream) = placement[i];
-                            DualOperator::ExplicitGpu {
+                            OpSlot::Own(DualOperator::ExplicitGpu {
                                 f,
                                 kernels: GpuKernels::new(pool.device(dev).stream(stream)),
-                            }
+                            })
                         })
                         .collect(),
                 )
+            }
+            DualMode::Hybrid { cfg, pool, opts } => {
+                // decision layer: analytic assembly + per-iteration apply
+                // estimates per subdomain (the factor is extracted once per
+                // task for shape/nnz inspection, then dropped)
+                let ref_spec = if pool.is_empty() {
+                    opts.plan.host.clone()
+                } else {
+                    pool.device(0).spec().clone()
+                };
+                let estimates: Vec<(sc_core::CostEstimate, sc_core::ApplyEstimate)> = factors
+                    .par_iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        // borrow the factor when the engine exposes it
+                        // (simplicial); only supernodal factors pay a copy
+                        let owned;
+                        let l: &Csc = match f.chol.factor_csc_ref() {
+                            Some(l) => l,
+                            None => {
+                                owned = f.chol.factor_csc();
+                                &owned
+                            }
+                        };
+                        let bt = &f.bt_perm;
+                        let params = cfg.resolve(!pool.is_empty(), l, bt);
+                        (
+                            estimate_cost(&ref_spec, l, bt, &params, i),
+                            estimate_apply(l, bt, i),
+                        )
+                    })
+                    .collect();
+                let (costs, applies): (Vec<_>, Vec<_>) = estimates.into_iter().unzip();
+                let slots: Vec<DeviceSlot> =
+                    pool.devices().iter().map(|d| DeviceSlot::of(d)).collect();
+                let plan = plan_hybrid(&costs, &applies, &slots, &opts.plan);
+                let gpu_idx = plan.indices_of(Formulation::ExplicitGpu);
+                let cpu_idx = plan.indices_of(Formulation::ExplicitCpu);
+
+                // one dispatch slot per subdomain; non-explicit ones borrow
+                // the shared factor bundle at application time
+                let mut ops: Vec<OpSlot> = (0..factors.len())
+                    .map(|_| OpSlot::shared_implicit())
+                    .collect();
+
+                // explicit-GPU share through the cluster driver (two-level
+                // plan, arena admission, record/replay — bitwise CPU-equal)
+                let mut gpu_cluster: Option<ClusterReport> = None;
+                if !gpu_idx.is_empty() {
+                    let share_opts = ClusterOptions {
+                        policy: opts.cluster.policy,
+                        ready_at: opts
+                            .cluster
+                            .ready_at
+                            .as_ref()
+                            .map(|r| gpu_idx.iter().map(|&g| r[g]).collect()),
+                    };
+                    let gpu_items: Vec<&SubdomainFactors> =
+                        gpu_idx.iter().map(|&g| &factors[g]).collect();
+                    let res = assemble_sc_batch_cluster_map(
+                        &gpu_items,
+                        cfg,
+                        pool,
+                        &share_opts,
+                        |_, f| std::borrow::Cow::Owned(f.chol.factor_csc()),
+                        |f| &f.bt_perm,
+                    );
+                    let combined = res.report.combined();
+                    for (local, f) in res.f.into_iter().enumerate() {
+                        let dev = res.report.device_of[local];
+                        let stream = combined.timings[local].stream.unwrap_or(0);
+                        ops[gpu_idx[local]] = OpSlot::Own(DualOperator::ExplicitGpu {
+                            f,
+                            kernels: GpuKernels::new(pool.device(dev).stream(stream)),
+                        });
+                    }
+                    gpu_cluster = Some(remap_cluster_report(res.report, &gpu_idx, factors.len()));
+                }
+
+                // explicit-CPU share (the spill fail-over for high iteration
+                // counts) through the batched CPU driver
+                let mut cpu_batch: Option<BatchReport> = None;
+                if !cpu_idx.is_empty() {
+                    let cpu_items: Vec<&SubdomainFactors> =
+                        cpu_idx.iter().map(|&g| &factors[g]).collect();
+                    let batch = assemble_sc_batch_map(
+                        &cpu_items,
+                        cfg,
+                        |_| sc_core::CpuExec,
+                        |_, f| f.chol.factor_csc(),
+                        |f| &f.bt_perm,
+                    );
+                    for (local, f) in batch.f.into_iter().enumerate() {
+                        ops[cpu_idx[local]] = OpSlot::Own(DualOperator::ExplicitCpu(f));
+                    }
+                    cpu_batch = Some(remap_batch_report(batch.report, &cpu_idx));
+                }
+
+                // roll the shares up into the existing report machinery:
+                // assembly_report covers every explicitly assembled
+                // subdomain, cluster_report the pool share
+                let gpu_combined = gpu_cluster.as_ref().map(|c| c.combined());
+                assembly_report = match (&gpu_combined, &cpu_batch) {
+                    (Some(g), Some(c)) => Some(BatchReport {
+                        timings: {
+                            let mut t = g.timings.clone();
+                            t.extend(c.timings.iter().copied());
+                            t.sort_by_key(|t| t.index);
+                            t
+                        },
+                        total_seconds: g.total_seconds + c.total_seconds,
+                        device_seconds: g.device_seconds,
+                        schedule: g.schedule.clone(),
+                        temp_high_water: g.temp_high_water,
+                        cache_hits: g.cache_hits + c.cache_hits,
+                        cache_misses: g.cache_misses + c.cache_misses,
+                    }),
+                    (Some(g), None) => Some(g.clone()),
+                    (None, Some(c)) => Some(c.clone()),
+                    (None, None) => None,
+                };
+                cluster_report = gpu_cluster.clone();
+                let predicted_assembly_seconds = plan
+                    .choices
+                    .iter()
+                    .filter(|c| c.formulation != Formulation::Implicit)
+                    .map(|c| c.assembly_seconds)
+                    .sum();
+                hybrid_report = Some(HybridReport {
+                    plan,
+                    realized_gpu_assembly_seconds: gpu_cluster.as_ref().map_or(0.0, |c| c.makespan),
+                    arena_high_water: gpu_cluster.as_ref().map_or(0, |c| c.temp_high_water()),
+                    cluster: gpu_cluster,
+                    realized_cpu_assembly_seconds: cpu_batch
+                        .as_ref()
+                        .map_or(0.0, |c| c.total_seconds),
+                    cpu_batch,
+                    predicted_assembly_seconds,
+                });
+                Some(ops)
             }
         };
 
@@ -316,6 +611,7 @@ impl<'p> FetiSolver<'p> {
             e,
             assembly_report,
             cluster_report,
+            hybrid_report,
         }
     }
 
@@ -330,9 +626,19 @@ impl<'p> FetiSolver<'p> {
 
     /// Per-device diagnostics of the cluster-sharded assembly: the device
     /// partition, per-device makespans/utilization, and the cluster
-    /// makespan. `None` unless [`DualMode::ExplicitGpuCluster`] was used.
+    /// makespan. `None` unless [`DualMode::ExplicitGpuCluster`] or
+    /// [`DualMode::Hybrid`] (with a non-empty explicit-GPU share) was used.
+    /// For the hybrid mode, indices are problem-global and `device_of`
+    /// holds `usize::MAX` for subdomains not assembled on the pool.
     pub fn cluster_report(&self) -> Option<&ClusterReport> {
         self.cluster_report.as_ref()
+    }
+
+    /// Decision/cost roll-up of the hybrid mode: the per-subdomain
+    /// explicit-vs-implicit plan, predicted vs realized assembly cost, and
+    /// the arena high water. `None` unless [`DualMode::Hybrid`] was used.
+    pub fn hybrid_report(&self) -> Option<&HybridReport> {
+        self.hybrid_report.as_ref()
     }
 
     /// Number of kernel columns (size of the coarse problem).
@@ -351,7 +657,21 @@ impl<'p> FetiSolver<'p> {
                 let pl: Vec<f64> = sd.lambda_ids.iter().map(|&gl| p[gl]).collect();
                 let mut ql = vec![0.0; sd.n_lambda()];
                 match &self.explicit_ops {
-                    Some(ops) => ops[i].apply(&pl, &mut ql),
+                    Some(ops) => match &ops[i] {
+                        OpSlot::Own(op) => op.apply(&pl, &mut ql),
+                        OpSlot::SharedImplicit { scratch } => {
+                            // reuse this subdomain's dof-space work vector
+                            // across PCPG iterations (uncontended lock: one
+                            // task per subdomain)
+                            let mut t = scratch.lock().expect("scratch mutex poisoned");
+                            crate::dualop::apply_implicit_with(
+                                &self.factors[i],
+                                &pl,
+                                &mut ql,
+                                &mut t,
+                            )
+                        }
+                    },
                     None => crate::dualop::apply_implicit(&self.factors[i], &pl, &mut ql),
                 }
                 ql
@@ -608,6 +928,184 @@ mod tests {
         let a = solver.apply_f(&lam);
         let b = s_cpu.apply_f(&lam);
         assert_eq!(a, b, "cluster dual operator must match the CPU one bitwise");
+    }
+
+    /// Peak temporary footprints of every subdomain under `cfg`, priced the
+    /// same way the hybrid decision layer prices them.
+    fn temp_footprints(p: &HeatProblem, cfg: &ScConfig) -> Vec<usize> {
+        p.subdomains
+            .iter()
+            .map(|sd| {
+                let f = SubdomainFactors::build(
+                    sd,
+                    Engine::Simplicial,
+                    sc_order::Ordering::NestedDissection,
+                );
+                let l = f.chol.factor_csc();
+                let params = cfg.resolve(true, &l, &f.bt_perm);
+                estimate_cost(&DeviceSpec::a100(), &l, &f.bt_perm, &params, 0).temp_bytes
+            })
+            .collect()
+    }
+
+    fn hybrid_opts(iters: f64, allow_cpu: bool, force: sc_core::HybridForce) -> HybridOptions {
+        HybridOptions {
+            plan: HybridPlanOptions {
+                iters,
+                allow_explicit_cpu: allow_cpu,
+                force,
+                ..Default::default()
+            },
+            cluster: ClusterOptions::default(),
+        }
+    }
+
+    #[test]
+    fn hybrid_mixes_formulations_and_matches_direct() {
+        use sc_gpu::DevicePool;
+        // a 3×3 decomposition carries corner, edge, and interior subdomains
+        // with different interface sizes: an arena between the extremes
+        // splits them into explicitly-admissible and spilled
+        let p = HeatProblem::build_2d(6, (3, 3), Gluing::Redundant);
+        let cfg = ScConfig::optimized(true, true);
+        let temps = temp_footprints(&p, &cfg);
+        let (lo, hi) = (*temps.iter().min().unwrap(), *temps.iter().max().unwrap());
+        assert!(lo < hi, "workload must have a footprint spread");
+        let arena = (lo + hi) / 2;
+        let spec = sc_gpu::DeviceSpec {
+            memory_bytes: 2 * arena, // the arena is half of device memory
+            ..DeviceSpec::a100()
+        };
+        let pool = DevicePool::uniform(spec, 2, 2);
+        // forced explicit + no CPU fail-over: admissible subdomains go to
+        // the pool, oversized ones must spill to implicit (never error)
+        let opts = FetiOptions {
+            dual: DualMode::Hybrid {
+                cfg,
+                pool: Arc::clone(&pool),
+                opts: hybrid_opts(1e6, false, sc_core::HybridForce::AllExplicit),
+            },
+            ..Default::default()
+        };
+        check_against_direct(&p, &opts, 1e-6);
+
+        let solver = FetiSolver::new(&p, &opts);
+        let report = solver.hybrid_report().expect("hybrid mode reports");
+        let n_gpu = report.count_of(sc_core::Formulation::ExplicitGpu);
+        let n_impl = report.count_of(sc_core::Formulation::Implicit);
+        assert!(n_gpu > 0, "some subdomains must fit the arena");
+        assert!(n_impl > 0, "some subdomains must spill: temps {temps:?}");
+        assert_eq!(n_gpu + n_impl, p.subdomains.len());
+        assert_eq!(report.spilled().len(), n_impl);
+        // spilled = exactly the subdomains whose temporaries exceed the arena
+        for (i, &t) in temps.iter().enumerate() {
+            assert_eq!(
+                report.spilled().contains(&i),
+                t > arena,
+                "subdomain {i}: {t} B vs arena {arena} B"
+            );
+        }
+        // arena never oversubscribed, and the pool really ran
+        assert!(report.arena_high_water <= arena);
+        assert!(report.realized_gpu_assembly_seconds > 0.0);
+        assert!(report.predicted_assembly_seconds > 0.0);
+        let cluster = solver.cluster_report().expect("gpu share reports");
+        for (i, &d) in cluster.device_of.iter().enumerate() {
+            let on_pool = d != usize::MAX;
+            assert_eq!(
+                on_pool,
+                !report.spilled().contains(&i),
+                "placement/decision mismatch at {i}"
+            );
+        }
+
+        // the hybrid operator application must be bitwise identical to the
+        // per-subdomain reference: CPU-assembled explicit F̃ᵢ where the plan
+        // went explicit (record/replay is bitwise CPU-equal), the shared
+        // implicit pipeline where it spilled
+        let lam: Vec<f64> = (0..p.n_lambda).map(|i| (i as f64 * 0.37).sin()).collect();
+        let got = solver.apply_f(&lam);
+        let mut want = vec![0.0; p.n_lambda];
+        for (i, sd) in p.subdomains.iter().enumerate() {
+            let pl: Vec<f64> = sd.lambda_ids.iter().map(|&gl| lam[gl]).collect();
+            let mut ql = vec![0.0; sd.n_lambda()];
+            if report.spilled().contains(&i) {
+                crate::dualop::apply_implicit(&solver.factors()[i], &pl, &mut ql);
+            } else {
+                let expl = DualOperator::explicit_cpu(&solver.factors()[i], &cfg);
+                expl.apply(&pl, &mut ql);
+            }
+            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                want[gl] += ql[ll];
+            }
+        }
+        assert_eq!(
+            got, want,
+            "hybrid apply must match the mixed reference bitwise"
+        );
+    }
+
+    #[test]
+    fn hybrid_spill_everything_falls_back_to_implicit() {
+        use sc_gpu::DevicePool;
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        // an arena nothing fits into: every subdomain spills, the solver
+        // must degrade to the implicit mode instead of erroring
+        let spec = sc_gpu::DeviceSpec {
+            memory_bytes: 16,
+            ..DeviceSpec::a100()
+        };
+        let pool = DevicePool::uniform(spec, 1, 2);
+        let opts = FetiOptions {
+            dual: DualMode::Hybrid {
+                cfg: ScConfig::optimized(true, false),
+                pool,
+                opts: hybrid_opts(1e9, false, sc_core::HybridForce::Auto),
+            },
+            ..Default::default()
+        };
+        check_against_direct(&p, &opts, 1e-6);
+        let solver = FetiSolver::new(&p, &opts);
+        let report = solver.hybrid_report().unwrap();
+        assert_eq!(
+            report.count_of(sc_core::Formulation::Implicit),
+            p.subdomains.len()
+        );
+        assert_eq!(report.spilled().len(), p.subdomains.len());
+        assert!(solver.cluster_report().is_none());
+        assert!(solver.assembly_report().is_none(), "nothing was assembled");
+        assert_eq!(report.predicted_assembly_seconds, 0.0);
+    }
+
+    #[test]
+    fn hybrid_iteration_extremes_collapse_at_the_solver_level() {
+        use sc_gpu::DevicePool;
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        let cfg = ScConfig::optimized(true, false);
+        let collapse = |iters: f64| {
+            let pool = DevicePool::uniform(DeviceSpec::a100(), 1, 2);
+            let opts = FetiOptions {
+                dual: DualMode::Hybrid {
+                    cfg,
+                    pool,
+                    opts: hybrid_opts(iters, true, sc_core::HybridForce::Auto),
+                },
+                ..Default::default()
+            };
+            let solver = FetiSolver::new(&p, &opts);
+            let r = solver.hybrid_report().unwrap().plan.clone();
+            (
+                r.count_of(sc_core::Formulation::Implicit),
+                r.count_of(sc_core::Formulation::ExplicitGpu)
+                    + r.count_of(sc_core::Formulation::ExplicitCpu),
+            )
+        };
+        let (impl0, expl0) = collapse(0.0);
+        assert_eq!(impl0, p.subdomains.len(), "iters→0 must go all-implicit");
+        assert_eq!(expl0, 0);
+        let (impl_inf, expl_inf) = collapse(f64::INFINITY);
+        assert_eq!(impl_inf, 0, "iters→∞ must go all-explicit");
+        assert_eq!(expl_inf, p.subdomains.len());
     }
 
     #[test]

@@ -55,20 +55,41 @@ impl DeviceSpec {
         }
     }
 
-    /// Look a spec up by short name (`"a100"`, `"h100"`, `"tiny"`) — the
-    /// registry behind CLI flags like `--devices a100,h100`.
+    /// The **host CPU** expressed in the same duration-model vocabulary as
+    /// the accelerators, so the hybrid planner can price CPU-side work
+    /// (explicit-CPU assembly, implicit applies) against GPU placements with
+    /// one cost function. Multicore FP64 throughput of a server-class CPU,
+    /// DRAM bandwidth, no interconnect penalty (transfers are memcpys), and
+    /// a near-zero "launch" (function call) overhead.
+    pub fn host() -> Self {
+        DeviceSpec {
+            name: "sim-host-cpu",
+            fp64_gflops: 250.0,
+            mem_bandwidth_gbps: 100.0,
+            pcie_bandwidth_gbps: 100.0,
+            kernel_launch_us: 0.05,
+            concurrency: 32,
+            // CPUs have no occupancy ramp to speak of
+            occupancy_half_flops: 1.0e4,
+            memory_bytes: 256 * (1usize << 30),
+        }
+    }
+
+    /// Look a spec up by short name (`"a100"`, `"h100"`, `"tiny"`,
+    /// `"host"`) — the registry behind CLI flags like `--devices a100,h100`.
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "a100" => Some(Self::a100()),
             "h100" => Some(Self::h100()),
             "tiny" => Some(Self::tiny_test_device()),
+            "host" => Some(Self::host()),
             _ => None,
         }
     }
 
     /// Short names accepted by [`DeviceSpec::from_name`].
     pub fn registry() -> &'static [&'static str] {
-        &["a100", "h100", "tiny"]
+        &["a100", "h100", "tiny", "host"]
     }
 
     /// A deliberately small test device: tiny memory and high launch

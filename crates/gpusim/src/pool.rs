@@ -62,6 +62,30 @@ impl DevicePool {
         &self.devices
     }
 
+    /// Per-device temporary-arena capacities in bytes, pool order — the
+    /// admissibility inputs of the cluster and hybrid planners.
+    pub fn arena_capacities(&self) -> Vec<usize> {
+        self.devices.iter().map(|d| d.arena_capacity()).collect()
+    }
+
+    /// Largest temporary-arena capacity among devices that can actually run
+    /// work (`n_streams > 0`); 0 for an empty or fully drained pool. A
+    /// subdomain whose peak temporaries exceed this can never be assembled
+    /// explicitly on this pool — the hybrid planner's spill threshold.
+    pub fn max_arena_capacity(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.n_streams() > 0)
+            .map(|d| d.arena_capacity())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total stream count across the pool (parallel capacity of the node).
+    pub fn total_streams(&self) -> usize {
+        self.devices.iter().map(|d| d.n_streams()).sum()
+    }
+
     /// Pool-wide synchronize: the latest simulated completion time across
     /// all devices (the cluster makespan when every device started at 0).
     pub fn synchronize_all(&self) -> f64 {
@@ -124,5 +148,28 @@ mod tests {
         assert!(
             DeviceSpec::from_name("h100").unwrap().fp64_gflops > DeviceSpec::a100().fp64_gflops
         );
+        // the host entry prices CPU-side work: far below accelerator peak
+        let host = DeviceSpec::from_name("host").unwrap();
+        assert!(host.fp64_gflops < DeviceSpec::a100().fp64_gflops / 10.0);
+    }
+
+    #[test]
+    fn capacity_queries_report_usable_arenas() {
+        let pool = DevicePool::from_devices(vec![
+            Device::new(DeviceSpec::a100(), 0), // drained: unusable
+            Device::new(DeviceSpec::tiny_test_device(), 2),
+        ]);
+        let caps = pool.arena_capacities();
+        assert_eq!(caps.len(), 2);
+        assert_eq!(caps[0], DeviceSpec::a100().memory_bytes / 2);
+        // the drained A100's big arena must not count as usable
+        assert_eq!(
+            pool.max_arena_capacity(),
+            DeviceSpec::tiny_test_device().memory_bytes / 2
+        );
+        assert_eq!(pool.total_streams(), 2);
+        let empty = DevicePool::from_devices(Vec::new());
+        assert_eq!(empty.max_arena_capacity(), 0);
+        assert_eq!(empty.total_streams(), 0);
     }
 }

@@ -85,6 +85,13 @@ impl Device {
         &self.temp_pool
     }
 
+    /// Temporary-arena capacity in bytes — the admissibility bound planners
+    /// check before placing a subdomain's temporaries on this device
+    /// (shorthand for `temp_pool().capacity()`).
+    pub fn arena_capacity(&self) -> usize {
+        self.temp_pool.capacity()
+    }
+
     /// Handle to stream `i`.
     pub fn stream(self: &Arc<Self>, i: usize) -> Stream {
         Stream {

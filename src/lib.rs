@@ -48,18 +48,22 @@ pub use sc_sparse;
 pub mod prelude {
     pub use sc_core::{
         assemble_sc, assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_gpu,
-        assemble_sc_batch_scheduled, plan_cluster, BatchItem, BatchReport, BatchResult,
+        assemble_sc_batch_scheduled, estimate_apply, estimate_cost, plan_cluster,
+        plan_cluster_spill, plan_hybrid, ApplyEstimate, BatchItem, BatchReport, BatchResult,
         BlockCutsCache, BlockParam, ClusterOptions, ClusterPlan, ClusterPlanError, ClusterReport,
-        ClusterResult, CostEstimate, CpuExec, DeviceSlot, FactorStorage, GpuExec, RecordingExec,
-        ScConfig, ScParams, ScheduleOptions, ScheduledSpan, SteppedRhs, StreamPolicy,
-        SubdomainTiming, SyrkVariant, TrsmVariant,
+        ClusterResult, CostEstimate, CpuExec, DeviceSlot, FactorStorage, Formulation, GpuExec,
+        HybridForce, HybridPlan, HybridPlanOptions, RecordingExec, ScConfig, ScParams,
+        ScheduleOptions, ScheduledSpan, SteppedRhs, StreamPolicy, SubdomainTiming, SyrkVariant,
+        TrsmVariant,
     };
     pub use sc_dense::Mat;
     pub use sc_factor::{CholOptions, Engine, SparseCholesky};
     pub use sc_fem::{Gluing, HeatProblem};
     pub use sc_feti::solver::DualMode;
     pub use sc_feti::{
-        preprocess_approach, DualOpApproach, FetiOptions, FetiSolution, FetiSolver, PcpgBreakdown,
+        apply_implicit, apply_implicit_with, preprocess_approach, BoundaryMap, DualOpApproach,
+        DualOperator, FetiOptions, FetiSolution, FetiSolver, HybridOptions, HybridReport,
+        PcpgBreakdown, SubdomainFactors,
     };
     pub use sc_gpu::{Device, DevicePool, DeviceSpec, GpuKernels};
     pub use sc_order::Ordering;
