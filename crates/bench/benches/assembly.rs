@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sc_bench::{BatchWorkload, KernelWorkload};
 use sc_core::{
-    assemble_sc, assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_scheduled,
-    ClusterOptions, CpuExec, FactorStorage, ScConfig, ScheduleOptions, StreamPolicy,
+    assemble_sc, AssemblySession, Backend, CpuExec, FactorStorage, ScConfig, ScheduleOptions,
+    StreamPolicy,
 };
 use sc_factor::schur_from_factor;
 use sc_gpu::{Device, DevicePool, DeviceSpec};
@@ -54,7 +54,8 @@ fn bench_batch(c: &mut Criterion) {
         });
         group.bench_function(format!("{dim}d/batched/{nsub}sub/n{}", w.n), |b| {
             let items = w.items();
-            b.iter(|| std::hint::black_box(assemble_sc_batch(&items, &cfg)))
+            let session = AssemblySession::new(Backend::cpu(), cfg);
+            b.iter(|| std::hint::black_box(session.assemble(&items)))
         });
     }
     group.finish();
@@ -76,20 +77,30 @@ fn bench_gpu_schedule(c: &mut Criterion) {
         ("round_robin", StreamPolicy::RoundRobin),
         ("scheduled", StreamPolicy::LptLeastLoaded),
     ] {
-        let opts = ScheduleOptions {
-            policy,
-            ready_at: None,
-        };
+        let opts = ScheduleOptions::default().with_policy(policy);
         let dev = Device::new(DeviceSpec::a100(), 4);
-        let res = assemble_sc_batch_scheduled(&items, &cfg, &dev, &opts);
+        let session = AssemblySession::new(
+            Backend::Gpu {
+                device: dev,
+                schedule: opts.clone(),
+            },
+            cfg,
+        );
+        let res = session.assemble(&items);
         println!(
             "gpu_schedule/{name}: simulated makespan {:.3} ms over {nsub} subdomains",
-            res.report.device_seconds * 1e3
+            res.report.makespan * 1e3
         );
         group.bench_function(format!("{name}/{nsub}sub/n{}", w.n), |b| {
             b.iter(|| {
-                let dev = Device::new(DeviceSpec::a100(), 4);
-                std::hint::black_box(assemble_sc_batch_scheduled(&items, &cfg, &dev, &opts))
+                let session = AssemblySession::new(
+                    Backend::Gpu {
+                        device: Device::new(DeviceSpec::a100(), 4),
+                        schedule: opts.clone(),
+                    },
+                    cfg,
+                );
+                std::hint::black_box(session.assemble(&items))
             })
         });
     }
@@ -109,7 +120,7 @@ fn bench_cluster(c: &mut Criterion) {
     let nsub = w.n_subdomains();
     for n_devices in [1usize, 4] {
         let pool = DevicePool::uniform(DeviceSpec::a100(), n_devices, 4);
-        let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+        let res = AssemblySession::new(Backend::cluster(pool), cfg).assemble(&items);
         println!(
             "cluster_assembly/{n_devices}dev: simulated makespan {:.3} ms over {nsub} subdomains",
             res.report.makespan * 1e3
@@ -117,12 +128,8 @@ fn bench_cluster(c: &mut Criterion) {
         group.bench_function(format!("{n_devices}dev/{nsub}sub/n{}", w.n), |b| {
             b.iter(|| {
                 let pool = DevicePool::uniform(DeviceSpec::a100(), n_devices, 4);
-                std::hint::black_box(assemble_sc_batch_cluster(
-                    &items,
-                    &cfg,
-                    &pool,
-                    &ClusterOptions::default(),
-                ))
+                let session = AssemblySession::new(Backend::cluster(pool), cfg);
+                std::hint::black_box(session.assemble(&items))
             })
         });
     }

@@ -3,11 +3,10 @@
 //! small solve.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sc_core::ScConfig;
+use sc_core::{Backend, ScConfig};
 use sc_factor::Engine;
 use sc_fem::{Gluing, HeatProblem};
-use sc_feti::solver::{DualMode, FetiOptions, FetiSolver};
-use sc_feti::SubdomainFactors;
+use sc_feti::{FetiSolverBuilder, FormulationChoice, SubdomainFactors};
 use sc_order::Ordering;
 
 fn bench_factorization(c: &mut Criterion) {
@@ -33,26 +32,64 @@ fn bench_solve(c: &mut Criterion) {
     let mut group = c.benchmark_group("feti_solve");
     group.sample_size(10);
     let p = HeatProblem::build_2d(6, (2, 2), Gluing::Redundant);
-    for (name, dual) in [
-        ("implicit", DualMode::Implicit),
-        (
-            "explicit_cpu",
-            DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
-        ),
+    for (name, formulation) in [
+        ("implicit", FormulationChoice::Implicit),
+        ("explicit_cpu", FormulationChoice::Explicit),
     ] {
-        let opts = FetiOptions {
-            dual,
-            ..Default::default()
-        };
         group.bench_function(name, |b| {
+            let formulation = formulation.clone();
             b.iter(|| {
-                let solver = FetiSolver::new(&p, &opts);
-                std::hint::black_box(solver.solve(&opts))
+                let solver = FetiSolverBuilder::new()
+                    .backend(Backend::cpu())
+                    .formulation(formulation.clone())
+                    .assembly(ScConfig::optimized(false, false))
+                    .build(&p);
+                std::hint::black_box(solver.solve())
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_factorization, bench_solve);
+/// Multi-RHS amortization: one preprocessed handle serving 8 load cases vs
+/// rebuilding the solver per case — the reuse path the headline bin gates.
+fn bench_multi_rhs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feti_multi_rhs");
+    group.sample_size(10);
+    let p = HeatProblem::build_2d(8, (2, 2), Gluing::Redundant);
+    let loads: Vec<Vec<Vec<f64>>> = (0..8)
+        .map(|k| {
+            p.subdomains
+                .iter()
+                .map(|sd| sd.f.iter().map(|v| v * (1.0 + 0.05 * k as f64)).collect())
+                .collect()
+        })
+        .collect();
+    let build = || {
+        FetiSolverBuilder::new()
+            .backend(Backend::cpu())
+            .formulation(FormulationChoice::Explicit)
+            .assembly(ScConfig::optimized(false, false))
+            .build(&p)
+    };
+    group.bench_function("reuse_handle/8rhs", |b| {
+        b.iter(|| {
+            let solver = build();
+            for f in &loads {
+                std::hint::black_box(solver.solve_rhs(f));
+            }
+        })
+    });
+    group.bench_function("rebuild_per_rhs/8rhs", |b| {
+        b.iter(|| {
+            for f in &loads {
+                let solver = build();
+                std::hint::black_box(solver.solve_rhs(f));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization, bench_solve, bench_multi_rhs);
 criterion_main!(benches);

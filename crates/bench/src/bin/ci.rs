@@ -30,11 +30,41 @@ use std::process::Command;
 /// when their speedup gates regress.
 const PERF_BINS: &[&str] = &["headline", "schedule", "cluster", "hybrid"];
 
-const STAGES: &[&str] = &["fmt", "clippy", "build", "test", "doc", "perf-gate"];
+const STAGES: &[&str] = &[
+    "fmt",
+    "clippy",
+    "deprecation-budget",
+    "build",
+    "test",
+    "doc",
+    "examples",
+    "perf-gate",
+];
+
+/// Every example of the facade crate, built and run by the `examples`
+/// stage (the workflow's examples matrix leg drives one each).
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "heat2d_feti",
+    "heat3d_gpu_assembly",
+    "amortization",
+    "tuning",
+];
+
+/// Files allowed to contain an `allow` of `deprecated`: the legacy re-export
+/// sites, the DualMode translation shim, and the old-vs-new bitwise
+/// equivalence test. Everything else must be migrated, not silenced.
+const DEPRECATION_ALLOWLIST: &[&str] = &[
+    "src/lib.rs",
+    "crates/core/src/lib.rs",
+    "crates/feti/src/compat.rs",
+    "tests/api_surface.rs",
+];
 
 struct Args {
     stage: String,
     only: Option<String>,
+    only_example: Option<String>,
     out: PathBuf,
 }
 
@@ -42,6 +72,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         stage: "all".to_string(),
         only: None,
+        only_example: None,
         out: PathBuf::from("target/bench-json"),
     };
     let mut it = std::env::args().skip(1);
@@ -49,6 +80,9 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--stage" => args.stage = it.next().expect("--stage needs a value"),
             "--only" => args.only = Some(it.next().expect("--only needs a bin name")),
+            "--only-example" => {
+                args.only_example = Some(it.next().expect("--only-example needs a name"))
+            }
             "--out" => args.out = it.next().expect("--out needs a path").into(),
             other => eprintln!("ignoring unknown argument {other}"),
         }
@@ -63,7 +97,80 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     }
+    if let Some(ex) = &args.only_example {
+        if !EXAMPLES.contains(&ex.as_str()) {
+            eprintln!("unknown example '{ex}' — examples: {EXAMPLES:?}");
+            std::process::exit(2);
+        }
+    }
     args
+}
+
+/// The deprecation budget: scan every workspace `.rs` file for an `allow`
+/// (or `expect`) of the `deprecated` lint and fail when one appears outside
+/// the shim allowlist — deprecated API uses must be migrated, not silenced.
+fn deprecation_budget() {
+    println!("\n== ci step: deprecation-budget ==");
+    // needles assembled at runtime so this scanner does not flag itself;
+    // no closing paren so multi-lint attributes still match
+    let needles = [
+        format!("allow({}", "deprecated"),
+        format!("expect({}", "deprecated"),
+    ];
+    // anchor at the workspace root regardless of the invocation cwd
+    // (CARGO_MANIFEST_DIR is crates/bench)
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut stack = Vec::new();
+    for dir in ["src", "crates", "tests", "examples"] {
+        let path = root.join(dir);
+        assert!(
+            path.is_dir(),
+            "deprecation-budget: workspace directory {} not found — refusing \
+             to report a clean budget over nothing",
+            path.display()
+        );
+        stack.push(path);
+    }
+    let mut violations = Vec::new();
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("deprecation-budget: cannot read {}: {e}", dir.display()));
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let Ok(text) = std::fs::read_to_string(&path) else {
+                    continue;
+                };
+                if needles.iter().any(|n| text.contains(n)) {
+                    let rel = path
+                        .strip_prefix(&root)
+                        .unwrap_or(&path)
+                        .to_string_lossy()
+                        .into_owned();
+                    if !DEPRECATION_ALLOWLIST.iter().any(|a| rel == *a) {
+                        violations.push(rel);
+                    }
+                }
+            }
+        }
+    }
+    if !violations.is_empty() {
+        violations.sort();
+        eprintln!(
+            "FAIL [deprecation-budget]: allow/expect of the deprecated lint \
+             outside the shim allowlist {DEPRECATION_ALLOWLIST:?}:"
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("deprecation budget clean (allowlist: {DEPRECATION_ALLOWLIST:?})");
 }
 
 /// Run one command with inherited stdio; exit the whole driver on failure
@@ -107,6 +214,9 @@ fn main() {
             ]),
         );
     }
+    if run("deprecation-budget") {
+        deprecation_budget();
+    }
     if run("build") {
         step(
             "build",
@@ -120,6 +230,22 @@ fn main() {
         let mut doc = cargo(&["doc", "--workspace", "--no-deps"]);
         doc.env("RUSTDOCFLAGS", "-D warnings");
         step("doc", doc);
+    }
+    if run("examples") {
+        step(
+            "examples:build",
+            cargo(&["build", "--release", "--examples"]),
+        );
+        let examples: Vec<&str> = match &args.only_example {
+            Some(ex) => vec![ex.as_str()],
+            None => EXAMPLES.to_vec(),
+        };
+        for ex in examples {
+            step(
+                &format!("examples:run:{ex}"),
+                cargo(&["run", "--release", "--example", ex]),
+            );
+        }
     }
     if run("perf-gate") {
         let bins: Vec<&str> = match &args.only {

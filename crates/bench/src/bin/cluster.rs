@@ -12,14 +12,14 @@
 //! (`--devices` picks the heterogeneous row's specs by registry name).
 
 use sc_bench::{BatchWorkload, Table};
-use sc_core::{assemble_sc_batch_cluster, ClusterOptions, ClusterResult, ScConfig};
+use sc_core::{AssemblyResult, AssemblySession, Backend, ScConfig};
 use sc_gpu::{DevicePool, DeviceSpec};
 use std::sync::Arc;
 
 const N_STREAMS: usize = 4;
 
-fn run(items: &[sc_core::BatchItem<'_>], cfg: &ScConfig, pool: &Arc<DevicePool>) -> ClusterResult {
-    assemble_sc_batch_cluster(items, cfg, pool, &ClusterOptions::default())
+fn run(items: &[sc_core::BatchItem<'_>], cfg: &ScConfig, pool: &Arc<DevicePool>) -> AssemblyResult {
+    AssemblySession::new(Backend::cluster(Arc::clone(pool)), *cfg).assemble(items)
 }
 
 /// Parse `--devices a100,h100` (the heterogeneous pool's specs by registry
@@ -74,17 +74,22 @@ fn main() {
     );
 
     let mut baseline: Option<f64> = None;
-    let mut row = |name: &str, res: &ClusterResult, n_devices: usize| -> f64 {
+    let mut row = |name: &str, res: &AssemblyResult, n_devices: usize| -> f64 {
         let makespan = res.report.makespan;
         let base = *baseline.get_or_insert(makespan);
         let speedup = base / makespan;
         let util_min = res
             .report
-            .utilization
+            .devices
             .iter()
-            .copied()
+            .map(|d| d.utilization)
             .fold(f64::INFINITY, f64::min);
-        let util_max = res.report.utilization.iter().copied().fold(0.0, f64::max);
+        let util_max = res
+            .report
+            .devices
+            .iter()
+            .map(|d| d.utilization)
+            .fold(0.0, f64::max);
         table.row(vec![
             name.to_string(),
             format!("{:.3}", makespan * 1e3),
@@ -96,7 +101,7 @@ fn main() {
         speedup
     };
 
-    let mut reference: Option<ClusterResult> = None;
+    let mut reference: Option<AssemblyResult> = None;
     let mut speedup4 = 0.0;
     for n_devices in [1usize, 2, 4] {
         let pool = DevicePool::uniform(DeviceSpec::a100(), n_devices, N_STREAMS);
@@ -129,7 +134,7 @@ fn main() {
         .join(" + ");
     let pool = DevicePool::heterogeneous(&specs, N_STREAMS);
     let res = run(&items, &cfg, &pool);
-    let last_share = res.report.partition.last().map_or(0, |p| p.len());
+    let last_share = res.report.devices.last().map_or(0, |d| d.subdomains.len());
     row(&mix_name, &res, specs.len());
     let reference = reference.expect("1-device run recorded");
     for i in 0..items.len() {
@@ -152,7 +157,7 @@ fn main() {
             metrics = metrics.field(&format!("makespan_{name}_s"), *makespan);
         }
         metrics = metrics.field("heterogeneous_last_device_share", last_share);
-        let record = sc_bench::bench_record(
+        let record = sc_bench::bench_record_with_report(
             "cluster",
             sc_bench::Json::obj()
                 .field("name", "cluster32")
@@ -160,6 +165,7 @@ fn main() {
                 .field("size_spread", w.size_spread())
                 .field("n_streams", N_STREAMS),
             metrics,
+            sc_bench::report_json(&res.report),
         );
         if let Err(err) = sc_bench::write_json(path, &record) {
             eprintln!("warning: failed to write {}: {err}", path.display());

@@ -22,9 +22,9 @@
 
 use sc_bench::{bench_record, write_json, BatchWorkload, Json, Table};
 use sc_core::{
-    assemble_sc, assemble_sc_batch_cluster_map, estimate_apply, estimate_cost, plan_hybrid,
-    ApplyEstimate, ClusterOptions, CostEstimate, CpuExec, DeviceSlot, Formulation, HybridForce,
-    HybridPlan, HybridPlanOptions, ScConfig,
+    assemble_sc, estimate_apply, estimate_cost, plan_hybrid, ApplyEstimate, AssemblySession,
+    Backend, CostEstimate, CpuExec, DeviceSlot, Formulation, HybridForce, HybridPlan,
+    HybridPlanOptions, ScConfig,
 };
 use sc_gpu::{DevicePool, DeviceSpec};
 
@@ -99,11 +99,9 @@ fn main() {
             &costs,
             &applies,
             &slots,
-            &HybridPlanOptions {
-                iters,
-                force,
-                ..Default::default()
-            },
+            &HybridPlanOptions::default()
+                .with_iters(iters)
+                .with_force(force),
         )
     };
     let hybrid = plan_with(HybridForce::Auto);
@@ -154,14 +152,8 @@ fn main() {
         (0.0, 0)
     } else {
         let share: Vec<sc_core::BatchItem<'_>> = gpu_idx.iter().map(|&g| items[g]).collect();
-        let res = assemble_sc_batch_cluster_map(
-            &share,
-            &cfg,
-            &pool,
-            &ClusterOptions::default(),
-            |_, it| std::borrow::Cow::Borrowed(it.l),
-            |it| it.bt,
-        );
+        let res = AssemblySession::new(Backend::cluster(std::sync::Arc::clone(&pool)), cfg)
+            .assemble(&share);
         for (local, &g) in gpu_idx.iter().enumerate() {
             let reference = assemble_sc(&mut CpuExec, items[g].l, items[g].bt, &cfg);
             assert_eq!(

@@ -10,10 +10,7 @@
 //! Usage: `cargo run -p sc_bench --release --bin schedule [--max-dofs N]`
 
 use sc_bench::{BatchWorkload, BenchArgs, Table};
-use sc_core::{
-    assemble_sc_batch_gpu, assemble_sc_batch_scheduled, BatchResult, ScConfig, ScheduleOptions,
-    StreamPolicy,
-};
+use sc_core::{AssemblyResult, AssemblySession, Backend, ScConfig, ScheduleOptions, StreamPolicy};
 use sc_gpu::{Device, DeviceSpec};
 use std::sync::Arc;
 
@@ -23,17 +20,16 @@ fn run(
     policy: StreamPolicy,
     spec: DeviceSpec,
     n_streams: usize,
-) -> (BatchResult, f64, f64) {
+) -> (AssemblyResult, f64, f64) {
     let device: Arc<Device> = Device::new(spec, n_streams);
-    let res = assemble_sc_batch_scheduled(
-        items,
-        cfg,
-        &device,
-        &ScheduleOptions {
-            policy,
-            ready_at: None,
+    let session = AssemblySession::new(
+        Backend::Gpu {
+            device: Arc::clone(&device),
+            schedule: ScheduleOptions::default().with_policy(policy),
         },
+        *cfg,
     );
+    let res = session.assemble(items);
     let makespan = device.synchronize();
     let busy = device.busy_seconds();
     (res, makespan, busy)
@@ -70,25 +66,15 @@ fn main() {
         ],
     );
 
-    let fmt_row = |name: &str, res: &BatchResult, makespan: f64, busy: f64| {
+    let fmt_row = |name: &str, res: &AssemblyResult, makespan: f64, busy: f64| {
         vec![
             name.to_string(),
             format!("{:.3}", makespan * 1e3),
             format!("{:.3}", busy * 1e3),
-            format!("{:.1}", res.report.temp_high_water as f64 / 1024.0),
+            format!("{:.1}", res.report.temp_high_water() as f64 / 1024.0),
             format!("{:.3}", res.report.total_seconds * 1e3),
         ]
     };
-
-    // legacy live round-robin driver (threaded submission, reference only)
-    let dev_legacy = Device::new(DeviceSpec::a100(), n_streams);
-    let legacy = assemble_sc_batch_gpu(&items, &cfg, &dev_legacy);
-    table.row(fmt_row(
-        "round-robin (live threads)",
-        &legacy,
-        dev_legacy.synchronize(),
-        dev_legacy.busy_seconds(),
-    ));
 
     let (rr, rr_makespan, rr_busy) = run(
         &items,
@@ -139,7 +125,7 @@ fn main() {
     );
 
     if let Some(path) = &args.json {
-        let record = sc_bench::bench_record(
+        let record = sc_bench::bench_record_with_report(
             "schedule",
             sc_bench::Json::obj()
                 .field("name", "skewed_batch")
@@ -154,8 +140,9 @@ fn main() {
                 .field("lpt_busy_s", lpt_busy)
                 .field(
                     "tight_arena_high_water_bytes",
-                    lpt_tight.report.temp_high_water,
+                    lpt_tight.report.temp_high_water(),
                 ),
+            sc_bench::report_json(&lpt.report),
         );
         if let Err(err) = sc_bench::write_json(path, &record) {
             eprintln!("warning: failed to write {}: {err}", path.display());

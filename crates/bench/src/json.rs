@@ -9,12 +9,16 @@
 //! `results/bench.json`, the committed trajectory the CI perf-gate diffs
 //! against (warn-only — the hard gates are the bins' own exit codes).
 
+use sc_core::AssemblyReport;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
 /// Schema tag stamped into every record; bump on breaking shape changes.
-pub const BENCH_SCHEMA: &str = "sc-bench/v1";
+/// v2: records may carry an `assembly_report` section rendered by
+/// [`report_json`] — the unified [`AssemblyReport`] schema shared by every
+/// execution target (CPU / GPU / cluster / hybrid).
+pub const BENCH_SCHEMA: &str = "sc-bench/v2";
 
 /// A JSON value with insertion-ordered object keys.
 #[derive(Clone, Debug)]
@@ -189,6 +193,100 @@ pub fn bench_record(bin: &str, workload: Json, metrics: Json) -> Json {
         .field("git", git_describe())
         .field("workload", workload)
         .field("metrics", metrics)
+}
+
+/// [`bench_record`] plus the unified `assembly_report` section (use
+/// [`report_json`] to render it). One schema regardless of which backend
+/// produced the report.
+pub fn bench_record_with_report(bin: &str, workload: Json, metrics: Json, report: Json) -> Json {
+    bench_record(bin, workload, metrics).field("assembly_report", report)
+}
+
+/// Render an [`AssemblyReport`] under the one nested v2 schema:
+/// per-subdomain timings → per-stream spans → per-device roll-up → hybrid
+/// decisions. Every execution target emits the same shape; sections that do
+/// not apply are empty/absent, never renamed.
+pub fn report_json(report: &AssemblyReport) -> Json {
+    let subdomains: Vec<Json> = report
+        .subdomains
+        .iter()
+        .map(|t| {
+            let mut o = Json::obj()
+                .field("index", t.index)
+                .field("n_dofs", t.n_dofs)
+                .field("n_lambda", t.n_lambda)
+                .field("seconds", t.seconds)
+                .field("host_seconds", t.host_seconds);
+            if let Some(d) = t.device {
+                o = o.field("device", d);
+            }
+            if let Some(s) = t.stream {
+                o = o.field("stream", s);
+            }
+            o
+        })
+        .collect();
+    let devices: Vec<Json> = report
+        .devices
+        .iter()
+        .map(|d| {
+            let streams: Vec<Json> = d
+                .stream_lanes()
+                .iter()
+                .map(|lane| {
+                    let spans: Vec<Json> = lane
+                        .spans
+                        .iter()
+                        .map(|e| {
+                            Json::obj()
+                                .field("index", e.index)
+                                .field("admitted_at", e.admitted_at)
+                                .field("start", e.span.start)
+                                .field("end", e.span.end)
+                                .field("temp_bytes", e.temp_bytes)
+                        })
+                        .collect();
+                    Json::obj()
+                        .field("stream", lane.stream)
+                        .field("spans", spans)
+                })
+                .collect();
+            Json::obj()
+                .field("device", d.device)
+                .field("n_subdomains", d.subdomains.len())
+                .field("makespan_s", d.makespan)
+                .field("utilization", d.utilization)
+                .field("temp_high_water_bytes", d.temp_high_water)
+                .field("streams", streams)
+        })
+        .collect();
+    let mut out = Json::obj()
+        .field("total_seconds", report.total_seconds)
+        .field("makespan_s", report.makespan)
+        .field("speedup", report.speedup())
+        .field("cache_hits", report.cache_hits)
+        .field("cache_misses", report.cache_misses)
+        .field("subdomains", subdomains)
+        .field("devices", devices);
+    if let Some(h) = &report.hybrid {
+        let formulation: Vec<Json> = h
+            .formulation
+            .iter()
+            .map(|f| Json::Str(format!("{f:?}")))
+            .collect();
+        let spilled: Vec<Json> = h.spilled.iter().map(|&i| Json::from(i)).collect();
+        out = out.field(
+            "hybrid",
+            Json::obj()
+                .field("formulation", formulation)
+                .field("spilled", spilled)
+                .field("predicted_assembly_s", h.predicted_assembly_seconds)
+                .field("realized_gpu_s", h.realized_gpu_seconds)
+                .field("realized_cpu_s", h.realized_cpu_seconds)
+                .field("arena_high_water_bytes", h.arena_high_water),
+        );
+    }
+    out
 }
 
 /// Write a rendered value to `path`, creating parent directories.

@@ -17,7 +17,10 @@ pub mod runner;
 pub mod timing;
 pub mod workloads;
 
-pub use json::{bench_record, git_describe, write_json, Json, BENCH_SCHEMA};
+pub use json::{
+    bench_record, bench_record_with_report, git_describe, report_json, write_json, Json,
+    BENCH_SCHEMA,
+};
 pub use report::{write_csv, Table};
 pub use runner::{
     time_assembly_cpu, time_assembly_gpu, time_syrk_cpu, time_syrk_gpu, time_trsm_cpu,

@@ -329,10 +329,12 @@ mod tests {
 
     #[test]
     fn batched_assembly_matches_sequential_on_workload() {
-        use sc_core::{assemble_sc, assemble_sc_batch, CpuExec, ScConfig};
+        use sc_core::{assemble_sc, AssemblySession, Backend, CpuExec, ScConfig};
         let w = BatchWorkload::build(2, 3);
         let cfg = ScConfig::optimized(false, false);
-        let batch = assemble_sc_batch(&w.items(), &cfg);
+        // the factor pairs are a BatchSource themselves — no BatchItem
+        // wrapping needed
+        let batch = AssemblySession::new(Backend::cpu(), cfg).assemble(w.factors.as_slice());
         for (i, (l, bt)) in w.factors.iter().enumerate() {
             let seq = assemble_sc(&mut CpuExec, l, bt, &cfg);
             assert_eq!(batch.f[i], seq, "subdomain {i}");

@@ -69,8 +69,8 @@ impl ScParams {
 }
 
 /// Assembler configuration: either every knob fixed up front, or a
-/// per-subdomain Table-1-style automatic selection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// per-subdomain Table-1-style automatic selection (the default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ScConfig {
     /// Use exactly these parameters for every subdomain.
     Fixed(ScParams),
@@ -82,6 +82,7 @@ pub enum ScConfig {
     /// from the factor fill (3D nested-dissection factors are far denser
     /// than 2D ones), and very small subdomains fall back to the plain
     /// kernels, whose launch overhead beats splitting at those sizes.
+    #[default]
     Auto,
 }
 

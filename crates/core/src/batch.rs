@@ -9,20 +9,36 @@
 //! [`BlockParam`](crate::tune::BlockParam) partitions exactly once, and
 //! recording per-subdomain timings for load-balance diagnostics.
 //!
-//! Three GPU drivers exist:
+//! The public entry point is
+//! [`AssemblySession::assemble`](crate::session::AssemblySession::assemble), which
+//! dispatches on a [`Backend`](crate::Backend) value (CPU / one GPU /
+//! device pool / hybrid). The free functions still exported here —
+//! [`assemble_sc_batch`], [`assemble_sc_batch_gpu`],
+//! [`assemble_sc_batch_scheduled`], [`assemble_sc_batch_cluster`] — are
+//! thin `#[deprecated]` wrappers kept for one release so downstream code
+//! migrates with a warning instead of a break; their `_map` twins are gone
+//! (lazy per-task factor derivation now goes through
+//! [`LazyBatch`](crate::source::LazyBatch)).
 //!
-//! - [`assemble_sc_batch_gpu`] — the paper's 16-stream submission loop with
-//!   **round-robin** stream assignment: one host worker per stream, each
-//!   processing its subdomains in index order;
-//! - [`assemble_sc_batch_scheduled`] — the **memory-aware, cost-model-driven
-//!   scheduler** of [`crate::schedule`] (paper §4.4): LPT ordering onto the
+//! Execution targets:
+//!
+//! - **CPU** — one rayon task per subdomain;
+//! - **GPU, round-robin** — the paper's 16-stream submission loop (one host
+//!   worker per stream, in index order; reachable only through the
+//!   deprecated [`assemble_sc_batch_gpu`] — [`Backend::Gpu`](crate::session::Backend::Gpu)
+//!   schedules instead);
+//! - **GPU, scheduled** — the **memory-aware, cost-model-driven scheduler**
+//!   of [`crate::schedule`] (paper §4.4): LPT ordering onto the
 //!   least-loaded stream, admission against the device's temporary arena
 //!   ("wait"), optional host-readiness overlap ("mix"), and a deterministic
 //!   record-then-replay execution so the simulated timeline is reproducible
 //!   run to run;
-//! - the `_map` variants of both, which derive each subdomain's factor
-//!   inside its own task (bounded peak memory for clusters with hundreds of
-//!   subdomains).
+//! - **cluster** — a two-level plan sharding the batch across a device
+//!   pool, each device replaying its share through the scheduled machinery;
+//! - **hybrid spill** — the cluster plan with
+//!   [`plan_cluster_spill_by`](crate::schedule::plan_cluster_spill_by):
+//!   subdomains that fit no device arena keep their host-computed `F̃ᵢ`
+//!   instead of erroring.
 //!
 //! Results are **identical** to running [`assemble_sc`](crate::assemble_sc) per subdomain
 //! sequentially: every subdomain's pipeline is independent and the cache only
@@ -38,8 +54,9 @@
 //! clocks; the GPU makespan lives in [`BatchReport::device_seconds`].
 
 use crate::assemble::{assemble_sc_with_cache, ScConfig};
-use crate::exec::{CpuExec, Exec, GpuExec, RecordingExec};
+use crate::exec::{Exec, GpuExec, RecordingExec};
 use crate::schedule::{self, ArenaSim, ScheduleOptions, ScheduledSpan, StreamPolicy};
+use crate::source::BatchSource;
 use crate::tune::BlockCutsCache;
 use rayon::prelude::*;
 use sc_dense::Mat;
@@ -79,6 +96,9 @@ pub struct SubdomainTiming {
     pub stream: Option<usize>,
     /// Simulated execution span on that stream (`None` on the CPU driver).
     pub span: Option<SimSpan>,
+    /// Pool device the subdomain ran on (`None` on the CPU driver; `Some(0)`
+    /// on the single-device GPU drivers).
+    pub device: Option<usize>,
 }
 
 /// Aggregate diagnostics of one batched assembly.
@@ -143,8 +163,23 @@ pub struct BatchResult {
 ///
 /// One rayon task per subdomain — the paper's one-thread-per-subdomain
 /// cluster loop — all sharing a single [`BlockCutsCache`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use AssemblySession::new(Backend::cpu(), cfg).assemble(items)"
+)]
 pub fn assemble_sc_batch(items: &[BatchItem<'_>], cfg: &ScConfig) -> BatchResult {
-    assemble_sc_batch_with(items, cfg, |_| CpuExec)
+    batch_cpu(items, cfg)
+}
+
+/// CPU batch driver over any [`BatchSource`].
+pub(crate) fn batch_cpu<S: BatchSource>(src: S, cfg: &ScConfig) -> BatchResult {
+    run_batch(src.len(), |i, cache| {
+        let l = src.factor(i);
+        let bt = src.gluing(i);
+        let mut exec = crate::exec::CpuExec;
+        let f = assemble_sc_with_cache(&mut exec, &l, bt, cfg, Some(cache));
+        (f, l.ncols(), bt.ncols())
+    })
 }
 
 /// Assemble every subdomain's `F̃ᵢ` on the simulated GPU with **round-robin**
@@ -155,48 +190,40 @@ pub fn assemble_sc_batch(items: &[BatchItem<'_>], cfg: &ScConfig) -> BatchResult
 /// transfer cost. Call `device.synchronize()` afterwards for the simulated
 /// device time, or read [`BatchReport::device_seconds`].
 ///
-/// For the cost-model-driven alternative, see
-/// [`assemble_sc_batch_scheduled`].
+/// The unified surface ([`Backend::Gpu`](crate::session::Backend::Gpu)) always
+/// schedules; this live round-robin loop survives only behind this wrapper
+/// as the pre-scheduler comparison baseline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use AssemblySession::new(Backend::gpu(device), cfg).assemble(items) \
+            (with StreamPolicy::RoundRobin for the blind-assignment baseline)"
+)]
 pub fn assemble_sc_batch_gpu(
     items: &[BatchItem<'_>],
     cfg: &ScConfig,
     device: &std::sync::Arc<Device>,
 ) -> BatchResult {
-    assemble_sc_batch_gpu_map(
-        items,
-        cfg,
-        device,
-        |_, item| std::borrow::Cow::Borrowed(item.l),
-        |item| item.bt,
-    )
+    batch_gpu_rr(items, cfg, device)
 }
 
-/// GPU variant of [`assemble_sc_batch_map`]: `prepare` yields each
-/// subdomain's factor (borrowed when it already exists, owned when derived
-/// inside the task), subdomains are round-robined over the device's streams
-/// (one host worker per stream, in-order within a stream), and the
-/// sequential `explicit_gpu` transfer pattern is reproduced per subdomain
-/// (H2D factor + gluing upload before the kernels, placeholder D2H sync
-/// after — the result stays resident on the device).
-pub fn assemble_sc_batch_gpu_map<T, FP, FB>(
-    items: &[T],
+/// Live round-robin GPU driver over any [`BatchSource`]: subdomains are
+/// round-robined over the device's streams (one host worker per stream,
+/// in-order within a stream), and the sequential `explicit_gpu` transfer
+/// pattern is reproduced per subdomain (H2D factor + gluing upload before
+/// the kernels, placeholder D2H sync after — the result stays resident on
+/// the device).
+pub(crate) fn batch_gpu_rr<S: BatchSource>(
+    src: S,
     cfg: &ScConfig,
     device: &std::sync::Arc<Device>,
-    prepare: FP,
-    bt_of: FB,
-) -> BatchResult
-where
-    T: Sync,
-    FP: for<'a> Fn(usize, &'a T) -> std::borrow::Cow<'a, Csc> + Sync + Send,
-    FB: Fn(&T) -> &Csc + Sync + Send,
-{
-    if items.is_empty() {
+) -> BatchResult {
+    if src.is_empty() {
         return empty_batch_result();
     }
     assert!(
         device.n_streams() > 0,
         "cannot run a GPU batch of {} subdomains on a device with 0 streams",
-        items.len()
+        src.len()
     );
     let n_streams = device.n_streams();
     let cache = BlockCutsCache::new();
@@ -209,11 +236,10 @@ where
         .map(|s| {
             let mut out = Vec::new();
             let mut i = s;
-            while i < items.len() {
+            while i < src.len() {
                 let t_host = Instant::now();
-                let item = &items[i];
-                let l = prepare(i, item);
-                let bt = bt_of(item);
+                let l = src.factor(i);
+                let bt = src.gluing(i);
                 let kernels = GpuKernels::new(device.stream(s));
                 kernels.upload_csc(&l);
                 kernels.upload_csc(bt);
@@ -233,6 +259,7 @@ where
                         host_seconds: t_host.elapsed().as_secs_f64(),
                         stream: Some(s),
                         span: Some(span),
+                        device: Some(0),
                     },
                 ));
                 i += n_streams;
@@ -244,7 +271,7 @@ where
     let total_seconds = t0.elapsed().as_secs_f64();
 
     // stitch the per-stream outputs back into batch order
-    let count = items.len();
+    let count = src.len();
     let mut slots: Vec<Option<(Mat, SubdomainTiming)>> = (0..count).map(|_| None).collect();
     for chunk in per_stream {
         for entry in chunk {
@@ -285,57 +312,43 @@ where
 /// kernel sequences replay serially into the device timeline in
 /// deterministic stream-clock order — the simulated timeline is reproducible
 /// run to run, unlike live multi-threaded submission.
+#[deprecated(
+    since = "0.2.0",
+    note = "use AssemblySession::new(Backend::Gpu { device, schedule }, cfg).assemble(items)"
+)]
 pub fn assemble_sc_batch_scheduled(
     items: &[BatchItem<'_>],
     cfg: &ScConfig,
     device: &std::sync::Arc<Device>,
     opts: &ScheduleOptions,
 ) -> BatchResult {
-    assemble_sc_batch_scheduled_map(
-        items,
-        cfg,
-        device,
-        opts,
-        |_, item| std::borrow::Cow::Borrowed(item.l),
-        |item| item.bt,
-    )
+    batch_scheduled(items, cfg, device, opts)
 }
 
-/// [`assemble_sc_batch_scheduled`] with per-task factor derivation (the
-/// `_map` shape used by [`FetiSolver`]-style callers whose factors are
-/// extracted per subdomain).
-///
-/// [`FetiSolver`]: ../../sc_feti/struct.FetiSolver.html
-pub fn assemble_sc_batch_scheduled_map<T, FP, FB>(
-    items: &[T],
+/// §4.4 scheduled GPU driver over any [`BatchSource`].
+pub(crate) fn batch_scheduled<S: BatchSource>(
+    src: S,
     cfg: &ScConfig,
     device: &std::sync::Arc<Device>,
     opts: &ScheduleOptions,
-    prepare: FP,
-    bt_of: FB,
-) -> BatchResult
-where
-    T: Sync,
-    FP: for<'a> Fn(usize, &'a T) -> std::borrow::Cow<'a, Csc> + Sync + Send,
-    FB: Fn(&T) -> &Csc + Sync + Send,
-{
+) -> BatchResult {
     if let Some(ready) = opts.ready_at.as_ref() {
         assert_eq!(
             ready.len(),
-            items.len(),
+            src.len(),
             "ScheduleOptions::ready_at must carry one readiness time per \
              batch item ({} given, {} items)",
             ready.len(),
-            items.len()
+            src.len()
         );
     }
-    if items.is_empty() {
+    if src.is_empty() {
         return empty_batch_result();
     }
     assert!(
         device.n_streams() > 0,
         "cannot schedule a batch of {} subdomains onto a device with 0 streams",
-        items.len()
+        src.len()
     );
     let cache = BlockCutsCache::new();
     let t0 = Instant::now();
@@ -343,7 +356,7 @@ where
     let spec = device.spec().clone();
 
     // phase 1: host-parallel compute + cost recording
-    let recorded = record_scheduled_batch(items, cfg, &spec, &cache, &prepare, &bt_of);
+    let recorded = record_scheduled_batch(&src, cfg, &spec, &cache);
 
     // phase 2: plan + deterministic replay onto the device
     let refs: Vec<&Recorded> = recorded.iter().collect();
@@ -353,8 +366,8 @@ where
     let device_seconds = device.synchronize() - sync0;
 
     // assemble the report in batch order
-    let mut f = Vec::with_capacity(items.len());
-    let mut timings = Vec::with_capacity(items.len());
+    let mut f = Vec::with_capacity(src.len());
+    let mut timings = Vec::with_capacity(src.len());
     for (i, r) in recorded.into_iter().enumerate() {
         let (stream, span) = outcome.spans[i].expect("every subdomain was replayed");
         f.push(r.f);
@@ -366,6 +379,7 @@ where
             host_seconds: r.host_seconds,
             stream: Some(stream),
             span: Some(span),
+            device: Some(0),
         });
     }
     BatchResult {
@@ -395,26 +409,18 @@ struct Recorded {
 /// Phase 1 of the scheduled/cluster drivers: host-parallel numerics through
 /// [`RecordingExec`], plus per-subdomain analytic cost estimates under
 /// `spec` (a reference spec — planners re-price per device as needed).
-fn record_scheduled_batch<T, FP, FB>(
-    items: &[T],
+fn record_scheduled_batch<S: BatchSource>(
+    src: &S,
     cfg: &ScConfig,
     spec: &sc_gpu::DeviceSpec,
     cache: &BlockCutsCache,
-    prepare: &FP,
-    bt_of: &FB,
-) -> Vec<Recorded>
-where
-    T: Sync,
-    FP: for<'a> Fn(usize, &'a T) -> std::borrow::Cow<'a, Csc> + Sync + Send,
-    FB: Fn(&T) -> &Csc + Sync + Send,
-{
-    (0..items.len())
+) -> Vec<Recorded> {
+    (0..src.len())
         .into_par_iter()
         .map(|i| {
             let t_host = Instant::now();
-            let item = &items[i];
-            let l = prepare(i, item);
-            let bt = bt_of(item);
+            let l = src.factor(i);
+            let bt = src.gluing(i);
             let params = cfg.resolve(true, &l, bt);
             let estimate = schedule::estimate_cost(spec, &l, bt, &params, i);
             let mut rec = RecordingExec::new();
@@ -581,14 +587,40 @@ fn replay_recorded(
     }
 }
 
-/// Options of the cluster (multi-device) batch driver.
+/// Options of the cluster (multi-device) batch driver — the `opts` payload
+/// of [`Backend::Cluster`](crate::session::Backend::Cluster) and
+/// [`Backend::Hybrid`](crate::session::Backend::Hybrid).
+///
+/// Construct with [`Default`] and the `with_*` setters (the struct is
+/// `#[non_exhaustive]`, so it may grow fields without breaking callers):
+///
+/// ```
+/// use sc_core::{ClusterOptions, StreamPolicy};
+/// let opts = ClusterOptions::default().with_policy(StreamPolicy::LptLeastLoaded);
+/// assert!(opts.ready_at.is_none());
+/// ```
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct ClusterOptions {
     /// Per-device stream-assignment policy (the second planning level).
     pub policy: StreamPolicy,
     /// Per-subdomain host-readiness times, indexed like the input batch
     /// (the "mix" configuration; sliced per device by the partition).
     pub ready_at: Option<Vec<f64>>,
+}
+
+impl ClusterOptions {
+    /// Set the per-device stream-assignment policy.
+    pub fn with_policy(mut self, policy: StreamPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set per-subdomain host-readiness times (the "mix" configuration).
+    pub fn with_ready_at(mut self, ready_at: Vec<f64>) -> Self {
+        self.ready_at = Some(ready_at);
+        self
+    }
 }
 
 /// Roll-up diagnostics of one cluster-sharded batched assembly.
@@ -682,52 +714,64 @@ pub struct ClusterResult {
 /// When the pool is empty or a subdomain's temporaries exceed every
 /// device's arena (see
 /// [`ClusterPlanError`](crate::schedule::ClusterPlanError)).
+#[deprecated(
+    since = "0.2.0",
+    note = "use AssemblySession::new(Backend::Cluster { pool, opts }, cfg).assemble(items)"
+)]
 pub fn assemble_sc_batch_cluster(
     items: &[BatchItem<'_>],
     cfg: &ScConfig,
     pool: &DevicePool,
     opts: &ClusterOptions,
 ) -> ClusterResult {
-    assemble_sc_batch_cluster_map(
-        items,
-        cfg,
-        pool,
-        opts,
-        |_, item| std::borrow::Cow::Borrowed(item.l),
-        |item| item.bt,
-    )
+    let out = batch_cluster_impl(items, cfg, pool, opts, false);
+    ClusterResult {
+        f: out.f,
+        report: out.report,
+    }
 }
 
-/// [`assemble_sc_batch_cluster`] with per-task factor derivation (the
-/// `_map` shape used by [`FetiSolver`]-style callers).
-///
-/// [`FetiSolver`]: ../../sc_feti/struct.FetiSolver.html
-pub fn assemble_sc_batch_cluster_map<T, FP, FB>(
-    items: &[T],
+/// Outcome of the internal cluster driver, including the spill channel used
+/// by [`Backend::Hybrid`](crate::session::Backend::Hybrid): subdomains that fit no
+/// device arena keep their host-computed `F̃ᵢ` (the record phase computes
+/// every subdomain's numerics host-side anyway) and are reported separately.
+pub(crate) struct ClusterSpillOutcome {
+    /// Assembled local dual operators, batch order — **including** spilled
+    /// subdomains (theirs come from the host record phase).
+    pub f: Vec<Mat>,
+    /// Per-device roll-up; spilled subdomains appear in no device report and
+    /// hold `usize::MAX` in `device_of`.
+    pub report: ClusterReport,
+    /// Batch indices that fit no device arena, ascending.
+    pub spilled: Vec<usize>,
+    /// Host timings of the spilled subdomains, in spill order.
+    pub spill_timings: Vec<SubdomainTiming>,
+}
+
+/// Two-level cluster driver over any [`BatchSource`]. With
+/// `allow_spill = false` an over-arena subdomain panics with the
+/// descriptive [`ClusterPlanError`](crate::schedule::ClusterPlanError);
+/// with `allow_spill = true` it falls back to its host-computed `F̃ᵢ`.
+pub(crate) fn batch_cluster_impl<S: BatchSource>(
+    src: S,
     cfg: &ScConfig,
     pool: &DevicePool,
     opts: &ClusterOptions,
-    prepare: FP,
-    bt_of: FB,
-) -> ClusterResult
-where
-    T: Sync,
-    FP: for<'a> Fn(usize, &'a T) -> std::borrow::Cow<'a, Csc> + Sync + Send,
-    FB: Fn(&T) -> &Csc + Sync + Send,
-{
+    allow_spill: bool,
+) -> ClusterSpillOutcome {
     if let Some(ready) = opts.ready_at.as_ref() {
         assert_eq!(
             ready.len(),
-            items.len(),
+            src.len(),
             "ClusterOptions::ready_at must carry one readiness time per \
              batch item ({} given, {} items)",
             ready.len(),
-            items.len()
+            src.len()
         );
     }
     let t0 = Instant::now();
-    if items.is_empty() {
-        return ClusterResult {
+    if src.is_empty() {
+        return ClusterSpillOutcome {
             f: Vec::new(),
             report: ClusterReport {
                 per_device: vec![BatchReport::default(); pool.n_devices()],
@@ -737,6 +781,8 @@ where
                 utilization: vec![0.0; pool.n_devices()],
                 total_seconds: t0.elapsed().as_secs_f64(),
             },
+            spilled: Vec::new(),
+            spill_timings: Vec::new(),
         };
     }
 
@@ -747,11 +793,11 @@ where
     );
 
     // phase 1: record every subdomain **once** — the numerics, kernel
-    // sequences, and cost estimates feed both planning levels, so `prepare`
-    // (which may derive the factor) runs once per subdomain
+    // sequences, and cost estimates feed both planning levels, so a lazy
+    // source's factor derivation runs once per subdomain
     let cache = BlockCutsCache::new();
     let ref_spec = pool.device(0).spec().clone();
-    let recorded = record_scheduled_batch(items, cfg, &ref_spec, &cache, &prepare, &bt_of);
+    let recorded = record_scheduled_batch(&src, cfg, &ref_spec, &cache);
 
     // level 1: partition across devices, pricing each subdomain's recorded
     // kernel sequence under every device's own duration model — launch
@@ -772,8 +818,18 @@ where
                 .collect()
         })
         .collect();
-    let cplan = schedule::plan_cluster_by(&costs, &slots, |c, d| kernel_seconds[c.index][d])
-        .unwrap_or_else(|e| panic!("cluster partition failed: {e}"));
+    let (cplan, spilled) =
+        schedule::plan_cluster_spill_by(&costs, &slots, |c, d| kernel_seconds[c.index][d])
+            .unwrap_or_else(|e| panic!("cluster partition failed: {e}"));
+    if !allow_spill && !spilled.is_empty() {
+        panic!(
+            "cluster partition failed: {}",
+            schedule::ClusterPlanError::Spilled {
+                spilled,
+                max_arena: schedule::max_usable_arena(&slots),
+            }
+        );
+    }
 
     // level 2: each device plans its share with the single-device LPT
     // stream scheduler (estimates refined under *its own* duration model)
@@ -819,6 +875,7 @@ where
                 host_seconds: recorded[g].host_seconds,
                 stream: Some(stream),
                 span: Some(span),
+                device: Some(d),
             });
         }
         let mut schedule_log = outcome.executed;
@@ -843,12 +900,27 @@ where
         });
     }
 
+    // spilled subdomains keep their host-computed numerics; report them as
+    // host timings (no stream, no device)
+    let spill_timings: Vec<SubdomainTiming> = spilled
+        .iter()
+        .map(|&g| SubdomainTiming {
+            index: g,
+            n_dofs: recorded[g].estimate.n_dofs,
+            n_lambda: recorded[g].estimate.n_lambda,
+            seconds: recorded[g].host_seconds,
+            host_seconds: recorded[g].host_seconds,
+            stream: None,
+            span: None,
+            device: None,
+        })
+        .collect();
     let f: Vec<Mat> = recorded.into_iter().map(|r| r.f).collect();
     let total_seconds = t0.elapsed().as_secs_f64();
     for rep in &mut per_device {
         rep.total_seconds = total_seconds;
     }
-    ClusterResult {
+    ClusterSpillOutcome {
         f,
         report: ClusterReport {
             per_device,
@@ -858,6 +930,8 @@ where
             utilization,
             total_seconds,
         },
+        spilled,
+        spill_timings,
     }
 }
 
@@ -871,6 +945,11 @@ fn empty_batch_result() -> BatchResult {
 
 /// Generic batched assembly over any [`Exec`] backend: `make_exec(i)` builds
 /// the backend for subdomain `i` (e.g. binding it to a GPU stream).
+#[deprecated(
+    since = "0.2.0",
+    note = "use AssemblySession with a Backend value; custom Exec fan-outs \
+            can call assemble_sc_with_cache directly"
+)]
 pub fn assemble_sc_batch_with<E, F>(
     items: &[BatchItem<'_>],
     cfg: &ScConfig,
@@ -885,36 +964,6 @@ where
         let mut exec = make_exec(i);
         let f = assemble_sc_with_cache(&mut exec, item.l, item.bt, cfg, Some(cache));
         (f, item.l.ncols(), item.bt.ncols())
-    })
-}
-
-/// Batched assembly where each subdomain's factor is **derived inside its
-/// own task** rather than precomputed: `prepare(i, item)` returns the owned
-/// CSC factor (charging any upload cost to the backend as a side effect) and
-/// `bt_of(item)` borrows the gluing block. Peak memory holds at most one
-/// in-flight factor copy per worker thread instead of one per subdomain —
-/// the right shape for clusters with hundreds of subdomains.
-pub fn assemble_sc_batch_map<T, E, FE, FP, FB>(
-    items: &[T],
-    cfg: &ScConfig,
-    make_exec: FE,
-    prepare: FP,
-    bt_of: FB,
-) -> BatchResult
-where
-    T: Sync,
-    E: Exec,
-    FE: Fn(usize) -> E + Sync + Send,
-    FP: Fn(usize, &T) -> Csc + Sync + Send,
-    FB: Fn(&T) -> &Csc + Sync + Send,
-{
-    run_batch(items.len(), |i, cache| {
-        let item = &items[i];
-        let l = prepare(i, item);
-        let bt = bt_of(item);
-        let mut exec = make_exec(i);
-        let f = assemble_sc_with_cache(&mut exec, &l, bt, cfg, Some(cache));
-        (f, l.ncols(), bt.ncols())
     })
 }
 
@@ -940,6 +989,7 @@ where
                 host_seconds,
                 stream: None,
                 span: None,
+                device: None,
             };
             (f, timing)
         })
@@ -970,6 +1020,7 @@ where
 mod tests {
     use super::*;
     use crate::assemble::assemble_sc;
+    use crate::exec::CpuExec;
     use crate::schedule::StreamPolicy;
     use crate::trsm::FactorStorage;
     use sc_factor::{CholOptions, SparseCholesky};
@@ -1043,7 +1094,7 @@ mod tests {
             ScConfig::original(FactorStorage::Sparse),
             ScConfig::Auto,
         ] {
-            let batch = assemble_sc_batch(&items, &cfg);
+            let batch = batch_cpu(items.as_slice(), &cfg);
             assert_eq!(batch.f.len(), items.len());
             for (i, (l, bt)) in data.iter().enumerate() {
                 let seq = assemble_sc(&mut CpuExec, l, bt, &cfg);
@@ -1060,7 +1111,7 @@ mod tests {
         let data = factorized(&cluster(8, 6, 10));
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let cfg = ScConfig::optimized(false, false);
-        let batch = assemble_sc_batch(&items, &cfg);
+        let batch = batch_cpu(items.as_slice(), &cfg);
         let r = &batch.report;
         // Equal-size subdomains: after the first resolution per (param, n)
         // the rest must hit. With 8 subdomains there are far more lookups
@@ -1084,9 +1135,9 @@ mod tests {
         let data = factorized(&cluster(8, 6, 10));
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let cfg = ScConfig::optimized(true, false);
-        let cpu = assemble_sc_batch(&items, &cfg);
+        let cpu = batch_cpu(items.as_slice(), &cfg);
         let dev = Device::new(DeviceSpec::a100(), 4);
-        let gpu = assemble_sc_batch_gpu(&items, &cfg, &dev);
+        let gpu = batch_gpu_rr(items.as_slice(), &cfg, &dev);
         for i in 0..items.len() {
             assert_eq!(cpu.f[i], gpu.f[i], "backend mismatch at subdomain {i}");
         }
@@ -1103,7 +1154,7 @@ mod tests {
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let cfg = ScConfig::optimized(true, false);
         let dev = Device::new(DeviceSpec::a100(), 3);
-        let gpu = assemble_sc_batch_gpu(&items, &cfg, &dev);
+        let gpu = batch_gpu_rr(items.as_slice(), &cfg, &dev);
         let sync = dev.synchronize();
         let sum: f64 = gpu.report.timings.iter().map(|t| t.seconds).sum();
         assert!(
@@ -1143,7 +1194,7 @@ mod tests {
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         for cfg in [ScConfig::optimized(true, false), ScConfig::Auto] {
             let dev = Device::new(DeviceSpec::a100(), 4);
-            let a = assemble_sc_batch_scheduled(&items, &cfg, &dev, &ScheduleOptions::default());
+            let a = batch_scheduled(items.as_slice(), &cfg, &dev, &ScheduleOptions::default());
             for (i, (l, bt)) in data.iter().enumerate() {
                 // sequential host reference; RecordingExec resolves Auto with
                 // the same GPU-platform flag the scheduled driver uses while
@@ -1157,7 +1208,7 @@ mod tests {
             }
             // reproducible simulated timeline on a fresh device
             let dev2 = Device::new(DeviceSpec::a100(), 4);
-            let b = assemble_sc_batch_scheduled(&items, &cfg, &dev2, &ScheduleOptions::default());
+            let b = batch_scheduled(items.as_slice(), &cfg, &dev2, &ScheduleOptions::default());
             assert_eq!(dev.synchronize(), dev2.synchronize());
             for (x, y) in a.report.schedule.iter().zip(&b.report.schedule) {
                 assert_eq!(x.index, y.index);
@@ -1177,17 +1228,14 @@ mod tests {
         let cfg = ScConfig::optimized(true, false);
 
         let dev_rr = Device::new(DeviceSpec::a100(), 4);
-        let rr = assemble_sc_batch_scheduled(
-            &items,
+        let rr = batch_scheduled(
+            items.as_slice(),
             &cfg,
             &dev_rr,
-            &ScheduleOptions {
-                policy: StreamPolicy::RoundRobin,
-                ready_at: None,
-            },
+            &ScheduleOptions::default().with_policy(StreamPolicy::RoundRobin),
         );
         let dev_s = Device::new(DeviceSpec::a100(), 4);
-        let sched = assemble_sc_batch_scheduled(&items, &cfg, &dev_s, &ScheduleOptions::default());
+        let sched = batch_scheduled(items.as_slice(), &cfg, &dev_s, &ScheduleOptions::default());
         assert!(
             dev_s.synchronize() < dev_rr.synchronize(),
             "LPT schedule {} must beat round-robin {}",
@@ -1211,8 +1259,8 @@ mod tests {
         };
         let dev = Device::new(spec, 4);
         let capacity = dev.temp_pool().capacity();
-        let res = assemble_sc_batch_scheduled(
-            &items,
+        let res = batch_scheduled(
+            items.as_slice(),
             &ScConfig::optimized(true, false),
             &dev,
             &ScheduleOptions::default(),
@@ -1235,8 +1283,8 @@ mod tests {
 
         // control: with the full A100 arena the same batch never stalls
         let dev_big = Device::new(DeviceSpec::a100(), 4);
-        let res_big = assemble_sc_batch_scheduled(
-            &items,
+        let res_big = batch_scheduled(
+            items.as_slice(),
             &ScConfig::optimized(true, false),
             &dev_big,
             &ScheduleOptions::default(),
@@ -1258,14 +1306,13 @@ mod tests {
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let dev = Device::new(DeviceSpec::a100(), 2);
         let ready = vec![0.5, 0.25, 0.0, 1.0];
-        let res = assemble_sc_batch_scheduled(
-            &items,
+        let res = batch_scheduled(
+            items.as_slice(),
             &ScConfig::optimized(true, false),
             &dev,
-            &ScheduleOptions {
-                policy: StreamPolicy::LptLeastLoaded,
-                ready_at: Some(ready.clone()),
-            },
+            &ScheduleOptions::default()
+                .with_policy(StreamPolicy::LptLeastLoaded)
+                .with_ready_at(ready.clone()),
         );
         for e in &res.report.schedule {
             assert!(
@@ -1280,14 +1327,14 @@ mod tests {
 
     #[test]
     fn empty_batch_is_fine() {
-        let batch = assemble_sc_batch(&[], &ScConfig::optimized(false, false));
+        let empty: &[BatchItem] = &[];
+        let batch = batch_cpu(empty, &ScConfig::optimized(false, false));
         assert!(batch.f.is_empty());
         assert_eq!(batch.report.cache_hits + batch.report.cache_misses, 0);
         let dev = Device::new(DeviceSpec::a100(), 2);
-        let gpu = assemble_sc_batch_gpu(&[], &ScConfig::optimized(true, false), &dev);
+        let gpu = batch_gpu_rr(empty, &ScConfig::optimized(true, false), &dev);
         assert!(gpu.f.is_empty());
-        let sched =
-            assemble_sc_batch_scheduled(&[], &ScConfig::Auto, &dev, &ScheduleOptions::default());
+        let sched = batch_scheduled(empty, &ScConfig::Auto, &dev, &ScheduleOptions::default());
         assert!(sched.f.is_empty());
         assert!(sched.report.schedule.is_empty());
         // empty batches never touch the device timeline
@@ -1295,13 +1342,25 @@ mod tests {
         assert_eq!(dev.launches(), 0);
         // cluster driver: clean empty report, even on an empty pool
         let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
-        let cl = assemble_sc_batch_cluster(&[], &ScConfig::Auto, &pool, &ClusterOptions::default());
+        let cl = batch_cluster_impl(
+            empty,
+            &ScConfig::Auto,
+            &pool,
+            &ClusterOptions::default(),
+            false,
+        );
         assert!(cl.f.is_empty());
         assert_eq!(cl.report.n_devices(), 2);
         assert_eq!(cl.report.makespan, 0.0);
         assert!(cl.report.device_of.is_empty());
         let none = DevicePool::from_devices(Vec::new());
-        let cl = assemble_sc_batch_cluster(&[], &ScConfig::Auto, &none, &ClusterOptions::default());
+        let cl = batch_cluster_impl(
+            empty,
+            &ScConfig::Auto,
+            &none,
+            &ClusterOptions::default(),
+            false,
+        );
         assert!(cl.f.is_empty() && cl.report.per_device.is_empty());
     }
 
@@ -1311,10 +1370,11 @@ mod tests {
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let cfg = ScConfig::optimized(true, false);
         // empty batches are fine even on a 0-stream device
+        let empty: &[BatchItem] = &[];
         let dev0 = Device::new(DeviceSpec::a100(), 0);
-        assert!(assemble_sc_batch_gpu(&[], &cfg, &dev0).f.is_empty());
+        assert!(batch_gpu_rr(empty, &cfg, &dev0).f.is_empty());
         assert!(
-            assemble_sc_batch_scheduled(&[], &cfg, &dev0, &ScheduleOptions::default())
+            batch_scheduled(empty, &cfg, &dev0, &ScheduleOptions::default())
                 .f
                 .is_empty()
         );
@@ -1324,9 +1384,9 @@ mod tests {
             let dev = Device::new(DeviceSpec::a100(), 0);
             let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if run {
-                    assemble_sc_batch_gpu(&items, &cfg, &dev);
+                    batch_gpu_rr(items.as_slice(), &cfg, &dev);
                 } else {
-                    assemble_sc_batch_scheduled(&items, &cfg, &dev, &ScheduleOptions::default());
+                    batch_scheduled(items.as_slice(), &cfg, &dev, &ScheduleOptions::default());
                 }
             }))
             .unwrap_err();
@@ -1344,7 +1404,13 @@ mod tests {
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         for cfg in [ScConfig::optimized(true, false), ScConfig::Auto] {
             let pool = DevicePool::uniform(DeviceSpec::a100(), 3, 2);
-            let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+            let res = batch_cluster_impl(
+                items.as_slice(),
+                &cfg,
+                &pool,
+                &ClusterOptions::default(),
+                false,
+            );
             for (i, (l, bt)) in data.iter().enumerate() {
                 let seq = assemble_sc(&mut RecordingExec::new(), l, bt, &cfg);
                 assert_eq!(res.f[i], seq, "cluster F̃ must be bitwise sequential ({i})");
@@ -1389,9 +1455,21 @@ mod tests {
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let cfg = ScConfig::optimized(true, false);
         let one = DevicePool::uniform(DeviceSpec::a100(), 1, 4);
-        let r1 = assemble_sc_batch_cluster(&items, &cfg, &one, &ClusterOptions::default());
+        let r1 = batch_cluster_impl(
+            items.as_slice(),
+            &cfg,
+            &one,
+            &ClusterOptions::default(),
+            false,
+        );
         let four = DevicePool::uniform(DeviceSpec::a100(), 4, 4);
-        let r4 = assemble_sc_batch_cluster(&items, &cfg, &four, &ClusterOptions::default());
+        let r4 = batch_cluster_impl(
+            items.as_slice(),
+            &cfg,
+            &four,
+            &ClusterOptions::default(),
+            false,
+        );
         assert!(
             r4.report.makespan < r1.report.makespan,
             "4 devices ({}) must beat 1 device ({})",
@@ -1400,7 +1478,7 @@ mod tests {
         );
         // the single-device cluster path is exactly the scheduled driver
         let dev = Device::new(DeviceSpec::a100(), 4);
-        let sched = assemble_sc_batch_scheduled(&items, &cfg, &dev, &ScheduleOptions::default());
+        let sched = batch_scheduled(items.as_slice(), &cfg, &dev, &ScheduleOptions::default());
         assert_eq!(r1.report.makespan, sched.report.device_seconds);
         for i in 0..items.len() {
             assert_eq!(r1.f[i], sched.f[i]);
@@ -1432,7 +1510,13 @@ mod tests {
             oversized > 0,
             "workload must contain tiny-card-oversized subdomains"
         );
-        let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+        let res = batch_cluster_impl(
+            items.as_slice(),
+            &cfg,
+            &pool,
+            &ClusterOptions::default(),
+            false,
+        );
         for (i, it) in items.iter().enumerate() {
             let params = cfg.resolve(true, it.l, it.bt);
             let est = crate::schedule::estimate_cost(&spec, it.l, it.bt, &params, i);
@@ -1457,14 +1541,14 @@ mod tests {
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
         let ready: Vec<f64> = (0..items.len()).map(|i| 0.25 * i as f64).collect();
-        let res = assemble_sc_batch_cluster(
-            &items,
+        let res = batch_cluster_impl(
+            items.as_slice(),
             &ScConfig::optimized(true, false),
             &pool,
-            &ClusterOptions {
-                policy: StreamPolicy::LptLeastLoaded,
-                ready_at: Some(ready.clone()),
-            },
+            &ClusterOptions::default()
+                .with_policy(StreamPolicy::LptLeastLoaded)
+                .with_ready_at(ready.clone()),
+            false,
         );
         for rep in &res.report.per_device {
             for e in &rep.schedule {
@@ -1491,7 +1575,13 @@ mod tests {
             Device::new(DeviceSpec::a100(), 0),
             Device::new(DeviceSpec::a100(), 4),
         ]);
-        let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
+        let res = batch_cluster_impl(
+            items.as_slice(),
+            &cfg,
+            &pool,
+            &ClusterOptions::default(),
+            false,
+        );
         assert!(
             res.report.partition[0].is_empty(),
             "dead card must stay idle"
@@ -1512,11 +1602,12 @@ mod tests {
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let pool = DevicePool::uniform(DeviceSpec::tiny_test_device(), 2, 2);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = assemble_sc_batch_cluster(
-                &items,
+            let _ = batch_cluster_impl(
+                items.as_slice(),
                 &ScConfig::optimized(true, false),
                 &pool,
                 &ClusterOptions::default(),
+                false,
             );
         }))
         .unwrap_err();
@@ -1554,15 +1645,14 @@ mod tests {
             ScConfig::original(FactorStorage::Dense),
             ScConfig::Auto,
         ] {
-            let batch = assemble_sc_batch(&items, &cfg);
+            let batch = batch_cpu(items.as_slice(), &cfg);
             assert_eq!(batch.f[0].nrows(), 0);
             assert_eq!(batch.f[0].ncols(), 0);
             assert_eq!(batch.f[1].nrows(), 1);
             assert!(batch.f[1][(0, 0)] > 0.0, "1×1 F̃ must be positive");
             let dev = Device::new(DeviceSpec::a100(), 2);
-            let gpu = assemble_sc_batch_gpu(&items, &cfg, &dev);
-            let sched =
-                assemble_sc_batch_scheduled(&items, &cfg, &dev, &ScheduleOptions::default());
+            let gpu = batch_gpu_rr(items.as_slice(), &cfg, &dev);
+            let sched = batch_scheduled(items.as_slice(), &cfg, &dev, &ScheduleOptions::default());
             for i in 0..items.len() {
                 assert_eq!(batch.f[i], gpu.f[i], "gpu mismatch at {i}");
                 assert_eq!(batch.f[i], sched.f[i], "scheduled mismatch at {i}");

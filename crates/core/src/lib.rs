@@ -22,6 +22,8 @@ pub mod assemble;
 pub mod batch;
 pub mod exec;
 pub mod schedule;
+pub mod session;
+pub mod source;
 pub mod stepped;
 pub mod syrk;
 pub mod trsm;
@@ -31,11 +33,16 @@ pub use assemble::{
     assemble_sc, assemble_sc_reference, assemble_sc_with_cache, ScConfig, ScParams,
 };
 pub use batch::{
-    assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_cluster_map,
-    assemble_sc_batch_gpu, assemble_sc_batch_gpu_map, assemble_sc_batch_map,
-    assemble_sc_batch_scheduled, assemble_sc_batch_scheduled_map, assemble_sc_batch_with,
     BatchItem, BatchReport, BatchResult, ClusterOptions, ClusterReport, ClusterResult,
     SubdomainTiming,
+};
+// Deprecated free-function drivers, re-exported for one release so old call
+// sites migrate with a warning instead of a break. New code goes through
+// `AssemblySession::assemble`.
+#[allow(deprecated)]
+pub use batch::{
+    assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_gpu,
+    assemble_sc_batch_scheduled, assemble_sc_batch_with,
 };
 pub use exec::{CpuExec, Exec, GpuExec, RecordingExec};
 pub use schedule::{
@@ -44,6 +51,11 @@ pub use schedule::{
     HybridChoice, HybridForce, HybridPlan, HybridPlanOptions, ScheduleOptions, ScheduledSpan,
     StreamPlan, StreamPolicy,
 };
+pub use session::{
+    AssemblyReport, AssemblyResult, AssemblySession, Backend, DeviceReport, HybridSummary,
+    StreamLane,
+};
+pub use source::{BatchSource, IntoBatchSource, LazyBatch};
 pub use stepped::SteppedRhs;
 pub use syrk::{run_syrk as run_syrk_variant, run_syrk_with_cache, SyrkVariant};
 pub use trsm::{run_trsm as run_trsm_variant, run_trsm_with_cache, FactorStorage, TrsmVariant};

@@ -44,8 +44,21 @@ pub enum StreamPolicy {
     LptLeastLoaded,
 }
 
-/// Options of the scheduled batch driver.
+/// Options of the scheduled (single-device) batch driver — the `schedule`
+/// payload of [`Backend::Gpu`](crate::Backend::Gpu).
+///
+/// Construct with [`Default`] and the `with_*` setters (the struct is
+/// `#[non_exhaustive]`, so it may grow fields without breaking callers):
+///
+/// ```
+/// use sc_core::{ScheduleOptions, StreamPolicy};
+/// let opts = ScheduleOptions::default()
+///     .with_policy(StreamPolicy::RoundRobin)
+///     .with_ready_at(vec![0.0, 0.5]);
+/// assert_eq!(opts.policy, StreamPolicy::RoundRobin);
+/// ```
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct ScheduleOptions {
     /// Stream-assignment policy.
     pub policy: StreamPolicy,
@@ -55,6 +68,20 @@ pub struct ScheduleOptions {
     /// via `Device::advance_stream`). `None` means everything is ready at
     /// `t = 0` (the "wait"-only configuration).
     pub ready_at: Option<Vec<f64>>,
+}
+
+impl ScheduleOptions {
+    /// Set the stream-assignment policy.
+    pub fn with_policy(mut self, policy: StreamPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set per-subdomain host-readiness times (the "mix" configuration).
+    pub fn with_ready_at(mut self, ready_at: Vec<f64>) -> Self {
+        self.ready_at = Some(ready_at);
+        self
+    }
 }
 
 /// Cost estimate of one subdomain's assembly, derived from the stepped
@@ -418,8 +445,10 @@ pub fn plan_cluster_by(
     }
 }
 
-/// Largest arena capacity among stream-capable devices (0 when none).
-fn max_usable_arena(devices: &[DeviceSlot]) -> usize {
+/// Largest arena capacity among stream-capable devices (0 when none) —
+/// the payload of [`ClusterPlanError::Spilled`], shared with the batch
+/// driver's strict (non-spill) failure path.
+pub(crate) fn max_usable_arena(devices: &[DeviceSlot]) -> usize {
     devices
         .iter()
         .filter(|d| d.is_usable())
@@ -546,7 +575,20 @@ pub enum HybridForce {
 }
 
 /// Inputs of [`plan_hybrid`] beyond the per-subdomain estimates.
+///
+/// Construct with [`Default`] and the `with_*` setters (the struct is
+/// `#[non_exhaustive]`: the decision layer is expected to grow knobs):
+///
+/// ```
+/// use sc_core::{HybridForce, HybridPlanOptions};
+/// let opts = HybridPlanOptions::default()
+///     .with_iters(120.0)
+///     .with_allow_explicit_cpu(false)
+///     .with_force(HybridForce::Auto);
+/// assert_eq!(opts.iters, 120.0);
+/// ```
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct HybridPlanOptions {
     /// Expected PCPG iteration count: how many times each subdomain's
     /// operator will be applied. `0.0` makes assembly pure overhead
@@ -571,6 +613,32 @@ impl Default for HybridPlanOptions {
             allow_explicit_cpu: true,
             force: HybridForce::Auto,
         }
+    }
+}
+
+impl HybridPlanOptions {
+    /// Set the expected PCPG iteration count.
+    pub fn with_iters(mut self, iters: f64) -> Self {
+        self.iters = iters;
+        self
+    }
+
+    /// Set the spec pricing host-side work.
+    pub fn with_host(mut self, host: DeviceSpec) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Include or exclude explicit-CPU from the candidate set.
+    pub fn with_allow_explicit_cpu(mut self, allow: bool) -> Self {
+        self.allow_explicit_cpu = allow;
+        self
+    }
+
+    /// Set the collapse override.
+    pub fn with_force(mut self, force: HybridForce) -> Self {
+        self.force = force;
+        self
     }
 }
 

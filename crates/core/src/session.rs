@@ -1,0 +1,775 @@
+//! The unified assembly surface: a [`Backend`] value names the execution
+//! target, an [`AssemblySession`] binds it to an assembly configuration,
+//! and [`AssemblySession::assemble`] drives any [`IntoBatchSource`] through
+//! the paper's record → plan → replay pipeline, reporting through one
+//! nested [`AssemblyReport`] regardless of target.
+//!
+//! ```
+//! use sc_core::{AssemblySession, Backend, ScConfig};
+//! # use sc_core::BatchItem;
+//! # use sc_factor::SparseCholesky;
+//! # use sc_sparse::Coo;
+//! # let mut c = Coo::new(3, 3);
+//! # for i in 0..3 { c.push(i, i, 4.0); }
+//! # c.push(1, 0, -1.0); c.push(0, 1, -1.0);
+//! # c.push(2, 1, -1.0); c.push(1, 2, -1.0);
+//! # let k = c.to_csc();
+//! # let chol = SparseCholesky::factorize(&k, Default::default()).unwrap();
+//! # let l = chol.factor_csc();
+//! # let mut b = Coo::new(3, 2);
+//! # b.push(0, 0, 1.0); b.push(2, 1, -1.0);
+//! # let bt = b.to_csc().permute_rows(chol.perm());
+//! # let items = vec![BatchItem { l: &l, bt: &bt }];
+//! let session = AssemblySession::new(Backend::cpu(), ScConfig::optimized(false, false));
+//! let result = session.assemble(&items);
+//! assert_eq!(result.f.len(), items.len());
+//! assert!(result.report.devices.is_empty(), "CPU runs touch no device");
+//! ```
+//!
+//! Swapping the target is a one-line change — the numerics are bitwise
+//! identical across every backend (the record/replay execution computes on
+//! the host either way):
+//!
+//! ```no_run
+//! # use sc_core::{AssemblySession, Backend, ScConfig};
+//! # use sc_gpu::{Device, DevicePool, DeviceSpec};
+//! # let items: Vec<sc_core::BatchItem> = Vec::new();
+//! let gpu = AssemblySession::new(
+//!     Backend::gpu(Device::new(DeviceSpec::a100(), 4)),
+//!     ScConfig::Auto,
+//! );
+//! let cluster = AssemblySession::new(
+//!     Backend::cluster(DevicePool::uniform(DeviceSpec::a100(), 4, 4)),
+//!     ScConfig::Auto,
+//! );
+//! assert_eq!(gpu.assemble(&items).f, cluster.assemble(&items).f);
+//! ```
+
+use crate::assemble::ScConfig;
+use crate::batch::{
+    batch_cluster_impl, batch_cpu, batch_scheduled, BatchReport, ClusterOptions, ClusterReport,
+    SubdomainTiming,
+};
+use crate::schedule::{Formulation, HybridPlan, ScheduleOptions, ScheduledSpan};
+use crate::source::{BatchSource, IntoBatchSource};
+use sc_dense::Mat;
+use sc_gpu::{Device, DevicePool};
+use std::sync::Arc;
+
+/// The execution target of an [`AssemblySession`] — a *value*, so the same
+/// pipeline retargets between host, one simulated GPU, a device pool, or a
+/// spill-tolerant hybrid without changing call sites.
+#[derive(Clone)]
+#[non_exhaustive]
+pub enum Backend {
+    /// Host execution, one rayon task per subdomain.
+    Cpu {
+        /// Upper bound on worker threads (`0` = all available).
+        threads: usize,
+    },
+    /// One simulated GPU, driven by the §4.4 scheduler (cost-model LPT or
+    /// round-robin per [`ScheduleOptions::policy`], temporary-arena
+    /// admission, deterministic record-then-replay).
+    Gpu {
+        /// The device.
+        device: Arc<Device>,
+        /// Stream-scheduling options.
+        schedule: ScheduleOptions,
+    },
+    /// A pool of simulated GPUs: a two-level plan partitions subdomains
+    /// across devices (cost-aware LPT with per-device arena admissibility),
+    /// then each device runs the §4.4 scheduler on its share. A subdomain
+    /// that fits no device arena **panics** — use [`Backend::Hybrid`] for
+    /// the spill-tolerant variant.
+    Cluster {
+        /// The device pool (heterogeneous mixes allowed).
+        pool: Arc<DevicePool>,
+        /// Cluster scheduling options.
+        opts: ClusterOptions,
+    },
+    /// The cluster plan with a host fail-over: subdomains whose temporaries
+    /// fit no device arena keep their host-computed `F̃ᵢ` (the explicit-CPU
+    /// formulation) instead of erroring, and the report's
+    /// [`hybrid`](AssemblyReport::hybrid) block records the split.
+    Hybrid {
+        /// The device pool (a pool with no usable device sends everything
+        /// to the host).
+        pool: Arc<DevicePool>,
+        /// Cluster scheduling options for the on-pool share.
+        opts: ClusterOptions,
+    },
+}
+
+impl Backend {
+    /// Host execution on all available worker threads.
+    pub fn cpu() -> Self {
+        Backend::Cpu { threads: 0 }
+    }
+
+    /// Host execution capped at `threads` worker threads (`0` = uncapped).
+    pub fn cpu_with_threads(threads: usize) -> Self {
+        Backend::Cpu { threads }
+    }
+
+    /// One device under the default schedule (LPT + arena admission).
+    pub fn gpu(device: Arc<Device>) -> Self {
+        Backend::Gpu {
+            device,
+            schedule: ScheduleOptions::default(),
+        }
+    }
+
+    /// A device pool under the default cluster options.
+    pub fn cluster(pool: Arc<DevicePool>) -> Self {
+        Backend::Cluster {
+            pool,
+            opts: ClusterOptions::default(),
+        }
+    }
+
+    /// A device pool with host fail-over for over-arena subdomains.
+    pub fn hybrid(pool: Arc<DevicePool>) -> Self {
+        Backend::Hybrid {
+            pool,
+            opts: ClusterOptions::default(),
+        }
+    }
+
+    /// Stable lowercase name of the target (diagnostics, bench records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Cpu { .. } => "cpu",
+            Backend::Gpu { .. } => "gpu",
+            Backend::Cluster { .. } => "cluster",
+            Backend::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// The device pool this backend schedules onto, if any. The single-GPU
+    /// target exposes its device as a one-element pool-less `None` — use
+    /// [`Backend::device`] for it.
+    pub fn pool(&self) -> Option<&Arc<DevicePool>> {
+        match self {
+            Backend::Cluster { pool, .. } | Backend::Hybrid { pool, .. } => Some(pool),
+            _ => None,
+        }
+    }
+
+    /// The single device of the [`Backend::Gpu`] target, if that is what
+    /// this backend is.
+    pub fn device(&self) -> Option<&Arc<Device>> {
+        match self {
+            Backend::Gpu { device, .. } => Some(device),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Cpu { threads } => f.debug_struct("Cpu").field("threads", threads).finish(),
+            Backend::Gpu { device, schedule } => f
+                .debug_struct("Gpu")
+                .field("n_streams", &device.n_streams())
+                .field("schedule", schedule)
+                .finish(),
+            Backend::Cluster { pool, opts } => f
+                .debug_struct("Cluster")
+                .field("n_devices", &pool.n_devices())
+                .field("opts", opts)
+                .finish(),
+            Backend::Hybrid { pool, opts } => f
+                .debug_struct("Hybrid")
+                .field("n_devices", &pool.n_devices())
+                .field("opts", opts)
+                .finish(),
+        }
+    }
+}
+
+/// One batched-assembly configuration bound to an execution target: the
+/// single entry point of the batched drivers.
+///
+/// A session is cheap to clone and reusable — `assemble` borrows it, so one
+/// session can drive many batches (each call is an independent record →
+/// plan → replay pass on the backend's timeline).
+#[derive(Clone, Debug)]
+pub struct AssemblySession {
+    backend: Backend,
+    cfg: ScConfig,
+}
+
+/// Result of [`AssemblySession::assemble`]: one dense `F̃ᵢ` per input
+/// subdomain (batch order preserved) plus the unified report.
+pub struct AssemblyResult {
+    /// Assembled local dual operators, indexed like the input batch.
+    pub f: Vec<Mat>,
+    /// Unified diagnostics.
+    pub report: AssemblyReport,
+}
+
+impl AssemblySession {
+    /// Bind an execution target to an assembly configuration.
+    pub fn new(backend: Backend, cfg: ScConfig) -> Self {
+        AssemblySession { backend, cfg }
+    }
+
+    /// The execution target.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The assembly configuration.
+    pub fn cfg(&self) -> &ScConfig {
+        &self.cfg
+    }
+
+    /// Assemble every subdomain's `F̃ᵢ` on the session's backend.
+    ///
+    /// Accepts eager slices (`&[BatchItem]`, `&[(Csc, Csc)]`) and lazy
+    /// sources ([`LazyBatch`](crate::source::LazyBatch)) through one bound. The
+    /// numerics are bitwise identical across all backends; only the
+    /// simulated timeline and the report's device sections differ.
+    pub fn assemble<S: IntoBatchSource>(&self, items: S) -> AssemblyResult {
+        let src = items.into_batch_source();
+        match &self.backend {
+            Backend::Cpu { threads } => {
+                let res = if *threads > 0 {
+                    rayon::with_max_threads(*threads, || batch_cpu(&src, &self.cfg))
+                } else {
+                    batch_cpu(&src, &self.cfg)
+                };
+                AssemblyResult {
+                    f: res.f,
+                    report: AssemblyReport::from_batch(res.report, None),
+                }
+            }
+            Backend::Gpu { device, schedule } => {
+                let busy0 = device.busy_seconds();
+                let res = batch_scheduled(&src, &self.cfg, device, schedule);
+                let busy = device.busy_seconds() - busy0;
+                let cap = res.report.device_seconds * device.n_streams().max(1) as f64;
+                let utilization = if cap > 0.0 { busy / cap } else { 0.0 };
+                AssemblyResult {
+                    f: res.f,
+                    report: AssemblyReport::from_batch(res.report, Some(utilization)),
+                }
+            }
+            Backend::Cluster { pool, opts } => {
+                let out = batch_cluster_impl(&src, &self.cfg, pool, opts, false);
+                AssemblyResult {
+                    f: out.f,
+                    report: AssemblyReport::from_cluster(&out.report),
+                }
+            }
+            Backend::Hybrid { pool, opts } => {
+                let usable = pool.devices().iter().any(|d| d.n_streams() > 0);
+                if !usable {
+                    // nothing can run on the pool: everything fails over to
+                    // the host, and the report says so
+                    let n = src.len();
+                    let res = batch_cpu(&src, &self.cfg);
+                    let mut report = AssemblyReport::from_batch(res.report, None);
+                    report.hybrid = Some(HybridSummary {
+                        plan: None,
+                        formulation: vec![Formulation::ExplicitCpu; n],
+                        spilled: (0..n).collect(),
+                        predicted_assembly_seconds: 0.0,
+                        realized_gpu_seconds: 0.0,
+                        realized_cpu_seconds: report.cpu_seconds(),
+                        arena_high_water: 0,
+                    });
+                    return AssemblyResult { f: res.f, report };
+                }
+                let out = batch_cluster_impl(&src, &self.cfg, pool, opts, true);
+                let mut report = AssemblyReport::from_cluster(&out.report);
+                // merge the host fail-over share into the roll-up
+                report.subdomains.extend(out.spill_timings.iter().copied());
+                report.subdomains.sort_by_key(|t| t.index);
+                let realized_cpu: f64 = out.spill_timings.iter().map(|t| t.host_seconds).sum();
+                let mut formulation = vec![Formulation::ExplicitGpu; out.f.len()];
+                for &g in &out.spilled {
+                    formulation[g] = Formulation::ExplicitCpu;
+                }
+                report.hybrid = Some(HybridSummary {
+                    plan: None,
+                    formulation,
+                    spilled: out.spilled,
+                    predicted_assembly_seconds: 0.0,
+                    realized_gpu_seconds: report.makespan,
+                    realized_cpu_seconds: realized_cpu,
+                    arena_high_water: report.temp_high_water(),
+                });
+                AssemblyResult { f: out.f, report }
+            }
+        }
+    }
+}
+
+/// One stream's executed spans inside a [`DeviceReport`], chronological.
+#[derive(Clone, Debug)]
+pub struct StreamLane {
+    /// Stream index, device-local.
+    pub stream: usize,
+    /// Executed spans on that stream, in execution order.
+    pub spans: Vec<ScheduledSpan>,
+}
+
+/// Per-device section of an [`AssemblyReport`]: the device's share, its
+/// executed schedule, and its roll-up numbers.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceReport {
+    /// Pool index of the device.
+    pub device: usize,
+    /// Subdomain indices assigned to this device, in execution order.
+    pub subdomains: Vec<usize>,
+    /// Executed schedule (one entry per subdomain, execution order);
+    /// empty on drivers without a recorded schedule.
+    pub schedule: Vec<ScheduledSpan>,
+    /// Simulated makespan of this device's share.
+    pub makespan: f64,
+    /// Busy kernel-seconds over `makespan × n_streams` (0 when idle).
+    pub utilization: f64,
+    /// Peak simultaneous temporary-arena reservation, bytes.
+    pub temp_high_water: usize,
+}
+
+impl DeviceReport {
+    /// Group the executed schedule into per-stream lanes (chronological
+    /// within each lane; lanes ordered by stream index).
+    pub fn stream_lanes(&self) -> Vec<StreamLane> {
+        let mut lanes: Vec<StreamLane> = Vec::new();
+        for e in &self.schedule {
+            match lanes.iter_mut().find(|l| l.stream == e.stream) {
+                Some(lane) => lane.spans.push(*e),
+                None => lanes.push(StreamLane {
+                    stream: e.stream,
+                    spans: vec![*e],
+                }),
+            }
+        }
+        lanes.sort_by_key(|l| l.stream);
+        lanes
+    }
+}
+
+/// The hybrid section of an [`AssemblyReport`]: which subdomains ran where
+/// and why, with predicted-vs-realized cost when a decision layer planned
+/// the split.
+#[derive(Clone, Debug)]
+pub struct HybridSummary {
+    /// The cost-model plan when one ran ([`plan_hybrid`](crate::plan_hybrid)
+    /// in the FETI hybrid mode); `None` for the pure arena-spill split of
+    /// [`Backend::Hybrid`].
+    pub plan: Option<HybridPlan>,
+    /// Realized formulation of every subdomain, batch order.
+    pub formulation: Vec<Formulation>,
+    /// Subdomain indices that fit no device arena, ascending.
+    pub spilled: Vec<usize>,
+    /// Σ predicted assembly seconds over the explicit decisions (0 when no
+    /// decision layer ran).
+    pub predicted_assembly_seconds: f64,
+    /// Realized simulated makespan of the on-device share.
+    pub realized_gpu_seconds: f64,
+    /// Realized host wall seconds of the host share.
+    pub realized_cpu_seconds: f64,
+    /// Largest per-device temporary-arena high water, bytes.
+    pub arena_high_water: usize,
+}
+
+impl HybridSummary {
+    /// Number of subdomains realized with the given formulation.
+    pub fn count_of(&self, f: Formulation) -> usize {
+        self.formulation.iter().filter(|&&x| x == f).count()
+    }
+}
+
+/// The one report type of the unified surface: per-subdomain timings, per
+/// device the per-stream execution timeline, and — when the backend split
+/// the batch — the hybrid decisions. Every execution target fills the same
+/// schema; sections that do not apply stay empty (`devices` on CPU runs,
+/// `hybrid` on single-target runs).
+#[derive(Clone, Debug, Default)]
+pub struct AssemblyReport {
+    /// Per-subdomain timings, batch order.
+    pub subdomains: Vec<SubdomainTiming>,
+    /// Per-device roll-ups (empty on pure-CPU runs; idle pool devices keep
+    /// an entry with an empty share).
+    pub devices: Vec<DeviceReport>,
+    /// Hybrid split decisions (`None` unless the backend or a decision
+    /// layer split the batch).
+    pub hybrid: Option<HybridSummary>,
+    /// Host wall time of the whole batched assembly.
+    pub total_seconds: f64,
+    /// Simulated device makespan (largest per-device makespan; 0 on CPU).
+    pub makespan: f64,
+    /// Block-cut resolutions served from the shared cache.
+    pub cache_hits: usize,
+    /// Block-cut resolutions computed fresh.
+    pub cache_misses: usize,
+}
+
+impl AssemblyReport {
+    /// Sum of per-subdomain **host** task times (the sequential-equivalent
+    /// host cost).
+    pub fn cpu_seconds(&self) -> f64 {
+        self.subdomains.iter().map(|t| t.host_seconds).sum()
+    }
+
+    /// Achieved host-side parallel speedup `cpu_seconds / total_seconds`.
+    pub fn speedup(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.cpu_seconds() / self.total_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// Largest per-device temporary-arena high water, bytes.
+    pub fn temp_high_water(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.temp_high_water)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pool device of subdomain `i` (`None` when it ran on the host).
+    pub fn device_of(&self, i: usize) -> Option<usize> {
+        self.subdomains.get(i).and_then(|t| t.device)
+    }
+
+    /// Build from a single-target [`BatchReport`]; `utilization` is
+    /// `Some` when the run used a device (which becomes device 0).
+    pub fn from_batch(rep: BatchReport, utilization: Option<f64>) -> Self {
+        let devices = match utilization {
+            Some(utilization) if rep.timings.iter().any(|t| t.stream.is_some()) => {
+                vec![DeviceReport {
+                    device: 0,
+                    subdomains: if rep.schedule.is_empty() {
+                        rep.timings.iter().map(|t| t.index).collect()
+                    } else {
+                        rep.schedule.iter().map(|e| e.index).collect()
+                    },
+                    schedule: rep.schedule.clone(),
+                    makespan: rep.device_seconds,
+                    utilization,
+                    temp_high_water: rep.temp_high_water,
+                }]
+            }
+            _ => Vec::new(),
+        };
+        AssemblyReport {
+            subdomains: rep.timings,
+            devices,
+            hybrid: None,
+            total_seconds: rep.total_seconds,
+            makespan: rep.device_seconds,
+            cache_hits: rep.cache_hits,
+            cache_misses: rep.cache_misses,
+        }
+    }
+
+    /// Build from a cluster roll-up (subdomain indices already batch-global).
+    pub fn from_cluster(rep: &ClusterReport) -> Self {
+        let devices: Vec<DeviceReport> = rep
+            .per_device
+            .iter()
+            .enumerate()
+            .map(|(d, r)| DeviceReport {
+                device: d,
+                subdomains: rep.partition[d].clone(),
+                schedule: r.schedule.clone(),
+                makespan: r.device_seconds,
+                utilization: rep.utilization[d],
+                temp_high_water: r.temp_high_water,
+            })
+            .collect();
+        let mut subdomains: Vec<SubdomainTiming> = rep
+            .per_device
+            .iter()
+            .flat_map(|r| r.timings.iter().copied())
+            .collect();
+        subdomains.sort_by_key(|t| t.index);
+        AssemblyReport {
+            subdomains,
+            devices,
+            hybrid: None,
+            total_seconds: rep.total_seconds,
+            makespan: rep.makespan,
+            cache_hits: rep.per_device.iter().map(|r| r.cache_hits).sum(),
+            cache_misses: rep.per_device.iter().map(|r| r.cache_misses).sum(),
+        }
+    }
+
+    /// Flatten into the legacy single-target [`BatchReport`] shape
+    /// (schedules concatenated in device order — stream ids stay
+    /// device-local).
+    pub fn to_batch_report(&self) -> BatchReport {
+        BatchReport {
+            timings: self.subdomains.clone(),
+            total_seconds: self.total_seconds,
+            device_seconds: self.makespan,
+            schedule: self
+                .devices
+                .iter()
+                .flat_map(|d| d.schedule.iter().copied())
+                .collect(),
+            temp_high_water: self.temp_high_water(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+        }
+    }
+
+    /// Reconstruct the legacy per-device [`ClusterReport`] (`None` when the
+    /// run touched no device). Subdomains outside every device share (host
+    /// fail-overs) hold `usize::MAX` in `device_of`, like the hybrid mode
+    /// always reported.
+    pub fn to_cluster_report(&self) -> Option<ClusterReport> {
+        if self.devices.is_empty() {
+            return None;
+        }
+        let max_index = self.subdomains.iter().map(|t| t.index).max().unwrap_or(0);
+        let mut device_of = vec![usize::MAX; self.subdomains.len().max(max_index + 1)];
+        for t in &self.subdomains {
+            if let Some(d) = t.device {
+                device_of[t.index] = d;
+            }
+        }
+        let per_device: Vec<BatchReport> = self
+            .devices
+            .iter()
+            .map(|d| BatchReport {
+                timings: self
+                    .subdomains
+                    .iter()
+                    .filter(|t| t.device == Some(d.device))
+                    .copied()
+                    .collect(),
+                total_seconds: self.total_seconds,
+                device_seconds: d.makespan,
+                schedule: d.schedule.clone(),
+                temp_high_water: d.temp_high_water,
+                // the block-cut cache is shared across the whole run; its
+                // totals live on the first device's report so that summing
+                // per-device counters stays correct (legacy convention)
+                cache_hits: if d.device == 0 { self.cache_hits } else { 0 },
+                cache_misses: if d.device == 0 { self.cache_misses } else { 0 },
+            })
+            .collect();
+        Some(ClusterReport {
+            partition: self.devices.iter().map(|d| d.subdomains.clone()).collect(),
+            utilization: self.devices.iter().map(|d| d.utilization).collect(),
+            makespan: self.devices.iter().map(|d| d.makespan).fold(0.0, f64::max),
+            per_device,
+            device_of,
+            total_seconds: self.total_seconds,
+        })
+    }
+
+    /// Remap every subdomain index through `map` (share-local → global) and
+    /// re-sort the timing list; used when a share of a bigger problem was
+    /// assembled separately — **before** any hybrid section is attached.
+    ///
+    /// # Panics
+    ///
+    /// When `self.hybrid` is `Some`: its `formulation` vector is indexed by
+    /// batch position and cannot be re-expanded from `map` alone, so a
+    /// remapped hybrid section would be internally inconsistent. Merge the
+    /// shares first, then attach the global hybrid summary.
+    pub fn remap_indices(&mut self, map: &[usize]) {
+        assert!(
+            self.hybrid.is_none(),
+            "remap_indices applies to share reports only; attach the hybrid \
+             section after remapping"
+        );
+        for t in &mut self.subdomains {
+            t.index = map[t.index];
+        }
+        self.subdomains.sort_by_key(|t| t.index);
+        for d in &mut self.devices {
+            for g in &mut d.subdomains {
+                *g = map[*g];
+            }
+            for e in &mut d.schedule {
+                e.index = map[e.index];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchItem;
+    use crate::source::LazyBatch;
+    use sc_factor::{CholOptions, SparseCholesky};
+    use sc_gpu::DeviceSpec;
+    use sc_sparse::{Coo, Csc};
+
+    fn workload(nsub: usize, nx: usize, m: usize) -> Vec<(Csc, Csc)> {
+        (0..nsub)
+            .map(|s| {
+                let n = nx * nx;
+                let idx = |x: usize, y: usize| y * nx + x;
+                let mut c = Coo::new(n, n);
+                for y in 0..nx {
+                    for x in 0..nx {
+                        let v = idx(x, y);
+                        c.push(v, v, 4.05 + 0.01 * s as f64);
+                        if x > 0 {
+                            c.push(v, idx(x - 1, y), -1.0);
+                        }
+                        if x + 1 < nx {
+                            c.push(v, idx(x + 1, y), -1.0);
+                        }
+                        if y > 0 {
+                            c.push(v, idx(x, y - 1), -1.0);
+                        }
+                        if y + 1 < nx {
+                            c.push(v, idx(x, y + 1), -1.0);
+                        }
+                    }
+                }
+                let k = c.to_csc();
+                let chol = SparseCholesky::factorize(&k, CholOptions::default()).unwrap();
+                let mut b = Coo::new(n, m);
+                for j in 0..m {
+                    b.push(
+                        (j * 53 + s * 17) % n,
+                        j,
+                        if j % 2 == 0 { 1.0 } else { -1.0 },
+                    );
+                }
+                (chol.factor_csc(), b.to_csc().permute_rows(chol.perm()))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_backend_is_bitwise_identical_through_one_entry_point() {
+        let data = workload(6, 6, 8);
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(true, false);
+        let cpu = AssemblySession::new(Backend::cpu(), cfg).assemble(&items);
+        assert!(cpu.report.devices.is_empty());
+        assert_eq!(cpu.report.makespan, 0.0);
+
+        let dev = Device::new(DeviceSpec::a100(), 3);
+        let gpu = AssemblySession::new(Backend::gpu(Arc::clone(&dev)), cfg).assemble(&items);
+        assert_eq!(gpu.report.devices.len(), 1);
+        assert!(gpu.report.makespan > 0.0);
+        assert!(gpu.report.devices[0].utilization > 0.0);
+        assert!(!gpu.report.devices[0].stream_lanes().is_empty());
+
+        let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
+        let cl = AssemblySession::new(Backend::cluster(Arc::clone(&pool)), cfg).assemble(&items);
+        assert_eq!(cl.report.devices.len(), 2);
+
+        let hy = AssemblySession::new(Backend::hybrid(pool), cfg).assemble(&items);
+        let hybrid = hy.report.hybrid.as_ref().expect("hybrid backend reports");
+        assert!(hybrid.spilled.is_empty(), "everything fits the A100 arena");
+
+        for i in 0..items.len() {
+            assert_eq!(cpu.f[i], gpu.f[i], "gpu deviates at {i}");
+            assert_eq!(cpu.f[i], cl.f[i], "cluster deviates at {i}");
+            assert_eq!(cpu.f[i], hy.f[i], "hybrid deviates at {i}");
+        }
+    }
+
+    #[test]
+    fn cpu_thread_cap_is_honoured_and_bitwise_neutral() {
+        let data = workload(5, 5, 6);
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(false, false);
+        let all = AssemblySession::new(Backend::cpu(), cfg).assemble(&items);
+        let one = AssemblySession::new(Backend::cpu_with_threads(1), cfg).assemble(&items);
+        for i in 0..items.len() {
+            assert_eq!(all.f[i], one.f[i], "thread cap must not change numerics");
+        }
+    }
+
+    #[test]
+    fn lazy_sources_match_eager_slices() {
+        let data = workload(4, 6, 7);
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::Auto;
+        let session = AssemblySession::new(Backend::cpu(), cfg);
+        let eager = session.assemble(&items);
+        let lazy = session.assemble(LazyBatch::new(
+            &data,
+            |_, (l, _): &(Csc, Csc)| std::borrow::Cow::Owned(l.clone()),
+            |(_, bt)| bt,
+        ));
+        let pairs = session.assemble(data.as_slice());
+        for i in 0..items.len() {
+            assert_eq!(eager.f[i], lazy.f[i], "lazy deviates at {i}");
+            assert_eq!(eager.f[i], pairs.f[i], "(Csc, Csc) source deviates at {i}");
+        }
+    }
+
+    #[test]
+    fn hybrid_backend_spills_over_arena_subdomains_to_the_host() {
+        let data = workload(6, 8, 12);
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(true, false);
+        // size the arena between the smallest and largest footprint: some
+        // subdomains must spill (all have the same shape here, so instead
+        // shrink the arena below everything → everything spills)
+        let spec = DeviceSpec {
+            memory_bytes: 64,
+            ..DeviceSpec::a100()
+        };
+        let pool = DevicePool::uniform(spec, 1, 2);
+        let hy = AssemblySession::new(Backend::hybrid(pool), cfg).assemble(&items);
+        let hybrid = hy.report.hybrid.as_ref().unwrap();
+        assert_eq!(hybrid.spilled.len(), items.len(), "everything must spill");
+        assert_eq!(hybrid.count_of(Formulation::ExplicitCpu), items.len());
+        assert!(hybrid.realized_cpu_seconds > 0.0);
+        // numerics still match the CPU reference bitwise
+        let cpu = AssemblySession::new(Backend::cpu(), cfg).assemble(&items);
+        for i in 0..items.len() {
+            assert_eq!(cpu.f[i], hy.f[i]);
+        }
+        // a pool with no usable device degrades the same way
+        let none = DevicePool::from_devices(vec![Device::new(DeviceSpec::a100(), 0)]);
+        let hy0 = AssemblySession::new(
+            Backend::Hybrid {
+                pool: none,
+                opts: ClusterOptions::default(),
+            },
+            ScConfig::optimized(true, false),
+        )
+        .assemble(&items);
+        assert_eq!(
+            hy0.report.hybrid.as_ref().unwrap().spilled.len(),
+            items.len()
+        );
+        for i in 0..items.len() {
+            assert_eq!(cpu.f[i], hy0.f[i]);
+        }
+    }
+
+    #[test]
+    fn legacy_report_round_trips() {
+        let data = workload(6, 6, 8);
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(true, false);
+        let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
+        let res = AssemblySession::new(Backend::cluster(pool), cfg).assemble(&items);
+        let batch = res.report.to_batch_report();
+        assert_eq!(batch.timings.len(), items.len());
+        assert_eq!(batch.device_seconds, res.report.makespan);
+        assert_eq!(batch.schedule.len(), items.len());
+        let cluster = res.report.to_cluster_report().expect("devices present");
+        assert_eq!(cluster.n_devices(), 2);
+        assert_eq!(cluster.makespan, res.report.makespan);
+        let mut placed: Vec<usize> = cluster.partition.concat();
+        placed.sort_unstable();
+        assert_eq!(placed, (0..items.len()).collect::<Vec<_>>());
+        for (i, &d) in cluster.device_of.iter().enumerate() {
+            assert!(cluster.partition[d].contains(&i));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Input abstraction of the batched assembly drivers: a [`BatchSource`]
+//! yields, per subdomain, the Cholesky factor `L` and the row-permuted
+//! gluing block `B̃ᵀ`.
+//!
+//! Two shapes of input unify behind the trait:
+//!
+//! - **eager** — the factors already exist, e.g. a slice of
+//!   [`BatchItem`]s: [`BatchSource::factor`] borrows;
+//! - **lazy** — each subdomain's factor is *derived inside its own task*
+//!   ([`LazyBatch`]): [`BatchSource::factor`] returns an owned
+//!   [`Cow`], so peak memory holds at most one in-flight factor copy per
+//!   worker thread instead of one per subdomain — the right shape for
+//!   clusters with hundreds of subdomains (this replaces the deleted
+//!   `assemble_sc_batch*_map` driver twins).
+//!
+//! [`AssemblySession::assemble`](crate::AssemblySession::assemble) accepts
+//! anything implementing [`IntoBatchSource`], which is blanket-implemented
+//! for every [`BatchSource`].
+
+use crate::batch::BatchItem;
+use sc_sparse::Csc;
+use std::borrow::Cow;
+
+/// Per-subdomain input of the batched assembly drivers.
+///
+/// `factor(i)` may be called from any worker thread (hence `Sync`) and may
+/// be expensive (lazy derivation); `gluing(i)` must be a cheap borrow.
+pub trait BatchSource: Sync {
+    /// Number of subdomains in the batch.
+    fn len(&self) -> usize;
+
+    /// Whether the batch is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The Cholesky factor of subdomain `i` (CSC, diag-first) — borrowed
+    /// when it already exists, owned when derived inside the calling task.
+    fn factor(&self, i: usize) -> Cow<'_, Csc>;
+
+    /// `B̃ᵢᵀ` of subdomain `i`, rows already permuted into factor order.
+    fn gluing(&self, i: usize) -> &Csc;
+}
+
+/// Conversion into a [`BatchSource`] — the bound of
+/// [`AssemblySession::assemble`](crate::AssemblySession::assemble). Blanket
+/// implemented for every source, so eager slices and [`LazyBatch`] closures
+/// pass through one entry point.
+pub trait IntoBatchSource {
+    /// The concrete source type.
+    type Source: BatchSource;
+
+    /// Perform the conversion.
+    fn into_batch_source(self) -> Self::Source;
+}
+
+impl<S: BatchSource> IntoBatchSource for S {
+    type Source = S;
+
+    fn into_batch_source(self) -> S {
+        self
+    }
+}
+
+/// References to sources are sources (the drivers take them by value).
+impl<T: BatchSource + ?Sized> BatchSource for &T {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+        (**self).factor(i)
+    }
+
+    fn gluing(&self, i: usize) -> &Csc {
+        (**self).gluing(i)
+    }
+}
+
+impl<'a> BatchSource for [BatchItem<'a>] {
+    fn len(&self) -> usize {
+        <[BatchItem<'a>]>::len(self)
+    }
+
+    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+        Cow::Borrowed(self[i].l)
+    }
+
+    fn gluing(&self, i: usize) -> &Csc {
+        self[i].bt
+    }
+}
+
+impl<'a> BatchSource for Vec<BatchItem<'a>> {
+    fn len(&self) -> usize {
+        <[BatchItem<'a>]>::len(self)
+    }
+
+    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+        Cow::Borrowed(self[i].l)
+    }
+
+    fn gluing(&self, i: usize) -> &Csc {
+        self[i].bt
+    }
+}
+
+/// Owned `(L, B̃ᵀ)` pairs (the shape bench workloads carry) are a source
+/// too — both matrices borrow from the slice.
+impl BatchSource for [(Csc, Csc)] {
+    fn len(&self) -> usize {
+        <[(Csc, Csc)]>::len(self)
+    }
+
+    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+        Cow::Borrowed(&self[i].0)
+    }
+
+    fn gluing(&self, i: usize) -> &Csc {
+        &self[i].1
+    }
+}
+
+impl BatchSource for Vec<(Csc, Csc)> {
+    fn len(&self) -> usize {
+        <[(Csc, Csc)]>::len(self)
+    }
+
+    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+        Cow::Borrowed(&self[i].0)
+    }
+
+    fn gluing(&self, i: usize) -> &Csc {
+        &self[i].1
+    }
+}
+
+/// A lazy [`BatchSource`]: `prepare(i, item)` yields subdomain `i`'s factor
+/// (borrowed when it already exists, owned when derived inside the task) and
+/// `gluing(item)` borrows its gluing block.
+///
+/// ```
+/// use sc_core::{AssemblySession, Backend, LazyBatch, ScConfig};
+/// # use sc_sparse::{Coo, Csc};
+/// # let mut c = Coo::new(2, 2);
+/// # c.push(0, 0, 4.0); c.push(1, 1, 4.0);
+/// # c.push(1, 0, -1.0); c.push(0, 1, -1.0);
+/// # let k = c.to_csc();
+/// # let mut b = Coo::new(2, 1);
+/// # b.push(0, 0, 1.0);
+/// # let bt = b.to_csc();
+/// # let chol = sc_factor::SparseCholesky::factorize(&k, Default::default()).unwrap();
+/// # let items = vec![(chol, bt)];
+/// // items: Vec<(SparseCholesky, Csc)> — the factor is extracted per task
+/// let source = LazyBatch::new(
+///     &items,
+///     |_, (chol, _)| std::borrow::Cow::Owned(chol.factor_csc()),
+///     |(_, bt)| bt,
+/// );
+/// let session = AssemblySession::new(Backend::cpu(), ScConfig::optimized(false, false));
+/// let result = session.assemble(source);
+/// assert_eq!(result.f.len(), 1);
+/// ```
+pub struct LazyBatch<'a, T, FP, FB> {
+    items: &'a [T],
+    prepare: FP,
+    gluing: FB,
+}
+
+impl<'a, T, FP, FB> LazyBatch<'a, T, FP, FB>
+where
+    T: Sync,
+    FP: for<'b> Fn(usize, &'b T) -> Cow<'b, Csc> + Sync,
+    FB: Fn(&T) -> &Csc + Sync,
+{
+    /// Wrap `items` with a per-task factor derivation.
+    pub fn new(items: &'a [T], prepare: FP, gluing: FB) -> Self {
+        LazyBatch {
+            items,
+            prepare,
+            gluing,
+        }
+    }
+}
+
+impl<'a, T, FP, FB> BatchSource for LazyBatch<'a, T, FP, FB>
+where
+    T: Sync,
+    FP: for<'b> Fn(usize, &'b T) -> Cow<'b, Csc> + Sync,
+    FB: Fn(&T) -> &Csc + Sync,
+{
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+        (self.prepare)(i, &self.items[i])
+    }
+
+    fn gluing(&self, i: usize) -> &Csc {
+        (self.gluing)(&self.items[i])
+    }
+}

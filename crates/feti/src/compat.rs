@@ -1,0 +1,131 @@
+//! Legacy-surface shims: the deprecated [`DualMode`] payload enum and its
+//! translation onto the composable [`Backend`] +
+//! [`FormulationChoice`] surface.
+//!
+//! This module (together with `tests/api_surface.rs`, which pins the old
+//! and new surfaces bitwise against each other) is the only place allowed
+//! to `allow(deprecated)` — the CI deprecation-budget check enforces that.
+
+#[allow(unused_imports)] // doc links only
+use crate::solver::FetiSolverBuilder;
+use crate::solver::{ExecPlan, FetiOptions, FormulationChoice, HybridOptions};
+use sc_core::{Backend, ClusterOptions, ScConfig, ScheduleOptions, StreamPolicy};
+use sc_gpu::{Device, DevicePool};
+use std::sync::Arc;
+
+/// How the dual operator is realized — the pre-0.2 selector. The payload
+/// variants are deprecated: the execution target is now a
+/// [`Backend`] *value* and the formulation a
+/// [`FormulationChoice`], combined through
+/// [`FetiSolverBuilder`]. Results stay
+/// bitwise identical across the translation (pinned by
+/// `tests/api_surface.rs`).
+#[derive(Clone)]
+pub enum DualMode {
+    /// Implicit application (factorization only in preprocessing).
+    Implicit,
+    /// Explicit dense `F̃ᵢ`, assembled on the CPU.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FetiSolverBuilder::backend(Backend::cpu()) \
+                .formulation(FormulationChoice::Explicit).assembly(cfg)"
+    )]
+    ExplicitCpu(ScConfig),
+    /// Explicit dense `F̃ᵢ`, assembled on the simulated GPU with the
+    /// pre-scheduler round-robin stream assignment.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FetiSolverBuilder::backend(Backend::gpu(device)) \
+                .formulation(FormulationChoice::Explicit).assembly(cfg)"
+    )]
+    ExplicitGpu(ScConfig, Arc<Device>),
+    /// Explicit dense `F̃ᵢ`, assembled on the simulated GPU through the
+    /// §4.4 scheduler.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FetiSolverBuilder::backend(Backend::Gpu { device, schedule }) \
+                .formulation(FormulationChoice::Explicit).assembly(cfg)"
+    )]
+    ExplicitGpuScheduled(ScConfig, Arc<Device>, ScheduleOptions),
+    /// Explicit dense `F̃ᵢ`, sharded across a pool of simulated GPUs.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FetiSolverBuilder::backend(Backend::Cluster { pool, opts }) \
+                .formulation(FormulationChoice::Explicit).assembly(cfg)"
+    )]
+    ExplicitGpuCluster {
+        /// Assembly configuration.
+        cfg: ScConfig,
+        /// The device pool (heterogeneous mixes allowed).
+        pool: Arc<DevicePool>,
+        /// Cluster scheduling options.
+        opts: ClusterOptions,
+    },
+    /// Per-subdomain explicit-vs-implicit selection under the §4.4 cost
+    /// model, subject to the device arena capacities.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FetiSolverBuilder::backend(Backend::Cluster { pool, opts }) \
+                .formulation(FormulationChoice::Auto(plan)).assembly(cfg)"
+    )]
+    Hybrid {
+        /// Assembly configuration of the explicit shares.
+        cfg: ScConfig,
+        /// The device pool (may be empty: everything then runs on the host).
+        pool: Arc<DevicePool>,
+        /// Hybrid decision + scheduling options.
+        opts: HybridOptions,
+    },
+}
+
+/// Translate the legacy selector onto the composable plan. Every mapping
+/// preserves the numerics bitwise; the legacy live round-robin GPU driver
+/// maps onto the scheduled driver with [`StreamPolicy::RoundRobin`] (same
+/// stream assignment, deterministic record/replay timeline).
+#[allow(deprecated)]
+pub(crate) fn plan_of(opts: &FetiOptions) -> ExecPlan {
+    match &opts.dual {
+        DualMode::Implicit => ExecPlan {
+            cfg: ScConfig::Auto,
+            backend: Backend::cpu(),
+            formulation: FormulationChoice::Implicit,
+        },
+        DualMode::ExplicitCpu(cfg) => ExecPlan {
+            cfg: *cfg,
+            backend: Backend::cpu(),
+            formulation: FormulationChoice::Explicit,
+        },
+        DualMode::ExplicitGpu(cfg, device) => ExecPlan {
+            cfg: *cfg,
+            backend: Backend::Gpu {
+                device: Arc::clone(device),
+                schedule: ScheduleOptions::default().with_policy(StreamPolicy::RoundRobin),
+            },
+            formulation: FormulationChoice::Explicit,
+        },
+        DualMode::ExplicitGpuScheduled(cfg, device, sched) => ExecPlan {
+            cfg: *cfg,
+            backend: Backend::Gpu {
+                device: Arc::clone(device),
+                schedule: sched.clone(),
+            },
+            formulation: FormulationChoice::Explicit,
+        },
+        DualMode::ExplicitGpuCluster { cfg, pool, opts } => ExecPlan {
+            cfg: *cfg,
+            backend: Backend::Cluster {
+                pool: Arc::clone(pool),
+                opts: opts.clone(),
+            },
+            formulation: FormulationChoice::Explicit,
+        },
+        DualMode::Hybrid { cfg, pool, opts } => ExecPlan {
+            cfg: *cfg,
+            backend: Backend::Cluster {
+                pool: Arc::clone(pool),
+                opts: opts.cluster.clone(),
+            },
+            formulation: FormulationChoice::Auto(opts.plan.clone()),
+        },
+    }
+}

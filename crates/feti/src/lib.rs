@@ -12,6 +12,7 @@
 //! pipelines and per-iteration apply costs instrumented for the benches.
 
 pub mod approaches;
+pub mod compat;
 pub mod dualop;
 pub mod pcpg;
 pub mod regularize;
@@ -27,5 +28,6 @@ pub use dualop::{
 pub use pcpg::{pcpg_preconditioned, PcpgBreakdown, PcpgResult, PcpgStats};
 pub use regularize::regularize_fixing_node;
 pub use solver::{
-    DualMode, FetiOptions, FetiSolution, FetiSolver, HybridOptions, HybridReport, Preconditioner,
+    DualMode, FetiOptions, FetiSolution, FetiSolver, FetiSolverBuilder, FormulationChoice,
+    HybridOptions, HybridReport, Preconditioner,
 };

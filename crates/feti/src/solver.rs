@@ -1,77 +1,66 @@
 //! The Total-FETI solver driver: per-subdomain preprocessing, coarse problem,
 //! PCPG solve, and primal solution recovery.
+//!
+//! The entry point is [`FetiSolverBuilder`]: pick a
+//! [`Backend`] (where explicit assembly runs), a
+//! [`FormulationChoice`] (implicit / explicit / per-subdomain auto), and
+//! build a preprocessed [`FetiSolver`] handle. Preprocessing (orderings,
+//! factorizations, explicit assembly, coarse problem) happens **once**;
+//! [`FetiSolver::solve`] and [`FetiSolver::solve_rhs`] then amortize it
+//! across any number of right-hand sides.
 
 use crate::dualop::{DualOperator, SubdomainFactors};
 use crate::pcpg::PcpgStats;
 use rayon::prelude::*;
 use sc_core::{
-    assemble_sc_batch_cluster_map, assemble_sc_batch_gpu_map, assemble_sc_batch_map,
-    assemble_sc_batch_scheduled_map, estimate_apply, estimate_cost, plan_hybrid, BatchReport,
-    ClusterOptions, ClusterReport, DeviceSlot, Formulation, HybridPlan, HybridPlanOptions,
-    ScConfig, ScheduleOptions,
+    estimate_apply, estimate_cost, plan_hybrid, AssemblyReport, AssemblySession, Backend,
+    BatchReport, ClusterOptions, ClusterReport, DeviceSlot, Formulation, HybridPlan,
+    HybridPlanOptions, HybridSummary, LazyBatch, ScConfig,
 };
 use sc_dense::Mat;
 use sc_factor::Engine;
 use sc_fem::HeatProblem;
-use sc_gpu::{Device, DevicePool, GpuKernels};
+use sc_gpu::{DevicePool, GpuKernels};
 use sc_order::Ordering;
 use sc_sparse::{Coo, Csc};
+use std::borrow::Cow;
 use std::sync::Arc;
 
-/// How the dual operator is realized.
-#[derive(Clone)]
-pub enum DualMode {
-    /// Implicit application (factorization only in preprocessing).
+pub use crate::compat::DualMode;
+
+/// Which dual-operator formulation the solver realizes (orthogonal to the
+/// [`Backend`] that executes any explicit assembly).
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub enum FormulationChoice {
+    /// No assembly: every application runs the Eq. 11 solve pipeline
+    /// through the factor bundles kept for `K⁺` anyway.
+    #[default]
     Implicit,
-    /// Explicit dense `F̃ᵢ`, assembled on the CPU.
-    ExplicitCpu(ScConfig),
-    /// Explicit dense `F̃ᵢ`, assembled on the simulated GPU; subdomains are
-    /// distributed round-robin over the device's streams.
-    ExplicitGpu(ScConfig, Arc<Device>),
-    /// Explicit dense `F̃ᵢ`, assembled on the simulated GPU through the
-    /// §4.4 scheduler (`sc_core::schedule`): cost-model-driven LPT stream
-    /// assignment with temporary-arena admission instead of blind
-    /// round-robin. The schedule's per-stream timeline is exposed through
-    /// [`FetiSolver::assembly_report`].
-    ExplicitGpuScheduled(ScConfig, Arc<Device>, ScheduleOptions),
-    /// Explicit dense `F̃ᵢ`, sharded across a **pool of simulated GPUs**
-    /// (the paper's 8-GPU Karolina node): a two-level plan partitions
-    /// subdomains across devices (cost-aware LPT with per-device
-    /// arena-capacity admissibility), then each device runs the §4.4
-    /// scheduler on its share. Numerics stay bitwise identical to the
-    /// sequential CPU path; [`FetiSolver::cluster_report`] exposes the
-    /// per-device roll-up.
-    ExplicitGpuCluster {
-        /// Assembly configuration.
-        cfg: ScConfig,
-        /// The device pool (heterogeneous mixes allowed).
-        pool: Arc<DevicePool>,
-        /// Cluster scheduling options.
-        opts: ClusterOptions,
-    },
-    /// **Per-subdomain** explicit-vs-implicit selection (the paper's Table-1
-    /// auto-selection extended from "which kernel config" to "which operator
-    /// formulation"): the §4.4 cost model prices, for every subdomain, the
-    /// explicit-GPU (cluster path), explicit-CPU, and implicit realizations
-    /// — one-time assembly plus the expected PCPG iterations times the
-    /// per-application cost — and picks the cheapest **subject to the
-    /// device arena capacities**. Subdomains whose temporaries fit no arena
-    /// are never assembled on a device: they *spill* to the implicit (or
-    /// explicit-CPU) formulation instead of erroring. The decisions,
-    /// predicted-vs-realized costs, and arena high water roll up into
-    /// [`FetiSolver::hybrid_report`].
-    Hybrid {
-        /// Assembly configuration of the explicit shares.
-        cfg: ScConfig,
-        /// The device pool (may be empty: everything then runs on the host).
-        pool: Arc<DevicePool>,
-        /// Hybrid decision + scheduling options.
-        opts: HybridOptions,
-    },
+    /// Dense `F̃ᵢ` pre-assembled for every subdomain on the backend.
+    Explicit,
+    /// Per-subdomain explicit-vs-implicit selection: the §4.4 cost model
+    /// prices assembly plus expected-iterations × apply for every
+    /// formulation and picks the cheapest subject to the backend's device
+    /// arena capacities (oversized subdomains spill instead of erroring).
+    Auto(HybridPlanOptions),
 }
 
-/// Options of [`DualMode::Hybrid`].
+/// Options of the hybrid (auto) formulation when driven through the legacy
+/// [`DualMode::Hybrid`] selector. New code passes the plan options to
+/// [`FormulationChoice::Auto`] and the cluster options to the
+/// [`Backend`].
+///
+/// ```
+/// use sc_feti::HybridOptions;
+/// use sc_core::{ClusterOptions, HybridPlanOptions};
+/// let opts = HybridOptions::default()
+///     .with_plan(HybridPlanOptions::default().with_iters(80.0))
+///     .with_cluster(ClusterOptions::default());
+/// assert_eq!(opts.plan.iters, 80.0);
+/// ```
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct HybridOptions {
     /// Decision-layer inputs: expected iteration count, host pricing spec,
     /// candidate set, collapse override.
@@ -80,6 +69,20 @@ pub struct HybridOptions {
     /// by **subdomain**, like the other modes; it is sliced down to the
     /// share the planner sends to the pool).
     pub cluster: ClusterOptions,
+}
+
+impl HybridOptions {
+    /// Set the decision-layer inputs.
+    pub fn with_plan(mut self, plan: HybridPlanOptions) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Set the explicit-GPU share's scheduling options.
+    pub fn with_cluster(mut self, cluster: ClusterOptions) -> Self {
+        self.cluster = cluster;
+        self
+    }
 }
 
 /// Dual preconditioner selection for PCPG.
@@ -93,10 +96,24 @@ pub enum Preconditioner {
     Lumped,
 }
 
-/// Solver options.
+/// Solver options, captured **once** at construction
+/// ([`FetiSolver::new`] / [`FetiSolverBuilder::options`]);
+/// [`FetiSolver::solve`] takes no arguments.
+///
+/// ```
+/// use sc_feti::{FetiOptions, Preconditioner};
+/// let opts = FetiOptions::default()
+///     .with_preconditioner(Preconditioner::Lumped)
+///     .with_tol(1e-10)
+///     .with_max_iter(500);
+/// assert_eq!(opts.max_iter, 500);
+/// ```
 #[derive(Clone)]
 pub struct FetiOptions {
-    /// Dual operator realization.
+    /// Legacy dual-operator selector, honoured by [`FetiSolver::new`] only.
+    /// [`FetiSolverBuilder`] ignores it — target and formulation are set
+    /// through [`FetiSolverBuilder::backend`] /
+    /// [`FetiSolverBuilder::formulation`] instead.
     pub dual: DualMode,
     /// Numeric factorization engine for `K_reg`.
     pub engine: Engine,
@@ -123,6 +140,38 @@ impl Default for FetiOptions {
     }
 }
 
+impl FetiOptions {
+    /// Set the numeric factorization engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the fill-reducing ordering.
+    pub fn with_ordering(mut self, ordering: Ordering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Set the dual preconditioner.
+    pub fn with_preconditioner(mut self, preconditioner: Preconditioner) -> Self {
+        self.preconditioner = preconditioner;
+        self
+    }
+
+    /// Set the PCPG relative tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Set the PCPG iteration budget.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+}
+
 /// Solution of a FETI solve.
 pub struct FetiSolution {
     /// Per-subdomain primal solutions.
@@ -133,10 +182,10 @@ pub struct FetiSolution {
     pub stats: PcpgStats,
 }
 
-/// Roll-up of one hybrid preprocessing run: the decision layer's plan plus
-/// the realized assembly diagnostics of both explicit shares, in the
-/// existing [`BatchReport`]/[`ClusterReport`] vocabulary. All subdomain
-/// indices are **problem-global** (the per-share reports are remapped).
+/// Roll-up of one hybrid preprocessing run in the legacy three-report
+/// vocabulary; superseded by the `hybrid` section of the unified
+/// [`AssemblyReport`] ([`FetiSolver::report`]). All subdomain indices are
+/// **problem-global** (the per-share reports are remapped).
 #[derive(Clone, Debug)]
 pub struct HybridReport {
     /// Per-subdomain decisions with predicted assembly/apply costs.
@@ -207,31 +256,92 @@ impl OpSlot {
     }
 }
 
-/// A preprocessed FETI solver ready to run PCPG.
-pub struct FetiSolver<'p> {
-    problem: &'p HeatProblem,
-    factors: Vec<SubdomainFactors>,
-    /// `Some` for the explicit and hybrid modes; the implicit mode applies
-    /// through `factors` directly.
-    explicit_ops: Option<Vec<OpSlot>>,
-    /// Sparse `G = B R` (`n_lambda × n_kernels`).
-    g: Csc,
-    /// Dense Cholesky factor of `GᵀG`.
-    gtg: Mat,
-    /// Kernel column of each subdomain (floating ones only).
-    kernel_col: Vec<Option<usize>>,
-    /// Dual right-hand side `d = B K⁺ f`.
-    d: Vec<f64>,
-    /// Coarse right-hand side `e = Rᵀ f`.
-    e: Vec<f64>,
-    /// Timing/cache diagnostics of the batched explicit assembly (`None` for
-    /// the implicit mode).
-    assembly_report: Option<BatchReport>,
-    /// Per-device roll-up of the cluster-sharded assembly (`None` unless
-    /// [`DualMode::ExplicitGpuCluster`] or [`DualMode::Hybrid`] was used).
-    cluster_report: Option<ClusterReport>,
-    /// Decision/cost roll-up of the hybrid mode (`None` otherwise).
-    hybrid_report: Option<HybridReport>,
+/// The resolved execution plan of one solver build: assembly configuration,
+/// execution target, formulation. Built by [`FetiSolverBuilder`] or
+/// translated from the legacy [`DualMode`] selector.
+pub(crate) struct ExecPlan {
+    pub(crate) cfg: ScConfig,
+    pub(crate) backend: Backend,
+    pub(crate) formulation: FormulationChoice,
+}
+
+/// Composable construction of a preprocessed [`FetiSolver`]:
+/// [`FetiOptions`] are taken **exactly once**, the execution target is a
+/// [`Backend`] value, and the formulation a [`FormulationChoice`].
+///
+/// ```
+/// use sc_feti::{FetiOptions, FetiSolverBuilder, FormulationChoice};
+/// use sc_core::{Backend, ScConfig};
+/// use sc_fem::{Gluing, HeatProblem};
+///
+/// let problem = HeatProblem::build_2d(3, (2, 2), Gluing::Redundant);
+/// let solver = FetiSolverBuilder::new()
+///     .options(FetiOptions::default().with_tol(1e-9))
+///     .backend(Backend::cpu())
+///     .formulation(FormulationChoice::Explicit)
+///     .assembly(ScConfig::optimized(false, false))
+///     .build(&problem);
+/// let solution = solver.solve();
+/// assert!(solution.stats.converged);
+/// // the same preprocessed handle serves more right-hand sides
+/// let loads: Vec<Vec<f64>> = problem
+///     .subdomains
+///     .iter()
+///     .map(|sd| sd.f.iter().map(|v| 2.0 * v).collect())
+///     .collect();
+/// let scaled = solver.solve_rhs(&loads);
+/// assert!(scaled.stats.converged);
+/// ```
+#[derive(Clone, Default)]
+pub struct FetiSolverBuilder {
+    opts: FetiOptions,
+    cfg: ScConfig,
+    backend: Option<Backend>,
+    formulation: FormulationChoice,
+}
+
+impl FetiSolverBuilder {
+    /// Start from default options: implicit formulation, CPU backend,
+    /// [`ScConfig::Auto`] assembly configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the scalar solver options (engine, ordering, preconditioner,
+    /// tolerance, iteration budget) — taken exactly once; the legacy
+    /// `dual` field is ignored here.
+    pub fn options(mut self, opts: FetiOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Set the execution target of any explicit assembly.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Set the dual-operator formulation.
+    pub fn formulation(mut self, formulation: FormulationChoice) -> Self {
+        self.formulation = formulation;
+        self
+    }
+
+    /// Set the assembly configuration of the explicit shares.
+    pub fn assembly(mut self, cfg: ScConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Run preprocessing and return the reusable solver handle.
+    pub fn build<'p>(self, problem: &'p HeatProblem) -> FetiSolver<'p> {
+        let plan = ExecPlan {
+            cfg: self.cfg,
+            backend: self.backend.unwrap_or_else(Backend::cpu),
+            formulation: self.formulation,
+        };
+        FetiSolver::build_with_plan(problem, self.opts, plan)
+    }
 }
 
 /// Remap a share-local [`BatchReport`]'s subdomain indices to problem-global
@@ -264,16 +374,58 @@ fn remap_cluster_report(mut rep: ClusterReport, map: &[usize], n_total: usize) -
     }
     let mut device_of = vec![usize::MAX; n_total];
     for (local, d) in rep.device_of.iter().enumerate() {
-        device_of[map[local]] = *d;
+        if *d != usize::MAX {
+            device_of[map[local]] = *d;
+        }
     }
     rep.device_of = device_of;
     rep
 }
 
+/// A preprocessed FETI solver: factorizations, explicit operators (if
+/// requested), and the coarse problem, ready to serve many right-hand
+/// sides through [`FetiSolver::solve`] / [`FetiSolver::solve_rhs`].
+pub struct FetiSolver<'p> {
+    problem: &'p HeatProblem,
+    /// Options captured at construction; `solve()` takes no arguments.
+    opts: FetiOptions,
+    factors: Vec<SubdomainFactors>,
+    /// `Some` for the explicit and hybrid modes; the implicit mode applies
+    /// through `factors` directly.
+    explicit_ops: Option<Vec<OpSlot>>,
+    /// Sparse `G = B R` (`n_lambda × n_kernels`).
+    g: Csc,
+    /// Dense Cholesky factor of `GᵀG`.
+    gtg: Mat,
+    /// Kernel column of each subdomain (floating ones only).
+    kernel_col: Vec<Option<usize>>,
+    /// Dual right-hand side `d = B K⁺ f` of the problem's own loads.
+    d: Vec<f64>,
+    /// Coarse right-hand side `e = Rᵀ f` of the problem's own loads.
+    e: Vec<f64>,
+    /// The unified preprocessing report (`None` for the implicit mode).
+    report: Option<AssemblyReport>,
+    /// Legacy report shapes, derived once for the deprecated accessors.
+    legacy_assembly: Option<BatchReport>,
+    legacy_cluster: Option<ClusterReport>,
+    legacy_hybrid: Option<HybridReport>,
+}
+
 impl<'p> FetiSolver<'p> {
-    /// Run the initialization + preprocessing stages (paper §2.2): orderings,
-    /// factorizations, explicit assembly (if requested), coarse problem.
+    /// Run the initialization + preprocessing stages (paper §2.2) honouring
+    /// the legacy [`FetiOptions::dual`] selector. Options are captured
+    /// here, once — [`FetiSolver::solve`] takes no arguments. New code
+    /// should prefer [`FetiSolverBuilder`].
     pub fn new(problem: &'p HeatProblem, opts: &FetiOptions) -> Self {
+        let plan = crate::compat::plan_of(opts);
+        Self::build_with_plan(problem, opts.clone(), plan)
+    }
+
+    pub(crate) fn build_with_plan(
+        problem: &'p HeatProblem,
+        opts: FetiOptions,
+        plan: ExecPlan,
+    ) -> Self {
         // per-subdomain factorizations in parallel (the paper's loop over the
         // cluster's subdomains, one thread per subdomain)
         let factors: Vec<SubdomainFactors> = problem
@@ -282,262 +434,52 @@ impl<'p> FetiSolver<'p> {
             .map(|sd| SubdomainFactors::build(sd, opts.engine, opts.ordering))
             .collect();
 
-        // dual operators: explicit modes pre-assemble the dense F̃ᵢ through
-        // the batched driver (one rayon task per subdomain, shared block-cut
-        // cache); the implicit mode reuses `factors` directly at application
-        // time
-        let mut assembly_report: Option<BatchReport> = None;
-        let mut cluster_report: Option<ClusterReport> = None;
-        let mut hybrid_report: Option<HybridReport> = None;
-        let explicit_ops: Option<Vec<OpSlot>> = match &opts.dual {
-            DualMode::Implicit => None,
-            DualMode::ExplicitCpu(cfg) => {
-                // each task extracts its own factor copy, so peak memory is
-                // one factor per worker, not one per subdomain
-                let batch = assemble_sc_batch_map(
+        // dual operators: the explicit formulations pre-assemble the dense
+        // F̃ᵢ through one AssemblySession on the plan's backend; the
+        // implicit formulation reuses `factors` directly at application time
+        let mut report: Option<AssemblyReport> = None;
+        let mut legacy_hybrid: Option<HybridReport> = None;
+        let explicit_ops: Option<Vec<OpSlot>> = match &plan.formulation {
+            FormulationChoice::Implicit => None,
+            FormulationChoice::Explicit => {
+                let session = AssemblySession::new(plan.backend.clone(), plan.cfg);
+                let res = session.assemble(LazyBatch::new(
                     &factors,
-                    cfg,
-                    |_| sc_core::CpuExec,
-                    |_, f| f.chol.factor_csc(),
+                    // each task extracts its own factor copy, so peak memory
+                    // is one factor per worker, not one per subdomain
+                    |_, f: &SubdomainFactors| Cow::Owned(f.chol.factor_csc()),
                     |f| &f.bt_perm,
-                );
-                assembly_report = Some(batch.report);
-                Some(
-                    batch
-                        .f
-                        .into_iter()
-                        .map(|f| OpSlot::Own(DualOperator::ExplicitCpu(f)))
-                        .collect(),
-                )
-            }
-            DualMode::ExplicitGpu(cfg, device) => {
-                let n_streams = device.n_streams();
-                let batch = assemble_sc_batch_gpu_map(
-                    &factors,
-                    cfg,
-                    device,
-                    |_, f| std::borrow::Cow::Owned(f.chol.factor_csc()),
-                    |f| &f.bt_perm,
-                );
-                assembly_report = Some(batch.report);
-                Some(
-                    batch
-                        .f
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, f)| {
-                            OpSlot::Own(DualOperator::ExplicitGpu {
-                                f,
-                                kernels: GpuKernels::new(device.stream(i % n_streams)),
-                            })
-                        })
-                        .collect(),
-                )
-            }
-            DualMode::ExplicitGpuScheduled(cfg, device, sched_opts) => {
-                let batch = assemble_sc_batch_scheduled_map(
-                    &factors,
-                    cfg,
-                    device,
-                    sched_opts,
-                    |_, f| std::borrow::Cow::Owned(f.chol.factor_csc()),
-                    |f| &f.bt_perm,
-                );
-                // keep each operator on the stream its schedule placed it on
-                let stream_of: Vec<usize> = batch
-                    .report
-                    .timings
-                    .iter()
-                    .map(|t| t.stream.unwrap_or(0))
-                    .collect();
-                assembly_report = Some(batch.report);
-                Some(
-                    batch
-                        .f
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, f)| {
-                            OpSlot::Own(DualOperator::ExplicitGpu {
-                                f,
-                                kernels: GpuKernels::new(device.stream(stream_of[i])),
-                            })
-                        })
-                        .collect(),
-                )
-            }
-            DualMode::ExplicitGpuCluster { cfg, pool, opts } => {
-                let res = assemble_sc_batch_cluster_map(
-                    &factors,
-                    cfg,
-                    pool,
-                    opts,
-                    |_, f| std::borrow::Cow::Owned(f.chol.factor_csc()),
-                    |f| &f.bt_perm,
-                );
-                // bind each operator to the device and stream its schedule
-                // placed it on
-                let combined = res.report.combined();
-                let placement: Vec<(usize, usize)> = combined
-                    .timings
-                    .iter()
-                    .map(|t| (res.report.device_of[t.index], t.stream.unwrap_or(0)))
-                    .collect();
-                assembly_report = Some(combined);
-                cluster_report = Some(res.report);
-                Some(
-                    res.f
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, f)| {
-                            let (dev, stream) = placement[i];
-                            OpSlot::Own(DualOperator::ExplicitGpu {
-                                f,
-                                kernels: GpuKernels::new(pool.device(dev).stream(stream)),
-                            })
-                        })
-                        .collect(),
-                )
-            }
-            DualMode::Hybrid { cfg, pool, opts } => {
-                // decision layer: analytic assembly + per-iteration apply
-                // estimates per subdomain (the factor is extracted once per
-                // task for shape/nnz inspection, then dropped)
-                let ref_spec = if pool.is_empty() {
-                    opts.plan.host.clone()
-                } else {
-                    pool.device(0).spec().clone()
-                };
-                let estimates: Vec<(sc_core::CostEstimate, sc_core::ApplyEstimate)> = factors
-                    .par_iter()
-                    .enumerate()
-                    .map(|(i, f)| {
-                        // borrow the factor when the engine exposes it
-                        // (simplicial); only supernodal factors pay a copy
-                        let owned;
-                        let l: &Csc = match f.chol.factor_csc_ref() {
-                            Some(l) => l,
-                            None => {
-                                owned = f.chol.factor_csc();
-                                &owned
-                            }
-                        };
-                        let bt = &f.bt_perm;
-                        let params = cfg.resolve(!pool.is_empty(), l, bt);
-                        (
-                            estimate_cost(&ref_spec, l, bt, &params, i),
-                            estimate_apply(l, bt, i),
-                        )
-                    })
-                    .collect();
-                let (costs, applies): (Vec<_>, Vec<_>) = estimates.into_iter().unzip();
-                let slots: Vec<DeviceSlot> =
-                    pool.devices().iter().map(|d| DeviceSlot::of(d)).collect();
-                let plan = plan_hybrid(&costs, &applies, &slots, &opts.plan);
-                let gpu_idx = plan.indices_of(Formulation::ExplicitGpu);
-                let cpu_idx = plan.indices_of(Formulation::ExplicitCpu);
-
-                // one dispatch slot per subdomain; non-explicit ones borrow
-                // the shared factor bundle at application time
-                let mut ops: Vec<OpSlot> = (0..factors.len())
-                    .map(|_| OpSlot::shared_implicit())
-                    .collect();
-
-                // explicit-GPU share through the cluster driver (two-level
-                // plan, arena admission, record/replay — bitwise CPU-equal)
-                let mut gpu_cluster: Option<ClusterReport> = None;
-                if !gpu_idx.is_empty() {
-                    let share_opts = ClusterOptions {
-                        policy: opts.cluster.policy,
-                        ready_at: opts
-                            .cluster
-                            .ready_at
-                            .as_ref()
-                            .map(|r| gpu_idx.iter().map(|&g| r[g]).collect()),
-                    };
-                    let gpu_items: Vec<&SubdomainFactors> =
-                        gpu_idx.iter().map(|&g| &factors[g]).collect();
-                    let res = assemble_sc_batch_cluster_map(
-                        &gpu_items,
-                        cfg,
-                        pool,
-                        &share_opts,
-                        |_, f| std::borrow::Cow::Owned(f.chol.factor_csc()),
-                        |f| &f.bt_perm,
-                    );
-                    let combined = res.report.combined();
-                    for (local, f) in res.f.into_iter().enumerate() {
-                        let dev = res.report.device_of[local];
-                        let stream = combined.timings[local].stream.unwrap_or(0);
-                        ops[gpu_idx[local]] = OpSlot::Own(DualOperator::ExplicitGpu {
-                            f,
-                            kernels: GpuKernels::new(pool.device(dev).stream(stream)),
-                        });
-                    }
-                    gpu_cluster = Some(remap_cluster_report(res.report, &gpu_idx, factors.len()));
-                }
-
-                // explicit-CPU share (the spill fail-over for high iteration
-                // counts) through the batched CPU driver
-                let mut cpu_batch: Option<BatchReport> = None;
-                if !cpu_idx.is_empty() {
-                    let cpu_items: Vec<&SubdomainFactors> =
-                        cpu_idx.iter().map(|&g| &factors[g]).collect();
-                    let batch = assemble_sc_batch_map(
-                        &cpu_items,
-                        cfg,
-                        |_| sc_core::CpuExec,
-                        |_, f| f.chol.factor_csc(),
-                        |f| &f.bt_perm,
-                    );
-                    for (local, f) in batch.f.into_iter().enumerate() {
-                        ops[cpu_idx[local]] = OpSlot::Own(DualOperator::ExplicitCpu(f));
-                    }
-                    cpu_batch = Some(remap_batch_report(batch.report, &cpu_idx));
-                }
-
-                // roll the shares up into the existing report machinery:
-                // assembly_report covers every explicitly assembled
-                // subdomain, cluster_report the pool share
-                let gpu_combined = gpu_cluster.as_ref().map(|c| c.combined());
-                assembly_report = match (&gpu_combined, &cpu_batch) {
-                    (Some(g), Some(c)) => Some(BatchReport {
-                        timings: {
-                            let mut t = g.timings.clone();
-                            t.extend(c.timings.iter().copied());
-                            t.sort_by_key(|t| t.index);
-                            t
-                        },
-                        total_seconds: g.total_seconds + c.total_seconds,
-                        device_seconds: g.device_seconds,
-                        schedule: g.schedule.clone(),
-                        temp_high_water: g.temp_high_water,
-                        cache_hits: g.cache_hits + c.cache_hits,
-                        cache_misses: g.cache_misses + c.cache_misses,
-                    }),
-                    (Some(g), None) => Some(g.clone()),
-                    (None, Some(c)) => Some(c.clone()),
-                    (None, None) => None,
-                };
-                cluster_report = gpu_cluster.clone();
-                let predicted_assembly_seconds = plan
-                    .choices
-                    .iter()
-                    .filter(|c| c.formulation != Formulation::Implicit)
-                    .map(|c| c.assembly_seconds)
-                    .sum();
-                hybrid_report = Some(HybridReport {
-                    plan,
-                    realized_gpu_assembly_seconds: gpu_cluster.as_ref().map_or(0.0, |c| c.makespan),
-                    arena_high_water: gpu_cluster.as_ref().map_or(0, |c| c.temp_high_water()),
-                    cluster: gpu_cluster,
-                    realized_cpu_assembly_seconds: cpu_batch
-                        .as_ref()
-                        .map_or(0.0, |c| c.total_seconds),
-                    cpu_batch,
-                    predicted_assembly_seconds,
-                });
+                ));
+                let ops = bind_ops(res.f, &res.report, &plan.backend);
+                report = Some(res.report);
                 Some(ops)
             }
+            FormulationChoice::Auto(plan_opts) => {
+                let (ops, unified, hybrid) =
+                    assemble_auto(&factors, &plan.cfg, &plan.backend, plan_opts);
+                report = Some(unified);
+                legacy_hybrid = Some(hybrid);
+                Some(ops)
+            }
+        };
+
+        // derive the legacy report shapes once, for the deprecated accessors
+        let (legacy_assembly, legacy_cluster) = match (&plan.formulation, &report) {
+            (FormulationChoice::Explicit, Some(rep)) => {
+                let cluster = match &plan.backend {
+                    Backend::Cluster { .. } | Backend::Hybrid { .. } => rep.to_cluster_report(),
+                    _ => None,
+                };
+                (Some(rep.to_batch_report()), cluster)
+            }
+            (FormulationChoice::Auto(_), Some(rep)) => {
+                let any_explicit = !rep.subdomains.is_empty();
+                (
+                    any_explicit.then(|| rep.to_batch_report()),
+                    legacy_hybrid.as_ref().and_then(|h| h.cluster.clone()),
+                )
+            }
+            _ => (None, None),
         };
 
         // kernel numbering and G = B R (kernel = constant vector: G entries
@@ -551,20 +493,17 @@ impl<'p> FetiSolver<'p> {
             }
         }
         let mut g_coo = Coo::new(problem.n_lambda, n_kernels.max(1));
-        let mut e = vec![0.0; n_kernels.max(1)];
         for (i, sd) in problem.subdomains.iter().enumerate() {
-            let Some(kc) = kernel_col[i] else { continue };
+            let Some(_kc) = kernel_col[i] else { continue };
             let ker = sd.kernel.as_ref().expect("kernel column implies kernel");
             // G[:, kc] = B_i r_i
             let mut gr = vec![0.0; sd.n_lambda()];
             sd.bt.spmv_t(1.0, ker, 0.0, &mut gr);
             for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
                 if gr[ll] != 0.0 {
-                    g_coo.push(gl, kc, gr[ll]);
+                    g_coo.push(gl, kernel_col[i].expect("checked"), gr[ll]);
                 }
             }
-            // e_i = R_iᵀ f_i
-            e[kc] = sd.f.iter().zip(ker).map(|(fi, ri)| fi * ri).sum();
         }
         let g = g_coo.to_csc();
 
@@ -582,68 +521,103 @@ impl<'p> FetiSolver<'p> {
             l
         };
 
-        // d = B K⁺ f
-        let d_locals: Vec<Vec<f64>> = factors
-            .par_iter()
-            .zip(&problem.subdomains)
-            .map(|(f, sd)| {
-                let kf = f.solve_kplus(&sd.f);
-                let mut dl = vec![0.0; sd.n_lambda()];
-                sd.bt.spmv_t(1.0, &kf, 0.0, &mut dl);
-                dl
-            })
-            .collect();
-        let mut d = vec![0.0; problem.n_lambda];
-        for (sd, dl) in problem.subdomains.iter().zip(&d_locals) {
-            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
-                d[gl] += dl[ll];
-            }
-        }
-
-        FetiSolver {
+        let mut solver = FetiSolver {
             problem,
+            opts,
             factors,
             explicit_ops,
             g,
             gtg,
             kernel_col,
-            d,
-            e,
-            assembly_report,
-            cluster_report,
-            hybrid_report,
-        }
+            d: Vec::new(),
+            e: Vec::new(),
+            report,
+            legacy_assembly,
+            legacy_cluster,
+            legacy_hybrid,
+        };
+        // dual + coarse right-hand sides of the problem's own loads (any
+        // other loads go through solve_rhs, which recomputes both)
+        let (d, e) = solver.rhs_setup(None);
+        solver.d = d;
+        solver.e = e;
+        solver
     }
 
-    /// Diagnostics of the batched explicit assembly: per-subdomain wall
-    /// times, achieved parallel speedup, and block-cut cache hit counts.
-    /// `None` when the dual operator is applied implicitly. For
-    /// [`DualMode::ExplicitGpuCluster`] this is the flattened cluster
-    /// roll-up ([`ClusterReport::combined`]).
+    /// The unified preprocessing report: per-subdomain timings, per-device
+    /// execution timelines, and (for the auto formulation) the hybrid
+    /// decisions — one schema for every backend. `None` when the dual
+    /// operator is applied implicitly (nothing was assembled).
+    pub fn report(&self) -> Option<&AssemblyReport> {
+        self.report.as_ref()
+    }
+
+    /// Diagnostics of the batched explicit assembly, in the legacy
+    /// single-target shape.
+    #[deprecated(since = "0.2.0", note = "use FetiSolver::report")]
     pub fn assembly_report(&self) -> Option<&BatchReport> {
-        self.assembly_report.as_ref()
+        self.legacy_assembly.as_ref()
     }
 
-    /// Per-device diagnostics of the cluster-sharded assembly: the device
-    /// partition, per-device makespans/utilization, and the cluster
-    /// makespan. `None` unless [`DualMode::ExplicitGpuCluster`] or
-    /// [`DualMode::Hybrid`] (with a non-empty explicit-GPU share) was used.
-    /// For the hybrid mode, indices are problem-global and `device_of`
-    /// holds `usize::MAX` for subdomains not assembled on the pool.
+    /// Per-device diagnostics of the cluster-sharded assembly, in the
+    /// legacy shape.
+    #[deprecated(since = "0.2.0", note = "use FetiSolver::report")]
     pub fn cluster_report(&self) -> Option<&ClusterReport> {
-        self.cluster_report.as_ref()
+        self.legacy_cluster.as_ref()
     }
 
-    /// Decision/cost roll-up of the hybrid mode: the per-subdomain
-    /// explicit-vs-implicit plan, predicted vs realized assembly cost, and
-    /// the arena high water. `None` unless [`DualMode::Hybrid`] was used.
+    /// Decision/cost roll-up of the hybrid mode, in the legacy shape.
+    #[deprecated(since = "0.2.0", note = "use FetiSolver::report")]
     pub fn hybrid_report(&self) -> Option<&HybridReport> {
-        self.hybrid_report.as_ref()
+        self.legacy_hybrid.as_ref()
+    }
+
+    /// The options captured at construction.
+    pub fn options(&self) -> &FetiOptions {
+        &self.opts
     }
 
     /// Number of kernel columns (size of the coarse problem).
     pub fn n_kernels(&self) -> usize {
         self.kernel_col.iter().flatten().count()
+    }
+
+    /// Compute the dual and coarse right-hand sides `d = B K⁺ f`,
+    /// `e = Rᵀ f` for the given per-subdomain loads (`None` = the
+    /// problem's own).
+    fn rhs_setup(&self, f_locals: Option<&[Vec<f64>]>) -> (Vec<f64>, Vec<f64>) {
+        let f_of = |i: usize| -> &[f64] {
+            match f_locals {
+                Some(fs) => &fs[i],
+                None => &self.problem.subdomains[i].f,
+            }
+        };
+        let d_locals: Vec<Vec<f64>> = self
+            .factors
+            .par_iter()
+            .zip(&self.problem.subdomains)
+            .enumerate()
+            .map(|(i, (f, sd))| {
+                let kf = f.solve_kplus(f_of(i));
+                let mut dl = vec![0.0; sd.n_lambda()];
+                sd.bt.spmv_t(1.0, &kf, 0.0, &mut dl);
+                dl
+            })
+            .collect();
+        let mut d = vec![0.0; self.problem.n_lambda];
+        for (sd, dl) in self.problem.subdomains.iter().zip(&d_locals) {
+            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                d[gl] += dl[ll];
+            }
+        }
+        let mut e = vec![0.0; self.n_kernels().max(1)];
+        for (i, sd) in self.problem.subdomains.iter().enumerate() {
+            let (Some(kc), Some(ker)) = (self.kernel_col[i], sd.kernel.as_ref()) else {
+                continue;
+            };
+            e[kc] = f_of(i).iter().zip(ker).map(|(fi, ri)| fi * ri).sum();
+        }
+        (d, e)
     }
 
     /// Apply the assembled dual operator `F` to a global dual vector.
@@ -732,19 +706,74 @@ impl<'p> FetiSolver<'p> {
         z
     }
 
-    /// Full FETI solve: PCPG on the dual, then primal recovery.
-    pub fn solve(&self, opts: &FetiOptions) -> FetiSolution {
+    /// Full FETI solve of the problem's own loads: PCPG on the dual, then
+    /// primal recovery. Uses the options captured at construction.
+    pub fn solve(&self) -> FetiSolution {
+        let (d, e) = (self.d.clone(), self.e.clone());
+        self.solve_inner(&self.opts, &d, &e, None)
+    }
+
+    /// Solve for **new per-subdomain loads** without repeating any
+    /// preprocessing: the factorizations, explicit operators, and coarse
+    /// factor built at construction are reused; only the right-hand sides
+    /// (`d = B K⁺ f`, `e = Rᵀ f`), the PCPG iteration, and the primal
+    /// recovery run per call. This is what amortizes the expensive explicit
+    /// assembly across many solves.
+    ///
+    /// # Panics
+    ///
+    /// When `f_locals` does not carry one load vector per subdomain with
+    /// the subdomain's dof count.
+    pub fn solve_rhs(&self, f_locals: &[Vec<f64>]) -> FetiSolution {
+        assert_eq!(
+            f_locals.len(),
+            self.problem.subdomains.len(),
+            "solve_rhs needs one load vector per subdomain ({} given, {} subdomains)",
+            f_locals.len(),
+            self.problem.subdomains.len()
+        );
+        for (i, (fl, sd)) in f_locals.iter().zip(&self.problem.subdomains).enumerate() {
+            assert_eq!(
+                fl.len(),
+                sd.n_dofs(),
+                "subdomain {i}: load vector has {} entries, expected {}",
+                fl.len(),
+                sd.n_dofs()
+            );
+        }
+        let (d, e) = self.rhs_setup(Some(f_locals));
+        self.solve_inner(&self.opts, &d, &e, Some(f_locals))
+    }
+
+    /// Legacy entry point honouring per-call options; `solve()` (no
+    /// arguments, options captured at construction) replaces it.
+    #[deprecated(
+        since = "0.2.0",
+        note = "options are captured at construction; call FetiSolver::solve()"
+    )]
+    pub fn solve_with(&self, opts: &FetiOptions) -> FetiSolution {
+        let (d, e) = (self.d.clone(), self.e.clone());
+        self.solve_inner(opts, &d, &e, None)
+    }
+
+    fn solve_inner(
+        &self,
+        opts: &FetiOptions,
+        d: &[f64],
+        e: &[f64],
+        f_locals: Option<&[Vec<f64>]>,
+    ) -> FetiSolution {
         // λ0 = G (GᵀG)⁻¹ e satisfies Gᵀ λ0 = e (Eq. 4)
         let lambda0 = if self.n_kernels() == 0 {
             vec![0.0; self.problem.n_lambda]
         } else {
-            let y = self.coarse_solve(&self.e);
+            let y = self.coarse_solve(e);
             let mut l0 = vec![0.0; self.problem.n_lambda];
             self.g.spmv(1.0, &y, 0.0, &mut l0);
             l0
         };
         let res = crate::pcpg::pcpg_preconditioned(
-            &self.d,
+            d,
             lambda0,
             |p| self.apply_f(p),
             |x| self.project(x),
@@ -755,7 +784,7 @@ impl<'p> FetiSolver<'p> {
             opts.tol,
             opts.max_iter,
         );
-        let u_locals = self.recover_primal(&res.lambda);
+        let u_locals = self.recover_primal_with(&res.lambda, d, f_locals);
         FetiSolution {
             u_locals,
             lambda: res.lambda,
@@ -763,14 +792,23 @@ impl<'p> FetiSolver<'p> {
         }
     }
 
-    /// Primal recovery: `α = (GᵀG)⁻¹Gᵀ(Fλ − d)`,
+    /// Primal recovery for the problem's own loads: `α = (GᵀG)⁻¹Gᵀ(Fλ − d)`,
     /// `uᵢ = K⁺(fᵢ − B̃ᵢᵀ λ̃ᵢ) + Rᵢ αᵢ` (Eq. 5).
     pub fn recover_primal(&self, lambda: &[f64]) -> Vec<Vec<f64>> {
+        self.recover_primal_with(lambda, &self.d, None)
+    }
+
+    fn recover_primal_with(
+        &self,
+        lambda: &[f64],
+        d: &[f64],
+        f_locals: Option<&[Vec<f64>]>,
+    ) -> Vec<Vec<f64>> {
         let alphas: Vec<f64> = if self.n_kernels() == 0 {
             Vec::new()
         } else {
             let flam = self.apply_f(lambda);
-            let resid: Vec<f64> = flam.iter().zip(&self.d).map(|(a, b)| a - b).collect();
+            let resid: Vec<f64> = flam.iter().zip(d).map(|(a, b)| a - b).collect();
             let mut gtr = vec![0.0; self.g.ncols()];
             self.g.spmv_t(1.0, &resid, 0.0, &mut gtr);
             self.coarse_solve(&gtr)
@@ -782,7 +820,10 @@ impl<'p> FetiSolver<'p> {
             .map(|(i, (fac, sd))| {
                 // f_i - B̃ᵀ λ̃
                 let pl: Vec<f64> = sd.lambda_ids.iter().map(|&gl| lambda[gl]).collect();
-                let mut rhs = sd.f.clone();
+                let mut rhs = match f_locals {
+                    Some(fs) => fs[i].clone(),
+                    None => sd.f.clone(),
+                };
                 sd.bt.spmv(-1.0, &pl, 1.0, &mut rhs);
                 let mut u = fac.solve_kplus(&rhs);
                 if let (Some(kc), Some(ker)) = (self.kernel_col[i], sd.kernel.as_ref()) {
@@ -796,7 +837,7 @@ impl<'p> FetiSolver<'p> {
             .collect()
     }
 
-    /// The dual right-hand side.
+    /// The dual right-hand side of the problem's own loads.
     pub fn dual_rhs(&self) -> &[f64] {
         &self.d
     }
@@ -807,12 +848,223 @@ impl<'p> FetiSolver<'p> {
     }
 }
 
+/// Bind each assembled `F̃ᵢ` to its operator slot: subdomains the report
+/// placed on a device get a device-resident GEMV operator on the stream
+/// their schedule used; host subdomains (CPU backend, hybrid spills) get
+/// the host GEMV.
+fn bind_ops(f: Vec<Mat>, report: &AssemblyReport, backend: &Backend) -> Vec<OpSlot> {
+    f.into_iter()
+        .enumerate()
+        .map(|(i, mat)| {
+            let t = &report.subdomains[i];
+            debug_assert_eq!(t.index, i, "report timings must be in batch order");
+            let op = match (backend, t.device, t.stream) {
+                (Backend::Gpu { device, .. }, Some(_), Some(s)) => DualOperator::ExplicitGpu {
+                    f: mat,
+                    kernels: GpuKernels::new(device.stream(s)),
+                },
+                (
+                    Backend::Cluster { pool, .. } | Backend::Hybrid { pool, .. },
+                    Some(d),
+                    Some(s),
+                ) => DualOperator::ExplicitGpu {
+                    f: mat,
+                    kernels: GpuKernels::new(pool.device(d).stream(s)),
+                },
+                _ => DualOperator::ExplicitCpu(mat),
+            };
+            OpSlot::Own(op)
+        })
+        .collect()
+}
+
+/// The auto (hybrid) formulation: per-subdomain explicit-vs-implicit
+/// decision under the §4.4 cost model, explicit shares assembled through
+/// sessions on the backend, reports merged into one [`AssemblyReport`]
+/// (problem-global indices) plus the legacy [`HybridReport`].
+fn assemble_auto(
+    factors: &[SubdomainFactors],
+    cfg: &ScConfig,
+    backend: &Backend,
+    plan_opts: &HybridPlanOptions,
+) -> (Vec<OpSlot>, AssemblyReport, HybridReport) {
+    // the pool the explicit-GPU share may run on: the backend's own pool, a
+    // single-device pool for the GPU backend, or an empty pool on the host
+    let (pool, cluster_opts): (Arc<DevicePool>, ClusterOptions) = match backend {
+        Backend::Cluster { pool, opts } | Backend::Hybrid { pool, opts } => {
+            (Arc::clone(pool), opts.clone())
+        }
+        Backend::Gpu { device, schedule } => {
+            let mut opts = ClusterOptions::default().with_policy(schedule.policy);
+            if let Some(r) = &schedule.ready_at {
+                opts = opts.with_ready_at(r.clone());
+            }
+            (DevicePool::from_devices(vec![Arc::clone(device)]), opts)
+        }
+        _ => (
+            DevicePool::from_devices(Vec::new()),
+            ClusterOptions::default(),
+        ),
+    };
+
+    // decision layer: analytic assembly + per-iteration apply estimates per
+    // subdomain (the factor is borrowed where the engine exposes it)
+    let ref_spec = if pool.is_empty() {
+        plan_opts.host.clone()
+    } else {
+        pool.device(0).spec().clone()
+    };
+    let estimates: Vec<(sc_core::CostEstimate, sc_core::ApplyEstimate)> = factors
+        .par_iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let owned;
+            let l: &Csc = match f.chol.factor_csc_ref() {
+                Some(l) => l,
+                None => {
+                    owned = f.chol.factor_csc();
+                    &owned
+                }
+            };
+            let bt = &f.bt_perm;
+            let params = cfg.resolve(!pool.is_empty(), l, bt);
+            (
+                estimate_cost(&ref_spec, l, bt, &params, i),
+                estimate_apply(l, bt, i),
+            )
+        })
+        .collect();
+    let (costs, applies): (Vec<_>, Vec<_>) = estimates.into_iter().unzip();
+    let slots: Vec<DeviceSlot> = pool.devices().iter().map(|d| DeviceSlot::of(d)).collect();
+    let plan = plan_hybrid(&costs, &applies, &slots, plan_opts);
+    let gpu_idx = plan.indices_of(Formulation::ExplicitGpu);
+    let cpu_idx = plan.indices_of(Formulation::ExplicitCpu);
+
+    // one dispatch slot per subdomain; non-explicit ones borrow the shared
+    // factor bundle at application time
+    let mut ops: Vec<OpSlot> = (0..factors.len())
+        .map(|_| OpSlot::shared_implicit())
+        .collect();
+
+    // explicit-GPU share through a cluster session (two-level plan, arena
+    // admission, record/replay — bitwise CPU-equal)
+    let mut gpu_report: Option<AssemblyReport> = None;
+    let mut gpu_cluster_legacy: Option<ClusterReport> = None;
+    if !gpu_idx.is_empty() {
+        let mut share_opts = cluster_opts.clone();
+        share_opts.ready_at = cluster_opts
+            .ready_at
+            .as_ref()
+            .map(|r| gpu_idx.iter().map(|&g| r[g]).collect());
+        let gpu_items: Vec<&SubdomainFactors> = gpu_idx.iter().map(|&g| &factors[g]).collect();
+        let session = AssemblySession::new(
+            Backend::Cluster {
+                pool: Arc::clone(&pool),
+                opts: share_opts,
+            },
+            *cfg,
+        );
+        let res = session.assemble(LazyBatch::new(
+            &gpu_items,
+            |_, f: &&SubdomainFactors| Cow::Owned(f.chol.factor_csc()),
+            |f| &f.bt_perm,
+        ));
+        for (local, mat) in res.f.into_iter().enumerate() {
+            let t = &res.report.subdomains[local];
+            let dev = t.device.expect("gpu share runs on the pool");
+            let stream = t.stream.unwrap_or(0);
+            ops[gpu_idx[local]] = OpSlot::Own(DualOperator::ExplicitGpu {
+                f: mat,
+                kernels: GpuKernels::new(pool.device(dev).stream(stream)),
+            });
+        }
+        gpu_cluster_legacy = res
+            .report
+            .to_cluster_report()
+            .map(|c| remap_cluster_report(c, &gpu_idx, factors.len()));
+        let mut rep = res.report;
+        rep.remap_indices(&gpu_idx);
+        gpu_report = Some(rep);
+    }
+
+    // explicit-CPU share (the spill fail-over for high iteration counts)
+    // through a CPU session
+    let mut cpu_report: Option<AssemblyReport> = None;
+    let mut cpu_batch_legacy: Option<BatchReport> = None;
+    if !cpu_idx.is_empty() {
+        let cpu_items: Vec<&SubdomainFactors> = cpu_idx.iter().map(|&g| &factors[g]).collect();
+        let session = AssemblySession::new(Backend::cpu(), *cfg);
+        let res = session.assemble(LazyBatch::new(
+            &cpu_items,
+            |_, f: &&SubdomainFactors| Cow::Owned(f.chol.factor_csc()),
+            |f| &f.bt_perm,
+        ));
+        for (local, mat) in res.f.into_iter().enumerate() {
+            ops[cpu_idx[local]] = OpSlot::Own(DualOperator::ExplicitCpu(mat));
+        }
+        cpu_batch_legacy = Some(remap_batch_report(res.report.to_batch_report(), &cpu_idx));
+        let mut rep = res.report;
+        rep.remap_indices(&cpu_idx);
+        cpu_report = Some(rep);
+    }
+
+    // roll both shares up into the unified report: timings in problem-global
+    // order, device sections from the pool share, decisions in the hybrid
+    // block
+    let predicted_assembly_seconds: f64 = plan
+        .choices
+        .iter()
+        .filter(|c| c.formulation != Formulation::Implicit)
+        .map(|c| c.assembly_seconds)
+        .sum();
+    let mut unified = AssemblyReport::default();
+    if let Some(g) = &gpu_report {
+        unified.subdomains.extend(g.subdomains.iter().copied());
+        unified.devices = g.devices.clone();
+        unified.makespan = g.makespan;
+        unified.total_seconds += g.total_seconds;
+        unified.cache_hits += g.cache_hits;
+        unified.cache_misses += g.cache_misses;
+    }
+    if let Some(c) = &cpu_report {
+        unified.subdomains.extend(c.subdomains.iter().copied());
+        unified.total_seconds += c.total_seconds;
+        unified.cache_hits += c.cache_hits;
+        unified.cache_misses += c.cache_misses;
+    }
+    unified.subdomains.sort_by_key(|t| t.index);
+    let realized_gpu = gpu_report.as_ref().map_or(0.0, |g| g.makespan);
+    let realized_cpu = cpu_report.as_ref().map_or(0.0, |c| c.total_seconds);
+    let arena_high_water = gpu_report.as_ref().map_or(0, |g| g.temp_high_water());
+    unified.hybrid = Some(HybridSummary {
+        plan: Some(plan.clone()),
+        formulation: plan.choices.iter().map(|c| c.formulation).collect(),
+        spilled: plan.spilled.clone(),
+        predicted_assembly_seconds,
+        realized_gpu_seconds: realized_gpu,
+        realized_cpu_seconds: realized_cpu,
+        arena_high_water,
+    });
+
+    let legacy = HybridReport {
+        cluster: gpu_cluster_legacy,
+        cpu_batch: cpu_batch_legacy,
+        predicted_assembly_seconds,
+        realized_gpu_assembly_seconds: realized_gpu,
+        realized_cpu_assembly_seconds: realized_cpu,
+        arena_high_water,
+        plan,
+    };
+    (ops, unified, legacy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_core::{HybridForce, ScheduleOptions, StreamPolicy};
     use sc_factor::{CholOptions, SparseCholesky};
     use sc_fem::Gluing;
-    use sc_gpu::DeviceSpec;
+    use sc_gpu::{Device, DeviceSpec};
 
     fn direct_solution(problem: &HeatProblem) -> Vec<f64> {
         let (k, f) = problem.assemble_global();
@@ -820,9 +1072,8 @@ mod tests {
         chol.solve(&f)
     }
 
-    fn check_against_direct(problem: &HeatProblem, opts: &FetiOptions, tol: f64) {
-        let solver = FetiSolver::new(problem, opts);
-        let sol = solver.solve(opts);
+    fn check_solver(problem: &HeatProblem, solver: &FetiSolver<'_>, tol: f64) {
+        let sol = solver.solve();
         assert!(
             sol.stats.converged,
             "PCPG did not converge: {:?}",
@@ -841,31 +1092,45 @@ mod tests {
         }
     }
 
+    fn explicit_solver<'p>(
+        problem: &'p HeatProblem,
+        backend: Backend,
+        cfg: ScConfig,
+    ) -> FetiSolver<'p> {
+        FetiSolverBuilder::new()
+            .backend(backend)
+            .formulation(FormulationChoice::Explicit)
+            .assembly(cfg)
+            .build(problem)
+    }
+
     #[test]
     fn implicit_2d_matches_direct() {
         let p = HeatProblem::build_2d(4, (3, 2), Gluing::Redundant);
-        check_against_direct(&p, &FetiOptions::default(), 1e-6);
+        let solver = FetiSolverBuilder::new().build(&p);
+        check_solver(&p, &solver, 1e-6);
     }
 
     #[test]
     fn explicit_cpu_2d_matches_direct() {
         let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
-        let opts = FetiOptions {
-            dual: DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
-            ..Default::default()
-        };
-        check_against_direct(&p, &opts, 1e-6);
+        let solver = explicit_solver(&p, Backend::cpu(), ScConfig::optimized(false, false));
+        check_solver(&p, &solver, 1e-6);
+        let report = solver.report().expect("explicit mode reports");
+        assert_eq!(report.subdomains.len(), p.subdomains.len());
+        assert!(report.devices.is_empty());
     }
 
     #[test]
     fn explicit_gpu_3d_matches_direct() {
         let p = HeatProblem::build_3d(2, (2, 2, 1), Gluing::Redundant);
         let dev = Device::new(DeviceSpec::a100(), 4);
-        let opts = FetiOptions {
-            dual: DualMode::ExplicitGpu(ScConfig::optimized(true, true), Arc::clone(&dev)),
-            ..Default::default()
-        };
-        check_against_direct(&p, &opts, 1e-6);
+        let solver = explicit_solver(
+            &p,
+            Backend::gpu(Arc::clone(&dev)),
+            ScConfig::optimized(true, true),
+        );
+        check_solver(&p, &solver, 1e-6);
         assert!(dev.synchronize() > 0.0, "GPU must have been used");
     }
 
@@ -873,61 +1138,89 @@ mod tests {
     fn explicit_gpu_scheduled_matches_direct_and_reports_schedule() {
         let p = HeatProblem::build_3d(2, (2, 2, 1), Gluing::Redundant);
         let dev = Device::new(DeviceSpec::a100(), 4);
-        let opts = FetiOptions {
-            dual: DualMode::ExplicitGpuScheduled(
-                ScConfig::Auto,
-                Arc::clone(&dev),
-                sc_core::ScheduleOptions::default(),
-            ),
-            ..Default::default()
-        };
-        check_against_direct(&p, &opts, 1e-6);
+        let solver = explicit_solver(&p, Backend::gpu(Arc::clone(&dev)), ScConfig::Auto);
+        check_solver(&p, &solver, 1e-6);
         assert!(dev.synchronize() > 0.0, "GPU must have been used");
-        let solver = FetiSolver::new(&p, &opts);
-        let report = solver.assembly_report().expect("scheduled mode reports");
-        assert_eq!(report.schedule.len(), p.subdomains.len());
-        assert!(report.device_seconds > 0.0);
-        assert!(report.timings.iter().all(|t| t.stream.is_some()));
+        let report = solver.report().expect("explicit mode reports");
+        assert_eq!(report.devices.len(), 1);
+        assert_eq!(report.devices[0].schedule.len(), p.subdomains.len());
+        assert!(report.makespan > 0.0);
+        assert!(report.subdomains.iter().all(|t| t.stream.is_some()));
     }
 
     #[test]
     fn explicit_gpu_cluster_matches_direct_and_reports_partition() {
-        use sc_gpu::DevicePool;
         let p = HeatProblem::build_3d(2, (2, 2, 2), Gluing::Redundant);
         let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
-        let opts = FetiOptions {
-            dual: DualMode::ExplicitGpuCluster {
-                cfg: ScConfig::optimized(true, true),
-                pool: Arc::clone(&pool),
-                opts: sc_core::ClusterOptions::default(),
-            },
-            ..Default::default()
-        };
-        check_against_direct(&p, &opts, 1e-6);
+        let solver = explicit_solver(
+            &p,
+            Backend::cluster(Arc::clone(&pool)),
+            ScConfig::optimized(true, true),
+        );
+        check_solver(&p, &solver, 1e-6);
         assert!(pool.synchronize_all() > 0.0, "the pool must have been used");
 
-        let solver = FetiSolver::new(&p, &opts);
-        let report = solver.cluster_report().expect("cluster mode reports");
-        assert_eq!(report.device_of.len(), p.subdomains.len());
-        let mut placed: Vec<usize> = report.partition.concat();
+        let report = solver.report().expect("cluster mode reports");
+        assert_eq!(report.devices.len(), 2);
+        let mut placed: Vec<usize> = report
+            .devices
+            .iter()
+            .flat_map(|d| d.subdomains.iter().copied())
+            .collect();
         placed.sort_unstable();
         assert_eq!(placed, (0..p.subdomains.len()).collect::<Vec<_>>());
         assert!(report.makespan > 0.0);
-        let combined = solver.assembly_report().expect("combined roll-up");
-        assert_eq!(combined.timings.len(), p.subdomains.len());
-        assert_eq!(combined.device_seconds, report.makespan);
+        assert_eq!(report.subdomains.len(), p.subdomains.len());
 
         // the cluster-assembled F̃ᵢ are bitwise identical to the CPU
         // explicit path (same fixed config ⇒ same kernel sequence)
-        let cpu_opts = FetiOptions {
-            dual: DualMode::ExplicitCpu(ScConfig::optimized(true, true)),
-            ..Default::default()
-        };
-        let s_cpu = FetiSolver::new(&p, &cpu_opts);
+        let s_cpu = explicit_solver(&p, Backend::cpu(), ScConfig::optimized(true, true));
         let lam: Vec<f64> = (0..p.n_lambda).map(|i| (i as f64 * 0.3).sin()).collect();
         let a = solver.apply_f(&lam);
         let b = s_cpu.apply_f(&lam);
         assert_eq!(a, b, "cluster dual operator must match the CPU one bitwise");
+    }
+
+    #[test]
+    fn solve_rhs_reuses_preprocessing_bitwise() {
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        let solver = explicit_solver(&p, Backend::cpu(), ScConfig::optimized(false, false));
+        // the problem's own loads through both entry points: bitwise equal
+        let own: Vec<Vec<f64>> = p.subdomains.iter().map(|sd| sd.f.clone()).collect();
+        let a = solver.solve();
+        let b = solver.solve_rhs(&own);
+        assert_eq!(a.lambda, b.lambda, "same loads must solve identically");
+        assert_eq!(a.u_locals, b.u_locals);
+        // scaled loads scale the solution linearly
+        let scaled: Vec<Vec<f64>> = own
+            .iter()
+            .map(|f| f.iter().map(|v| 3.0 * v).collect())
+            .collect();
+        let c = solver.solve_rhs(&scaled);
+        assert!(c.stats.converged);
+        let ua = p.gather_global(&a.u_locals);
+        let uc = p.gather_global(&c.u_locals);
+        let scale = ua.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for i in 0..ua.len() {
+            assert!(
+                (uc[i] - 3.0 * ua[i]).abs() < 1e-6 * scale,
+                "dof {i}: {} vs 3×{}",
+                uc[i],
+                ua[i]
+            );
+        }
+    }
+
+    #[test]
+    fn solve_rhs_validates_shapes() {
+        let p = HeatProblem::build_2d(3, (2, 1), Gluing::Redundant);
+        let solver = FetiSolverBuilder::new().build(&p);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            solver.solve_rhs(&[Vec::new()]);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("one load vector per subdomain"), "{msg}");
     }
 
     /// Peak temporary footprints of every subdomain under `cfg`, priced the
@@ -948,21 +1241,28 @@ mod tests {
             .collect()
     }
 
-    fn hybrid_opts(iters: f64, allow_cpu: bool, force: sc_core::HybridForce) -> HybridOptions {
-        HybridOptions {
-            plan: HybridPlanOptions {
-                iters,
-                allow_explicit_cpu: allow_cpu,
-                force,
-                ..Default::default()
-            },
-            cluster: ClusterOptions::default(),
-        }
+    fn auto_solver<'p>(
+        p: &'p HeatProblem,
+        pool: Arc<DevicePool>,
+        cfg: ScConfig,
+        iters: f64,
+        allow_cpu: bool,
+        force: HybridForce,
+    ) -> FetiSolver<'p> {
+        FetiSolverBuilder::new()
+            .backend(Backend::cluster(pool))
+            .formulation(FormulationChoice::Auto(
+                HybridPlanOptions::default()
+                    .with_iters(iters)
+                    .with_allow_explicit_cpu(allow_cpu)
+                    .with_force(force),
+            ))
+            .assembly(cfg)
+            .build(p)
     }
 
     #[test]
     fn hybrid_mixes_formulations_and_matches_direct() {
-        use sc_gpu::DevicePool;
         // a 3×3 decomposition carries corner, edge, and interior subdomains
         // with different interface sizes: an arena between the extremes
         // splits them into explicitly-admissible and spilled
@@ -972,51 +1272,47 @@ mod tests {
         let (lo, hi) = (*temps.iter().min().unwrap(), *temps.iter().max().unwrap());
         assert!(lo < hi, "workload must have a footprint spread");
         let arena = (lo + hi) / 2;
-        let spec = sc_gpu::DeviceSpec {
+        let spec = DeviceSpec {
             memory_bytes: 2 * arena, // the arena is half of device memory
             ..DeviceSpec::a100()
         };
         let pool = DevicePool::uniform(spec, 2, 2);
         // forced explicit + no CPU fail-over: admissible subdomains go to
         // the pool, oversized ones must spill to implicit (never error)
-        let opts = FetiOptions {
-            dual: DualMode::Hybrid {
-                cfg,
-                pool: Arc::clone(&pool),
-                opts: hybrid_opts(1e6, false, sc_core::HybridForce::AllExplicit),
-            },
-            ..Default::default()
-        };
-        check_against_direct(&p, &opts, 1e-6);
+        let solver = auto_solver(
+            &p,
+            Arc::clone(&pool),
+            cfg,
+            1e6,
+            false,
+            HybridForce::AllExplicit,
+        );
+        check_solver(&p, &solver, 1e-6);
 
-        let solver = FetiSolver::new(&p, &opts);
-        let report = solver.hybrid_report().expect("hybrid mode reports");
-        let n_gpu = report.count_of(sc_core::Formulation::ExplicitGpu);
-        let n_impl = report.count_of(sc_core::Formulation::Implicit);
+        let report = solver.report().expect("auto mode reports");
+        let hybrid = report.hybrid.as_ref().expect("hybrid section present");
+        let n_gpu = hybrid.count_of(Formulation::ExplicitGpu);
+        let n_impl = hybrid.count_of(Formulation::Implicit);
         assert!(n_gpu > 0, "some subdomains must fit the arena");
         assert!(n_impl > 0, "some subdomains must spill: temps {temps:?}");
         assert_eq!(n_gpu + n_impl, p.subdomains.len());
-        assert_eq!(report.spilled().len(), n_impl);
+        assert_eq!(hybrid.spilled.len(), n_impl);
         // spilled = exactly the subdomains whose temporaries exceed the arena
         for (i, &t) in temps.iter().enumerate() {
             assert_eq!(
-                report.spilled().contains(&i),
+                hybrid.spilled.contains(&i),
                 t > arena,
                 "subdomain {i}: {t} B vs arena {arena} B"
             );
         }
         // arena never oversubscribed, and the pool really ran
-        assert!(report.arena_high_water <= arena);
-        assert!(report.realized_gpu_assembly_seconds > 0.0);
-        assert!(report.predicted_assembly_seconds > 0.0);
-        let cluster = solver.cluster_report().expect("gpu share reports");
-        for (i, &d) in cluster.device_of.iter().enumerate() {
-            let on_pool = d != usize::MAX;
-            assert_eq!(
-                on_pool,
-                !report.spilled().contains(&i),
-                "placement/decision mismatch at {i}"
-            );
+        assert!(hybrid.arena_high_water <= arena);
+        assert!(hybrid.realized_gpu_seconds > 0.0);
+        assert!(hybrid.predicted_assembly_seconds > 0.0);
+        // every explicitly assembled subdomain carries a device placement
+        for t in &report.subdomains {
+            assert!(t.device.is_some(), "gpu share timing at {}", t.index);
+            assert!(!hybrid.spilled.contains(&t.index));
         }
 
         // the hybrid operator application must be bitwise identical to the
@@ -1029,7 +1325,7 @@ mod tests {
         for (i, sd) in p.subdomains.iter().enumerate() {
             let pl: Vec<f64> = sd.lambda_ids.iter().map(|&gl| lam[gl]).collect();
             let mut ql = vec![0.0; sd.n_lambda()];
-            if report.spilled().contains(&i) {
+            if hybrid.spilled.contains(&i) {
                 crate::dualop::apply_implicit(&solver.factors()[i], &pl, &mut ql);
             } else {
                 let expl = DualOperator::explicit_cpu(&solver.factors()[i], &cfg);
@@ -1047,57 +1343,44 @@ mod tests {
 
     #[test]
     fn hybrid_spill_everything_falls_back_to_implicit() {
-        use sc_gpu::DevicePool;
         let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
         // an arena nothing fits into: every subdomain spills, the solver
         // must degrade to the implicit mode instead of erroring
-        let spec = sc_gpu::DeviceSpec {
+        let spec = DeviceSpec {
             memory_bytes: 16,
             ..DeviceSpec::a100()
         };
         let pool = DevicePool::uniform(spec, 1, 2);
-        let opts = FetiOptions {
-            dual: DualMode::Hybrid {
-                cfg: ScConfig::optimized(true, false),
-                pool,
-                opts: hybrid_opts(1e9, false, sc_core::HybridForce::Auto),
-            },
-            ..Default::default()
-        };
-        check_against_direct(&p, &opts, 1e-6);
-        let solver = FetiSolver::new(&p, &opts);
-        let report = solver.hybrid_report().unwrap();
-        assert_eq!(
-            report.count_of(sc_core::Formulation::Implicit),
-            p.subdomains.len()
+        let solver = auto_solver(
+            &p,
+            pool,
+            ScConfig::optimized(true, false),
+            1e9,
+            false,
+            HybridForce::Auto,
         );
-        assert_eq!(report.spilled().len(), p.subdomains.len());
-        assert!(solver.cluster_report().is_none());
-        assert!(solver.assembly_report().is_none(), "nothing was assembled");
-        assert_eq!(report.predicted_assembly_seconds, 0.0);
+        check_solver(&p, &solver, 1e-6);
+        let report = solver.report().unwrap();
+        let hybrid = report.hybrid.as_ref().unwrap();
+        assert_eq!(hybrid.count_of(Formulation::Implicit), p.subdomains.len());
+        assert_eq!(hybrid.spilled.len(), p.subdomains.len());
+        assert!(report.subdomains.is_empty(), "nothing was assembled");
+        assert!(report.devices.is_empty());
+        assert_eq!(hybrid.predicted_assembly_seconds, 0.0);
     }
 
     #[test]
     fn hybrid_iteration_extremes_collapse_at_the_solver_level() {
-        use sc_gpu::DevicePool;
         let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
         let cfg = ScConfig::optimized(true, false);
         let collapse = |iters: f64| {
             let pool = DevicePool::uniform(DeviceSpec::a100(), 1, 2);
-            let opts = FetiOptions {
-                dual: DualMode::Hybrid {
-                    cfg,
-                    pool,
-                    opts: hybrid_opts(iters, true, sc_core::HybridForce::Auto),
-                },
-                ..Default::default()
-            };
-            let solver = FetiSolver::new(&p, &opts);
-            let r = solver.hybrid_report().unwrap().plan.clone();
+            let solver = auto_solver(&p, pool, cfg, iters, true, HybridForce::Auto);
+            let report = solver.report().unwrap();
+            let h = report.hybrid.as_ref().unwrap();
             (
-                r.count_of(sc_core::Formulation::Implicit),
-                r.count_of(sc_core::Formulation::ExplicitGpu)
-                    + r.count_of(sc_core::Formulation::ExplicitCpu),
+                h.count_of(Formulation::Implicit),
+                h.count_of(Formulation::ExplicitGpu) + h.count_of(Formulation::ExplicitCpu),
             )
         };
         let (impl0, expl0) = collapse(0.0);
@@ -1109,31 +1392,57 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_backend_spills_explicitly_to_the_host() {
+        // Explicit formulation on the spill-tolerant Hybrid backend: the
+        // oversized share is assembled on the host instead of erroring
+        let p = HeatProblem::build_2d(6, (3, 3), Gluing::Redundant);
+        let cfg = ScConfig::optimized(true, true);
+        let temps = temp_footprints(&p, &cfg);
+        let (lo, hi) = (*temps.iter().min().unwrap(), *temps.iter().max().unwrap());
+        assert!(lo < hi);
+        let arena = (lo + hi) / 2;
+        let spec = DeviceSpec {
+            memory_bytes: 2 * arena,
+            ..DeviceSpec::a100()
+        };
+        let pool = DevicePool::uniform(spec, 2, 2);
+        let solver = explicit_solver(&p, Backend::hybrid(pool), cfg);
+        check_solver(&p, &solver, 1e-6);
+        let report = solver.report().unwrap();
+        let hybrid = report.hybrid.as_ref().unwrap();
+        assert!(!hybrid.spilled.is_empty(), "some subdomains must spill");
+        assert_eq!(
+            hybrid.count_of(Formulation::ExplicitCpu),
+            hybrid.spilled.len()
+        );
+        // every subdomain still got an explicit operator
+        assert_eq!(report.subdomains.len(), p.subdomains.len());
+    }
+
+    #[test]
     fn chain_gluing_also_converges() {
         let p = HeatProblem::build_2d(3, (3, 1), Gluing::Chain);
-        check_against_direct(&p, &FetiOptions::default(), 1e-6);
+        let solver = FetiSolverBuilder::new().build(&p);
+        check_solver(&p, &solver, 1e-6);
     }
 
     #[test]
     fn supernodal_engine_matches() {
         let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
-        let opts = FetiOptions {
-            engine: Engine::Supernodal,
-            ..Default::default()
-        };
-        check_against_direct(&p, &opts, 1e-6);
+        let solver = FetiSolverBuilder::new()
+            .options(FetiOptions::default().with_engine(Engine::Supernodal))
+            .build(&p);
+        check_solver(&p, &solver, 1e-6);
     }
 
     #[test]
     fn lumped_preconditioner_converges_and_matches() {
         let p = HeatProblem::build_2d(5, (3, 2), Gluing::Redundant);
-        let plain = FetiOptions::default();
-        let lumped = FetiOptions {
-            preconditioner: Preconditioner::Lumped,
-            ..Default::default()
-        };
-        let s1 = FetiSolver::new(&p, &plain).solve(&plain);
-        let s2 = FetiSolver::new(&p, &lumped).solve(&lumped);
+        let s1 = FetiSolverBuilder::new().build(&p).solve();
+        let s2 = FetiSolverBuilder::new()
+            .options(FetiOptions::default().with_preconditioner(Preconditioner::Lumped))
+            .build(&p)
+            .solve();
         assert!(s1.stats.converged && s2.stats.converged);
         // same solution
         let u1 = p.gather_global(&s1.u_locals);
@@ -1155,9 +1464,8 @@ mod tests {
     fn lambda_jump_is_closed() {
         // after convergence the interface jump B u must vanish
         let p = HeatProblem::build_2d(3, (2, 2), Gluing::Redundant);
-        let opts = FetiOptions::default();
-        let solver = FetiSolver::new(&p, &opts);
-        let sol = solver.solve(&opts);
+        let solver = FetiSolverBuilder::new().build(&p);
+        let sol = solver.solve();
         let mut jump = vec![0.0; p.n_lambda];
         for (sd, ul) in p.subdomains.iter().zip(&sol.u_locals) {
             let mut local = vec![0.0; sd.n_lambda()];
@@ -1168,5 +1476,31 @@ mod tests {
         }
         let max_jump = jump.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!(max_jump < 1e-6, "interface jump {max_jump}");
+    }
+
+    #[test]
+    fn auto_on_gpu_backend_uses_a_single_device_pool() {
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        let dev = Device::new(DeviceSpec::a100(), 2);
+        let solver = FetiSolverBuilder::new()
+            .backend(Backend::Gpu {
+                device: Arc::clone(&dev),
+                schedule: ScheduleOptions::default().with_policy(StreamPolicy::LptLeastLoaded),
+            })
+            .formulation(FormulationChoice::Auto(
+                HybridPlanOptions::default()
+                    .with_force(HybridForce::AllExplicit)
+                    .with_allow_explicit_cpu(false),
+            ))
+            .assembly(ScConfig::optimized(true, false))
+            .build(&p);
+        check_solver(&p, &solver, 1e-6);
+        assert!(dev.synchronize() > 0.0, "the device must have been used");
+        let hybrid = solver.report().unwrap().hybrid.as_ref().unwrap().clone();
+        assert_eq!(
+            hybrid.count_of(Formulation::ExplicitGpu),
+            p.subdomains.len(),
+            "forced explicit with no CPU fail-over goes all-explicit-GPU"
+        );
     }
 }

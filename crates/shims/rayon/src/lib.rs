@@ -26,11 +26,38 @@ pub mod prelude {
     };
 }
 
-/// Number of worker threads a parallel combinator will use at most.
+/// Number of worker threads a parallel combinator will use at most,
+/// honouring any cap installed by [`with_max_threads`].
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
+    let avail = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    match MAX_THREADS.with(|c| c.get()) {
+        0 => avail,
+        cap => avail.min(cap),
+    }
+}
+
+thread_local! {
+    /// Per-thread worker cap installed by [`with_max_threads`]
+    /// (0 = uncapped). Shim-only extension: real rayon scopes thread counts
+    /// through `ThreadPool::install`, which this offline shim does not carry.
+    static MAX_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Run `f` with parallel combinators on this thread capped at `max` worker
+/// threads (`0` removes the cap). The cap nests and unwinds safely: the
+/// previous value is restored when `f` returns **or panics**. This is the
+/// shim's stand-in for running inside a sized `rayon::ThreadPool`.
+pub fn with_max_threads<R>(max: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(MAX_THREADS.with(|c| c.replace(max)));
+    f()
 }
 
 /// Run two closures, potentially in parallel, and return both results.
@@ -448,5 +475,31 @@ mod tests {
         let v = vec!["a".to_string(), "b".to_string()];
         let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
         assert_eq!(out, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn with_max_threads_caps_and_restores() {
+        let unlimited = current_num_threads();
+        let (inner, nested) = with_max_threads(1, || {
+            (
+                current_num_threads(),
+                with_max_threads(0, current_num_threads),
+            )
+        });
+        assert_eq!(inner, 1, "cap must apply inside the scope");
+        assert_eq!(nested, unlimited, "0 must lift the cap while nested");
+        assert_eq!(current_num_threads(), unlimited, "cap must be restored");
+        // parallel combinators still produce correct, ordered output capped
+        let v: Vec<usize> =
+            with_max_threads(1, || (0..100).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(v, (1..=100).collect::<Vec<_>>());
+        // the cap must unwind with a panicking closure
+        let caught = std::panic::catch_unwind(|| with_max_threads(1, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(
+            current_num_threads(),
+            unlimited,
+            "cap must be restored across unwinding"
+        );
     }
 }

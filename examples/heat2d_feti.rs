@@ -17,26 +17,28 @@ fn main() {
     );
 
     let mut reference: Option<Vec<f64>> = None;
-    for (name, dual) in [
-        ("implicit", DualMode::Implicit),
+    for (name, formulation, cfg) in [
+        ("implicit", FormulationChoice::Implicit, ScConfig::Auto),
         (
             "explicit (original kernels)",
-            DualMode::ExplicitCpu(ScConfig::original(FactorStorage::Sparse)),
+            FormulationChoice::Explicit,
+            ScConfig::original(FactorStorage::Sparse),
         ),
         (
             "explicit (stepped/optimized)",
-            DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
+            FormulationChoice::Explicit,
+            ScConfig::optimized(false, false),
         ),
     ] {
-        let opts = FetiOptions {
-            dual,
-            ..Default::default()
-        };
         let t0 = Instant::now();
-        let solver = FetiSolver::new(&problem, &opts);
+        let solver = FetiSolverBuilder::new()
+            .backend(Backend::cpu())
+            .formulation(formulation)
+            .assembly(cfg)
+            .build(&problem);
         let preprocess = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let solution = solver.solve(&opts);
+        let solution = solver.solve();
         let iterate = t1.elapsed().as_secs_f64();
         println!(
             "{name:32} preprocessing {preprocess:8.4}s, solve {iterate:8.4}s, \

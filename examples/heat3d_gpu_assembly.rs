@@ -62,34 +62,34 @@ fn main() {
     // the §4.4 scheduler (cost-model LPT + arena admission) with per-knob
     // auto-selection:
     let dev: Arc<Device> = Device::new(DeviceSpec::a100(), 4);
-    let opts = FetiOptions {
-        dual: DualMode::ExplicitGpuScheduled(
-            ScConfig::Auto,
-            Arc::clone(&dev),
-            ScheduleOptions::default(),
-        ),
-        ..Default::default()
-    };
-    let solver = FetiSolver::new(&problem, &opts);
-    let solution = solver.solve(&opts);
+    let solver = FetiSolverBuilder::new()
+        .backend(Backend::gpu(Arc::clone(&dev)))
+        .formulation(FormulationChoice::Explicit)
+        .assembly(ScConfig::Auto)
+        .build(&problem);
+    let solution = solver.solve();
     println!(
         "FETI solve with GPU-assembled dual operator: {} iterations, residual {:.1e}",
         solution.stats.iterations, solution.stats.rel_residual
     );
-    if let Some(report) = solver.assembly_report() {
+    if let Some(report) = solver.report() {
         println!(
             "scheduled assembly: device makespan {:.3} ms, arena peak {:.1} KiB",
-            report.device_seconds * 1e3,
-            report.temp_high_water as f64 / 1024.0
+            report.makespan * 1e3,
+            report.temp_high_water() as f64 / 1024.0
         );
-        for entry in &report.schedule {
-            println!(
-                "  subdomain {:2} -> stream {} @ [{:8.3}, {:8.3}] us",
-                entry.index,
-                entry.stream,
-                entry.span.start * 1e6,
-                entry.span.end * 1e6
-            );
+        for device in &report.devices {
+            for lane in device.stream_lanes() {
+                for entry in &lane.spans {
+                    println!(
+                        "  subdomain {:2} -> stream {} @ [{:8.3}, {:8.3}] us",
+                        entry.index,
+                        lane.stream,
+                        entry.span.start * 1e6,
+                        entry.span.end * 1e6
+                    );
+                }
+            }
         }
     }
 }

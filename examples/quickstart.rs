@@ -40,9 +40,12 @@ fn main() {
     );
 
     // --- solve the full problem with FETI (implicit dual operator) ---
-    let opts = FetiOptions::default();
-    let solver = FetiSolver::new(&problem, &opts);
-    let solution = solver.solve(&opts);
+    // options are captured once at construction; solve() takes no arguments
+    let solver = FetiSolverBuilder::new()
+        .options(FetiOptions::default())
+        .formulation(FormulationChoice::Implicit)
+        .build(&problem);
+    let solution = solver.solve();
     println!(
         "FETI solve: {} PCPG iterations, converged = {}, rel. residual = {:.2e}",
         solution.stats.iterations, solution.stats.converged, solution.stats.rel_residual

@@ -24,15 +24,43 @@
 //!
 //! ## Quickstart
 //!
+//! Options are captured once at construction; the preprocessed solver
+//! handle serves any number of right-hand sides:
+//!
 //! ```
 //! use schur_dd::prelude::*;
 //!
 //! // 2D heat transfer, 3x3 cells per subdomain, 2x2 subdomains
 //! let problem = HeatProblem::build_2d(3, (2, 2), Gluing::Redundant);
-//! let opts = FetiOptions::default();
-//! let solver = FetiSolver::new(&problem, &opts);
-//! let solution = solver.solve(&opts);
+//! let solver = FetiSolverBuilder::new()
+//!     .options(FetiOptions::default())
+//!     .backend(Backend::cpu())
+//!     .formulation(FormulationChoice::Explicit)
+//!     .assembly(ScConfig::optimized(false, false))
+//!     .build(&problem);
+//! let solution = solver.solve();
 //! assert!(solution.stats.converged);
+//!
+//! // amortize preprocessing across more load cases
+//! let loads: Vec<Vec<f64>> = problem
+//!     .subdomains
+//!     .iter()
+//!     .map(|sd| sd.f.iter().map(|v| 0.5 * v).collect())
+//!     .collect();
+//! assert!(solver.solve_rhs(&loads).stats.converged);
+//! ```
+//!
+//! Batched Schur-complement assembly goes through the same composable
+//! surface — pick a [`sc_core::Backend`], bind it in an
+//! [`sc_core::AssemblySession`], read one [`sc_core::AssemblyReport`]:
+//!
+//! ```no_run
+//! use schur_dd::prelude::*;
+//! # let items: Vec<BatchItem> = Vec::new();
+//! let device = Device::new(DeviceSpec::a100(), 4);
+//! let session = AssemblySession::new(Backend::gpu(device), ScConfig::Auto);
+//! let result = session.assemble(&items);
+//! println!("makespan {:.3} ms", result.report.makespan * 1e3);
 //! ```
 
 pub use sc_core;
@@ -47,14 +75,20 @@ pub use sc_sparse;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use sc_core::{
-        assemble_sc, assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_gpu,
-        assemble_sc_batch_scheduled, estimate_apply, estimate_cost, plan_cluster,
-        plan_cluster_spill, plan_hybrid, ApplyEstimate, BatchItem, BatchReport, BatchResult,
-        BlockCutsCache, BlockParam, ClusterOptions, ClusterPlan, ClusterPlanError, ClusterReport,
-        ClusterResult, CostEstimate, CpuExec, DeviceSlot, FactorStorage, Formulation, GpuExec,
-        HybridForce, HybridPlan, HybridPlanOptions, RecordingExec, ScConfig, ScParams,
-        ScheduleOptions, ScheduledSpan, SteppedRhs, StreamPolicy, SubdomainTiming, SyrkVariant,
-        TrsmVariant,
+        assemble_sc, estimate_apply, estimate_cost, plan_cluster, plan_cluster_spill, plan_hybrid,
+        ApplyEstimate, AssemblyReport, AssemblyResult, AssemblySession, Backend, BatchItem,
+        BatchReport, BatchResult, BatchSource, BlockCutsCache, BlockParam, ClusterOptions,
+        ClusterPlan, ClusterPlanError, ClusterReport, ClusterResult, CostEstimate, CpuExec,
+        DeviceReport, DeviceSlot, FactorStorage, Formulation, GpuExec, HybridForce, HybridPlan,
+        HybridPlanOptions, HybridSummary, IntoBatchSource, LazyBatch, RecordingExec, ScConfig,
+        ScParams, ScheduleOptions, ScheduledSpan, SteppedRhs, StreamLane, StreamPolicy,
+        SubdomainTiming, SyrkVariant, TrsmVariant,
+    };
+    // deprecated free-function drivers, kept one release for migration
+    #[allow(deprecated)]
+    pub use sc_core::{
+        assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_gpu,
+        assemble_sc_batch_scheduled,
     };
     pub use sc_dense::Mat;
     pub use sc_factor::{CholOptions, Engine, SparseCholesky};
@@ -62,8 +96,8 @@ pub mod prelude {
     pub use sc_feti::solver::DualMode;
     pub use sc_feti::{
         apply_implicit, apply_implicit_with, preprocess_approach, BoundaryMap, DualOpApproach,
-        DualOperator, FetiOptions, FetiSolution, FetiSolver, HybridOptions, HybridReport,
-        PcpgBreakdown, SubdomainFactors,
+        DualOperator, FetiOptions, FetiSolution, FetiSolver, FetiSolverBuilder, FormulationChoice,
+        HybridOptions, HybridReport, PcpgBreakdown, SubdomainFactors,
     };
     pub use sc_gpu::{Device, DevicePool, DeviceSpec, GpuKernels};
     pub use sc_order::Ordering;

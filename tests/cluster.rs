@@ -79,25 +79,32 @@ proptest! {
         let items: Vec<BatchItem<'_>> =
             data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let pool = DevicePool::uniform(tight_spec(), n_devices, n_streams);
-        let res = assemble_sc_batch_cluster(&items, &ScConfig::optimized(true, false), &pool, &ClusterOptions::default());
+        let res = AssemblySession::new(Backend::cluster(pool.clone()), ScConfig::optimized(true, false))
+            .assemble(&items);
         let report = &res.report;
 
         // --- every subdomain placed on exactly one device
-        let mut placed: Vec<usize> = report.partition.concat();
+        let mut placed: Vec<usize> = report
+            .devices
+            .iter()
+            .flat_map(|d| d.subdomains.iter().copied())
+            .collect();
         placed.sort_unstable();
         prop_assert_eq!(placed, (0..items.len()).collect::<Vec<_>>());
-        prop_assert_eq!(report.device_of.len(), items.len());
-        for (i, &d) in report.device_of.iter().enumerate() {
-            prop_assert!(report.partition[d].contains(&i));
+        prop_assert_eq!(report.subdomains.len(), items.len());
+        for t in &report.subdomains {
+            let d = t.device.expect("cluster places every subdomain");
+            prop_assert!(report.devices[d].subdomains.contains(&t.index));
         }
 
         // --- no device's simulated arena exceeds its own capacity
-        prop_assert_eq!(report.per_device.len(), n_devices);
-        for (d, rep) in report.per_device.iter().enumerate() {
-            let capacity = pool.device(d).temp_pool().capacity();
+        prop_assert_eq!(report.devices.len(), n_devices);
+        for rep in &report.devices {
+            let capacity = pool.device(rep.device).temp_pool().capacity();
             prop_assert!(
                 rep.temp_high_water <= capacity,
-                "device {d}: arena high water {} > capacity {capacity}",
+                "device {}: arena high water {} > capacity {capacity}",
+                rep.device,
                 rep.temp_high_water
             );
             // sweep the executed schedule: committed usage never exceeds it
@@ -112,7 +119,8 @@ proptest! {
                 usage += delta;
                 prop_assert!(
                     usage <= capacity as i64,
-                    "device {d} oversubscribed at t={at}: {usage} > {capacity}"
+                    "device {} oversubscribed at t={at}: {usage} > {capacity}",
+                    rep.device
                 );
             }
         }
@@ -120,18 +128,17 @@ proptest! {
         // --- cluster makespan never exceeds the single-device makespan on
         //     identical hardware
         let single = Device::new(tight_spec(), n_streams);
-        let sres = assemble_sc_batch_scheduled(
-            &items,
-            &ScConfig::optimized(true, false),
-            &single,
-            &ScheduleOptions::default(),
-        );
+        let sres = AssemblySession::new(
+            Backend::gpu(std::sync::Arc::clone(&single)),
+            ScConfig::optimized(true, false),
+        )
+        .assemble(&items);
         prop_assert!(
-            report.makespan <= sres.report.device_seconds * (1.0 + 1e-12),
+            report.makespan <= sres.report.makespan * (1.0 + 1e-12),
             "cluster makespan {} over {n_devices} devices exceeds the \
              single-device makespan {}",
             report.makespan,
-            sres.report.device_seconds
+            sres.report.makespan
         );
 
         // --- numerics: bitwise equal to the sequential CPU reference
@@ -152,11 +159,16 @@ proptest! {
             data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let pool = DevicePool::heterogeneous(&[DeviceSpec::a100(), tight_spec()], n_streams);
         let cfg = ScConfig::optimized(true, false);
-        let res = assemble_sc_batch_cluster(&items, &cfg, &pool, &ClusterOptions::default());
-        for (d, rep) in res.report.per_device.iter().enumerate() {
-            prop_assert!(rep.temp_high_water <= pool.device(d).temp_pool().capacity());
+        let res = AssemblySession::new(Backend::cluster(pool.clone()), cfg).assemble(&items);
+        for rep in &res.report.devices {
+            prop_assert!(rep.temp_high_water <= pool.device(rep.device).temp_pool().capacity());
         }
-        let mut placed: Vec<usize> = res.report.partition.concat();
+        let mut placed: Vec<usize> = res
+            .report
+            .devices
+            .iter()
+            .flat_map(|d| d.subdomains.iter().copied())
+            .collect();
         placed.sort_unstable();
         prop_assert_eq!(placed, (0..items.len()).collect::<Vec<_>>());
         for (i, (l, bt)) in data.iter().enumerate() {

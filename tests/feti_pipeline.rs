@@ -1,5 +1,6 @@
 //! End-to-end integration tests: the full FETI pipeline against direct
-//! solves, across dual-operator modes, engines, orderings, and dimensions.
+//! solves, across formulations, backends, engines, orderings, and
+//! dimensions — all through the composable `FetiSolverBuilder` surface.
 
 use schur_dd::prelude::*;
 use std::sync::Arc;
@@ -11,9 +12,8 @@ fn direct(problem: &HeatProblem) -> Vec<f64> {
         .solve(&f)
 }
 
-fn check(problem: &HeatProblem, opts: &FetiOptions) {
-    let solver = FetiSolver::new(problem, opts);
-    let sol = solver.solve(opts);
+fn check(problem: &HeatProblem, solver: &FetiSolver<'_>) {
+    let sol = solver.solve();
     assert!(
         sol.stats.converged,
         "PCPG did not converge: {:?}",
@@ -32,18 +32,26 @@ fn check(problem: &HeatProblem, opts: &FetiOptions) {
     }
 }
 
+fn explicit<'p>(problem: &'p HeatProblem, backend: Backend, cfg: ScConfig) -> FetiSolver<'p> {
+    FetiSolverBuilder::new()
+        .backend(backend)
+        .formulation(FormulationChoice::Explicit)
+        .assembly(cfg)
+        .build(problem)
+}
+
 #[test]
 fn implicit_2d_various_decompositions() {
     for (c, subs) in [(3, (2, 2)), (4, (3, 2)), (5, (1, 3))] {
         let p = HeatProblem::build_2d(c, subs, Gluing::Redundant);
-        check(&p, &FetiOptions::default());
+        check(&p, &FetiSolverBuilder::new().build(&p));
     }
 }
 
 #[test]
 fn implicit_3d() {
     let p = HeatProblem::build_3d(3, (2, 2, 2), Gluing::Redundant);
-    check(&p, &FetiOptions::default());
+    check(&p, &FetiSolverBuilder::new().build(&p));
 }
 
 #[test]
@@ -55,11 +63,7 @@ fn explicit_cpu_all_configs_2d() {
         ScConfig::optimized(false, false),
         ScConfig::optimized(false, true),
     ] {
-        let opts = FetiOptions {
-            dual: DualMode::ExplicitCpu(cfg),
-            ..Default::default()
-        };
-        check(&p, &opts);
+        check(&p, &explicit(&p, Backend::cpu(), cfg));
     }
 }
 
@@ -67,41 +71,42 @@ fn explicit_cpu_all_configs_2d() {
 fn explicit_gpu_3d_with_multiple_streams() {
     let p = HeatProblem::build_3d(3, (2, 1, 2), Gluing::Redundant);
     let dev = Device::new(DeviceSpec::a100(), 3);
-    let opts = FetiOptions {
-        dual: DualMode::ExplicitGpu(ScConfig::optimized(true, true), Arc::clone(&dev)),
-        ..Default::default()
-    };
-    check(&p, &opts);
+    let solver = explicit(
+        &p,
+        Backend::gpu(Arc::clone(&dev)),
+        ScConfig::optimized(true, true),
+    );
+    check(&p, &solver);
     assert!(dev.launches() > 0);
 }
 
 #[test]
 fn supernodal_engine_full_pipeline() {
     let p = HeatProblem::build_2d(5, (2, 2), Gluing::Redundant);
-    let opts = FetiOptions {
-        engine: Engine::Supernodal,
-        dual: DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
-        ..Default::default()
-    };
-    check(&p, &opts);
+    let solver = FetiSolverBuilder::new()
+        .options(FetiOptions::default().with_engine(Engine::Supernodal))
+        .formulation(FormulationChoice::Explicit)
+        .assembly(ScConfig::optimized(false, false))
+        .build(&p);
+    check(&p, &solver);
 }
 
 #[test]
 fn chain_gluing_full_pipeline() {
     let p = HeatProblem::build_2d(4, (3, 2), Gluing::Chain);
-    check(&p, &FetiOptions::default());
+    check(&p, &FetiSolverBuilder::new().build(&p));
 }
 
 #[test]
 fn rcm_and_natural_orderings_work_end_to_end() {
     let p = HeatProblem::build_2d(3, (2, 2), Gluing::Redundant);
     for ordering in [Ordering::Rcm, Ordering::Natural, Ordering::MinimumDegree] {
-        let opts = FetiOptions {
-            ordering,
-            dual: DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
-            ..Default::default()
-        };
-        check(&p, &opts);
+        let solver = FetiSolverBuilder::new()
+            .options(FetiOptions::default().with_ordering(ordering))
+            .formulation(FormulationChoice::Explicit)
+            .assembly(ScConfig::optimized(false, false))
+            .build(&p);
+        check(&p, &solver);
     }
 }
 
@@ -115,30 +120,42 @@ fn all_dual_approaches_are_interchangeable() {
     let device = Device::new(DeviceSpec::a100(), 2);
     for approach in DualOpApproach::ALL {
         // route through the generic FETI solver by translating the approach
-        // to a DualMode where possible; approaches with bespoke assembly
-        // (ExplMkl / ExplHybrid) are covered by their own apply-equivalence
-        // test in sc-feti, so here we spot-check the solver-compatible ones.
-        let dual = match approach {
-            DualOpApproach::ImplMkl | DualOpApproach::ImplCholmod => DualMode::Implicit,
-            DualOpApproach::ExplCholmod => {
-                DualMode::ExplicitCpu(ScConfig::original(FactorStorage::Sparse))
+        // to a (backend, formulation, config) triple where possible;
+        // approaches with bespoke assembly (ExplMkl / ExplHybrid) are
+        // covered by their own apply-equivalence test in sc-feti, so here we
+        // spot-check the solver-compatible ones.
+        let (backend, formulation, cfg) = match approach {
+            DualOpApproach::ImplMkl | DualOpApproach::ImplCholmod => {
+                (Backend::cpu(), FormulationChoice::Implicit, ScConfig::Auto)
             }
-            DualOpApproach::ExplCpuOpt => DualMode::ExplicitCpu(ScConfig::optimized(false, false)),
-            DualOpApproach::ExplCuda => DualMode::ExplicitGpu(
+            DualOpApproach::ExplCholmod => (
+                Backend::cpu(),
+                FormulationChoice::Explicit,
                 ScConfig::original(FactorStorage::Sparse),
-                Arc::clone(&device),
             ),
-            DualOpApproach::ExplGpuOpt => {
-                DualMode::ExplicitGpu(ScConfig::optimized(true, false), Arc::clone(&device))
-            }
+            DualOpApproach::ExplCpuOpt => (
+                Backend::cpu(),
+                FormulationChoice::Explicit,
+                ScConfig::optimized(false, false),
+            ),
+            DualOpApproach::ExplCuda => (
+                Backend::gpu(Arc::clone(&device)),
+                FormulationChoice::Explicit,
+                ScConfig::original(FactorStorage::Sparse),
+            ),
+            DualOpApproach::ExplGpuOpt => (
+                Backend::gpu(Arc::clone(&device)),
+                FormulationChoice::Explicit,
+                ScConfig::optimized(true, false),
+            ),
             DualOpApproach::ExplMkl | DualOpApproach::ExplHybrid => continue,
         };
-        let opts = FetiOptions {
-            dual,
-            ..Default::default()
-        };
-        let solver = FetiSolver::new(&p, &opts);
-        let sol = solver.solve(&opts);
+        let solver = FetiSolverBuilder::new()
+            .backend(backend)
+            .formulation(formulation)
+            .assembly(cfg)
+            .build(&p);
+        let sol = solver.solve();
         assert!(sol.stats.converged, "{approach:?}");
         let u = p.gather_global(&sol.u_locals);
         for i in 0..u.len() {
@@ -155,9 +172,37 @@ fn solution_is_physical() {
     // unit source, zero Dirichlet at x=0: temperature must be positive and
     // increase monotonically with x along the centerline
     let p = HeatProblem::build_2d(6, (2, 1), Gluing::Redundant);
-    let opts = FetiOptions::default();
-    let solver = FetiSolver::new(&p, &opts);
-    let sol = solver.solve(&opts);
+    let solver = FetiSolverBuilder::new().build(&p);
+    let sol = solver.solve();
     let u = p.gather_global(&sol.u_locals);
     assert!(u.iter().all(|&v| v > 0.0), "temperature must be positive");
+}
+
+#[test]
+fn multi_rhs_handle_amortizes_preprocessing() {
+    // one preprocessed handle serves many load cases; each solve matches
+    // the direct solution of its own loads
+    let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+    let solver = explicit(&p, Backend::cpu(), ScConfig::optimized(false, false));
+    let base = direct(&p);
+    let scale = base.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    for k in 1..=4 {
+        let alpha = k as f64 * 0.75;
+        let loads: Vec<Vec<f64>> = p
+            .subdomains
+            .iter()
+            .map(|sd| sd.f.iter().map(|v| alpha * v).collect())
+            .collect();
+        let sol = solver.solve_rhs(&loads);
+        assert!(sol.stats.converged, "rhs {k}: {:?}", sol.stats);
+        let u = p.gather_global(&sol.u_locals);
+        for i in 0..u.len() {
+            assert!(
+                (u[i] - alpha * base[i]).abs() < 1e-6 * scale * alpha.max(1.0),
+                "rhs {k}, dof {i}: {} vs {}",
+                u[i],
+                alpha * base[i]
+            );
+        }
+    }
 }

@@ -93,7 +93,7 @@ proptest! {
         let (costs, applies) = estimates_of(&subs);
         let devices = slots(&[arena_kib << 10, (arena_kib << 10) / 2]);
         let max_arena = arena_kib << 10;
-        let opts = HybridPlanOptions { iters, ..Default::default() };
+        let opts = HybridPlanOptions::default().with_iters(iters);
         let plan = plan_hybrid(&costs, &applies, &devices, &opts);
 
         prop_assert_eq!(plan.choices.len(), subs.len());
@@ -148,14 +148,14 @@ proptest! {
             &costs,
             &applies,
             &devices,
-            &HybridPlanOptions { iters: 0.0, ..Default::default() },
+            &HybridPlanOptions::default().with_iters(0.0),
         );
         prop_assert_eq!(zero.count_of(Formulation::Implicit), subs.len());
         let inf = plan_hybrid(
             &costs,
             &applies,
             &devices,
-            &HybridPlanOptions { iters: f64::INFINITY, ..Default::default() },
+            &HybridPlanOptions::default().with_iters(f64::INFINITY),
         );
         // synthetic explicit applies are strictly cheaper on the host than
         // on the launch-padded GPU only sometimes — but implicit never wins
@@ -181,7 +181,6 @@ proptest! {
 /// per-formulation reference, and still solves the PDE.
 #[test]
 fn hybrid_solver_end_to_end_invariants() {
-    use schur_dd::sc_core::assemble_sc_batch_cluster_map;
     use std::sync::Arc;
 
     let p = HeatProblem::build_2d(6, (3, 3), Gluing::Redundant);
@@ -210,24 +209,18 @@ fn hybrid_solver_end_to_end_invariants() {
         2,
         2,
     );
-    let opts = FetiOptions {
-        dual: DualMode::Hybrid {
-            cfg,
-            pool: Arc::clone(&pool),
-            opts: HybridOptions {
-                plan: HybridPlanOptions {
-                    iters: 1e6,
-                    allow_explicit_cpu: false,
-                    force: HybridForce::AllExplicit,
-                    ..Default::default()
-                },
-                ..Default::default()
-            },
-        },
-        ..Default::default()
-    };
-    let solver = FetiSolver::new(&p, &opts);
-    let report = solver.hybrid_report().expect("hybrid reports");
+    let solver = FetiSolverBuilder::new()
+        .backend(Backend::cluster(Arc::clone(&pool)))
+        .formulation(FormulationChoice::Auto(
+            HybridPlanOptions::default()
+                .with_iters(1e6)
+                .with_allow_explicit_cpu(false)
+                .with_force(HybridForce::AllExplicit),
+        ))
+        .assembly(cfg)
+        .build(&p);
+    let unified = solver.report().expect("auto mode reports");
+    let report = unified.hybrid.as_ref().expect("hybrid section present");
 
     // exactly one formulation per subdomain; the spill set is the over-arena set
     let n = p.subdomains.len();
@@ -240,14 +233,14 @@ fn hybrid_solver_end_to_end_invariants() {
     assert!(report.count_of(Formulation::ExplicitGpu) > 0);
     assert!(report.count_of(Formulation::Implicit) > 0);
     for (i, &t) in temps.iter().enumerate() {
-        assert_eq!(report.spilled().contains(&i), t > arena, "subdomain {i}");
+        assert_eq!(report.spilled.contains(&i), t > arena, "subdomain {i}");
     }
 
     // no explicit placement oversubscribes its device arena
     assert!(report.arena_high_water <= arena);
-    let cluster = report.cluster.as_ref().expect("gpu share ran");
-    for (d, rep) in cluster.per_device.iter().enumerate() {
-        assert!(rep.temp_high_water <= pool.device(d).temp_pool().capacity());
+    assert!(!unified.devices.is_empty(), "gpu share ran");
+    for dev in &unified.devices {
+        assert!(dev.temp_high_water <= pool.device(dev.device).temp_pool().capacity());
     }
 
     // hybrid application bitwise == mixed reference: the explicit share is
@@ -261,7 +254,7 @@ fn hybrid_solver_end_to_end_invariants() {
     for (i, sd) in p.subdomains.iter().enumerate() {
         let pl: Vec<f64> = sd.lambda_ids.iter().map(|&gl| lam[gl]).collect();
         let mut ql = vec![0.0; sd.n_lambda()];
-        if report.spilled().contains(&i) {
+        if report.spilled.contains(&i) {
             apply_implicit(&factors[i], &pl, &mut ql);
         } else {
             let l = factors[i].chol.factor_csc();
@@ -277,21 +270,19 @@ fn hybrid_solver_end_to_end_invariants() {
         "hybrid apply must be bitwise the mixed reference"
     );
 
-    // the spill-tolerant cluster planner agrees with the hybrid placement
-    let gpu_idx: Vec<usize> = (0..n).filter(|i| !report.spilled().contains(i)).collect();
+    // the spill-tolerant cluster session agrees with the hybrid placement
+    let gpu_idx: Vec<usize> = (0..n).filter(|i| !report.spilled.contains(i)).collect();
     let gpu_items: Vec<&SubdomainFactors> = gpu_idx.iter().map(|&g| &factors[g]).collect();
-    let res = assemble_sc_batch_cluster_map(
-        &gpu_items,
-        &cfg,
-        &pool,
-        &ClusterOptions::default(),
-        |_, f| std::borrow::Cow::Owned(f.chol.factor_csc()),
-        |f| &f.bt_perm,
-    );
+    let res =
+        AssemblySession::new(Backend::cluster(Arc::clone(&pool)), cfg).assemble(LazyBatch::new(
+            &gpu_items,
+            |_, f: &&SubdomainFactors| std::borrow::Cow::Owned(f.chol.factor_csc()),
+            |f| &f.bt_perm,
+        ));
     assert_eq!(res.f.len(), gpu_idx.len());
 
     // and the solve still matches the direct solution
-    let sol = solver.solve(&opts);
+    let sol = solver.solve();
     assert!(sol.stats.converged, "{:?}", sol.stats);
     assert!(sol.stats.operator_applications > sol.stats.iterations);
     let (k, f_glob) = p.assemble_global();

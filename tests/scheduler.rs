@@ -82,17 +82,17 @@ fn scheduled_beats_round_robin_on_the_bench_workload() {
     let cfg = ScConfig::optimized(true, false);
 
     let dev_rr = Device::new(DeviceSpec::a100(), 4);
-    let rr = assemble_sc_batch_scheduled(
-        &items,
-        &cfg,
-        &dev_rr,
-        &ScheduleOptions {
-            policy: StreamPolicy::RoundRobin,
-            ready_at: None,
+    let rr = AssemblySession::new(
+        Backend::Gpu {
+            device: std::sync::Arc::clone(&dev_rr),
+            schedule: ScheduleOptions::default().with_policy(StreamPolicy::RoundRobin),
         },
-    );
+        cfg,
+    )
+    .assemble(&items);
     let dev_lpt = Device::new(DeviceSpec::a100(), 4);
-    let lpt = assemble_sc_batch_scheduled(&items, &cfg, &dev_lpt, &ScheduleOptions::default());
+    let lpt =
+        AssemblySession::new(Backend::gpu(std::sync::Arc::clone(&dev_lpt)), cfg).assemble(&items);
 
     assert!(
         dev_lpt.synchronize() < dev_rr.synchronize(),
@@ -121,18 +121,22 @@ proptest! {
         let dev = tight_device(n_streams);
         dev.enable_span_log();
         let cfg = ScConfig::optimized(true, false);
-        let opts = ScheduleOptions {
-            policy: if lpt { StreamPolicy::LptLeastLoaded } else { StreamPolicy::RoundRobin },
-            ready_at: None,
-        };
-        let res = assemble_sc_batch_scheduled(&items, &cfg, &dev, &opts);
+        let opts = ScheduleOptions::default().with_policy(
+            if lpt { StreamPolicy::LptLeastLoaded } else { StreamPolicy::RoundRobin },
+        );
+        let res = AssemblySession::new(
+            Backend::Gpu { device: std::sync::Arc::clone(&dev), schedule: opts },
+            cfg,
+        )
+        .assemble(&items);
         let report = &res.report;
+        let schedule = &report.devices[0].schedule;
         let capacity = dev.temp_pool().capacity();
 
         // --- arena: usage from the executed schedule never exceeds capacity
-        prop_assert!(report.temp_high_water <= capacity);
+        prop_assert!(report.temp_high_water() <= capacity);
         let mut events: Vec<(f64, i64)> = Vec::new();
-        for e in &report.schedule {
+        for e in schedule {
             prop_assert!(e.temp_bytes <= capacity, "reservation larger than arena");
             events.push((e.admitted_at, e.temp_bytes as i64));
             events.push((e.span.end.max(e.admitted_at), -(e.temp_bytes as i64)));
@@ -165,20 +169,16 @@ proptest! {
         }
 
         // --- streams: a stream runs one subdomain at a time, in order
-        for s in 0..n_streams {
-            let mine: Vec<_> = report
-                .schedule
-                .iter()
-                .filter(|e| e.stream == s)
-                .collect();
-            for w in mine.windows(2) {
+        // (stream_lanes groups the executed schedule per stream)
+        for lane in report.devices[0].stream_lanes() {
+            for w in lane.spans.windows(2) {
                 prop_assert!(
                     w[1].span.start >= w[0].span.end - 1e-15,
-                    "stream {s}: overlapping subdomain spans"
+                    "stream {}: overlapping subdomain spans", lane.stream
                 );
             }
         }
-        prop_assert_eq!(report.schedule.len(), items.len());
+        prop_assert_eq!(schedule.len(), items.len());
 
         // --- numerics: bitwise equal to the sequential CPU reference
         for (i, (l, bt)) in data.iter().enumerate() {
@@ -197,16 +197,17 @@ proptest! {
             data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
         let ready: Vec<f64> = (0..items.len()).map(|i| delays[i % delays.len()]).collect();
         let dev = tight_device(n_streams);
-        let res = assemble_sc_batch_scheduled(
-            &items,
-            &ScConfig::optimized(true, false),
-            &dev,
-            &ScheduleOptions {
-                policy: StreamPolicy::LptLeastLoaded,
-                ready_at: Some(ready.clone()),
+        let res = AssemblySession::new(
+            Backend::Gpu {
+                device: std::sync::Arc::clone(&dev),
+                schedule: ScheduleOptions::default()
+                    .with_policy(StreamPolicy::LptLeastLoaded)
+                    .with_ready_at(ready.clone()),
             },
-        );
-        for e in &res.report.schedule {
+            ScConfig::optimized(true, false),
+        )
+        .assemble(&items);
+        for e in &res.report.devices[0].schedule {
             prop_assert!(
                 e.span.start >= ready[e.index] - 1e-15,
                 "subdomain {} started at {} before readiness {}",
