@@ -1,0 +1,7 @@
+// Fixture: seeded deprecation-budget violation.
+
+#[allow(deprecated)] // line 3
+pub fn uses_legacy() {}
+
+#[allow(dead_code)]
+pub fn unrelated_allow_ok() {}

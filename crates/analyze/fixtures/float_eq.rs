@@ -1,0 +1,25 @@
+// Fixture: seeded float-eq violations.
+
+pub fn literal_rhs(x: f64) -> bool {
+    x == 0.5 // line 4
+}
+
+pub fn literal_lhs(x: f64) -> bool {
+    1e-12 != x // line 8
+}
+
+pub fn negative_literal(x: f64) -> bool {
+    x == -2.5 // line 12
+}
+
+pub fn int_compare_ok(x: u32) -> bool {
+    x == 5
+}
+
+pub fn tolerance_ok(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-9
+}
+
+pub fn bits_ok(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits()
+}

@@ -1,0 +1,35 @@
+// Fixture: seeded panic-surface violations. Analyzed under a synthetic
+// library path; expected findings are pinned by line in fixtures.rs.
+
+pub fn unwrap_violation(x: Option<u8>) -> u8 {
+    x.unwrap() // line 5: .unwrap()
+}
+
+pub fn short_expect_violation(x: Option<u8>) -> u8 {
+    x.expect("no") // line 9: message too short
+}
+
+pub fn panic_violation(flag: bool) {
+    if flag {
+        panic!("seeded"); // line 14: panic!
+    }
+}
+
+pub fn todo_violation() {
+    todo!() // line 19: todo!
+}
+
+pub fn descriptive_expect_ok(x: Option<u8>) -> u8 {
+    x.expect("fixture invariant: slot populated by caller")
+}
+
+pub fn format_expect_ok(x: Option<u8>, i: usize) -> u8 {
+    x.expect(&format!("fixture slot {i} populated by caller"))
+}
+
+#[test]
+fn test_region_ok() {
+    let x: Option<u8> = None;
+    let _ = x.unwrap_or(0);
+    assert!(std::panic::catch_unwind(|| panic!("fine in tests")).is_err());
+}

@@ -1,0 +1,18 @@
+// Fixture: seeded pub-doc violations (analyzed under a core/src path).
+
+pub fn undocumented_fn() {} // line 3
+
+pub struct UndocumentedStruct; // line 5
+
+/// Documented function.
+pub fn documented_fn() {}
+
+/// Documented struct, attribute between doc and item.
+#[derive(Clone)]
+pub struct DocumentedStruct;
+
+pub(crate) fn restricted_ok() {}
+
+pub enum NotATarget {
+    A,
+}

@@ -1,0 +1,22 @@
+// Fixture: every seeded violation carries an allow directive — the
+// engine must report ZERO findings for this file. A directive covers
+// its own line and the next, so it sits either trailing the violation
+// or on the line directly above it.
+
+pub fn unwrap_suppressed(x: Option<u8>) -> u8 {
+    x.unwrap() // sc-analyze: allow(panic-surface)
+}
+
+pub fn float_suppressed(x: f64) -> bool {
+    // sc-analyze: allow(float-eq)
+    x == 0.5
+}
+
+pub fn units_suppressed(a_seconds: f64, b_bytes: f64) -> f64 {
+    a_seconds + b_bytes // sc-analyze: allow(unit-discipline)
+}
+
+pub fn multi_suppressed(x: f64) -> bool {
+    // sc-analyze: allow(panic-surface, float-eq)
+    if x == 1.5 { panic!("suppressed on this line and the one above") } else { false }
+}

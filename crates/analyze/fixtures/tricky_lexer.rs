@@ -1,0 +1,30 @@
+// Fixture: violation-shaped text hidden where only a real lexer can see
+// it is harmless — the engine must report ZERO findings for this file.
+
+pub fn strings_hide_everything() -> &'static str {
+    "x.unwrap() and panic!(\"boom\") and a == 0.5 and t_seconds + n_bytes"
+}
+
+pub fn raw_strings_too() -> &'static str {
+    r#"y.expect("no") != 1.5 todo!()"#
+}
+
+// commented out: z.unwrap(); w == 2.5; panic!("never lexed as code")
+
+/* block comment with a == 0.5 and .unwrap() inside
+   /* nested: panic!("still trivia") */
+   still trivia */
+
+pub fn char_literals_are_not_lifetimes() -> (char, char) {
+    ('\'', '"')
+}
+
+pub fn int_method_calls_are_not_floats(n: u64) -> u64 {
+    // `1.max(...)` lexes as Int `.` Ident — no float-eq despite the `==`
+    let m = 1.max(n);
+    if m == 1 {
+        m
+    } else {
+        n
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: seeded unit-discipline violations.
+
+pub fn mixed_add(elapsed_seconds: f64, staged_bytes: f64) -> f64 {
+    elapsed_seconds + staged_bytes // line 4
+}
+
+pub fn mixed_compare(total_flops: f64, moved_bytes: f64) -> bool {
+    total_flops > moved_bytes // line 8
+}
+
+pub fn same_unit_ok(a_seconds: f64, b_seconds: f64) -> f64 {
+    a_seconds - b_seconds
+}
+
+pub fn rate_ok(work_flops: f64, span_seconds: f64) -> f64 {
+    work_flops / span_seconds
+}
+
+pub fn unsuffixed_ok(count: usize, limit: usize) -> bool {
+    count > limit
+}

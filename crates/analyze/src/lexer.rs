@@ -1,0 +1,544 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The workspace is offline, so the lint engine cannot lean on `syn` or
+//! `proc-macro2`; this hand-rolled scanner produces just enough structure
+//! for lexical lint rules to be exact about what is *code*: string, char,
+//! raw-string, and byte literals are single tokens (their contents can
+//! never trip a rule), comments are preserved as trivia (suppression
+//! directives and doc-comment checks need them), and multi-character
+//! operators (`==`, `!=`, `::`, …) arrive pre-combined so rules match on
+//! whole operators, not character soup.
+//!
+//! The lexer is intentionally *not* a validator — on malformed input it
+//! produces a best-effort token stream instead of erroring, which is the
+//! right trade for a linter that runs over a tree the compiler checks
+//! anyway.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/oct/bin and tuple-index digits).
+    Int,
+    /// Float literal (`0.0`, `1e-12`, `2.5e3`, `1f64`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), quotes
+    /// included in [`Token::text`].
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Non-doc comment, line or block, markers included.
+    Comment,
+    /// Doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+    /// Punctuation / operator, multi-character operators pre-combined.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is comment trivia (doc or not).
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokKind::Comment | TokKind::DocComment)
+    }
+
+    /// The contents of a string literal (text between the quotes, escapes
+    /// unprocessed); `None` for non-string tokens.
+    pub fn str_contents(&self) -> Option<&str> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let open = self.text.find('"')?;
+        let close = self.text.rfind('"')?;
+        if close > open {
+            Some(&self.text[open + 1..close])
+        } else {
+            Some("")
+        }
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream (comments preserved as trivia).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let push = |out: &mut Vec<Token>, kind: TokKind, text: String, line: u32| {
+        out.push(Token { kind, text, line });
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // comments
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            let start = i;
+            let start_line = line;
+            if b[i + 1] == '/' {
+                // `///` (but not `////`) and `//!` are doc comments
+                let doc = (b.get(i + 2) == Some(&'/') && b.get(i + 3) != Some(&'/'))
+                    || b.get(i + 2) == Some(&'!');
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                push(
+                    &mut out,
+                    if doc {
+                        TokKind::DocComment
+                    } else {
+                        TokKind::Comment
+                    },
+                    text,
+                    start_line,
+                );
+            } else {
+                // block comment, nesting honored; `/**`/`/*!` are doc
+                // (but the empty `/**/` is not)
+                let doc = (b.get(i + 2) == Some(&'*') && b.get(i + 3) != Some(&'/'))
+                    || b.get(i + 2) == Some(&'!');
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = b[start..i].iter().collect();
+                push(
+                    &mut out,
+                    if doc {
+                        TokKind::DocComment
+                    } else {
+                        TokKind::Comment
+                    },
+                    text,
+                    start_line,
+                );
+            }
+            continue;
+        }
+
+        // raw strings and byte-string prefixes: r"…", r#"…"#, br"…", b"…"
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut is_raw = false;
+            if b[j] == 'b' && b.get(j + 1) == Some(&'r') {
+                is_raw = true;
+                j += 2;
+            } else if b[j] == 'r' {
+                is_raw = true;
+                j += 1;
+            } else {
+                j += 1; // plain `b` prefix
+            }
+            if is_raw && (b.get(j) == Some(&'"') || b.get(j) == Some(&'#')) {
+                // raw string: count hashes, then scan to `"` + same hashes
+                let start = i;
+                let start_line = line;
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&'"') {
+                    j += 1;
+                    'scan: while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if b[j] == '"' {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while seen < hashes && b.get(k) == Some(&'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    let text: String = b[start..j.min(n)].iter().collect();
+                    push(&mut out, TokKind::Str, text, start_line);
+                    i = j;
+                    continue;
+                }
+            } else if c == 'b' && b.get(i + 1) == Some(&'"') {
+                // byte string: fall through to the ordinary string scanner
+                // by consuming the prefix here
+                let start = i;
+                let start_line = line;
+                let mut j = i + 2;
+                while j < n {
+                    match b[j] {
+                        '\\' => {
+                            // a `\` before a newline is a string
+                            // continuation — the newline still counts
+                            if b.get(j + 1) == Some(&'\n') {
+                                line += 1;
+                            }
+                            j += 2;
+                        }
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        '"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let text: String = b[start..j.min(n)].iter().collect();
+                push(&mut out, TokKind::Str, text, start_line);
+                i = j;
+                continue;
+            } else if c == 'b' && b.get(i + 1) == Some(&'\'') {
+                // byte char literal
+                let start = i;
+                let mut j = i + 2;
+                if b.get(j) == Some(&'\\') {
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+                if b.get(j) == Some(&'\'') {
+                    j += 1;
+                }
+                let text: String = b[start..j.min(n)].iter().collect();
+                push(&mut out, TokKind::Char, text, line);
+                i = j;
+                continue;
+            }
+            // plain identifier starting with r/b — fall through
+        }
+
+        // string literal
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match b[i] {
+                    '\\' => {
+                        // string-continuation escape: `\` + newline
+                        if b.get(i + 1) == Some(&'\n') {
+                            line += 1;
+                        }
+                        i += 2;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let text: String = b[start..i.min(n)].iter().collect();
+            push(&mut out, TokKind::Str, text, start_line);
+            continue;
+        }
+
+        // char literal or lifetime
+        if c == '\'' {
+            let start = i;
+            if b.get(i + 1) == Some(&'\\') {
+                // escaped char literal: '\n', '\'', '\u{1F600}'
+                i += 2;
+                if b.get(i) == Some(&'u') && b.get(i + 1) == Some(&'{') {
+                    i += 2;
+                    while i < n && b[i] != '}' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+                if b.get(i) == Some(&'\'') {
+                    i += 1;
+                }
+                let text: String = b[start..i.min(n)].iter().collect();
+                push(&mut out, TokKind::Char, text, line);
+            } else if b
+                .get(i + 1)
+                .is_some_and(|&ch| is_ident_start(ch) || ch.is_ascii_digit())
+                && b.get(i + 2) != Some(&'\'')
+            {
+                // lifetime: 'a, 'static, '_
+                i += 1;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                push(&mut out, TokKind::Lifetime, text, line);
+            } else {
+                // single-char literal: 'a', '(', ' '
+                i += 2;
+                if b.get(i) == Some(&'\'') {
+                    i += 1;
+                }
+                let text: String = b[start..i.min(n)].iter().collect();
+                push(&mut out, TokKind::Char, text, line);
+            }
+            continue;
+        }
+
+        // numeric literal
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut float = false;
+            if c == '0' && matches!(b.get(i + 1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+                // radix literal: consume alphanumerics and underscores
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // fractional part: a `.` followed by a digit (NOT `..` or a
+                // method call like `1.max(2)`)
+                if b.get(i) == Some(&'.') && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    float = true;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // exponent
+                if matches!(b.get(i), Some('e' | 'E')) {
+                    let mut j = i + 1;
+                    if matches!(b.get(j), Some('+' | '-')) {
+                        j += 1;
+                    }
+                    if b.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                        float = true;
+                        i = j;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // suffix (u64, f64, …)
+                let suffix_start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let suffix: String = b[suffix_start..i].iter().collect();
+                if suffix.starts_with("f32") || suffix.starts_with("f64") {
+                    float = true;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            push(
+                &mut out,
+                if float { TokKind::Float } else { TokKind::Int },
+                text,
+                line,
+            );
+            continue;
+        }
+
+        // identifier / keyword
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            push(&mut out, TokKind::Ident, text, line);
+            continue;
+        }
+
+        // punctuation, maximal munch
+        let mut matched = false;
+        for p in PUNCTS {
+            let pl = p.chars().count();
+            if i + pl <= n && b[i..i + pl].iter().collect::<String>() == **p {
+                push(&mut out, TokKind::Punct, (*p).to_string(), line);
+                i += pl;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            push(&mut out, TokKind::Punct, c.to_string(), line);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn operators_are_combined() {
+        let t = kinds("a == b != c <= d .. e ..= f :: g");
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", "..", "..=", "::"]);
+    }
+
+    #[test]
+    fn strings_swallow_operators_and_comments() {
+        let t = kinds(r#"let s = "a == b // not a comment"; x"#);
+        assert!(t
+            .iter()
+            .any(|(k, s)| *k == TokKind::Str && s.contains("==")));
+        assert!(!t.iter().any(|(k, _)| *k == TokKind::Comment));
+        assert_eq!(t.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r###"let s = r#"panic!("inside")"#; y"###);
+        let s = t.iter().find(|(k, _)| *k == TokKind::Str).unwrap();
+        assert!(s.1.contains("panic!"));
+        assert_eq!(t.last().unwrap().1, "y");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let q = '\\n'; }");
+        let lifetimes: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_detection() {
+        assert_eq!(kinds("0.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e-12")[0].0, TokKind::Float);
+        assert_eq!(kinds("2.5e3")[0].0, TokKind::Float);
+        assert_eq!(kinds("3f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0xFF")[0].0, TokKind::Int);
+        // `1.max(2)` is an int method call, not a float
+        let t = kinds("1.max(2)");
+        assert_eq!(t[0].0, TokKind::Int);
+        assert_eq!(t[1].1, ".");
+        // `0..10` is a range of ints
+        let t = kinds("0..10");
+        assert_eq!(t[0].0, TokKind::Int);
+        assert_eq!(t[1].1, "..");
+        assert_eq!(t[2].0, TokKind::Int);
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let t = lex("/// doc\n//! inner\n// plain\n//// not doc\n/** block doc */\n/* plain */ x");
+        let kinds: Vec<TokKind> = t.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::DocComment,
+                TokKind::DocComment,
+                TokKind::Comment,
+                TokKind::Comment,
+                TokKind::DocComment,
+                TokKind::Comment,
+                TokKind::Ident
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let t = lex("a\n\"two\nlines\"\nb");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].line, 2);
+        assert_eq!(t[2].line, 4);
+    }
+
+    #[test]
+    fn string_continuations_count_their_newline() {
+        // `\` at end of line inside a string swallows the newline for
+        // the *string value*, but the source line count must advance
+        let t = lex("\"a \\\n   b\"\nc");
+        assert_eq!(t[0].kind, TokKind::Str);
+        assert_eq!(t[1].text, "c");
+        assert_eq!(t[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1].1, "x");
+    }
+
+    #[test]
+    fn str_contents_strips_quotes() {
+        let t = lex(r#""hello there""#);
+        assert_eq!(t[0].str_contents(), Some("hello there"));
+    }
+}

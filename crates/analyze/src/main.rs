@@ -1,0 +1,63 @@
+//! `sc_analyze` CLI: lint the repository tree and exit non-zero on any
+//! diagnostic.
+//!
+//! Usage: `sc_analyze [--root <dir>]`
+//!
+//! With no arguments the workspace root is located relative to this
+//! crate's manifest (`crates/analyze/../..`), so `cargo run -p
+//! sc_analyze` works from anywhere inside the workspace.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: sc_analyze [--root <dir>]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("sc_analyze: `--root` requires a directory operand");
+                    usage();
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: sc_analyze [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sc_analyze: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let diags = match sc_analyze::analyze_tree(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sc_analyze: cannot analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("sc_analyze: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("sc_analyze: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end CLI contract: `sc_analyze` exits 0 on a clean tree,
+//! exits 1 with a `file:line: rule:` diagnostic on a seeded violation,
+//! and exits 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sc_analyze"))
+}
+
+/// Build a throwaway tree under `target/` with one `src/` file.
+fn temp_root(tag: &str, src_text: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("sc-analyze-cli-test")
+        .join(tag);
+    let src = root.join("src");
+    std::fs::create_dir_all(&src).expect("create temp tree under target/");
+    std::fs::write(src.join("lib.rs"), src_text).expect("write temp src/lib.rs");
+    root
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = temp_root(
+        "clean",
+        "/// Fine.\npub fn fine(x: Option<u8>) -> Option<u8> { x }\n",
+    );
+    let out = bin()
+        .args(["--root", root.to_str().expect("utf-8 temp path")])
+        .output()
+        .expect("spawn sc_analyze");
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}\nstdout: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn seeded_violation_exits_one_with_location() {
+    let root = temp_root(
+        "dirty",
+        "pub fn bad(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+    );
+    let out = bin()
+        .args(["--root", root.to_str().expect("utf-8 temp path")])
+        .output()
+        .expect("spawn sc_analyze");
+    assert_eq!(out.status.code(), Some(1), "expected exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("src/lib.rs:2: panic-surface:"),
+        "diagnostic must carry file:line: rule — got:\n{stdout}"
+    );
+}
+
+#[test]
+fn missing_root_operand_exits_two() {
+    let out = bin().arg("--root").output().expect("spawn sc_analyze");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_argument_exits_two() {
+    let out = bin().arg("--bogus").output().expect("spawn sc_analyze");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn repository_tree_is_clean() {
+    // The committed tree must satisfy its own lint gate — this is the
+    // same invocation the `ci` bin's `analyze` stage runs.
+    let out = bin().output().expect("spawn sc_analyze");
+    assert!(
+        out.status.success(),
+        "sc_analyze found violations in the repository:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

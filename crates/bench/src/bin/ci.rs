@@ -14,6 +14,14 @@
 //! (non-`--only`) perf-gate run additionally merges them into
 //! `results/bench.json`, the committed machine-readable bench trajectory.
 //!
+//! The `analyze` stage runs the `sc_analyze` lint engine over the tree
+//! (panic-surface, float-eq, unit-discipline, deprecation-budget,
+//! pub-doc — the old inline deprecation scan is subsumed by the
+//! `deprecation-budget` rule). The `trace-audit` stage replays the four
+//! bench workloads and statically checks the recorded kernel traces for
+//! memory and ordering hazards; `--only <bin>` narrows it to one
+//! workload, matching the perf-gate matrix legs.
+//!
 //! Scope note: the **hard** perf gates (the bins' exit codes) and the
 //! record emission run identically here and in CI. The *warn-only* drift
 //! diff against the committed `results/bench.json` currently lives only in
@@ -27,18 +35,20 @@ use std::process::Command;
 
 /// The perf-gate bins, in run order. `headline` carries no exit gate of its
 /// own (it reports paper-vs-measured ratios); the other three exit non-zero
-/// when their speedup gates regress.
+/// when their speedup gates regress. The same four names select the
+/// `trace-audit` workloads.
 const PERF_BINS: &[&str] = &["headline", "schedule", "cluster", "hybrid"];
 
 const STAGES: &[&str] = &[
     "fmt",
     "clippy",
-    "deprecation-budget",
+    "analyze",
     "build",
     "test",
     "doc",
     "examples",
     "perf-gate",
+    "trace-audit",
 ];
 
 /// Every example of the facade crate, built and run by the `examples`
@@ -51,21 +61,34 @@ const EXAMPLES: &[&str] = &[
     "tuning",
 ];
 
-/// Files allowed to contain an `allow` of `deprecated`: the legacy re-export
-/// sites, the DualMode translation shim, and the old-vs-new bitwise
-/// equivalence test. Everything else must be migrated, not silenced.
-const DEPRECATION_ALLOWLIST: &[&str] = &[
-    "src/lib.rs",
-    "crates/core/src/lib.rs",
-    "crates/feti/src/compat.rs",
-    "tests/api_surface.rs",
-];
-
 struct Args {
     stage: String,
     only: Option<String>,
     only_example: Option<String>,
     out: PathBuf,
+}
+
+/// Print the usage string and exit 2 (usage error).
+fn usage() -> ! {
+    eprintln!(
+        "usage: ci [--stage <all|{}>] [--only <{}>] [--only-example <{}>] [--out <dir>]",
+        STAGES.join("|"),
+        PERF_BINS.join("|"),
+        EXAMPLES.join("|"),
+    );
+    std::process::exit(2);
+}
+
+/// Fetch the operand of `--<flag>` or exit 2 with the usage string —
+/// a bare trailing flag is a usage error, not a panic.
+fn operand(it: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+    match it.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("ci: `{flag}` requires {what}");
+            usage();
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -78,12 +101,12 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--stage" => args.stage = it.next().expect("--stage needs a value"),
-            "--only" => args.only = Some(it.next().expect("--only needs a bin name")),
+            "--stage" => args.stage = operand(&mut it, "--stage", "a stage name"),
+            "--only" => args.only = Some(operand(&mut it, "--only", "a bin name")),
             "--only-example" => {
-                args.only_example = Some(it.next().expect("--only-example needs a name"))
+                args.only_example = Some(operand(&mut it, "--only-example", "an example name"))
             }
-            "--out" => args.out = it.next().expect("--out needs a path").into(),
+            "--out" => args.out = operand(&mut it, "--out", "a directory path").into(),
             other => eprintln!("ignoring unknown argument {other}"),
         }
     }
@@ -104,73 +127,6 @@ fn parse_args() -> Args {
         }
     }
     args
-}
-
-/// The deprecation budget: scan every workspace `.rs` file for an `allow`
-/// (or `expect`) of the `deprecated` lint and fail when one appears outside
-/// the shim allowlist — deprecated API uses must be migrated, not silenced.
-fn deprecation_budget() {
-    println!("\n== ci step: deprecation-budget ==");
-    // needles assembled at runtime so this scanner does not flag itself;
-    // no closing paren so multi-lint attributes still match
-    let needles = [
-        format!("allow({}", "deprecated"),
-        format!("expect({}", "deprecated"),
-    ];
-    // anchor at the workspace root regardless of the invocation cwd
-    // (CARGO_MANIFEST_DIR is crates/bench)
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let mut stack = Vec::new();
-    for dir in ["src", "crates", "tests", "examples"] {
-        let path = root.join(dir);
-        assert!(
-            path.is_dir(),
-            "deprecation-budget: workspace directory {} not found — refusing \
-             to report a clean budget over nothing",
-            path.display()
-        );
-        stack.push(path);
-    }
-    let mut violations = Vec::new();
-    while let Some(dir) = stack.pop() {
-        let entries = std::fs::read_dir(&dir)
-            .unwrap_or_else(|e| panic!("deprecation-budget: cannot read {}: {e}", dir.display()));
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                if path.file_name().is_some_and(|n| n == "target") {
-                    continue;
-                }
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                let Ok(text) = std::fs::read_to_string(&path) else {
-                    continue;
-                };
-                if needles.iter().any(|n| text.contains(n)) {
-                    let rel = path
-                        .strip_prefix(&root)
-                        .unwrap_or(&path)
-                        .to_string_lossy()
-                        .into_owned();
-                    if !DEPRECATION_ALLOWLIST.iter().any(|a| rel == *a) {
-                        violations.push(rel);
-                    }
-                }
-            }
-        }
-    }
-    if !violations.is_empty() {
-        violations.sort();
-        eprintln!(
-            "FAIL [deprecation-budget]: allow/expect of the deprecated lint \
-             outside the shim allowlist {DEPRECATION_ALLOWLIST:?}:"
-        );
-        for v in &violations {
-            eprintln!("  {v}");
-        }
-        std::process::exit(1);
-    }
-    println!("deprecation budget clean (allowlist: {DEPRECATION_ALLOWLIST:?})");
 }
 
 /// Run one command with inherited stdio; exit the whole driver on failure
@@ -214,8 +170,8 @@ fn main() {
             ]),
         );
     }
-    if run("deprecation-budget") {
-        deprecation_budget();
+    if run("analyze") {
+        step("analyze", cargo(&["run", "--release", "-p", "sc_analyze"]));
     }
     if run("build") {
         step(
@@ -291,6 +247,25 @@ fn main() {
             }
             println!("\nwrote {}", out.display());
         }
+    }
+    if run("trace-audit") {
+        let mut cmd_args: Vec<&str> = vec![
+            "run",
+            "--release",
+            "-p",
+            "sc_bench",
+            "--bin",
+            "trace_audit",
+            "--",
+            "--out",
+        ];
+        let out = args.out.to_str().expect("utf-8 path").to_string();
+        cmd_args.push(&out);
+        if let Some(only) = &args.only {
+            cmd_args.push("--only");
+            cmd_args.push(only.as_str());
+        }
+        step("trace-audit", cargo(&cmd_args));
     }
     println!("\nci: all requested stages passed");
 }

@@ -1,0 +1,199 @@
+//! `trace-audit` CI stage: replay the four benchmark workloads through
+//! their production backends, collect the per-device hazard traces the
+//! replay engines record ([`sc_gpu::Trace`]), and statically validate
+//! them with `sc_analyze::trace::validate` — use-after-free, double
+//! free, cross-stream RAW/WAR/WAW races without ordering edges,
+//! per-stream overlap, and arena oversubscription.
+//!
+//! One JSON artifact per workload (`<out>/<name>.trace.json`, schema
+//! `sc-trace/v1`) so perf-gate legs can upload the audited schedules.
+//!
+//! Exit codes: `0` all workloads hazard-free, `1` violations (or a
+//! workload that produced no trace), `2` usage error.
+//!
+//! Usage: `cargo run -p sc_bench --release --bin trace_audit
+//! [--only <headline|schedule|cluster|hybrid>] [--out <dir>]`
+
+use sc_analyze::trace::validate;
+use sc_bench::{trace_json, write_json, BatchWorkload, Json};
+use sc_core::{AssemblyReport, AssemblySession, Backend, ScConfig, ScheduleOptions};
+use sc_gpu::{Device, DevicePool, DeviceSpec, Trace};
+use std::path::PathBuf;
+
+const WORKLOADS: &[&str] = &["headline", "schedule", "cluster", "hybrid"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_audit [--only <{}>] [--out <dir>]",
+        WORKLOADS.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Option<String>, PathBuf) {
+    let mut only = None;
+    let mut out = PathBuf::from("target/bench-json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--only" => match it.next() {
+                Some(name) if WORKLOADS.contains(&name.as_str()) => only = Some(name),
+                Some(name) => {
+                    eprintln!("trace_audit: unknown workload `{name}`");
+                    usage();
+                }
+                None => {
+                    eprintln!("trace_audit: `--only` requires a workload name");
+                    usage();
+                }
+            },
+            "--out" => match it.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("trace_audit: `--out` requires a directory operand");
+                    usage();
+                }
+            },
+            other => {
+                eprintln!("trace_audit: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    (only, out)
+}
+
+/// Assemble one named workload through its production backend and return
+/// the report carrying the per-device traces.
+fn run_workload(name: &str) -> AssemblyReport {
+    let cfg = ScConfig::optimized(true, false);
+    match name {
+        // the headline bin's full-decomposition batch on one scheduled device
+        "headline" => {
+            let w = BatchWorkload::build(3, 4);
+            let device = Device::new(DeviceSpec::a100(), 4);
+            AssemblySession::new(
+                Backend::Gpu {
+                    device,
+                    schedule: ScheduleOptions::default(),
+                },
+                cfg,
+            )
+            .assemble(w.items())
+            .report
+        }
+        // the schedule bin's skewed batch under the LPT stream scheduler
+        "schedule" => {
+            let w = BatchWorkload::build_skewed(2, &[12, 4, 6, 3]);
+            let device = Device::new(DeviceSpec::a100(), 4);
+            AssemblySession::new(
+                Backend::Gpu {
+                    device,
+                    schedule: ScheduleOptions::default(),
+                },
+                cfg,
+            )
+            .assemble(w.items())
+            .report
+        }
+        // the cluster bin's 32-subdomain shard across a 4-device pool
+        "cluster" => {
+            let w = BatchWorkload::build_cluster32();
+            let pool = DevicePool::uniform(DeviceSpec::a100(), 4, 4);
+            AssemblySession::new(Backend::cluster(pool), cfg)
+                .assemble(w.items())
+                .report
+        }
+        // the hybrid bin's mixed-fit batch on an arena-constrained pool
+        // with host fail-over for the over-arena quarter
+        "hybrid" => {
+            let w = BatchWorkload::build_mixed_fit();
+            let items = w.items();
+            // size the arena between the footprint quartiles exactly like
+            // the hybrid bin, so the top quarter of the batch spills
+            let mut temps: Vec<usize> = items
+                .iter()
+                .enumerate()
+                .map(|(i, it)| {
+                    let params = cfg.resolve(true, it.l, it.bt);
+                    sc_core::estimate_cost(&DeviceSpec::a100(), it.l, it.bt, &params, i).temp_bytes
+                })
+                .collect();
+            temps.sort_unstable();
+            let q = temps.len() - temps.len() / 4;
+            let arena = (temps[q - 1] + temps[q]) / 2;
+            let spec = DeviceSpec {
+                memory_bytes: 2 * arena,
+                ..DeviceSpec::a100()
+            };
+            let pool = DevicePool::uniform(spec, 2, 4);
+            AssemblySession::new(Backend::hybrid(pool), cfg)
+                .assemble(&items)
+                .report
+        }
+        other => unreachable!("workload names are validated in parse_args: {other}"),
+    }
+}
+
+fn main() {
+    let (only, out_dir) = parse_args();
+    let names: Vec<&str> = match &only {
+        Some(one) => vec![one.as_str()],
+        None => WORKLOADS.to_vec(),
+    };
+
+    let mut total_violations = 0usize;
+    for name in names {
+        let report = run_workload(name);
+        let traces: Vec<(usize, &Trace)> = report
+            .devices
+            .iter()
+            .filter_map(|d| d.trace.as_ref().map(|t| (d.device, t)))
+            .collect();
+        if traces.is_empty() {
+            eprintln!("FAIL: workload `{name}` produced no hazard trace");
+            total_violations += 1;
+            continue;
+        }
+        let mut workload_violations = 0usize;
+        let mut device_docs: Vec<Json> = Vec::new();
+        for (device, trace) in &traces {
+            let violations = validate(trace);
+            for v in &violations {
+                eprintln!("FAIL [{name} device {device}]: {v}");
+            }
+            workload_violations += violations.len();
+            device_docs.push(
+                Json::obj()
+                    .field("device", *device)
+                    .field("n_events", trace.events.len())
+                    .field("n_kernels", trace.n_kernels())
+                    .field("n_violations", violations.len())
+                    .field("trace", trace_json(trace)),
+            );
+        }
+        let doc = Json::obj()
+            .field("schema", sc_bench::TRACE_SCHEMA)
+            .field("workload", name)
+            .field("n_devices", traces.len())
+            .field("n_violations", workload_violations)
+            .field("devices", device_docs);
+        let path = out_dir.join(format!("{name}.trace.json"));
+        if let Err(err) = write_json(&path, &doc) {
+            eprintln!("warning: failed to write {}: {err}", path.display());
+        }
+        let n_kernels: usize = traces.iter().map(|(_, t)| t.n_kernels()).sum();
+        println!(
+            "trace-audit {name}: {} device trace(s), {n_kernels} kernels, {} violation(s)",
+            traces.len(),
+            workload_violations
+        );
+        total_violations += workload_violations;
+    }
+
+    if total_violations > 0 {
+        eprintln!("trace-audit: {total_violations} violation(s)");
+        std::process::exit(1);
+    }
+    println!("trace-audit: clean");
+}

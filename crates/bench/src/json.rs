@@ -289,6 +289,68 @@ pub fn report_json(report: &AssemblyReport) -> Json {
     out
 }
 
+/// Schema tag of the standalone hazard-trace artifacts the `trace_audit`
+/// bin uploads per perf-gate leg; bump on breaking shape changes.
+pub const TRACE_SCHEMA: &str = "sc-trace/v1";
+
+/// Render one device's hazard-audit [`Trace`](sc_gpu::Trace) — the input
+/// of `sc_analyze::trace::validate` — as a standalone JSON document.
+pub fn trace_json(trace: &sc_gpu::Trace) -> Json {
+    use sc_gpu::TraceEvent;
+    let events: Vec<Json> = trace
+        .events
+        .iter()
+        .map(|ev| match ev {
+            TraceEvent::Alloc { slot, bytes, at } => Json::obj()
+                .field("kind", "alloc")
+                .field("slot", *slot)
+                .field("bytes", *bytes)
+                .field("at", *at),
+            TraceEvent::Free { slot, at } => Json::obj()
+                .field("kind", "free")
+                .field("slot", *slot)
+                .field("at", *at),
+            TraceEvent::Kernel {
+                label,
+                stream,
+                span,
+                reads,
+                writes,
+            } => Json::obj()
+                .field("kind", "kernel")
+                .field("label", *label)
+                .field("stream", *stream)
+                .field("start", span.start)
+                .field("end", span.end)
+                .field(
+                    "reads",
+                    reads.iter().map(|&s| Json::from(s)).collect::<Vec<_>>(),
+                )
+                .field(
+                    "writes",
+                    writes.iter().map(|&s| Json::from(s)).collect::<Vec<_>>(),
+                ),
+        })
+        .collect();
+    let span_log: Vec<Json> = trace
+        .span_log
+        .iter()
+        .map(|(stream, span)| {
+            Json::obj()
+                .field("stream", *stream)
+                .field("start", span.start)
+                .field("end", span.end)
+        })
+        .collect();
+    Json::obj()
+        .field("schema", TRACE_SCHEMA)
+        .field("arena_capacity_bytes", trace.arena_capacity)
+        .field("n_streams", trace.n_streams)
+        .field("concurrency", trace.concurrency)
+        .field("events", events)
+        .field("span_log", span_log)
+}
+
 /// Write a rendered value to `path`, creating parent directories.
 pub fn write_json(path: &Path, value: &Json) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {

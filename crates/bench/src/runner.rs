@@ -41,6 +41,7 @@ impl KernelInputs {
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 let v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                // sc-analyze: allow(float-eq)
                 if y0[(i, j)] == 0.0 {
                     y0[(i, j)] = v;
                 }

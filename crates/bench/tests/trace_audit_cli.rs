@@ -1,0 +1,72 @@
+//! CLI contract of the `trace_audit` bin: exit 0 with a `sc-trace/v1`
+//! artifact on a clean workload, exit 2 (with usage) on malformed
+//! invocations — a bare trailing flag must not panic.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace_audit"))
+}
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("trace-audit-cli-{tag}"));
+    std::fs::create_dir_all(&dir).expect("create test output dir under target");
+    dir
+}
+
+#[test]
+fn clean_workload_exits_zero_and_writes_schema_artifact() {
+    let out = temp_out("clean");
+    let run = bin()
+        .args(["--only", "schedule", "--out"])
+        .arg(&out)
+        .output()
+        .expect("spawn trace_audit");
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(
+        run.status.success(),
+        "trace_audit failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(
+        stdout.contains("trace-audit: clean"),
+        "missing clean line:\n{stdout}"
+    );
+    let artifact = std::fs::read_to_string(out.join("schedule.trace.json"))
+        .expect("trace_audit writes <out>/schedule.trace.json");
+    assert!(
+        artifact.contains("\"schema\": \"sc-trace/v1\""),
+        "artifact missing schema tag:\n{artifact}"
+    );
+    assert!(
+        artifact.contains("\"n_violations\": 0"),
+        "artifact reports violations"
+    );
+}
+
+#[test]
+fn unknown_workload_exits_two_with_usage() {
+    let run = bin()
+        .args(["--only", "nonsense"])
+        .output()
+        .expect("spawn trace_audit");
+    assert_eq!(run.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("usage:"), "no usage string:\n{stderr}");
+}
+
+#[test]
+fn missing_out_operand_exits_two_not_panic() {
+    let run = bin().arg("--out").output().expect("spawn trace_audit");
+    assert_eq!(run.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(
+        stderr.contains("`--out` requires a directory operand"),
+        "wrong diagnostic:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "bare flag must be a usage error, not a panic:\n{stderr}"
+    );
+}

@@ -60,7 +60,7 @@ use crate::source::BatchSource;
 use crate::tune::BlockCutsCache;
 use rayon::prelude::*;
 use sc_dense::Mat;
-use sc_gpu::{Device, DevicePool, GpuKernels, SimSpan};
+use sc_gpu::{Device, DevicePool, GpuKernels, SimSpan, Trace, TraceEvent};
 use sc_sparse::Csc;
 use std::time::Instant;
 
@@ -122,6 +122,11 @@ pub struct BatchReport {
     pub cache_hits: usize,
     /// Block-cut resolutions computed fresh.
     pub cache_misses: usize,
+    /// Hazard-audit trace of the executed schedule (alloc/free events and
+    /// per-kernel stream/span/slot accesses — see [`sc_gpu::trace`]); `None`
+    /// on drivers without a recorded replay. Slot ids are replay-local
+    /// subdomain positions. Validate with `sc_analyze::trace::validate`.
+    pub trace: Option<Trace>,
 }
 
 impl BatchReport {
@@ -296,6 +301,7 @@ pub(crate) fn batch_gpu_rr<S: BatchSource>(
             temp_high_water: 0,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            trace: None,
         },
     }
 }
@@ -392,16 +398,19 @@ pub(crate) fn batch_scheduled<S: BatchSource>(
             temp_high_water: outcome.temp_high_water,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            trace: Some(outcome.trace),
         },
     }
 }
 
 /// One subdomain's record-phase output: the host-computed `F̃ᵢ` (bitwise
-/// identical to the CPU path), the kernel-cost sequence to replay, the
-/// analytic cost estimate, and the host task time.
+/// identical to the CPU path), the kernel-cost sequence to replay (with the
+/// per-kernel arena-slot accesses for the hazard-audit trace), the analytic
+/// cost estimate, and the host task time.
 struct Recorded {
     f: Mat,
     costs: Vec<sc_gpu::KernelCost>,
+    accesses: Vec<sc_gpu::SlotAccess>,
     estimate: schedule::CostEstimate,
     host_seconds: f64,
 }
@@ -428,9 +437,11 @@ fn record_scheduled_batch<S: BatchSource>(
             rec.record_upload_csc(bt);
             let f = assemble_sc_with_cache(&mut rec, &l, bt, cfg, Some(cache));
             rec.record_download_bytes(0); // result stays on device
+            let (costs, accesses) = rec.into_recording();
             Recorded {
                 f,
-                costs: rec.into_costs(),
+                costs,
+                accesses,
                 estimate,
                 host_seconds: t_host.elapsed().as_secs_f64(),
             }
@@ -460,12 +471,13 @@ fn refine_estimates(
 }
 
 /// Outcome of one device's replay: the executed schedule and per-subdomain
-/// spans (both in the **local** index space of the replayed slice) plus the
-/// arena high water.
+/// spans (both in the **local** index space of the replayed slice), the
+/// arena high water, and the hazard-audit trace of the replay.
 struct ReplayOutcome {
     executed: Vec<ScheduledSpan>,
     spans: Vec<Option<(usize, SimSpan)>>,
     temp_high_water: usize,
+    trace: Trace,
 }
 
 /// Phase 2 of the scheduled/cluster drivers: replay the recorded kernel
@@ -478,6 +490,14 @@ struct ReplayOutcome {
 /// stream-clock order: submitting a whole subdomain at once would hand the
 /// concurrency slot heap a non-chronological sequence and serialize streams
 /// that really overlap.
+///
+/// Every replay also emits a hazard-audit [`Trace`]: an `Alloc` event at
+/// each subdomain's arena admission, one `Kernel` event per replayed launch
+/// (stream, span, and the slot read/write sets bound from the recorder's
+/// relative accesses), and a `Free` event at the release — plus the
+/// device's own span log over the replay window as an independent witness
+/// of per-stream serialization. The span log is captured non-destructively:
+/// an outer `enable_span_log` caller still drains the full log afterwards.
 fn replay_recorded(
     device: &std::sync::Arc<Device>,
     recorded: &[&Recorded],
@@ -489,6 +509,11 @@ fn replay_recorded(
     let mut arena = ArenaSim::new(device.temp_pool().capacity());
     let mut executed: Vec<ScheduledSpan> = Vec::with_capacity(recorded.len());
     let mut spans: Vec<Option<(usize, SimSpan)>> = vec![None; recorded.len()];
+    let outer_span_log = device.span_log_enabled();
+    device.enable_span_log();
+    let span_log_mark = device.span_log_len();
+    let mut events: Vec<TraceEvent> =
+        Vec::with_capacity(recorded.iter().map(|r| r.costs.len() + 2).sum());
     struct InFlight {
         index: usize,
         kpos: usize,
@@ -519,7 +544,24 @@ fn replay_recorded(
         for s in order {
             if let Some(fl) = current[s].as_mut() {
                 // replay the subdomain's next kernel
-                let k = device.submit(s, &recorded[fl.index].costs[fl.kpos], 0.0);
+                let cost = &recorded[fl.index].costs[fl.kpos];
+                let access = recorded[fl.index].accesses[fl.kpos];
+                let k = device.submit(s, cost, 0.0);
+                events.push(TraceEvent::Kernel {
+                    label: cost.label,
+                    stream: s,
+                    span: k,
+                    reads: if access.reads {
+                        vec![fl.index]
+                    } else {
+                        Vec::new()
+                    },
+                    writes: if access.writes {
+                        vec![fl.index]
+                    } else {
+                        Vec::new()
+                    },
+                });
                 fl.kpos += 1;
                 fl.span = Some(match fl.span {
                     None => k,
@@ -536,6 +578,10 @@ fn replay_recorded(
                         end: fl.admitted_at,
                     });
                     arena.close(fl.handle, span.end);
+                    events.push(TraceEvent::Free {
+                        slot: fl.index,
+                        at: span.end,
+                    });
                     executed.push(ScheduledSpan {
                         index: fl.index,
                         stream: s,
@@ -562,6 +608,11 @@ fn replay_recorded(
             };
             device.advance_stream(s, admitted_at);
             let handle = arena.open(admitted_at, bytes);
+            events.push(TraceEvent::Alloc {
+                slot: i,
+                bytes,
+                at: admitted_at,
+            });
             current[s] = Some(InFlight {
                 index: i,
                 kpos: 0,
@@ -580,10 +631,21 @@ fn replay_recorded(
              nothing in flight (admission bookkeeping bug)"
         );
     }
+    let span_log = device.span_log_since(span_log_mark);
+    if !outer_span_log {
+        device.disable_span_log();
+    }
     ReplayOutcome {
         executed,
         spans,
         temp_high_water: arena.high_water(),
+        trace: Trace {
+            arena_capacity: device.temp_pool().capacity(),
+            n_streams,
+            concurrency: device.spec().concurrency,
+            events,
+            span_log,
+        },
     }
 }
 
@@ -683,6 +745,9 @@ impl ClusterReport {
             temp_high_water: self.temp_high_water(),
             cache_hits: self.per_device.iter().map(|r| r.cache_hits).sum(),
             cache_misses: self.per_device.iter().map(|r| r.cache_misses).sum(),
+            // traces are per-device (slot ids and streams are device-local)
+            // and do not merge; read them off `per_device` instead
+            trace: None,
         }
     }
 }
@@ -820,8 +885,10 @@ pub(crate) fn batch_cluster_impl<S: BatchSource>(
         .collect();
     let (cplan, spilled) =
         schedule::plan_cluster_spill_by(&costs, &slots, |c, d| kernel_seconds[c.index][d])
+            // documented batch-API contract: planning failure aborts. sc-analyze: allow(panic-surface)
             .unwrap_or_else(|e| panic!("cluster partition failed: {e}"));
     if !allow_spill && !spilled.is_empty() {
+        // documented batch-API contract: spill without opt-in aborts. sc-analyze: allow(panic-surface)
         panic!(
             "cluster partition failed: {}",
             schedule::ClusterPlanError::Spilled {
@@ -860,7 +927,7 @@ pub(crate) fn batch_cluster_impl<S: BatchSource>(
             .ready_at
             .as_ref()
             .map(|r| idx.iter().map(|&g| r[g]).collect());
-        let outcome = replay_recorded(dev, &refs, &estimates, &plan, ready_local.as_deref());
+        let mut outcome = replay_recorded(dev, &refs, &estimates, &plan, ready_local.as_deref());
         let device_seconds = dev.synchronize() - sync0;
 
         // per-device report, indices remapped back to batch order
@@ -878,7 +945,7 @@ pub(crate) fn batch_cluster_impl<S: BatchSource>(
                 device: Some(d),
             });
         }
-        let mut schedule_log = outcome.executed;
+        let mut schedule_log = std::mem::take(&mut outcome.executed);
         for e in &mut schedule_log {
             e.index = idx[e.index];
         }
@@ -897,6 +964,7 @@ pub(crate) fn batch_cluster_impl<S: BatchSource>(
             // per-device counters (ClusterReport::combined) stays correct
             cache_hits: if d == 0 { cache.hits() } else { 0 },
             cache_misses: if d == 0 { cache.misses() } else { 0 },
+            trace: Some(outcome.trace),
         });
     }
 
@@ -1012,6 +1080,7 @@ where
             temp_high_water: 0,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            trace: None,
         },
     }
 }

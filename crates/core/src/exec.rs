@@ -2,7 +2,7 @@
 //! CPU and on the simulated GPU.
 
 use sc_dense::{MatMut, MatRef, Trans};
-use sc_gpu::{GpuKernels, KernelCost};
+use sc_gpu::{GpuKernels, KernelCost, SlotAccess};
 use sc_sparse::Csc;
 
 /// Backend kernel set used by the TRSM/SYRK splitting algorithms.
@@ -140,9 +140,16 @@ impl Exec for GpuExec<'_> {
 /// [`GpuExec`] submits. The scheduler later replays the recorded sequence
 /// into the device timeline in a deterministic order, decoupling host-side
 /// parallel computation from simulated-time accounting.
+///
+/// Alongside each cost the recorder notes how the kernel touches the
+/// subdomain's temporary-arena slot ([`SlotAccess`]): uploads write it,
+/// downloads read it, compute kernels read and write it. The replay binds
+/// these relative accesses to the concrete slot admitted for the subdomain,
+/// producing the hazard-audit [`Trace`](sc_gpu::Trace).
 #[derive(Default)]
 pub struct RecordingExec {
     costs: Vec<KernelCost>,
+    accesses: Vec<SlotAccess>,
 }
 
 impl RecordingExec {
@@ -151,22 +158,38 @@ impl RecordingExec {
         RecordingExec::default()
     }
 
+    fn push(&mut self, cost: KernelCost, access: SlotAccess) {
+        self.costs.push(cost);
+        self.accesses.push(access);
+    }
+
     /// Record the H2D upload of a CSC matrix (mirrors
     /// `GpuKernels::upload_csc`, via the shared [`KernelCost::csc_transfer`]
-    /// cost model).
+    /// cost model). Writes the subdomain's arena slot.
     pub fn record_upload_csc(&mut self, m: &Csc) {
-        self.costs.push(KernelCost::csc_transfer(m.nnz()));
+        self.push(KernelCost::csc_transfer(m.nnz()), SlotAccess::write());
     }
 
     /// Record a D2H download of `bytes` (mirrors
-    /// `GpuKernels::download_bytes`).
+    /// `GpuKernels::download_bytes`). Reads the subdomain's arena slot.
     pub fn record_download_bytes(&mut self, bytes: usize) {
-        self.costs.push(KernelCost::transfer(bytes as f64));
+        self.push(KernelCost::transfer(bytes as f64), SlotAccess::read());
     }
 
     /// The recorded kernel sequence, in launch order.
     pub fn into_costs(self) -> Vec<KernelCost> {
         self.costs
+    }
+
+    /// The recorded kernel sequence with the per-kernel slot accesses, in
+    /// launch order (the two vectors are index-aligned).
+    pub fn into_recording(self) -> (Vec<KernelCost>, Vec<SlotAccess>) {
+        debug_assert_eq!(
+            self.costs.len(),
+            self.accesses.len(),
+            "every recorded cost carries exactly one slot access"
+        );
+        (self.costs, self.accesses)
     }
 }
 
@@ -178,13 +201,18 @@ impl Exec for RecordingExec {
     }
 
     fn trsm_dense(&mut self, l: MatRef<'_>, b: MatMut<'_>) {
-        self.costs
-            .push(KernelCost::trsm_dense(l.nrows(), b.ncols()));
+        self.push(
+            KernelCost::trsm_dense(l.nrows(), b.ncols()),
+            SlotAccess::read_write(),
+        );
         sc_dense::trsm_lower_left(l, b);
     }
 
     fn trsm_sparse(&mut self, l: &Csc, b: MatMut<'_>) {
-        self.costs.push(KernelCost::trsm_sparse(l.nnz(), b.ncols()));
+        self.push(
+            KernelCost::trsm_sparse(l.nnz(), b.ncols()),
+            SlotAccess::read_write(),
+        );
         sc_sparse::csc_lower_solve_mat(l, b);
     }
 
@@ -202,22 +230,31 @@ impl Exec for RecordingExec {
             Trans::No => a.ncols(),
             Trans::Yes => a.nrows(),
         };
-        self.costs.push(KernelCost::gemm(c.nrows(), c.ncols(), k));
+        self.push(
+            KernelCost::gemm(c.nrows(), c.ncols(), k),
+            SlotAccess::read_write(),
+        );
         sc_dense::gemm(alpha, a, ta, b, tb, beta, c);
     }
 
     fn spmm(&mut self, alpha: f64, a: &Csc, b: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
-        self.costs.push(KernelCost::spmm(a.nnz(), b.ncols()));
+        self.push(
+            KernelCost::spmm(a.nnz(), b.ncols()),
+            SlotAccess::read_write(),
+        );
         a.spmm(alpha, b, beta, &mut c);
     }
 
     fn syrk(&mut self, alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>) {
-        self.costs.push(KernelCost::syrk(a.ncols(), a.nrows()));
+        self.push(
+            KernelCost::syrk(a.ncols(), a.nrows()),
+            SlotAccess::read_write(),
+        );
         sc_dense::syrk_t(alpha, a, beta, c);
     }
 
     fn gather(&mut self, count: usize) {
-        self.costs.push(KernelCost::gather(count));
+        self.push(KernelCost::gather(count), SlotAccess::read_write());
     }
 }
 

@@ -333,6 +333,10 @@ pub struct DeviceReport {
     pub utilization: f64,
     /// Peak simultaneous temporary-arena reservation, bytes.
     pub temp_high_water: usize,
+    /// Hazard-audit trace of this device's executed schedule (see
+    /// [`sc_gpu::trace`]); `None` on drivers without a recorded replay.
+    /// Validate with `sc_analyze::trace::validate`.
+    pub trace: Option<sc_gpu::Trace>,
 }
 
 impl DeviceReport {
@@ -456,6 +460,7 @@ impl AssemblyReport {
                     makespan: rep.device_seconds,
                     utilization,
                     temp_high_water: rep.temp_high_water,
+                    trace: rep.trace.clone(),
                 }]
             }
             _ => Vec::new(),
@@ -484,6 +489,7 @@ impl AssemblyReport {
                 makespan: r.device_seconds,
                 utilization: rep.utilization[d],
                 temp_high_water: r.temp_high_water,
+                trace: r.trace.clone(),
             })
             .collect();
         let mut subdomains: Vec<SubdomainTiming> = rep
@@ -519,6 +525,13 @@ impl AssemblyReport {
             temp_high_water: self.temp_high_water(),
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
+            trace: match self.devices.as_slice() {
+                // device-local slot ids and streams do not merge across
+                // devices; the flat shape keeps a trace only when it is
+                // unambiguous
+                [d] => d.trace.clone(),
+                _ => None,
+            },
         }
     }
 
@@ -556,6 +569,7 @@ impl AssemblyReport {
                 // per-device counters stays correct (legacy convention)
                 cache_hits: if d.device == 0 { self.cache_hits } else { 0 },
                 cache_misses: if d.device == 0 { self.cache_misses } else { 0 },
+                trace: d.trace.clone(),
             })
             .collect();
         Some(ClusterReport {

@@ -95,14 +95,14 @@ pub fn resolve_block_cuts_cols(
 fn cuts_from_prefix(prefix: &[usize], count: usize) -> Vec<usize> {
     let n = prefix.len() - 1;
     let count = count.max(1);
-    let total = *prefix.last().unwrap();
+    let total = *prefix.last().expect("prefix-sum table has n + 1 entries");
     let mut cuts = vec![0usize];
     for k in 1..count {
         let target = total * k / count;
         let mut cut = prefix.partition_point(|&p| p < target).min(n);
         // enforce strictly increasing cuts
-        if cut <= *cuts.last().unwrap() {
-            cut = (*cuts.last().unwrap() + 1).min(n);
+        if cut <= *cuts.last().expect("cuts seeded with a leading 0 above") {
+            cut = (*cuts.last().expect("cuts seeded with a leading 0 above") + 1).min(n);
         }
         if cut >= n {
             break;
@@ -180,6 +180,7 @@ pub fn col_cuts(
 }
 
 impl BlockCutsCache {
+    /// Empty cache; entries populate on first resolve per (param, shape) key.
     pub fn new() -> Self {
         Self::default()
     }

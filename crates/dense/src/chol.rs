@@ -72,6 +72,7 @@ pub fn partial_cholesky_in_place(mut a: MatMut<'_>, p: usize) -> Result<(), Chol
         // Trailing update: A[j.., j] -= L[j.., k] * L[j, k] for j > k.
         for j in k + 1..n {
             let ljk = a.get(j, k);
+            // sc-analyze: allow(float-eq)
             if ljk == 0.0 {
                 continue;
             }

@@ -43,6 +43,7 @@ pub fn gemm(
     assert_eq!(c.nrows(), m, "gemm C row mismatch");
     assert_eq!(c.ncols(), n, "gemm C col mismatch");
     scale(beta, c.as_mut());
+    // sc-analyze: allow(float-eq)
     if alpha == 0.0 || m == 0 || n == 0 || ka == 0 {
         return;
     }
@@ -56,9 +57,11 @@ pub fn gemm(
 
 #[inline]
 fn scale(beta: f64, mut c: MatMut<'_>) {
+    // sc-analyze: allow(float-eq)
     if beta == 1.0 {
         return;
     }
+    // sc-analyze: allow(float-eq)
     if beta == 0.0 {
         c.fill(0.0);
         return;

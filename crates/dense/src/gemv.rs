@@ -10,8 +10,10 @@ use crate::mat::MatRef;
 pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.ncols(), x.len(), "gemv x length mismatch");
     assert_eq!(a.nrows(), y.len(), "gemv y length mismatch");
+    // sc-analyze: allow(float-eq)
     if beta == 0.0 {
         y.fill(0.0);
+    // sc-analyze: allow(float-eq)
     } else if beta != 1.0 {
         for v in y.iter_mut() {
             *v *= beta;
@@ -19,6 +21,7 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     }
     for (j, &xj) in x.iter().enumerate() {
         let w = alpha * xj;
+        // sc-analyze: allow(float-eq)
         if w != 0.0 {
             axpy(w, a.col(j), y);
         }
@@ -31,7 +34,7 @@ pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.ncols(), y.len(), "gemv_t y length mismatch");
     for (j, yj) in y.iter_mut().enumerate() {
         let s = dot_slices(a.col(j), x);
-        *yj = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yj };
+        *yj = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yj }; // sc-analyze: allow(float-eq)
     }
 }
 
@@ -44,6 +47,7 @@ pub fn trsv_lower(l: MatRef<'_>, x: &mut [f64]) {
         let lk = l.col(k);
         let xk = x[k] / lk[k];
         x[k] = xk;
+        // sc-analyze: allow(float-eq)
         if xk != 0.0 {
             axpy(-xk, &lk[k + 1..], &mut x[k + 1..]);
         }

@@ -18,6 +18,7 @@ pub fn syrk_t(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
     for j in 0..n {
         let aj = a.col(j);
         let ccol = c.col_mut(j);
+        // sc-analyze: allow(float-eq)
         if beta == 0.0 {
             for (i, cij) in ccol.iter_mut().enumerate().skip(j) {
                 *cij = alpha * dot_slices(a.col(i), aj);
@@ -49,6 +50,7 @@ fn split_cols(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>, c0: usize
             let gj = c0 + j;
             let aj = a.col(gj);
             let ccol = c.col_mut(j);
+            // sc-analyze: allow(float-eq)
             if beta == 0.0 {
                 for (i, cij) in ccol.iter_mut().enumerate().skip(gj) {
                     *cij = alpha * dot_slices(a.col(i), aj);

@@ -44,6 +44,7 @@ fn sparse_lower_solve_on_reach(l: &Csc, reach: &[usize], x: &mut [f64]) {
         debug_assert_eq!(rows[0], j, "missing diagonal");
         let xj = x[j] / vals[0];
         x[j] = xj;
+        // sc-analyze: allow(float-eq)
         if xj != 0.0 {
             for (&i, &v) in rows[1..].iter().zip(&vals[1..]) {
                 x[i] -= v * xj;

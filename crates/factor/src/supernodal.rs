@@ -176,7 +176,10 @@ pub fn supernodal_factorize(
     }
     Ok(SupernodalFactor {
         n,
-        panels: panels.into_iter().map(|p| p.unwrap()).collect(),
+        panels: panels
+            .into_iter()
+            .map(|p| p.expect("every supernode assembled a panel in the loop above"))
+            .collect(),
         ssym: ssym.clone(),
     })
 }

@@ -54,6 +54,7 @@ impl BoundaryMap {
         debug_assert_eq!(p.len(), self.n_lambda());
         debug_assert_eq!(t.len(), self.n_rows);
         for (j, &pj) in p.iter().enumerate() {
+            // sc-analyze: allow(float-eq)
             if pj != 0.0 {
                 for k in self.offsets[j]..self.offsets[j + 1] {
                     t[self.rows[k]] += pj * self.coeffs[k];

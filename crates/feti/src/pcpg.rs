@@ -105,6 +105,7 @@ pub fn pcpg_preconditioned(
         let pd = project(d);
         dot(&pd, &pd).sqrt()
     };
+    // sc-analyze: allow(float-eq)
     if norm0 == 0.0 {
         return PcpgResult {
             lambda,

@@ -500,8 +500,13 @@ impl<'p> FetiSolver<'p> {
             let mut gr = vec![0.0; sd.n_lambda()];
             sd.bt.spmv_t(1.0, ker, 0.0, &mut gr);
             for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                // sc-analyze: allow(float-eq)
                 if gr[ll] != 0.0 {
-                    g_coo.push(gl, kernel_col[i].expect("checked"), gr[ll]);
+                    g_coo.push(
+                        gl,
+                        kernel_col[i].expect("kernel column assigned for every singular subdomain"),
+                        gr[ll],
+                    );
                 }
             }
         }

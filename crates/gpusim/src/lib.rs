@@ -24,6 +24,7 @@ pub mod kernels;
 pub mod memory;
 pub mod pool;
 pub mod timeline;
+pub mod trace;
 
 pub use cost::KernelCost;
 pub use device::DeviceSpec;
@@ -31,3 +32,4 @@ pub use kernels::GpuKernels;
 pub use memory::{TempAlloc, TempPool};
 pub use pool::DevicePool;
 pub use timeline::{Device, SimSpan, Stream};
+pub use trace::{SlotAccess, Trace, TraceEvent};

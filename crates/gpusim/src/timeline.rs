@@ -115,6 +115,7 @@ impl Device {
     /// naming the kernel, instead of corrupting the slot heap's ordering.
     pub fn submit(&self, id: usize, cost: &KernelCost, ready_at: f64) -> SimSpan {
         if let Err(e) = cost.validate() {
+            // documented contract (see `# Panics`). sc-analyze: allow(panic-surface)
             panic!("rejected submission on stream {id}: {e}");
         }
         assert!(
@@ -157,6 +158,42 @@ impl Device {
             .as_mut()
             .map(std::mem::take)
             .unwrap_or_default()
+    }
+
+    /// Whether span logging is currently armed (see
+    /// [`Device::enable_span_log`]).
+    pub fn span_log_enabled(&self) -> bool {
+        self.state.lock().span_log.is_some()
+    }
+
+    /// Number of entries currently in the span log (0 when disabled). Pair
+    /// with [`Device::span_log_since`] for a non-destructive window snapshot
+    /// that leaves the log intact for a later [`Device::take_span_log`].
+    pub fn span_log_len(&self) -> usize {
+        self.state
+            .lock()
+            .span_log
+            .as_ref()
+            .map_or(0, |log| log.len())
+    }
+
+    /// Clone the span-log entries recorded at or after position `mark`
+    /// (empty when logging is disabled). Unlike [`Device::take_span_log`]
+    /// this does **not** drain the log — callers that only observe a window
+    /// (e.g. the scheduled replay attaching its trace) leave earlier
+    /// enablers' data untouched.
+    pub fn span_log_since(&self, mark: usize) -> Vec<(usize, SimSpan)> {
+        self.state
+            .lock()
+            .span_log
+            .as_ref()
+            .map_or_else(Vec::new, |log| log.get(mark..).unwrap_or(&[]).to_vec())
+    }
+
+    /// Stop recording and discard the log (the inverse of
+    /// [`Device::enable_span_log`]). A later enable starts empty again.
+    pub fn disable_span_log(&self) {
+        self.state.lock().span_log = None;
     }
 
     /// Current simulated clock of stream `id` (completion of its last
@@ -349,6 +386,31 @@ mod tests {
         d.stream(2).submit(&c);
         d.reset();
         assert!(d.take_span_log().is_empty(), "reset clears the log");
+    }
+
+    #[test]
+    fn span_log_snapshot_does_not_drain() {
+        let d = dev();
+        assert!(!d.span_log_enabled());
+        assert_eq!(d.span_log_len(), 0);
+        assert!(d.span_log_since(0).is_empty());
+        d.enable_span_log();
+        let c = KernelCost::compute(1e6, 8e3);
+        d.stream(0).submit(&c);
+        let mark = d.span_log_len();
+        assert_eq!(mark, 1);
+        d.stream(1).submit(&c);
+        d.stream(2).submit(&c);
+        let window = d.span_log_since(mark);
+        assert_eq!(window.len(), 2, "window sees only post-mark kernels");
+        assert_eq!(window[0].0, 1);
+        assert_eq!(window[1].0, 2);
+        // the snapshot left the full log intact for the draining reader
+        assert_eq!(d.take_span_log().len(), 3);
+        d.disable_span_log();
+        assert!(!d.span_log_enabled());
+        d.stream(0).submit(&c);
+        assert_eq!(d.span_log_len(), 0, "disabled log records nothing");
     }
 
     #[test]

@@ -95,7 +95,7 @@ impl Graph {
     /// the eccentricity stops growing (George & Liu).
     pub fn pseudo_peripheral(&self, start: usize, in_set: &[bool]) -> usize {
         let (mut levels, mut order) = self.bfs_levels(start, in_set);
-        let mut ecc = levels[*order.last().unwrap()];
+        let mut ecc = levels[*order.last().expect("BFS order contains at least `start`")];
         loop {
             let last_level = ecc;
             // candidates: vertices in the last level, pick min degree
@@ -105,9 +105,9 @@ impl Graph {
                 .take_while(|&&w| levels[w] == last_level)
                 .copied()
                 .min_by_key(|&w| self.degree(w))
-                .unwrap();
+                .expect("last BFS level is non-empty by construction");
             let (l2, o2) = self.bfs_levels(u, in_set);
-            let ecc2 = l2[*o2.last().unwrap()];
+            let ecc2 = l2[*o2.last().expect("BFS order contains at least `u`")];
             if ecc2 > ecc {
                 levels = l2;
                 order = o2;

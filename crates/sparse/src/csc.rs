@@ -31,7 +31,13 @@ impl Csc {
     ) -> Self {
         assert_eq!(col_ptr.len(), ncols + 1, "col_ptr length");
         assert_eq!(col_ptr[0], 0, "col_ptr must start at 0");
-        assert_eq!(*col_ptr.last().unwrap(), row_idx.len(), "col_ptr end");
+        assert_eq!(
+            *col_ptr
+                .last()
+                .expect("col_ptr has ncols + 1 entries per the assert above"),
+            row_idx.len(),
+            "col_ptr end"
+        );
         assert_eq!(row_idx.len(), values.len(), "index/value length mismatch");
         let m = Csc {
             nrows,
@@ -42,6 +48,7 @@ impl Csc {
         };
         #[cfg(debug_assertions)]
         if let Err(e) = m.check_invariants() {
+            // debug-build invariant gate; release keeps the raw parts. sc-analyze: allow(panic-surface)
             panic!("Csc::from_parts: {e}");
         }
         m
@@ -66,10 +73,10 @@ impl Csc {
         if self.col_ptr[0] != 0 {
             return Err(format!("col_ptr[0] = {} != 0", self.col_ptr[0]));
         }
-        if *self.col_ptr.last().unwrap() != self.row_idx.len() {
+        if *self.col_ptr.last().expect("col_ptr length verified above") != self.row_idx.len() {
             return Err(format!(
                 "col_ptr end {} != nnz {}",
-                self.col_ptr.last().unwrap(),
+                self.col_ptr.last().expect("col_ptr length verified above"),
                 self.row_idx.len()
             ));
         }
@@ -241,8 +248,10 @@ impl Csc {
     pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
+        // sc-analyze: allow(float-eq)
         if beta == 0.0 {
             y.fill(0.0);
+        // sc-analyze: allow(float-eq)
         } else if beta != 1.0 {
             for v in y.iter_mut() {
                 *v *= beta;
@@ -250,6 +259,7 @@ impl Csc {
         }
         for (j, &xj) in x.iter().enumerate() {
             let w = alpha * xj;
+            // sc-analyze: allow(float-eq)
             if w != 0.0 {
                 let (rows, vals) = self.col(j);
                 for (&i, &v) in rows.iter().zip(vals) {
@@ -269,7 +279,7 @@ impl Csc {
             for (&i, &v) in rows.iter().zip(vals) {
                 s += v * x[i];
             }
-            *yj = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yj };
+            *yj = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yj }; // sc-analyze: allow(float-eq)
         }
     }
 
@@ -288,8 +298,10 @@ impl Csc {
         for j in 0..c.ncols() {
             let bcol = b.col(j);
             let ccol = c.col_mut(j);
+            // sc-analyze: allow(float-eq)
             if beta == 0.0 {
                 ccol.fill(0.0);
+            // sc-analyze: allow(float-eq)
             } else if beta != 1.0 {
                 for v in ccol.iter_mut() {
                     *v *= beta;
@@ -297,6 +309,7 @@ impl Csc {
             }
             for (k, &bkj) in bcol.iter().enumerate() {
                 let w = alpha * bkj;
+                // sc-analyze: allow(float-eq)
                 if w != 0.0 {
                     let (rows, vals) = self.col(k);
                     for (&i, &v) in rows.iter().zip(vals) {

@@ -25,7 +25,13 @@ impl Csr {
     ) -> Self {
         assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
+        assert_eq!(
+            *row_ptr
+                .last()
+                .expect("row_ptr has nrows + 1 entries per the assert above"),
+            col_idx.len(),
+            "row_ptr end"
+        );
         assert_eq!(col_idx.len(), values.len(), "index/value length mismatch");
         let m = Csr {
             nrows,
@@ -36,6 +42,7 @@ impl Csr {
         };
         #[cfg(debug_assertions)]
         if let Err(e) = m.check_invariants() {
+            // debug-build invariant gate; release keeps the raw parts. sc-analyze: allow(panic-surface)
             panic!("Csr::from_parts: {e}");
         }
         m
@@ -55,10 +62,10 @@ impl Csr {
         if self.row_ptr[0] != 0 {
             return Err(format!("row_ptr[0] = {} != 0", self.row_ptr[0]));
         }
-        if *self.row_ptr.last().unwrap() != self.col_idx.len() {
+        if *self.row_ptr.last().expect("row_ptr length verified above") != self.col_idx.len() {
             return Err(format!(
                 "row_ptr end {} != nnz {}",
-                self.row_ptr.last().unwrap(),
+                self.row_ptr.last().expect("row_ptr length verified above"),
                 self.col_idx.len()
             ));
         }
@@ -179,7 +186,7 @@ impl Csr {
             for (&j, &v) in cols.iter().zip(vals) {
                 s += v * x[j];
             }
-            *yi = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yi };
+            *yi = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yi }; // sc-analyze: allow(float-eq)
         }
     }
 
@@ -187,8 +194,10 @@ impl Csr {
     pub fn spmv_t(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows);
         assert_eq!(y.len(), self.ncols);
+        // sc-analyze: allow(float-eq)
         if beta == 0.0 {
             y.fill(0.0);
+        // sc-analyze: allow(float-eq)
         } else if beta != 1.0 {
             for v in y.iter_mut() {
                 *v *= beta;
@@ -196,6 +205,7 @@ impl Csr {
         }
         for (i, &xi) in x.iter().enumerate() {
             let w = alpha * xi;
+            // sc-analyze: allow(float-eq)
             if w != 0.0 {
                 let (cols, vals) = self.row(i);
                 for (&j, &v) in cols.iter().zip(vals) {

@@ -20,6 +20,7 @@ pub fn csc_lower_solve(l: &Csc, x: &mut [f64]) {
         debug_assert_eq!(rows.first(), Some(&j), "missing diagonal in column {j}");
         let xj = x[j] / vals[0];
         x[j] = xj;
+        // sc-analyze: allow(float-eq)
         if xj != 0.0 {
             for (&i, &v) in rows[1..].iter().zip(&vals[1..]) {
                 x[i] -= v * xj;

@@ -1,0 +1,225 @@
+//! End-to-end trace-audit coverage on *real* recorded schedules: every
+//! bench workload's replay trace must validate hazard-free, and the
+//! sanitizer must catch each of the injected hazard classes when a real
+//! trace is mutated (drop a free, reorder an alloc after first use,
+//! overlap two spans on one stream, oversubscribe the arena).
+
+use proptest::prelude::*;
+use sc_analyze::trace::{validate, TraceViolation};
+use sc_bench::BatchWorkload;
+use sc_core::{AssemblySession, Backend, ScConfig, ScheduleOptions};
+use sc_gpu::{Device, DevicePool, DeviceSpec, Trace, TraceEvent};
+use std::sync::OnceLock;
+
+/// Assemble a workload on one scheduled device and return its trace.
+fn gpu_trace(w: &BatchWorkload) -> Trace {
+    let device = Device::new(DeviceSpec::a100(), 4);
+    let report = AssemblySession::new(
+        Backend::Gpu {
+            device,
+            schedule: ScheduleOptions::default(),
+        },
+        ScConfig::optimized(true, false),
+    )
+    .assemble(w.items())
+    .report;
+    report.devices[0]
+        .trace
+        .clone()
+        .expect("the scheduled driver records a trace per device")
+}
+
+/// The schedule bin's skewed batch — the cheapest workload with real
+/// stream contention — recorded once and shared by the mutation tests.
+fn schedule_trace() -> &'static Trace {
+    static TRACE: OnceLock<Trace> = OnceLock::new();
+    TRACE.get_or_init(|| gpu_trace(&BatchWorkload::build_skewed(2, &[12, 4, 6, 3])))
+}
+
+#[test]
+fn headline_and_schedule_traces_validate_clean() {
+    let headline = gpu_trace(&BatchWorkload::build(3, 4));
+    assert!(headline.n_kernels() > 0, "headline trace is empty");
+    let v = validate(&headline);
+    assert!(v.is_empty(), "headline workload trace flagged: {v:?}");
+
+    let v = validate(schedule_trace());
+    assert!(v.is_empty(), "schedule workload trace flagged: {v:?}");
+}
+
+#[test]
+fn cluster_traces_validate_clean_on_every_device() {
+    let w = BatchWorkload::build_cluster32();
+    let pool = DevicePool::uniform(DeviceSpec::a100(), 4, 4);
+    let report = AssemblySession::new(Backend::cluster(pool), ScConfig::optimized(true, false))
+        .assemble(w.items())
+        .report;
+    let mut audited = 0usize;
+    for d in &report.devices {
+        let trace = d
+            .trace
+            .as_ref()
+            .expect("cluster replay records a trace per device");
+        let v = validate(trace);
+        assert!(
+            v.is_empty(),
+            "cluster device {} trace flagged: {v:?}",
+            d.device
+        );
+        audited += 1;
+    }
+    assert_eq!(audited, 4, "one audited trace per pool device");
+}
+
+#[test]
+fn hybrid_traces_validate_clean_under_arena_pressure() {
+    // arena sized between the footprint quartiles, exactly like the
+    // hybrid bin: the top quarter of the batch spills to the host path
+    let cfg = ScConfig::optimized(true, false);
+    let w = BatchWorkload::build_mixed_fit();
+    let items = w.items();
+    let mut temps: Vec<usize> = items
+        .iter()
+        .enumerate()
+        .map(|(i, it)| {
+            let params = cfg.resolve(true, it.l, it.bt);
+            sc_core::estimate_cost(&DeviceSpec::a100(), it.l, it.bt, &params, i).temp_bytes
+        })
+        .collect();
+    temps.sort_unstable();
+    let q = temps.len() - temps.len() / 4;
+    let arena = (temps[q - 1] + temps[q]) / 2;
+    let spec = DeviceSpec {
+        memory_bytes: 2 * arena,
+        ..DeviceSpec::a100()
+    };
+    let pool = DevicePool::uniform(spec, 2, 4);
+    let report = AssemblySession::new(Backend::hybrid(pool), cfg)
+        .assemble(&items)
+        .report;
+    let mut audited = 0usize;
+    for d in &report.devices {
+        let trace = d
+            .trace
+            .as_ref()
+            .expect("hybrid replay records a trace per device");
+        let v = validate(trace);
+        assert!(
+            v.is_empty(),
+            "hybrid device {} trace flagged: {v:?}",
+            d.device
+        );
+        audited += 1;
+    }
+    assert_eq!(audited, 2, "one audited trace per pool device");
+}
+
+/// Slot ids that both allocate and free in the trace (mutation targets).
+fn freed_slots(t: &Trace) -> Vec<usize> {
+    t.events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Free { slot, .. } => Some(*slot),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn real_trace_with_dropped_free_is_flagged_as_leak(pick in 0usize..1024) {
+        let mut t = schedule_trace().clone();
+        let slots = freed_slots(&t);
+        prop_assert!(!slots.is_empty());
+        let victim = slots[pick % slots.len()];
+        t.events.retain(|e| !matches!(e, TraceEvent::Free { slot, .. } if *slot == victim));
+        let v = validate(&t);
+        prop_assert!(
+            v.iter().any(|x| matches!(x, TraceViolation::LeakedSlot { slot, .. } if *slot == victim)),
+            "dropped free of slot {victim} not reported: {v:?}"
+        );
+    }
+
+    #[test]
+    fn real_trace_with_alloc_after_use_is_flagged(pick in 0usize..1024) {
+        let mut t = schedule_trace().clone();
+        let slots = freed_slots(&t);
+        prop_assert!(!slots.is_empty());
+        let victim = slots[pick % slots.len()];
+        // reorder: push the alloc past the slot's first kernel touch
+        let first_use = t.events.iter().find_map(|e| match e {
+            TraceEvent::Kernel { span, reads, writes, .. }
+                if reads.contains(&victim) || writes.contains(&victim) => Some(span.start),
+            _ => None,
+        });
+        prop_assert!(first_use.is_some(), "slot {victim} is never touched by a kernel");
+        let after = first_use.expect("checked by the prop_assert above") + 1e-6;
+        for e in &mut t.events {
+            if let TraceEvent::Alloc { slot, at, .. } = e {
+                if *slot == victim {
+                    *at = at.max(after);
+                }
+            }
+        }
+        let v = validate(&t);
+        prop_assert!(
+            v.iter().any(|x| matches!(x, TraceViolation::UseBeforeAlloc { slot, .. } if *slot == victim)),
+            "alloc-after-use of slot {victim} not reported: {v:?}"
+        );
+    }
+
+    #[test]
+    fn real_trace_with_overlapped_stream_spans_is_flagged(pick in 0usize..1024) {
+        let mut t = schedule_trace().clone();
+        // pick two temporally consecutive spans on one stream (the first
+        // with positive width) and pull the second back over the first
+        let pairs: Vec<(usize, usize)> = {
+            let mut by_stream: Vec<Vec<usize>> = vec![Vec::new(); t.n_streams];
+            for (i, (s, _)) in t.span_log.iter().enumerate() {
+                by_stream[*s].push(i);
+            }
+            let mut pairs = Vec::new();
+            for idxs in &mut by_stream {
+                idxs.sort_by(|&a, &b| t.span_log[a].1.start.total_cmp(&t.span_log[b].1.start));
+                for w in idxs.windows(2) {
+                    let p = t.span_log[w[0]].1;
+                    if p.end > p.start + 1e-9 {
+                        pairs.push((w[0], w[1]));
+                    }
+                }
+            }
+            pairs
+        };
+        prop_assert!(!pairs.is_empty(), "no stream ran two kernels back to back");
+        let (prev, second) = pairs[pick % pairs.len()];
+        let stream = t.span_log[second].0;
+        let prev_span = t.span_log[prev].1;
+        t.span_log[second].1.start = (prev_span.start + prev_span.end) / 2.0;
+        let v = validate(&t);
+        prop_assert!(
+            v.iter().any(|x| matches!(x, TraceViolation::StreamOverlap { stream: s, .. } if *s == stream)),
+            "overlap on stream {stream} not reported: {v:?}"
+        );
+    }
+
+    #[test]
+    fn real_trace_with_oversubscribed_arena_is_flagged(shrink_num in 1usize..100) {
+        let mut t = schedule_trace().clone();
+        let max_alloc = t.events.iter().filter_map(|e| match e {
+            TraceEvent::Alloc { bytes, .. } => Some(*bytes),
+            _ => None,
+        }).max();
+        prop_assert!(max_alloc.is_some(), "trace allocates nothing");
+        // capacity strictly below the largest single reservation: the
+        // admission of that reservation must trip the budget check
+        let cap = max_alloc.expect("checked by the prop_assert above") * shrink_num / 100;
+        t.arena_capacity = cap;
+        let v = validate(&t);
+        prop_assert!(
+            v.iter().any(|x| matches!(x, TraceViolation::ArenaOversubscribed { capacity, .. } if *capacity == cap)),
+            "arena oversubscription at capacity {cap} not reported: {v:?}"
+        );
+    }
+}
