@@ -1,0 +1,35 @@
+// Fixture: seeded precision-discipline violations.
+
+pub fn demotes_bare(x: f64) -> f32 {
+    x as f32 // line 4
+}
+
+pub fn promotes_bare(x: f32) -> f64 {
+    x as f64 // line 8
+}
+
+pub fn width_cast_unescaped(n: usize) -> f64 {
+    n as f64 // line 12
+}
+
+pub fn width_cast_escaped(n: usize) -> f64 {
+    n as f64 // sc-analyze: allow(precision-discipline)
+}
+
+pub fn sanctioned_conversions(x: f32) -> f64 {
+    f64::from(x) + f64::from_bits(42)
+}
+
+pub fn integer_casts_ok(n: usize) -> u32 {
+    n as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let x = 1.5f64;
+        let _ = x as f32;
+        let _ = (3usize + 4) as f64;
+    }
+}

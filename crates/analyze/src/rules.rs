@@ -52,6 +52,9 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(FloatEq {
             allow_files: FLOAT_EQ_ALLOWLIST,
         }),
+        Box::new(PrecisionDiscipline {
+            allow_files: PRECISION_ALLOWLIST,
+        }),
         Box::new(UnitDiscipline),
         Box::new(DeprecationBudget {
             allow_files: DEPRECATION_ALLOWLIST,
@@ -258,6 +261,75 @@ impl Rule for FloatEq {
                     message: format!(
                         "float literal compared with `{}`; use a tolerance or `.to_bits()`",
                         t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// precision-discipline
+// ---------------------------------------------------------------------------
+
+/// Files permitted to cast to `f32`/`f64` with bare `as`: the sealed
+/// `Scalar` impl module (the one sanctioned precision boundary — everything
+/// else goes through `Scalar::from_f64`/`to_f64`), and the two gpusim cost
+/// files, where every line prices integer byte/flop counts into `f64`
+/// seconds and no value precision is involved.
+pub const PRECISION_ALLOWLIST: &[&str] = &[
+    "crates/dense/src/scalar.rs",
+    "crates/gpusim/src/cost.rs",
+    "crates/gpusim/src/kernels.rs",
+];
+
+/// Now that the numeric stack is generic over [`Scalar`], a bare `as f32`
+/// / `as f64` cast in library code is an undeclared precision decision:
+/// demotions silently drop bits, promotions hide where the mixed-precision
+/// boundary sits. Value conversions go through `Scalar::from_f64` /
+/// `Scalar::to_f64` (exact-by-construction and greppable); integer-width
+/// casts that merely feed a cost model carry a
+/// `// sc-analyze: allow(precision-discipline)` escape documenting they
+/// change no value precision.
+///
+/// [`Scalar`]: ../sc_dense/trait.Scalar.html
+pub struct PrecisionDiscipline {
+    /// Exact paths or `/`-terminated directory prefixes exempt from the
+    /// rule.
+    pub allow_files: &'static [&'static str],
+}
+
+impl Rule for PrecisionDiscipline {
+    fn name(&self) -> &'static str {
+        "precision-discipline"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        is_library_source(rel) && !allowlisted(rel, self.allow_files)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (si, &ti) in file.sig.iter().enumerate() {
+            let t = &file.tokens[ti];
+            if t.kind != TokKind::Ident || t.text != "as" {
+                continue;
+            }
+            if file.in_test_region(t.line) {
+                continue;
+            }
+            let Some(target) = file.sig_tok(si + 1) else {
+                continue;
+            };
+            if target.kind == TokKind::Ident && (target.text == "f32" || target.text == "f64") {
+                out.push(Diagnostic {
+                    file: file.rel.clone(),
+                    line: t.line,
+                    rule: self.name().into(),
+                    message: format!(
+                        "bare `as {}` cast outside the Scalar impl module; use \
+                         `Scalar::from_f64`/`to_f64` for value conversions, or mark an \
+                         integer-width cast with an allow directive",
+                        target.text
                     ),
                 });
             }
@@ -549,6 +621,39 @@ mod tests {
         assert_eq!(run("crates/fem/src/problem.rs", neg).len(), 1);
         let int = "fn f(x: u8) -> bool { x == 5 }\n";
         assert!(run("crates/fem/src/problem.rs", int).is_empty());
+    }
+
+    #[test]
+    fn precision_discipline_flags_bare_float_casts() {
+        let demote = "fn f(x: f64) -> f32 { x as f32 }\n";
+        assert_eq!(run("crates/sparse/src/csr.rs", demote).len(), 1);
+        let promote = "fn f(x: f32) -> f64 { x as f64 }\n";
+        assert_eq!(run("crates/feti/src/solver.rs", promote).len(), 1);
+        // the sanctioned conversion surface is clean
+        let from = "fn f(x: f32) -> f64 { f64::from(x) }\n";
+        assert!(run("crates/feti/src/solver.rs", from).is_empty());
+        // integer casts to integer widths are out of scope
+        let int = "fn f(n: usize) -> u32 { n as u32 }\n";
+        assert!(run("crates/sparse/src/csr.rs", int).is_empty());
+    }
+
+    #[test]
+    fn precision_discipline_respects_scope_and_escapes() {
+        let src = "fn f(n: usize) -> f64 { n as f64 }\n";
+        assert_eq!(run("crates/core/src/schedule.rs", src).len(), 1);
+        // the Scalar impl module and the gpusim pricing files are sanctioned
+        assert!(run("crates/dense/src/scalar.rs", src).is_empty());
+        assert!(run("crates/gpusim/src/cost.rs", src).is_empty());
+        // non-library code is out of scope
+        assert!(run("tests/integration.rs", src).is_empty());
+        assert!(run("crates/bench/src/lib.rs", src).is_empty());
+        // test regions inside library files are exempt
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn g() { let _ = 1usize as f64; }\n}\n";
+        assert!(run("crates/sparse/src/csr.rs", test_mod).is_empty());
+        // the line escape silences exactly this rule
+        let escaped =
+            "fn f(n: usize) -> f64 { n as f64 } // sc-analyze: allow(precision-discipline)\n";
+        assert!(run("crates/core/src/schedule.rs", escaped).is_empty());
     }
 
     #[test]

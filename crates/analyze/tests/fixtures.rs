@@ -84,6 +84,32 @@ fn pub_doc_fixture_fires_at_seeded_lines() {
 }
 
 #[test]
+fn precision_discipline_fixture_fires_at_seeded_lines() {
+    let got = findings("precision_discipline.rs", "crates/sparse/src/fixture.rs");
+    let precision_lines: Vec<u32> = got
+        .iter()
+        .filter(|(_, r)| r == "precision-discipline")
+        .map(|(l, _)| *l)
+        .collect();
+    assert_eq!(
+        precision_lines,
+        vec![4, 8, 12],
+        "precision-discipline findings mismatch"
+    );
+    // the Scalar impl module is the sanctioned cast site
+    assert!(
+        findings("precision_discipline.rs", "crates/dense/src/scalar.rs")
+            .iter()
+            .all(|(_, r)| r != "precision-discipline")
+    );
+    // non-library paths (tests, benches, shims) are out of scope
+    assert!(
+        findings("precision_discipline.rs", "tests/integration.rs").is_empty(),
+        "integration tests are not library sources"
+    );
+}
+
+#[test]
 fn suppressed_fixture_is_clean() {
     // analyzed outside core/gpusim so pub-doc (which the fixture does
     // not exercise) stays out of the way

@@ -79,13 +79,7 @@ fn bench_gpu_schedule(c: &mut Criterion) {
     ] {
         let opts = ScheduleOptions::default().with_policy(policy);
         let dev = Device::new(DeviceSpec::a100(), 4);
-        let session = AssemblySession::new(
-            Backend::Gpu {
-                device: dev,
-                schedule: opts.clone(),
-            },
-            cfg,
-        );
+        let session = AssemblySession::new(Backend::gpu_with(dev, opts.clone()), cfg);
         let res = session.assemble(&items);
         println!(
             "gpu_schedule/{name}: simulated makespan {:.3} ms over {nsub} subdomains",
@@ -94,10 +88,7 @@ fn bench_gpu_schedule(c: &mut Criterion) {
         group.bench_function(format!("{name}/{nsub}sub/n{}", w.n), |b| {
             b.iter(|| {
                 let session = AssemblySession::new(
-                    Backend::Gpu {
-                        device: Device::new(DeviceSpec::a100(), 4),
-                        schedule: opts.clone(),
-                    },
+                    Backend::gpu_with(Device::new(DeviceSpec::a100(), 4), opts.clone()),
                     cfg,
                 );
                 std::hint::black_box(session.assemble(&items))

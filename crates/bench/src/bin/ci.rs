@@ -15,12 +15,12 @@
 //! `results/bench.json`, the committed machine-readable bench trajectory.
 //!
 //! The `analyze` stage runs the `sc_analyze` lint engine over the tree
-//! (panic-surface, float-eq, unit-discipline, deprecation-budget,
-//! pub-doc — the old inline deprecation scan is subsumed by the
-//! `deprecation-budget` rule). The `trace-audit` stage replays the four
-//! bench workloads and statically checks the recorded kernel traces for
-//! memory and ordering hazards; `--only <bin>` narrows it to one
-//! workload, matching the perf-gate matrix legs.
+//! (panic-surface, float-eq, precision-discipline, unit-discipline,
+//! deprecation-budget, pub-doc — the old inline deprecation scan is
+//! subsumed by the `deprecation-budget` rule). The `trace-audit` stage
+//! replays the bench workloads and statically checks the recorded kernel
+//! traces for memory and ordering hazards; `--only <bin>` narrows it to
+//! one workload, matching the perf-gate matrix legs.
 //!
 //! Scope note: the **hard** perf gates (the bins' exit codes) and the
 //! record emission run identically here and in CI. The *warn-only* drift
@@ -34,10 +34,11 @@ use std::path::PathBuf;
 use std::process::Command;
 
 /// The perf-gate bins, in run order. `headline` carries no exit gate of its
-/// own (it reports paper-vs-measured ratios); the other three exit non-zero
-/// when their speedup gates regress. The same four names select the
+/// own (it reports paper-vs-measured ratios); the others exit non-zero when
+/// their gates regress (`precision` gates the f32 arena high water and the
+/// planner's extra explicit admissions). The same names select the
 /// `trace-audit` workloads.
-const PERF_BINS: &[&str] = &["headline", "schedule", "cluster", "hybrid"];
+const PERF_BINS: &[&str] = &["headline", "schedule", "cluster", "hybrid", "precision"];
 
 const STAGES: &[&str] = &[
     "fmt",

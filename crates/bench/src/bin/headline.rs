@@ -97,10 +97,10 @@ fn main() {
     let makespan = |policy: StreamPolicy| {
         let dev = Device::new(DeviceSpec::a100(), 4);
         AssemblySession::new(
-            Backend::Gpu {
-                device: std::sync::Arc::clone(&dev),
-                schedule: ScheduleOptions::default().with_policy(policy),
-            },
+            Backend::gpu_with(
+                std::sync::Arc::clone(&dev),
+                ScheduleOptions::default().with_policy(policy),
+            ),
             cfg,
         )
         .assemble(&skew_items);

@@ -1,0 +1,231 @@
+//! Mixed-precision perf gate: what the `f32` working precision buys on the
+//! mixed-fit workload, measured on the two axes where the paper's memory
+//! argument lives:
+//!
+//! - **arena footprint** — the same batch assembled through the scheduled
+//!   GPU backend at `Precision::F64` and `Precision::f32_refined()`; the
+//!   f32 arena high water must come in at ≤ [`MEMORY_GATE`] × the f64 one
+//!   (the ideal ratio is 0.5 — element payloads halve while index arrays
+//!   stay the same size, and the gate leaves headroom above it);
+//! - **planner admissions** — the hybrid planner priced at f32
+//!   (`estimate_cost_of::<f32>`) must admit **strictly more** subdomains
+//!   explicitly than the f64 pricing at the *same* arena capacity, i.e.
+//!   halving the element width really converts spilled subdomains into
+//!   explicit residents.
+//!
+//! Doubles as the CI perf-gate for the precision subsystem: it **fails**
+//! (non-zero exit) when either axis regresses.
+//!
+//! Usage: `cargo run -p sc_bench --release --bin precision [--iters N] [--json PATH]`
+
+use sc_bench::{bench_record_at, write_json, BatchWorkload, Json, Table};
+use sc_core::{
+    estimate_apply_of, estimate_cost_of, plan_hybrid, ApplyEstimate, AssemblySession, Backend,
+    CostEstimate, DeviceSlot, Formulation, HybridForce, HybridPlan, HybridPlanOptions, Precision,
+    ScConfig, ScheduleOptions,
+};
+use sc_gpu::{Device, DevicePool, DeviceSpec};
+
+/// Maximum admissible f32/f64 arena high-water ratio.
+const MEMORY_GATE: f64 = 0.55;
+
+fn parse_args() -> (f64, Option<std::path::PathBuf>) {
+    let mut iters = 40.0f64;
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters value");
+            }
+            "--json" => json = Some(it.next().expect("--json needs a path").into()),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    (iters, json)
+}
+
+fn main() {
+    let (iters, json_path) = parse_args();
+    let w = BatchWorkload::build_mixed_fit();
+    let items = w.items();
+    let cfg = ScConfig::optimized(true, false);
+
+    // ---- axis 1: realized arena high water at both precisions -----------
+    // One scheduled device with an ample arena, so the high water reflects
+    // the workload's concurrent temporary footprint, not admission gating.
+    let run_at = |precision: Precision| {
+        let device = Device::new(DeviceSpec::a100(), 4);
+        AssemblySession::new(
+            Backend::gpu_with(device, ScheduleOptions::default()).precision(precision),
+            cfg,
+        )
+        .assemble(&items)
+    };
+    let res64 = run_at(Precision::F64);
+    let res32 = run_at(Precision::f32_refined());
+    assert_eq!(res64.report.precision, Precision::F64);
+    assert!(
+        res32.report.precision.is_f32(),
+        "f32 session must stamp its precision into the report"
+    );
+    let hw64 = res64.report.temp_high_water();
+    let hw32 = res32.report.temp_high_water();
+    assert!(hw64 > 0, "scheduled assembly must record temp high water");
+    let ratio = hw32 as f64 / hw64 as f64;
+
+    // ---- axis 2: hybrid admissions at a fixed arena capacity ------------
+    let ref_spec = DeviceSpec::a100();
+    let price = |f32_width: bool| -> (Vec<CostEstimate>, Vec<ApplyEstimate>) {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| {
+                let params = cfg.resolve(true, it.l, it.bt);
+                if f32_width {
+                    let (l, bt) = (it.l.cast::<f32>(), it.bt.cast::<f32>());
+                    (
+                        estimate_cost_of::<f32>(&ref_spec, &l, &bt, &params, i),
+                        estimate_apply_of::<f32>(&l, &bt, i),
+                    )
+                } else {
+                    (
+                        estimate_cost_of::<f64>(&ref_spec, it.l, it.bt, &params, i),
+                        estimate_apply_of::<f64>(it.l, it.bt, i),
+                    )
+                }
+            })
+            .unzip()
+    };
+    let (costs64, applies64) = price(false);
+    let (costs32, applies32) = price(true);
+
+    // size the arena between the f64 footprint quartiles (exactly like the
+    // hybrid bin) so the top quarter cannot be admitted at f64 width
+    let mut temps: Vec<usize> = costs64.iter().map(|c| c.temp_bytes).collect();
+    temps.sort_unstable();
+    let q = temps.len() - temps.len() / 4;
+    let arena = (temps[q - 1] + temps[q]) / 2;
+    let spec = DeviceSpec {
+        memory_bytes: 2 * arena,
+        ..ref_spec
+    };
+    let pool = DevicePool::uniform(spec, 2, 4);
+    let slots: Vec<DeviceSlot> = pool.devices().iter().map(|d| DeviceSlot::of(d)).collect();
+
+    let plan_with =
+        |costs: &[CostEstimate], applies: &[ApplyEstimate], force: HybridForce| -> HybridPlan {
+            plan_hybrid(
+                costs,
+                applies,
+                &slots,
+                &HybridPlanOptions::default()
+                    .with_iters(iters)
+                    .with_force(force),
+            )
+        };
+    // AllExplicit isolates pure admissibility: admitted = not spilled
+    let expl64 = plan_with(&costs64, &applies64, HybridForce::AllExplicit);
+    let expl32 = plan_with(&costs32, &applies32, HybridForce::AllExplicit);
+    let admitted64 = w.n_subdomains() - expl64.spilled.len();
+    let admitted32 = w.n_subdomains() - expl32.spilled.len();
+    assert_eq!(
+        expl64.spilled.len(),
+        w.n_subdomains() / 4,
+        "the f64 pricing must spill exactly the top quarter, got {:?}",
+        expl64.spilled
+    );
+    // the free-choice plans, for the record (what the planner does with
+    // the extra headroom, not part of the hard gate)
+    let auto64 = plan_with(&costs64, &applies64, HybridForce::Auto);
+    let auto32 = plan_with(&costs32, &applies32, HybridForce::Auto);
+
+    let mut table = Table::new(
+        &format!(
+            "Mixed precision on the mixed-fit batch ({} subdomains, arena {arena} B, {iters:.0} expected iterations)",
+            w.n_subdomains()
+        ),
+        &[
+            "precision",
+            "arena high water [B]",
+            "explicit admitted",
+            "auto expl-gpu",
+            "auto implicit",
+        ],
+    );
+    let mut row = |p: Precision, hw: usize, admitted: usize, auto: &HybridPlan| {
+        table.row(vec![
+            p.name().to_string(),
+            hw.to_string(),
+            format!("{admitted}/{}", w.n_subdomains()),
+            auto.count_of(Formulation::ExplicitGpu).to_string(),
+            auto.count_of(Formulation::Implicit).to_string(),
+        ]);
+    };
+    row(Precision::F64, hw64, admitted64, &auto64);
+    row(Precision::f32_refined(), hw32, admitted32, &auto32);
+    table.emit("precision");
+    println!(
+        "arena high water: f32 {hw32} B / f64 {hw64} B = {ratio:.3} (gate <= {MEMORY_GATE}); \
+         explicit admissions at {arena} B: f64 {admitted64} -> f32 {admitted32}."
+    );
+
+    if let Some(path) = &json_path {
+        let record = bench_record_at(
+            "precision",
+            &format!(
+                "{}-vs-{}",
+                Precision::F64.name(),
+                Precision::f32_refined().name()
+            ),
+            Json::obj()
+                .field("name", "mixed_fit")
+                .field("n_subdomains", w.n_subdomains())
+                .field("arena_bytes", arena)
+                .field("n_devices", pool.n_devices())
+                .field("expected_iters", iters),
+            Json::obj()
+                .field("arena_high_water_f64_bytes", hw64)
+                .field("arena_high_water_f32_bytes", hw32)
+                .field("arena_ratio", ratio)
+                .field("explicit_admitted_f64", admitted64)
+                .field("explicit_admitted_f32", admitted32)
+                .field(
+                    "auto_explicit_gpu_f64",
+                    auto64.count_of(Formulation::ExplicitGpu),
+                )
+                .field(
+                    "auto_explicit_gpu_f32",
+                    auto32.count_of(Formulation::ExplicitGpu),
+                )
+                .field("memory_gate", MEMORY_GATE),
+        );
+        if let Err(err) = write_json(path, &record) {
+            eprintln!("warning: failed to write {}: {err}", path.display());
+        }
+    }
+
+    // hard gates: the memory ratio and the strict admission win
+    let mut failed = false;
+    if ratio > MEMORY_GATE {
+        eprintln!(
+            "FAIL: f32 arena high water {hw32} B is {ratio:.3}x the f64 {hw64} B \
+             (gate <= {MEMORY_GATE})"
+        );
+        failed = true;
+    }
+    if admitted32 <= admitted64 {
+        eprintln!(
+            "FAIL: f32 pricing must admit strictly more explicit subdomains than f64 \
+             at arena {arena} B (f64 {admitted64}, f32 {admitted32})"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -23,10 +23,10 @@ fn run(
 ) -> (AssemblyResult, f64, f64) {
     let device: Arc<Device> = Device::new(spec, n_streams);
     let session = AssemblySession::new(
-        Backend::Gpu {
-            device: Arc::clone(&device),
-            schedule: ScheduleOptions::default().with_policy(policy),
-        },
+        Backend::gpu_with(
+            Arc::clone(&device),
+            ScheduleOptions::default().with_policy(policy),
+        ),
         *cfg,
     );
     let res = session.assemble(items);

@@ -1,4 +1,4 @@
-//! `trace-audit` CI stage: replay the four benchmark workloads through
+//! `trace-audit` CI stage: replay the benchmark workloads through
 //! their production backends, collect the per-device hazard traces the
 //! replay engines record ([`sc_gpu::Trace`]), and statically validate
 //! them with `sc_analyze::trace::validate` — use-after-free, double
@@ -12,7 +12,7 @@
 //! workload that produced no trace), `2` usage error.
 //!
 //! Usage: `cargo run -p sc_bench --release --bin trace_audit
-//! [--only <headline|schedule|cluster|hybrid>] [--out <dir>]`
+//! [--only <headline|schedule|cluster|hybrid|precision>] [--out <dir>]`
 
 use sc_analyze::trace::validate;
 use sc_bench::{trace_json, write_json, BatchWorkload, Json};
@@ -20,7 +20,7 @@ use sc_core::{AssemblyReport, AssemblySession, Backend, ScConfig, ScheduleOption
 use sc_gpu::{Device, DevicePool, DeviceSpec, Trace};
 use std::path::PathBuf;
 
-const WORKLOADS: &[&str] = &["headline", "schedule", "cluster", "hybrid"];
+const WORKLOADS: &[&str] = &["headline", "schedule", "cluster", "hybrid", "precision"];
 
 fn usage() -> ! {
     eprintln!(
@@ -72,29 +72,17 @@ fn run_workload(name: &str) -> AssemblyReport {
         "headline" => {
             let w = BatchWorkload::build(3, 4);
             let device = Device::new(DeviceSpec::a100(), 4);
-            AssemblySession::new(
-                Backend::Gpu {
-                    device,
-                    schedule: ScheduleOptions::default(),
-                },
-                cfg,
-            )
-            .assemble(w.items())
-            .report
+            AssemblySession::new(Backend::gpu_with(device, ScheduleOptions::default()), cfg)
+                .assemble(w.items())
+                .report
         }
         // the schedule bin's skewed batch under the LPT stream scheduler
         "schedule" => {
             let w = BatchWorkload::build_skewed(2, &[12, 4, 6, 3]);
             let device = Device::new(DeviceSpec::a100(), 4);
-            AssemblySession::new(
-                Backend::Gpu {
-                    device,
-                    schedule: ScheduleOptions::default(),
-                },
-                cfg,
-            )
-            .assemble(w.items())
-            .report
+            AssemblySession::new(Backend::gpu_with(device, ScheduleOptions::default()), cfg)
+                .assemble(w.items())
+                .report
         }
         // the cluster bin's 32-subdomain shard across a 4-device pool
         "cluster" => {
@@ -130,6 +118,21 @@ fn run_workload(name: &str) -> AssemblyReport {
             AssemblySession::new(Backend::hybrid(pool), cfg)
                 .assemble(&items)
                 .report
+        }
+        // the precision bin's mixed-fit batch replayed at the f32 working
+        // precision, so the audited traces carry 4-byte element payloads
+        // (arena accounting, slot lifetimes, and ordering edges must stay
+        // hazard-free at the halved widths too)
+        "precision" => {
+            let w = BatchWorkload::build_mixed_fit();
+            let device = Device::new(DeviceSpec::a100(), 4);
+            AssemblySession::new(
+                Backend::gpu_with(device, ScheduleOptions::default())
+                    .precision(sc_core::Precision::f32_refined()),
+                cfg,
+            )
+            .assemble(w.items())
+            .report
         }
         other => unreachable!("workload names are validated in parse_args: {other}"),
     }

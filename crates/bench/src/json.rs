@@ -18,7 +18,10 @@ use std::path::Path;
 /// v2: records may carry an `assembly_report` section rendered by
 /// [`report_json`] — the unified [`AssemblyReport`] schema shared by every
 /// execution target (CPU / GPU / cluster / hybrid).
-pub const BENCH_SCHEMA: &str = "sc-bench/v2";
+/// v3: every record carries a `precision` field naming the working
+/// precision its metrics were produced under (`"f64"`, `"f32+refine"`, or
+/// `"f64-vs-f32+refine"` for cross-precision comparison bins).
+pub const BENCH_SCHEMA: &str = "sc-bench/v3";
 
 /// A JSON value with insertion-ordered object keys.
 #[derive(Clone, Debug)]
@@ -185,12 +188,23 @@ pub fn git_describe() -> String {
 }
 
 /// The stable per-bin record shape: schema, bin name, git describe,
-/// workload description, and the bin's headline metrics.
+/// working precision, workload description, and the bin's headline
+/// metrics. Bins running the historical `f64` pipeline use this; bins
+/// that measure another precision (or compare several) stamp it via
+/// [`bench_record_at`].
 pub fn bench_record(bin: &str, workload: Json, metrics: Json) -> Json {
+    bench_record_at(bin, sc_core::Precision::F64.name(), workload, metrics)
+}
+
+/// [`bench_record`] with an explicit `precision` tag (use
+/// [`Precision::name`](sc_core::Precision::name) for single-precision
+/// records; comparison bins join the names with `-vs-`).
+pub fn bench_record_at(bin: &str, precision: &str, workload: Json, metrics: Json) -> Json {
     Json::obj()
         .field("schema", BENCH_SCHEMA)
         .field("bin", bin)
         .field("git", git_describe())
+        .field("precision", precision)
         .field("workload", workload)
         .field("metrics", metrics)
 }
@@ -408,10 +422,13 @@ mod tests {
             Json::obj().field("speedup", 2.0),
         );
         let s = r.render();
-        for key in ["schema", "bin", "git", "workload", "metrics"] {
+        for key in ["schema", "bin", "git", "precision", "workload", "metrics"] {
             assert!(s.contains(&format!("\"{key}\"")), "missing {key}:\n{s}");
         }
         assert!(s.contains(BENCH_SCHEMA));
+        assert!(s.contains("\"precision\": \"f64\""), "default tag:\n{s}");
+        let mixed = bench_record_at("demo", "f32+refine", Json::obj(), Json::obj()).render();
+        assert!(mixed.contains("\"precision\": \"f32+refine\""), "{mixed}");
     }
 
     #[test]

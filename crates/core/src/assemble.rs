@@ -8,12 +8,12 @@
 //! ```
 
 use crate::exec::Exec;
-use crate::stepped::SteppedRhs;
+use crate::stepped::SteppedRhsOf;
 use crate::syrk::{run_syrk_with_cache, SyrkVariant};
 use crate::trsm::{run_trsm_with_cache, FactorStorage, TrsmVariant};
 use crate::tune::BlockCutsCache;
-use sc_dense::Mat;
-use sc_sparse::Csc;
+use sc_dense::{MatOf, Scalar};
+use sc_sparse::CscOf;
 
 /// Fully resolved assembler parameters: one entry per knob the paper tunes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,13 +87,13 @@ pub enum ScConfig {
 }
 
 /// Density of a lower-triangular CSC factor relative to a full triangle.
-fn factor_density(l: &Csc) -> f64 {
+fn factor_density<S: Scalar>(l: &CscOf<S>) -> f64 {
     let n = l.ncols();
     if n == 0 {
         return 0.0;
     }
-    let tri = n as f64 * (n as f64 + 1.0) / 2.0;
-    l.nnz() as f64 / tri
+    let tri = n as f64 * (n as f64 + 1.0) / 2.0; // sc-analyze: allow(precision-discipline)
+    l.nnz() as f64 / tri // sc-analyze: allow(precision-discipline)
 }
 
 /// 2D nested-dissection factors stay a few percent dense; 3D ones fill an
@@ -120,7 +120,7 @@ impl ScConfig {
     /// Resolve to concrete parameters for one subdomain. `gpu` is the
     /// executing platform ([`ScConfig::Fixed`] ignores it; callers inside
     /// the pipeline pass [`Exec::is_gpu`]).
-    pub fn resolve(&self, gpu: bool, l: &Csc, bt: &Csc) -> ScParams {
+    pub fn resolve<S: Scalar>(&self, gpu: bool, l: &CscOf<S>, bt: &CscOf<S>) -> ScParams {
         match self {
             ScConfig::Fixed(params) => *params,
             ScConfig::Auto => {
@@ -163,29 +163,34 @@ impl From<ScParams> for ScConfig {
 ///
 /// The result is indexed by the original (unstepped) multiplier order and is
 /// fully symmetric.
-pub fn assemble_sc<E: Exec>(exec: &mut E, l: &Csc, bt: &Csc, cfg: &ScConfig) -> Mat {
+pub fn assemble_sc<S: Scalar, E: Exec<S>>(
+    exec: &mut E,
+    l: &CscOf<S>,
+    bt: &CscOf<S>,
+    cfg: &ScConfig,
+) -> MatOf<S> {
     assemble_sc_with_cache(exec, l, bt, cfg, None)
 }
 
 /// [`assemble_sc`] with an optional shared [`BlockCutsCache`]; the batched
 /// driver passes one cache for the whole cluster so equal-shape subdomains
 /// resolve their block partitions once.
-pub fn assemble_sc_with_cache<E: Exec>(
+pub fn assemble_sc_with_cache<S: Scalar, E: Exec<S>>(
     exec: &mut E,
-    l: &Csc,
-    bt: &Csc,
+    l: &CscOf<S>,
+    bt: &CscOf<S>,
     cfg: &ScConfig,
     cache: Option<&BlockCutsCache>,
-) -> Mat {
+) -> MatOf<S> {
     let n = l.ncols();
     assert_eq!(bt.nrows(), n, "B̃ᵀ rows must live in factor space");
     let m = bt.ncols();
     let params = cfg.resolve(exec.is_gpu(), l, bt);
 
     let stepped = if params.stepped_permutation {
-        SteppedRhs::new(bt)
+        SteppedRhsOf::new(bt)
     } else {
-        SteppedRhs {
+        SteppedRhsOf {
             bt: bt.clone(),
             pivots: sc_sparse::pattern::pivots_or_end(bt),
             col_perm: sc_sparse::Perm::identity(m),
@@ -220,7 +225,7 @@ pub fn assemble_sc_with_cache<E: Exec>(
         cache,
     );
 
-    let mut f = Mat::zeros(m, m);
+    let mut f = MatOf::<S>::zeros(m, m);
     run_syrk_with_cache(exec, &y, &stepped, syrk_variant, &mut f, cache);
     f.symmetrize_from_lower();
 
@@ -231,7 +236,10 @@ pub fn assemble_sc_with_cache<E: Exec>(
 
 /// Dense reference: `F̃ = B̃ K_reg⁻¹ B̃ᵀ` computed with dense kernels from the
 /// full matrix (not the factor). Test oracle.
-pub fn assemble_sc_reference(k_reg: &Csc, bt_unpermuted: &Csc) -> Mat {
+pub fn assemble_sc_reference(
+    k_reg: &sc_sparse::Csc,
+    bt_unpermuted: &sc_sparse::Csc,
+) -> sc_dense::Mat {
     let n = k_reg.ncols();
     assert_eq!(bt_unpermuted.nrows(), n);
     let mut l = k_reg.to_dense();
@@ -239,7 +247,7 @@ pub fn assemble_sc_reference(k_reg: &Csc, bt_unpermuted: &Csc) -> Mat {
     let mut y = bt_unpermuted.to_dense();
     sc_dense::trsm_lower_left(l.as_ref(), y.as_mut());
     let m = bt_unpermuted.ncols();
-    let mut f = Mat::zeros(m, m);
+    let mut f = sc_dense::Mat::zeros(m, m);
     sc_dense::syrk_t(1.0, y.as_ref(), 0.0, f.as_mut());
     f.symmetrize_from_lower();
     f
@@ -250,10 +258,11 @@ mod tests {
     use super::*;
     use crate::exec::{CpuExec, GpuExec};
     use crate::tune::BlockParam;
+    use sc_dense::Mat;
     use sc_factor::{CholOptions, Engine, SparseCholesky};
     use sc_gpu::{Device, DeviceSpec, GpuKernels};
     use sc_order::Ordering;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     /// SPD matrix: 2D Laplacian + shift.
     fn spd_matrix(nx: usize) -> Csc {

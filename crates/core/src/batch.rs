@@ -25,7 +25,7 @@
 //! - **CPU** — one rayon task per subdomain;
 //! - **GPU, round-robin** — the paper's 16-stream submission loop (one host
 //!   worker per stream, in index order; reachable only through the
-//!   deprecated [`assemble_sc_batch_gpu`] — [`Backend::Gpu`](crate::session::Backend::Gpu)
+//!   deprecated [`assemble_sc_batch_gpu`] — [`Target::Gpu`](crate::session::Target::Gpu)
 //!   schedules instead);
 //! - **GPU, scheduled** — the **memory-aware, cost-model-driven scheduler**
 //!   of [`crate::schedule`] (paper §4.4): LPT ordering onto the
@@ -59,21 +59,24 @@ use crate::schedule::{self, ArenaSim, ScheduleOptions, ScheduledSpan, StreamPoli
 use crate::source::BatchSource;
 use crate::tune::BlockCutsCache;
 use rayon::prelude::*;
-use sc_dense::Mat;
+use sc_dense::{Mat, MatOf, Scalar};
 use sc_gpu::{Device, DevicePool, GpuKernels, SimSpan, Trace, TraceEvent};
-use sc_sparse::Csc;
+use sc_sparse::CscOf;
 use std::time::Instant;
 
 /// Per-subdomain input to the batched assembler: the subdomain's Cholesky
 /// factor and its gluing block with rows already in factor order (the same
 /// pair [`assemble_sc`](crate::assemble_sc) takes).
 #[derive(Clone, Copy)]
-pub struct BatchItem<'a> {
+pub struct BatchItemOf<'a, S: Scalar = f64> {
     /// Cholesky factor of the regularized subdomain matrix (CSC, diag-first).
-    pub l: &'a Csc,
+    pub l: &'a CscOf<S>,
     /// `B̃ᵢᵀ` with rows permuted into the factor's order.
-    pub bt: &'a Csc,
+    pub bt: &'a CscOf<S>,
 }
+
+/// `f64` batch item (the historical type).
+pub type BatchItem<'a> = BatchItemOf<'a, f64>;
 
 /// Timing and shape record for one subdomain of a batch.
 #[derive(Clone, Copy, Debug)]
@@ -156,13 +159,16 @@ impl BatchReport {
 }
 
 /// Result of a batched assembly: one dense `F̃ᵢ` per input subdomain (batch
-/// order preserved) plus timing/cache diagnostics.
-pub struct BatchResult {
+/// order preserved) plus timing/cache diagnostics, in working precision `S`.
+pub struct BatchResultOf<S: Scalar = f64> {
     /// Assembled local dual operators, indexed like the input batch.
-    pub f: Vec<Mat>,
+    pub f: Vec<MatOf<S>>,
     /// Timing and cache diagnostics.
     pub report: BatchReport,
 }
+
+/// `f64` batch result (the historical type).
+pub type BatchResult = BatchResultOf<f64>;
 
 /// Assemble every subdomain's `F̃ᵢ` in parallel on the CPU.
 ///
@@ -177,7 +183,10 @@ pub fn assemble_sc_batch(items: &[BatchItem<'_>], cfg: &ScConfig) -> BatchResult
 }
 
 /// CPU batch driver over any [`BatchSource`].
-pub(crate) fn batch_cpu<S: BatchSource>(src: S, cfg: &ScConfig) -> BatchResult {
+pub(crate) fn batch_cpu<S: Scalar, Src: BatchSource<S>>(
+    src: Src,
+    cfg: &ScConfig,
+) -> BatchResultOf<S> {
     run_batch(src.len(), |i, cache| {
         let l = src.factor(i);
         let bt = src.gluing(i);
@@ -195,7 +204,7 @@ pub(crate) fn batch_cpu<S: BatchSource>(src: S, cfg: &ScConfig) -> BatchResult {
 /// transfer cost. Call `device.synchronize()` afterwards for the simulated
 /// device time, or read [`BatchReport::device_seconds`].
 ///
-/// The unified surface ([`Backend::Gpu`](crate::session::Backend::Gpu)) always
+/// The unified surface ([`Target::Gpu`](crate::session::Target::Gpu)) always
 /// schedules; this live round-robin loop survives only behind this wrapper
 /// as the pre-scheduler comparison baseline.
 #[deprecated(
@@ -217,11 +226,11 @@ pub fn assemble_sc_batch_gpu(
 /// pattern is reproduced per subdomain (H2D factor + gluing upload before
 /// the kernels, placeholder D2H sync after — the result stays resident on
 /// the device).
-pub(crate) fn batch_gpu_rr<S: BatchSource>(
-    src: S,
+pub(crate) fn batch_gpu_rr<S: Scalar, Src: BatchSource<S>>(
+    src: Src,
     cfg: &ScConfig,
     device: &std::sync::Arc<Device>,
-) -> BatchResult {
+) -> BatchResultOf<S> {
     if src.is_empty() {
         return empty_batch_result();
     }
@@ -236,7 +245,7 @@ pub(crate) fn batch_gpu_rr<S: BatchSource>(
     let sync0 = device.synchronize();
     // one worker per stream, so per-subdomain spans on a stream never
     // interleave (their sum is bounded by the stream's clock)
-    let per_stream: Vec<Vec<(Mat, SubdomainTiming)>> = (0..n_streams)
+    let per_stream: Vec<Vec<(MatOf<S>, SubdomainTiming)>> = (0..n_streams)
         .into_par_iter()
         .map(|s| {
             let mut out = Vec::new();
@@ -277,7 +286,7 @@ pub(crate) fn batch_gpu_rr<S: BatchSource>(
 
     // stitch the per-stream outputs back into batch order
     let count = src.len();
-    let mut slots: Vec<Option<(Mat, SubdomainTiming)>> = (0..count).map(|_| None).collect();
+    let mut slots: Vec<Option<(MatOf<S>, SubdomainTiming)>> = (0..count).map(|_| None).collect();
     for chunk in per_stream {
         for entry in chunk {
             let idx = entry.1.index;
@@ -291,7 +300,7 @@ pub(crate) fn batch_gpu_rr<S: BatchSource>(
         f.push(mat);
         timings.push(timing);
     }
-    BatchResult {
+    BatchResultOf {
         f,
         report: BatchReport {
             timings,
@@ -320,7 +329,7 @@ pub(crate) fn batch_gpu_rr<S: BatchSource>(
 /// run to run, unlike live multi-threaded submission.
 #[deprecated(
     since = "0.2.0",
-    note = "use AssemblySession::new(Backend::Gpu { device, schedule }, cfg).assemble(items)"
+    note = "use AssemblySession::new(Backend::gpu_with(device, schedule), cfg).assemble(items)"
 )]
 pub fn assemble_sc_batch_scheduled(
     items: &[BatchItem<'_>],
@@ -332,12 +341,12 @@ pub fn assemble_sc_batch_scheduled(
 }
 
 /// §4.4 scheduled GPU driver over any [`BatchSource`].
-pub(crate) fn batch_scheduled<S: BatchSource>(
-    src: S,
+pub(crate) fn batch_scheduled<S: Scalar, Src: BatchSource<S>>(
+    src: Src,
     cfg: &ScConfig,
     device: &std::sync::Arc<Device>,
     opts: &ScheduleOptions,
-) -> BatchResult {
+) -> BatchResultOf<S> {
     if let Some(ready) = opts.ready_at.as_ref() {
         assert_eq!(
             ready.len(),
@@ -365,7 +374,7 @@ pub(crate) fn batch_scheduled<S: BatchSource>(
     let recorded = record_scheduled_batch(&src, cfg, &spec, &cache);
 
     // phase 2: plan + deterministic replay onto the device
-    let refs: Vec<&Recorded> = recorded.iter().collect();
+    let refs: Vec<&Recorded<S>> = recorded.iter().collect();
     let estimates = refine_estimates(&refs, &spec);
     let plan = schedule::plan(&estimates, device.n_streams(), opts.policy);
     let outcome = replay_recorded(device, &refs, &estimates, &plan, opts.ready_at.as_deref());
@@ -388,7 +397,7 @@ pub(crate) fn batch_scheduled<S: BatchSource>(
             device: Some(0),
         });
     }
-    BatchResult {
+    BatchResultOf {
         f,
         report: BatchReport {
             timings,
@@ -407,8 +416,8 @@ pub(crate) fn batch_scheduled<S: BatchSource>(
 /// identical to the CPU path), the kernel-cost sequence to replay (with the
 /// per-kernel arena-slot accesses for the hazard-audit trace), the analytic
 /// cost estimate, and the host task time.
-struct Recorded {
-    f: Mat,
+struct Recorded<S: Scalar = f64> {
+    f: MatOf<S>,
     costs: Vec<sc_gpu::KernelCost>,
     accesses: Vec<sc_gpu::SlotAccess>,
     estimate: schedule::CostEstimate,
@@ -418,12 +427,12 @@ struct Recorded {
 /// Phase 1 of the scheduled/cluster drivers: host-parallel numerics through
 /// [`RecordingExec`], plus per-subdomain analytic cost estimates under
 /// `spec` (a reference spec — planners re-price per device as needed).
-fn record_scheduled_batch<S: BatchSource>(
-    src: &S,
+fn record_scheduled_batch<S: Scalar, Src: BatchSource<S>>(
+    src: &Src,
     cfg: &ScConfig,
     spec: &sc_gpu::DeviceSpec,
     cache: &BlockCutsCache,
-) -> Vec<Recorded> {
+) -> Vec<Recorded<S>> {
     (0..src.len())
         .into_par_iter()
         .map(|i| {
@@ -431,7 +440,7 @@ fn record_scheduled_batch<S: BatchSource>(
             let l = src.factor(i);
             let bt = src.gluing(i);
             let params = cfg.resolve(true, &l, bt);
-            let estimate = schedule::estimate_cost(spec, &l, bt, &params, i);
+            let estimate = schedule::estimate_cost_of::<S>(spec, &l, bt, &params, i);
             let mut rec = RecordingExec::new();
             rec.record_upload_csc(&l);
             rec.record_upload_csc(bt);
@@ -454,8 +463,8 @@ fn record_scheduled_batch<S: BatchSource>(
 /// overhead dominates raw FLOPs, and the recorder has the exact launch
 /// count in hand before anything replays. Estimate indices are renumbered
 /// to the slice position (local order).
-fn refine_estimates(
-    recorded: &[&Recorded],
+fn refine_estimates<S: Scalar>(
+    recorded: &[&Recorded<S>],
     spec: &sc_gpu::DeviceSpec,
 ) -> Vec<schedule::CostEstimate> {
     recorded
@@ -498,9 +507,9 @@ struct ReplayOutcome {
 /// device's own span log over the replay window as an independent witness
 /// of per-stream serialization. The span log is captured non-destructively:
 /// an outer `enable_span_log` caller still drains the full log afterwards.
-fn replay_recorded(
+fn replay_recorded<S: Scalar>(
     device: &std::sync::Arc<Device>,
-    recorded: &[&Recorded],
+    recorded: &[&Recorded<S>],
     estimates: &[schedule::CostEstimate],
     plan: &schedule::StreamPlan,
     ready_at: Option<&[f64]>,
@@ -641,6 +650,10 @@ fn replay_recorded(
         temp_high_water: arena.high_water(),
         trace: Trace {
             arena_capacity: device.temp_pool().capacity(),
+            // the oversubscription audit compares arena reservations sized
+            // with the replay's working precision (satellite of the mixed-
+            // precision refactor: 4 for f32 replays, 8 for f64)
+            elem_bytes: S::BYTES,
             n_streams,
             concurrency: device.spec().concurrency,
             events,
@@ -650,8 +663,8 @@ fn replay_recorded(
 }
 
 /// Options of the cluster (multi-device) batch driver — the `opts` payload
-/// of [`Backend::Cluster`](crate::session::Backend::Cluster) and
-/// [`Backend::Hybrid`](crate::session::Backend::Hybrid).
+/// of [`Target::Cluster`](crate::session::Target::Cluster) and
+/// [`Target::Hybrid`](crate::session::Target::Hybrid).
 ///
 /// Construct with [`Default`] and the `with_*` setters (the struct is
 /// `#[non_exhaustive]`, so it may grow fields without breaking callers):
@@ -781,7 +794,7 @@ pub struct ClusterResult {
 /// [`ClusterPlanError`](crate::schedule::ClusterPlanError)).
 #[deprecated(
     since = "0.2.0",
-    note = "use AssemblySession::new(Backend::Cluster { pool, opts }, cfg).assemble(items)"
+    note = "use AssemblySession::new(Backend::cluster_with(pool, opts), cfg).assemble(items)"
 )]
 pub fn assemble_sc_batch_cluster(
     items: &[BatchItem<'_>],
@@ -797,13 +810,13 @@ pub fn assemble_sc_batch_cluster(
 }
 
 /// Outcome of the internal cluster driver, including the spill channel used
-/// by [`Backend::Hybrid`](crate::session::Backend::Hybrid): subdomains that fit no
+/// by [`Target::Hybrid`](crate::session::Target::Hybrid): subdomains that fit no
 /// device arena keep their host-computed `F̃ᵢ` (the record phase computes
 /// every subdomain's numerics host-side anyway) and are reported separately.
-pub(crate) struct ClusterSpillOutcome {
+pub(crate) struct ClusterSpillOutcome<S: Scalar = f64> {
     /// Assembled local dual operators, batch order — **including** spilled
     /// subdomains (theirs come from the host record phase).
-    pub f: Vec<Mat>,
+    pub f: Vec<MatOf<S>>,
     /// Per-device roll-up; spilled subdomains appear in no device report and
     /// hold `usize::MAX` in `device_of`.
     pub report: ClusterReport,
@@ -817,13 +830,13 @@ pub(crate) struct ClusterSpillOutcome {
 /// `allow_spill = false` an over-arena subdomain panics with the
 /// descriptive [`ClusterPlanError`](crate::schedule::ClusterPlanError);
 /// with `allow_spill = true` it falls back to its host-computed `F̃ᵢ`.
-pub(crate) fn batch_cluster_impl<S: BatchSource>(
-    src: S,
+pub(crate) fn batch_cluster_impl<S: Scalar, Src: BatchSource<S>>(
+    src: Src,
     cfg: &ScConfig,
     pool: &DevicePool,
     opts: &ClusterOptions,
     allow_spill: bool,
-) -> ClusterSpillOutcome {
+) -> ClusterSpillOutcome<S> {
     if let Some(ready) = opts.ready_at.as_ref() {
         assert_eq!(
             ready.len(),
@@ -909,7 +922,7 @@ pub(crate) fn batch_cluster_impl<S: BatchSource>(
         let idx = &cplan.per_device[d];
         let sync0 = dev.synchronize();
         let busy0 = dev.busy_seconds();
-        let refs: Vec<&Recorded> = idx.iter().map(|&g| &recorded[g]).collect();
+        let refs: Vec<&Recorded<S>> = idx.iter().map(|&g| &recorded[g]).collect();
         // local estimates reuse the kernel-cost pricing already computed
         // for the partition — same duration model, priced once
         let estimates: Vec<schedule::CostEstimate> = idx
@@ -951,7 +964,7 @@ pub(crate) fn batch_cluster_impl<S: BatchSource>(
         }
         makespan = makespan.max(device_seconds);
         let busy = dev.busy_seconds() - busy0;
-        let cap = device_seconds * dev.n_streams().max(1) as f64;
+        let cap = device_seconds * dev.n_streams().max(1) as f64; // sc-analyze: allow(precision-discipline)
         utilization.push(if cap > 0.0 { busy / cap } else { 0.0 });
         per_device.push(BatchReport {
             timings,
@@ -983,7 +996,7 @@ pub(crate) fn batch_cluster_impl<S: BatchSource>(
             device: None,
         })
         .collect();
-    let f: Vec<Mat> = recorded.into_iter().map(|r| r.f).collect();
+    let f: Vec<MatOf<S>> = recorded.into_iter().map(|r| r.f).collect();
     let total_seconds = t0.elapsed().as_secs_f64();
     for rep in &mut per_device {
         rep.total_seconds = total_seconds;
@@ -1004,8 +1017,8 @@ pub(crate) fn batch_cluster_impl<S: BatchSource>(
 }
 
 /// An all-zero [`BatchResult`] for empty batches (no device interaction).
-fn empty_batch_result() -> BatchResult {
-    BatchResult {
+fn empty_batch_result<S: Scalar>() -> BatchResultOf<S> {
+    BatchResultOf {
         f: Vec::new(),
         report: BatchReport::default(),
     }
@@ -1024,7 +1037,7 @@ pub fn assemble_sc_batch_with<E, F>(
     make_exec: F,
 ) -> BatchResult
 where
-    E: Exec,
+    E: Exec<f64>,
     F: Fn(usize) -> E + Sync + Send,
 {
     run_batch(items.len(), |i, cache| {
@@ -1037,13 +1050,13 @@ where
 
 /// Shared fan-out/timing/report skeleton of the CPU batch drivers: `run(i,
 /// cache)` assembles subdomain `i` and returns `(F̃ᵢ, n_dofs, n_lambda)`.
-fn run_batch<R>(count: usize, run: R) -> BatchResult
+fn run_batch<S: Scalar, R>(count: usize, run: R) -> BatchResultOf<S>
 where
-    R: Fn(usize, &BlockCutsCache) -> (Mat, usize, usize) + Sync + Send,
+    R: Fn(usize, &BlockCutsCache) -> (MatOf<S>, usize, usize) + Sync + Send,
 {
     let cache = BlockCutsCache::new();
     let t0 = Instant::now();
-    let assembled: Vec<(Mat, SubdomainTiming)> = (0..count)
+    let assembled: Vec<(MatOf<S>, SubdomainTiming)> = (0..count)
         .into_par_iter()
         .map(|i| {
             let t = Instant::now();
@@ -1070,7 +1083,7 @@ where
         f.push(mat);
         timings.push(timing);
     }
-    BatchResult {
+    BatchResultOf {
         f,
         report: BatchReport {
             timings,
@@ -1094,7 +1107,7 @@ mod tests {
     use crate::trsm::FactorStorage;
     use sc_factor::{CholOptions, SparseCholesky};
     use sc_gpu::DeviceSpec;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     /// A small family of SPD matrices + gluing blocks mimicking a cluster of
     /// equal-size subdomains with slightly different couplings.

@@ -1,12 +1,18 @@
 //! Execution backend abstraction: the same splitting algorithms run on the
-//! CPU and on the simulated GPU.
+//! CPU and on the simulated GPU, in either working precision.
+//!
+//! The trait is generic over the element type `S` ([`Scalar`], `f32` or
+//! `f64`) with `f64` as the default parameter, so every pre-existing
+//! `impl Exec`-consuming call site keeps compiling (and keeps its bitwise
+//! behaviour) while the mixed-precision session path instantiates the same
+//! backends at `f32`.
 
-use sc_dense::{MatMut, MatRef, Trans};
+use sc_dense::{MatMutOf, MatRefOf, Scalar, Trans};
 use sc_gpu::{GpuKernels, KernelCost, SlotAccess};
-use sc_sparse::Csc;
+use sc_sparse::CscOf;
 
 /// Backend kernel set used by the TRSM/SYRK splitting algorithms.
-pub trait Exec {
+pub trait Exec<S: Scalar = f64> {
     /// True when this backend models the GPU platform — [`ScConfig::Auto`]
     /// resolves its Table-1-style defaults against this flag.
     ///
@@ -15,25 +21,25 @@ pub trait Exec {
         false
     }
     /// Dense lower-triangular solve `L X = B`, in place.
-    fn trsm_dense(&mut self, l: MatRef<'_>, b: MatMut<'_>);
+    fn trsm_dense(&mut self, l: MatRefOf<'_, S>, b: MatMutOf<'_, S>);
     /// Sparse lower-triangular solve `L X = B`, in place.
-    fn trsm_sparse(&mut self, l: &Csc, b: MatMut<'_>);
+    fn trsm_sparse(&mut self, l: &CscOf<S>, b: MatMutOf<'_, S>);
     /// Dense GEMM.
     #[allow(clippy::too_many_arguments)]
     fn gemm(
         &mut self,
-        alpha: f64,
-        a: MatRef<'_>,
+        alpha: S,
+        a: MatRefOf<'_, S>,
         ta: Trans,
-        b: MatRef<'_>,
+        b: MatRefOf<'_, S>,
         tb: Trans,
-        beta: f64,
-        c: MatMut<'_>,
+        beta: S,
+        c: MatMutOf<'_, S>,
     );
     /// Sparse-dense GEMM `C = alpha A B + beta C`.
-    fn spmm(&mut self, alpha: f64, a: &Csc, b: MatRef<'_>, beta: f64, c: MatMut<'_>);
+    fn spmm(&mut self, alpha: S, a: &CscOf<S>, b: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>);
     /// SYRK `C(lower) = alpha Aᵀ A + beta C`.
-    fn syrk(&mut self, alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>);
+    fn syrk(&mut self, alpha: S, a: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>);
     /// Gather/scatter of `count` elements (pruning compaction, permutation,
     /// dense expansion). Pure cost accounting on the GPU; free on the CPU.
     fn gather(&mut self, count: usize);
@@ -43,33 +49,40 @@ pub trait Exec {
 #[derive(Default, Clone, Copy, Debug)]
 pub struct CpuExec;
 
-impl Exec for CpuExec {
-    fn trsm_dense(&mut self, l: MatRef<'_>, b: MatMut<'_>) {
+impl<S: Scalar> Exec<S> for CpuExec {
+    fn trsm_dense(&mut self, l: MatRefOf<'_, S>, b: MatMutOf<'_, S>) {
         sc_dense::trsm_lower_left(l, b);
     }
 
-    fn trsm_sparse(&mut self, l: &Csc, b: MatMut<'_>) {
+    fn trsm_sparse(&mut self, l: &CscOf<S>, b: MatMutOf<'_, S>) {
         sc_sparse::csc_lower_solve_mat(l, b);
     }
 
     fn gemm(
         &mut self,
-        alpha: f64,
-        a: MatRef<'_>,
+        alpha: S,
+        a: MatRefOf<'_, S>,
         ta: Trans,
-        b: MatRef<'_>,
+        b: MatRefOf<'_, S>,
         tb: Trans,
-        beta: f64,
-        c: MatMut<'_>,
+        beta: S,
+        c: MatMutOf<'_, S>,
     ) {
         sc_dense::gemm(alpha, a, ta, b, tb, beta, c);
     }
 
-    fn spmm(&mut self, alpha: f64, a: &Csc, b: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+    fn spmm(
+        &mut self,
+        alpha: S,
+        a: &CscOf<S>,
+        b: MatRefOf<'_, S>,
+        beta: S,
+        mut c: MatMutOf<'_, S>,
+    ) {
         a.spmm(alpha, b, beta, &mut c);
     }
 
-    fn syrk(&mut self, alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    fn syrk(&mut self, alpha: S, a: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>) {
         sc_dense::syrk_t(alpha, a, beta, c);
     }
 
@@ -94,42 +107,42 @@ impl<'a> GpuExec<'a> {
     }
 }
 
-impl Exec for GpuExec<'_> {
+impl<S: Scalar> Exec<S> for GpuExec<'_> {
     fn is_gpu(&self) -> bool {
         true
     }
 
-    fn trsm_dense(&mut self, l: MatRef<'_>, b: MatMut<'_>) {
+    fn trsm_dense(&mut self, l: MatRefOf<'_, S>, b: MatMutOf<'_, S>) {
         self.kernels.trsm_dense(l, b);
     }
 
-    fn trsm_sparse(&mut self, l: &Csc, b: MatMut<'_>) {
+    fn trsm_sparse(&mut self, l: &CscOf<S>, b: MatMutOf<'_, S>) {
         self.kernels.trsm_sparse(l, b);
     }
 
     fn gemm(
         &mut self,
-        alpha: f64,
-        a: MatRef<'_>,
+        alpha: S,
+        a: MatRefOf<'_, S>,
         ta: Trans,
-        b: MatRef<'_>,
+        b: MatRefOf<'_, S>,
         tb: Trans,
-        beta: f64,
-        c: MatMut<'_>,
+        beta: S,
+        c: MatMutOf<'_, S>,
     ) {
         self.kernels.gemm(alpha, a, ta, b, tb, beta, c);
     }
 
-    fn spmm(&mut self, alpha: f64, a: &Csc, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    fn spmm(&mut self, alpha: S, a: &CscOf<S>, b: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>) {
         self.kernels.spmm(alpha, a, b, beta, c);
     }
 
-    fn syrk(&mut self, alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    fn syrk(&mut self, alpha: S, a: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>) {
         self.kernels.syrk(alpha, a, beta, c);
     }
 
     fn gather(&mut self, count: usize) {
-        self.kernels.gather(count);
+        self.kernels.gather_of::<S>(count);
     }
 }
 
@@ -137,9 +150,10 @@ impl Exec for GpuExec<'_> {
 /// on the host (exactly like [`CpuExec`], so results are bitwise identical
 /// to the CPU path) while appending the [`KernelCost`] every call *would*
 /// have launched on the simulated GPU — kernel for kernel the same costs
-/// [`GpuExec`] submits. The scheduler later replays the recorded sequence
-/// into the device timeline in a deterministic order, decoupling host-side
-/// parallel computation from simulated-time accounting.
+/// [`GpuExec`] submits, priced at the working precision's element width.
+/// The scheduler later replays the recorded sequence into the device
+/// timeline in a deterministic order, decoupling host-side parallel
+/// computation from simulated-time accounting.
 ///
 /// Alongside each cost the recorder notes how the kernel touches the
 /// subdomain's temporary-arena slot ([`SlotAccess`]): uploads write it,
@@ -164,16 +178,20 @@ impl RecordingExec {
     }
 
     /// Record the H2D upload of a CSC matrix (mirrors
-    /// `GpuKernels::upload_csc`, via the shared [`KernelCost::csc_transfer`]
-    /// cost model). Writes the subdomain's arena slot.
-    pub fn record_upload_csc(&mut self, m: &Csc) {
-        self.push(KernelCost::csc_transfer(m.nnz()), SlotAccess::write());
+    /// `GpuKernels::upload_csc`, via the shared
+    /// [`KernelCost::csc_transfer_of`] cost model). Writes the subdomain's
+    /// arena slot.
+    pub fn record_upload_csc<S: Scalar>(&mut self, m: &CscOf<S>) {
+        self.push(
+            KernelCost::csc_transfer_of::<S>(m.nnz()),
+            SlotAccess::write(),
+        );
     }
 
     /// Record a D2H download of `bytes` (mirrors
     /// `GpuKernels::download_bytes`). Reads the subdomain's arena slot.
     pub fn record_download_bytes(&mut self, bytes: usize) {
-        self.push(KernelCost::transfer(bytes as f64), SlotAccess::read());
+        self.push(KernelCost::transfer(bytes as f64), SlotAccess::read()); // sc-analyze: allow(precision-discipline)
     }
 
     /// The recorded kernel sequence, in launch order.
@@ -193,24 +211,24 @@ impl RecordingExec {
     }
 }
 
-impl Exec for RecordingExec {
+impl<S: Scalar> Exec<S> for RecordingExec {
     // models the GPU platform: ScConfig::Auto must resolve exactly as it
     // would on a live GpuExec so recorded costs match a direct GPU run
     fn is_gpu(&self) -> bool {
         true
     }
 
-    fn trsm_dense(&mut self, l: MatRef<'_>, b: MatMut<'_>) {
+    fn trsm_dense(&mut self, l: MatRefOf<'_, S>, b: MatMutOf<'_, S>) {
         self.push(
-            KernelCost::trsm_dense(l.nrows(), b.ncols()),
+            KernelCost::trsm_dense_of::<S>(l.nrows(), b.ncols()),
             SlotAccess::read_write(),
         );
         sc_dense::trsm_lower_left(l, b);
     }
 
-    fn trsm_sparse(&mut self, l: &Csc, b: MatMut<'_>) {
+    fn trsm_sparse(&mut self, l: &CscOf<S>, b: MatMutOf<'_, S>) {
         self.push(
-            KernelCost::trsm_sparse(l.nnz(), b.ncols()),
+            KernelCost::trsm_sparse_of::<S>(l.nnz(), b.ncols()),
             SlotAccess::read_write(),
         );
         sc_sparse::csc_lower_solve_mat(l, b);
@@ -218,50 +236,57 @@ impl Exec for RecordingExec {
 
     fn gemm(
         &mut self,
-        alpha: f64,
-        a: MatRef<'_>,
+        alpha: S,
+        a: MatRefOf<'_, S>,
         ta: Trans,
-        b: MatRef<'_>,
+        b: MatRefOf<'_, S>,
         tb: Trans,
-        beta: f64,
-        c: MatMut<'_>,
+        beta: S,
+        c: MatMutOf<'_, S>,
     ) {
         let k = match ta {
             Trans::No => a.ncols(),
             Trans::Yes => a.nrows(),
         };
         self.push(
-            KernelCost::gemm(c.nrows(), c.ncols(), k),
+            KernelCost::gemm_of::<S>(c.nrows(), c.ncols(), k),
             SlotAccess::read_write(),
         );
         sc_dense::gemm(alpha, a, ta, b, tb, beta, c);
     }
 
-    fn spmm(&mut self, alpha: f64, a: &Csc, b: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+    fn spmm(
+        &mut self,
+        alpha: S,
+        a: &CscOf<S>,
+        b: MatRefOf<'_, S>,
+        beta: S,
+        mut c: MatMutOf<'_, S>,
+    ) {
         self.push(
-            KernelCost::spmm(a.nnz(), b.ncols()),
+            KernelCost::spmm_of::<S>(a.nnz(), b.ncols()),
             SlotAccess::read_write(),
         );
         a.spmm(alpha, b, beta, &mut c);
     }
 
-    fn syrk(&mut self, alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    fn syrk(&mut self, alpha: S, a: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>) {
         self.push(
-            KernelCost::syrk(a.ncols(), a.nrows()),
+            KernelCost::syrk_of::<S>(a.ncols(), a.nrows()),
             SlotAccess::read_write(),
         );
         sc_dense::syrk_t(alpha, a, beta, c);
     }
 
     fn gather(&mut self, count: usize) {
-        self.push(KernelCost::gather(count), SlotAccess::read_write());
+        self.push(KernelCost::gather_of::<S>(count), SlotAccess::read_write());
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_dense::Mat;
+    use sc_dense::{Mat, MatOf};
     use sc_gpu::{Device, DeviceSpec};
 
     #[test]
@@ -277,13 +302,13 @@ mod tests {
         });
         let b = Mat::from_fn(5, 2, |i, j| (i * 2 + j) as f64);
         let mut x_cpu = b.clone();
-        CpuExec.trsm_dense(l.as_ref(), x_cpu.as_mut());
+        Exec::<f64>::trsm_dense(&mut CpuExec, l.as_ref(), x_cpu.as_mut());
 
         let dev = Device::new(DeviceSpec::a100(), 1);
         let k = GpuKernels::new(dev.stream(0));
         let mut gpu = GpuExec::new(&k);
         let mut x_gpu = b.clone();
-        gpu.trsm_dense(l.as_ref(), x_gpu.as_mut());
+        Exec::<f64>::trsm_dense(&mut gpu, l.as_ref(), x_gpu.as_mut());
 
         assert_eq!(x_cpu, x_gpu);
         assert!(dev.synchronize() > 0.0, "GPU timeline must advance");
@@ -329,12 +354,41 @@ mod tests {
         rec.record_download_bytes(0);
 
         assert_eq!(f_gpu, f_rec, "recorded path must match GPU path bitwise");
-        assert!(rec.is_gpu(), "recorder models the GPU platform");
+        assert!(
+            Exec::<f64>::is_gpu(&rec),
+            "recorder models the GPU platform"
+        );
         let costs = rec.into_costs();
         assert_eq!(
             costs.len(),
             dev.launches(),
             "recorded kernel sequence must mirror the live submission count"
+        );
+    }
+
+    #[test]
+    fn f32_recording_prices_kernels_at_four_bytes() {
+        // the same kernel sequence recorded at f32 must carry exactly the
+        // f32-priced costs (half the value traffic of the f64 recording)
+        let l = MatOf::<f32>::from_fn(4, 4, |i, j| {
+            if i == j {
+                2.0f32
+            } else if i > j {
+                -0.1
+            } else {
+                0.0
+            }
+        });
+        let b32 = MatOf::<f32>::from_fn(4, 2, |i, j| (i + j) as f32);
+        let mut rec = RecordingExec::new();
+        let mut x = b32.clone();
+        Exec::<f32>::trsm_dense(&mut rec, l.as_ref(), x.as_mut());
+        let costs = rec.into_costs();
+        assert_eq!(costs.len(), 1);
+        assert_eq!(costs[0], KernelCost::trsm_dense_of::<f32>(4, 2));
+        assert_eq!(
+            costs[0].bytes * 2.0,
+            KernelCost::trsm_dense_of::<f64>(4, 2).bytes
         );
     }
 }

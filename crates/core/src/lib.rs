@@ -33,8 +33,8 @@ pub use assemble::{
     assemble_sc, assemble_sc_reference, assemble_sc_with_cache, ScConfig, ScParams,
 };
 pub use batch::{
-    BatchItem, BatchReport, BatchResult, ClusterOptions, ClusterReport, ClusterResult,
-    SubdomainTiming,
+    BatchItem, BatchItemOf, BatchReport, BatchResult, BatchResultOf, ClusterOptions, ClusterReport,
+    ClusterResult, SubdomainTiming,
 };
 // Deprecated free-function drivers, re-exported for one release so old call
 // sites migrate with a warning instead of a break. New code goes through
@@ -46,17 +46,17 @@ pub use batch::{
 };
 pub use exec::{CpuExec, Exec, GpuExec, RecordingExec};
 pub use schedule::{
-    estimate_apply, estimate_cost, plan, plan_cluster, plan_cluster_spill, plan_hybrid,
-    ApplyEstimate, ArenaSim, ClusterPlan, ClusterPlanError, CostEstimate, DeviceSlot, Formulation,
-    HybridChoice, HybridForce, HybridPlan, HybridPlanOptions, ScheduleOptions, ScheduledSpan,
-    StreamPlan, StreamPolicy,
+    estimate_apply, estimate_apply_of, estimate_cost, estimate_cost_of, plan, plan_cluster,
+    plan_cluster_spill, plan_hybrid, ApplyEstimate, ArenaSim, ClusterPlan, ClusterPlanError,
+    CostEstimate, DeviceSlot, Formulation, HybridChoice, HybridForce, HybridPlan,
+    HybridPlanOptions, ScheduleOptions, ScheduledSpan, StreamPlan, StreamPolicy,
 };
 pub use session::{
     AssemblyReport, AssemblyResult, AssemblySession, Backend, DeviceReport, HybridSummary,
-    StreamLane,
+    Precision, StreamLane, Target,
 };
 pub use source::{BatchSource, IntoBatchSource, LazyBatch};
-pub use stepped::SteppedRhs;
+pub use stepped::{SteppedRhs, SteppedRhsOf};
 pub use syrk::{run_syrk as run_syrk_variant, run_syrk_with_cache, SyrkVariant};
 pub use trsm::{run_trsm as run_trsm_variant, run_trsm_with_cache, FactorStorage, TrsmVariant};
 pub use tune::{

@@ -28,8 +28,9 @@
 
 use crate::assemble::ScParams;
 use crate::trsm::{FactorStorage, TrsmVariant};
+use sc_dense::Scalar;
 use sc_gpu::{DeviceSpec, KernelCost, SimSpan};
-use sc_sparse::{pattern, Csc};
+use sc_sparse::{pattern, Csc, CscOf};
 
 /// Stream-assignment policy for a batched GPU assembly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -45,7 +46,7 @@ pub enum StreamPolicy {
 }
 
 /// Options of the scheduled (single-device) batch driver — the `schedule`
-/// payload of [`Backend::Gpu`](crate::Backend::Gpu).
+/// payload of [`Target::Gpu`](crate::Target::Gpu).
 ///
 /// Construct with [`Default`] and the `with_*` setters (the struct is
 /// `#[non_exhaustive]`, so it may grow fields without breaking callers):
@@ -111,14 +112,23 @@ pub struct CostEstimate {
     pub seconds: f64,
 }
 
-/// Price one subdomain under the given device spec and resolved parameters.
-pub fn estimate_cost(
+/// Price one subdomain under the given device spec and resolved parameters,
+/// in working precision `S` — every value-byte term scales with
+/// [`Scalar::BYTES`] (index traffic stays 8 bytes per entry), so `f32`
+/// halves the arena footprint and the value share of the H2D transfer.
+/// [`estimate_cost`] pins `S = f64` and reproduces the historical constants
+/// bitwise.
+pub fn estimate_cost_of<S: Scalar>(
     spec: &DeviceSpec,
-    l: &Csc,
-    bt: &Csc,
+    l: &CscOf<S>,
+    bt: &CscOf<S>,
     params: &ScParams,
     index: usize,
 ) -> CostEstimate {
+    /// Bytes of one stored index in the transfer model (row ids travel as
+    /// 8-byte words regardless of value precision).
+    const INDEX_BYTES: usize = 8;
+    let eb = S::BYTES;
     let n = l.ncols();
     let m = bt.ncols();
     // sorted pivots — the stepped pattern the kernels will actually see
@@ -129,34 +139,34 @@ pub fn estimate_cost(
     let mut trsm_flops = 0.0;
     let mut syrk_flops = 0.0;
     for (j, &p) in pivots.iter().enumerate() {
-        let below = n.saturating_sub(p) as f64;
+        let below = n.saturating_sub(p) as f64; // sc-analyze: allow(precision-discipline)
         trsm_flops += below * below;
-        syrk_flops += 2.0 * (j + 1) as f64 * below;
+        syrk_flops += 2.0 * (j + 1) as f64 * below; // sc-analyze: allow(precision-discipline)
     }
-    let transfer_bytes = 16.0 * (l.nnz() + bt.nnz()) as f64;
+    let transfer_bytes = (INDEX_BYTES + eb) as f64 * (l.nnz() + bt.nnz()) as f64; // sc-analyze: allow(precision-discipline)
 
     // temporary footprint: the dense RHS/solution Y always lives in the
     // arena; densifying TRSM variants additionally materialize factor
     // blocks, and the pruning path gathers a dense sub-diagonal panel plus
     // a compacted GEMM output regardless of factor storage
-    let y_bytes = 8 * n * m;
+    let y_bytes = eb * n * m;
     let factor_bytes = match (params.factor_storage, params.trsm) {
         (storage, TrsmVariant::FactorSplit { block, prune }) => {
             let bs = block.block_size(n).min(n);
             // densified diagonal block + sub-diagonal panel, one at a time
             let dense_blocks = if storage == FactorStorage::Dense || prune {
-                8 * n * bs
+                eb * n * bs
             } else {
                 0
             };
             // pruning: compacted rows of the GEMM update (≤ n × width)
-            let prune_out = if prune { 8 * n * m } else { 0 };
+            let prune_out = if prune { eb * n * m } else { 0 };
             dense_blocks + prune_out
         }
-        (FactorStorage::Dense, _) => 8 * n * n,
+        (FactorStorage::Dense, _) => eb * n * n,
         // sparse kernels work off the (persistent) CSC factor; RHS splitting
         // extracts trailing subfactors, bounded by the factor itself
-        (FactorStorage::Sparse, TrsmVariant::RhsSplit(_)) => 16 * l.nnz(),
+        (FactorStorage::Sparse, TrsmVariant::RhsSplit(_)) => (INDEX_BYTES + eb) * l.nnz(),
         (FactorStorage::Sparse, _) => 0,
     };
     let temp_bytes = y_bytes + factor_bytes;
@@ -173,6 +183,18 @@ pub fn estimate_cost(
     };
     est.seconds = est.seconds_on(spec);
     est
+}
+
+/// Price one `f64` subdomain (the historical entry point; see
+/// [`estimate_cost_of`]).
+pub fn estimate_cost(
+    spec: &DeviceSpec,
+    l: &Csc,
+    bt: &Csc,
+    params: &ScParams,
+    index: usize,
+) -> CostEstimate {
+    estimate_cost_of::<f64>(spec, l, bt, params, index)
 }
 
 impl CostEstimate {
@@ -209,20 +231,27 @@ pub struct ApplyEstimate {
 }
 
 /// Price one subdomain's per-iteration apply cost in both formulations from
-/// its factor and gluing block (shapes only — no kernel runs).
-pub fn estimate_apply(l: &Csc, bt: &Csc, index: usize) -> ApplyEstimate {
+/// its factor and gluing block (shapes only — no kernel runs), in working
+/// precision `S` — the kernel costs price value traffic at [`Scalar::BYTES`].
+/// [`estimate_apply`] pins `S = f64`.
+pub fn estimate_apply_of<S: Scalar>(l: &CscOf<S>, bt: &CscOf<S>, index: usize) -> ApplyEstimate {
     let m = bt.ncols();
     ApplyEstimate {
         index,
         n_lambda: m,
-        explicit: vec![KernelCost::gemv(m, m)],
+        explicit: vec![KernelCost::gemv_of::<S>(m, m)],
         implicit: vec![
-            KernelCost::spmm(bt.nnz(), 1),       // t = B̃ᵀ p̃ (scatter)
-            KernelCost::trsm_sparse(l.nnz(), 1), // L y = t
-            KernelCost::trsm_sparse(l.nnz(), 1), // Lᵀ z = y
-            KernelCost::spmm(bt.nnz(), 1),       // q̃ = B̃ z (gather)
+            KernelCost::spmm_of::<S>(bt.nnz(), 1), // t = B̃ᵀ p̃ (scatter)
+            KernelCost::trsm_sparse_of::<S>(l.nnz(), 1), // L y = t
+            KernelCost::trsm_sparse_of::<S>(l.nnz(), 1), // Lᵀ z = y
+            KernelCost::spmm_of::<S>(bt.nnz(), 1), // q̃ = B̃ z (gather)
         ],
     }
+}
+
+/// Price one `f64` subdomain's apply cost (see [`estimate_apply_of`]).
+pub fn estimate_apply(l: &Csc, bt: &Csc, index: usize) -> ApplyEstimate {
+    estimate_apply_of::<f64>(l, bt, index)
 }
 
 impl ApplyEstimate {
@@ -521,8 +550,8 @@ pub fn plan_cluster_spill_by(
         let best = (0..devices.len())
             .filter(|&d| devices[d].admits(costs[k].temp_bytes))
             .min_by(|&a, &b| {
-                let fa = (est_load[a] + seconds[k][a]) / devices[a].n_streams as f64;
-                let fb = (est_load[b] + seconds[k][b]) / devices[b].n_streams as f64;
+                let fa = (est_load[a] + seconds[k][a]) / devices[a].n_streams as f64; // sc-analyze: allow(precision-discipline)
+                let fb = (est_load[b] + seconds[k][b]) / devices[b].n_streams as f64; // sc-analyze: allow(precision-discipline)
                 fa.partial_cmp(&fb)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
@@ -1040,6 +1069,59 @@ mod tests {
         assert_eq!(e.trsm_flops, 0.0);
         assert_eq!(e.syrk_flops, 0.0);
         assert!(e.transfer_bytes > 0.0, "the factor still travels");
+    }
+
+    #[test]
+    fn f32_estimate_halves_value_byte_terms() {
+        use crate::assemble::ScParams;
+        use crate::syrk::SyrkVariant;
+        use crate::trsm::{FactorStorage, TrsmVariant};
+        let l = diag_factor(64);
+        let bt = bt_with_pivots(64, &[0, 5, 10, 40]);
+        // dense factor storage: the arena holds matrix values only, so the
+        // exact-halving claim is precision arithmetic, not layout luck
+        let params = ScParams {
+            trsm: TrsmVariant::Plain,
+            syrk: SyrkVariant::Plain,
+            factor_storage: FactorStorage::Dense,
+            stepped_permutation: true,
+        };
+        let spec = DeviceSpec::a100();
+        let e64 = estimate_cost_of::<f64>(&spec, &l, &bt, &params, 0);
+        let e32 = estimate_cost_of::<f32>(&spec, &l.cast::<f32>(), &bt.cast::<f32>(), &params, 0);
+        // H2D: index traffic stays 8 bytes per entry, values drop 8 → 4
+        let nnz = (l.nnz() + bt.nnz()) as f64;
+        assert_eq!(e64.transfer_bytes, 16.0 * nnz);
+        assert_eq!(e32.transfer_bytes, 12.0 * nnz);
+        // arena footprint halves exactly
+        assert_eq!(e32.temp_bytes * 2, e64.temp_bytes);
+        // FLOP terms are precision-independent
+        assert_eq!(e32.trsm_flops, e64.trsm_flops);
+        assert_eq!(e32.syrk_flops, e64.syrk_flops);
+        // the unsuffixed wrapper pins f64 bitwise
+        let legacy = estimate_cost(&spec, &l, &bt, &params, 0);
+        assert_eq!(legacy.transfer_bytes, e64.transfer_bytes);
+        assert_eq!(legacy.temp_bytes, e64.temp_bytes);
+        assert_eq!(legacy.seconds, e64.seconds);
+    }
+
+    #[test]
+    fn f32_apply_estimate_halves_gemv_bytes() {
+        let l = diag_factor(32);
+        let bt = bt_with_pivots(32, &[0, 8, 16]);
+        let a64 = estimate_apply_of::<f64>(&l, &bt, 0);
+        let a32 = estimate_apply_of::<f32>(&l.cast::<f32>(), &bt.cast::<f32>(), 0);
+        let bytes = |ks: &[sc_gpu::KernelCost]| ks.iter().map(|k| k.bytes).sum::<f64>();
+        let flops = |ks: &[sc_gpu::KernelCost]| ks.iter().map(|k| k.flops).sum::<f64>();
+        assert_eq!(
+            bytes(&a32.explicit) * 2.0,
+            bytes(&a64.explicit),
+            "explicit GEMV traffic is pure values"
+        );
+        assert_eq!(flops(&a32.explicit), flops(&a64.explicit));
+        let legacy = estimate_apply(&l, &bt, 0);
+        assert_eq!(bytes(&legacy.explicit), bytes(&a64.explicit));
+        assert_eq!(bytes(&legacy.implicit), bytes(&a64.implicit));
     }
 
     #[test]

@@ -52,16 +52,72 @@ use crate::batch::{
 };
 use crate::schedule::{Formulation, HybridPlan, ScheduleOptions, ScheduledSpan};
 use crate::source::{BatchSource, IntoBatchSource};
-use sc_dense::Mat;
+use sc_dense::{Mat, MatOf, Scalar};
 use sc_gpu::{Device, DevicePool};
+use sc_sparse::CscOf;
 use std::sync::Arc;
 
-/// The execution target of an [`AssemblySession`] — a *value*, so the same
-/// pipeline retargets between host, one simulated GPU, a device pool, or a
+/// Working precision of the assembly/solve numerics.
+///
+/// [`Precision::F64`] is the historical behaviour and stays **bitwise
+/// identical** to the pre-precision pipeline. [`Precision::F32Refined`]
+/// assembles and factors in `f32` — halving every value-byte term in the
+/// transfer/arena cost model, so schedulers admit roughly twice the
+/// subdomains per arena — and recovers `f64`-level accuracy with iterative
+/// refinement in the outer FETI solve (`sc_feti`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Precision {
+    /// Full `f64` throughout.
+    #[default]
+    F64,
+    /// `f32` working precision with `f64` iterative refinement on top.
+    F32Refined {
+        /// Relative residual the refinement loop drives toward (in `f64`).
+        refine_tol: f64,
+        /// Refinement iterations allowed before the solve falls back to a
+        /// full `f64` pass.
+        max_refine: usize,
+    },
+}
+
+impl Precision {
+    /// The `f32`-refined mode under default refinement limits
+    /// (`refine_tol = 1e-10`, `max_refine = 40`).
+    pub fn f32_refined() -> Self {
+        Precision::F32Refined {
+            refine_tol: 1e-10,
+            max_refine: 40,
+        }
+    }
+
+    /// Bytes of one matrix element in the working precision (4 or 8).
+    pub fn elem_bytes(&self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32Refined { .. } => 4,
+        }
+    }
+
+    /// Stable lowercase name (diagnostics, bench records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32Refined { .. } => "f32+refine",
+        }
+    }
+
+    /// True for the `f32` working-precision mode.
+    pub fn is_f32(&self) -> bool {
+        matches!(self, Precision::F32Refined { .. })
+    }
+}
+
+/// The execution target of a [`Backend`] — a *value*, so the same pipeline
+/// retargets between host, one simulated GPU, a device pool, or a
 /// spill-tolerant hybrid without changing call sites.
 #[derive(Clone)]
 #[non_exhaustive]
-pub enum Backend {
+pub enum Target {
     /// Host execution, one rayon task per subdomain.
     Cpu {
         /// Upper bound on worker threads (`0` = all available).
@@ -79,7 +135,7 @@ pub enum Backend {
     /// A pool of simulated GPUs: a two-level plan partitions subdomains
     /// across devices (cost-aware LPT with per-device arena admissibility),
     /// then each device runs the §4.4 scheduler on its share. A subdomain
-    /// that fits no device arena **panics** — use [`Backend::Hybrid`] for
+    /// that fits no device arena **panics** — use [`Target::Hybrid`] for
     /// the spill-tolerant variant.
     Cluster {
         /// The device pool (heterogeneous mixes allowed).
@@ -100,90 +156,143 @@ pub enum Backend {
     },
 }
 
-impl Backend {
-    /// Host execution on all available worker threads.
-    pub fn cpu() -> Self {
-        Backend::Cpu { threads: 0 }
-    }
-
-    /// Host execution capped at `threads` worker threads (`0` = uncapped).
-    pub fn cpu_with_threads(threads: usize) -> Self {
-        Backend::Cpu { threads }
-    }
-
-    /// One device under the default schedule (LPT + arena admission).
-    pub fn gpu(device: Arc<Device>) -> Self {
-        Backend::Gpu {
-            device,
-            schedule: ScheduleOptions::default(),
-        }
-    }
-
-    /// A device pool under the default cluster options.
-    pub fn cluster(pool: Arc<DevicePool>) -> Self {
-        Backend::Cluster {
-            pool,
-            opts: ClusterOptions::default(),
-        }
-    }
-
-    /// A device pool with host fail-over for over-arena subdomains.
-    pub fn hybrid(pool: Arc<DevicePool>) -> Self {
-        Backend::Hybrid {
-            pool,
-            opts: ClusterOptions::default(),
-        }
-    }
-
-    /// Stable lowercase name of the target (diagnostics, bench records).
-    pub fn name(&self) -> &'static str {
-        match self {
-            Backend::Cpu { .. } => "cpu",
-            Backend::Gpu { .. } => "gpu",
-            Backend::Cluster { .. } => "cluster",
-            Backend::Hybrid { .. } => "hybrid",
-        }
-    }
-
-    /// The device pool this backend schedules onto, if any. The single-GPU
-    /// target exposes its device as a one-element pool-less `None` — use
-    /// [`Backend::device`] for it.
-    pub fn pool(&self) -> Option<&Arc<DevicePool>> {
-        match self {
-            Backend::Cluster { pool, .. } | Backend::Hybrid { pool, .. } => Some(pool),
-            _ => None,
-        }
-    }
-
-    /// The single device of the [`Backend::Gpu`] target, if that is what
-    /// this backend is.
-    pub fn device(&self) -> Option<&Arc<Device>> {
-        match self {
-            Backend::Gpu { device, .. } => Some(device),
-            _ => None,
-        }
-    }
-}
-
-impl std::fmt::Debug for Backend {
+impl std::fmt::Debug for Target {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Backend::Cpu { threads } => f.debug_struct("Cpu").field("threads", threads).finish(),
-            Backend::Gpu { device, schedule } => f
+            Target::Cpu { threads } => f.debug_struct("Cpu").field("threads", threads).finish(),
+            Target::Gpu { device, schedule } => f
                 .debug_struct("Gpu")
                 .field("n_streams", &device.n_streams())
                 .field("schedule", schedule)
                 .finish(),
-            Backend::Cluster { pool, opts } => f
+            Target::Cluster { pool, opts } => f
                 .debug_struct("Cluster")
                 .field("n_devices", &pool.n_devices())
                 .field("opts", opts)
                 .finish(),
-            Backend::Hybrid { pool, opts } => f
+            Target::Hybrid { pool, opts } => f
                 .debug_struct("Hybrid")
                 .field("n_devices", &pool.n_devices())
                 .field("opts", opts)
                 .finish(),
+        }
+    }
+}
+
+/// An execution target paired with a working precision: what an
+/// [`AssemblySession`] (and the FETI solver builder) runs on.
+///
+/// Construct with the target shorthands and chain
+/// [`precision`](Backend::precision) to opt into mixed precision:
+///
+/// ```
+/// use sc_core::{Backend, Precision};
+/// let b = Backend::cpu().precision(Precision::f32_refined());
+/// assert!(b.precision.is_f32());
+/// assert_eq!(Backend::cpu().precision, Precision::F64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Backend {
+    /// The execution target.
+    pub target: Target,
+    /// Working precision of the numerics (default [`Precision::F64`]).
+    pub precision: Precision,
+}
+
+impl From<Target> for Backend {
+    /// Wrap a target at the default `f64` precision.
+    fn from(target: Target) -> Self {
+        Backend {
+            target,
+            precision: Precision::F64,
+        }
+    }
+}
+
+impl Backend {
+    /// Host execution on all available worker threads.
+    pub fn cpu() -> Self {
+        Target::Cpu { threads: 0 }.into()
+    }
+
+    /// Host execution capped at `threads` worker threads (`0` = uncapped).
+    pub fn cpu_with_threads(threads: usize) -> Self {
+        Target::Cpu { threads }.into()
+    }
+
+    /// One device under the default schedule (LPT + arena admission).
+    pub fn gpu(device: Arc<Device>) -> Self {
+        Target::Gpu {
+            device,
+            schedule: ScheduleOptions::default(),
+        }
+        .into()
+    }
+
+    /// One device under explicit scheduling options.
+    pub fn gpu_with(device: Arc<Device>, schedule: ScheduleOptions) -> Self {
+        Target::Gpu { device, schedule }.into()
+    }
+
+    /// A device pool under the default cluster options.
+    pub fn cluster(pool: Arc<DevicePool>) -> Self {
+        Target::Cluster {
+            pool,
+            opts: ClusterOptions::default(),
+        }
+        .into()
+    }
+
+    /// A device pool under explicit cluster options.
+    pub fn cluster_with(pool: Arc<DevicePool>, opts: ClusterOptions) -> Self {
+        Target::Cluster { pool, opts }.into()
+    }
+
+    /// A device pool with host fail-over for over-arena subdomains.
+    pub fn hybrid(pool: Arc<DevicePool>) -> Self {
+        Target::Hybrid {
+            pool,
+            opts: ClusterOptions::default(),
+        }
+        .into()
+    }
+
+    /// A spill-tolerant pool under explicit cluster options.
+    pub fn hybrid_with(pool: Arc<DevicePool>, opts: ClusterOptions) -> Self {
+        Target::Hybrid { pool, opts }.into()
+    }
+
+    /// Set the working precision (builder style).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Stable lowercase name of the target (diagnostics, bench records).
+    pub fn name(&self) -> &'static str {
+        match &self.target {
+            Target::Cpu { .. } => "cpu",
+            Target::Gpu { .. } => "gpu",
+            Target::Cluster { .. } => "cluster",
+            Target::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// The device pool this backend schedules onto, if any. The single-GPU
+    /// target exposes its device through [`Backend::device`] instead.
+    pub fn pool(&self) -> Option<&Arc<DevicePool>> {
+        match &self.target {
+            Target::Cluster { pool, .. } | Target::Hybrid { pool, .. } => Some(pool),
+            _ => None,
+        }
+    }
+
+    /// The single device of the [`Target::Gpu`] target, if that is what
+    /// this backend runs on.
+    pub fn device(&self) -> Option<&Arc<Device>> {
+        match &self.target {
+            Target::Gpu { device, .. } => Some(device),
+            _ => None,
         }
     }
 }
@@ -230,79 +339,110 @@ impl AssemblySession {
     /// Accepts eager slices (`&[BatchItem]`, `&[(Csc, Csc)]`) and lazy
     /// sources ([`LazyBatch`](crate::source::LazyBatch)) through one bound. The
     /// numerics are bitwise identical across all backends; only the
-    /// simulated timeline and the report's device sections differ.
-    pub fn assemble<S: IntoBatchSource>(&self, items: S) -> AssemblyResult {
+    /// simulated timeline and the report's device sections differ. Under
+    /// [`Precision::F32Refined`] the inputs are demoted to `f32`, the whole
+    /// record → plan → replay pipeline runs in `f32` (halved value-byte
+    /// terms in the transfer/arena cost model), and the assembled operators
+    /// are promoted back to `f64` on return — the promotion is exact, so
+    /// `f[i].cast::<f32>()` recovers the `f32`-assembled operator bitwise.
+    pub fn assemble<I: IntoBatchSource>(&self, items: I) -> AssemblyResult {
         let src = items.into_batch_source();
-        match &self.backend {
-            Backend::Cpu { threads } => {
-                let res = if *threads > 0 {
-                    rayon::with_max_threads(*threads, || batch_cpu(&src, &self.cfg))
-                } else {
-                    batch_cpu(&src, &self.cfg)
-                };
+        match self.backend.precision {
+            Precision::F64 => {
+                let (f, report) = dispatch(&self.backend.target, &self.cfg, &src);
+                AssemblyResult { f, report }
+            }
+            p @ Precision::F32Refined { .. } => {
+                let demoted: Vec<(CscOf<f32>, CscOf<f32>)> = (0..src.len())
+                    .map(|i| (src.factor(i).cast::<f32>(), src.gluing(i).cast::<f32>()))
+                    .collect();
+                let (f, mut report) = dispatch(&self.backend.target, &self.cfg, &demoted);
+                report.precision = p;
+                if let Some(h) = report.hybrid.as_mut() {
+                    h.precision = p;
+                }
                 AssemblyResult {
-                    f: res.f,
-                    report: AssemblyReport::from_batch(res.report, None),
+                    f: f.into_iter().map(|m| m.cast::<f64>()).collect(),
+                    report,
                 }
             }
-            Backend::Gpu { device, schedule } => {
-                let busy0 = device.busy_seconds();
-                let res = batch_scheduled(&src, &self.cfg, device, schedule);
-                let busy = device.busy_seconds() - busy0;
-                let cap = res.report.device_seconds * device.n_streams().max(1) as f64;
-                let utilization = if cap > 0.0 { busy / cap } else { 0.0 };
-                AssemblyResult {
-                    f: res.f,
-                    report: AssemblyReport::from_batch(res.report, Some(utilization)),
-                }
-            }
-            Backend::Cluster { pool, opts } => {
-                let out = batch_cluster_impl(&src, &self.cfg, pool, opts, false);
-                AssemblyResult {
-                    f: out.f,
-                    report: AssemblyReport::from_cluster(&out.report),
-                }
-            }
-            Backend::Hybrid { pool, opts } => {
-                let usable = pool.devices().iter().any(|d| d.n_streams() > 0);
-                if !usable {
-                    // nothing can run on the pool: everything fails over to
-                    // the host, and the report says so
-                    let n = src.len();
-                    let res = batch_cpu(&src, &self.cfg);
-                    let mut report = AssemblyReport::from_batch(res.report, None);
-                    report.hybrid = Some(HybridSummary {
-                        plan: None,
-                        formulation: vec![Formulation::ExplicitCpu; n],
-                        spilled: (0..n).collect(),
-                        predicted_assembly_seconds: 0.0,
-                        realized_gpu_seconds: 0.0,
-                        realized_cpu_seconds: report.cpu_seconds(),
-                        arena_high_water: 0,
-                    });
-                    return AssemblyResult { f: res.f, report };
-                }
-                let out = batch_cluster_impl(&src, &self.cfg, pool, opts, true);
-                let mut report = AssemblyReport::from_cluster(&out.report);
-                // merge the host fail-over share into the roll-up
-                report.subdomains.extend(out.spill_timings.iter().copied());
-                report.subdomains.sort_by_key(|t| t.index);
-                let realized_cpu: f64 = out.spill_timings.iter().map(|t| t.host_seconds).sum();
-                let mut formulation = vec![Formulation::ExplicitGpu; out.f.len()];
-                for &g in &out.spilled {
-                    formulation[g] = Formulation::ExplicitCpu;
-                }
+        }
+    }
+}
+
+/// Target dispatch of the batched drivers, generic over the working
+/// precision. Every target fills the same [`AssemblyReport`] schema; the
+/// report's `precision` field is stamped by the caller.
+fn dispatch<S: Scalar, Src: BatchSource<S>>(
+    target: &Target,
+    cfg: &ScConfig,
+    src: &Src,
+) -> (Vec<MatOf<S>>, AssemblyReport) {
+    match target {
+        Target::Cpu { threads } => {
+            let res = if *threads > 0 {
+                rayon::with_max_threads(*threads, || batch_cpu(src, cfg))
+            } else {
+                batch_cpu(src, cfg)
+            };
+            (res.f, AssemblyReport::from_batch(res.report, None))
+        }
+        Target::Gpu { device, schedule } => {
+            let busy0 = device.busy_seconds();
+            let res = batch_scheduled(src, cfg, device, schedule);
+            let busy = device.busy_seconds() - busy0;
+            let cap = res.report.device_seconds * device.n_streams().max(1) as f64; // sc-analyze: allow(precision-discipline)
+            let utilization = if cap > 0.0 { busy / cap } else { 0.0 };
+            (
+                res.f,
+                AssemblyReport::from_batch(res.report, Some(utilization)),
+            )
+        }
+        Target::Cluster { pool, opts } => {
+            let out = batch_cluster_impl(src, cfg, pool, opts, false);
+            (out.f, AssemblyReport::from_cluster(&out.report))
+        }
+        Target::Hybrid { pool, opts } => {
+            let usable = pool.devices().iter().any(|d| d.n_streams() > 0);
+            if !usable {
+                // nothing can run on the pool: everything fails over to
+                // the host, and the report says so
+                let n = src.len();
+                let res = batch_cpu(src, cfg);
+                let mut report = AssemblyReport::from_batch(res.report, None);
                 report.hybrid = Some(HybridSummary {
                     plan: None,
-                    formulation,
-                    spilled: out.spilled,
+                    formulation: vec![Formulation::ExplicitCpu; n],
+                    spilled: (0..n).collect(),
                     predicted_assembly_seconds: 0.0,
-                    realized_gpu_seconds: report.makespan,
-                    realized_cpu_seconds: realized_cpu,
-                    arena_high_water: report.temp_high_water(),
+                    realized_gpu_seconds: 0.0,
+                    realized_cpu_seconds: report.cpu_seconds(),
+                    arena_high_water: 0,
+                    precision: Precision::F64,
                 });
-                AssemblyResult { f: out.f, report }
+                return (res.f, report);
             }
+            let out = batch_cluster_impl(src, cfg, pool, opts, true);
+            let mut report = AssemblyReport::from_cluster(&out.report);
+            // merge the host fail-over share into the roll-up
+            report.subdomains.extend(out.spill_timings.iter().copied());
+            report.subdomains.sort_by_key(|t| t.index);
+            let realized_cpu: f64 = out.spill_timings.iter().map(|t| t.host_seconds).sum();
+            let mut formulation = vec![Formulation::ExplicitGpu; out.f.len()];
+            for &g in &out.spilled {
+                formulation[g] = Formulation::ExplicitCpu;
+            }
+            report.hybrid = Some(HybridSummary {
+                plan: None,
+                formulation,
+                spilled: out.spilled,
+                predicted_assembly_seconds: 0.0,
+                realized_gpu_seconds: report.makespan,
+                realized_cpu_seconds: realized_cpu,
+                arena_high_water: report.temp_high_water(),
+                precision: Precision::F64,
+            });
+            (out.f, report)
         }
     }
 }
@@ -365,7 +505,7 @@ impl DeviceReport {
 pub struct HybridSummary {
     /// The cost-model plan when one ran ([`plan_hybrid`](crate::plan_hybrid)
     /// in the FETI hybrid mode); `None` for the pure arena-spill split of
-    /// [`Backend::Hybrid`].
+    /// [`Target::Hybrid`].
     pub plan: Option<HybridPlan>,
     /// Realized formulation of every subdomain, batch order.
     pub formulation: Vec<Formulation>,
@@ -380,6 +520,8 @@ pub struct HybridSummary {
     pub realized_cpu_seconds: f64,
     /// Largest per-device temporary-arena high water, bytes.
     pub arena_high_water: usize,
+    /// Working precision the split was planned and realized under.
+    pub precision: Precision,
 }
 
 impl HybridSummary {
@@ -412,6 +554,8 @@ pub struct AssemblyReport {
     pub cache_hits: usize,
     /// Block-cut resolutions computed fresh.
     pub cache_misses: usize,
+    /// Working precision the batch was assembled under.
+    pub precision: Precision,
 }
 
 impl AssemblyReport {
@@ -473,6 +617,7 @@ impl AssemblyReport {
             makespan: rep.device_seconds,
             cache_hits: rep.cache_hits,
             cache_misses: rep.cache_misses,
+            precision: Precision::F64,
         }
     }
 
@@ -506,6 +651,7 @@ impl AssemblyReport {
             makespan: rep.makespan,
             cache_hits: rep.per_device.iter().map(|r| r.cache_hits).sum(),
             cache_misses: rep.per_device.iter().map(|r| r.cache_misses).sum(),
+            precision: Precision::F64,
         }
     }
 
@@ -693,6 +839,48 @@ mod tests {
     }
 
     #[test]
+    fn f32_precision_assembles_close_to_f64_and_stamps_reports() {
+        let data = workload(5, 6, 8);
+        let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
+        let cfg = ScConfig::optimized(true, false);
+        let base = AssemblySession::new(Backend::cpu(), cfg).assemble(&items);
+        assert_eq!(base.report.precision, Precision::F64);
+
+        let f32r = AssemblySession::new(Backend::cpu().precision(Precision::f32_refined()), cfg)
+            .assemble(&items);
+        assert!(f32r.report.precision.is_f32());
+        for i in 0..items.len() {
+            let err = sc_dense::max_abs_diff(base.f[i].as_ref(), f32r.f[i].as_ref());
+            assert!(err > 0.0, "f32 assembly must actually run in f32 at {i}");
+            assert!(err < 1e-3, "f32 assembly drifted {err} at {i}");
+        }
+
+        // the demoted pipeline is still deterministic across targets, and
+        // the halved value bytes shrink the device arena footprint
+        let dev = Device::new(DeviceSpec::a100(), 2);
+        let g64 = AssemblySession::new(Backend::gpu(Arc::clone(&dev)), cfg).assemble(&items);
+        let g32 = AssemblySession::new(
+            Backend::gpu(Arc::clone(&dev)).precision(Precision::f32_refined()),
+            cfg,
+        )
+        .assemble(&items);
+        for i in 0..items.len() {
+            assert_eq!(g32.f[i], f32r.f[i], "gpu f32 deviates from cpu f32 at {i}");
+        }
+        assert!(
+            g32.report.devices[0].temp_high_water < g64.report.devices[0].temp_high_water,
+            "f32 arena high water {} must undercut f64 {}",
+            g32.report.devices[0].temp_high_water,
+            g64.report.devices[0].temp_high_water
+        );
+        assert_eq!(
+            g32.report.devices[0].trace.as_ref().map(|t| t.elem_bytes),
+            Some(4),
+            "replay traces must carry the f32 element width"
+        );
+    }
+
+    #[test]
     fn cpu_thread_cap_is_honoured_and_bitwise_neutral() {
         let data = workload(5, 5, 6);
         let items: Vec<BatchItem<'_>> = data.iter().map(|(l, bt)| BatchItem { l, bt }).collect();
@@ -748,14 +936,8 @@ mod tests {
         }
         // a pool with no usable device degrades the same way
         let none = DevicePool::from_devices(vec![Device::new(DeviceSpec::a100(), 0)]);
-        let hy0 = AssemblySession::new(
-            Backend::Hybrid {
-                pool: none,
-                opts: ClusterOptions::default(),
-            },
-            ScConfig::optimized(true, false),
-        )
-        .assemble(&items);
+        let hy0 = AssemblySession::new(Backend::hybrid(none), ScConfig::optimized(true, false))
+            .assemble(&items);
         assert_eq!(
             hy0.report.hybrid.as_ref().unwrap().spilled.len(),
             items.len()

@@ -5,7 +5,8 @@
 //! Two shapes of input unify behind the trait:
 //!
 //! - **eager** — the factors already exist, e.g. a slice of
-//!   [`BatchItem`]s: [`BatchSource::factor`] borrows;
+//!   [`BatchItem`](crate::batch::BatchItem)s: [`BatchSource::factor`]
+//!   borrows;
 //! - **lazy** — each subdomain's factor is *derived inside its own task*
 //!   ([`LazyBatch`]): [`BatchSource::factor`] returns an owned
 //!   [`Cow`], so peak memory holds at most one in-flight factor copy per
@@ -17,15 +18,19 @@
 //! anything implementing [`IntoBatchSource`], which is blanket-implemented
 //! for every [`BatchSource`].
 
-use crate::batch::BatchItem;
-use sc_sparse::Csc;
+use crate::batch::BatchItemOf;
+use sc_dense::Scalar;
+use sc_sparse::{Csc, CscOf};
 use std::borrow::Cow;
 
-/// Per-subdomain input of the batched assembly drivers.
+/// Per-subdomain input of the batched assembly drivers, in working
+/// precision `S` (`f64` by default — every historical `BatchSource` bound
+/// resolves unchanged; the mixed-precision session path consumes
+/// `BatchSource<f32>` sources built by casting).
 ///
 /// `factor(i)` may be called from any worker thread (hence `Sync`) and may
 /// be expensive (lazy derivation); `gluing(i)` must be a cheap borrow.
-pub trait BatchSource: Sync {
+pub trait BatchSource<S: Scalar = f64>: Sync {
     /// Number of subdomains in the batch.
     fn len(&self) -> usize;
 
@@ -36,101 +41,101 @@ pub trait BatchSource: Sync {
 
     /// The Cholesky factor of subdomain `i` (CSC, diag-first) — borrowed
     /// when it already exists, owned when derived inside the calling task.
-    fn factor(&self, i: usize) -> Cow<'_, Csc>;
+    fn factor(&self, i: usize) -> Cow<'_, CscOf<S>>;
 
     /// `B̃ᵢᵀ` of subdomain `i`, rows already permuted into factor order.
-    fn gluing(&self, i: usize) -> &Csc;
+    fn gluing(&self, i: usize) -> &CscOf<S>;
 }
 
 /// Conversion into a [`BatchSource`] — the bound of
 /// [`AssemblySession::assemble`](crate::AssemblySession::assemble). Blanket
 /// implemented for every source, so eager slices and [`LazyBatch`] closures
 /// pass through one entry point.
-pub trait IntoBatchSource {
+pub trait IntoBatchSource<S: Scalar = f64> {
     /// The concrete source type.
-    type Source: BatchSource;
+    type Source: BatchSource<S>;
 
     /// Perform the conversion.
     fn into_batch_source(self) -> Self::Source;
 }
 
-impl<S: BatchSource> IntoBatchSource for S {
-    type Source = S;
+impl<S: Scalar, T: BatchSource<S>> IntoBatchSource<S> for T {
+    type Source = T;
 
-    fn into_batch_source(self) -> S {
+    fn into_batch_source(self) -> T {
         self
     }
 }
 
 /// References to sources are sources (the drivers take them by value).
-impl<T: BatchSource + ?Sized> BatchSource for &T {
+impl<S: Scalar, T: BatchSource<S> + ?Sized> BatchSource<S> for &T {
     fn len(&self) -> usize {
         (**self).len()
     }
 
-    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+    fn factor(&self, i: usize) -> Cow<'_, CscOf<S>> {
         (**self).factor(i)
     }
 
-    fn gluing(&self, i: usize) -> &Csc {
+    fn gluing(&self, i: usize) -> &CscOf<S> {
         (**self).gluing(i)
     }
 }
 
-impl<'a> BatchSource for [BatchItem<'a>] {
+impl<'a, S: Scalar> BatchSource<S> for [BatchItemOf<'a, S>] {
     fn len(&self) -> usize {
-        <[BatchItem<'a>]>::len(self)
+        <[BatchItemOf<'a, S>]>::len(self)
     }
 
-    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+    fn factor(&self, i: usize) -> Cow<'_, CscOf<S>> {
         Cow::Borrowed(self[i].l)
     }
 
-    fn gluing(&self, i: usize) -> &Csc {
+    fn gluing(&self, i: usize) -> &CscOf<S> {
         self[i].bt
     }
 }
 
-impl<'a> BatchSource for Vec<BatchItem<'a>> {
+impl<'a, S: Scalar> BatchSource<S> for Vec<BatchItemOf<'a, S>> {
     fn len(&self) -> usize {
-        <[BatchItem<'a>]>::len(self)
+        <[BatchItemOf<'a, S>]>::len(self)
     }
 
-    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+    fn factor(&self, i: usize) -> Cow<'_, CscOf<S>> {
         Cow::Borrowed(self[i].l)
     }
 
-    fn gluing(&self, i: usize) -> &Csc {
+    fn gluing(&self, i: usize) -> &CscOf<S> {
         self[i].bt
     }
 }
 
 /// Owned `(L, B̃ᵀ)` pairs (the shape bench workloads carry) are a source
 /// too — both matrices borrow from the slice.
-impl BatchSource for [(Csc, Csc)] {
+impl<S: Scalar> BatchSource<S> for [(CscOf<S>, CscOf<S>)] {
     fn len(&self) -> usize {
-        <[(Csc, Csc)]>::len(self)
+        <[(CscOf<S>, CscOf<S>)]>::len(self)
     }
 
-    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+    fn factor(&self, i: usize) -> Cow<'_, CscOf<S>> {
         Cow::Borrowed(&self[i].0)
     }
 
-    fn gluing(&self, i: usize) -> &Csc {
+    fn gluing(&self, i: usize) -> &CscOf<S> {
         &self[i].1
     }
 }
 
-impl BatchSource for Vec<(Csc, Csc)> {
+impl<S: Scalar> BatchSource<S> for Vec<(CscOf<S>, CscOf<S>)> {
     fn len(&self) -> usize {
-        <[(Csc, Csc)]>::len(self)
+        <[(CscOf<S>, CscOf<S>)]>::len(self)
     }
 
-    fn factor(&self, i: usize) -> Cow<'_, Csc> {
+    fn factor(&self, i: usize) -> Cow<'_, CscOf<S>> {
         Cow::Borrowed(&self[i].0)
     }
 
-    fn gluing(&self, i: usize) -> &Csc {
+    fn gluing(&self, i: usize) -> &CscOf<S> {
         &self[i].1
     }
 }

@@ -7,14 +7,17 @@
 //! non-decreasing column pivots — the property every splitting kernel relies
 //! on.
 
-use sc_sparse::{pattern, Csc, Perm};
+use sc_dense::{MatOf, Scalar};
+use sc_sparse::{pattern, CscOf, Perm};
 
 /// `B̃ᵀ` in stepped form: the column-permuted matrix, its pivots, and the
-/// permutation needed to map the assembled Schur complement back.
+/// permutation needed to map the assembled Schur complement back. Generic
+/// over the working precision `S`; [`SteppedRhs`] aliases the `f64`
+/// instantiation.
 #[derive(Clone, Debug)]
-pub struct SteppedRhs {
+pub struct SteppedRhsOf<S: Scalar = f64> {
     /// Column-permuted `B̃ᵀ` (rows untouched).
-    pub bt: Csc,
+    pub bt: CscOf<S>,
     /// Column pivots (first non-zero row per column), non-decreasing; empty
     /// columns carry the sentinel `nrows` and sort to the right.
     pub pivots: Vec<usize>,
@@ -22,10 +25,13 @@ pub struct SteppedRhs {
     pub col_perm: Perm,
 }
 
-impl SteppedRhs {
+/// `f64` stepped form (the historical type).
+pub type SteppedRhs = SteppedRhsOf<f64>;
+
+impl<S: Scalar> SteppedRhsOf<S> {
     /// Build the stepped form of `bt` (`n × m`, rows already in the factor's
     /// permuted space).
-    pub fn new(bt: &Csc) -> Self {
+    pub fn new(bt: &CscOf<S>) -> Self {
         let raw_pivots = pattern::pivots_or_end(bt);
         let mut order: Vec<usize> = (0..bt.ncols()).collect();
         order.sort_by_key(|&j| raw_pivots[j]); // stable: preserves ties
@@ -33,7 +39,7 @@ impl SteppedRhs {
         let stepped = bt.permute_cols(&col_perm);
         let pivots = pattern::pivots_or_end(&stepped);
         debug_assert!(pattern::is_stepped(&stepped));
-        SteppedRhs {
+        SteppedRhsOf {
             bt: stepped,
             pivots,
             col_perm,
@@ -57,17 +63,17 @@ impl SteppedRhs {
     }
 
     /// Dense expansion of the stepped matrix (the TRSM right-hand side).
-    pub fn to_dense(&self) -> sc_dense::Mat {
+    pub fn to_dense(&self) -> MatOf<S> {
         self.bt.to_dense()
     }
 
     /// Map a matrix indexed by stepped columns back to original multiplier
     /// indices: `out[orig_i, orig_j] = f[step_i, step_j]`.
-    pub fn unpermute_symmetric(&self, f: &sc_dense::Mat) -> sc_dense::Mat {
+    pub fn unpermute_symmetric(&self, f: &MatOf<S>) -> MatOf<S> {
         let m = self.ncols();
         assert_eq!(f.nrows(), m);
         assert_eq!(f.ncols(), m);
-        let mut out = sc_dense::Mat::zeros(m, m);
+        let mut out = MatOf::<S>::zeros(m, m);
         for js in 0..m {
             let jo = self.col_perm.old_of_new(js);
             for is in 0..m {
@@ -88,7 +94,7 @@ impl SteppedRhs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     fn unsorted_bt() -> Csc {
         // 6×4, pivots: col0 -> 4, col1 -> 0, col2 -> 2, col3 -> 0

@@ -12,9 +12,9 @@
 //!   range starting at the block column's first pivot.
 
 use crate::exec::Exec;
-use crate::stepped::SteppedRhs;
+use crate::stepped::SteppedRhsOf;
 use crate::tune::{col_cuts, row_cuts, BlockCutsCache, BlockParam};
-use sc_dense::{Mat, Trans};
+use sc_dense::{MatOf, Scalar, Trans};
 
 /// SYRK algorithm selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,24 +30,24 @@ pub enum SyrkVariant {
 /// Compute `f(lower) = Yᵀ Y` with the selected variant. `f` must be `m × m`
 /// and is fully overwritten (lower triangle written, upper left untouched
 /// except by the caller's later symmetrization).
-pub fn run_syrk<E: Exec>(
+pub fn run_syrk<S: Scalar, E: Exec<S>>(
     exec: &mut E,
-    y: &Mat,
-    stepped: &SteppedRhs,
+    y: &MatOf<S>,
+    stepped: &SteppedRhsOf<S>,
     variant: SyrkVariant,
-    f: &mut Mat,
+    f: &mut MatOf<S>,
 ) {
     run_syrk_with_cache(exec, y, stepped, variant, f, None)
 }
 
 /// [`run_syrk`] with an optional shared block-cut memo table (see
 /// [`BlockCutsCache`]).
-pub fn run_syrk_with_cache<E: Exec>(
+pub fn run_syrk_with_cache<S: Scalar, E: Exec<S>>(
     exec: &mut E,
-    y: &Mat,
-    stepped: &SteppedRhs,
+    y: &MatOf<S>,
+    stepped: &SteppedRhsOf<S>,
     variant: SyrkVariant,
-    f: &mut Mat,
+    f: &mut MatOf<S>,
     cache: Option<&BlockCutsCache>,
 ) {
     let n = y.nrows();
@@ -57,10 +57,10 @@ pub fn run_syrk_with_cache<E: Exec>(
     assert_eq!(stepped.ncols(), m);
     match variant {
         SyrkVariant::Plain => {
-            exec.syrk(1.0, y.as_ref(), 0.0, f.as_mut());
+            exec.syrk(S::ONE, y.as_ref(), S::ZERO, f.as_mut());
         }
         SyrkVariant::InputSplit(block) => {
-            f.fill(0.0);
+            f.fill(S::ZERO);
             let cuts = row_cuts(cache, block, n, &stepped.pivots);
             for w in cuts.windows(2) {
                 let (r0, r1) = (w[0], w[1]);
@@ -73,7 +73,7 @@ pub fn run_syrk_with_cache<E: Exec>(
                 }
                 let a = y.as_ref().sub(r0, 0, r1 - r0, width);
                 let fsub = f.as_mut().into_sub(0, 0, width, width);
-                exec.syrk(1.0, a, 1.0, fsub);
+                exec.syrk(S::ONE, a, S::ONE, fsub);
             }
         }
         SyrkVariant::OutputSplit(block) => {
@@ -88,12 +88,12 @@ pub fn run_syrk_with_cache<E: Exec>(
                 // diagonal block: SYRK over Y[k0.., c0..c1]
                 let a = y.as_ref().sub(k0, c0, krows, c1 - c0);
                 let fdiag = f.as_mut().into_sub(c0, c0, c1 - c0, c1 - c0);
-                exec.syrk(1.0, a, 0.0, fdiag);
+                exec.syrk(S::ONE, a, S::ZERO, fdiag);
                 // off-diagonal strip: F[c0..c1, 0..c0] = Aᵀ · Y[k0.., 0..c0]
                 if c0 > 0 {
                     let b = y.as_ref().sub(k0, 0, krows, c0);
                     let foff = f.as_mut().into_sub(c0, 0, c1 - c0, c0);
-                    exec.gemm(1.0, a, Trans::Yes, b, Trans::No, 0.0, foff);
+                    exec.gemm(S::ONE, a, Trans::Yes, b, Trans::No, S::ZERO, foff);
                 }
             }
         }
@@ -104,6 +104,8 @@ pub fn run_syrk_with_cache<E: Exec>(
 mod tests {
     use super::*;
     use crate::exec::CpuExec;
+    use crate::stepped::SteppedRhs;
+    use sc_dense::Mat;
     use sc_sparse::{Coo, Perm};
 
     fn stepped_y(n: usize, m: usize, seed: u64) -> (SteppedRhs, Mat) {

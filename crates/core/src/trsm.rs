@@ -14,10 +14,10 @@
 //!   block before a dense GEMM).
 
 use crate::exec::Exec;
-use crate::stepped::SteppedRhs;
+use crate::stepped::SteppedRhsOf;
 use crate::tune::{col_cuts, row_cuts, BlockCutsCache, BlockParam};
-use sc_dense::{Mat, MatMut, Trans};
-use sc_sparse::Csc;
+use sc_dense::{MatMutOf, MatOf, Scalar, Trans};
+use sc_sparse::CscOf;
 
 /// Storage format for the triangular factor inside TRSM kernels
 /// ("factor storage" in the paper's §3.1).
@@ -49,13 +49,13 @@ pub enum TrsmVariant {
 
 /// Run the selected TRSM variant: on return `y` holds `L⁻¹ B̃ᵀ` (stepped
 /// column order). `l` is the CSC factor (diag-first columns).
-pub fn run_trsm<E: Exec>(
+pub fn run_trsm<S: Scalar, E: Exec<S>>(
     exec: &mut E,
-    l: &Csc,
-    stepped: &SteppedRhs,
+    l: &CscOf<S>,
+    stepped: &SteppedRhsOf<S>,
     storage: FactorStorage,
     variant: TrsmVariant,
-    y: &mut Mat,
+    y: &mut MatOf<S>,
 ) {
     run_trsm_with_cache(exec, l, stepped, storage, variant, y, None)
 }
@@ -63,13 +63,13 @@ pub fn run_trsm<E: Exec>(
 /// [`run_trsm`] with an optional shared block-cut memo table (used by the
 /// batched multi-subdomain driver so equal-shape subdomains resolve their
 /// block partitions once).
-pub fn run_trsm_with_cache<E: Exec>(
+pub fn run_trsm_with_cache<S: Scalar, E: Exec<S>>(
     exec: &mut E,
-    l: &Csc,
-    stepped: &SteppedRhs,
+    l: &CscOf<S>,
+    stepped: &SteppedRhsOf<S>,
     storage: FactorStorage,
     variant: TrsmVariant,
-    y: &mut Mat,
+    y: &mut MatOf<S>,
     cache: Option<&BlockCutsCache>,
 ) {
     let n = l.ncols();
@@ -84,7 +84,12 @@ pub fn run_trsm_with_cache<E: Exec>(
     }
 }
 
-fn trsm_plain<E: Exec>(exec: &mut E, l: &Csc, storage: FactorStorage, y: MatMut<'_>) {
+fn trsm_plain<S: Scalar, E: Exec<S>>(
+    exec: &mut E,
+    l: &CscOf<S>,
+    storage: FactorStorage,
+    y: MatMutOf<'_, S>,
+) {
     match storage {
         FactorStorage::Sparse => exec.trsm_sparse(l, y),
         FactorStorage::Dense => {
@@ -97,13 +102,13 @@ fn trsm_plain<E: Exec>(exec: &mut E, l: &Csc, storage: FactorStorage, y: MatMut<
 
 /// RHS splitting (paper Figure 3a): each column block is solved with the
 /// trailing subfactor below its first pivot.
-fn trsm_rhs_split<E: Exec>(
+fn trsm_rhs_split<S: Scalar, E: Exec<S>>(
     exec: &mut E,
-    l: &Csc,
-    stepped: &SteppedRhs,
+    l: &CscOf<S>,
+    stepped: &SteppedRhsOf<S>,
     storage: FactorStorage,
     block: BlockParam,
-    y: &mut Mat,
+    y: &mut MatOf<S>,
     cache: Option<&BlockCutsCache>,
 ) {
     let n = l.ncols();
@@ -146,14 +151,14 @@ fn trsm_rhs_split<E: Exec>(
 /// TRSM on each diagonal block (restricted to active RHS columns) and a GEMM
 /// for the sub-diagonal block, optionally pruned.
 #[allow(clippy::too_many_arguments)]
-fn trsm_factor_split<E: Exec>(
+fn trsm_factor_split<S: Scalar, E: Exec<S>>(
     exec: &mut E,
-    l: &Csc,
-    stepped: &SteppedRhs,
+    l: &CscOf<S>,
+    stepped: &SteppedRhsOf<S>,
     storage: FactorStorage,
     block: BlockParam,
     prune: bool,
-    y: &mut Mat,
+    y: &mut MatOf<S>,
     cache: Option<&BlockCutsCache>,
 ) {
     let n = l.ncols();
@@ -194,16 +199,16 @@ fn trsm_factor_split<E: Exec>(
             let live = sblock.nonempty_rows();
             exec.gather(sblock.nnz() + live.len());
             let sg = sblock.gather_rows_dense(&live);
-            let mut t = Mat::zeros(live.len(), width);
+            let mut t = MatOf::<S>::zeros(live.len(), width);
             {
                 let ytop = y.as_ref().sub(r0, 0, r1 - r0, width);
                 exec.gemm(
-                    1.0,
+                    S::ONE,
                     sg.as_ref(),
                     Trans::No,
                     ytop,
                     Trans::No,
-                    0.0,
+                    S::ZERO,
                     t.as_mut(),
                 );
             }
@@ -223,17 +228,17 @@ fn trsm_factor_split<E: Exec>(
             exec.gather((r1 - r0) * width);
             let ybot = y.as_mut().into_sub(r1, 0, n - r1, width);
             match storage {
-                FactorStorage::Sparse => exec.spmm(-1.0, &sblock, ytop.as_ref(), 1.0, ybot),
+                FactorStorage::Sparse => exec.spmm(-S::ONE, &sblock, ytop.as_ref(), S::ONE, ybot),
                 FactorStorage::Dense => {
                     exec.gather(sblock.nnz());
                     let sd = sblock.to_dense();
                     exec.gemm(
-                        -1.0,
+                        -S::ONE,
                         sd.as_ref(),
                         Trans::No,
                         ytop.as_ref(),
                         Trans::No,
-                        1.0,
+                        S::ONE,
                         ybot,
                     );
                 }
@@ -246,6 +251,8 @@ fn trsm_factor_split<E: Exec>(
 mod tests {
     use super::*;
     use crate::exec::CpuExec;
+    use crate::stepped::SteppedRhs;
+    use sc_dense::Mat;
     use sc_sparse::{Coo, Csc, Perm};
 
     /// Random-ish sparse SPD lower factor with controlled density.

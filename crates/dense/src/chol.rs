@@ -7,7 +7,8 @@
 //! complement (the "update matrix") in place.
 
 use crate::gemm::axpy;
-use crate::mat::MatMut;
+use crate::mat::MatMutOf;
+use crate::scalar::Scalar;
 
 /// Error returned when a pivot is not strictly positive, i.e. the matrix is
 /// not numerically positive definite.
@@ -15,7 +16,8 @@ use crate::mat::MatMut;
 pub struct CholError {
     /// Index of the offending pivot.
     pub pivot: usize,
-    /// Value found on the diagonal before taking the square root.
+    /// Value found on the diagonal before taking the square root (widened to
+    /// `f64` regardless of the working precision).
     pub value: f64,
 }
 
@@ -33,7 +35,7 @@ impl std::error::Error for CholError {}
 
 /// Factor `A = L Lᵀ` in place. On success the lower triangle of `a` holds `L`
 /// (the strictly upper triangle is left untouched).
-pub fn cholesky_in_place(a: MatMut<'_>) -> Result<(), CholError> {
+pub fn cholesky_in_place<S: Scalar>(a: MatMutOf<'_, S>) -> Result<(), CholError> {
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "cholesky needs a square matrix");
     partial_cholesky_in_place(a, n)
@@ -48,23 +50,26 @@ pub fn cholesky_in_place(a: MatMut<'_>) -> Result<(), CholError> {
 ///
 /// This is right-looking outer-product elimination; with `p == n` it is a
 /// complete Cholesky factorization.
-pub fn partial_cholesky_in_place(mut a: MatMut<'_>, p: usize) -> Result<(), CholError> {
+pub fn partial_cholesky_in_place<S: Scalar>(
+    mut a: MatMutOf<'_, S>,
+    p: usize,
+) -> Result<(), CholError> {
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "partial cholesky needs a square matrix");
     assert!(p <= n);
     for k in 0..p {
         let dkk = a.get(k, k);
-        if dkk <= 0.0 || !dkk.is_finite() {
+        if dkk <= S::ZERO || !dkk.is_finite() {
             return Err(CholError {
                 pivot: k,
-                value: dkk,
+                value: dkk.to_f64(),
             });
         }
         let lkk = dkk.sqrt();
         {
             let ck = a.col_mut(k);
             ck[k] = lkk;
-            let inv = 1.0 / lkk;
+            let inv = S::ONE / lkk;
             for v in &mut ck[k + 1..] {
                 *v *= inv;
             }
@@ -73,7 +78,7 @@ pub fn partial_cholesky_in_place(mut a: MatMut<'_>, p: usize) -> Result<(), Chol
         for j in k + 1..n {
             let ljk = a.get(j, k);
             // sc-analyze: allow(float-eq)
-            if ljk == 0.0 {
+            if ljk == S::ZERO {
                 continue;
             }
             // Need disjoint access to columns k (read) and j (write): split at j.
@@ -88,28 +93,29 @@ pub fn partial_cholesky_in_place(mut a: MatMut<'_>, p: usize) -> Result<(), Chol
 
 /// Solve `A x = b` given the in-place factor produced by
 /// [`cholesky_in_place`] (two triangular solves).
-pub fn cholesky_solve(l: crate::mat::MatRef<'_>, b: &mut [f64]) {
+pub fn cholesky_solve<S: Scalar>(l: crate::mat::MatRefOf<'_, S>, b: &mut [S]) {
     crate::gemv::trsv_lower(l, b);
     crate::gemv::trsv_lower_t(l, b);
 }
 
-/// log-determinant of `A = L Lᵀ` from its factor: `2 Σ log L[k,k]`.
-pub fn cholesky_logdet(l: crate::mat::MatRef<'_>) -> f64 {
-    let mut s = 0.0;
+/// log-determinant of `A = L Lᵀ` from its factor: `2 Σ log L[k,k]`
+/// (accumulated in the working precision, reported in `f64`).
+pub fn cholesky_logdet<S: Scalar>(l: crate::mat::MatRefOf<'_, S>) -> f64 {
+    let mut s = S::ZERO;
     for k in 0..l.nrows() {
         s += l.get(k, k).ln();
     }
-    2.0 * s
+    2.0 * s.to_f64()
 }
 
 /// Explicitly form the Schur complement `C − Bᵀ A⁻¹ B` of the block matrix
 /// `[A B; Bᵀ C]` densely. Reference implementation used by tests against the
 /// sparse assembler (`A` SPD `n × n`, `B` `n × m`, `C` lower-stored `m × m`).
-pub fn dense_schur_reference(
-    a: &crate::mat::Mat,
-    b: &crate::mat::Mat,
-    c: &crate::mat::Mat,
-) -> Result<crate::mat::Mat, CholError> {
+pub fn dense_schur_reference<S: Scalar>(
+    a: &crate::mat::MatOf<S>,
+    b: &crate::mat::MatOf<S>,
+    c: &crate::mat::MatOf<S>,
+) -> Result<crate::mat::MatOf<S>, CholError> {
     let n = a.nrows();
     let m = b.ncols();
     assert_eq!(a.ncols(), n);
@@ -123,23 +129,23 @@ pub fn dense_schur_reference(
     crate::trsm::trsm_lower_left(l.as_ref(), y.as_mut());
     // S = C - Yᵀ Y (lower triangle)
     let mut s = c.clone();
-    crate::syrk::syrk_t(-1.0, y.as_ref(), 1.0, s.as_mut());
+    crate::syrk::syrk_t(-S::ONE, y.as_ref(), S::ONE, s.as_mut());
     s.symmetrize_from_lower();
     Ok(s)
 }
 
 /// Check `‖L Lᵀ − A‖_max` for a factor/matrix pair (test helper).
-pub fn reconstruction_error(l: &crate::mat::Mat, a: &crate::mat::Mat) -> f64 {
+pub fn reconstruction_error<S: Scalar>(l: &crate::mat::MatOf<S>, a: &crate::mat::MatOf<S>) -> f64 {
     let n = l.nrows();
     let mut err = 0.0f64;
     for j in 0..n {
         for i in j..n {
             // (L Lᵀ)[i,j] = Σ_k L[i,k] L[j,k] for k <= min(i,j) = j
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for k in 0..=j {
                 s += l[(i, k)] * l[(j, k)];
             }
-            err = err.max((s - a[(i, j)]).abs());
+            err = err.max((s - a[(i, j)]).abs().to_f64());
         }
     }
     err
@@ -257,5 +263,18 @@ mod tests {
         }
         let s = dense_schur_reference(&a, &b, &c).unwrap();
         assert!(crate::max_abs_diff(s.as_ref(), Mat::identity(4).as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn f32_factorization_reconstructs_loosely() {
+        let a = spd(10, 6);
+        let a32 = a.cast::<f32>();
+        let mut l32 = a32.clone();
+        cholesky_in_place(l32.as_mut()).unwrap();
+        assert!(reconstruction_error(&l32, &a32) < 1e-3);
+        // widened error vs exact f64 factor also small
+        let mut l64 = a.clone();
+        cholesky_in_place(l64.as_mut()).unwrap();
+        assert!(crate::max_abs_diff(l32.cast::<f64>().as_ref(), l64.as_ref()) < 1e-3);
     }
 }

@@ -6,7 +6,8 @@
 //! ones on the assembler's hot path (factor-splitting TRSM uses
 //! `C -= L_sub * R_top`; output-split SYRK uses `C += Yᵀ * Y`).
 
-use crate::mat::{MatMut, MatRef};
+use crate::mat::{MatMutOf, MatRefOf};
+use crate::scalar::Scalar;
 
 /// Transposition selector for [`gemm`] operands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,7 +19,7 @@ pub enum Trans {
 }
 
 #[inline]
-fn op_shape(a: MatRef<'_>, t: Trans) -> (usize, usize) {
+fn op_shape<S: Scalar>(a: MatRefOf<'_, S>, t: Trans) -> (usize, usize) {
     match t {
         Trans::No => (a.nrows(), a.ncols()),
         Trans::Yes => (a.ncols(), a.nrows()),
@@ -28,14 +29,14 @@ fn op_shape(a: MatRef<'_>, t: Trans) -> (usize, usize) {
 /// `C = alpha * op(A) * op(B) + beta * C` (sequential).
 ///
 /// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`.
-pub fn gemm(
-    alpha: f64,
-    a: MatRef<'_>,
+pub fn gemm<S: Scalar>(
+    alpha: S,
+    a: MatRefOf<'_, S>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRefOf<'_, S>,
     tb: Trans,
-    beta: f64,
-    mut c: MatMut<'_>,
+    beta: S,
+    mut c: MatMutOf<'_, S>,
 ) {
     let (m, ka) = op_shape(a, ta);
     let (kb, n) = op_shape(b, tb);
@@ -44,7 +45,7 @@ pub fn gemm(
     assert_eq!(c.ncols(), n, "gemm C col mismatch");
     scale(beta, c.as_mut());
     // sc-analyze: allow(float-eq)
-    if alpha == 0.0 || m == 0 || n == 0 || ka == 0 {
+    if alpha == S::ZERO || m == 0 || n == 0 || ka == 0 {
         return;
     }
     match (ta, tb) {
@@ -56,14 +57,14 @@ pub fn gemm(
 }
 
 #[inline]
-fn scale(beta: f64, mut c: MatMut<'_>) {
+fn scale<S: Scalar>(beta: S, mut c: MatMutOf<'_, S>) {
     // sc-analyze: allow(float-eq)
-    if beta == 1.0 {
+    if beta == S::ONE {
         return;
     }
     // sc-analyze: allow(float-eq)
-    if beta == 0.0 {
-        c.fill(0.0);
+    if beta == S::ZERO {
+        c.fill(S::ZERO);
         return;
     }
     for j in 0..c.ncols() {
@@ -74,7 +75,7 @@ fn scale(beta: f64, mut c: MatMut<'_>) {
 }
 
 /// AXPY-based `C += alpha * A * B` for column-major operands.
-fn gemm_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+fn gemm_nn<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, b: MatRefOf<'_, S>, mut c: MatMutOf<'_, S>) {
     let k = a.ncols();
     for j in 0..c.ncols() {
         let bcol = b.col(j);
@@ -87,7 +88,7 @@ fn gemm_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
 }
 
 /// Dot-product-based `C += alpha * Aᵀ * B`.
-fn gemm_tn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+fn gemm_tn<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, b: MatRefOf<'_, S>, mut c: MatMutOf<'_, S>) {
     for j in 0..c.ncols() {
         let bcol = b.col(j);
         let ccol = c.col_mut(j);
@@ -97,7 +98,7 @@ fn gemm_tn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     }
 }
 
-fn gemm_nt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+fn gemm_nt<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, b: MatRefOf<'_, S>, mut c: MatMutOf<'_, S>) {
     // C[:, j] += alpha * sum_p A[:, p] * B[j, p]
     for j in 0..c.ncols() {
         let ccol = c.col_mut(j);
@@ -107,12 +108,12 @@ fn gemm_nt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     }
 }
 
-fn gemm_tt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+fn gemm_tt<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, b: MatRefOf<'_, S>, mut c: MatMutOf<'_, S>) {
     // C[i, j] += alpha * sum_p A[p, i] * B[j, p]
     for j in 0..c.ncols() {
         for i in 0..c.nrows() {
             let acol = a.col(i);
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for (p, &apv) in acol.iter().enumerate() {
                 s += apv * b.get(j, p);
             }
@@ -123,22 +124,22 @@ fn gemm_tt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
 }
 
 #[inline]
-pub(crate) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub(crate) fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
 }
 
 #[inline]
-pub(crate) fn dot_slices(x: &[f64], y: &[f64]) -> f64 {
+pub(crate) fn dot_slices<S: Scalar>(x: &[S], y: &[S]) -> S {
     debug_assert_eq!(x.len(), y.len());
     // Four-way unrolled accumulation: keeps FP dependencies short so LLVM can
     // vectorize without needing -ffast-math-style reassociation.
-    let mut s0 = 0.0;
-    let mut s1 = 0.0;
-    let mut s2 = 0.0;
-    let mut s3 = 0.0;
+    let mut s0 = S::ZERO;
+    let mut s1 = S::ZERO;
+    let mut s2 = S::ZERO;
+    let mut s3 = S::ZERO;
     let n4 = x.len() / 4 * 4;
     let mut i = 0;
     while i < n4 {
@@ -156,14 +157,14 @@ pub(crate) fn dot_slices(x: &[f64], y: &[f64]) -> f64 {
 
 /// Rayon-parallel `C = alpha * op(A) * op(B) + beta * C`, parallelized over
 /// column blocks of `C`. Used for large reference computations.
-pub fn par_gemm(
-    alpha: f64,
-    a: MatRef<'_>,
+pub fn par_gemm<S: Scalar>(
+    alpha: S,
+    a: MatRefOf<'_, S>,
     ta: Trans,
-    b: MatRef<'_>,
+    b: MatRefOf<'_, S>,
     tb: Trans,
-    beta: f64,
-    c: MatMut<'_>,
+    beta: S,
+    c: MatMutOf<'_, S>,
 ) {
     let n = c.ncols();
     let workers = rayon::current_num_threads().max(1);
@@ -171,14 +172,14 @@ pub fn par_gemm(
     // Split C into disjoint column blocks and process them in parallel. The
     // recursion depth is small (log2 of block count).
     #[allow(clippy::too_many_arguments)]
-    fn rec(
-        alpha: f64,
-        a: MatRef<'_>,
+    fn rec<S: Scalar>(
+        alpha: S,
+        a: MatRefOf<'_, S>,
         ta: Trans,
-        b: MatRef<'_>,
+        b: MatRefOf<'_, S>,
         tb: Trans,
-        beta: f64,
-        c: MatMut<'_>,
+        beta: S,
+        c: MatMutOf<'_, S>,
         c0: usize,
         chunk: usize,
     ) {
@@ -388,5 +389,34 @@ mod tests {
             c.as_mut(),
         );
         assert_eq!(c[(0, 0)], 1.0); // beta=1 keeps C
+    }
+
+    #[test]
+    fn f32_gemm_matches_f64_within_eps() {
+        let a = mk(6, 4, 40);
+        let b = mk(4, 5, 41);
+        let mut c64 = Mat::zeros(6, 5);
+        gemm(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c64.as_mut(),
+        );
+        let a32 = a.cast::<f32>();
+        let b32 = b.cast::<f32>();
+        let mut c32 = crate::mat::MatOf::<f32>::zeros(6, 5);
+        gemm(
+            1.0f32,
+            a32.as_ref(),
+            Trans::No,
+            b32.as_ref(),
+            Trans::No,
+            0.0f32,
+            c32.as_mut(),
+        );
+        assert!(crate::max_abs_diff(c32.cast::<f64>().as_ref(), c64.as_ref()) < 1e-5);
     }
 }

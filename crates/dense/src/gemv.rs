@@ -4,17 +4,18 @@
 //! problem of the FETI solver.
 
 use crate::gemm::{axpy, dot_slices};
-use crate::mat::MatRef;
+use crate::mat::MatRefOf;
+use crate::scalar::Scalar;
 
 /// `y = alpha * A x + beta * y`.
-pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, x: &[S], beta: S, y: &mut [S]) {
     assert_eq!(a.ncols(), x.len(), "gemv x length mismatch");
     assert_eq!(a.nrows(), y.len(), "gemv y length mismatch");
     // sc-analyze: allow(float-eq)
-    if beta == 0.0 {
-        y.fill(0.0);
+    if beta == S::ZERO {
+        y.fill(S::ZERO);
     // sc-analyze: allow(float-eq)
-    } else if beta != 1.0 {
+    } else if beta != S::ONE {
         for v in y.iter_mut() {
             *v *= beta;
         }
@@ -22,24 +23,24 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     for (j, &xj) in x.iter().enumerate() {
         let w = alpha * xj;
         // sc-analyze: allow(float-eq)
-        if w != 0.0 {
+        if w != S::ZERO {
             axpy(w, a.col(j), y);
         }
     }
 }
 
 /// `y = alpha * Aᵀ x + beta * y`.
-pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv_t<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, x: &[S], beta: S, y: &mut [S]) {
     assert_eq!(a.nrows(), x.len(), "gemv_t x length mismatch");
     assert_eq!(a.ncols(), y.len(), "gemv_t y length mismatch");
     for (j, yj) in y.iter_mut().enumerate() {
         let s = dot_slices(a.col(j), x);
-        *yj = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yj }; // sc-analyze: allow(float-eq)
+        *yj = alpha * s + if beta == S::ZERO { S::ZERO } else { beta * *yj }; // sc-analyze: allow(float-eq)
     }
 }
 
 /// Solve `L x = b` in place for a dense lower-triangular `L`.
-pub fn trsv_lower(l: MatRef<'_>, x: &mut [f64]) {
+pub fn trsv_lower<S: Scalar>(l: MatRefOf<'_, S>, x: &mut [S]) {
     let n = l.nrows();
     assert_eq!(l.ncols(), n);
     assert_eq!(x.len(), n);
@@ -48,14 +49,14 @@ pub fn trsv_lower(l: MatRef<'_>, x: &mut [f64]) {
         let xk = x[k] / lk[k];
         x[k] = xk;
         // sc-analyze: allow(float-eq)
-        if xk != 0.0 {
+        if xk != S::ZERO {
             axpy(-xk, &lk[k + 1..], &mut x[k + 1..]);
         }
     }
 }
 
 /// Solve `Lᵀ x = b` in place for a dense lower-triangular `L`.
-pub fn trsv_lower_t(l: MatRef<'_>, x: &mut [f64]) {
+pub fn trsv_lower_t<S: Scalar>(l: MatRefOf<'_, S>, x: &mut [S]) {
     let n = l.nrows();
     assert_eq!(l.ncols(), n);
     assert_eq!(x.len(), n);
@@ -70,7 +71,7 @@ pub fn trsv_lower_t(l: MatRef<'_>, x: &mut [f64]) {
 }
 
 /// Euclidean dot product of two equal-length slices.
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len());
     dot_slices(x, y)
 }
@@ -153,6 +154,23 @@ mod tests {
     #[test]
     fn dot_basic() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
-        assert_eq!(dot(&[], &[]), 0.0);
+        let empty: [f64; 0] = [];
+        assert_eq!(dot(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn f32_trsv_solves() {
+        let l: crate::mat::MatOf<f32> = crate::mat::MatOf::from_fn(3, 3, |i, j| {
+            if i == j {
+                2.0
+            } else if i > j {
+                0.5
+            } else {
+                0.0
+            }
+        });
+        let mut x = [2.0f32, 5.0, 7.75];
+        trsv_lower(l.as_ref(), &mut x);
+        assert_eq!(x, [1.0f32, 2.25, 3.0625]);
     }
 }

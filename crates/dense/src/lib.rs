@@ -6,6 +6,13 @@
 //! [`gemv`](gemv::gemv), and dense [Cholesky](chol) (full and partial, the
 //! latter used by the multifrontal factorization's frontal matrices).
 //!
+//! Every kernel and storage type is generic over the sealed [`Scalar`] trait
+//! (`f32`/`f64`); the un-suffixed names ([`Mat`], [`MatRef`], [`MatMut`]) are
+//! `f64` aliases of the generic [`MatOf`]/[`MatRefOf`]/[`MatMutOf`] types, so
+//! pre-mixed-precision code keeps compiling — and keeps producing bitwise
+//! identical results, since the kernels never reorder arithmetic per scalar
+//! type.
+//!
 //! All kernels are sequential by default — the FETI solver parallelizes across
 //! subdomains, one worker per subdomain, exactly like the paper's
 //! one-thread-per-subdomain loop. Rayon-parallel variants (`par_*`) exist for
@@ -15,6 +22,7 @@ pub mod chol;
 pub mod gemm;
 pub mod gemv;
 pub mod mat;
+pub mod scalar;
 pub mod syrk;
 pub mod trsm;
 
@@ -24,14 +32,16 @@ pub use chol::{
 };
 pub use gemm::{gemm, par_gemm, Trans};
 pub use gemv::{dot, gemv, gemv_t, trsv_lower, trsv_lower_t};
-pub use mat::{Mat, MatMut, MatRef};
+pub use mat::{Mat, MatMut, MatMutOf, MatOf, MatRef, MatRefOf};
+pub use scalar::Scalar;
 pub use syrk::{par_syrk_t, syrk_t};
 pub use trsm::{trsm_lower_left, trsm_lower_left_t};
 
-/// Maximum absolute difference between two matrices of identical shape.
+/// Maximum absolute difference between two matrices of identical shape,
+/// reported in `f64` regardless of working precision.
 ///
 /// Panics if shapes differ. Used pervasively by tests.
-pub fn max_abs_diff(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
+pub fn max_abs_diff<S: Scalar>(a: MatRefOf<'_, S>, b: MatRefOf<'_, S>) -> f64 {
     assert_eq!(a.nrows(), b.nrows(), "row mismatch");
     assert_eq!(a.ncols(), b.ncols(), "col mismatch");
     let mut m = 0.0f64;
@@ -39,7 +49,7 @@ pub fn max_abs_diff(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
         let ca = a.col(j);
         let cb = b.col(j);
         for i in 0..a.nrows() {
-            let d = (ca[i] - cb[i]).abs();
+            let d = (ca[i].to_f64() - cb[i].to_f64()).abs();
             if d > m {
                 m = d;
             }
@@ -48,12 +58,12 @@ pub fn max_abs_diff(a: MatRef<'_>, b: MatRef<'_>) -> f64 {
     m
 }
 
-/// Frobenius norm of a matrix.
-pub fn frob_norm(a: MatRef<'_>) -> f64 {
+/// Frobenius norm of a matrix (accumulated and reported in `f64`).
+pub fn frob_norm<S: Scalar>(a: MatRefOf<'_, S>) -> f64 {
     let mut s = 0.0;
     for j in 0..a.ncols() {
         for &v in a.col(j) {
-            s += v * v;
+            s += v.to_f64() * v.to_f64();
         }
     }
     s.sqrt()

@@ -1,54 +1,63 @@
 //! Column-major dense matrix storage and borrowed views.
 //!
-//! [`Mat`] owns its data with leading dimension equal to the row count.
-//! [`MatRef`]/[`MatMut`] are borrowed windows with an explicit leading
+//! [`MatOf`] owns its data with leading dimension equal to the row count.
+//! [`MatRefOf`]/[`MatMutOf`] are borrowed windows with an explicit leading
 //! dimension (`ld`), which is what lets the blocked TRSM/SYRK kernels of the
 //! paper address sub-matrices with plain pointer arithmetic ("extracting the
 //! submatrix is trivial using pointer arithmetic due to the leading dimension
 //! parameter of BLAS routines", §3.2).
+//!
+//! All three types are generic over the element [`Scalar`] (`f32` or `f64`);
+//! the [`Mat`]/[`MatRef`]/[`MatMut`] aliases pin `f64`, keeping every
+//! pre-mixed-precision call site source- and bitwise-compatible.
 
-/// Owned column-major `f64` matrix. `data[j * nrows + i]` is entry `(i, j)`.
+use crate::scalar::Scalar;
+
+/// Owned column-major matrix. `data[j * nrows + i]` is entry `(i, j)`.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Mat {
+pub struct MatOf<S = f64> {
     nrows: usize,
     ncols: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Mat {
+/// Owned column-major `f64` matrix (the historical default element type).
+pub type Mat = MatOf<f64>;
+
+impl<S: Scalar> MatOf<S> {
     /// Zero-filled matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Mat {
+        MatOf {
             nrows,
             ncols,
-            data: vec![0.0; nrows * ncols],
+            data: vec![S::ZERO; nrows * ncols],
         }
     }
 
     /// Identity matrix of order `n`.
     pub fn identity(n: usize) -> Self {
-        let mut m = Mat::zeros(n, n);
+        let mut m = MatOf::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = S::ONE;
         }
         m
     }
 
     /// Build a matrix from a generator function `f(i, j)`.
-    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
         let mut data = Vec::with_capacity(nrows * ncols);
         for j in 0..ncols {
             for i in 0..nrows {
                 data.push(f(i, j));
             }
         }
-        Mat { nrows, ncols, data }
+        MatOf { nrows, ncols, data }
     }
 
     /// Build from a column-major data vector (length must be `nrows * ncols`).
-    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<S>) -> Self {
         assert_eq!(data.len(), nrows * ncols, "data length mismatch");
-        Mat { nrows, ncols, data }
+        MatOf { nrows, ncols, data }
     }
 
     /// Number of rows.
@@ -65,8 +74,8 @@ impl Mat {
 
     /// Immutable full view.
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
-        MatRef {
+    pub fn as_ref(&self) -> MatRefOf<'_, S> {
+        MatRefOf {
             nrows: self.nrows,
             ncols: self.ncols,
             ld: self.nrows,
@@ -76,8 +85,8 @@ impl Mat {
 
     /// Mutable full view.
     #[inline]
-    pub fn as_mut(&mut self) -> MatMut<'_> {
-        MatMut {
+    pub fn as_mut(&mut self) -> MatMutOf<'_, S> {
+        MatMutOf {
             nrows: self.nrows,
             ncols: self.ncols,
             ld: self.nrows,
@@ -87,42 +96,42 @@ impl Mat {
 
     /// Immutable column slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[S] {
         &self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Mutable column slice.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
         &mut self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Underlying column-major storage.
     #[inline]
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable underlying column-major storage.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Transposed copy.
-    pub fn transpose(&self) -> Mat {
-        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    pub fn transpose(&self) -> MatOf<S> {
+        MatOf::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
     }
 
     /// Fill every entry with `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: S) {
         self.data.fill(v);
     }
 
     /// Extract a rectangular copy `rows × cols` starting at `(r0, c0)`.
-    pub fn submatrix(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Mat {
+    pub fn submatrix(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatOf<S> {
         assert!(r0 + rows <= self.nrows && c0 + cols <= self.ncols);
-        Mat::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
+        MatOf::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
     }
 
     /// Mirror the (strictly) lower triangle into the upper triangle in place.
@@ -138,20 +147,31 @@ impl Mat {
             }
         }
     }
+
+    /// Element-wise precision conversion (through `f64`, the common superset
+    /// of both formats). `cast::<f64>()` of an f32 matrix is exact; casting
+    /// down rounds to nearest.
+    pub fn cast<T: Scalar>(&self) -> MatOf<T> {
+        MatOf {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().map(|&v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
 }
 
-impl std::ops::Index<(usize, usize)> for Mat {
-    type Output = f64;
+impl<S: Scalar> std::ops::Index<(usize, usize)> for MatOf<S> {
+    type Output = S;
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &S {
         debug_assert!(i < self.nrows && j < self.ncols);
         &self.data[j * self.nrows + i]
     }
 }
 
-impl std::ops::IndexMut<(usize, usize)> for Mat {
+impl<S: Scalar> std::ops::IndexMut<(usize, usize)> for MatOf<S> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
         debug_assert!(i < self.nrows && j < self.ncols);
         &mut self.data[j * self.nrows + i]
     }
@@ -159,24 +179,27 @@ impl std::ops::IndexMut<(usize, usize)> for Mat {
 
 /// Immutable view of a column-major matrix window with leading dimension `ld`.
 #[derive(Clone, Copy, Debug)]
-pub struct MatRef<'a> {
+pub struct MatRefOf<'a, S = f64> {
     nrows: usize,
     ncols: usize,
     ld: usize,
     /// Slice starting at entry (0, 0) of the window; column `j` occupies
     /// `data[j*ld .. j*ld + nrows]`.
-    data: &'a [f64],
+    data: &'a [S],
 }
 
-impl<'a> MatRef<'a> {
+/// Immutable `f64` view (the historical default element type).
+pub type MatRef<'a> = MatRefOf<'a, f64>;
+
+impl<'a, S: Scalar> MatRefOf<'a, S> {
     /// Construct a view from raw parts. `data` must cover every addressed
     /// entry: `(ncols-1)*ld + nrows <= data.len()` when non-empty.
-    pub fn from_parts(nrows: usize, ncols: usize, ld: usize, data: &'a [f64]) -> Self {
+    pub fn from_parts(nrows: usize, ncols: usize, ld: usize, data: &'a [S]) -> Self {
         assert!(ld >= nrows.max(1));
         if nrows > 0 && ncols > 0 {
             assert!((ncols - 1) * ld + nrows <= data.len(), "view out of bounds");
         }
-        MatRef {
+        MatRefOf {
             nrows,
             ncols,
             ld,
@@ -201,20 +224,20 @@ impl<'a> MatRef<'a> {
 
     /// Entry access (bounds-checked in debug builds only).
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         debug_assert!(i < self.nrows && j < self.ncols);
         self.data[j * self.ld + i]
     }
 
     /// Column `j` as a contiguous slice of length `nrows`.
     #[inline]
-    pub fn col(&self, j: usize) -> &'a [f64] {
+    pub fn col(&self, j: usize) -> &'a [S] {
         &self.data[j * self.ld..j * self.ld + self.nrows]
     }
 
     /// Sub-window of shape `rows × cols` at offset `(r0, c0)`.
     #[inline]
-    pub fn sub(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatRef<'a> {
+    pub fn sub(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatRefOf<'a, S> {
         assert!(r0 + rows <= self.nrows && c0 + cols <= self.ncols);
         let start = c0 * self.ld + r0;
         let end = if rows > 0 && cols > 0 {
@@ -222,7 +245,7 @@ impl<'a> MatRef<'a> {
         } else {
             start
         };
-        MatRef {
+        MatRefOf {
             nrows: rows,
             ncols: cols,
             ld: self.ld,
@@ -230,30 +253,33 @@ impl<'a> MatRef<'a> {
         }
     }
 
-    /// Copy into an owned [`Mat`].
-    pub fn to_mat(&self) -> Mat {
-        Mat::from_fn(self.nrows, self.ncols, |i, j| self.get(i, j))
+    /// Copy into an owned [`MatOf`].
+    pub fn to_mat(&self) -> MatOf<S> {
+        MatOf::from_fn(self.nrows, self.ncols, |i, j| self.get(i, j))
     }
 }
 
 /// Mutable view of a column-major matrix window with leading dimension `ld`.
 #[derive(Debug)]
-pub struct MatMut<'a> {
+pub struct MatMutOf<'a, S = f64> {
     nrows: usize,
     ncols: usize,
     ld: usize,
-    data: &'a mut [f64],
+    data: &'a mut [S],
 }
 
-impl<'a> MatMut<'a> {
+/// Mutable `f64` view (the historical default element type).
+pub type MatMut<'a> = MatMutOf<'a, f64>;
+
+impl<'a, S: Scalar> MatMutOf<'a, S> {
     /// Construct a mutable view from raw parts (same contract as
-    /// [`MatRef::from_parts`]).
-    pub fn from_parts(nrows: usize, ncols: usize, ld: usize, data: &'a mut [f64]) -> Self {
+    /// [`MatRefOf::from_parts`]).
+    pub fn from_parts(nrows: usize, ncols: usize, ld: usize, data: &'a mut [S]) -> Self {
         assert!(ld >= nrows.max(1));
         if nrows > 0 && ncols > 0 {
             assert!((ncols - 1) * ld + nrows <= data.len(), "view out of bounds");
         }
-        MatMut {
+        MatMutOf {
             nrows,
             ncols,
             ld,
@@ -278,8 +304,8 @@ impl<'a> MatMut<'a> {
 
     /// Immutable reborrow.
     #[inline]
-    pub fn as_ref(&self) -> MatRef<'_> {
-        MatRef {
+    pub fn as_ref(&self) -> MatRefOf<'_, S> {
+        MatRefOf {
             nrows: self.nrows,
             ncols: self.ncols,
             ld: self.ld,
@@ -289,8 +315,8 @@ impl<'a> MatMut<'a> {
 
     /// Mutable reborrow (shorter lifetime).
     #[inline]
-    pub fn as_mut(&mut self) -> MatMut<'_> {
-        MatMut {
+    pub fn as_mut(&mut self) -> MatMutOf<'_, S> {
+        MatMutOf {
             nrows: self.nrows,
             ncols: self.ncols,
             ld: self.ld,
@@ -299,32 +325,32 @@ impl<'a> MatMut<'a> {
     }
 
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         debug_assert!(i < self.nrows && j < self.ncols);
         self.data[j * self.ld + i]
     }
 
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
         debug_assert!(i < self.nrows && j < self.ncols);
         self.data[j * self.ld + i] = v;
     }
 
     /// Column `j` as a contiguous slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[S] {
         &self.data[j * self.ld..j * self.ld + self.nrows]
     }
 
     /// Mutable column `j`.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
         &mut self.data[j * self.ld..j * self.ld + self.nrows]
     }
 
     /// Mutable sub-window of shape `rows × cols` at offset `(r0, c0)`,
     /// consuming the view (use [`Self::as_mut`] to reborrow first).
-    pub fn into_sub(self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatMut<'a> {
+    pub fn into_sub(self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatMutOf<'a, S> {
         assert!(r0 + rows <= self.nrows && c0 + cols <= self.ncols);
         let start = c0 * self.ld + r0;
         let end = if rows > 0 && cols > 0 {
@@ -332,7 +358,7 @@ impl<'a> MatMut<'a> {
         } else {
             start
         };
-        MatMut {
+        MatMutOf {
             nrows: rows,
             ncols: cols,
             ld: self.ld,
@@ -341,22 +367,22 @@ impl<'a> MatMut<'a> {
     }
 
     /// Mutable sub-window (reborrowing convenience).
-    pub fn sub_mut(&mut self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatMut<'_> {
+    pub fn sub_mut(&mut self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatMutOf<'_, S> {
         self.as_mut().into_sub(r0, c0, rows, cols)
     }
 
     /// Split into two disjoint mutable column-block views `[0, c)` and `[c, ncols)`.
-    pub fn split_cols_at(self, c: usize) -> (MatMut<'a>, MatMut<'a>) {
+    pub fn split_cols_at(self, c: usize) -> (MatMutOf<'a, S>, MatMutOf<'a, S>) {
         assert!(c <= self.ncols);
         let (left, right) = self.data.split_at_mut(c * self.ld);
         (
-            MatMut {
+            MatMutOf {
                 nrows: self.nrows,
                 ncols: c,
                 ld: self.ld,
                 data: left,
             },
-            MatMut {
+            MatMutOf {
                 nrows: self.nrows,
                 ncols: self.ncols - c,
                 ld: self.ld,
@@ -366,7 +392,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Copy all entries from `src` (shapes must match).
-    pub fn copy_from(&mut self, src: MatRef<'_>) {
+    pub fn copy_from(&mut self, src: MatRefOf<'_, S>) {
         assert_eq!(self.nrows, src.nrows());
         assert_eq!(self.ncols, src.ncols());
         for j in 0..self.ncols {
@@ -375,7 +401,7 @@ impl<'a> MatMut<'a> {
     }
 
     /// Set every entry to `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: S) {
         for j in 0..self.ncols {
             self.col_mut(j).fill(v);
         }
@@ -459,5 +485,15 @@ mod tests {
     fn view_bounds_checked() {
         let data = vec![0.0; 5];
         MatRef::from_parts(3, 2, 3, &data);
+    }
+
+    #[test]
+    fn generic_storage_works_in_f32() {
+        let m: MatOf<f32> = MatOf::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+        assert_eq!(m[(2, 1)], 5.0f32);
+        let wide: Mat = m.cast();
+        assert_eq!(wide[(2, 1)], 5.0f64);
+        // f32 → f64 → f32 roundtrip is exact
+        assert_eq!(wide.cast::<f32>(), m);
     }
 }

@@ -1,0 +1,210 @@
+//! The sealed scalar abstraction behind the mixed-precision stack.
+//!
+//! Every numeric layer (dense kernels, sparse storage, factorizations, the
+//! Schur assembler, PCPG) is generic over [`Scalar`], implemented for `f32`
+//! and `f64` only. The trait carries exactly what the kernels need —
+//! arithmetic, a square root, an epsilon, and [`Scalar::BYTES`] for the
+//! simulated-GPU byte pricing (H2D transfers and temporary-arena footprints
+//! scale with the element width, which is what lets the planner admit twice
+//! as many explicit subdomains in f32).
+//!
+//! The trait is **sealed**: the byte-pricing and refinement logic assume IEEE
+//! binary32/binary64 semantics, so downstream crates cannot implement it for
+//! other types. `f64` code paths through the generic kernels are bitwise
+//! identical to the pre-generic implementations — the kernels never reorder
+//! arithmetic on the strength of the abstraction.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// IEEE floating-point element type of the numeric stack (`f32` or `f64`).
+///
+/// See the [module docs](self) for the sealing rationale. The cast helpers
+/// [`Scalar::from_f64`] / [`Scalar::to_f64`] are the **only** sanctioned
+/// precision boundary — the `precision-discipline` lint of `sc_analyze`
+/// forbids bare `as f32` / `as f64` casts in the numeric crates outside this
+/// module.
+pub trait Scalar:
+    sealed::Sealed
+    + Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the format (`f32::EPSILON` / `f64::EPSILON`) —
+    /// the attainable-accuracy floor the refinement loop targets against.
+    const EPSILON: Self;
+    /// `size_of::<Self>()`: the element width every byte-pricing term of the
+    /// simulated GPU uses instead of a hard-coded 8.
+    const BYTES: usize;
+    /// Stable lowercase format name (`"f32"` / `"f64"`) for diagnostics and
+    /// bench records.
+    const NAME: &'static str;
+
+    /// Convert from `f64` (rounds to nearest for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Widen to `f64` (exact for both implementors).
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// IEEE finiteness test.
+    fn is_finite(self) -> bool;
+    /// IEEE `maximum` of two values (`f64::max` semantics).
+    fn max_with(self, other: Self) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+    const BYTES: usize = std::mem::size_of::<f64>();
+    const NAME: &'static str = "f64";
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline(always)]
+    fn ln(self) -> Self {
+        f64::ln(self)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    #[inline(always)]
+    fn max_with(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+    const BYTES: usize = std::mem::size_of::<f32>();
+    const NAME: &'static str = "f32";
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline(always)]
+    fn ln(self) -> Self {
+        f32::ln(self)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+
+    #[inline(always)]
+    fn max_with(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths_match_size_of() {
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f32 as Scalar>::BYTES * 2, <f64 as Scalar>::BYTES);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_identity() {
+        for v in [0.0, -1.5, std::f64::consts::PI, 1e300, -1e-300] {
+            assert_eq!(<f64 as Scalar>::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn f32_widening_is_exact() {
+        // every f32 is exactly representable in f64: to_f64 ∘ from_f64 on an
+        // f32-representable value is the identity
+        for v in [0.0f32, -1.5, 3.25, 1e30, -1e-30] {
+            let w = <f32 as Scalar>::from_f64(f64::from(v));
+            assert_eq!(w, v);
+            assert_eq!(w.to_f64(), f64::from(v));
+        }
+    }
+
+    #[test]
+    fn generic_helpers_match_std() {
+        fn probe<S: Scalar>(x: S) -> (S, S, bool) {
+            (x.sqrt(), x.abs(), x.is_finite())
+        }
+        assert_eq!(probe(4.0f64), (2.0, 4.0, true));
+        assert_eq!(probe(4.0f32), (2.0, 4.0, true));
+        assert_eq!(Scalar::max_with(-3.0f64, 1.0), 1.0);
+        assert!((2.0f64.ln() - std::f64::consts::LN_2).abs() < 1e-15);
+    }
+}

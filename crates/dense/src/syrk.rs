@@ -5,13 +5,14 @@
 //! and written, matching BLAS `SYRK('L', 'T', ...)` semantics.
 
 use crate::gemm::dot_slices;
-use crate::mat::{MatMut, MatRef};
+use crate::mat::{MatMutOf, MatRefOf};
+use crate::scalar::Scalar;
 
 /// `C(lower) = beta * C(lower) + alpha * Aᵀ A` (sequential).
 ///
 /// `A` is `k × n`, `C` is `n × n`. The strictly upper triangle of `C` is left
 /// untouched.
-pub fn syrk_t(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
+pub fn syrk_t<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, beta: S, mut c: MatMutOf<'_, S>) {
     let n = a.ncols();
     assert_eq!(c.nrows(), n, "syrk C row mismatch");
     assert_eq!(c.ncols(), n, "syrk C col mismatch");
@@ -19,7 +20,7 @@ pub fn syrk_t(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
         let aj = a.col(j);
         let ccol = c.col_mut(j);
         // sc-analyze: allow(float-eq)
-        if beta == 0.0 {
+        if beta == S::ZERO {
             for (i, cij) in ccol.iter_mut().enumerate().skip(j) {
                 *cij = alpha * dot_slices(a.col(i), aj);
             }
@@ -34,7 +35,7 @@ pub fn syrk_t(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>) {
 /// Rayon-parallel [`syrk_t`], parallelized over output columns by recursive
 /// column-block splitting (each split produces disjoint `MatMut` views, so no
 /// unsafe code is needed).
-pub fn par_syrk_t(alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+pub fn par_syrk_t<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>) {
     let n = a.ncols();
     assert_eq!(c.nrows(), n, "syrk C row mismatch");
     assert_eq!(c.ncols(), n, "syrk C col mismatch");
@@ -42,7 +43,7 @@ pub fn par_syrk_t(alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>) {
 }
 
 /// Process the column block of `C` starting at global column `c0`.
-fn split_cols(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>, c0: usize) {
+fn split_cols<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, beta: S, mut c: MatMutOf<'_, S>, c0: usize) {
     let ncols = c.ncols();
     // Small blocks: compute directly. Column j (global) writes rows j..n.
     if ncols <= 8 {
@@ -51,7 +52,7 @@ fn split_cols(alpha: f64, a: MatRef<'_>, beta: f64, mut c: MatMut<'_>, c0: usize
             let aj = a.col(gj);
             let ccol = c.col_mut(j);
             // sc-analyze: allow(float-eq)
-            if beta == 0.0 {
+            if beta == S::ZERO {
                 for (i, cij) in ccol.iter_mut().enumerate().skip(gj) {
                     *cij = alpha * dot_slices(a.col(i), aj);
                 }
@@ -160,5 +161,15 @@ mod tests {
         syrk_t(1.0, a.as_ref(), 0.5, c.as_mut());
         assert_eq!(c[(2, 0)], 1.0);
         assert_eq!(c[(0, 2)], 2.0); // upper untouched
+    }
+
+    #[test]
+    fn f32_syrk_diagonal_nonnegative() {
+        let a32 = mk(6, 5, 8).cast::<f32>();
+        let mut c = crate::mat::MatOf::<f32>::zeros(5, 5);
+        syrk_t(1.0f32, a32.as_ref(), 0.0f32, c.as_mut());
+        for i in 0..5 {
+            assert!(c[(i, i)] >= 0.0f32);
+        }
     }
 }

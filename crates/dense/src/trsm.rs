@@ -7,7 +7,8 @@
 //! description of TRSM as an in-place routine (§3.2).
 
 use crate::gemm::axpy;
-use crate::mat::{MatMut, MatRef};
+use crate::mat::{MatMutOf, MatRefOf};
+use crate::scalar::Scalar;
 
 /// Solve `L X = B` in place, `L` lower triangular (non-unit diagonal).
 ///
@@ -15,7 +16,7 @@ use crate::mat::{MatMut, MatRef};
 /// just-computed solution row `k` is eliminated from all rows below via a
 /// contiguous AXPY on the RHS column. Cost `n² m` flops for an `n × n` factor
 /// and `n × m` RHS.
-pub fn trsm_lower_left(l: MatRef<'_>, mut b: MatMut<'_>) {
+pub fn trsm_lower_left<S: Scalar>(l: MatRefOf<'_, S>, mut b: MatMutOf<'_, S>) {
     let n = l.nrows();
     assert_eq!(l.ncols(), n, "factor must be square");
     assert_eq!(b.nrows(), n, "RHS row mismatch");
@@ -37,7 +38,7 @@ pub fn trsm_lower_left(l: MatRef<'_>, mut b: MatMut<'_>) {
 ///
 /// Backward substitution expressed over the columns of `L` (dot products
 /// against the stored lower triangle).
-pub fn trsm_lower_left_t(l: MatRef<'_>, mut b: MatMut<'_>) {
+pub fn trsm_lower_left_t<S: Scalar>(l: MatRefOf<'_, S>, mut b: MatMutOf<'_, S>) {
     let n = l.nrows();
     assert_eq!(l.ncols(), n, "factor must be square");
     assert_eq!(b.nrows(), n, "RHS row mismatch");
@@ -175,5 +176,18 @@ mod tests {
         let mut x_copy = b.clone();
         trsm_lower_left(lsub.as_ref(), x_copy.as_mut());
         assert!(crate::max_abs_diff(x_view.as_ref(), x_copy.as_ref()) < 1e-15);
+    }
+
+    #[test]
+    fn f32_solve_tracks_f64_within_eps() {
+        let n = 8;
+        let l = lower_factor(n, 9);
+        let b = rand_mat(n, 3, 10);
+        let mut x64 = b.clone();
+        trsm_lower_left(l.as_ref(), x64.as_mut());
+        let l32 = l.cast::<f32>();
+        let mut x32 = b.cast::<f32>();
+        trsm_lower_left(l32.as_ref(), x32.as_mut());
+        assert!(crate::max_abs_diff(x32.cast::<f64>().as_ref(), x64.as_ref()) < 1e-4);
     }
 }

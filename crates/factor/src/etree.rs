@@ -1,15 +1,17 @@
 //! Elimination tree and postorder (Davis, "Direct Methods", §4.1).
 
-use sc_sparse::Csc;
+use sc_dense::Scalar;
+use sc_sparse::CscOf;
 
 /// Sentinel for "no parent" (tree root).
 pub const NONE: usize = usize::MAX;
 
 /// Elimination tree of a symmetric matrix given in full-symmetric CSC form
-/// (only the upper-triangle entries `i < k` of each column `k` are used).
+/// (only the upper-triangle entries `i < k` of each column `k` are used;
+/// values are never read, so any element scalar is accepted).
 ///
 /// `parent[k] == NONE` marks a root.
-pub fn etree(a: &Csc) -> Vec<usize> {
+pub fn etree<S: Scalar>(a: &CscOf<S>) -> Vec<usize> {
     let n = a.ncols();
     assert_eq!(a.nrows(), n, "etree needs a square matrix");
     let mut parent = vec![NONE; n];
@@ -87,7 +89,7 @@ pub fn child_counts(parent: &[usize]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     /// Arrowhead matrix: every column connected to the last.
     fn arrowhead(n: usize) -> Csc {

@@ -29,6 +29,6 @@ pub mod symbolic;
 pub use etree::{etree, postorder};
 pub use schur::{schur_from_factor, sparse_solve_reach};
 pub use simplicial::{simplicial_factorize, FactorError};
-pub use solver::{CholOptions, Engine, SparseCholesky};
-pub use supernodal::{SupernodalFactor, SupernodalSymbolic};
+pub use solver::{CholOptions, Engine, SparseCholesky, SparseCholeskyOf};
+pub use supernodal::{SupernodalFactor, SupernodalFactorOf, SupernodalSymbolic};
 pub use symbolic::Symbolic;

@@ -11,8 +11,8 @@
 //! grows and it loses to the GPU assembler by an order of magnitude.
 
 use crate::etree::NONE;
-use sc_dense::Mat;
-use sc_sparse::Csc;
+use sc_dense::{MatOf, Scalar};
+use sc_sparse::CscOf;
 
 /// Elimination-tree reach of the row set `b_rows`: every node on a path from
 /// a nonzero row to its root, deduplicated and sorted ascending (which is a
@@ -38,14 +38,14 @@ pub fn sparse_solve_reach(parent: &[usize], b_rows: &[usize], mark: &mut [bool])
 /// Sparse forward solve `L x = b` touching only the reach. `x` is a dense
 /// scratch vector (zeroed outside the reach on entry and on exit by the
 /// caller between uses). Returns nothing; values live in `x[reach]`.
-fn sparse_lower_solve_on_reach(l: &Csc, reach: &[usize], x: &mut [f64]) {
+fn sparse_lower_solve_on_reach<S: Scalar>(l: &CscOf<S>, reach: &[usize], x: &mut [S]) {
     for &j in reach {
         let (rows, vals) = l.col(j);
         debug_assert_eq!(rows[0], j, "missing diagonal");
         let xj = x[j] / vals[0];
         x[j] = xj;
         // sc-analyze: allow(float-eq)
-        if xj != 0.0 {
+        if xj != S::ZERO {
             for (&i, &v) in rows[1..].iter().zip(&vals[1..]) {
                 x[i] -= v * xj;
             }
@@ -58,14 +58,14 @@ fn sparse_lower_solve_on_reach(l: &Csc, reach: &[usize], x: &mut [f64]) {
 ///
 /// `bt` is `n × m` (column = one Lagrange multiplier) in the **same permuted
 /// row space** as `L`. The result is symmetric (both triangles filled).
-pub fn schur_from_factor(l: &Csc, parent: &[usize], bt: &Csc) -> Mat {
+pub fn schur_from_factor<S: Scalar>(l: &CscOf<S>, parent: &[usize], bt: &CscOf<S>) -> MatOf<S> {
     let n = l.ncols();
     let m = bt.ncols();
     assert_eq!(bt.nrows(), n, "B̃ᵀ row space must match factor");
     // Solve each column on its reach, collecting a sparse Y (CSC-ish).
     let mut mark = vec![false; n];
-    let mut x = vec![0.0f64; n];
-    let mut y_cols: Vec<(Vec<usize>, Vec<f64>)> = Vec::with_capacity(m);
+    let mut x = vec![S::ZERO; n];
+    let mut y_cols: Vec<(Vec<usize>, Vec<S>)> = Vec::with_capacity(m);
     for t in 0..m {
         let (rows, vals) = bt.col(t);
         let reach = sparse_solve_reach(parent, rows, &mut mark);
@@ -76,7 +76,7 @@ pub fn schur_from_factor(l: &Csc, parent: &[usize], bt: &Csc) -> Mat {
         let mut yv = Vec::with_capacity(reach.len());
         for &i in &reach {
             yv.push(x[i]);
-            x[i] = 0.0;
+            x[i] = S::ZERO;
         }
         y_cols.push((reach, yv));
     }
@@ -93,7 +93,7 @@ pub fn schur_from_factor(l: &Csc, parent: &[usize], bt: &Csc) -> Mat {
     }
     let total: usize = row_ptr[n];
     let mut rcols = vec![0usize; total];
-    let mut rvals = vec![0f64; total];
+    let mut rvals = vec![S::ZERO; total];
     let mut next = row_ptr.clone();
     for (t, (ri, vv)) in y_cols.iter().enumerate() {
         for (&i, &v) in ri.iter().zip(vv) {
@@ -102,7 +102,7 @@ pub fn schur_from_factor(l: &Csc, parent: &[usize], bt: &Csc) -> Mat {
             next[i] += 1;
         }
     }
-    let mut f = Mat::zeros(m, m);
+    let mut f = MatOf::<S>::zeros(m, m);
     for i in 0..n {
         let s = row_ptr[i];
         let e = row_ptr[i + 1];
@@ -122,7 +122,7 @@ pub fn schur_from_factor(l: &Csc, parent: &[usize], bt: &Csc) -> Mat {
 
 /// Flop count proxy for the sparse Schur path (sum over columns of the
 /// factor entries visited) — used by benches to report work savings.
-pub fn schur_reach_flops(l: &Csc, parent: &[usize], bt: &Csc) -> usize {
+pub fn schur_reach_flops<S: Scalar>(l: &CscOf<S>, parent: &[usize], bt: &CscOf<S>) -> usize {
     let n = l.ncols();
     let mut mark = vec![false; n];
     let mut flops = 0usize;
@@ -140,7 +140,7 @@ mod tests {
     use super::*;
     use crate::solver::{CholOptions, Engine, SparseCholesky};
     use sc_order::Ordering;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     fn laplace_1d(n: usize) -> Csc {
         let mut c = Coo::new(n, n);

@@ -8,9 +8,12 @@
 //! the TRSM kernels and extractable like CHOLMOD's factor.
 
 use crate::symbolic::{ereach, Symbolic};
-use sc_sparse::Csc;
+use sc_dense::Scalar;
+use sc_sparse::CscOf;
 
 /// Numeric breakdown: the matrix is not positive definite at some pivot.
+/// The offending diagonal is widened to `f64` regardless of the working
+/// precision so the error type stays scalar-free.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FactorError {
     /// Pivot column where the breakdown occurred.
@@ -32,13 +35,17 @@ impl std::fmt::Display for FactorError {
 impl std::error::Error for FactorError {}
 
 /// Numeric factorization of the (permuted, full-symmetric) matrix `a` using
-/// a precomputed symbolic analysis. Returns `L` as CSC.
-pub fn simplicial_factorize(a: &Csc, sym: &Symbolic) -> Result<Csc, FactorError> {
+/// a precomputed symbolic analysis. Returns `L` as CSC in the same working
+/// precision as `a`.
+pub fn simplicial_factorize<S: Scalar>(
+    a: &CscOf<S>,
+    sym: &Symbolic,
+) -> Result<CscOf<S>, FactorError> {
     let n = sym.n;
     assert_eq!(a.ncols(), n);
     assert_eq!(a.nrows(), n);
     let nnz = sym.nnz();
-    let mut l_vals = vec![0.0f64; nnz];
+    let mut l_vals = vec![S::ZERO; nnz];
     let l_cols = sym.col_ptr.clone();
     let l_rows = sym.row_idx.clone();
 
@@ -47,7 +54,7 @@ pub fn simplicial_factorize(a: &Csc, sym: &Symbolic) -> Result<Csc, FactorError>
     for j in 0..n {
         fill[j] = l_cols[j] + 1;
     }
-    let mut x = vec![0.0f64; n]; // dense scratch for the current row
+    let mut x = vec![S::ZERO; n]; // dense scratch for the current row
     let mut mark = vec![0usize; n];
     let mut stack = vec![0usize; n];
     let mut pattern: Vec<usize> = Vec::new();
@@ -57,7 +64,7 @@ pub fn simplicial_factorize(a: &Csc, sym: &Symbolic) -> Result<Csc, FactorError>
         pattern.clear();
         ereach(a, k, &sym.parent, &mut mark, &mut stack, &mut pattern);
         let (rows, vals) = a.col(k);
-        let mut d = 0.0;
+        let mut d = S::ZERO;
         for (&i, &v) in rows.iter().zip(vals) {
             if i > k {
                 break;
@@ -71,7 +78,7 @@ pub fn simplicial_factorize(a: &Csc, sym: &Symbolic) -> Result<Csc, FactorError>
         // sparse solve: process pattern in (provided) topological order
         for &j in &pattern {
             let xj = x[j];
-            x[j] = 0.0;
+            x[j] = S::ZERO;
             let dj = l_vals[l_cols[j]]; // diagonal of column j
             let lkj = xj / dj;
             // update x with column j entries filled so far (rows < k)
@@ -84,22 +91,22 @@ pub fn simplicial_factorize(a: &Csc, sym: &Symbolic) -> Result<Csc, FactorError>
             l_vals[fill[j]] = lkj;
             fill[j] += 1;
         }
-        if d <= 0.0 || !d.is_finite() {
+        if d <= S::ZERO || !d.is_finite() {
             return Err(FactorError {
                 column: k,
-                value: d,
+                value: d.to_f64(),
             });
         }
         l_vals[l_cols[k]] = d.sqrt();
     }
-    Ok(Csc::from_parts(n, n, l_cols, l_rows, l_vals))
+    Ok(CscOf::from_parts(n, n, l_cols, l_rows, l_vals))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::symbolic::analyze;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     fn laplace_2d(nx: usize) -> Csc {
         // 5-point Laplacian on nx × nx grid + small diagonal shift (SPD)
@@ -191,6 +198,19 @@ mod tests {
         let sym = analyze(&a);
         let err = simplicial_factorize(&a, &sym).unwrap_err();
         assert_eq!(err.column, 1);
+    }
+
+    #[test]
+    fn f32_factor_tracks_f64() {
+        let a = laplace_2d(5);
+        let sym = analyze(&a);
+        let l64 = simplicial_factorize(&a, &sym).unwrap();
+        let l32 = simplicial_factorize(&a.cast::<f32>(), &sym).unwrap();
+        let d = sc_dense::max_abs_diff(
+            l64.to_dense().as_ref(),
+            l32.cast::<f64>().to_dense().as_ref(),
+        );
+        assert!(d < 1e-4, "f32 factor drift {d}");
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! preprocessing stages (paper §2.2).
 
 use crate::simplicial::{simplicial_factorize, FactorError};
-use crate::supernodal::{supernodal_factorize, SupernodalFactor, SupernodalSymbolic};
+use crate::supernodal::{supernodal_factorize, SupernodalFactorOf, SupernodalSymbolic};
 use crate::symbolic::{analyze, Symbolic};
+use sc_dense::Scalar;
 use sc_order::Ordering;
-use sc_sparse::{Csc, Perm};
+use sc_sparse::{CscOf, Perm};
 
 /// Numeric engine selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,30 +38,38 @@ impl Default for CholOptions {
     }
 }
 
-enum NumericFactor {
-    Simplicial(Csc),
-    Supernodal(SupernodalFactor),
+enum NumericFactor<S> {
+    Simplicial(CscOf<S>),
+    Supernodal(SupernodalFactorOf<S>),
 }
 
-/// A factorized SPD sparse matrix `A = Pᵀ L Lᵀ P`.
-pub struct SparseCholesky {
+/// A factorized SPD sparse matrix `A = Pᵀ L Lᵀ P`, generic over the working
+/// precision. The [`SparseCholesky`] alias pins `f64`.
+pub struct SparseCholeskyOf<S = f64> {
     perm: Perm,
     sym: Symbolic,
     ssym: Option<SupernodalSymbolic>,
-    numeric: NumericFactor,
+    numeric: NumericFactor<S>,
     engine: Engine,
 }
 
-impl SparseCholesky {
+/// `f64` sparse Cholesky (the historical default working precision).
+pub type SparseCholesky = SparseCholeskyOf<f64>;
+
+impl<S: Scalar> SparseCholeskyOf<S> {
     /// Analyze and factorize `a` (full-symmetric CSC) in one call.
-    pub fn factorize(a: &Csc, opts: CholOptions) -> Result<Self, FactorError> {
+    pub fn factorize(a: &CscOf<S>, opts: CholOptions) -> Result<Self, FactorError> {
         let perm = opts.ordering.compute(a);
         Self::factorize_with_perm(a, perm, opts.engine)
     }
 
     /// Factorize with an externally computed permutation (the FETI pipeline
     /// computes orderings once in its initialization stage and reuses them).
-    pub fn factorize_with_perm(a: &Csc, perm: Perm, engine: Engine) -> Result<Self, FactorError> {
+    pub fn factorize_with_perm(
+        a: &CscOf<S>,
+        perm: Perm,
+        engine: Engine,
+    ) -> Result<Self, FactorError> {
         let ap = a.sym_perm(&perm);
         let sym = analyze(&ap);
         let (ssym, numeric) = match engine {
@@ -74,7 +83,7 @@ impl SparseCholesky {
                 (Some(ssym), NumericFactor::Supernodal(f))
             }
         };
-        Ok(SparseCholesky {
+        Ok(SparseCholeskyOf {
             perm,
             sym,
             ssym,
@@ -86,7 +95,7 @@ impl SparseCholesky {
     /// Re-run the numeric factorization for a matrix with the **same
     /// pattern** but new values (the multi-step scenario of §2.2: symbolic
     /// factorization is skipped).
-    pub fn refactorize(&mut self, a: &Csc) -> Result<(), FactorError> {
+    pub fn refactorize(&mut self, a: &CscOf<S>) -> Result<(), FactorError> {
         let ap = a.sym_perm(&self.perm);
         self.numeric = match self.engine {
             Engine::Simplicial => NumericFactor::Simplicial(simplicial_factorize(&ap, &self.sym)?),
@@ -116,7 +125,7 @@ impl SparseCholesky {
 
     /// Extract the factor `L` as CSC (in permuted index space). For the
     /// supernodal engine this materializes the panels.
-    pub fn factor_csc(&self) -> Csc {
+    pub fn factor_csc(&self) -> CscOf<S> {
         match &self.numeric {
             NumericFactor::Simplicial(l) => l.clone(),
             NumericFactor::Supernodal(f) => f.to_csc(),
@@ -124,7 +133,7 @@ impl SparseCholesky {
     }
 
     /// Borrow the simplicial factor without copying (None for supernodal).
-    pub fn factor_csc_ref(&self) -> Option<&Csc> {
+    pub fn factor_csc_ref(&self) -> Option<&CscOf<S>> {
         match &self.numeric {
             NumericFactor::Simplicial(l) => Some(l),
             NumericFactor::Supernodal(_) => None,
@@ -132,14 +141,14 @@ impl SparseCholesky {
     }
 
     /// Solve `A x = b`; `b` is in original (unpermuted) index space.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve(&self, b: &[S]) -> Vec<S> {
         let mut x = self.perm.apply(b); // x_perm[new] = b[old]
         self.solve_permuted_in_place(&mut x);
         self.perm.apply_inverse(&x)
     }
 
     /// Solve in permuted index space, in place (both triangular solves).
-    pub fn solve_permuted_in_place(&self, x: &mut [f64]) {
+    pub fn solve_permuted_in_place(&self, x: &mut [S]) {
         match &self.numeric {
             NumericFactor::Simplicial(l) => {
                 sc_sparse::csc_lower_solve(l, x);
@@ -153,7 +162,7 @@ impl SparseCholesky {
     }
 
     /// Forward solve only (`L y = P b`), in permuted space, in place.
-    pub fn solve_fwd_permuted(&self, x: &mut [f64]) {
+    pub fn solve_fwd_permuted(&self, x: &mut [S]) {
         match &self.numeric {
             NumericFactor::Simplicial(l) => sc_sparse::csc_lower_solve(l, x),
             NumericFactor::Supernodal(f) => f.solve_fwd(x),
@@ -161,7 +170,7 @@ impl SparseCholesky {
     }
 
     /// Backward solve only (`Lᵀ x = y`), in permuted space, in place.
-    pub fn solve_bwd_permuted(&self, x: &mut [f64]) {
+    pub fn solve_bwd_permuted(&self, x: &mut [S]) {
         match &self.numeric {
             NumericFactor::Simplicial(l) => sc_sparse::csc_lower_t_solve(l, x),
             NumericFactor::Supernodal(f) => f.solve_bwd(x),
@@ -180,7 +189,7 @@ impl SparseCholesky {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     fn laplace_2d(nx: usize) -> Csc {
         let n = nx * nx;
@@ -304,6 +313,34 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1).collect();
         let x = f.solve(&b);
         assert!(residual_inf(&a2, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn f32_solver_tracks_f64_solution() {
+        let a = laplace_2d(8);
+        let n = a.ncols();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
+        let f64s = SparseCholesky::factorize(&a, CholOptions::default()).unwrap();
+        let x64 = f64s.solve(&b);
+        let a32 = a.cast::<f32>();
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect(); // sc-analyze: allow(precision-discipline)
+        for engine in [Engine::Simplicial, Engine::Supernodal] {
+            let f32s = SparseCholeskyOf::<f32>::factorize(
+                &a32,
+                CholOptions {
+                    ordering: Ordering::NestedDissection,
+                    engine,
+                },
+            )
+            .unwrap();
+            let x32 = f32s.solve(&b32);
+            for i in 0..n {
+                assert!(
+                    (f64::from(x32[i]) - x64[i]).abs() < 1e-3,
+                    "{engine:?} drift at {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use crate::etree::{postorder, NONE};
 use crate::simplicial::FactorError;
 use crate::symbolic::Symbolic;
-use sc_dense::{partial_cholesky_in_place, Mat};
-use sc_sparse::Csc;
+use sc_dense::{partial_cholesky_in_place, MatOf, Scalar};
+use sc_sparse::CscOf;
 
 /// Supernode partition and assembly-tree structure derived from a
 /// [`Symbolic`] analysis.
@@ -86,31 +86,36 @@ impl SupernodalSymbolic {
     }
 }
 
-/// Numeric supernodal factor: one dense trapezoidal panel per supernode.
+/// Numeric supernodal factor: one dense trapezoidal panel per supernode,
+/// generic over the working precision. The [`SupernodalFactor`] alias pins
+/// `f64`.
 #[derive(Clone, Debug)]
-pub struct SupernodalFactor {
+pub struct SupernodalFactorOf<S = f64> {
     /// Dimension.
     pub n: usize,
     /// Per-supernode `|R| × nb` panels; column `i` holds `L[R[i..], c0 + i]`
     /// in rows `i..` (the strictly-upper part of the panel is zero).
-    pub panels: Vec<Mat>,
+    pub panels: Vec<MatOf<S>>,
     /// Shared structure.
     pub ssym: SupernodalSymbolic,
 }
 
+/// `f64` supernodal factor (the historical default working precision).
+pub type SupernodalFactor = SupernodalFactorOf<f64>;
+
 /// Numeric multifrontal factorization of the (permuted, full-symmetric)
 /// matrix `a`.
-pub fn supernodal_factorize(
-    a: &Csc,
+pub fn supernodal_factorize<S: Scalar>(
+    a: &CscOf<S>,
     sym: &Symbolic,
     ssym: &SupernodalSymbolic,
-) -> Result<SupernodalFactor, FactorError> {
+) -> Result<SupernodalFactorOf<S>, FactorError> {
     let n = sym.n;
     assert_eq!(a.ncols(), n);
     let nsuper = ssym.nsuper();
-    let mut panels: Vec<Option<Mat>> = vec![None; nsuper];
+    let mut panels: Vec<Option<MatOf<S>>> = vec![None; nsuper];
     // Child updates waiting for their parent: (front row list tail, matrix).
-    let mut updates: Vec<Option<(Vec<usize>, Mat)>> = vec![None; nsuper];
+    let mut updates: Vec<Option<(Vec<usize>, MatOf<S>)>> = vec![None; nsuper];
     // children lists in assembly tree
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); nsuper];
     for s in 0..nsuper {
@@ -128,7 +133,7 @@ pub fn supernodal_factorize(
         for (local, &g) in r.iter().enumerate() {
             pos[g] = local;
         }
-        let mut front = Mat::zeros(nr, nr);
+        let mut front = MatOf::<S>::zeros(nr, nr);
         // scatter A's lower-triangle entries of the supernode's columns
         for c in c0..c1 {
             let (rows_a, vals_a) = a.col(c);
@@ -174,7 +179,7 @@ pub fn supernodal_factorize(
             pos[g] = usize::MAX;
         }
     }
-    Ok(SupernodalFactor {
+    Ok(SupernodalFactorOf {
         n,
         panels: panels
             .into_iter()
@@ -184,10 +189,10 @@ pub fn supernodal_factorize(
     })
 }
 
-impl SupernodalFactor {
+impl<S: Scalar> SupernodalFactorOf<S> {
     /// Export the factor as a plain CSC matrix (rows sorted, diagonal first)
     /// — the "factor extraction" capability the GPU paths need.
-    pub fn to_csc(&self) -> Csc {
+    pub fn to_csc(&self) -> CscOf<S> {
         let nsuper = self.ssym.nsuper();
         let mut col_ptr = vec![0usize; self.n + 1];
         for s in 0..nsuper {
@@ -202,7 +207,7 @@ impl SupernodalFactor {
         }
         let nnz = col_ptr[self.n];
         let mut row_idx = vec![0usize; nnz];
-        let mut values = vec![0f64; nnz];
+        let mut values = vec![S::ZERO; nnz];
         for s in 0..nsuper {
             let (c0, c1) = self.ssym.cols(s);
             let r = &self.ssym.rows[s];
@@ -214,11 +219,11 @@ impl SupernodalFactor {
                 }
             }
         }
-        Csc::from_parts(self.n, self.n, col_ptr, row_idx, values)
+        CscOf::from_parts(self.n, self.n, col_ptr, row_idx, values)
     }
 
     /// Forward solve `L x = b` in place using the dense panels.
-    pub fn solve_fwd(&self, x: &mut [f64]) {
+    pub fn solve_fwd(&self, x: &mut [S]) {
         assert_eq!(x.len(), self.n);
         for s in 0..self.ssym.nsuper() {
             let (c0, c1) = self.ssym.cols(s);
@@ -229,7 +234,7 @@ impl SupernodalFactor {
             sc_dense::trsv_lower(panel.as_ref().sub(0, 0, nb, nb), &mut x[c0..c1]);
             // propagate to below rows
             for (k, &g) in r[nb..].iter().enumerate() {
-                let mut s_acc = 0.0;
+                let mut s_acc = S::ZERO;
                 for j in 0..nb {
                     s_acc += panel[(nb + k, j)] * x[c0 + j];
                 }
@@ -239,7 +244,7 @@ impl SupernodalFactor {
     }
 
     /// Backward solve `Lᵀ x = b` in place using the dense panels.
-    pub fn solve_bwd(&self, x: &mut [f64]) {
+    pub fn solve_bwd(&self, x: &mut [S]) {
         assert_eq!(x.len(), self.n);
         for s in (0..self.ssym.nsuper()).rev() {
             let (c0, c1) = self.ssym.cols(s);
@@ -279,7 +284,7 @@ mod tests {
     use super::*;
     use crate::simplicial::simplicial_factorize;
     use crate::symbolic::analyze;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     fn laplace_2d(nx: usize) -> Csc {
         let n = nx * nx;

@@ -9,7 +9,8 @@
 //! leans on for multi-step simulations (§2.2).
 
 use crate::etree::{etree, NONE};
-use sc_sparse::Csc;
+use sc_dense::Scalar;
+use sc_sparse::CscOf;
 
 /// Result of the symbolic analysis of a (permuted) symmetric matrix.
 #[derive(Clone, Debug)]
@@ -36,13 +37,13 @@ impl Symbolic {
     }
 
     /// Fill-in ratio `|L| / |tril(A)|` (test/bench diagnostic).
-    pub fn fill_ratio(&self, a: &Csc) -> f64 {
+    pub fn fill_ratio<S: Scalar>(&self, a: &CscOf<S>) -> f64 {
         let mut tril = 0usize;
         for j in 0..a.ncols() {
             let (rows, _) = a.col(j);
             tril += rows.iter().filter(|&&i| i >= j).count();
         }
-        self.nnz() as f64 / tril as f64
+        self.nnz() as f64 / tril as f64 // sc-analyze: allow(precision-discipline)
     }
 }
 
@@ -50,8 +51,8 @@ impl Symbolic {
 /// entries of column `k` of `A`. Appends the pattern (excluding `k` itself)
 /// into `out` in **topological order** (ancestors after descendants) and
 /// leaves `mark` clean. `stack` is scratch of length >= n.
-pub(crate) fn ereach(
-    a: &Csc,
+pub(crate) fn ereach<S: Scalar>(
+    a: &CscOf<S>,
     k: usize,
     parent: &[usize],
     mark: &mut [usize],
@@ -90,8 +91,9 @@ pub(crate) fn ereach(
 }
 
 /// Compute the symbolic factorization of the full-symmetric matrix `a`
-/// (already permuted).
-pub fn analyze(a: &Csc) -> Symbolic {
+/// (already permuted). Only the pattern is read, so any element scalar is
+/// accepted.
+pub fn analyze<S: Scalar>(a: &CscOf<S>) -> Symbolic {
     let n = a.ncols();
     assert_eq!(a.nrows(), n);
     let parent = etree(a);
@@ -140,7 +142,7 @@ pub fn analyze(a: &Csc) -> Symbolic {
 
 impl Symbolic {
     /// Recompute the row pattern of row `k` (test helper).
-    pub fn row_pattern(&self, a: &Csc, k: usize) -> Vec<usize> {
+    pub fn row_pattern<S: Scalar>(&self, a: &CscOf<S>, k: usize) -> Vec<usize> {
         let mut mark = vec![0usize; self.n];
         let mut stack = vec![0usize; self.n];
         let mut out = Vec::new();
@@ -152,7 +154,7 @@ impl Symbolic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     fn tridiag(n: usize) -> Csc {
         let mut c = Coo::new(n, n);

@@ -130,10 +130,10 @@ impl Geometry {
     fn spacing(&self) -> (f64, f64, f64) {
         let (sx, sy, sz) = self.subs;
         (
-            1.0 / (self.c * sx) as f64,
-            1.0 / (self.c * sy) as f64,
+            1.0 / (self.c * sx) as f64, // sc-analyze: allow(precision-discipline)
+            1.0 / (self.c * sy) as f64, // sc-analyze: allow(precision-discipline)
             if self.dim == 3 {
-                1.0 / (self.c * sz) as f64
+                1.0 / (self.c * sz) as f64 // sc-analyze: allow(precision-discipline)
             } else {
                 1.0
             },
@@ -362,7 +362,7 @@ fn assemble_subdomain(geo: &Geometry, si: usize, sj: usize, sk: usize) -> Subdom
                 for (step, &axis) in p.iter().enumerate() {
                     cur[axis] += 1;
                     for d in 0..3 {
-                        verts[step + 1][d] = cur[d] as f64 * h[d];
+                        verts[step + 1][d] = cur[d] as f64 * h[d]; // sc-analyze: allow(precision-discipline)
                     }
                 }
                 tet_stiffness(verts)

@@ -267,7 +267,7 @@ pub fn measure_apply_cost(
     reps: usize,
 ) -> ApplyCost {
     let p: Vec<f64> = (0..problem.n_lambda)
-        .map(|i| ((i % 13) as f64) - 6.0)
+        .map(|i| ((i % 13) as f64) - 6.0) // sc-analyze: allow(precision-discipline)
         .collect();
     let apply_once = || {
         let locals: Vec<Vec<f64>> = problem
@@ -296,7 +296,7 @@ pub fn measure_apply_cost(
             apply_once();
         }
         ApplyCost {
-            per_iteration_s: device.synchronize() / reps as f64,
+            per_iteration_s: device.synchronize() / reps as f64, // sc-analyze: allow(precision-discipline)
         }
     } else {
         let t = Instant::now();
@@ -304,7 +304,7 @@ pub fn measure_apply_cost(
             apply_once();
         }
         ApplyCost {
-            per_iteration_s: t.elapsed().as_secs_f64() / reps as f64,
+            per_iteration_s: t.elapsed().as_secs_f64() / reps as f64, // sc-analyze: allow(precision-discipline)
         }
     }
 }

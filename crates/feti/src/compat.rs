@@ -43,14 +43,14 @@ pub enum DualMode {
     /// §4.4 scheduler.
     #[deprecated(
         since = "0.2.0",
-        note = "use FetiSolverBuilder::backend(Backend::Gpu { device, schedule }) \
+        note = "use FetiSolverBuilder::backend(Backend::gpu_with(device, schedule)) \
                 .formulation(FormulationChoice::Explicit).assembly(cfg)"
     )]
     ExplicitGpuScheduled(ScConfig, Arc<Device>, ScheduleOptions),
     /// Explicit dense `F̃ᵢ`, sharded across a pool of simulated GPUs.
     #[deprecated(
         since = "0.2.0",
-        note = "use FetiSolverBuilder::backend(Backend::Cluster { pool, opts }) \
+        note = "use FetiSolverBuilder::backend(Backend::cluster_with(pool, opts)) \
                 .formulation(FormulationChoice::Explicit).assembly(cfg)"
     )]
     ExplicitGpuCluster {
@@ -65,7 +65,7 @@ pub enum DualMode {
     /// model, subject to the device arena capacities.
     #[deprecated(
         since = "0.2.0",
-        note = "use FetiSolverBuilder::backend(Backend::Cluster { pool, opts }) \
+        note = "use FetiSolverBuilder::backend(Backend::cluster_with(pool, opts)) \
                 .formulation(FormulationChoice::Auto(plan)).assembly(cfg)"
     )]
     Hybrid {
@@ -97,34 +97,25 @@ pub(crate) fn plan_of(opts: &FetiOptions) -> ExecPlan {
         },
         DualMode::ExplicitGpu(cfg, device) => ExecPlan {
             cfg: *cfg,
-            backend: Backend::Gpu {
-                device: Arc::clone(device),
-                schedule: ScheduleOptions::default().with_policy(StreamPolicy::RoundRobin),
-            },
+            backend: Backend::gpu_with(
+                Arc::clone(device),
+                ScheduleOptions::default().with_policy(StreamPolicy::RoundRobin),
+            ),
             formulation: FormulationChoice::Explicit,
         },
         DualMode::ExplicitGpuScheduled(cfg, device, sched) => ExecPlan {
             cfg: *cfg,
-            backend: Backend::Gpu {
-                device: Arc::clone(device),
-                schedule: sched.clone(),
-            },
+            backend: Backend::gpu_with(Arc::clone(device), sched.clone()),
             formulation: FormulationChoice::Explicit,
         },
         DualMode::ExplicitGpuCluster { cfg, pool, opts } => ExecPlan {
             cfg: *cfg,
-            backend: Backend::Cluster {
-                pool: Arc::clone(pool),
-                opts: opts.clone(),
-            },
+            backend: Backend::cluster_with(Arc::clone(pool), opts.clone()),
             formulation: FormulationChoice::Explicit,
         },
         DualMode::Hybrid { cfg, pool, opts } => ExecPlan {
             cfg: *cfg,
-            backend: Backend::Cluster {
-                pool: Arc::clone(pool),
-                opts: opts.cluster.clone(),
-            },
+            backend: Backend::cluster_with(Arc::clone(pool), opts.cluster.clone()),
             formulation: FormulationChoice::Auto(opts.plan.clone()),
         },
     }

@@ -3,11 +3,11 @@
 
 use crate::regularize::regularize_fixing_node;
 use sc_core::{assemble_sc, CpuExec, GpuExec, ScConfig};
-use sc_dense::Mat;
+use sc_dense::{Mat, Scalar};
 use sc_factor::{Engine, SparseCholesky};
 use sc_fem::Subdomain;
 use sc_gpu::GpuKernels;
-use sc_sparse::Csc;
+use sc_sparse::{Csc, CscOf};
 
 /// Hoisted gather/scatter index map of `B̃ᵢᵀ`, flattened column-major:
 /// column `j` of the gluing block owns `rows[offsets[j]..offsets[j+1]]` with
@@ -15,22 +15,27 @@ use sc_sparse::Csc;
 /// redundant gluing). Precomputed **once** per subdomain so the implicit
 /// dual-operator application resolves its boundary permutation by direct
 /// indexed loops instead of re-walking the sparse matrix machinery every
-/// PCPG iteration.
-pub struct BoundaryMap {
+/// PCPG iteration. Generic over the working precision: the mixed-precision
+/// refinement keeps a demoted `f32` copy next to the `f64` one
+/// ([`BoundaryMap`]).
+pub struct BoundaryMapOf<S = f64> {
     /// Per-column offsets into `rows`/`coeffs` (`n_lambda + 1` entries).
     offsets: Vec<usize>,
     /// Factor-space row of each stored coefficient.
     rows: Vec<usize>,
     /// Coefficient values (the B̃ signs).
-    coeffs: Vec<f64>,
+    coeffs: Vec<S>,
     /// Factor dimension (length of the dof-space work vector).
     n_rows: usize,
 }
 
-impl BoundaryMap {
+/// The `f64` boundary map (the historical default working precision).
+pub type BoundaryMap = BoundaryMapOf<f64>;
+
+impl<S: Scalar> BoundaryMapOf<S> {
     /// Extract the map from the row-permuted gluing block.
-    pub fn of(bt_perm: &Csc) -> Self {
-        BoundaryMap {
+    pub fn of(bt_perm: &CscOf<S>) -> Self {
+        BoundaryMapOf {
             offsets: bt_perm.col_ptr().to_vec(),
             rows: bt_perm.row_idx().to_vec(),
             coeffs: bt_perm.values().to_vec(),
@@ -50,12 +55,12 @@ impl BoundaryMap {
 
     /// Scatter `t = B̃ᵀ p̃` into the (pre-zeroed) dof-space vector `t` —
     /// bitwise identical to `bt_perm.spmv(1.0, p, 0.0, t)`.
-    pub fn scatter(&self, p: &[f64], t: &mut [f64]) {
+    pub fn scatter(&self, p: &[S], t: &mut [S]) {
         debug_assert_eq!(p.len(), self.n_lambda());
         debug_assert_eq!(t.len(), self.n_rows);
         for (j, &pj) in p.iter().enumerate() {
             // sc-analyze: allow(float-eq)
-            if pj != 0.0 {
+            if pj != S::ZERO {
                 for k in self.offsets[j]..self.offsets[j + 1] {
                     t[self.rows[k]] += pj * self.coeffs[k];
                 }
@@ -65,11 +70,11 @@ impl BoundaryMap {
 
     /// Gather `out = B̃ t` from the dof-space vector — bitwise identical to
     /// `bt_perm.spmv_t(1.0, t, 0.0, out)`.
-    pub fn gather(&self, t: &[f64], out: &mut [f64]) {
+    pub fn gather(&self, t: &[S], out: &mut [S]) {
         debug_assert_eq!(out.len(), self.n_lambda());
         debug_assert_eq!(t.len(), self.n_rows);
         for (j, oj) in out.iter_mut().enumerate() {
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for k in self.offsets[j]..self.offsets[j + 1] {
                 s += self.coeffs[k] * t[self.rows[k]];
             }

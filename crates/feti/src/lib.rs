@@ -15,6 +15,7 @@ pub mod approaches;
 pub mod compat;
 pub mod dualop;
 pub mod pcpg;
+pub mod refine;
 pub mod regularize;
 pub mod solver;
 
@@ -23,9 +24,12 @@ pub use approaches::{
     PreprocessReport,
 };
 pub use dualop::{
-    apply_implicit, apply_implicit_with, BoundaryMap, DualOperator, SubdomainFactors,
+    apply_implicit, apply_implicit_with, BoundaryMap, BoundaryMapOf, DualOperator, SubdomainFactors,
 };
-pub use pcpg::{pcpg_preconditioned, PcpgBreakdown, PcpgResult, PcpgStats};
+pub use pcpg::{
+    pcpg_preconditioned, pcpg_preconditioned_of, PcpgBreakdown, PcpgResult, PcpgResultOf, PcpgStats,
+};
+pub use refine::{DemotedFactors, RefinementStats};
 pub use regularize::regularize_fixing_node;
 pub use solver::{
     DualMode, FetiOptions, FetiSolution, FetiSolver, FetiSolverBuilder, FormulationChoice,

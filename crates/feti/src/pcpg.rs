@@ -5,8 +5,14 @@
 //! `P = I − G(GᵀG)⁻¹Gᵀ` is the natural coarse projector. Written against
 //! closures so it is testable with toy operators and reusable for every dual
 //! operator implementation.
+//!
+//! The iteration is generic over the working precision
+//! ([`pcpg_preconditioned_of`]): the mixed-precision refinement outer loop
+//! runs the inner solve at `f32` while tolerances, statistics, and breakdown
+//! diagnostics stay `f64`. The [`pcpg`] / [`pcpg_preconditioned`] wrappers
+//! pin `f64` and are bitwise identical to the historical implementation.
 
-use sc_dense::dot;
+use sc_dense::{dot, Scalar};
 
 /// Why PCPG stopped before reaching the tolerance or exhausting the
 /// iteration budget.
@@ -49,14 +55,18 @@ pub struct PcpgStats {
     pub breakdown: Option<PcpgBreakdown>,
 }
 
-/// Result of a PCPG run.
+/// Result of a PCPG run at working precision `S`. The [`PcpgResult`] alias
+/// pins the historical `f64`.
 #[derive(Clone, Debug)]
-pub struct PcpgResult {
-    /// The dual solution `λ`.
-    pub lambda: Vec<f64>,
-    /// Convergence statistics.
+pub struct PcpgResultOf<S = f64> {
+    /// The dual solution `λ`, at the iteration's working precision.
+    pub lambda: Vec<S>,
+    /// Convergence statistics (always reported in `f64`).
     pub stats: PcpgStats,
 }
+
+/// Result of an `f64` PCPG run.
+pub type PcpgResult = PcpgResultOf<f64>;
 
 /// Run PCPG (unpreconditioned: the preconditioner is the identity).
 ///
@@ -83,12 +93,31 @@ pub fn pcpg(
 pub fn pcpg_preconditioned(
     d: &[f64],
     lambda0: Vec<f64>,
-    mut apply_f: impl FnMut(&[f64]) -> Vec<f64>,
-    mut project: impl FnMut(&[f64]) -> Vec<f64>,
-    mut precond: impl FnMut(&[f64]) -> Vec<f64>,
+    apply_f: impl FnMut(&[f64]) -> Vec<f64>,
+    project: impl FnMut(&[f64]) -> Vec<f64>,
+    precond: impl FnMut(&[f64]) -> Vec<f64>,
     tol: f64,
     max_iter: usize,
 ) -> PcpgResult {
+    pcpg_preconditioned_of::<f64>(d, lambda0, apply_f, project, precond, tol, max_iter)
+}
+
+/// Run PCPG at working precision `S` (the generic engine behind
+/// [`pcpg_preconditioned`]). All vector arithmetic — dots, axpys, the
+/// recursive residual — happens in `S`; the tolerance test and the reported
+/// statistics are `f64` (widening from `f32` is exact, and monomorphized at
+/// `f64` this is bitwise the historical iteration). The mixed-precision
+/// refinement loop drives this at `S = f32` for its inner correction
+/// solves.
+pub fn pcpg_preconditioned_of<S: Scalar>(
+    d: &[S],
+    lambda0: Vec<S>,
+    mut apply_f: impl FnMut(&[S]) -> Vec<S>,
+    mut project: impl FnMut(&[S]) -> Vec<S>,
+    mut precond: impl FnMut(&[S]) -> Vec<S>,
+    tol: f64,
+    max_iter: usize,
+) -> PcpgResultOf<S> {
     let m = d.len();
     let mut lambda = lambda0;
     assert_eq!(lambda.len(), m);
@@ -96,7 +125,7 @@ pub fn pcpg_preconditioned(
     // instrument the operator: every application counted, wherever it
     // happens (search directions, confirmations, honest-exit residual)
     let mut applications = 0usize;
-    let mut apply_f = |p: &[f64]| {
+    let mut apply_f = |p: &[S]| {
         applications += 1;
         apply_f(p)
     };
@@ -106,8 +135,8 @@ pub fn pcpg_preconditioned(
         dot(&pd, &pd).sqrt()
     };
     // sc-analyze: allow(float-eq)
-    if norm0 == 0.0 {
-        return PcpgResult {
+    if norm0.to_f64() == 0.0 {
+        return PcpgResultOf {
             lambda,
             stats: PcpgStats {
                 iterations: 0,
@@ -122,14 +151,14 @@ pub fn pcpg_preconditioned(
     // the true projected residual P(d − Fλ) — the single definition behind
     // the initial residual, the convergence confirmation, and the final
     // reported statistic
-    fn true_residual(
-        d: &[f64],
-        lambda: &[f64],
-        apply_f: &mut impl FnMut(&[f64]) -> Vec<f64>,
-        project: &mut impl FnMut(&[f64]) -> Vec<f64>,
-    ) -> Vec<f64> {
+    fn true_residual<S: Scalar>(
+        d: &[S],
+        lambda: &[S],
+        apply_f: &mut impl FnMut(&[S]) -> Vec<S>,
+        project: &mut impl FnMut(&[S]) -> Vec<S>,
+    ) -> Vec<S> {
         let flam = apply_f(lambda);
-        let r: Vec<f64> = d.iter().zip(&flam).map(|(di, fi)| di - fi).collect();
+        let r: Vec<S> = d.iter().zip(&flam).map(|(&di, &fi)| di - fi).collect();
         project(&r)
     }
 
@@ -145,7 +174,7 @@ pub fn pcpg_preconditioned(
     let mut breakdown = None;
 
     loop {
-        if dot(&w, &w).sqrt() / norm0 <= tol {
+        if (dot(&w, &w).sqrt() / norm0).to_f64() <= tol {
             if w_is_true {
                 break; // confirmed on the true residual
             }
@@ -153,7 +182,7 @@ pub fn pcpg_preconditioned(
             // the freshly recomputed true projected residual
             w = true_residual(d, &lambda, &mut apply_f, &mut project);
             w_is_true = true;
-            if dot(&w, &w).sqrt() / norm0 <= tol {
+            if (dot(&w, &w).sqrt() / norm0).to_f64() <= tol {
                 break;
             }
             // false convergence — restart the recursion from the truth
@@ -167,12 +196,12 @@ pub fn pcpg_preconditioned(
         }
         let fp = apply_f(&p);
         let pfp = dot(&p, &fp);
-        if pfp <= 0.0 {
-            breakdown = Some(PcpgBreakdown::IndefiniteOperator { pfp });
+        if pfp.to_f64() <= 0.0 {
+            breakdown = Some(PcpgBreakdown::IndefiniteOperator { pfp: pfp.to_f64() });
             break;
         }
-        if wz <= 0.0 {
-            breakdown = Some(PcpgBreakdown::IndefinitePreconditioner { wz });
+        if wz.to_f64() <= 0.0 {
+            breakdown = Some(PcpgBreakdown::IndefinitePreconditioner { wz: wz.to_f64() });
             break;
         }
         let gamma = wz / pfp;
@@ -199,8 +228,8 @@ pub fn pcpg_preconditioned(
     if !w_is_true {
         w = true_residual(d, &lambda, &mut apply_f, &mut project);
     }
-    let rel_residual = dot(&w, &w).sqrt() / norm0;
-    PcpgResult {
+    let rel_residual = (dot(&w, &w).sqrt() / norm0).to_f64();
+    PcpgResultOf {
         lambda,
         stats: PcpgStats {
             iterations,

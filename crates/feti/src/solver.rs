@@ -11,13 +11,14 @@
 
 use crate::dualop::{DualOperator, SubdomainFactors};
 use crate::pcpg::PcpgStats;
+use crate::refine::{F32Op, RefinementStats, INNER_TOL};
 use rayon::prelude::*;
 use sc_core::{
     estimate_apply, estimate_cost, plan_hybrid, AssemblyReport, AssemblySession, Backend,
     BatchReport, ClusterOptions, ClusterReport, DeviceSlot, Formulation, HybridPlan,
-    HybridPlanOptions, HybridSummary, LazyBatch, ScConfig,
+    HybridPlanOptions, HybridSummary, LazyBatch, Precision, ScConfig, Target,
 };
-use sc_dense::Mat;
+use sc_dense::{Mat, Scalar};
 use sc_factor::Engine;
 use sc_fem::HeatProblem;
 use sc_gpu::{DevicePool, GpuKernels};
@@ -178,8 +179,13 @@ pub struct FetiSolution {
     pub u_locals: Vec<Vec<f64>>,
     /// The dual solution `λ`.
     pub lambda: Vec<f64>,
-    /// PCPG statistics.
+    /// PCPG statistics. For the mixed-precision path, `iterations` counts
+    /// the inner (`f32`) iterations and `rel_residual` is the final `f64`
+    /// true residual.
     pub stats: PcpgStats,
+    /// Mixed-precision refinement statistics; `None` under the default
+    /// full-`f64` precision.
+    pub refinement: Option<RefinementStats>,
 }
 
 /// Roll-up of one hybrid preprocessing run in the legacy three-report
@@ -298,6 +304,7 @@ pub struct FetiSolverBuilder {
     cfg: ScConfig,
     backend: Option<Backend>,
     formulation: FormulationChoice,
+    precision: Option<Precision>,
 }
 
 impl FetiSolverBuilder {
@@ -333,11 +340,24 @@ impl FetiSolverBuilder {
         self
     }
 
+    /// Set the working precision, overriding the backend's. Under
+    /// [`Precision::F32Refined`] the explicit operators are assembled and
+    /// applied at `f32` and every solve wraps the inner PCPG in an `f64`
+    /// iterative-refinement loop ([`FetiSolution::refinement`]).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
     /// Run preprocessing and return the reusable solver handle.
     pub fn build<'p>(self, problem: &'p HeatProblem) -> FetiSolver<'p> {
+        let mut backend = self.backend.unwrap_or_else(Backend::cpu);
+        if let Some(p) = self.precision {
+            backend.precision = p;
+        }
         let plan = ExecPlan {
             cfg: self.cfg,
-            backend: self.backend.unwrap_or_else(Backend::cpu),
+            backend,
             formulation: self.formulation,
         };
         FetiSolver::build_with_plan(problem, self.opts, plan)
@@ -393,6 +413,11 @@ pub struct FetiSolver<'p> {
     /// `Some` for the explicit and hybrid modes; the implicit mode applies
     /// through `factors` directly.
     explicit_ops: Option<Vec<OpSlot>>,
+    /// Working precision captured from the backend at construction.
+    precision: Precision,
+    /// Demoted (`f32`) operator slots for the mixed-precision inner solves;
+    /// `Some` exactly when `precision` is [`Precision::F32Refined`].
+    f32_ops: Option<Vec<F32Op>>,
     /// Sparse `G = B R` (`n_lambda × n_kernels`).
     g: Csc,
     /// Dense Cholesky factor of `GᵀG`.
@@ -426,6 +451,7 @@ impl<'p> FetiSolver<'p> {
         opts: FetiOptions,
         plan: ExecPlan,
     ) -> Self {
+        let precision = plan.backend.precision;
         // per-subdomain factorizations in parallel (the paper's loop over the
         // cluster's subdomains, one thread per subdomain)
         let factors: Vec<SubdomainFactors> = problem
@@ -466,8 +492,8 @@ impl<'p> FetiSolver<'p> {
         // derive the legacy report shapes once, for the deprecated accessors
         let (legacy_assembly, legacy_cluster) = match (&plan.formulation, &report) {
             (FormulationChoice::Explicit, Some(rep)) => {
-                let cluster = match &plan.backend {
-                    Backend::Cluster { .. } | Backend::Hybrid { .. } => rep.to_cluster_report(),
+                let cluster = match &plan.backend.target {
+                    Target::Cluster { .. } | Target::Hybrid { .. } => rep.to_cluster_report(),
                     _ => None,
                 };
                 (Some(rep.to_batch_report()), cluster)
@@ -526,11 +552,32 @@ impl<'p> FetiSolver<'p> {
             l
         };
 
+        // demote the operators once for the mixed-precision inner solves:
+        // explicit slots reuse the (f32-assembled, exactly promoted) dense
+        // F̃ᵢ, everything else demotes its factor bundle
+        let f32_ops: Option<Vec<F32Op>> = precision.is_f32().then(|| {
+            (0..factors.len())
+                .into_par_iter()
+                .map(|i| {
+                    let explicit = explicit_ops.as_ref().and_then(|ops| match &ops[i] {
+                        OpSlot::Own(op) => op.explicit_matrix(),
+                        OpSlot::SharedImplicit { .. } => None,
+                    });
+                    match explicit {
+                        Some(f) => F32Op::Explicit(f.cast::<f32>()),
+                        None => F32Op::implicit(&factors[i]),
+                    }
+                })
+                .collect()
+        });
+
         let mut solver = FetiSolver {
             problem,
             opts,
             factors,
             explicit_ops,
+            precision,
+            f32_ops,
             g,
             gtg,
             kernel_col,
@@ -777,7 +824,34 @@ impl<'p> FetiSolver<'p> {
             self.g.spmv(1.0, &y, 0.0, &mut l0);
             l0
         };
-        let res = crate::pcpg::pcpg_preconditioned(
+        let (lambda, stats, refinement) = match self.precision {
+            Precision::F64 => {
+                let res = self.pcpg_f64(opts, d, lambda0);
+                (res.lambda, res.stats, None)
+            }
+            Precision::F32Refined {
+                refine_tol,
+                max_refine,
+            } => self.solve_refined(opts, d, lambda0, refine_tol, max_refine),
+        };
+        let u_locals = self.recover_primal_with(&lambda, d, f_locals);
+        FetiSolution {
+            u_locals,
+            lambda,
+            stats,
+            refinement,
+        }
+    }
+
+    /// The full-`f64` PCPG solve (the historical path; also the
+    /// mixed-precision fallback).
+    fn pcpg_f64(
+        &self,
+        opts: &FetiOptions,
+        d: &[f64],
+        lambda0: Vec<f64>,
+    ) -> crate::pcpg::PcpgResult {
+        crate::pcpg::pcpg_preconditioned(
             d,
             lambda0,
             |p| self.apply_f(p),
@@ -788,13 +862,165 @@ impl<'p> FetiSolver<'p> {
             },
             opts.tol,
             opts.max_iter,
-        );
-        let u_locals = self.recover_primal_with(&res.lambda, d, f_locals);
-        FetiSolution {
-            u_locals,
-            lambda: res.lambda,
-            stats: res.stats,
+        )
+    }
+
+    /// Apply the demoted dual operator at `f32` (the mixed-precision inner
+    /// solve's hot path): same gather/apply/scatter structure as
+    /// [`FetiSolver::apply_f`], accumulating in single precision.
+    fn apply_f32(&self, p: &[f32]) -> Vec<f32> {
+        let ops = self
+            .f32_ops
+            .as_ref()
+            .expect("f32 operators exist under the refined precision");
+        let locals: Vec<Vec<f32>> = self
+            .problem
+            .subdomains
+            .par_iter()
+            .enumerate()
+            .map(|(i, sd)| {
+                let pl: Vec<f32> = sd.lambda_ids.iter().map(|&gl| p[gl]).collect();
+                let mut ql = vec![0.0f32; sd.n_lambda()];
+                ops[i].apply(&pl, &mut ql);
+                ql
+            })
+            .collect();
+        let mut q = vec![0.0f32; self.problem.n_lambda];
+        for (sd, ql) in self.problem.subdomains.iter().zip(&locals) {
+            for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
+                q[gl] += ql[ll];
+            }
         }
+        q
+    }
+
+    /// Mixed-precision iterative refinement (the `F32Refined` solve path):
+    /// the outer loop measures the true projected residual `r = P(d − Fλ)`
+    /// and accumulates corrections in `f64`; each correction solves
+    /// `F δ = r` with the **`f32`** PCPG against the demoted operators. The
+    /// correction is re-projected in `f64` before the update so the coarse
+    /// constraint `Gᵀλ = e` never degrades to single precision. When the
+    /// residual stalls or the refinement budget runs out, the solve falls
+    /// back to the full-`f64` PCPG from the best iterate.
+    fn solve_refined(
+        &self,
+        opts: &FetiOptions,
+        d: &[f64],
+        lambda0: Vec<f64>,
+        refine_tol: f64,
+        max_refine: usize,
+    ) -> (Vec<f64>, PcpgStats, Option<RefinementStats>) {
+        let m = d.len();
+        let norm0 = {
+            let pd = self.project(d);
+            sc_dense::dot(&pd, &pd).sqrt()
+        };
+        // sc-analyze: allow(float-eq)
+        if norm0 == 0.0 {
+            let stats = PcpgStats {
+                iterations: 0,
+                operator_applications: 0,
+                rel_residual: 0.0,
+                converged: true,
+                breakdown: None,
+            };
+            let refinement = RefinementStats {
+                outer_iterations: 0,
+                inner_iterations: 0,
+                rel_residual: 0.0,
+                converged: true,
+                fell_back: false,
+            };
+            return (lambda0, stats, Some(refinement));
+        }
+
+        let mut lambda = lambda0;
+        let mut outer = 0usize;
+        let mut inner_total = 0usize;
+        let mut applications = 0usize;
+        let mut rel;
+        let mut prev_rel = f64::INFINITY;
+        loop {
+            // f64 truth: r = P(d − Fλ) through the full-precision operator
+            let flam = self.apply_f(&lambda);
+            applications += 1;
+            let resid: Vec<f64> = d.iter().zip(&flam).map(|(di, fi)| di - fi).collect();
+            let r = self.project(&resid);
+            rel = sc_dense::dot(&r, &r).sqrt() / norm0;
+            if rel <= refine_tol {
+                break;
+            }
+            // stalled (single precision can push no further) or out of
+            // budget: hand over to the f64 fallback below
+            if outer >= max_refine || rel >= 0.5 * prev_rel {
+                break;
+            }
+            prev_rel = rel;
+
+            // inner f32 correction solve F δ = r over the Gᵀδ = 0 subspace;
+            // projector and preconditioner round-trip through their f64
+            // implementations (the operator applications are the hot path
+            // and run natively at f32)
+            let r32 = demote(&r);
+            let res = crate::pcpg::pcpg_preconditioned_of::<f32>(
+                &r32,
+                vec![0.0f32; m],
+                |p| self.apply_f32(p),
+                |x| demote(&self.project(&promote(x))),
+                |w| match opts.preconditioner {
+                    Preconditioner::None => w.to_vec(),
+                    Preconditioner::Lumped => demote(&self.apply_lumped(&promote(w))),
+                },
+                INNER_TOL,
+                opts.max_iter,
+            );
+            inner_total += res.stats.iterations;
+            applications += res.stats.operator_applications;
+            // promote the correction and re-project in f64: the f32 iterate
+            // satisfies Gᵀδ = 0 only to single precision, and the coarse
+            // constraint must hold at the accumulation precision
+            let delta = self.project(&promote(&res.lambda));
+            for (li, di) in lambda.iter_mut().zip(&delta) {
+                *li += di;
+            }
+            outer += 1;
+        }
+
+        if rel <= refine_tol {
+            let stats = PcpgStats {
+                iterations: inner_total,
+                operator_applications: applications,
+                rel_residual: rel,
+                converged: true,
+                breakdown: None,
+            };
+            let refinement = RefinementStats {
+                outer_iterations: outer,
+                inner_iterations: inner_total,
+                rel_residual: rel,
+                converged: true,
+                fell_back: false,
+            };
+            (lambda, stats, Some(refinement))
+        } else {
+            // refinement failed to reach the target: fall back to the
+            // historical full-f64 PCPG from the best iterate (Gᵀλ = e still
+            // holds, so it is a legal warm start)
+            let res = self.pcpg_f64(opts, d, lambda);
+            let refinement = RefinementStats {
+                outer_iterations: outer,
+                inner_iterations: inner_total,
+                rel_residual: res.stats.rel_residual,
+                converged: res.stats.converged,
+                fell_back: true,
+            };
+            (res.lambda, res.stats, Some(refinement))
+        }
+    }
+
+    /// The working precision captured from the backend at construction.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Primal recovery for the problem's own loads: `α = (GᵀG)⁻¹Gᵀ(Fλ − d)`,
@@ -853,6 +1079,16 @@ impl<'p> FetiSolver<'p> {
     }
 }
 
+/// Exact widening of a dual vector to `f64` (mixed-precision boundary).
+fn promote(x: &[f32]) -> Vec<f64> {
+    x.iter().map(|&v| f64::from(v)).collect()
+}
+
+/// Rounding demotion of a dual vector to `f32` (mixed-precision boundary).
+fn demote(x: &[f64]) -> Vec<f32> {
+    x.iter().map(|&v| f32::from_f64(v)).collect()
+}
+
 /// Bind each assembled `F̃ᵢ` to its operator slot: subdomains the report
 /// placed on a device get a device-resident GEMV operator on the stream
 /// their schedule used; host subdomains (CPU backend, hybrid spills) get
@@ -863,19 +1099,17 @@ fn bind_ops(f: Vec<Mat>, report: &AssemblyReport, backend: &Backend) -> Vec<OpSl
         .map(|(i, mat)| {
             let t = &report.subdomains[i];
             debug_assert_eq!(t.index, i, "report timings must be in batch order");
-            let op = match (backend, t.device, t.stream) {
-                (Backend::Gpu { device, .. }, Some(_), Some(s)) => DualOperator::ExplicitGpu {
+            let op = match (&backend.target, t.device, t.stream) {
+                (Target::Gpu { device, .. }, Some(_), Some(s)) => DualOperator::ExplicitGpu {
                     f: mat,
                     kernels: GpuKernels::new(device.stream(s)),
                 },
-                (
-                    Backend::Cluster { pool, .. } | Backend::Hybrid { pool, .. },
-                    Some(d),
-                    Some(s),
-                ) => DualOperator::ExplicitGpu {
-                    f: mat,
-                    kernels: GpuKernels::new(pool.device(d).stream(s)),
-                },
+                (Target::Cluster { pool, .. } | Target::Hybrid { pool, .. }, Some(d), Some(s)) => {
+                    DualOperator::ExplicitGpu {
+                        f: mat,
+                        kernels: GpuKernels::new(pool.device(d).stream(s)),
+                    }
+                }
                 _ => DualOperator::ExplicitCpu(mat),
             };
             OpSlot::Own(op)
@@ -895,11 +1129,11 @@ fn assemble_auto(
 ) -> (Vec<OpSlot>, AssemblyReport, HybridReport) {
     // the pool the explicit-GPU share may run on: the backend's own pool, a
     // single-device pool for the GPU backend, or an empty pool on the host
-    let (pool, cluster_opts): (Arc<DevicePool>, ClusterOptions) = match backend {
-        Backend::Cluster { pool, opts } | Backend::Hybrid { pool, opts } => {
+    let (pool, cluster_opts): (Arc<DevicePool>, ClusterOptions) = match &backend.target {
+        Target::Cluster { pool, opts } | Target::Hybrid { pool, opts } => {
             (Arc::clone(pool), opts.clone())
         }
-        Backend::Gpu { device, schedule } => {
+        Target::Gpu { device, schedule } => {
             let mut opts = ClusterOptions::default().with_policy(schedule.policy);
             if let Some(r) = &schedule.ready_at {
                 opts = opts.with_ready_at(r.clone());
@@ -963,10 +1197,7 @@ fn assemble_auto(
             .map(|r| gpu_idx.iter().map(|&g| r[g]).collect());
         let gpu_items: Vec<&SubdomainFactors> = gpu_idx.iter().map(|&g| &factors[g]).collect();
         let session = AssemblySession::new(
-            Backend::Cluster {
-                pool: Arc::clone(&pool),
-                opts: share_opts,
-            },
+            Backend::cluster_with(Arc::clone(&pool), share_opts).precision(backend.precision),
             *cfg,
         );
         let res = session.assemble(LazyBatch::new(
@@ -998,7 +1229,7 @@ fn assemble_auto(
     let mut cpu_batch_legacy: Option<BatchReport> = None;
     if !cpu_idx.is_empty() {
         let cpu_items: Vec<&SubdomainFactors> = cpu_idx.iter().map(|&g| &factors[g]).collect();
-        let session = AssemblySession::new(Backend::cpu(), *cfg);
+        let session = AssemblySession::new(Backend::cpu().precision(backend.precision), *cfg);
         let res = session.assemble(LazyBatch::new(
             &cpu_items,
             |_, f: &&SubdomainFactors| Cow::Owned(f.chol.factor_csc()),
@@ -1041,6 +1272,7 @@ fn assemble_auto(
     let realized_gpu = gpu_report.as_ref().map_or(0.0, |g| g.makespan);
     let realized_cpu = cpu_report.as_ref().map_or(0.0, |c| c.total_seconds);
     let arena_high_water = gpu_report.as_ref().map_or(0, |g| g.temp_high_water());
+    unified.precision = backend.precision;
     unified.hybrid = Some(HybridSummary {
         plan: Some(plan.clone()),
         formulation: plan.choices.iter().map(|c| c.formulation).collect(),
@@ -1049,6 +1281,7 @@ fn assemble_auto(
         realized_gpu_seconds: realized_gpu,
         realized_cpu_seconds: realized_cpu,
         arena_high_water,
+        precision: backend.precision,
     });
 
     let legacy = HybridReport {
@@ -1484,14 +1717,103 @@ mod tests {
     }
 
     #[test]
+    fn f32_refined_explicit_matches_direct_at_f64_accuracy() {
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        let solver = FetiSolverBuilder::new()
+            .backend(Backend::cpu())
+            .precision(Precision::f32_refined())
+            .formulation(FormulationChoice::Explicit)
+            .assembly(ScConfig::optimized(false, false))
+            .build(&p);
+        assert!(solver.precision().is_f32());
+        check_solver(&p, &solver, 1e-6);
+        let sol = solver.solve();
+        let refinement = sol.refinement.expect("refined path reports stats");
+        assert!(refinement.converged && !refinement.fell_back);
+        assert!(
+            refinement.rel_residual <= 1e-10,
+            "refined residual {} must reach the f64-level target",
+            refinement.rel_residual
+        );
+        assert!(refinement.outer_iterations >= 1);
+        assert!(refinement.inner_iterations >= refinement.outer_iterations);
+        // the assembly itself ran at f32 and says so in the report
+        let report = solver.report().expect("explicit mode reports");
+        assert!(report.precision.is_f32());
+    }
+
+    #[test]
+    fn f32_refined_implicit_3d_matches_direct() {
+        // no explicit assembly: the inner solves run through the demoted
+        // factor bundles (f32 triangular solves)
+        let p = HeatProblem::build_3d(2, (2, 2, 1), Gluing::Redundant);
+        let solver = FetiSolverBuilder::new()
+            .precision(Precision::f32_refined())
+            .build(&p);
+        check_solver(&p, &solver, 1e-6);
+        let sol = solver.solve();
+        let refinement = sol.refinement.expect("refined path reports stats");
+        assert!(refinement.converged && !refinement.fell_back);
+        assert!(refinement.rel_residual <= 1e-10);
+    }
+
+    #[test]
+    fn f32_refined_lambda_tracks_the_f64_solution() {
+        let p = HeatProblem::build_2d(5, (3, 2), Gluing::Redundant);
+        let s64 = FetiSolverBuilder::new().build(&p).solve();
+        let s32 = FetiSolverBuilder::new()
+            .precision(Precision::f32_refined())
+            .build(&p)
+            .solve();
+        assert!(
+            s64.refinement.is_none(),
+            "f64 path must not report refinement"
+        );
+        assert!(s32.refinement.is_some());
+        let scale = s64.lambda.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
+        for i in 0..s64.lambda.len() {
+            assert!(
+                (s32.lambda[i] - s64.lambda[i]).abs() < 1e-7 * scale,
+                "λ[{i}]: refined {} vs f64 {}",
+                s32.lambda[i],
+                s64.lambda[i]
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_budget_exhaustion_falls_back_to_f64() {
+        // one outer iteration cannot reach 1e-14 from an O(1) residual at
+        // inner tolerance 1e-4: the budget runs out and the solver must
+        // fall back to the full-f64 PCPG instead of returning a bad λ
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        let solver = FetiSolverBuilder::new()
+            .precision(Precision::F32Refined {
+                refine_tol: 1e-14,
+                max_refine: 1,
+            })
+            .build(&p);
+        let sol = solver.solve();
+        let refinement = sol.refinement.expect("refined path reports stats");
+        assert!(refinement.fell_back, "budget exhaustion must fall back");
+        assert_eq!(refinement.outer_iterations, 1);
+        assert!(
+            sol.stats.converged,
+            "the f64 fallback must still converge: {:?}",
+            sol.stats
+        );
+        check_solver(&p, &solver, 1e-6);
+    }
+
+    #[test]
     fn auto_on_gpu_backend_uses_a_single_device_pool() {
         let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
         let dev = Device::new(DeviceSpec::a100(), 2);
         let solver = FetiSolverBuilder::new()
-            .backend(Backend::Gpu {
-                device: Arc::clone(&dev),
-                schedule: ScheduleOptions::default().with_policy(StreamPolicy::LptLeastLoaded),
-            })
+            .backend(Backend::gpu_with(
+                Arc::clone(&dev),
+                ScheduleOptions::default().with_policy(StreamPolicy::LptLeastLoaded),
+            ))
             .formulation(FormulationChoice::Auto(
                 HybridPlanOptions::default()
                     .with_force(HybridForce::AllExplicit)

@@ -1,5 +1,16 @@
 //! Kernel cost descriptors and cost builders for the BLAS/sparse-BLAS kernel
 //! set the Schur assembler uses.
+//!
+//! Every builder that moves matrix values has a `_of::<S>` variant pricing
+//! bytes at `S::BYTES` per element (`f32` halves value traffic; index
+//! traffic stays 8 bytes). The unsuffixed names pin `f64` and are bitwise
+//! identical to the historical constants.
+
+use sc_dense::Scalar;
+
+/// Bytes of one stored index (row/column ids are always `usize`-sized on
+/// device; the cost model charges 8 regardless of value precision).
+const INDEX_BYTES: f64 = 8.0;
 
 /// Work performed by one kernel launch.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,87 +47,133 @@ impl KernelCost {
         }
     }
 
-    /// H2D transfer of a CSC matrix with `nnz` stored entries: ~16 bytes per
-    /// entry (8-byte index + 8-byte value; pointer array is noise). The
-    /// single home of the sparse-transfer cost model — `GpuKernels` and the
-    /// scheduled batch driver's cost recorder both use it.
-    pub fn csc_transfer(nnz: usize) -> Self {
+    /// H2D transfer of a CSC matrix with `nnz` stored entries in precision
+    /// `S`: 8-byte index + one `S` value per entry (pointer array is noise).
+    /// The single home of the sparse-transfer cost model — `GpuKernels` and
+    /// the scheduled batch driver's cost recorder both use it.
+    pub fn csc_transfer_of<S: Scalar>(nnz: usize) -> Self {
         KernelCost {
             label: "upload_csc",
-            ..KernelCost::transfer(16.0 * nnz as f64)
+            ..KernelCost::transfer((INDEX_BYTES + S::BYTES as f64) * nnz as f64)
         }
     }
 
-    /// Dense TRSM `L X = B`: factor `n × n`, RHS `n × m`.
-    pub fn trsm_dense(n: usize, m: usize) -> Self {
+    /// H2D transfer of an `f64` CSC matrix (16 bytes per stored entry).
+    pub fn csc_transfer(nnz: usize) -> Self {
+        Self::csc_transfer_of::<f64>(nnz)
+    }
+
+    /// Dense TRSM `L X = B` in precision `S`: factor `n × n`, RHS `n × m`.
+    pub fn trsm_dense_of<S: Scalar>(n: usize, m: usize) -> Self {
         let flops = n as f64 * n as f64 * m as f64; // n²m (triangular)
-        let bytes = 8.0 * (0.5 * n as f64 * n as f64 + 2.0 * n as f64 * m as f64);
+        let bytes = S::BYTES as f64 * (0.5 * n as f64 * n as f64 + 2.0 * n as f64 * m as f64);
         KernelCost {
             label: "trsm_dense",
             ..KernelCost::compute(flops, bytes)
         }
     }
 
-    /// Sparse TRSM with a CSC/CSR factor of `nnz` non-zeros and `m` RHS
-    /// columns: every factor entry touches every RHS column once.
-    pub fn trsm_sparse(nnz: usize, m: usize) -> Self {
+    /// Dense `f64` TRSM.
+    pub fn trsm_dense(n: usize, m: usize) -> Self {
+        Self::trsm_dense_of::<f64>(n, m)
+    }
+
+    /// Sparse TRSM in precision `S` with a CSC/CSR factor of `nnz` non-zeros
+    /// and `m` RHS columns: every factor entry touches every RHS column once.
+    pub fn trsm_sparse_of<S: Scalar>(nnz: usize, m: usize) -> Self {
         let flops = 2.0 * nnz as f64 * m as f64;
         // sparse kernels are memory-heavier per flop (index traffic, poor
         // locality): charge the factor read per column block of 32
         let col_blocks = (m as f64 / 32.0).ceil().max(1.0);
-        let bytes = 8.0 * (2.0 * nnz as f64) * col_blocks + 16.0 * nnz as f64;
+        let bytes = S::BYTES as f64 * (2.0 * nnz as f64) * col_blocks
+            + (INDEX_BYTES + S::BYTES as f64) * nnz as f64;
         KernelCost {
             label: "trsm_sparse",
             ..KernelCost::compute(flops, bytes)
         }
     }
 
-    /// SYRK `C += Aᵀ A` with `A` `k × n` (output `n × n`, lower triangle).
-    pub fn syrk(n: usize, k: usize) -> Self {
+    /// Sparse `f64` TRSM.
+    pub fn trsm_sparse(nnz: usize, m: usize) -> Self {
+        Self::trsm_sparse_of::<f64>(nnz, m)
+    }
+
+    /// SYRK `C += Aᵀ A` in precision `S` with `A` `k × n` (output `n × n`,
+    /// lower triangle).
+    pub fn syrk_of<S: Scalar>(n: usize, k: usize) -> Self {
         let flops = n as f64 * n as f64 * k as f64; // n²k (half of 2n²k)
-        let bytes = 8.0 * (n as f64 * k as f64 + 0.5 * n as f64 * n as f64);
+        let bytes = S::BYTES as f64 * (n as f64 * k as f64 + 0.5 * n as f64 * n as f64);
         KernelCost {
             label: "syrk",
             ..KernelCost::compute(flops, bytes)
         }
     }
 
-    /// GEMM `C += A B` with `A` `m × k`, `B` `k × n`.
-    pub fn gemm(m: usize, n: usize, k: usize) -> Self {
+    /// `f64` SYRK.
+    pub fn syrk(n: usize, k: usize) -> Self {
+        Self::syrk_of::<f64>(n, k)
+    }
+
+    /// GEMM `C += A B` in precision `S` with `A` `m × k`, `B` `k × n`.
+    pub fn gemm_of<S: Scalar>(m: usize, n: usize, k: usize) -> Self {
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
-        let bytes = 8.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
+        let bytes =
+            S::BYTES as f64 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
         KernelCost {
             label: "gemm",
             ..KernelCost::compute(flops, bytes)
         }
     }
 
-    /// Sparse-times-dense GEMM with `nnz` stored entries against `n` columns.
-    pub fn spmm(nnz: usize, n: usize) -> Self {
+    /// `f64` GEMM.
+    pub fn gemm(m: usize, n: usize, k: usize) -> Self {
+        Self::gemm_of::<f64>(m, n, k)
+    }
+
+    /// Sparse-times-dense GEMM in precision `S` with `nnz` stored entries
+    /// against `n` columns.
+    pub fn spmm_of<S: Scalar>(nnz: usize, n: usize) -> Self {
         let flops = 2.0 * nnz as f64 * n as f64;
-        let bytes = 16.0 * nnz as f64 + 8.0 * nnz as f64 * (n as f64 / 16.0).ceil();
+        let bytes = (INDEX_BYTES + S::BYTES as f64) * nnz as f64
+            + S::BYTES as f64 * nnz as f64 * (n as f64 / 16.0).ceil();
         KernelCost {
             label: "spmm",
             ..KernelCost::compute(flops, bytes)
         }
     }
 
-    /// Gather/scatter of `count` elements (pruning compaction, permutation).
-    pub fn gather(count: usize) -> Self {
+    /// `f64` sparse-times-dense GEMM.
+    pub fn spmm(nnz: usize, n: usize) -> Self {
+        Self::spmm_of::<f64>(nnz, n)
+    }
+
+    /// Gather/scatter of `count` elements in precision `S` (pruning
+    /// compaction, permutation): one index read + one value move per element.
+    pub fn gather_of<S: Scalar>(count: usize) -> Self {
         KernelCost {
             label: "gather",
-            ..KernelCost::compute(0.0, 16.0 * count as f64)
+            ..KernelCost::compute(0.0, (INDEX_BYTES + S::BYTES as f64) * count as f64)
         }
     }
 
-    /// Dense GEMV `y = A x` for `m × n` A.
-    pub fn gemv(m: usize, n: usize) -> Self {
+    /// Gather/scatter of `count` `f64` elements.
+    pub fn gather(count: usize) -> Self {
+        Self::gather_of::<f64>(count)
+    }
+
+    /// Dense GEMV `y = A x` in precision `S` for `m × n` A.
+    pub fn gemv_of<S: Scalar>(m: usize, n: usize) -> Self {
         let flops = 2.0 * m as f64 * n as f64;
-        let bytes = 8.0 * (m as f64 * n as f64);
+        let bytes = S::BYTES as f64 * (m as f64 * n as f64);
         KernelCost {
             label: "gemv",
             ..KernelCost::compute(flops, bytes)
         }
+    }
+
+    /// Dense `f64` GEMV.
+    pub fn gemv(m: usize, n: usize) -> Self {
+        Self::gemv_of::<f64>(m, n)
     }
 
     /// `Err` with a descriptive message when the cost carries NaN, infinite,
@@ -179,6 +236,57 @@ mod tests {
         let s = KernelCost::syrk(10, 20);
         let g = KernelCost::gemm(10, 10, 20);
         assert!((s.flops * 2.0 - g.flops).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_value_bytes_are_exactly_half_of_f64() {
+        // pure value traffic: no index bytes in the model → exact halving
+        for (a, b) in [
+            (
+                KernelCost::trsm_dense_of::<f32>(64, 8),
+                KernelCost::trsm_dense_of::<f64>(64, 8),
+            ),
+            (
+                KernelCost::syrk_of::<f32>(16, 64),
+                KernelCost::syrk_of::<f64>(16, 64),
+            ),
+            (
+                KernelCost::gemm_of::<f32>(8, 8, 8),
+                KernelCost::gemm_of::<f64>(8, 8, 8),
+            ),
+            (
+                KernelCost::gemv_of::<f32>(32, 32),
+                KernelCost::gemv_of::<f64>(32, 32),
+            ),
+        ] {
+            assert_eq!(a.bytes * 2.0, b.bytes, "{}", a.label);
+            assert_eq!(a.flops, b.flops, "{} flops are width-independent", a.label);
+        }
+    }
+
+    #[test]
+    fn f32_csc_transfer_keeps_full_index_bytes() {
+        // 8-byte index + 4-byte value = 12 B/entry, vs 16 B/entry for f64
+        let t32 = KernelCost::csc_transfer_of::<f32>(100);
+        let t64 = KernelCost::csc_transfer_of::<f64>(100);
+        assert_eq!(t32.bytes, 1200.0);
+        assert_eq!(t64.bytes, 1600.0);
+        // the value portion alone halves exactly
+        let idx = 8.0 * 100.0;
+        assert_eq!((t32.bytes - idx) * 2.0, t64.bytes - idx);
+    }
+
+    #[test]
+    fn unsuffixed_builders_pin_f64() {
+        assert_eq!(
+            KernelCost::trsm_sparse(500, 16),
+            KernelCost::trsm_sparse_of::<f64>(500, 16)
+        );
+        assert_eq!(
+            KernelCost::spmm(500, 16),
+            KernelCost::spmm_of::<f64>(500, 16)
+        );
+        assert_eq!(KernelCost::gather(64), KernelCost::gather_of::<f64>(64));
     }
 
     #[test]

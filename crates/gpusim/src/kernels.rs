@@ -10,8 +10,8 @@
 use crate::cost::KernelCost;
 use crate::timeline::{SimSpan, Stream};
 use parking_lot::Mutex;
-use sc_dense::{MatMut, MatRef, Trans};
-use sc_sparse::Csc;
+use sc_dense::{MatMutOf, MatRefOf, Scalar, Trans};
+use sc_sparse::CscOf;
 
 /// Kernel-set facade bound to one stream.
 ///
@@ -97,16 +97,18 @@ impl GpuKernels {
         self.submit(&KernelCost::transfer(bytes as f64))
     }
 
-    /// Simulated H2D upload of a CSC matrix (16 bytes per stored entry, see
-    /// [`KernelCost::csc_transfer`] — the single home of the sparse-transfer
-    /// cost model). Used by every explicit-GPU preprocessing path.
-    pub fn upload_csc(&self, m: &Csc) -> SimSpan {
-        self.submit(&KernelCost::csc_transfer(m.nnz()))
+    /// Simulated H2D upload of a CSC matrix (8-byte index + one value of
+    /// the working precision per stored entry, see
+    /// [`KernelCost::csc_transfer_of`] — the single home of the
+    /// sparse-transfer cost model). Used by every explicit-GPU
+    /// preprocessing path.
+    pub fn upload_csc<S: Scalar>(&self, m: &CscOf<S>) -> SimSpan {
+        self.submit(&KernelCost::csc_transfer_of::<S>(m.nnz()))
     }
 
     /// Dense TRSM: solve `L X = B` in place (`L` lower triangular).
-    pub fn trsm_dense(&self, l: MatRef<'_>, b: MatMut<'_>) -> SimSpan {
-        let cost = KernelCost::trsm_dense(l.nrows(), b.ncols());
+    pub fn trsm_dense<S: Scalar>(&self, l: MatRefOf<'_, S>, b: MatMutOf<'_, S>) -> SimSpan {
+        let cost = KernelCost::trsm_dense_of::<S>(l.nrows(), b.ncols());
         if !self.cost_only {
             sc_dense::trsm_lower_left(l, b);
         }
@@ -114,8 +116,8 @@ impl GpuKernels {
     }
 
     /// Sparse TRSM: solve `L X = B` in place with a CSC factor.
-    pub fn trsm_sparse(&self, l: &Csc, b: MatMut<'_>) -> SimSpan {
-        let cost = KernelCost::trsm_sparse(l.nnz(), b.ncols());
+    pub fn trsm_sparse<S: Scalar>(&self, l: &CscOf<S>, b: MatMutOf<'_, S>) -> SimSpan {
+        let cost = KernelCost::trsm_sparse_of::<S>(l.nnz(), b.ncols());
         if !self.cost_only {
             sc_sparse::csc_lower_solve_mat(l, b);
         }
@@ -124,22 +126,22 @@ impl GpuKernels {
 
     /// Dense GEMM `C = alpha op(A) op(B) + beta C`.
     #[allow(clippy::too_many_arguments)]
-    pub fn gemm(
+    pub fn gemm<S: Scalar>(
         &self,
-        alpha: f64,
-        a: MatRef<'_>,
+        alpha: S,
+        a: MatRefOf<'_, S>,
         ta: Trans,
-        b: MatRef<'_>,
+        b: MatRefOf<'_, S>,
         tb: Trans,
-        beta: f64,
-        c: MatMut<'_>,
+        beta: S,
+        c: MatMutOf<'_, S>,
     ) -> SimSpan {
         let (m, n) = (c.nrows(), c.ncols());
         let k = match ta {
             Trans::No => a.ncols(),
             Trans::Yes => a.nrows(),
         };
-        let cost = KernelCost::gemm(m, n, k);
+        let cost = KernelCost::gemm_of::<S>(m, n, k);
         if !self.cost_only {
             sc_dense::gemm(alpha, a, ta, b, tb, beta, c);
         }
@@ -147,15 +149,15 @@ impl GpuKernels {
     }
 
     /// Sparse-dense GEMM `C = alpha A B + beta C` (`A` CSC).
-    pub fn spmm(
+    pub fn spmm<S: Scalar>(
         &self,
-        alpha: f64,
-        a: &Csc,
-        b: MatRef<'_>,
-        beta: f64,
-        mut c: MatMut<'_>,
+        alpha: S,
+        a: &CscOf<S>,
+        b: MatRefOf<'_, S>,
+        beta: S,
+        mut c: MatMutOf<'_, S>,
     ) -> SimSpan {
-        let cost = KernelCost::spmm(a.nnz(), b.ncols());
+        let cost = KernelCost::spmm_of::<S>(a.nnz(), b.ncols());
         if !self.cost_only {
             a.spmm(alpha, b, beta, &mut c);
         }
@@ -163,22 +165,41 @@ impl GpuKernels {
     }
 
     /// SYRK `C(lower) = alpha Aᵀ A + beta C`.
-    pub fn syrk(&self, alpha: f64, a: MatRef<'_>, beta: f64, c: MatMut<'_>) -> SimSpan {
-        let cost = KernelCost::syrk(a.ncols(), a.nrows());
+    pub fn syrk<S: Scalar>(
+        &self,
+        alpha: S,
+        a: MatRefOf<'_, S>,
+        beta: S,
+        c: MatMutOf<'_, S>,
+    ) -> SimSpan {
+        let cost = KernelCost::syrk_of::<S>(a.ncols(), a.nrows());
         if !self.cost_only {
             sc_dense::syrk_t(alpha, a, beta, c);
         }
         self.submit(&cost)
     }
 
-    /// Gather `count` scattered elements (pruning compaction, permutations).
+    /// Gather `count` scattered `f64` elements (pruning compaction,
+    /// permutations).
     pub fn gather(&self, count: usize) -> SimSpan {
         self.submit(&KernelCost::gather(count))
     }
 
+    /// Gather `count` scattered elements of precision `S`.
+    pub fn gather_of<S: Scalar>(&self, count: usize) -> SimSpan {
+        self.submit(&KernelCost::gather_of::<S>(count))
+    }
+
     /// Dense GEMV `y = alpha A x + beta y` (explicit dual operator apply).
-    pub fn gemv(&self, alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) -> SimSpan {
-        let cost = KernelCost::gemv(a.nrows(), a.ncols());
+    pub fn gemv<S: Scalar>(
+        &self,
+        alpha: S,
+        a: MatRefOf<'_, S>,
+        x: &[S],
+        beta: S,
+        y: &mut [S],
+    ) -> SimSpan {
+        let cost = KernelCost::gemv_of::<S>(a.nrows(), a.ncols());
         if !self.cost_only {
             sc_dense::gemv(alpha, a, x, beta, y);
         }

@@ -1,6 +1,7 @@
 //! Undirected adjacency structure extracted from a symmetric sparse matrix.
 
-use sc_sparse::Csc;
+use sc_dense::Scalar;
+use sc_sparse::CscOf;
 
 /// Compressed adjacency of an undirected graph (no self loops).
 #[derive(Clone, Debug)]
@@ -11,8 +12,9 @@ pub struct Graph {
 
 impl Graph {
     /// Build from a structurally symmetric CSC matrix (both triangles
-    /// stored); the diagonal is ignored.
-    pub fn from_symmetric_csc(a: &Csc) -> Self {
+    /// stored); the diagonal is ignored. Only the pattern is read, so any
+    /// element scalar is accepted.
+    pub fn from_symmetric_csc<S: Scalar>(a: &CscOf<S>) -> Self {
         assert_eq!(a.nrows(), a.ncols(), "graph needs a square matrix");
         let n = a.ncols();
         let mut ptr = vec![0usize; n + 1];

@@ -25,7 +25,8 @@ pub use md::minimum_degree;
 pub use nd::{nested_dissection, NdOptions};
 pub use rcm::rcm;
 
-use sc_sparse::{Csc, Perm};
+use sc_dense::Scalar;
+use sc_sparse::{CscOf, Perm};
 
 /// Identity (natural) ordering.
 pub fn natural(n: usize) -> Perm {
@@ -47,8 +48,9 @@ pub enum Ordering {
 
 impl Ordering {
     /// Compute the selected ordering for the symmetric matrix `a` (full
-    /// symmetric storage; only the pattern is used).
-    pub fn compute(self, a: &Csc) -> Perm {
+    /// symmetric storage; only the pattern is used, so any element scalar
+    /// is accepted).
+    pub fn compute<S: Scalar>(self, a: &CscOf<S>) -> Perm {
         let g = Graph::from_symmetric_csc(a);
         match self {
             Ordering::Natural => natural(a.ncols()),
@@ -62,7 +64,7 @@ impl Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_sparse::Coo;
+    use sc_sparse::{Coo, Csc};
 
     fn path_graph_csc(n: usize) -> Csc {
         let mut c = Coo::new(n, n);

@@ -4,24 +4,29 @@
 //! and converts once to CSC/CSR; duplicate coordinates are summed during the
 //! conversion, which is exactly the semantics element assembly needs.
 
-use crate::csc::Csc;
-use crate::csr::Csr;
+use crate::csc::CscOf;
+use crate::csr::CsrOf;
+use sc_dense::Scalar;
 
-/// Coordinate-format sparse matrix builder. Duplicates are allowed and are
-/// summed on conversion.
+/// Coordinate-format sparse matrix builder, generic over the element scalar.
+/// Duplicates are allowed and are summed on conversion. The [`Coo`] alias
+/// pins `f64`.
 #[derive(Clone, Debug, Default)]
-pub struct Coo {
+pub struct CooOf<S = f64> {
     nrows: usize,
     ncols: usize,
     rows: Vec<usize>,
     cols: Vec<usize>,
-    vals: Vec<f64>,
+    vals: Vec<S>,
 }
 
-impl Coo {
+/// `f64` COO builder (the historical default element type).
+pub type Coo = CooOf<f64>;
+
+impl<S: Scalar> CooOf<S> {
     /// New empty builder with a fixed shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Coo {
+        CooOf {
             nrows,
             ncols,
             rows: Vec::new(),
@@ -32,7 +37,7 @@ impl Coo {
 
     /// New empty builder with triplet capacity preallocated.
     pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
-        Coo {
+        CooOf {
             nrows,
             ncols,
             rows: Vec::with_capacity(cap),
@@ -58,7 +63,7 @@ impl Coo {
 
     /// Append a triplet. Panics on out-of-range coordinates.
     #[inline]
-    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+    pub fn push(&mut self, i: usize, j: usize, v: S) {
         assert!(i < self.nrows && j < self.ncols, "triplet out of range");
         self.rows.push(i);
         self.cols.push(j);
@@ -66,7 +71,7 @@ impl Coo {
     }
 
     /// Convert to CSC, summing duplicates and sorting row indices per column.
-    pub fn to_csc(&self) -> Csc {
+    pub fn to_csc(&self) -> CscOf<S> {
         // Counting sort by column, then per-column sort by row and compaction.
         let mut col_counts = vec![0usize; self.ncols + 1];
         for &c in &self.cols {
@@ -77,7 +82,7 @@ impl Coo {
         }
         let nnz = self.vals.len();
         let mut ri = vec![0usize; nnz];
-        let mut vv = vec![0f64; nnz];
+        let mut vv = vec![S::ZERO; nnz];
         let mut next = col_counts.clone();
         for t in 0..nnz {
             let c = self.cols[t];
@@ -109,11 +114,11 @@ impl Coo {
             }
             col_ptr[j + 1] = out_ri.len();
         }
-        Csc::from_parts(self.nrows, self.ncols, col_ptr, out_ri, out_vv)
+        CscOf::from_parts(self.nrows, self.ncols, col_ptr, out_ri, out_vv)
     }
 
     /// Convert to CSR, summing duplicates and sorting column indices per row.
-    pub fn to_csr(&self) -> Csr {
+    pub fn to_csr(&self) -> CsrOf<S> {
         self.to_csc().to_csr()
     }
 }
@@ -160,5 +165,14 @@ mod tests {
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.nrows(), 5);
         assert_eq!(m.ncols(), 4);
+    }
+
+    #[test]
+    fn f32_builder_converts() {
+        let mut c = CooOf::<f32>::new(2, 2);
+        c.push(0, 0, 1.5f32);
+        c.push(0, 0, 0.25f32);
+        let m = c.to_csc();
+        assert_eq!(m.get(0, 0), 1.75f32);
     }
 }

@@ -1,25 +1,30 @@
 //! Compressed sparse column storage.
 
-use crate::csr::Csr;
+use crate::csr::CsrOf;
 use crate::perm::Perm;
-use sc_dense::Mat;
+use sc_dense::{MatOf, Scalar};
 
-/// CSC sparse matrix with sorted row indices inside each column.
+/// CSC sparse matrix with sorted row indices inside each column, generic over
+/// the element scalar. The [`Csc`] alias pins `f64` (the historical element
+/// type), keeping pre-mixed-precision code compiling unchanged.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Csc {
+pub struct CscOf<S = f64> {
     nrows: usize,
     ncols: usize,
     col_ptr: Vec<usize>,
     row_idx: Vec<usize>,
-    values: Vec<f64>,
+    values: Vec<S>,
 }
 
-impl Csc {
+/// `f64` CSC matrix (the historical default element type).
+pub type Csc = CscOf<f64>;
+
+impl<S: Scalar> CscOf<S> {
     /// Build from raw parts. The O(1) shape invariants (pointer array length,
     /// first/last pointer, index/value length match) are always checked; the
     /// O(nnz) structural invariants (monotone `col_ptr`, in-range and strictly
     /// increasing row indices per column) are checked through
-    /// [`check_invariants`](Csc::check_invariants) in debug builds only —
+    /// [`check_invariants`](CscOf::check_invariants) in debug builds only —
     /// every in-crate producer (COO conversion, permutation, block
     /// extraction) maintains them by construction.
     pub fn from_parts(
@@ -27,7 +32,7 @@ impl Csc {
         ncols: usize,
         col_ptr: Vec<usize>,
         row_idx: Vec<usize>,
-        values: Vec<f64>,
+        values: Vec<S>,
     ) -> Self {
         assert_eq!(col_ptr.len(), ncols + 1, "col_ptr length");
         assert_eq!(col_ptr[0], 0, "col_ptr must start at 0");
@@ -39,7 +44,7 @@ impl Csc {
             "col_ptr end"
         );
         assert_eq!(row_idx.len(), values.len(), "index/value length mismatch");
-        let m = Csc {
+        let m = CscOf {
             nrows,
             ncols,
             col_ptr,
@@ -118,7 +123,7 @@ impl Csc {
 
     /// All-zero matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Csc {
+        CscOf {
             nrows,
             ncols,
             col_ptr: vec![0; ncols + 1],
@@ -129,12 +134,12 @@ impl Csc {
 
     /// Identity matrix of order `n`.
     pub fn identity(n: usize) -> Self {
-        Csc {
+        CscOf {
             nrows: n,
             ncols: n,
             col_ptr: (0..=n).collect(),
             row_idx: (0..n).collect(),
-            values: vec![1.0; n],
+            values: vec![S::ONE; n],
         }
     }
 
@@ -168,35 +173,35 @@ impl Csc {
 
     /// Value array.
     #[inline]
-    pub fn values(&self) -> &[f64] {
+    pub fn values(&self) -> &[S] {
         &self.values
     }
 
     /// Mutable value array (pattern stays fixed).
     #[inline]
-    pub fn values_mut(&mut self) -> &mut [f64] {
+    pub fn values_mut(&mut self) -> &mut [S] {
         &mut self.values
     }
 
     /// Row indices and values of column `j`.
     #[inline]
-    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+    pub fn col(&self, j: usize) -> (&[usize], &[S]) {
         let r = self.col_ptr[j]..self.col_ptr[j + 1];
         (&self.row_idx[r.clone()], &self.values[r])
     }
 
-    /// Entry `(i, j)` or `0.0` if not stored (binary search within column).
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    /// Entry `(i, j)` or zero if not stored (binary search within column).
+    pub fn get(&self, i: usize, j: usize) -> S {
         let (rows, vals) = self.col(j);
         match rows.binary_search(&i) {
             Ok(p) => vals[p],
-            Err(_) => 0.0,
+            Err(_) => S::ZERO,
         }
     }
 
     /// Dense copy.
-    pub fn to_dense(&self) -> Mat {
-        let mut m = Mat::zeros(self.nrows, self.ncols);
+    pub fn to_dense(&self) -> MatOf<S> {
+        let mut m = MatOf::zeros(self.nrows, self.ncols);
         for j in 0..self.ncols {
             let (rows, vals) = self.col(j);
             let mcol = m.col_mut(j);
@@ -208,7 +213,7 @@ impl Csc {
     }
 
     /// Convert to CSR (transpose of the internal layout; `O(nnz)`).
-    pub fn to_csr(&self) -> Csr {
+    pub fn to_csr(&self) -> CsrOf<S> {
         let mut row_counts = vec![0usize; self.nrows + 1];
         for &i in &self.row_idx {
             row_counts[i + 1] += 1;
@@ -217,7 +222,7 @@ impl Csc {
             row_counts[i + 1] += row_counts[i];
         }
         let mut col_idx = vec![0usize; self.nnz()];
-        let mut vals = vec![0f64; self.nnz()];
+        let mut vals = vec![S::ZERO; self.nnz()];
         let mut next = row_counts.clone();
         for j in 0..self.ncols {
             let (rows, v) = self.col(j);
@@ -228,14 +233,14 @@ impl Csc {
                 vals[p] = x;
             }
         }
-        Csr::from_parts(self.nrows, self.ncols, row_counts, col_idx, vals)
+        CsrOf::from_parts(self.nrows, self.ncols, row_counts, col_idx, vals)
     }
 
     /// Transposed copy (CSC of the transpose).
-    pub fn transpose(&self) -> Csc {
+    pub fn transpose(&self) -> CscOf<S> {
         let t = self.to_csr();
         // A CSR of A reinterpreted as CSC of Aᵀ.
-        Csc::from_parts(
+        CscOf::from_parts(
             self.ncols,
             self.nrows,
             t.row_ptr().to_vec(),
@@ -244,15 +249,31 @@ impl Csc {
         )
     }
 
+    /// Element-wise precision conversion (pattern shared, values converted
+    /// through `f64`).
+    pub fn cast<T: Scalar>(&self) -> CscOf<T> {
+        CscOf {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            col_ptr: self.col_ptr.clone(),
+            row_idx: self.row_idx.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|&v| T::from_f64(v.to_f64()))
+                .collect(),
+        }
+    }
+
     /// `y = alpha * A x + beta * y`.
-    pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    pub fn spmv(&self, alpha: S, x: &[S], beta: S, y: &mut [S]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         // sc-analyze: allow(float-eq)
-        if beta == 0.0 {
-            y.fill(0.0);
+        if beta == S::ZERO {
+            y.fill(S::ZERO);
         // sc-analyze: allow(float-eq)
-        } else if beta != 1.0 {
+        } else if beta != S::ONE {
             for v in y.iter_mut() {
                 *v *= beta;
             }
@@ -260,7 +281,7 @@ impl Csc {
         for (j, &xj) in x.iter().enumerate() {
             let w = alpha * xj;
             // sc-analyze: allow(float-eq)
-            if w != 0.0 {
+            if w != S::ZERO {
                 let (rows, vals) = self.col(j);
                 for (&i, &v) in rows.iter().zip(vals) {
                     y[i] += w * v;
@@ -270,16 +291,17 @@ impl Csc {
     }
 
     /// `y = alpha * Aᵀ x + beta * y`.
-    pub fn spmv_t(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    pub fn spmv_t(&self, alpha: S, x: &[S], beta: S, y: &mut [S]) {
         assert_eq!(x.len(), self.nrows);
         assert_eq!(y.len(), self.ncols);
         for (j, yj) in y.iter_mut().enumerate() {
             let (rows, vals) = self.col(j);
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for (&i, &v) in rows.iter().zip(vals) {
                 s += v * x[i];
             }
-            *yj = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yj }; // sc-analyze: allow(float-eq)
+            *yj = alpha * s + if beta == S::ZERO { S::ZERO } else { beta * *yj };
+            // sc-analyze: allow(float-eq)
         }
     }
 
@@ -287,10 +309,10 @@ impl Csc {
     /// matrix, `B`/`C` dense column-major).
     pub fn spmm(
         &self,
-        alpha: f64,
-        b: sc_dense::MatRef<'_>,
-        beta: f64,
-        c: &mut sc_dense::MatMut<'_>,
+        alpha: S,
+        b: sc_dense::MatRefOf<'_, S>,
+        beta: S,
+        c: &mut sc_dense::MatMutOf<'_, S>,
     ) {
         assert_eq!(b.nrows(), self.ncols, "spmm inner dimension");
         assert_eq!(c.nrows(), self.nrows, "spmm C rows");
@@ -299,10 +321,10 @@ impl Csc {
             let bcol = b.col(j);
             let ccol = c.col_mut(j);
             // sc-analyze: allow(float-eq)
-            if beta == 0.0 {
-                ccol.fill(0.0);
+            if beta == S::ZERO {
+                ccol.fill(S::ZERO);
             // sc-analyze: allow(float-eq)
-            } else if beta != 1.0 {
+            } else if beta != S::ONE {
                 for v in ccol.iter_mut() {
                     *v *= beta;
                 }
@@ -310,7 +332,7 @@ impl Csc {
             for (k, &bkj) in bcol.iter().enumerate() {
                 let w = alpha * bkj;
                 // sc-analyze: allow(float-eq)
-                if w != 0.0 {
+                if w != S::ZERO {
                     let (rows, vals) = self.col(k);
                     for (&i, &v) in rows.iter().zip(vals) {
                         ccol[i] += w * v;
@@ -322,11 +344,11 @@ impl Csc {
 
     /// Symmetric permutation `P A Pᵀ` of a (structurally) symmetric matrix:
     /// new index `i` corresponds to old index `perm.old_of_new(i)`.
-    pub fn sym_perm(&self, perm: &Perm) -> Csc {
+    pub fn sym_perm(&self, perm: &Perm) -> CscOf<S> {
         assert_eq!(self.nrows, self.ncols, "sym_perm needs a square matrix");
         assert_eq!(perm.len(), self.ncols);
         let n = self.ncols;
-        let mut out = crate::coo::Coo::with_capacity(n, n, self.nnz());
+        let mut out = crate::coo::CooOf::with_capacity(n, n, self.nnz());
         for j_old in 0..n {
             let j_new = perm.new_of_old(j_old);
             let (rows, vals) = self.col(j_old);
@@ -338,12 +360,12 @@ impl Csc {
     }
 
     /// Permute the **rows** only: row `i_old` becomes `perm.new_of_old(i_old)`.
-    pub fn permute_rows(&self, perm: &Perm) -> Csc {
+    pub fn permute_rows(&self, perm: &Perm) -> CscOf<S> {
         assert_eq!(perm.len(), self.nrows);
         let mut col_ptr = self.col_ptr.clone();
         let mut row_idx = vec![0usize; self.nnz()];
-        let mut values = vec![0f64; self.nnz()];
-        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        let mut values = vec![S::ZERO; self.nnz()];
+        let mut scratch: Vec<(usize, S)> = Vec::new();
         let mut p = 0;
         for j in 0..self.ncols {
             let (rows, vals) = self.col(j);
@@ -361,13 +383,13 @@ impl Csc {
             }
             col_ptr[j + 1] = p;
         }
-        Csc::from_parts(self.nrows, self.ncols, col_ptr, row_idx, values)
+        CscOf::from_parts(self.nrows, self.ncols, col_ptr, row_idx, values)
     }
 
     /// Permute the **columns** only: new column `j` is old column
     /// `perm.old_of_new(j)`. This is the stepped-shape permutation applied to
     /// `B̃ᵀ` (paper §3: "we only permute its columns").
-    pub fn permute_cols(&self, perm: &Perm) -> Csc {
+    pub fn permute_cols(&self, perm: &Perm) -> CscOf<S> {
         assert_eq!(perm.len(), self.ncols);
         let mut col_ptr = vec![0usize; self.ncols + 1];
         let mut row_idx = Vec::with_capacity(self.nnz());
@@ -379,14 +401,14 @@ impl Csc {
             values.extend_from_slice(vals);
             col_ptr[j_new + 1] = row_idx.len();
         }
-        Csc::from_parts(self.nrows, self.ncols, col_ptr, row_idx, values)
+        CscOf::from_parts(self.nrows, self.ncols, col_ptr, row_idx, values)
     }
 
     /// Extract the sub-matrix of rows `r0..` and columns `c0..c1`, shifting
     /// row indices down by `r0`. Entries with row `< r0` must not exist in the
     /// selected columns (checked) — this is the *subfactor extraction* used by
     /// RHS-splitting TRSM with a sparse factor (paper §3.2).
-    pub fn trailing_submatrix(&self, r0: usize, c0: usize, c1: usize) -> Csc {
+    pub fn trailing_submatrix(&self, r0: usize, c0: usize, c1: usize) -> CscOf<S> {
         assert!(c0 <= c1 && c1 <= self.ncols);
         let mut col_ptr = vec![0usize; c1 - c0 + 1];
         let mut row_idx = Vec::new();
@@ -400,12 +422,12 @@ impl Csc {
             }
             col_ptr[jn + 1] = row_idx.len();
         }
-        Csc::from_parts(self.nrows - r0, c1 - c0, col_ptr, row_idx, values)
+        CscOf::from_parts(self.nrows - r0, c1 - c0, col_ptr, row_idx, values)
     }
 
     /// Extract a general rectangular block `rows r0..r1 × cols c0..c1`,
     /// dropping entries outside the row range.
-    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Csc {
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> CscOf<S> {
         assert!(r0 <= r1 && r1 <= self.nrows && c0 <= c1 && c1 <= self.ncols);
         let mut col_ptr = vec![0usize; c1 - c0 + 1];
         let mut row_idx = Vec::new();
@@ -421,7 +443,7 @@ impl Csc {
             }
             col_ptr[jn + 1] = row_idx.len();
         }
-        Csc::from_parts(r1 - r0, c1 - c0, col_ptr, row_idx, values)
+        CscOf::from_parts(r1 - r0, c1 - c0, col_ptr, row_idx, values)
     }
 
     /// Indices of rows that contain at least one entry (sorted). Used by the
@@ -440,12 +462,12 @@ impl Csc {
 
     /// Gather the given rows into a dense `rows.len() × ncols` matrix
     /// (rows must be sorted ascending; entries in other rows are dropped).
-    pub fn gather_rows_dense(&self, rows: &[usize]) -> Mat {
+    pub fn gather_rows_dense(&self, rows: &[usize]) -> MatOf<S> {
         let mut pos = vec![usize::MAX; self.nrows];
         for (k, &i) in rows.iter().enumerate() {
             pos[i] = k;
         }
-        let mut m = Mat::zeros(rows.len(), self.ncols);
+        let mut m = MatOf::zeros(rows.len(), self.ncols);
         for j in 0..self.ncols {
             let (ri, vals) = self.col(j);
             let mcol = m.col_mut(j);
@@ -459,9 +481,13 @@ impl Csc {
         m
     }
 
-    /// Frobenius norm of the stored values.
+    /// Frobenius norm of the stored values (accumulated in `f64`).
     pub fn frob_norm(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.values
+            .iter()
+            .map(|v| v.to_f64() * v.to_f64())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -710,5 +736,16 @@ mod tests {
         let m = sample();
         let expect = (1.0f64 + 16.0 + 9.0 + 4.0 + 25.0).sqrt();
         assert!((m.frob_norm() - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cast_shares_pattern_and_converts_values() {
+        let m = sample();
+        let m32 = m.cast::<f32>();
+        assert_eq!(m32.col_ptr(), m.col_ptr());
+        assert_eq!(m32.row_idx(), m.row_idx());
+        assert_eq!(m32.get(2, 2), 5.0f32);
+        // exact-integer values roundtrip bitwise
+        assert_eq!(m32.cast::<f64>(), m);
     }
 }

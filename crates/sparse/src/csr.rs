@@ -1,27 +1,31 @@
 //! Compressed sparse row storage.
 
-use sc_dense::Mat;
+use sc_dense::{MatOf, Scalar};
 
-/// CSR sparse matrix with sorted column indices inside each row.
+/// CSR sparse matrix with sorted column indices inside each row, generic over
+/// the element scalar. The [`Csr`] alias pins `f64`.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Csr {
+pub struct CsrOf<S = f64> {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
-    values: Vec<f64>,
+    values: Vec<S>,
 }
 
-impl Csr {
+/// `f64` CSR matrix (the historical default element type).
+pub type Csr = CsrOf<f64>;
+
+impl<S: Scalar> CsrOf<S> {
     /// Build from raw parts (mirror of [`crate::Csc::from_parts`]): O(1)
     /// shape invariants always checked, O(nnz) structural invariants via
-    /// [`check_invariants`](Csr::check_invariants) in debug builds.
+    /// [`check_invariants`](CsrOf::check_invariants) in debug builds.
     pub fn from_parts(
         nrows: usize,
         ncols: usize,
         row_ptr: Vec<usize>,
         col_idx: Vec<usize>,
-        values: Vec<f64>,
+        values: Vec<S>,
     ) -> Self {
         assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
@@ -33,7 +37,7 @@ impl Csr {
             "row_ptr end"
         );
         assert_eq!(col_idx.len(), values.len(), "index/value length mismatch");
-        let m = Csr {
+        let m = CsrOf {
             nrows,
             ncols,
             row_ptr,
@@ -131,30 +135,30 @@ impl Csr {
     }
 
     #[inline]
-    pub fn values(&self) -> &[f64] {
+    pub fn values(&self) -> &[S] {
         &self.values
     }
 
     /// Column indices and values of row `i`.
     #[inline]
-    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+    pub fn row(&self, i: usize) -> (&[usize], &[S]) {
         let r = self.row_ptr[i]..self.row_ptr[i + 1];
         (&self.col_idx[r.clone()], &self.values[r])
     }
 
-    /// Entry `(i, j)` or `0.0` when absent.
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    /// Entry `(i, j)` or zero when absent.
+    pub fn get(&self, i: usize, j: usize) -> S {
         let (cols, vals) = self.row(i);
         match cols.binary_search(&j) {
             Ok(p) => vals[p],
-            Err(_) => 0.0,
+            Err(_) => S::ZERO,
         }
     }
 
     /// Convert to CSC.
-    pub fn to_csc(&self) -> crate::Csc {
+    pub fn to_csc(&self) -> crate::CscOf<S> {
         // CSR of A is CSC of Aᵀ; transpose it back.
-        crate::Csc::from_parts(
+        crate::CscOf::from_parts(
             self.ncols,
             self.nrows,
             self.row_ptr.clone(),
@@ -165,8 +169,8 @@ impl Csr {
     }
 
     /// Dense copy.
-    pub fn to_dense(&self) -> Mat {
-        let mut m = Mat::zeros(self.nrows, self.ncols);
+    pub fn to_dense(&self) -> MatOf<S> {
+        let mut m = MatOf::zeros(self.nrows, self.ncols);
         for i in 0..self.nrows {
             let (cols, vals) = self.row(i);
             for (&j, &v) in cols.iter().zip(vals) {
@@ -176,29 +180,46 @@ impl Csr {
         m
     }
 
+    /// Element-wise precision conversion (pattern shared, values converted
+    /// through `f64`).
+    pub fn cast<T: Scalar>(&self) -> CsrOf<T> {
+        CsrOf {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|&v| T::from_f64(v.to_f64()))
+                .collect(),
+        }
+    }
+
     /// `y = alpha * A x + beta * y` (row-wise dot products).
-    pub fn spmv(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    pub fn spmv(&self, alpha: S, x: &[S], beta: S, y: &mut [S]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
-            let mut s = 0.0;
+            let mut s = S::ZERO;
             for (&j, &v) in cols.iter().zip(vals) {
                 s += v * x[j];
             }
-            *yi = alpha * s + if beta == 0.0 { 0.0 } else { beta * *yi }; // sc-analyze: allow(float-eq)
+            *yi = alpha * s + if beta == S::ZERO { S::ZERO } else { beta * *yi };
+            // sc-analyze: allow(float-eq)
         }
     }
 
     /// `y = alpha * Aᵀ x + beta * y` (scatter).
-    pub fn spmv_t(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    pub fn spmv_t(&self, alpha: S, x: &[S], beta: S, y: &mut [S]) {
         assert_eq!(x.len(), self.nrows);
         assert_eq!(y.len(), self.ncols);
         // sc-analyze: allow(float-eq)
-        if beta == 0.0 {
-            y.fill(0.0);
+        if beta == S::ZERO {
+            y.fill(S::ZERO);
         // sc-analyze: allow(float-eq)
-        } else if beta != 1.0 {
+        } else if beta != S::ONE {
             for v in y.iter_mut() {
                 *v *= beta;
             }
@@ -206,7 +227,7 @@ impl Csr {
         for (i, &xi) in x.iter().enumerate() {
             let w = alpha * xi;
             // sc-analyze: allow(float-eq)
-            if w != 0.0 {
+            if w != S::ZERO {
                 let (cols, vals) = self.row(i);
                 for (&j, &v) in cols.iter().zip(vals) {
                     y[j] += w * v;
@@ -282,5 +303,11 @@ mod tests {
                 assert_eq!(m.get(i, j), c.get(i, j));
             }
         }
+    }
+
+    #[test]
+    fn cast_roundtrips_exact_values() {
+        let m = sample();
+        assert_eq!(m.cast::<f32>().cast::<f64>(), m);
     }
 }

@@ -21,9 +21,9 @@ pub mod pattern;
 pub mod perm;
 pub mod trisolve;
 
-pub use coo::Coo;
-pub use csc::Csc;
-pub use csr::Csr;
+pub use coo::{Coo, CooOf};
+pub use csc::{Csc, CscOf};
+pub use csr::{Csr, CsrOf};
 pub use pattern::{column_pivots, is_stepped, stepped_fill_ratio};
 pub use perm::Perm;
 pub use trisolve::{

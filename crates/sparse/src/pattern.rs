@@ -9,11 +9,12 @@
 //! A matrix is in *stepped shape* when column pivots are non-decreasing from
 //! left to right (which makes row trails non-decreasing from top to bottom).
 
-use crate::csc::Csc;
+use crate::csc::CscOf;
+use sc_dense::Scalar;
 
 /// Row index of the first stored entry of each column; `None` for empty
 /// columns.
-pub fn column_pivots(b: &Csc) -> Vec<Option<usize>> {
+pub fn column_pivots<S: Scalar>(b: &CscOf<S>) -> Vec<Option<usize>> {
     (0..b.ncols())
         .map(|j| b.col(j).0.first().copied())
         .collect()
@@ -21,7 +22,7 @@ pub fn column_pivots(b: &Csc) -> Vec<Option<usize>> {
 
 /// True when the column pivots are non-decreasing left to right (empty
 /// columns are treated as pivoting at `nrows`, i.e. they sort to the right).
-pub fn is_stepped(b: &Csc) -> bool {
+pub fn is_stepped<S: Scalar>(b: &CscOf<S>) -> bool {
     let mut last = 0usize;
     for j in 0..b.ncols() {
         let p = b.col(j).0.first().copied().unwrap_or(b.nrows());
@@ -35,7 +36,7 @@ pub fn is_stepped(b: &Csc) -> bool {
 
 /// Pivots with empty columns mapped to `nrows` (the sentinel used by the
 /// splitting kernels; an empty column contributes no work anywhere).
-pub fn pivots_or_end(b: &Csc) -> Vec<usize> {
+pub fn pivots_or_end<S: Scalar>(b: &CscOf<S>) -> Vec<usize> {
     (0..b.ncols())
         .map(|j| b.col(j).0.first().copied().unwrap_or(b.nrows()))
         .collect()
@@ -64,23 +65,24 @@ pub fn active_width_per_row(pivots: &[usize], nrows: usize) -> Vec<usize> {
 /// column pivots — the fraction of a dense TRSM's work that the stepped
 /// kernels actually have to perform. For a perfectly triangular RHS this is
 /// `1/3` at large sizes, matching the paper's theoretical speedup of 3 (§4.3).
-pub fn stepped_fill_ratio(b: &Csc) -> f64 {
+pub fn stepped_fill_ratio<S: Scalar>(b: &CscOf<S>) -> f64 {
     if b.nrows() == 0 || b.ncols() == 0 {
         return 0.0;
     }
-    let total = (b.nrows() * b.ncols()) as f64;
+    let total = (b.nrows() * b.ncols()) as f64; // sc-analyze: allow(precision-discipline)
     let mut below = 0usize;
     for j in 0..b.ncols() {
         let p = b.col(j).0.first().copied().unwrap_or(b.nrows());
         below += b.nrows() - p;
     }
-    below as f64 / total
+    below as f64 / total // sc-analyze: allow(precision-discipline)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::coo::Coo;
+    use crate::csc::Csc;
 
     fn stepped_example() -> Csc {
         // pivots: col0 -> row0, col1 -> row1, col2 -> row3

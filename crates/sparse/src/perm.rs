@@ -101,14 +101,15 @@ impl Perm {
         Perm::from_old_of_new(old_of_new)
     }
 
-    /// Apply to a vector: `out[new] = v[old_of_new(new)]`.
-    pub fn apply(&self, v: &[f64]) -> Vec<f64> {
+    /// Apply to a vector: `out[new] = v[old_of_new(new)]`. Generic over the
+    /// element type so mixed-precision paths can permute `f32` data.
+    pub fn apply<S: Copy>(&self, v: &[S]) -> Vec<S> {
         assert_eq!(v.len(), self.len());
         self.old_of_new.iter().map(|&o| v[o]).collect()
     }
 
     /// Apply the inverse to a vector: `out[old] = v[new_of_old(old)]`.
-    pub fn apply_inverse(&self, v: &[f64]) -> Vec<f64> {
+    pub fn apply_inverse<S: Copy>(&self, v: &[S]) -> Vec<S> {
         assert_eq!(v.len(), self.len());
         self.new_of_old.iter().map(|&nw| v[nw]).collect()
     }

@@ -6,12 +6,12 @@
 //! dual operator and form the `sparse factor storage` path of the Schur
 //! assembler (paper §3.1).
 
-use crate::csc::Csc;
-use sc_dense::MatMut;
+use crate::csc::CscOf;
+use sc_dense::{MatMutOf, Scalar};
 
 /// Solve `L x = b` in place for sparse lower-triangular `L` (diagonal entry
 /// must be present in every column).
-pub fn csc_lower_solve(l: &Csc, x: &mut [f64]) {
+pub fn csc_lower_solve<S: Scalar>(l: &CscOf<S>, x: &mut [S]) {
     let n = l.ncols();
     assert_eq!(l.nrows(), n);
     assert_eq!(x.len(), n);
@@ -21,7 +21,7 @@ pub fn csc_lower_solve(l: &Csc, x: &mut [f64]) {
         let xj = x[j] / vals[0];
         x[j] = xj;
         // sc-analyze: allow(float-eq)
-        if xj != 0.0 {
+        if xj != S::ZERO {
             for (&i, &v) in rows[1..].iter().zip(&vals[1..]) {
                 x[i] -= v * xj;
             }
@@ -30,7 +30,7 @@ pub fn csc_lower_solve(l: &Csc, x: &mut [f64]) {
 }
 
 /// Solve `Lᵀ x = b` in place for sparse lower-triangular `L`.
-pub fn csc_lower_t_solve(l: &Csc, x: &mut [f64]) {
+pub fn csc_lower_t_solve<S: Scalar>(l: &CscOf<S>, x: &mut [S]) {
     let n = l.ncols();
     assert_eq!(l.nrows(), n);
     assert_eq!(x.len(), n);
@@ -51,7 +51,7 @@ pub fn csc_lower_t_solve(l: &Csc, x: &mut [f64]) {
 /// applied to one RHS row at a time, so the inner loop runs along the RHS row
 /// (strided by the leading dimension). For tall skinny RHS this is the
 /// standard sparse TRSM ordering.
-pub fn csc_lower_solve_mat(l: &Csc, mut b: MatMut<'_>) {
+pub fn csc_lower_solve_mat<S: Scalar>(l: &CscOf<S>, mut b: MatMutOf<'_, S>) {
     let n = l.ncols();
     assert_eq!(l.nrows(), n);
     assert_eq!(b.nrows(), n);
@@ -72,7 +72,7 @@ pub fn csc_lower_solve_mat(l: &Csc, mut b: MatMut<'_>) {
 }
 
 /// Solve `Lᵀ X = B` in place for a dense multi-column RHS.
-pub fn csc_lower_t_solve_mat(l: &Csc, mut b: MatMut<'_>) {
+pub fn csc_lower_t_solve_mat<S: Scalar>(l: &CscOf<S>, mut b: MatMutOf<'_, S>) {
     let n = l.ncols();
     assert_eq!(l.nrows(), n);
     assert_eq!(b.nrows(), n);
@@ -94,6 +94,7 @@ pub fn csc_lower_t_solve_mat(l: &Csc, mut b: MatMut<'_>) {
 mod tests {
     use super::*;
     use crate::coo::Coo;
+    use crate::csc::Csc;
     use sc_dense::Mat;
 
     fn sparse_lower(n: usize) -> Csc {
@@ -178,6 +179,21 @@ mod tests {
         }
         for i in 0..7 {
             assert_eq!(b[(i, 1)], 0.0);
+        }
+    }
+
+    #[test]
+    fn f32_solve_tracks_f64() {
+        let n = 10;
+        let l = sparse_lower(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3) - 1.0).collect();
+        let mut x64 = b.clone();
+        csc_lower_solve(&l, &mut x64);
+        let l32 = l.cast::<f32>();
+        let mut x32: Vec<f32> = b.iter().map(|&v| v as f32).collect(); // sc-analyze: allow(precision-discipline)
+        csc_lower_solve(&l32, &mut x32);
+        for i in 0..n {
+            assert!((f64::from(x32[i]) - x64[i]).abs() < 1e-4);
         }
     }
 }

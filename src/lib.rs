@@ -80,8 +80,8 @@ pub mod prelude {
         BatchReport, BatchResult, BatchSource, BlockCutsCache, BlockParam, ClusterOptions,
         ClusterPlan, ClusterPlanError, ClusterReport, ClusterResult, CostEstimate, CpuExec,
         DeviceReport, DeviceSlot, FactorStorage, Formulation, GpuExec, HybridForce, HybridPlan,
-        HybridPlanOptions, HybridSummary, IntoBatchSource, LazyBatch, RecordingExec, ScConfig,
-        ScParams, ScheduleOptions, ScheduledSpan, SteppedRhs, StreamLane, StreamPolicy,
+        HybridPlanOptions, HybridSummary, IntoBatchSource, LazyBatch, Precision, RecordingExec,
+        ScConfig, ScParams, ScheduleOptions, ScheduledSpan, SteppedRhs, StreamLane, StreamPolicy,
         SubdomainTiming, SyrkVariant, TrsmVariant,
     };
     // deprecated free-function drivers, kept one release for migration
@@ -97,7 +97,7 @@ pub mod prelude {
     pub use sc_feti::{
         apply_implicit, apply_implicit_with, preprocess_approach, BoundaryMap, DualOpApproach,
         DualOperator, FetiOptions, FetiSolution, FetiSolver, FetiSolverBuilder, FormulationChoice,
-        HybridOptions, HybridReport, PcpgBreakdown, SubdomainFactors,
+        HybridOptions, HybridReport, PcpgBreakdown, RefinementStats, SubdomainFactors,
     };
     pub use sc_gpu::{Device, DevicePool, DeviceSpec, GpuKernels};
     pub use sc_order::Ordering;

@@ -77,6 +77,18 @@ fn prelude_surface_is_complete() {
         Backend::cluster(DevicePool::uniform(DeviceSpec::a100(), 1, 1)),
         Backend::hybrid(DevicePool::uniform(DeviceSpec::a100(), 1, 1)),
     ];
+    // mixed-precision surface: the Precision knob on Backend and the
+    // builder, the F32Refined payload shape, and the refinement stats
+    fn _precision_types(_: &Precision, _: &RefinementStats) {}
+    let b = Backend::cpu().precision(Precision::F32Refined {
+        refine_tol: 1e-10,
+        max_refine: 8,
+    });
+    assert!(b.precision.is_f32());
+    assert_eq!(Backend::cpu().precision, Precision::F64);
+    assert_eq!(Precision::default(), Precision::F64);
+    let _: fn(FetiSolverBuilder, Precision) -> FetiSolverBuilder = FetiSolverBuilder::precision;
+    let _: fn(&FetiSolution) -> Option<RefinementStats> = |s| s.refinement;
 }
 
 fn sc_feti_preconditioner() -> schur_dd::sc_feti::Preconditioner {
@@ -170,7 +182,7 @@ proptest! {
         let old = assemble_sc_batch_scheduled(&items, &cfg, &dev_old, &opts);
         let dev_new = Device::new(DeviceSpec::a100(), n_streams);
         let new = AssemblySession::new(
-            Backend::Gpu { device: std::sync::Arc::clone(&dev_new), schedule: opts },
+            Backend::gpu_with(std::sync::Arc::clone(&dev_new), opts),
             cfg,
         )
         .assemble(&items);

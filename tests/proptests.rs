@@ -1,6 +1,9 @@
 //! Property-based tests (proptest) on the core invariants: stepped-shape
 //! permutation, TRSM/SYRK splitting correctness on arbitrary patterns,
-//! permutation algebra, sparse Cholesky reconstruction, and the temp pool.
+//! permutation algebra, sparse Cholesky reconstruction, the temp pool,
+//! and the mixed-precision refinement loop (f32-assembled solves must
+//! reach f64-level accuracy on randomized 2D/3D decompositions, and the
+//! default f64 path must not move a bit).
 
 use proptest::prelude::*;
 use schur_dd::prelude::*;
@@ -38,6 +41,35 @@ fn bt_strategy(n: usize, m: usize) -> impl Strategy<Value = Csc> {
         }
         coo.to_csc()
     })
+}
+
+/// Solve `problem` at `Precision::f32_refined()` (implicit or explicit
+/// operators) and require the primal solution to match the direct f64
+/// solve at the f64-level tolerance the pipeline tests use.
+fn refined_solve_matches_direct(problem: &HeatProblem, explicit: bool) -> bool {
+    let mut builder = FetiSolverBuilder::new().precision(Precision::f32_refined());
+    if explicit {
+        builder = builder
+            .formulation(FormulationChoice::Explicit)
+            .assembly(ScConfig::optimized(false, false));
+    }
+    let sol = builder.build(problem).solve();
+    let refinement = match sol.refinement {
+        Some(r) => r,
+        None => return false, // the f32 path must report its refinement
+    };
+    if !sol.stats.converged || !refinement.converged {
+        return false;
+    }
+    let (k, f) = problem.assemble_global();
+    let direct = SparseCholesky::factorize(&k, CholOptions::default())
+        .unwrap()
+        .solve(&f);
+    let u = problem.gather_global(&sol.u_locals);
+    let scale = direct.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    u.iter()
+        .zip(&direct)
+        .all(|(a, b)| (a - b).abs() < 1e-6 * scale)
 }
 
 proptest! {
@@ -174,6 +206,48 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn f32_refined_solves_reach_f64_tolerance_2d(
+        cells in 2usize..6,
+        sx in 2usize..4,
+        sy in 1usize..3,
+        explicit in prop::bool::ANY,
+        chain in prop::bool::ANY,
+    ) {
+        let gluing = if chain { Gluing::Chain } else { Gluing::Redundant };
+        let p = HeatProblem::build_2d(cells, (sx, sy), gluing);
+        prop_assert!(refined_solve_matches_direct(&p, explicit));
+    }
+
+    #[test]
+    fn f32_refined_solves_reach_f64_tolerance_3d(
+        cells in 2usize..4,
+        shape in 0usize..3,
+        explicit in prop::bool::ANY,
+    ) {
+        let subs = [(2, 1, 1), (2, 2, 1), (1, 1, 3)][shape];
+        let p = HeatProblem::build_3d(cells, subs, Gluing::Redundant);
+        prop_assert!(refined_solve_matches_direct(&p, explicit));
+    }
+
+    #[test]
+    fn f64_solution_ignores_the_precision_plumbing_bitwise(
+        cells in 2usize..6,
+        sx in 2usize..4,
+    ) {
+        let p = HeatProblem::build_2d(cells, (sx, 2), Gluing::Redundant);
+        let base = FetiSolverBuilder::new().build(&p).solve();
+        let pinned = FetiSolverBuilder::new()
+            .precision(Precision::F64)
+            .build(&p)
+            .solve();
+        prop_assert!(base.refinement.is_none() && pinned.refinement.is_none());
+        // spelling the default precision out loud must not move a single bit
+        prop_assert_eq!(&base.lambda, &pinned.lambda);
+        prop_assert_eq!(&base.u_locals, &pinned.u_locals);
+        prop_assert_eq!(base.stats.iterations, pinned.stats.iterations);
     }
 
     #[test]

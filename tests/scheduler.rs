@@ -83,10 +83,10 @@ fn scheduled_beats_round_robin_on_the_bench_workload() {
 
     let dev_rr = Device::new(DeviceSpec::a100(), 4);
     let rr = AssemblySession::new(
-        Backend::Gpu {
-            device: std::sync::Arc::clone(&dev_rr),
-            schedule: ScheduleOptions::default().with_policy(StreamPolicy::RoundRobin),
-        },
+        Backend::gpu_with(
+            std::sync::Arc::clone(&dev_rr),
+            ScheduleOptions::default().with_policy(StreamPolicy::RoundRobin),
+        ),
         cfg,
     )
     .assemble(&items);
@@ -125,7 +125,7 @@ proptest! {
             if lpt { StreamPolicy::LptLeastLoaded } else { StreamPolicy::RoundRobin },
         );
         let res = AssemblySession::new(
-            Backend::Gpu { device: std::sync::Arc::clone(&dev), schedule: opts },
+            Backend::gpu_with(std::sync::Arc::clone(&dev), opts),
             cfg,
         )
         .assemble(&items);
@@ -198,12 +198,12 @@ proptest! {
         let ready: Vec<f64> = (0..items.len()).map(|i| delays[i % delays.len()]).collect();
         let dev = tight_device(n_streams);
         let res = AssemblySession::new(
-            Backend::Gpu {
-                device: std::sync::Arc::clone(&dev),
-                schedule: ScheduleOptions::default()
+            Backend::gpu_with(
+                std::sync::Arc::clone(&dev),
+                ScheduleOptions::default()
                     .with_policy(StreamPolicy::LptLeastLoaded)
                     .with_ready_at(ready.clone()),
-            },
+            ),
             ScConfig::optimized(true, false),
         )
         .assemble(&items);

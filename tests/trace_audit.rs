@@ -15,10 +15,7 @@ use std::sync::OnceLock;
 fn gpu_trace(w: &BatchWorkload) -> Trace {
     let device = Device::new(DeviceSpec::a100(), 4);
     let report = AssemblySession::new(
-        Backend::Gpu {
-            device,
-            schedule: ScheduleOptions::default(),
-        },
+        Backend::gpu_with(device, ScheduleOptions::default()),
         ScConfig::optimized(true, false),
     )
     .assemble(w.items())
