@@ -77,6 +77,7 @@ pub const FLOAT_EQ_ALLOWLIST: &[&str] = &[
 pub const DEPRECATION_ALLOWLIST: &[&str] = &[
     "src/lib.rs",
     "crates/core/src/lib.rs",
+    "crates/core/src/schedule.rs",
     "crates/feti/src/compat.rs",
     "tests/api_surface.rs",
 ];

@@ -36,9 +36,17 @@ use std::process::Command;
 /// The perf-gate bins, in run order. `headline` carries no exit gate of its
 /// own (it reports paper-vs-measured ratios); the others exit non-zero when
 /// their gates regress (`precision` gates the f32 arena high water and the
-/// planner's extra explicit admissions). The same names select the
-/// `trace-audit` workloads.
-const PERF_BINS: &[&str] = &["headline", "schedule", "cluster", "hybrid", "precision"];
+/// planner's extra explicit admissions; `multinode` gates the 4-node
+/// weak-scaling efficiency). The same names select the `trace-audit`
+/// workloads.
+const PERF_BINS: &[&str] = &[
+    "headline",
+    "schedule",
+    "cluster",
+    "hybrid",
+    "precision",
+    "multinode",
+];
 
 const STAGES: &[&str] = &[
     "fmt",
@@ -60,6 +68,7 @@ const EXAMPLES: &[&str] = &[
     "heat3d_gpu_assembly",
     "amortization",
     "tuning",
+    "multinode",
 ];
 
 struct Args {

@@ -1,0 +1,170 @@
+//! Multi-node **weak-scaling** experiment: a fixed 16-subdomain per-node
+//! batch replicated onto simulated clusters of 1, 2, and 4 single-A100
+//! nodes behind an InfiniBand-class interconnect. Per node the work is
+//! constant, so the ideal makespan is flat across cluster sizes — what the
+//! table reports is how much of that ideal the hierarchical partitioner
+//! plus the priced inter-node lambda exchange preserves
+//! (`efficiency(N) = makespan(1 node) / makespan(N nodes)`).
+//!
+//! Doubles as the CI smoke test for the multi-node backend: it **fails**
+//! (non-zero exit) if the 4-node weak-scaling efficiency drops below 0.8,
+//! or if sharding across nodes changes the numerics (every replica must be
+//! bitwise the CPU reference assembly).
+//!
+//! Usage: `cargo run -p sc_bench --release --bin multinode [-- --json PATH]`
+
+use sc_bench::{BatchWorkload, Table};
+use sc_core::{AssemblySession, Backend, ScConfig};
+use sc_gpu::{DeviceSpec, Interconnect, NodePool};
+
+const N_STREAMS: usize = 4;
+const DEVICES_PER_NODE: usize = 1;
+const NODE_COUNTS: [usize; 3] = [1, 2, 4];
+const EFFICIENCY_GATE: f64 = 0.8;
+
+fn parse_args() -> Option<std::path::PathBuf> {
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = Some(it.next().expect("--json needs a path").into()),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    json
+}
+
+fn main() {
+    let json_path = parse_args();
+    let base = BatchWorkload::build_skewed(2, &[14, 10, 12, 8]);
+    let base_items = base.items();
+    let cfg = ScConfig::optimized(true, false);
+
+    // sequential CPU reference: the replicas alias the same factors, so one
+    // replica's worth of reference assemblies covers every cluster size
+    let cpu = AssemblySession::new(Backend::cpu(), cfg).assemble(&base_items);
+
+    let mut table = Table::new(
+        &format!(
+            "Weak scaling of the multi-node backend ({} subdomains/node, {DEVICES_PER_NODE}x A100/node, {N_STREAMS} streams, InfiniBand link)",
+            base.n_subdomains()
+        ),
+        &[
+            "nodes",
+            "subdomains",
+            "sim makespan [ms]",
+            "weak efficiency",
+            "exchange [KiB]",
+            "max exchange [us]",
+        ],
+    );
+
+    let mut baseline: Option<f64> = None;
+    let mut efficiency4 = 0.0;
+    let mut node_metrics: Vec<(usize, f64, f64)> = Vec::new();
+    let mut last = None;
+    for n_nodes in NODE_COUNTS {
+        let items: Vec<_> = (0..n_nodes).flat_map(|_| base_items.clone()).collect();
+        let pool = NodePool::uniform(
+            DeviceSpec::a100(),
+            n_nodes,
+            DEVICES_PER_NODE,
+            N_STREAMS,
+            Interconnect::infiniband(),
+        );
+        let res = AssemblySession::new(Backend::multi_node(pool), cfg).assemble(&items);
+
+        // numerics: every replica bitwise equal to the CPU reference
+        for i in 0..items.len() {
+            assert_eq!(
+                res.f[i],
+                cpu.f[i % base_items.len()],
+                "multi-node sharding changed numerics at subdomain {i} ({n_nodes} nodes)"
+            );
+        }
+
+        let makespan = res.report.makespan;
+        let base_t = *baseline.get_or_insert(makespan);
+        let efficiency = base_t / makespan;
+        let exchange_bytes: f64 = res.report.nodes.iter().map(|n| n.exchange_bytes).sum();
+        let exchange_max = res
+            .report
+            .nodes
+            .iter()
+            .map(|n| n.exchange_seconds)
+            .fold(0.0, f64::max);
+        table.row(vec![
+            format!("{n_nodes}"),
+            format!("{}", items.len()),
+            format!("{:.3}", makespan * 1e3),
+            format!("{:.0}%", 100.0 * efficiency),
+            format!("{:.1}", exchange_bytes / 1024.0),
+            format!("{:.1}", exchange_max * 1e6),
+        ]);
+        node_metrics.push((n_nodes, makespan, efficiency));
+        if n_nodes == NODE_COUNTS[NODE_COUNTS.len() - 1] {
+            efficiency4 = efficiency;
+            last = Some(res);
+        }
+    }
+
+    let last = last.expect("largest cluster size ran");
+    table.emit("multinode");
+    let shares: Vec<usize> = last
+        .report
+        .nodes
+        .iter()
+        .map(|n| n.subdomains.len())
+        .collect();
+    println!(
+        "4-node weak-scaling efficiency: {:.0}% (per-node shares {shares:?})",
+        100.0 * efficiency4
+    );
+
+    if let Some(path) = &json_path {
+        let mut metrics = sc_bench::Json::obj().field("weak_efficiency_4node", efficiency4);
+        for (n, makespan, efficiency) in &node_metrics {
+            metrics = metrics
+                .field(&format!("makespan_{n}node_s"), *makespan)
+                .field(&format!("weak_efficiency_{n}node"), *efficiency);
+        }
+        metrics = metrics.field(
+            "exchange_bytes_4node",
+            last.report
+                .nodes
+                .iter()
+                .map(|n| n.exchange_bytes)
+                .sum::<f64>(),
+        );
+        let record = sc_bench::bench_record_on(
+            "multinode",
+            sc_core::Precision::F64.name(),
+            &format!(
+                "{}x{DEVICES_PER_NODE}xa100",
+                NODE_COUNTS[NODE_COUNTS.len() - 1]
+            ),
+            sc_bench::Json::obj()
+                .field("name", "weak16")
+                .field("subdomains_per_node", base.n_subdomains())
+                .field("size_spread", base.size_spread())
+                .field("n_streams", N_STREAMS)
+                .field("link", "infiniband"),
+            metrics,
+        )
+        .field("assembly_report", sc_bench::report_json(&last.report));
+        if let Err(err) = sc_bench::write_json(path, &record) {
+            eprintln!("warning: failed to write {}: {err}", path.display());
+        }
+    }
+
+    // smoke gate: fixed per-node work must keep >= 80% of the 1-node
+    // throughput at 4 nodes (partition balance + priced exchange overhead)
+    if efficiency4 < EFFICIENCY_GATE {
+        eprintln!(
+            "FAIL: 4-node weak-scaling efficiency {:.0}% is below the {:.0}% gate",
+            100.0 * efficiency4,
+            100.0 * EFFICIENCY_GATE
+        );
+        std::process::exit(1);
+    }
+}

@@ -12,15 +12,22 @@
 //! workload that produced no trace), `2` usage error.
 //!
 //! Usage: `cargo run -p sc_bench --release --bin trace_audit
-//! [--only <headline|schedule|cluster|hybrid|precision>] [--out <dir>]`
+//! [--only <headline|schedule|cluster|hybrid|precision|multinode>] [--out <dir>]`
 
 use sc_analyze::trace::validate;
 use sc_bench::{trace_json, write_json, BatchWorkload, Json};
 use sc_core::{AssemblyReport, AssemblySession, Backend, ScConfig, ScheduleOptions};
-use sc_gpu::{Device, DevicePool, DeviceSpec, Trace};
+use sc_gpu::{Device, DevicePool, DeviceSpec, Interconnect, NodePool, Trace};
 use std::path::PathBuf;
 
-const WORKLOADS: &[&str] = &["headline", "schedule", "cluster", "hybrid", "precision"];
+const WORKLOADS: &[&str] = &[
+    "headline",
+    "schedule",
+    "cluster",
+    "hybrid",
+    "precision",
+    "multinode",
+];
 
 fn usage() -> ! {
     eprintln!(
@@ -133,6 +140,18 @@ fn run_workload(name: &str) -> AssemblyReport {
             )
             .assemble(w.items())
             .report
+        }
+        // the multinode bin's replicated weak-scaling batch sharded across
+        // a 4-node cluster (the traces carry inter-node exchange events on
+        // top of the kernels — the sanitizer's exchange-overlap class)
+        "multinode" => {
+            let w = BatchWorkload::build_skewed(2, &[14, 10, 12, 8]);
+            let base = w.items();
+            let items: Vec<_> = (0..4).flat_map(|_| base.clone()).collect();
+            let pool = NodePool::uniform(DeviceSpec::a100(), 4, 1, 4, Interconnect::infiniband());
+            AssemblySession::new(Backend::multi_node(pool), cfg)
+                .assemble(&items)
+                .report
         }
         other => unreachable!("workload names are validated in parse_args: {other}"),
     }

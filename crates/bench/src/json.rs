@@ -21,7 +21,12 @@ use std::path::Path;
 /// v3: every record carries a `precision` field naming the working
 /// precision its metrics were produced under (`"f64"`, `"f32+refine"`, or
 /// `"f64-vs-f32+refine"` for cross-precision comparison bins).
-pub const BENCH_SCHEMA: &str = "sc-bench/v3";
+/// v4: every record carries a `topology` field naming the execution
+/// topology its metrics were produced under (`"single-node"` for every
+/// historical bin; the multi-node bins stamp shapes like `"4x1xtiny"` —
+/// nodes × devices-per-node × device name). Reports may carry a `nodes`
+/// roll-up section with per-node exchange-byte accounting.
+pub const BENCH_SCHEMA: &str = "sc-bench/v4";
 
 /// A JSON value with insertion-ordered object keys.
 #[derive(Clone, Debug)]
@@ -198,13 +203,28 @@ pub fn bench_record(bin: &str, workload: Json, metrics: Json) -> Json {
 
 /// [`bench_record`] with an explicit `precision` tag (use
 /// [`Precision::name`](sc_core::Precision::name) for single-precision
-/// records; comparison bins join the names with `-vs-`).
+/// records; comparison bins join the names with `-vs-`). The `topology`
+/// tag stays `"single-node"` — multi-node bins use [`bench_record_on`].
 pub fn bench_record_at(bin: &str, precision: &str, workload: Json, metrics: Json) -> Json {
+    bench_record_on(bin, precision, "single-node", workload, metrics)
+}
+
+/// [`bench_record_at`] with an explicit `topology` tag describing the
+/// simulated execution topology (e.g. `"4x1xtiny"` for four single-device
+/// nodes). Every historical single-node bin stamps `"single-node"`.
+pub fn bench_record_on(
+    bin: &str,
+    precision: &str,
+    topology: &str,
+    workload: Json,
+    metrics: Json,
+) -> Json {
     Json::obj()
         .field("schema", BENCH_SCHEMA)
         .field("bin", bin)
         .field("git", git_describe())
         .field("precision", precision)
+        .field("topology", topology)
         .field("workload", workload)
         .field("metrics", metrics)
 }
@@ -236,6 +256,9 @@ pub fn report_json(report: &AssemblyReport) -> Json {
             }
             if let Some(s) = t.stream {
                 o = o.field("stream", s);
+            }
+            if let Some(n) = t.node {
+                o = o.field("node", n);
             }
             o
         })
@@ -282,6 +305,25 @@ pub fn report_json(report: &AssemblyReport) -> Json {
         .field("cache_misses", report.cache_misses)
         .field("subdomains", subdomains)
         .field("devices", devices);
+    if !report.nodes.is_empty() {
+        let nodes: Vec<Json> = report
+            .nodes
+            .iter()
+            .map(|n| {
+                Json::obj()
+                    .field("node", n.node)
+                    .field(
+                        "devices",
+                        n.devices.iter().map(|&d| Json::from(d)).collect::<Vec<_>>(),
+                    )
+                    .field("n_subdomains", n.subdomains.len())
+                    .field("makespan_s", n.makespan)
+                    .field("exchange_bytes", n.exchange_bytes)
+                    .field("exchange_seconds", n.exchange_seconds)
+            })
+            .collect();
+        out = out.field("nodes", nodes);
+    }
     if let Some(h) = &report.hybrid {
         let formulation: Vec<Json> = h
             .formulation
@@ -340,6 +382,23 @@ pub fn trace_json(trace: &sc_gpu::Trace) -> Json {
                     "reads",
                     reads.iter().map(|&s| Json::from(s)).collect::<Vec<_>>(),
                 )
+                .field(
+                    "writes",
+                    writes.iter().map(|&s| Json::from(s)).collect::<Vec<_>>(),
+                ),
+            TraceEvent::Exchange {
+                label,
+                peer,
+                bytes,
+                span,
+                writes,
+            } => Json::obj()
+                .field("kind", "exchange")
+                .field("label", *label)
+                .field("peer", *peer)
+                .field("bytes", *bytes)
+                .field("start", span.start)
+                .field("end", span.end)
                 .field(
                     "writes",
                     writes.iter().map(|&s| Json::from(s)).collect::<Vec<_>>(),
@@ -422,13 +481,24 @@ mod tests {
             Json::obj().field("speedup", 2.0),
         );
         let s = r.render();
-        for key in ["schema", "bin", "git", "precision", "workload", "metrics"] {
+        for key in [
+            "schema",
+            "bin",
+            "git",
+            "precision",
+            "topology",
+            "workload",
+            "metrics",
+        ] {
             assert!(s.contains(&format!("\"{key}\"")), "missing {key}:\n{s}");
         }
         assert!(s.contains(BENCH_SCHEMA));
         assert!(s.contains("\"precision\": \"f64\""), "default tag:\n{s}");
+        assert!(s.contains("\"topology\": \"single-node\""), "default:\n{s}");
         let mixed = bench_record_at("demo", "f32+refine", Json::obj(), Json::obj()).render();
         assert!(mixed.contains("\"precision\": \"f32+refine\""), "{mixed}");
+        let multi = bench_record_on("demo", "f64", "4x1xtiny", Json::obj(), Json::obj()).render();
+        assert!(multi.contains("\"topology\": \"4x1xtiny\""), "{multi}");
     }
 
     #[test]

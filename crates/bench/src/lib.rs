@@ -18,8 +18,8 @@ pub mod timing;
 pub mod workloads;
 
 pub use json::{
-    bench_record, bench_record_at, bench_record_with_report, git_describe, report_json, trace_json,
-    write_json, Json, BENCH_SCHEMA, TRACE_SCHEMA,
+    bench_record, bench_record_at, bench_record_on, bench_record_with_report, git_describe,
+    report_json, trace_json, write_json, Json, BENCH_SCHEMA, TRACE_SCHEMA,
 };
 pub use report::{write_csv, Table};
 pub use runner::{

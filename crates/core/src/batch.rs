@@ -102,6 +102,9 @@ pub struct SubdomainTiming {
     /// Pool device the subdomain ran on (`None` on the CPU driver; `Some(0)`
     /// on the single-device GPU drivers).
     pub device: Option<usize>,
+    /// Cluster node the subdomain ran on (`None` on every single-node
+    /// driver; `Some` only under the multi-node backend).
+    pub node: Option<usize>,
 }
 
 /// Aggregate diagnostics of one batched assembly.
@@ -274,6 +277,7 @@ pub(crate) fn batch_gpu_rr<S: Scalar, Src: BatchSource<S>>(
                         stream: Some(s),
                         span: Some(span),
                         device: Some(0),
+                        node: None,
                     },
                 ));
                 i += n_streams;
@@ -376,7 +380,7 @@ pub(crate) fn batch_scheduled<S: Scalar, Src: BatchSource<S>>(
     // phase 2: plan + deterministic replay onto the device
     let refs: Vec<&Recorded<S>> = recorded.iter().collect();
     let estimates = refine_estimates(&refs, &spec);
-    let plan = schedule::plan(&estimates, device.n_streams(), opts.policy);
+    let plan = schedule::plan_streams_impl(&estimates, device.n_streams(), opts.policy);
     let outcome = replay_recorded(device, &refs, &estimates, &plan, opts.ready_at.as_deref());
     let device_seconds = device.synchronize() - sync0;
 
@@ -395,6 +399,7 @@ pub(crate) fn batch_scheduled<S: Scalar, Src: BatchSource<S>>(
             stream: Some(stream),
             span: Some(span),
             device: Some(0),
+            node: None,
         });
     }
     BatchResultOf {
@@ -897,7 +902,7 @@ pub(crate) fn batch_cluster_impl<S: Scalar, Src: BatchSource<S>>(
         })
         .collect();
     let (cplan, spilled) =
-        schedule::plan_cluster_spill_by(&costs, &slots, |c, d| kernel_seconds[c.index][d])
+        schedule::cluster_spill_by_impl(&costs, &slots, |c, d| kernel_seconds[c.index][d])
             // documented batch-API contract: planning failure aborts. sc-analyze: allow(panic-surface)
             .unwrap_or_else(|e| panic!("cluster partition failed: {e}"));
     if !allow_spill && !spilled.is_empty() {
@@ -935,7 +940,7 @@ pub(crate) fn batch_cluster_impl<S: Scalar, Src: BatchSource<S>>(
                 e
             })
             .collect();
-        let plan = schedule::plan(&estimates, dev.n_streams(), opts.policy);
+        let plan = schedule::plan_streams_impl(&estimates, dev.n_streams(), opts.policy);
         let ready_local: Option<Vec<f64>> = opts
             .ready_at
             .as_ref()
@@ -956,6 +961,7 @@ pub(crate) fn batch_cluster_impl<S: Scalar, Src: BatchSource<S>>(
                 stream: Some(stream),
                 span: Some(span),
                 device: Some(d),
+                node: None,
             });
         }
         let mut schedule_log = std::mem::take(&mut outcome.executed);
@@ -994,6 +1000,7 @@ pub(crate) fn batch_cluster_impl<S: Scalar, Src: BatchSource<S>>(
             stream: None,
             span: None,
             device: None,
+            node: None,
         })
         .collect();
     let f: Vec<MatOf<S>> = recorded.into_iter().map(|r| r.f).collect();
@@ -1071,6 +1078,7 @@ where
                 stream: None,
                 span: None,
                 device: None,
+                node: None,
             };
             (f, timing)
         })

@@ -46,14 +46,19 @@ pub use batch::{
 };
 pub use exec::{CpuExec, Exec, GpuExec, RecordingExec};
 pub use schedule::{
-    estimate_apply, estimate_apply_of, estimate_cost, estimate_cost_of, plan, plan_cluster,
-    plan_cluster_spill, plan_hybrid, ApplyEstimate, ArenaSim, ClusterPlan, ClusterPlanError,
-    CostEstimate, DeviceSlot, Formulation, HybridChoice, HybridForce, HybridPlan,
-    HybridPlanOptions, ScheduleOptions, ScheduledSpan, StreamPlan, StreamPolicy,
+    estimate_apply, estimate_apply_of, estimate_cost, estimate_cost_of, plan_hybrid, plan_topology,
+    plan_topology_by, ApplyEstimate, ArenaSim, ClusterPlan, ClusterPlanError, CostEstimate,
+    DeviceSlot, Formulation, HybridChoice, HybridForce, HybridPlan, HybridPlanOptions,
+    ScheduleOptions, ScheduledSpan, StreamPlan, StreamPolicy, TopoPlan, Topology,
 };
+// Deprecated two-level planner family, re-exported for one release so old
+// call sites migrate with a warning instead of a break. New code plans over
+// a `Topology` with `plan_topology`.
+#[allow(deprecated)]
+pub use schedule::{plan, plan_cluster, plan_cluster_spill};
 pub use session::{
     AssemblyReport, AssemblyResult, AssemblySession, Backend, DeviceReport, HybridSummary,
-    Precision, StreamLane, Target,
+    NodeReport, Precision, StreamLane, Target,
 };
 pub use source::{BatchSource, IntoBatchSource, LazyBatch};
 pub use stepped::{SteppedRhs, SteppedRhsOf};

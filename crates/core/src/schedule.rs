@@ -29,7 +29,7 @@
 use crate::assemble::ScParams;
 use crate::trsm::{FactorStorage, TrsmVariant};
 use sc_dense::Scalar;
-use sc_gpu::{DeviceSpec, KernelCost, SimSpan};
+use sc_gpu::{DeviceSpec, Interconnect, KernelCost, SimSpan};
 use sc_sparse::{pattern, Csc, CscOf};
 
 /// Stream-assignment policy for a batched GPU assembly.
@@ -107,6 +107,12 @@ pub struct CostEstimate {
     /// Peak temporary-arena footprint: the dense `Y` (`8 n m` bytes) plus
     /// densified factor blocks when the TRSM densifies.
     pub temp_bytes: usize,
+    /// Boundary bytes this subdomain exchanges with off-node neighbours per
+    /// placement (one value per local multiplier — the lambda segment the
+    /// gluing rows tie to other subdomains). The hierarchical planner prices
+    /// this over the [`Interconnect`] of any node boundary a placement
+    /// crosses; irrelevant (and unpriced) below the node level.
+    pub exchange_bytes: f64,
     /// Single-stream device-seconds estimate under `spec` (compute at peak
     /// FP64 plus the PCIe transfer) — the LPT ordering key.
     pub seconds: f64,
@@ -179,6 +185,7 @@ pub fn estimate_cost_of<S: Scalar>(
         syrk_flops,
         transfer_bytes,
         temp_bytes,
+        exchange_bytes: (eb * m) as f64, // sc-analyze: allow(precision-discipline)
         seconds: 0.0,
     };
     est.seconds = est.seconds_on(spec);
@@ -281,55 +288,27 @@ pub struct StreamPlan {
 /// An empty batch yields an empty plan for any stream count (including 0);
 /// planning a non-empty batch onto 0 streams is a configuration error and
 /// panics with a descriptive message instead of silently rounding up.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `plan_topology` with a `Topology::streams` leaf — this \
+            wrapper survives only for source compatibility"
+)]
 pub fn plan(costs: &[CostEstimate], n_streams: usize, policy: StreamPolicy) -> StreamPlan {
-    if costs.is_empty() {
-        return StreamPlan {
-            assignments: vec![Vec::new(); n_streams],
-            est_load: vec![0.0; n_streams],
-        };
-    }
-    assert!(
-        n_streams > 0,
-        "cannot plan a batch of {} subdomains onto 0 streams",
-        costs.len()
-    );
-    let mut assignments = vec![Vec::new(); n_streams];
-    let mut est_load = vec![0.0f64; n_streams];
-    match policy {
-        StreamPolicy::RoundRobin => {
-            for (k, c) in costs.iter().enumerate() {
-                assignments[k % n_streams].push(c.index);
-                est_load[k % n_streams] += c.seconds;
-            }
-        }
-        StreamPolicy::LptLeastLoaded => {
-            let mut order: Vec<usize> = (0..costs.len()).collect();
-            // longest first; ties broken by index for determinism
-            order.sort_by(|&a, &b| {
-                costs[b]
-                    .seconds
-                    .partial_cmp(&costs[a].seconds)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(costs[a].index.cmp(&costs[b].index))
-            });
-            for k in order {
-                let s = (0..n_streams)
-                    .min_by(|&a, &b| {
-                        est_load[a]
-                            .partial_cmp(&est_load[b])
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.cmp(&b))
-                    })
-                    .expect("n_streams >= 1");
-                assignments[s].push(costs[k].index);
-                est_load[s] += costs[k].seconds;
-            }
-        }
-    }
-    StreamPlan {
-        assignments,
-        est_load,
-    }
+    plan_streams_impl(costs, n_streams, policy)
+}
+
+/// Non-deprecated stream-level engine entry shared by [`plan`] and the
+/// batch drivers (which must not call through a deprecated name).
+pub(crate) fn plan_streams_impl(
+    costs: &[CostEstimate],
+    n_streams: usize,
+    policy: StreamPolicy,
+) -> StreamPlan {
+    plan_topology_by(costs, &Topology::streams(n_streams, policy), |c, _| {
+        c.seconds
+    })
+    .expect("stream-level planning has no failure mode")
+    .into_stream_plan()
 }
 
 /// Planner-facing description of one device of a pool: its capability spec,
@@ -445,11 +424,16 @@ impl std::error::Error for ClusterPlanError {}
 /// per-device kernel durations are already known (recorded kernel
 /// sequences), use [`plan_cluster_by`] — peak-FLOP pricing ignores launch
 /// overhead and overloads fast cards on launch-bound batches.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `plan_topology` over a single-node `Topology` — this \
+            wrapper survives only for source compatibility"
+)]
 pub fn plan_cluster(
     costs: &[CostEstimate],
     devices: &[DeviceSlot],
 ) -> Result<ClusterPlan, ClusterPlanError> {
-    plan_cluster_by(costs, devices, |c, d| c.seconds_on(&devices[d].spec))
+    cluster_by_impl(costs, devices, |c, d| c.seconds_on(&devices[d].spec))
 }
 
 /// [`plan_cluster`] with caller-supplied pricing: `seconds_of(cost, d)`
@@ -458,12 +442,27 @@ pub fn plan_cluster(
 /// duration model ([`DeviceSpec::kernel_seconds`]), which accounts for
 /// launch overhead and the occupancy ramp that the analytic estimate
 /// ignores.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `plan_topology_by` over a single-node `Topology` — this \
+            wrapper survives only for source compatibility"
+)]
 pub fn plan_cluster_by(
     costs: &[CostEstimate],
     devices: &[DeviceSlot],
     seconds_of: impl Fn(&CostEstimate, usize) -> f64,
 ) -> Result<ClusterPlan, ClusterPlanError> {
-    let (plan, spilled) = plan_cluster_spill_by(costs, devices, seconds_of)?;
+    cluster_by_impl(costs, devices, seconds_of)
+}
+
+/// Non-deprecated strict (non-spill) cluster engine entry shared by the
+/// deprecated wrappers and the batch drivers.
+pub(crate) fn cluster_by_impl(
+    costs: &[CostEstimate],
+    devices: &[DeviceSlot],
+    seconds_of: impl Fn(&CostEstimate, usize) -> f64,
+) -> Result<ClusterPlan, ClusterPlanError> {
+    let (plan, spilled) = cluster_spill_by_impl(costs, devices, seconds_of)?;
     if spilled.is_empty() {
         Ok(plan)
     } else {
@@ -488,11 +487,17 @@ pub(crate) fn max_usable_arena(devices: &[DeviceSlot]) -> usize {
 
 /// [`plan_cluster_spill_by`] with the analytic [`CostEstimate::seconds_on`]
 /// pricing.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `plan_topology` over a single-node `Topology` (spills are \
+            reported in `TopoPlan::spilled`) — this wrapper survives only \
+            for source compatibility"
+)]
 pub fn plan_cluster_spill(
     costs: &[CostEstimate],
     devices: &[DeviceSlot],
 ) -> Result<(ClusterPlan, Vec<usize>), ClusterPlanError> {
-    plan_cluster_spill_by(costs, devices, |c, d| c.seconds_on(&devices[d].spec))
+    cluster_spill_by_impl(costs, devices, |c, d| c.seconds_on(&devices[d].spec))
 }
 
 /// Spill-tolerant cluster partition: like [`plan_cluster_by`], but a
@@ -503,32 +508,420 @@ pub fn plan_cluster_spill(
 /// operator applies them implicitly). [`ClusterPlanError::NoDevices`] is
 /// still an error: with no usable device *nothing* can be planned, spilling
 /// everything would just disguise a configuration error.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `plan_topology_by` over a single-node `Topology` (spills \
+            are reported in `TopoPlan::spilled`) — this wrapper survives \
+            only for source compatibility"
+)]
 pub fn plan_cluster_spill_by(
     costs: &[CostEstimate],
     devices: &[DeviceSlot],
     seconds_of: impl Fn(&CostEstimate, usize) -> f64,
 ) -> Result<(ClusterPlan, Vec<usize>), ClusterPlanError> {
-    if costs.is_empty() {
-        return Ok((
-            ClusterPlan {
-                per_device: vec![Vec::new(); devices.len()],
-                est_load: vec![0.0; devices.len()],
-                device_of: Vec::new(),
-            },
-            Vec::new(),
-        ));
+    cluster_spill_by_impl(costs, devices, seconds_of)
+}
+
+/// Non-deprecated spill-tolerant cluster engine entry shared by the
+/// deprecated wrappers and the batch drivers: builds the single-node
+/// [`Topology`] (one [`Topology::Device`] leaf per slot, no link) and runs
+/// the hierarchical planner, which reproduces the historical two-level
+/// semantics bitwise.
+pub(crate) fn cluster_spill_by_impl(
+    costs: &[CostEstimate],
+    devices: &[DeviceSlot],
+    seconds_of: impl Fn(&CostEstimate, usize) -> f64,
+) -> Result<(ClusterPlan, Vec<usize>), ClusterPlanError> {
+    let topo = Topology::node(
+        devices
+            .iter()
+            .map(|d| Topology::device(d.clone()))
+            .collect(),
+        None,
+    );
+    let plan = plan_topology_by(costs, &topo, |c, path| seconds_of(c, path[0]))?;
+    let spilled = plan.spilled.clone();
+    Ok((plan.into_cluster_plan(), spilled))
+}
+
+/// One vertex of a placement hierarchy: the recursive generalization of the
+/// historical two planning levels (devices of a pool, streams of a device)
+/// to an arbitrary node → device → stream tree.
+///
+/// - [`Topology::Streams`] is a leaf of homogeneous lanes — the historical
+///   [`plan`] level;
+/// - [`Topology::Device`] is one device of a pool (its [`DeviceSlot`] spec,
+///   arena, and stream count) — the historical `plan_cluster*` level, which
+///   plans its streams as a nested [`Topology::Streams`];
+/// - [`Topology::Node`] groups children behind an optional
+///   [`Interconnect`]: a single-node device pool when the link is `None`
+///   (historical semantics bitwise), a cluster node when pricing
+///   placements behind the link's latency/bandwidth model
+///   ([`CostEstimate::exchange_bytes`] crosses it).
+#[derive(Clone, Debug)]
+pub enum Topology {
+    /// A leaf of `n` identical lanes planned under `policy` (the historical
+    /// stream level).
+    Streams {
+        /// Number of lanes (streams).
+        n: usize,
+        /// Lane-assignment policy.
+        policy: StreamPolicy,
+    },
+    /// One device of a pool; its streams are planned as a nested lane leaf
+    /// under `policy`.
+    Device {
+        /// The device's planner-facing description.
+        slot: DeviceSlot,
+        /// Stream-assignment policy of the nested lane level.
+        policy: StreamPolicy,
+    },
+    /// A group of children (devices of one node, or nodes of a cluster)
+    /// reached over an optional interconnect.
+    Node {
+        /// Child vertices, in placement order.
+        children: Vec<Topology>,
+        /// The link a placement into this subtree crosses (`None` inside a
+        /// node: PCIe traffic is already priced by the per-device cost
+        /// model).
+        link: Option<Interconnect>,
+    },
+}
+
+impl Topology {
+    /// A lane leaf of `n` streams.
+    pub fn streams(n: usize, policy: StreamPolicy) -> Self {
+        Topology::Streams { n, policy }
     }
-    // a device without streams can never execute anything: it is not a
-    // partition candidate (pools may carry one, e.g. a drained card)
-    if !devices.iter().any(|d| d.is_usable()) {
+
+    /// A device vertex with the default stream policy.
+    pub fn device(slot: DeviceSlot) -> Self {
+        Topology::Device {
+            slot,
+            policy: StreamPolicy::default(),
+        }
+    }
+
+    /// A device vertex with an explicit stream policy.
+    pub fn device_with(slot: DeviceSlot, policy: StreamPolicy) -> Self {
+        Topology::Device { slot, policy }
+    }
+
+    /// A grouping vertex over `children`, optionally behind `link`.
+    pub fn node(children: Vec<Topology>, link: Option<Interconnect>) -> Self {
+        Topology::Node { children, link }
+    }
+
+    /// The single-node topology of a [`DevicePool`](sc_gpu::DevicePool):
+    /// one [`Topology::Device`] child per device, no link — the shape the
+    /// historical `plan_cluster*` family planned.
+    pub fn of_pool(pool: &sc_gpu::DevicePool, policy: StreamPolicy) -> Self {
+        Topology::node(
+            pool.devices()
+                .iter()
+                .map(|d| Topology::device_with(DeviceSlot::of(d), policy))
+                .collect(),
+            None,
+        )
+    }
+
+    /// The three-level topology of a [`NodePool`](sc_gpu::NodePool): a root
+    /// over one [`Topology::Node`] per cluster node (behind that node's
+    /// [`Interconnect`]), each holding its devices.
+    pub fn of_cluster(pool: &sc_gpu::NodePool, policy: StreamPolicy) -> Self {
+        Topology::node(
+            pool.nodes()
+                .iter()
+                .map(|ns| {
+                    let inner = Topology::of_pool(&ns.pool, policy);
+                    match inner {
+                        Topology::Node { children, .. } => Topology::node(children, Some(ns.link)),
+                        other => other,
+                    }
+                })
+                .collect(),
+            None,
+        )
+    }
+
+    /// Parallel capacity below this vertex: total stream count (the load
+    /// normalizer of the selection key — the historical
+    /// `est_load / n_streams` completion-time estimate).
+    pub fn weight(&self) -> f64 {
+        match self {
+            Topology::Streams { n, .. } => *n as f64, // sc-analyze: allow(precision-discipline)
+            Topology::Device { slot, .. } => slot.n_streams as f64, // sc-analyze: allow(precision-discipline)
+            Topology::Node { children, .. } => children
+                .iter()
+                .filter(|c| c.is_usable())
+                .map(|c| c.weight())
+                .sum(),
+        }
+    }
+
+    /// Whether anything can execute below this vertex (the historical
+    /// [`DeviceSlot::is_usable`] lifted over the tree).
+    pub fn is_usable(&self) -> bool {
+        match self {
+            Topology::Streams { n, .. } => *n > 0,
+            Topology::Device { slot, .. } => slot.is_usable(),
+            Topology::Node { children, .. } => children.iter().any(|c| c.is_usable()),
+        }
+    }
+
+    /// Whether a subdomain whose peak temporaries are `temp_bytes` may be
+    /// placed somewhere below this vertex (the historical
+    /// [`DeviceSlot::admits`] lifted over the tree).
+    pub fn admits(&self, temp_bytes: usize) -> bool {
+        match self {
+            Topology::Streams { n, .. } => *n > 0,
+            Topology::Device { slot, .. } => slot.admits(temp_bytes),
+            Topology::Node { children, .. } => children.iter().any(|c| c.admits(temp_bytes)),
+        }
+    }
+
+    /// Analytic single-stream pricing of `cost` at the vertex reached by
+    /// `path` (child indices from this vertex down): the
+    /// [`CostEstimate::seconds_on`] model at device vertices, the estimate's
+    /// own seconds at bare lane leaves. The default pricing of
+    /// [`plan_topology`].
+    pub fn analytic_seconds(&self, cost: &CostEstimate, path: &[usize]) -> f64 {
+        match (self, path) {
+            (Topology::Device { slot, .. }, _) => cost.seconds_on(&slot.spec),
+            (Topology::Streams { .. }, _) => cost.seconds,
+            (Topology::Node { children, .. }, [head, rest @ ..]) => {
+                children[*head].analytic_seconds(cost, rest)
+            }
+            (Topology::Node { .. }, []) => cost.seconds,
+        }
+    }
+}
+
+/// Hierarchical placement produced by [`plan_topology`]: one level of
+/// child queues plus the recursively planned children. Collapse a
+/// single-level plan back to the historical shapes with
+/// [`TopoPlan::into_stream_plan`] / [`TopoPlan::into_cluster_plan`].
+#[derive(Clone, Debug)]
+pub struct TopoPlan {
+    /// `per_child[d]` lists the subdomain indices ([`CostEstimate::index`])
+    /// assigned below child `d`, in placement order. For a lane leaf the
+    /// children are the lanes (streams).
+    pub per_child: Vec<Vec<usize>>,
+    /// Estimated accumulated load per child, in that child's own seconds.
+    pub est_load: Vec<f64>,
+    /// Child of each entry of the input cost slice, in slice order;
+    /// `usize::MAX` for spilled entries.
+    pub child_of: Vec<usize>,
+    /// Subdomain indices admitted by no child (ascending); empty below the
+    /// group level.
+    pub spilled: Vec<usize>,
+    /// Recursively planned children (empty for lane leaves): `children[d]`
+    /// plans the subset `per_child[d]` one level down.
+    pub children: Vec<TopoPlan>,
+}
+
+impl TopoPlan {
+    /// Collapse a lane-leaf plan into the historical [`StreamPlan`].
+    pub fn into_stream_plan(self) -> StreamPlan {
+        StreamPlan {
+            assignments: self.per_child,
+            est_load: self.est_load,
+        }
+    }
+
+    /// Collapse a one-node plan into the historical [`ClusterPlan`]
+    /// (dropping the nested per-device stream plans and the spill list).
+    pub fn into_cluster_plan(self) -> ClusterPlan {
+        ClusterPlan {
+            per_device: self.per_child,
+            est_load: self.est_load,
+            device_of: self.child_of,
+        }
+    }
+
+    /// Largest estimated completion time across children (each child's
+    /// accumulated load over its parallel width) — the planner's makespan
+    /// prediction at this level.
+    pub fn est_makespan(&self, topo: &Topology) -> f64 {
+        match topo {
+            Topology::Node { children, .. } => self
+                .est_load
+                .iter()
+                .zip(children)
+                .filter(|(_, c)| c.is_usable())
+                .map(|(l, c)| l / c.weight().max(1.0))
+                .fold(0.0f64, f64::max),
+            _ => self.est_load.iter().copied().fold(0.0f64, f64::max),
+        }
+    }
+}
+
+/// Plan a batch over a [`Topology`] with the analytic
+/// [`Topology::analytic_seconds`] pricing (see [`plan_topology_by`]).
+pub fn plan_topology(
+    costs: &[CostEstimate],
+    topo: &Topology,
+) -> Result<TopoPlan, ClusterPlanError> {
+    plan_topology_by(costs, topo, |c, path| topo.analytic_seconds(c, path))
+}
+
+/// Plan a batch over a [`Topology`] with caller-supplied pricing — **the**
+/// planner behind every historical entry point. `seconds_of(cost, path)`
+/// returns the subdomain's single-stream seconds at the vertex reached by
+/// the child-index `path` from the root (e.g. `[d]` is device `d` of a
+/// single-node pool — the historical `seconds_of(cost, d)`).
+///
+/// Each level reproduces the historical semantics exactly:
+///
+/// - a [`Topology::Node`] partitions longest-first under the worst-case
+///   child (ties by index), placing each subdomain on the admissible child
+///   with the lowest estimated completion time (accumulated load over
+///   [`Topology::weight`], ties by child index); inadmissible-everywhere
+///   subdomains spill; a usable-child-free vertex with a non-empty batch is
+///   [`ClusterPlanError::NoDevices`]. Placement into a child behind an
+///   [`Interconnect`] prices `link.seconds(exchange_bytes)` **plus** the
+///   cheapest admissible placement inside — communication is a first-class
+///   cost, not an afterthought;
+/// - a [`Topology::Streams`] leaf (and the lane level of every
+///   [`Topology::Device`]) assigns under [`StreamPolicy`] with the
+///   historical comparators, panicking on `0` lanes with a non-empty batch.
+pub fn plan_topology_by(
+    costs: &[CostEstimate],
+    topo: &Topology,
+    seconds_of: impl Fn(&CostEstimate, &[usize]) -> f64,
+) -> Result<TopoPlan, ClusterPlanError> {
+    let mut path = Vec::new();
+    plan_vertex(costs, topo, &mut path, &seconds_of)
+}
+
+/// Recursive planner worker: plans `costs` at `topo`, with `path` holding
+/// the child indices from the root to `topo`.
+fn plan_vertex(
+    costs: &[CostEstimate],
+    topo: &Topology,
+    path: &mut Vec<usize>,
+    seconds_of: &impl Fn(&CostEstimate, &[usize]) -> f64,
+) -> Result<TopoPlan, ClusterPlanError> {
+    match topo {
+        Topology::Streams { n, policy } => Ok(plan_lanes(costs, *n, *policy, path, seconds_of)),
+        Topology::Device { slot, policy } => {
+            Ok(plan_lanes(costs, slot.n_streams, *policy, path, seconds_of))
+        }
+        Topology::Node { children, link: _ } => plan_group(costs, children, path, seconds_of),
+    }
+}
+
+/// Lane-level planning: the historical [`plan`] loops verbatim, with the
+/// ordering key supplied by `seconds_of` at the current vertex.
+fn plan_lanes(
+    costs: &[CostEstimate],
+    n_lanes: usize,
+    policy: StreamPolicy,
+    path: &[usize],
+    seconds_of: &impl Fn(&CostEstimate, &[usize]) -> f64,
+) -> TopoPlan {
+    if costs.is_empty() {
+        return TopoPlan {
+            per_child: vec![Vec::new(); n_lanes],
+            est_load: vec![0.0; n_lanes],
+            child_of: Vec::new(),
+            spilled: Vec::new(),
+            children: Vec::new(),
+        };
+    }
+    assert!(
+        n_lanes > 0,
+        "cannot plan a batch of {} subdomains onto 0 streams",
+        costs.len()
+    );
+    let secs: Vec<f64> = costs.iter().map(|c| seconds_of(c, path)).collect();
+    let mut per_child = vec![Vec::new(); n_lanes];
+    let mut est_load = vec![0.0f64; n_lanes];
+    let mut child_of = vec![usize::MAX; costs.len()];
+    match policy {
+        StreamPolicy::RoundRobin => {
+            for (k, c) in costs.iter().enumerate() {
+                per_child[k % n_lanes].push(c.index);
+                est_load[k % n_lanes] += secs[k];
+                child_of[k] = k % n_lanes;
+            }
+        }
+        StreamPolicy::LptLeastLoaded => {
+            let mut order: Vec<usize> = (0..costs.len()).collect();
+            // longest first; ties broken by index for determinism
+            order.sort_by(|&a, &b| {
+                secs[b]
+                    .partial_cmp(&secs[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(costs[a].index.cmp(&costs[b].index))
+            });
+            for k in order {
+                let s = (0..n_lanes)
+                    .min_by(|&a, &b| {
+                        est_load[a]
+                            .partial_cmp(&est_load[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    })
+                    .expect("n_lanes >= 1");
+                per_child[s].push(costs[k].index);
+                est_load[s] += secs[k];
+                child_of[k] = s;
+            }
+        }
+    }
+    TopoPlan {
+        per_child,
+        est_load,
+        child_of,
+        spilled: Vec::new(),
+        children: Vec::new(),
+    }
+}
+
+/// Group-level planning: the historical [`plan_cluster_spill_by`] loops
+/// verbatim over arbitrary child vertices, followed by recursion into each
+/// child with its assigned subset.
+fn plan_group(
+    costs: &[CostEstimate],
+    children: &[Topology],
+    path: &mut Vec<usize>,
+    seconds_of: &impl Fn(&CostEstimate, &[usize]) -> f64,
+) -> Result<TopoPlan, ClusterPlanError> {
+    if costs.is_empty() {
+        let sub = children
+            .iter()
+            .enumerate()
+            .map(|(d, child)| {
+                path.push(d);
+                let p = plan_vertex(&[], child, path, seconds_of);
+                path.pop();
+                p.expect("planning an empty batch cannot fail")
+            })
+            .collect();
+        return Ok(TopoPlan {
+            per_child: vec![Vec::new(); children.len()],
+            est_load: vec![0.0; children.len()],
+            child_of: Vec::new(),
+            spilled: Vec::new(),
+            children: sub,
+        });
+    }
+    // a child without execution capacity (a drained card, an empty node) is
+    // not a partition candidate
+    if !children.iter().any(|c| c.is_usable()) {
         return Err(ClusterPlanError::NoDevices);
     }
-    // per-device seconds of every subdomain, priced under that device's spec
+    // per-child seconds of every subdomain, priced at that child's vertex
     let seconds: Vec<Vec<f64>> = costs
         .iter()
-        .map(|c| (0..devices.len()).map(|d| seconds_of(c, d)).collect())
+        .map(|c| {
+            (0..children.len())
+                .map(|d| vertex_price(c, &children[d], d, path, seconds_of))
+                .collect()
+        })
         .collect();
-    // longest-first under the worst-case device (standard heuristic ordering
+    // longest-first under the worst-case child (standard heuristic ordering
     // for unrelated machines); ties broken by index for determinism
     let worst: Vec<f64> = seconds
         .iter()
@@ -542,16 +935,18 @@ pub fn plan_cluster_spill_by(
             .then(costs[a].index.cmp(&costs[b].index))
     });
 
-    let mut per_device = vec![Vec::new(); devices.len()];
-    let mut est_load = vec![0.0f64; devices.len()];
-    let mut device_of = vec![usize::MAX; costs.len()];
+    let weight: Vec<f64> = children.iter().map(|c| c.weight()).collect();
+    let mut per_child = vec![Vec::new(); children.len()];
+    let mut per_child_pos: Vec<Vec<usize>> = vec![Vec::new(); children.len()];
+    let mut est_load = vec![0.0f64; children.len()];
+    let mut child_of = vec![usize::MAX; costs.len()];
     let mut spilled = Vec::new();
     for k in order {
-        let best = (0..devices.len())
-            .filter(|&d| devices[d].admits(costs[k].temp_bytes))
+        let best = (0..children.len())
+            .filter(|&d| children[d].admits(costs[k].temp_bytes))
             .min_by(|&a, &b| {
-                let fa = (est_load[a] + seconds[k][a]) / devices[a].n_streams as f64; // sc-analyze: allow(precision-discipline)
-                let fb = (est_load[b] + seconds[k][b]) / devices[b].n_streams as f64; // sc-analyze: allow(precision-discipline)
+                let fa = (est_load[a] + seconds[k][a]) / weight[a];
+                let fb = (est_load[b] + seconds[k][b]) / weight[b];
                 fa.partial_cmp(&fb)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
@@ -560,19 +955,61 @@ pub fn plan_cluster_spill_by(
             spilled.push(costs[k].index);
             continue;
         };
-        per_device[d].push(costs[k].index);
+        per_child[d].push(costs[k].index);
+        per_child_pos[d].push(k);
         est_load[d] += seconds[k][d];
-        device_of[k] = d;
+        child_of[k] = d;
     }
     spilled.sort_unstable();
-    Ok((
-        ClusterPlan {
-            per_device,
-            est_load,
-            device_of,
-        },
+    // recurse: plan each child's subset one level down, placement order
+    let sub = children
+        .iter()
+        .enumerate()
+        .map(|(d, child)| {
+            let subset: Vec<CostEstimate> =
+                per_child_pos[d].iter().map(|&k| costs[k].clone()).collect();
+            path.push(d);
+            let p = plan_vertex(&subset, child, path, seconds_of);
+            path.pop();
+            p.expect("an admitted subset plans on its own child")
+        })
+        .collect();
+    Ok(TopoPlan {
+        per_child,
+        est_load,
+        child_of,
         spilled,
-    ))
+        children: sub,
+    })
+}
+
+/// Single-stream price of placing `cost` below child `d`: the leaf pricing
+/// at device/lane vertices, and — behind a node boundary — the interconnect
+/// transfer of the subdomain's boundary bytes **plus** the cheapest
+/// admissible placement inside (infinite when nothing inside admits it).
+fn vertex_price(
+    cost: &CostEstimate,
+    child: &Topology,
+    d: usize,
+    path: &mut Vec<usize>,
+    seconds_of: &impl Fn(&CostEstimate, &[usize]) -> f64,
+) -> f64 {
+    path.push(d);
+    let s = match child {
+        Topology::Streams { .. } | Topology::Device { .. } => seconds_of(cost, path),
+        Topology::Node { children, link } => {
+            let wire = link.map_or(0.0, |l| l.seconds(cost.exchange_bytes));
+            let best = children
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.admits(cost.temp_bytes))
+                .map(|(j, c)| vertex_price(cost, c, j, path, seconds_of))
+                .fold(f64::INFINITY, f64::min);
+            wire + best
+        }
+    };
+    path.pop();
+    s
 }
 
 /// How one subdomain's dual operator is realized (the hybrid decision).
@@ -1020,6 +1457,8 @@ impl ArenaSim {
 
 #[cfg(test)]
 mod tests {
+    // the historical planner entry points stay under test until removal
+    #![allow(deprecated)]
     use super::*;
     use crate::assemble::ScConfig;
     use sc_sparse::Coo;
@@ -1453,6 +1892,7 @@ mod tests {
             syrk_flops: 0.0,
             transfer_bytes: 0.0,
             temp_bytes,
+            exchange_bytes: 0.0,
             seconds: 0.0,
         };
         let a = ApplyEstimate {
@@ -1591,5 +2031,181 @@ mod tests {
         a.reserve(1.0, 2.0, 300);
         a.reserve(2.0, 5.0, 300);
         assert_eq!(a.high_water(), 700);
+    }
+
+    // ---- hierarchical engine -------------------------------------------
+
+    fn skewed_costs(n: usize) -> Vec<CostEstimate> {
+        (0..n)
+            .map(|i| {
+                let mut c = est(40, &[0; 12]);
+                c.index = i;
+                c.seconds = if i % 2 == 0 { 8.0 } else { 1.0 };
+                c.temp_bytes = 1 << 10;
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_leaf_plan_is_bitwise_the_deprecated_plan() {
+        for policy in [StreamPolicy::LptLeastLoaded, StreamPolicy::RoundRobin] {
+            let costs = skewed_costs(9);
+            let legacy = plan(&costs, 3, policy);
+            let topo = Topology::streams(3, policy);
+            let hier = plan_topology(&costs, &topo).unwrap();
+            assert!(hier.spilled.is_empty());
+            assert!(hier.children.is_empty(), "a lane leaf has no sub-plans");
+            let hier = hier.into_stream_plan();
+            assert_eq!(hier.assignments, legacy.assignments);
+            // bitwise: same placement in the same order sums identically
+            assert_eq!(hier.est_load, legacy.est_load);
+        }
+    }
+
+    #[test]
+    fn flat_node_plan_is_bitwise_the_deprecated_cluster_planner() {
+        let costs = skewed_costs(10);
+        let devs = vec![
+            slot(DeviceSpec::a100(), usize::MAX, 2),
+            slot(DeviceSpec::h100(), usize::MAX, 4),
+            slot(DeviceSpec::tiny_test_device(), usize::MAX, 1),
+        ];
+        let legacy = plan_cluster(&costs, &devs).unwrap();
+        let topo = Topology::node(devs.iter().cloned().map(Topology::device).collect(), None);
+        let hier = plan_topology(&costs, &topo).unwrap();
+        assert!(hier.spilled.is_empty());
+        assert_eq!(hier.children.len(), 3, "one sub-plan per device");
+        for (d, child) in hier.children.iter().enumerate() {
+            // the nested stream plan covers exactly the device's share
+            let mut below: Vec<usize> = child.per_child.concat();
+            below.sort_unstable();
+            let mut share = hier.per_child[d].clone();
+            share.sort_unstable();
+            assert_eq!(below, share);
+        }
+        let hier = hier.into_cluster_plan();
+        assert_eq!(hier.per_device, legacy.per_device);
+        assert_eq!(hier.est_load, legacy.est_load);
+        assert_eq!(hier.device_of, legacy.device_of);
+    }
+
+    #[test]
+    fn three_level_plan_places_each_subdomain_on_exactly_one_leaf() {
+        let costs = skewed_costs(12);
+        let node = |n_dev: usize| {
+            Topology::node(
+                (0..n_dev)
+                    .map(|_| Topology::device(slot(DeviceSpec::a100(), usize::MAX, 2)))
+                    .collect(),
+                Some(Interconnect::ideal()),
+            )
+        };
+        let topo = Topology::node(vec![node(2), node(3)], None);
+        let plan = plan_topology(&costs, &topo).unwrap();
+        assert!(plan.spilled.is_empty());
+        // level 1: every subdomain on exactly one node
+        let mut seen: Vec<usize> = plan.per_child.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        for (i, &d) in plan.child_of.iter().enumerate() {
+            assert!(plan.per_child[d].contains(&i));
+        }
+        // level 2 and 3: each node's plan covers its share, each device's
+        // lanes cover the device's share
+        for (d, nplan) in plan.children.iter().enumerate() {
+            let mut below: Vec<usize> = nplan.per_child.concat();
+            below.sort_unstable();
+            let mut share = plan.per_child[d].clone();
+            share.sort_unstable();
+            assert_eq!(below, share);
+            for (dd, dplan) in nplan.children.iter().enumerate() {
+                let mut lanes: Vec<usize> = dplan.per_child.concat();
+                lanes.sort_unstable();
+                let mut dev_share = nplan.per_child[dd].clone();
+                dev_share.sort_unstable();
+                assert_eq!(lanes, dev_share);
+            }
+        }
+    }
+
+    #[test]
+    fn interconnect_price_steers_boundary_heavy_work_to_the_cheap_link() {
+        let costs: Vec<CostEstimate> = (0..6)
+            .map(|i| {
+                let mut c = est(40, &[0; 12]);
+                c.index = i;
+                c.exchange_bytes = 1.0e9; // 1 GB of boundary rows each
+                c.temp_bytes = 1;
+                c
+            })
+            .collect();
+        let node_with = |link: Interconnect| {
+            Topology::node(
+                vec![Topology::device(slot(DeviceSpec::a100(), usize::MAX, 2))],
+                Some(link),
+            )
+        };
+        // a 1 GB exchange costs 1000 s over the slow link and 1 ms over the
+        // ideal one; local kernel seconds are microscopic next to either
+        let slow = Interconnect::new(0.0, 1.0e6);
+        let topo = Topology::node(
+            vec![node_with(slow), node_with(Interconnect::ideal())],
+            None,
+        );
+        let plan = plan_topology(&costs, &topo).unwrap();
+        assert!(
+            plan.per_child[1].len() > plan.per_child[0].len(),
+            "the cheap link must absorb the boundary-heavy work: {:?}",
+            plan.per_child
+        );
+    }
+
+    #[test]
+    fn hierarchical_spill_surfaces_at_the_root() {
+        let mut small = est(20, &[0; 4]);
+        small.index = 0;
+        small.temp_bytes = 1 << 8;
+        let mut huge = est(200, &[0; 20]);
+        huge.index = 1;
+        huge.temp_bytes = 1 << 30;
+        let topo = Topology::node(
+            vec![Topology::node(
+                vec![Topology::device(slot(DeviceSpec::a100(), 1 << 20, 2))],
+                Some(Interconnect::ideal()),
+            )],
+            None,
+        );
+        let plan = plan_topology(&[small, huge], &topo).unwrap();
+        assert_eq!(plan.spilled, vec![1]);
+        assert_eq!(plan.child_of[1], usize::MAX);
+        assert_eq!(plan.per_child[0], vec![0]);
+        // a topology with no usable leaves still reports NoDevices
+        let dead = Topology::node(Vec::new(), None);
+        assert_eq!(
+            plan_topology(&[est(10, &[2])], &dead).unwrap_err(),
+            ClusterPlanError::NoDevices
+        );
+    }
+
+    #[test]
+    fn est_makespan_never_grows_with_more_nodes() {
+        let costs = skewed_costs(16);
+        let node_of = |n_dev: usize| {
+            Topology::node(
+                (0..n_dev)
+                    .map(|_| Topology::device(slot(DeviceSpec::a100(), usize::MAX, 2)))
+                    .collect(),
+                Some(Interconnect::ideal()),
+            )
+        };
+        let one = Topology::node(vec![node_of(2)], None);
+        let four = Topology::node((0..4).map(|_| node_of(2)).collect(), None);
+        let m1 = plan_topology(&costs, &one).unwrap().est_makespan(&one);
+        let m4 = plan_topology(&costs, &four).unwrap().est_makespan(&four);
+        assert!(
+            m4 <= m1 + 1e-12,
+            "4 nodes ({m4}) must not be slower than 1 ({m1})"
+        );
     }
 }

@@ -50,12 +50,17 @@ use crate::batch::{
     batch_cluster_impl, batch_cpu, batch_scheduled, BatchReport, ClusterOptions, ClusterReport,
     SubdomainTiming,
 };
-use crate::schedule::{Formulation, HybridPlan, ScheduleOptions, ScheduledSpan};
+use crate::schedule::{
+    estimate_cost_of, plan_topology, ClusterPlanError, CostEstimate, Formulation, HybridPlan,
+    ScheduleOptions, ScheduledSpan, Topology,
+};
 use crate::source::{BatchSource, IntoBatchSource};
 use sc_dense::{Mat, MatOf, Scalar};
-use sc_gpu::{Device, DevicePool};
+use sc_gpu::{Device, DevicePool, NodePool, SimSpan, TraceEvent};
 use sc_sparse::CscOf;
+use std::borrow::Cow;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Working precision of the assembly/solve numerics.
 ///
@@ -154,6 +159,19 @@ pub enum Target {
         /// Cluster scheduling options for the on-pool share.
         opts: ClusterOptions,
     },
+    /// A simulated multi-node cluster: the hierarchical planner partitions
+    /// subdomains across nodes by the §4.4 cost model **plus** priced
+    /// inter-node lambda/gluing traffic over each node's
+    /// [`Interconnect`](sc_gpu::Interconnect), then each node runs the
+    /// two-level cluster driver on its own [`DevicePool`]. The report gains
+    /// a per-node roll-up ([`AssemblyReport::nodes`]) with exchange-byte
+    /// accounting.
+    MultiNode {
+        /// The simulated cluster.
+        pool: Arc<NodePool>,
+        /// Scheduling options shared by every node's device pool.
+        opts: ClusterOptions,
+    },
 }
 
 impl std::fmt::Debug for Target {
@@ -172,6 +190,12 @@ impl std::fmt::Debug for Target {
                 .finish(),
             Target::Hybrid { pool, opts } => f
                 .debug_struct("Hybrid")
+                .field("n_devices", &pool.n_devices())
+                .field("opts", opts)
+                .finish(),
+            Target::MultiNode { pool, opts } => f
+                .debug_struct("MultiNode")
+                .field("n_nodes", &pool.n_nodes())
                 .field("n_devices", &pool.n_devices())
                 .field("opts", opts)
                 .finish(),
@@ -262,6 +286,20 @@ impl Backend {
         Target::Hybrid { pool, opts }.into()
     }
 
+    /// A simulated multi-node cluster under the default cluster options.
+    pub fn multi_node(pool: Arc<NodePool>) -> Self {
+        Target::MultiNode {
+            pool,
+            opts: ClusterOptions::default(),
+        }
+        .into()
+    }
+
+    /// A simulated multi-node cluster under explicit cluster options.
+    pub fn multi_node_with(pool: Arc<NodePool>, opts: ClusterOptions) -> Self {
+        Target::MultiNode { pool, opts }.into()
+    }
+
     /// Set the working precision (builder style).
     pub fn precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
@@ -275,6 +313,7 @@ impl Backend {
             Target::Gpu { .. } => "gpu",
             Target::Cluster { .. } => "cluster",
             Target::Hybrid { .. } => "hybrid",
+            Target::MultiNode { .. } => "multinode",
         }
     }
 
@@ -292,6 +331,15 @@ impl Backend {
     pub fn device(&self) -> Option<&Arc<Device>> {
         match &self.target {
             Target::Gpu { device, .. } => Some(device),
+            _ => None,
+        }
+    }
+
+    /// The node pool of the [`Target::MultiNode`] target, if that is what
+    /// this backend runs on.
+    pub fn node_pool(&self) -> Option<&Arc<NodePool>> {
+        match &self.target {
+            Target::MultiNode { pool, .. } => Some(pool),
             _ => None,
         }
     }
@@ -444,7 +492,175 @@ fn dispatch<S: Scalar, Src: BatchSource<S>>(
             });
             (out.f, report)
         }
+        Target::MultiNode { pool, opts } => batch_multi_node(src, cfg, pool, opts),
     }
+}
+
+/// A view of a subset of another batch source: the per-node shares of the
+/// multi-node driver, in node-placement order.
+struct SubsetSource<'a, Src> {
+    src: &'a Src,
+    idx: &'a [usize],
+}
+
+impl<S: Scalar, Src: BatchSource<S>> BatchSource<S> for SubsetSource<'_, Src> {
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    fn factor(&self, i: usize) -> Cow<'_, CscOf<S>> {
+        self.src.factor(self.idx[i])
+    }
+
+    fn gluing(&self, i: usize) -> &CscOf<S> {
+        self.src.gluing(self.idx[i])
+    }
+}
+
+/// The multi-node driver: partition subdomains across nodes with the
+/// hierarchical planner (analytic §4.4 pricing plus the interconnect cost
+/// of each subdomain's boundary bytes), run the two-level cluster driver on
+/// every node's own pool, then merge the per-node reports into one flat
+/// [`AssemblyReport`] with global device numbering and a per-node roll-up.
+///
+/// Each node's boundary traffic is charged as **one aggregated exchange**
+/// on its timeline after its replay (the assembly-phase lambda/gluing rows
+/// leave the node once), recorded as a [`TraceEvent::Exchange`] on the
+/// node's first reporting device; a single-node pool exchanges nothing and
+/// reproduces the cluster driver's timings exactly.
+fn batch_multi_node<S: Scalar, Src: BatchSource<S>>(
+    src: &Src,
+    cfg: &ScConfig,
+    pool: &Arc<NodePool>,
+    opts: &ClusterOptions,
+) -> (Vec<MatOf<S>>, AssemblyReport) {
+    if let Some(ready) = opts.ready_at.as_ref() {
+        assert_eq!(
+            ready.len(),
+            src.len(),
+            "ClusterOptions::ready_at must carry one readiness time per \
+             batch item ({} given, {} items)",
+            ready.len(),
+            src.len()
+        );
+    }
+    let t0 = Instant::now();
+    if !src.is_empty() {
+        assert!(
+            !pool.is_empty(),
+            // documented batch-API contract: planning failure aborts. sc-analyze: allow(panic-surface)
+            "multi-node partition failed: {}",
+            ClusterPlanError::NoDevices
+        );
+    }
+
+    // node-level partition: analytic §4.4 estimates priced under the first
+    // device's spec, re-priced per placement by the topology (each node's
+    // own device specs plus its interconnect for the boundary bytes)
+    let ref_spec = if pool.is_empty() {
+        sc_gpu::DeviceSpec::host()
+    } else {
+        pool.node(0).pool.device(0).spec().clone()
+    };
+    let costs: Vec<CostEstimate> = (0..src.len())
+        .map(|i| {
+            let l = src.factor(i);
+            let bt = src.gluing(i);
+            let params = cfg.resolve(true, &l, bt);
+            estimate_cost_of::<S>(&ref_spec, &l, bt, &params, i)
+        })
+        .collect();
+    let topo = Topology::of_cluster(pool, opts.policy);
+    let plan = plan_topology(&costs, &topo)
+        // documented batch-API contract: planning failure aborts. sc-analyze: allow(panic-surface)
+        .unwrap_or_else(|e| panic!("multi-node partition failed: {e}"));
+    if !plan.spilled.is_empty() {
+        // documented batch-API contract: an unplaceable subdomain aborts
+        // (use Target::Hybrid inside a node for spill tolerance).
+        // sc-analyze: allow(panic-surface)
+        panic!(
+            "multi-node partition failed: subdomains {:?} fit no node's \
+             device arenas",
+            plan.spilled
+        );
+    }
+
+    let mut f_slots: Vec<Option<MatOf<S>>> = (0..src.len()).map(|_| None).collect();
+    let mut report = AssemblyReport::default();
+    for (d, node) in pool.nodes().iter().enumerate() {
+        let idx = &plan.per_child[d];
+        let sub = SubsetSource { src, idx };
+        let mut sub_opts = ClusterOptions::default().with_policy(opts.policy);
+        if let Some(r) = opts.ready_at.as_ref() {
+            sub_opts = sub_opts.with_ready_at(idx.iter().map(|&g| r[g]).collect());
+        }
+        let out = batch_cluster_impl(&sub, cfg, &node.pool, &sub_opts, false);
+        for (local_f, &g) in out.f.into_iter().zip(idx.iter()) {
+            f_slots[g] = Some(local_f);
+        }
+        let mut nrep = AssemblyReport::from_cluster(&out.report);
+        nrep.remap_indices(idx);
+
+        // the node's boundary bytes leave over its link once, after its
+        // replay: one aggregated exchange, overlapping nothing it feeds
+        let exchange_bytes: f64 = if pool.n_nodes() > 1 {
+            idx.iter().map(|&g| costs[g].exchange_bytes).sum()
+        } else {
+            0.0
+        };
+        let exchange_seconds = if exchange_bytes > 0.0 {
+            node.link.seconds(exchange_bytes)
+        } else {
+            0.0
+        };
+
+        // flatten into global device numbering
+        let base = report.devices.len();
+        let mut node_devices = Vec::with_capacity(nrep.devices.len());
+        for mut dev in nrep.devices {
+            dev.device += base;
+            if exchange_seconds > 0.0 && dev.device == base {
+                if let Some(trace) = dev.trace.as_mut() {
+                    let at = node.pool.synchronize_all();
+                    trace.events.push(TraceEvent::Exchange {
+                        label: "lambda-exchange",
+                        peer: (d + 1) % pool.n_nodes(),
+                        bytes: exchange_bytes as usize, // sc-analyze: allow(precision-discipline)
+                        span: SimSpan {
+                            start: at,
+                            end: at + exchange_seconds,
+                        },
+                        writes: Vec::new(),
+                    });
+                }
+            }
+            node_devices.push(dev.device);
+            report.devices.push(dev);
+        }
+        for mut t in nrep.subdomains {
+            t.device = t.device.map(|dd| dd + base);
+            t.node = Some(d);
+            report.subdomains.push(t);
+        }
+        report.nodes.push(NodeReport {
+            node: d,
+            devices: node_devices,
+            subdomains: idx.clone(),
+            makespan: nrep.makespan + exchange_seconds,
+            exchange_bytes,
+            exchange_seconds,
+        });
+        report.cache_hits += nrep.cache_hits;
+        report.cache_misses += nrep.cache_misses;
+    }
+    report.subdomains.sort_by_key(|t| t.index);
+    report.makespan = report.nodes.iter().map(|n| n.makespan).fold(0.0, f64::max);
+    report.total_seconds = t0.elapsed().as_secs_f64();
+    let f = f_slots
+        .into_iter()
+        .map(|m| m.expect("every subdomain assembled on exactly one node"))
+        .collect();
+    (f, report)
 }
 
 /// One stream's executed spans inside a [`DeviceReport`], chronological.
@@ -498,6 +714,28 @@ impl DeviceReport {
     }
 }
 
+/// Per-node section of an [`AssemblyReport`]: which devices and subdomains
+/// the node owned, plus the cost of shipping its boundary rows to the rest
+/// of the cluster over its interconnect. Empty unless the batch ran on a
+/// [`Target::MultiNode`] backend.
+#[derive(Clone, Debug, Default)]
+pub struct NodeReport {
+    /// Pool index of the node.
+    pub node: usize,
+    /// Global (flattened) device indices owned by this node, ascending.
+    pub devices: Vec<usize>,
+    /// Subdomain indices assigned to this node, in placement order.
+    pub subdomains: Vec<usize>,
+    /// Simulated makespan of this node's share **including** the trailing
+    /// boundary exchange.
+    pub makespan: f64,
+    /// Boundary (lambda/gluing) bytes this node ships to its peers.
+    pub exchange_bytes: f64,
+    /// Simulated seconds of that exchange under the node's interconnect
+    /// (0 on a single-node pool: nothing leaves the node).
+    pub exchange_seconds: f64,
+}
+
 /// The hybrid section of an [`AssemblyReport`]: which subdomains ran where
 /// and why, with predicted-vs-realized cost when a decision layer planned
 /// the split.
@@ -543,6 +781,9 @@ pub struct AssemblyReport {
     /// Per-device roll-ups (empty on pure-CPU runs; idle pool devices keep
     /// an entry with an empty share).
     pub devices: Vec<DeviceReport>,
+    /// Per-node roll-ups over `devices` (empty unless the batch ran on a
+    /// [`Target::MultiNode`] backend).
+    pub nodes: Vec<NodeReport>,
     /// Hybrid split decisions (`None` unless the backend or a decision
     /// layer split the batch).
     pub hybrid: Option<HybridSummary>,
@@ -612,6 +853,7 @@ impl AssemblyReport {
         AssemblyReport {
             subdomains: rep.timings,
             devices,
+            nodes: Vec::new(),
             hybrid: None,
             total_seconds: rep.total_seconds,
             makespan: rep.device_seconds,
@@ -646,6 +888,7 @@ impl AssemblyReport {
         AssemblyReport {
             subdomains,
             devices,
+            nodes: Vec::new(),
             hybrid: None,
             total_seconds: rep.total_seconds,
             makespan: rep.makespan,
@@ -754,6 +997,11 @@ impl AssemblyReport {
             }
             for e in &mut d.schedule {
                 e.index = map[e.index];
+            }
+        }
+        for n in &mut self.nodes {
+            for g in &mut n.subdomains {
+                *g = map[*g];
             }
         }
     }

@@ -21,7 +21,7 @@ use sc_core::{
 use sc_dense::{Mat, Scalar};
 use sc_factor::Engine;
 use sc_fem::HeatProblem;
-use sc_gpu::{DevicePool, GpuKernels};
+use sc_gpu::{DevicePool, GpuKernels, NodePool, Stream};
 use sc_order::Ordering;
 use sc_sparse::{Coo, Csc};
 use std::borrow::Cow;
@@ -402,6 +402,98 @@ fn remap_cluster_report(mut rep: ClusterReport, map: &[usize], n_total: usize) -
     rep
 }
 
+/// Simulated inter-node boundary exchange of the multi-node backend's
+/// PCPG. Per dual-operator application each node receives its subdomains'
+/// boundary multiplier values from its peers over its interconnect; the
+/// exchange is posted **before** the local GEMVs are submitted, so queued
+/// local work overlaps the transfer, and only the remainder a stream could
+/// not hide is accumulated as stall time
+/// ([`PcpgStats::exchange_stall_seconds`]). On a single-node pool the
+/// simulation is inert and the solve is bitwise the cluster path.
+struct ExchangeSim {
+    pool: Arc<NodePool>,
+    /// Per node, the streams carrying device-resident operators — the lanes
+    /// whose GEMV results feed the global dual vector.
+    streams: Vec<Vec<Stream>>,
+    /// Boundary bytes entering each node per application.
+    bytes_in: Vec<f64>,
+    /// Stall seconds accumulated across applications; drained into the
+    /// solve's statistics (uncontended: PCPG applies sequentially).
+    stall: std::sync::Mutex<f64>,
+}
+
+impl ExchangeSim {
+    /// Collect each node's dependent streams and incoming boundary bytes
+    /// from the multi-node assembly report.
+    fn build(pool: &Arc<NodePool>, report: &AssemblyReport, problem: &HeatProblem) -> Self {
+        let n = pool.n_nodes();
+        let mut streams: Vec<Vec<Stream>> = vec![Vec::new(); n];
+        let mut seen: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        let mut bytes_in = vec![0.0; n];
+        for t in &report.subdomains {
+            let (Some(node), Some(flat), Some(s)) = (t.node, t.device, t.stream) else {
+                continue;
+            };
+            // every application refreshes this subdomain's boundary
+            // multipliers from the peers: 8 bytes per lambda row
+            bytes_in[node] += 8.0 * problem.subdomains[t.index].n_lambda() as f64; // sc-analyze: allow(precision-discipline)
+            if !seen[node].contains(&(flat, s)) {
+                seen[node].push((flat, s));
+                streams[node].push(node_local_device(pool, flat).stream(s));
+            }
+        }
+        ExchangeSim {
+            pool: Arc::clone(pool),
+            streams,
+            bytes_in,
+            stall: std::sync::Mutex::new(0.0),
+        }
+    }
+
+    /// Post this application's exchanges: each node's incoming boundary
+    /// data arrives `link.seconds(bytes_in)` after its streams' current
+    /// frontier. Returns `None` on a single-node pool (nothing exchanged).
+    fn begin(&self) -> Option<Vec<f64>> {
+        if self.pool.n_nodes() < 2 {
+            return None;
+        }
+        Some(
+            self.pool
+                .nodes()
+                .iter()
+                .enumerate()
+                .map(|(d, ns)| {
+                    let t_send = self.streams[d].iter().map(|s| s.time()).fold(0.0, f64::max);
+                    t_send + ns.link.seconds(self.bytes_in[d])
+                })
+                .collect(),
+        )
+    }
+
+    /// Close this application's exchanges after the local GEMVs were
+    /// submitted: a stream whose queued work ends before its node's data
+    /// arrival stalls for the remainder; work past the arrival hid the
+    /// transfer entirely.
+    fn finish(&self, arrivals: &[f64]) {
+        let mut stalled = 0.0;
+        for (d, lanes) in self.streams.iter().enumerate() {
+            for s in lanes {
+                let wait = arrivals[d] - s.time();
+                if wait > 0.0 {
+                    stalled += wait;
+                    s.advance_to(arrivals[d]);
+                }
+            }
+        }
+        *self.stall.lock().expect("stall mutex poisoned") += stalled;
+    }
+
+    /// Take the accumulated stall seconds, resetting the counter.
+    fn drain(&self) -> f64 {
+        std::mem::take(&mut *self.stall.lock().expect("stall mutex poisoned"))
+    }
+}
+
 /// A preprocessed FETI solver: factorizations, explicit operators (if
 /// requested), and the coarse problem, ready to serve many right-hand
 /// sides through [`FetiSolver::solve`] / [`FetiSolver::solve_rhs`].
@@ -430,6 +522,9 @@ pub struct FetiSolver<'p> {
     e: Vec<f64>,
     /// The unified preprocessing report (`None` for the implicit mode).
     report: Option<AssemblyReport>,
+    /// Simulated PCPG boundary-exchange overlap; `Some` exactly when the
+    /// backend is a multi-node pool with device-resident operators.
+    exchange_sim: Option<ExchangeSim>,
     /// Legacy report shapes, derived once for the deprecated accessors.
     legacy_assembly: Option<BatchReport>,
     legacy_cluster: Option<ClusterReport>,
@@ -571,6 +666,16 @@ impl<'p> FetiSolver<'p> {
                 .collect()
         });
 
+        // the multi-node backend overlaps PCPG boundary exchanges with the
+        // local applies; every other target leaves the solve untouched
+        let exchange_sim = match &plan.backend.target {
+            Target::MultiNode { pool, .. } if pool.n_nodes() > 1 => report
+                .as_ref()
+                .filter(|rep| !rep.nodes.is_empty())
+                .map(|rep| ExchangeSim::build(pool, rep, problem)),
+            _ => None,
+        };
+
         let mut solver = FetiSolver {
             problem,
             opts,
@@ -584,6 +689,7 @@ impl<'p> FetiSolver<'p> {
             d: Vec::new(),
             e: Vec::new(),
             report,
+            exchange_sim,
             legacy_assembly,
             legacy_cluster,
             legacy_hybrid,
@@ -673,7 +779,15 @@ impl<'p> FetiSolver<'p> {
     }
 
     /// Apply the assembled dual operator `F` to a global dual vector.
+    ///
+    /// Under the multi-node backend the application also advances the
+    /// simulated boundary exchange: each node's incoming data is posted
+    /// before the local GEMVs submit, so queued device work overlaps the
+    /// transfer; unhidden wait accumulates as
+    /// [`PcpgStats::exchange_stall_seconds`]. The numerics are identical
+    /// either way — the simulation only moves stream clocks.
     pub fn apply_f(&self, p: &[f64]) -> Vec<f64> {
+        let arrivals = self.exchange_sim.as_ref().and_then(|sim| sim.begin());
         let locals: Vec<Vec<f64>> = self
             .problem
             .subdomains
@@ -703,6 +817,9 @@ impl<'p> FetiSolver<'p> {
                 ql
             })
             .collect();
+        if let (Some(sim), Some(arrivals)) = (self.exchange_sim.as_ref(), arrivals) {
+            sim.finish(&arrivals);
+        }
         let mut q = vec![0.0; self.problem.n_lambda];
         for (sd, ql) in self.problem.subdomains.iter().zip(&locals) {
             for (ll, &gl) in sd.lambda_ids.iter().enumerate() {
@@ -824,7 +941,12 @@ impl<'p> FetiSolver<'p> {
             self.g.spmv(1.0, &y, 0.0, &mut l0);
             l0
         };
-        let (lambda, stats, refinement) = match self.precision {
+        // reset the exchange-stall counter so the stamped figure below
+        // covers exactly this solve's dual-operator applications
+        if let Some(sim) = &self.exchange_sim {
+            let _ = sim.drain();
+        }
+        let (lambda, mut stats, refinement) = match self.precision {
             Precision::F64 => {
                 let res = self.pcpg_f64(opts, d, lambda0);
                 (res.lambda, res.stats, None)
@@ -834,6 +956,9 @@ impl<'p> FetiSolver<'p> {
                 max_refine,
             } => self.solve_refined(opts, d, lambda0, refine_tol, max_refine),
         };
+        if let Some(sim) = &self.exchange_sim {
+            stats.exchange_stall_seconds = sim.drain();
+        }
         let u_locals = self.recover_primal_with(&lambda, d, f_locals);
         FetiSolution {
             u_locals,
@@ -923,6 +1048,7 @@ impl<'p> FetiSolver<'p> {
                 rel_residual: 0.0,
                 converged: true,
                 breakdown: None,
+                exchange_stall_seconds: 0.0,
             };
             let refinement = RefinementStats {
                 outer_iterations: 0,
@@ -993,6 +1119,7 @@ impl<'p> FetiSolver<'p> {
                 rel_residual: rel,
                 converged: true,
                 breakdown: None,
+                exchange_stall_seconds: 0.0,
             };
             let refinement = RefinementStats {
                 outer_iterations: outer,
@@ -1089,6 +1216,20 @@ fn demote(x: &[f64]) -> Vec<f32> {
     x.iter().map(|&v| f32::from_f64(v)).collect()
 }
 
+/// Resolve a report's **flattened** (cluster-global) device index to the
+/// owning node's device handle.
+fn node_local_device(pool: &NodePool, flat: usize) -> &Arc<sc_gpu::Device> {
+    let mut d = flat;
+    for ns in pool.nodes() {
+        let n = ns.pool.n_devices();
+        if d < n {
+            return ns.pool.device(d);
+        }
+        d -= n;
+    }
+    panic!("device index {flat} lies outside the node pool") // sc-analyze: allow(panic-surface)
+}
+
 /// Bind each assembled `F̃ᵢ` to its operator slot: subdomains the report
 /// placed on a device get a device-resident GEMV operator on the stream
 /// their schedule used; host subdomains (CPU backend, hybrid spills) get
@@ -1110,6 +1251,10 @@ fn bind_ops(f: Vec<Mat>, report: &AssemblyReport, backend: &Backend) -> Vec<OpSl
                         kernels: GpuKernels::new(pool.device(d).stream(s)),
                     }
                 }
+                (Target::MultiNode { pool, .. }, Some(d), Some(s)) => DualOperator::ExplicitGpu {
+                    f: mat,
+                    kernels: GpuKernels::new(node_local_device(pool, d).stream(s)),
+                },
                 _ => DualOperator::ExplicitCpu(mat),
             };
             OpSlot::Own(op)
@@ -1139,6 +1284,17 @@ fn assemble_auto(
                 opts = opts.with_ready_at(r.clone());
             }
             (DevicePool::from_devices(vec![Arc::clone(device)]), opts)
+        }
+        // the per-subdomain decision layer works over a flat device list:
+        // the node pool's devices, interconnects not priced (the explicit
+        // share's placement is intra-node here)
+        Target::MultiNode { pool, opts } => {
+            let devices: Vec<_> = pool
+                .nodes()
+                .iter()
+                .flat_map(|ns| ns.pool.devices().iter().cloned())
+                .collect();
+            (DevicePool::from_devices(devices), opts.clone())
         }
         _ => (
             DevicePool::from_devices(Vec::new()),

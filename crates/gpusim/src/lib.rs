@@ -22,6 +22,7 @@ pub mod cost;
 pub mod device;
 pub mod kernels;
 pub mod memory;
+pub mod node;
 pub mod pool;
 pub mod timeline;
 pub mod trace;
@@ -30,6 +31,7 @@ pub use cost::KernelCost;
 pub use device::DeviceSpec;
 pub use kernels::GpuKernels;
 pub use memory::{TempAlloc, TempPool};
+pub use node::{Interconnect, NodePool, NodeSpec};
 pub use pool::DevicePool;
 pub use timeline::{Device, SimSpan, Stream};
 pub use trace::{SlotAccess, Trace, TraceEvent};

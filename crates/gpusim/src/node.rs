@@ -1,0 +1,239 @@
+//! Multi-node topology: nodes (a device pool each) joined by an
+//! interconnect whose latency/bandwidth price inter-node exchanges.
+//!
+//! The paper's production setting runs many 8-GPU nodes; past one node the
+//! dominant cost is no longer kernel speed but the boundary traffic between
+//! ranks (lambda segments, gluing rows). [`Interconnect`] is the two-number
+//! cost model of one such link, [`NodeSpec`] pairs a node's [`DevicePool`]
+//! with the link that feeds it, and [`NodePool`] is the cluster: the
+//! execution target of the multi-node backend in `sc_core`.
+
+use crate::device::DeviceSpec;
+use crate::pool::DevicePool;
+use std::sync::Arc;
+
+/// Latency/bandwidth cost model of one inter-node link (the §4.4 cost model
+/// extended beyond PCIe: a message of `b` bytes costs
+/// `latency_s + b / bandwidth_bytes_per_s`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interconnect {
+    /// Fixed per-message latency in seconds.
+    pub latency_s: f64,
+    /// Sustained link bandwidth in bytes per second (must be positive).
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl Interconnect {
+    /// An explicit latency/bandwidth pair.
+    ///
+    /// # Panics
+    ///
+    /// When the latency is negative/non-finite or the bandwidth is not
+    /// positive — a zero-bandwidth link would price every exchange at
+    /// infinity and corrupt the planner's orderings.
+    pub fn new(latency_s: f64, bandwidth_bytes_per_s: f64) -> Self {
+        assert!(
+            latency_s.is_finite() && latency_s >= 0.0,
+            "interconnect latency must be a non-negative number, got {latency_s}"
+        );
+        assert!(
+            bandwidth_bytes_per_s > 0.0,
+            "interconnect bandwidth must be positive, got {bandwidth_bytes_per_s}"
+        );
+        Interconnect {
+            latency_s,
+            bandwidth_bytes_per_s,
+        }
+    }
+
+    /// A 200 Gb/s-class HDR InfiniBand link (~2 µs latency, 25 GB/s) — the
+    /// fabric of the Karolina cluster the paper benchmarks on.
+    pub fn infiniband() -> Self {
+        Interconnect::new(2.0e-6, 25.0e9)
+    }
+
+    /// An effectively free link (zero latency, 1 TB/s): the baseline for
+    /// scaling studies that isolate partition quality from exchange cost.
+    pub fn ideal() -> Self {
+        Interconnect::new(0.0, 1.0e12)
+    }
+
+    /// Seconds to move `bytes` over this link (latency plus the bandwidth
+    /// term; a zero-byte message still pays the latency).
+    pub fn seconds(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes.max(0.0) / self.bandwidth_bytes_per_s
+    }
+}
+
+/// One node of a simulated cluster: its device pool plus the interconnect
+/// that feeds it (the link every off-node byte destined for this node
+/// crosses).
+#[derive(Clone)]
+pub struct NodeSpec {
+    /// The node's devices (an independent simulator per node).
+    pub pool: Arc<DevicePool>,
+    /// The inter-node link this node exchanges over.
+    pub link: Interconnect,
+}
+
+impl NodeSpec {
+    /// Pair an existing device pool with a link.
+    pub fn new(pool: Arc<DevicePool>, link: Interconnect) -> Self {
+        NodeSpec { pool, link }
+    }
+
+    /// A node of `n_devices` identical devices with `n_streams` streams
+    /// each, behind the given link.
+    pub fn uniform(
+        spec: DeviceSpec,
+        n_devices: usize,
+        n_streams: usize,
+        link: Interconnect,
+    ) -> Self {
+        NodeSpec {
+            pool: DevicePool::uniform(spec, n_devices, n_streams),
+            link,
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeSpec")
+            .field("n_devices", &self.pool.n_devices())
+            .field("link", &self.link)
+            .finish()
+    }
+}
+
+/// A simulated multi-node cluster: the execution target of
+/// `Backend::multi_node` in `sc_core`. Nodes run concurrently; each node's
+/// [`DevicePool`] keeps its own timelines, and the pool-level accessors
+/// mirror [`DevicePool`]'s so drivers can treat the two tiers uniformly.
+#[derive(Debug)]
+pub struct NodePool {
+    nodes: Vec<NodeSpec>,
+}
+
+impl NodePool {
+    /// A cluster of `n_nodes` identical nodes (`devices_per_node` copies of
+    /// `spec`, `n_streams` streams each) joined by `link`.
+    pub fn uniform(
+        spec: DeviceSpec,
+        n_nodes: usize,
+        devices_per_node: usize,
+        n_streams: usize,
+        link: Interconnect,
+    ) -> Arc<Self> {
+        Arc::new(NodePool {
+            nodes: (0..n_nodes)
+                .map(|_| NodeSpec::uniform(spec.clone(), devices_per_node, n_streams, link))
+                .collect(),
+        })
+    }
+
+    /// A cluster from explicit (possibly heterogeneous) node specs.
+    pub fn from_nodes(nodes: Vec<NodeSpec>) -> Arc<Self> {
+        Arc::new(NodePool { nodes })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster holds no node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node `i`.
+    pub fn node(&self, i: usize) -> &NodeSpec {
+        &self.nodes[i]
+    }
+
+    /// All nodes, in cluster order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Total device count across all nodes.
+    pub fn n_devices(&self) -> usize {
+        self.nodes.iter().map(|n| n.pool.n_devices()).sum()
+    }
+
+    /// Total stream count across all nodes (the cluster's parallel width).
+    pub fn total_streams(&self) -> usize {
+        self.nodes.iter().map(|n| n.pool.total_streams()).sum()
+    }
+
+    /// Largest simulated completion time across every node's devices.
+    pub fn synchronize_all(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.pool.synchronize_all())
+            .fold(0.0, f64::max)
+    }
+
+    /// Reset every node's device timelines (new experiment).
+    pub fn reset_all(&self) {
+        for n in &self.nodes {
+            n.pool.reset_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_prices_latency_plus_bandwidth() {
+        let l = Interconnect::new(1.0e-6, 1.0e9);
+        assert_eq!(l.seconds(0.0), 1.0e-6);
+        let t = l.seconds(1.0e9);
+        assert!((t - (1.0 + 1.0e-6)).abs() < 1e-12);
+        // the ideal link is effectively free but still well-formed
+        assert!(Interconnect::ideal().seconds(1e6) < 1e-5);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_rejected() {
+        assert!(std::panic::catch_unwind(|| Interconnect::new(0.0, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Interconnect::new(f64::NAN, 1.0)).is_err());
+    }
+
+    #[test]
+    fn node_pool_counts_devices_and_streams() {
+        let pool = NodePool::uniform(
+            DeviceSpec::tiny_test_device(),
+            3,
+            2,
+            4,
+            Interconnect::ideal(),
+        );
+        assert_eq!(pool.n_nodes(), 3);
+        assert_eq!(pool.n_devices(), 6);
+        assert_eq!(pool.total_streams(), 24);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.node(1).pool.n_devices(), 2);
+    }
+
+    #[test]
+    fn node_timelines_are_independent_and_resettable() {
+        let pool = NodePool::uniform(
+            DeviceSpec::tiny_test_device(),
+            2,
+            1,
+            1,
+            Interconnect::ideal(),
+        );
+        let c = crate::cost::KernelCost::compute(1e6, 8e3);
+        pool.node(0).pool.device(0).stream(0).submit(&c);
+        assert!(pool.node(0).pool.synchronize_all() > 0.0);
+        assert_eq!(pool.node(1).pool.synchronize_all(), 0.0);
+        assert!(pool.synchronize_all() > 0.0);
+        pool.reset_all();
+        assert_eq!(pool.synchronize_all(), 0.0);
+    }
+}

@@ -92,6 +92,24 @@ pub enum TraceEvent {
         /// Arena slots the kernel writes.
         writes: Vec<usize>,
     },
+    /// One simulated inter-node transfer over the cluster interconnect
+    /// (recorded by the multi-node drivers). A kernel that **reads** a slot
+    /// this exchange **writes** depends on the delivered bytes and must not
+    /// start before the exchange's span ends — the hazard
+    /// `sc_analyze::trace::validate` flags as an exchange overlap.
+    Exchange {
+        /// Transfer family (e.g. `"lambda-exchange"`).
+        label: &'static str,
+        /// Peer node the bytes move to/from.
+        peer: usize,
+        /// Bytes on the wire.
+        bytes: usize,
+        /// Simulated transfer interval on the node timeline.
+        span: SimSpan,
+        /// Arena slots whose contents the exchange delivers (dependents
+        /// must wait; empty for pure egress transfers).
+        writes: Vec<usize>,
+    },
 }
 
 /// A complete recorded schedule of one device replay: the event stream plus
@@ -147,6 +165,14 @@ impl Trace {
         self.events
             .iter()
             .filter(|e| matches!(e, TraceEvent::Alloc { .. }))
+            .count()
+    }
+
+    /// Number of inter-node exchange events in the trace.
+    pub fn n_exchanges(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Exchange { .. }))
             .count()
     }
 }

@@ -75,20 +75,21 @@ pub use sc_sparse;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use sc_core::{
-        assemble_sc, estimate_apply, estimate_cost, plan_cluster, plan_cluster_spill, plan_hybrid,
+        assemble_sc, estimate_apply, estimate_cost, plan_hybrid, plan_topology, plan_topology_by,
         ApplyEstimate, AssemblyReport, AssemblyResult, AssemblySession, Backend, BatchItem,
         BatchReport, BatchResult, BatchSource, BlockCutsCache, BlockParam, ClusterOptions,
         ClusterPlan, ClusterPlanError, ClusterReport, ClusterResult, CostEstimate, CpuExec,
         DeviceReport, DeviceSlot, FactorStorage, Formulation, GpuExec, HybridForce, HybridPlan,
-        HybridPlanOptions, HybridSummary, IntoBatchSource, LazyBatch, Precision, RecordingExec,
-        ScConfig, ScParams, ScheduleOptions, ScheduledSpan, SteppedRhs, StreamLane, StreamPolicy,
-        SubdomainTiming, SyrkVariant, TrsmVariant,
+        HybridPlanOptions, HybridSummary, IntoBatchSource, LazyBatch, NodeReport, Precision,
+        RecordingExec, ScConfig, ScParams, ScheduleOptions, ScheduledSpan, SteppedRhs, StreamLane,
+        StreamPolicy, SubdomainTiming, SyrkVariant, TopoPlan, Topology, TrsmVariant,
     };
-    // deprecated free-function drivers, kept one release for migration
+    // deprecated free-function drivers and planners, kept one release for
+    // migration (the planners are now thin wrappers over `plan_topology`)
     #[allow(deprecated)]
     pub use sc_core::{
         assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_gpu,
-        assemble_sc_batch_scheduled,
+        assemble_sc_batch_scheduled, plan_cluster, plan_cluster_spill,
     };
     pub use sc_dense::Mat;
     pub use sc_factor::{CholOptions, Engine, SparseCholesky};
@@ -99,7 +100,9 @@ pub mod prelude {
         DualOperator, FetiOptions, FetiSolution, FetiSolver, FetiSolverBuilder, FormulationChoice,
         HybridOptions, HybridReport, PcpgBreakdown, RefinementStats, SubdomainFactors,
     };
-    pub use sc_gpu::{Device, DevicePool, DeviceSpec, GpuKernels};
+    pub use sc_gpu::{
+        Device, DevicePool, DeviceSpec, GpuKernels, Interconnect, NodePool, NodeSpec,
+    };
     pub use sc_order::Ordering;
     pub use sc_sparse::{Csc, Csr, Perm};
 }
