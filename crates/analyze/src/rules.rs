@@ -469,10 +469,10 @@ impl Rule for DeprecationBudget {
 // pub-doc
 // ---------------------------------------------------------------------------
 
-/// Every `pub fn` and `pub struct` in the core and gpusim crates — the
-/// workspace's primary public surface — must carry a doc comment.
-/// Restricted visibility (`pub(crate)`, `pub(super)`) is not public
-/// surface and is skipped.
+/// Every `pub fn` and `pub struct` in the core, gpusim, dense, and feti
+/// crates — the workspace's primary public surface — must carry a doc
+/// comment. Restricted visibility (`pub(crate)`, `pub(super)`) is not
+/// public surface and is skipped.
 pub struct PubDoc;
 
 impl Rule for PubDoc {
@@ -481,7 +481,10 @@ impl Rule for PubDoc {
     }
 
     fn applies(&self, rel: &str) -> bool {
-        rel.starts_with("crates/core/src/") || rel.starts_with("crates/gpusim/src/")
+        rel.starts_with("crates/core/src/")
+            || rel.starts_with("crates/gpusim/src/")
+            || rel.starts_with("crates/dense/src/")
+            || rel.starts_with("crates/feti/src/")
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {

@@ -37,8 +37,9 @@ use std::process::Command;
 /// own (it reports paper-vs-measured ratios); the others exit non-zero when
 /// their gates regress (`precision` gates the f32 arena high water and the
 /// planner's extra explicit admissions; `multinode` gates the 4-node
-/// weak-scaling efficiency). The same names select the `trace-audit`
-/// workloads.
+/// weak-scaling efficiency; `kernels` gates the blocked-vs-scalar gemm
+/// speedup and the calibrated cost model). The same names select the
+/// `trace-audit` workloads.
 const PERF_BINS: &[&str] = &[
     "headline",
     "schedule",
@@ -46,6 +47,7 @@ const PERF_BINS: &[&str] = &[
     "hybrid",
     "precision",
     "multinode",
+    "kernels",
 ];
 
 const STAGES: &[&str] = &[
@@ -54,6 +56,7 @@ const STAGES: &[&str] = &[
     "analyze",
     "build",
     "test",
+    "doctest",
     "doc",
     "examples",
     "perf-gate",
@@ -191,6 +194,9 @@ fn main() {
     }
     if run("test") {
         step("test", cargo(&["test", "-q", "--workspace"]));
+    }
+    if run("doctest") {
+        step("doctest", cargo(&["test", "-q", "--workspace", "--doc"]));
     }
     if run("doc") {
         let mut doc = cargo(&["doc", "--workspace", "--no-deps"]);

@@ -12,7 +12,8 @@
 //! workload that produced no trace), `2` usage error.
 //!
 //! Usage: `cargo run -p sc_bench --release --bin trace_audit
-//! [--only <headline|schedule|cluster|hybrid|precision|multinode>] [--out <dir>]`
+//! [--only <headline|schedule|cluster|hybrid|precision|multinode|kernels>]
+//! [--out <dir>]`
 
 use sc_analyze::trace::validate;
 use sc_bench::{trace_json, write_json, BatchWorkload, Json};
@@ -27,6 +28,7 @@ const WORKLOADS: &[&str] = &[
     "hybrid",
     "precision",
     "multinode",
+    "kernels",
 ];
 
 fn usage() -> ! {
@@ -151,6 +153,16 @@ fn run_workload(name: &str) -> AssemblyReport {
             let pool = NodePool::uniform(DeviceSpec::a100(), 4, 1, 4, Interconnect::infiniband());
             AssemblySession::new(Backend::multi_node(pool), cfg)
                 .assemble(&items)
+                .report
+        }
+        // the kernels bin's calibration batch (the headline decomposition),
+        // replayed through the scheduled GPU backend so the audited traces
+        // carry the kernel sequence the microkernel work feeds
+        "kernels" => {
+            let w = BatchWorkload::build(3, 4);
+            let device = Device::new(DeviceSpec::a100(), 2);
+            AssemblySession::new(Backend::gpu_with(device, ScheduleOptions::default()), cfg)
+                .assemble(w.items())
                 .report
         }
         other => unreachable!("workload names are validated in parse_args: {other}"),

@@ -26,6 +26,14 @@ use std::path::Path;
 /// historical bin; the multi-node bins stamp shapes like `"4x1xtiny"` —
 /// nodes × devices-per-node × device name). Reports may carry a `nodes`
 /// roll-up section with per-node exchange-byte accounting.
+///
+/// The `kernels` bin's record (same v4 schema) carries no
+/// `assembly_report`; its metrics object instead holds a `kernels` map of
+/// per-kernel rows (`{scalar_s, blocked_s, speedup, blocked_gflops}`
+/// keyed by kernel name), the `gemm_gate` threshold, the probed
+/// microkernel rates (`probe_*`), and the calibration comparison
+/// (`realized_host_s`, `predicted_nominal_s`, `predicted_calibrated_s`,
+/// `gap_nominal`, `gap_calibrated`).
 pub const BENCH_SCHEMA: &str = "sc-bench/v4";
 
 /// A JSON value with insertion-ordered object keys.

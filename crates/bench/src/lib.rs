@@ -21,7 +21,7 @@ pub use json::{
     bench_record, bench_record_at, bench_record_on, bench_record_with_report, git_describe,
     report_json, trace_json, write_json, Json, BENCH_SCHEMA, TRACE_SCHEMA,
 };
-pub use report::{write_csv, Table};
+pub use report::{ms, write_csv, Table};
 pub use runner::{
     time_assembly_cpu, time_assembly_gpu, time_syrk_cpu, time_syrk_gpu, time_trsm_cpu,
     time_trsm_gpu, KernelInputs,

@@ -295,7 +295,7 @@ mod tests {
         let mut c = Coo::new(n, m);
         for j in 0..m {
             let d = (j * 7919) % n;
-            c.push(d, j, if j % 2 == 0 { 1.0 } else { -1.0 });
+            c.push(d, j, if j.is_multiple_of(2) { 1.0 } else { -1.0 });
         }
         c.to_csc()
     }

@@ -1147,7 +1147,7 @@ mod tests {
                 let mut b = Coo::new(n, m);
                 for j in 0..m {
                     let d = (j * 7919 + s * 131) % n;
-                    b.push(d, j, if (j + s) % 2 == 0 { 1.0 } else { -1.0 });
+                    b.push(d, j, if (j + s).is_multiple_of(2) { 1.0 } else { -1.0 });
                 }
                 (k, b.to_csc())
             })

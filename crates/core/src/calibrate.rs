@@ -1,0 +1,262 @@
+//! Measured-rate calibration of the host-side cost model.
+//!
+//! The planner prices every placement through [`DeviceSpec`] rate constants.
+//! The simulated accelerators are *defined* by their spec, but the host spec
+//! ([`DeviceSpec::host`]) nominally claims a server-class 250 GFLOP/s — a
+//! machine this workspace rarely runs on. A [`MicrokernelRates`] probe times
+//! the actual cache-blocked kernels (`sc_dense::blocked`) and the binned
+//! SpMV (`sc_sparse::binned`) on the current machine for a few milliseconds
+//! each, and [`MicrokernelRates::host_spec`] folds the measured rates into a
+//! `"calibrated-host"` spec that [`HybridPlanOptions::with_calibrated_host`]
+//! (and the cluster planner via `with_host`) can price with. The `kernels`
+//! bench bin gates on the calibrated predictions tracking realized times
+//! more closely than the nominal ones.
+//!
+//! [`HybridPlanOptions::with_calibrated_host`]: crate::HybridPlanOptions::with_calibrated_host
+
+use crate::schedule::CostEstimate;
+use sc_dense::{Mat, Trans};
+use sc_gpu::DeviceSpec;
+use sc_sparse::{binned_spmv, BinnedPlan, Coo};
+use std::time::Instant;
+
+/// Measured sustained rates of the host microkernels, in the same units the
+/// [`DeviceSpec`] duration model uses.
+#[derive(Clone, Copy, Debug)]
+pub struct MicrokernelRates {
+    /// Blocked dense gemm, GFLOP/s.
+    pub gemm_gflops: f64,
+    /// Blocked forward substitution (TRSM), GFLOP/s.
+    pub trsm_gflops: f64,
+    /// Blocked symmetric rank-k update (SYRK), GFLOP/s.
+    pub syrk_gflops: f64,
+    /// Blocked partial Cholesky, GFLOP/s.
+    pub chol_gflops: f64,
+    /// Row-length-binned SpMV, effective GB/s of matrix traffic.
+    pub spmv_gbps: f64,
+}
+
+/// Best-of-N wall-clock of a closure, in seconds (the minimum filters
+/// scheduler noise, which only ever adds time).
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn fill(m: usize, n: usize, seed: u64) -> Mat {
+    let mut s = seed | 1;
+    Mat::from_fn(m, n, |_, _| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // sc-analyze: allow(precision-discipline)
+    })
+}
+
+impl MicrokernelRates {
+    /// The rates the nominal [`DeviceSpec::host`] spec implies (every kernel
+    /// class at peak FLOP rate, SpMV at DRAM bandwidth) — the baseline the
+    /// calibration gate compares against.
+    pub fn nominal() -> Self {
+        let host = DeviceSpec::host();
+        MicrokernelRates {
+            gemm_gflops: host.fp64_gflops,
+            trsm_gflops: host.fp64_gflops,
+            syrk_gflops: host.fp64_gflops,
+            chol_gflops: host.fp64_gflops,
+            spmv_gbps: host.mem_bandwidth_gbps,
+        }
+    }
+
+    /// Time the actual kernels on this machine (a few milliseconds total;
+    /// best-of-3 per kernel class) and return sustained rates.
+    pub fn probe() -> Self {
+        // gemm: n³ problem crossing the blocked-path threshold
+        let n = 192;
+        let a = fill(n, n, 1);
+        let b = fill(n, n, 2);
+        let mut c = Mat::zeros(n, n);
+        let secs = best_of(3, || {
+            sc_dense::gemm_blocked(
+                1.0,
+                a.as_ref(),
+                Trans::No,
+                b.as_ref(),
+                Trans::No,
+                0.0,
+                c.as_mut(),
+            );
+        });
+        let nf = n as f64; // sc-analyze: allow(precision-discipline)
+        let gemm_gflops = 2.0 * nf * nf * nf / secs / 1e9;
+
+        // trsm: unit-ish lower factor, block of RHS
+        let nrhs = 64;
+        let l = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i > j {
+                0.01
+            } else {
+                0.0
+            }
+        });
+        let x0 = fill(n, nrhs, 3);
+        let mut x = x0.clone();
+        let secs = best_of(3, || {
+            x.as_mut().copy_from(x0.as_ref());
+            sc_dense::trsm_lower_left_blocked(l.as_ref(), x.as_mut());
+        });
+        let trsm_gflops = nf * nf * nrhs as f64 / secs / 1e9; // sc-analyze: allow(precision-discipline)
+
+        // syrk: AᵀA with a tall A
+        let k = 256;
+        let at = fill(k, n, 4);
+        let mut cs = Mat::zeros(n, n);
+        let secs = best_of(3, || {
+            sc_dense::syrk_t_blocked(1.0, at.as_ref(), 0.0, cs.as_mut());
+        });
+        let syrk_gflops = k as f64 * nf * nf / secs / 1e9; // sc-analyze: allow(precision-discipline)
+
+        // cholesky: SPD from the syrk result plus a diagonal shift
+        let mut spd = Mat::zeros(n, n);
+        sc_dense::syrk_t(1.0, at.as_ref(), 0.0, spd.as_mut());
+        for i in 0..n {
+            spd[(i, i)] += 2.0 * nf;
+        }
+        spd.symmetrize_from_lower();
+        let mut f = spd.clone();
+        let secs = best_of(3, || {
+            f.as_mut().copy_from(spd.as_ref());
+            sc_dense::partial_cholesky_blocked(f.as_mut(), n).expect("probe matrix is SPD");
+        });
+        let chol_gflops = nf * nf * nf / 3.0 / secs / 1e9;
+
+        // binned SpMV: a 5-banded matrix large enough to stream
+        let rows = 20_000;
+        let mut coo = Coo::new(rows, rows);
+        for i in 0..rows {
+            for d in [0usize, 1, 2, 3, 4] {
+                if i + d < rows {
+                    coo.push(i, i + d, 1.0 + d as f64); // sc-analyze: allow(precision-discipline)
+                }
+            }
+        }
+        let m = coo.to_csr();
+        let plan = BinnedPlan::of(&m);
+        let xv: Vec<f64> = (0..rows).map(|i| (i % 17) as f64 - 8.0).collect(); // sc-analyze: allow(precision-discipline)
+        let mut yv = vec![0.0; rows];
+        let secs = best_of(3, || {
+            binned_spmv(&plan, &m, 1.0, &xv, 0.0, &mut yv);
+        });
+        // 8-byte value + 8-byte index per stored entry
+        let bytes = 16.0 * m.nnz() as f64; // sc-analyze: allow(precision-discipline)
+        let spmv_gbps = bytes / secs / 1e9;
+
+        MicrokernelRates {
+            gemm_gflops,
+            trsm_gflops,
+            syrk_gflops,
+            chol_gflops,
+            spmv_gbps,
+        }
+    }
+
+    /// Fold the measured rates into a host [`DeviceSpec`] the planners can
+    /// price with. Compute throughput is the harmonic mean of the TRSM and
+    /// SYRK rates (the two kernel classes [`CostEstimate`] sums), memory
+    /// bandwidth is the measured SpMV stream rate; everything else keeps the
+    /// nominal host's values (function-call "launch" overhead, concurrency,
+    /// capacity — none of which the probe can observe better).
+    pub fn host_spec(&self) -> DeviceSpec {
+        let host = DeviceSpec::host();
+        let hm = 2.0 / (1.0 / self.trsm_gflops + 1.0 / self.syrk_gflops);
+        DeviceSpec {
+            name: "calibrated-host",
+            fp64_gflops: hm.max(1e-3),
+            mem_bandwidth_gbps: self.spmv_gbps.max(1e-3),
+            ..host
+        }
+    }
+
+    /// Predicted host assembly seconds of one subdomain: each FLOP class at
+    /// its own measured rate (sharper than [`CostEstimate::seconds_on`],
+    /// which prices both classes at one rate).
+    pub fn assembly_seconds(&self, est: &CostEstimate) -> f64 {
+        est.trsm_flops / (self.trsm_gflops * 1e9) + est.syrk_flops / (self.syrk_gflops * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_rates_match_host_spec() {
+        let n = MicrokernelRates::nominal();
+        let host = DeviceSpec::host();
+        assert_eq!(n.gemm_gflops, host.fp64_gflops);
+        assert_eq!(n.spmv_gbps, host.mem_bandwidth_gbps);
+    }
+
+    #[test]
+    fn probe_produces_positive_finite_rates() {
+        let r = MicrokernelRates::probe();
+        for v in [
+            r.gemm_gflops,
+            r.trsm_gflops,
+            r.syrk_gflops,
+            r.chol_gflops,
+            r.spmv_gbps,
+        ] {
+            assert!(v.is_finite() && v > 0.0, "rate {v}");
+        }
+    }
+
+    #[test]
+    fn host_spec_carries_measured_rates() {
+        let r = MicrokernelRates {
+            gemm_gflops: 20.0,
+            trsm_gflops: 10.0,
+            syrk_gflops: 30.0,
+            chol_gflops: 15.0,
+            spmv_gbps: 5.0,
+        };
+        let spec = r.host_spec();
+        assert_eq!(spec.name, "calibrated-host");
+        // harmonic mean of 10 and 30 = 15
+        assert!((spec.fp64_gflops - 15.0).abs() < 1e-12);
+        assert_eq!(spec.mem_bandwidth_gbps, 5.0);
+        // untouched fields keep the nominal host's values
+        assert_eq!(spec.kernel_launch_us, DeviceSpec::host().kernel_launch_us);
+    }
+
+    #[test]
+    fn assembly_seconds_prices_classes_separately() {
+        let r = MicrokernelRates {
+            gemm_gflops: 1.0,
+            trsm_gflops: 1.0,
+            syrk_gflops: 2.0,
+            chol_gflops: 1.0,
+            spmv_gbps: 1.0,
+        };
+        let est = CostEstimate {
+            index: 0,
+            n_dofs: 10,
+            n_lambda: 4,
+            trsm_flops: 2e9,
+            syrk_flops: 4e9,
+            transfer_bytes: 0.0,
+            temp_bytes: 0,
+            exchange_bytes: 0.0,
+            seconds: 0.0,
+        };
+        // 2e9 / 1 GFLOP/s + 4e9 / 2 GFLOP/s = 2 + 2 = 4 seconds
+        assert!((r.assembly_seconds(&est) - 4.0).abs() < 1e-9);
+    }
+}

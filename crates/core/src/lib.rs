@@ -20,6 +20,7 @@
 
 pub mod assemble;
 pub mod batch;
+pub mod calibrate;
 pub mod exec;
 pub mod schedule;
 pub mod session;
@@ -44,6 +45,7 @@ pub use batch::{
     assemble_sc_batch, assemble_sc_batch_cluster, assemble_sc_batch_gpu,
     assemble_sc_batch_scheduled, assemble_sc_batch_with,
 };
+pub use calibrate::MicrokernelRates;
 pub use exec::{CpuExec, Exec, GpuExec, RecordingExec};
 pub use schedule::{
     estimate_apply, estimate_apply_of, estimate_cost, estimate_cost_of, plan_hybrid, plan_topology,

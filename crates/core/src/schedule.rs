@@ -1095,6 +1095,17 @@ impl HybridPlanOptions {
         self
     }
 
+    /// Price host-side work with measured microkernel rates instead of the
+    /// nominal [`DeviceSpec::host`] constants (see
+    /// [`MicrokernelRates`](crate::calibrate::MicrokernelRates): typically
+    /// built by `MicrokernelRates::probe()`). The nominal host claims
+    /// server-class throughput; on slower machines that skews the hybrid
+    /// decision toward explicit-CPU, and calibration closes the
+    /// predicted-vs-realized gap the `kernels` bench bin gates on.
+    pub fn with_calibrated_host(self, rates: &crate::calibrate::MicrokernelRates) -> Self {
+        self.with_host(rates.host_spec())
+    }
+
     /// Include or exclude explicit-CPU from the candidate set.
     pub fn with_allow_explicit_cpu(mut self, allow: bool) -> Self {
         self.allow_explicit_cpu = allow;
@@ -1570,7 +1581,7 @@ mod tests {
             .map(|i| {
                 let mut c = est(40, &[0; 12]);
                 c.index = i;
-                c.seconds = if i % 2 == 0 { 8.0 } else { 1.0 };
+                c.seconds = if i.is_multiple_of(2) { 8.0 } else { 1.0 };
                 c
             })
             .collect();
@@ -1626,7 +1637,7 @@ mod tests {
             .map(|i| {
                 let mut c = est(40, &[0; 12]);
                 c.index = i;
-                c.trsm_flops = if i % 2 == 0 { 8.0e9 } else { 1.0e9 };
+                c.trsm_flops = if i.is_multiple_of(2) { 8.0e9 } else { 1.0e9 };
                 c.syrk_flops = 0.0;
                 c.transfer_bytes = 0.0;
                 c
@@ -1646,7 +1657,7 @@ mod tests {
         let heavy_per_dev: Vec<usize> = p
             .per_device
             .iter()
-            .map(|idx| idx.iter().filter(|&&i| i % 2 == 0).count())
+            .map(|idx| idx.iter().filter(|&&i| i.is_multiple_of(2)).count())
             .collect();
         assert_eq!(heavy_per_dev, vec![2, 2], "heavy items must spread");
         let spread = (p.est_load[0] - p.est_load[1]).abs();
@@ -2040,7 +2051,7 @@ mod tests {
             .map(|i| {
                 let mut c = est(40, &[0; 12]);
                 c.index = i;
-                c.seconds = if i % 2 == 0 { 8.0 } else { 1.0 };
+                c.seconds = if i.is_multiple_of(2) { 8.0 } else { 1.0 };
                 c.temp_bytes = 1 << 10;
                 c
             })

@@ -1047,7 +1047,7 @@ mod tests {
                     b.push(
                         (j * 53 + s * 17) % n,
                         j,
-                        if j % 2 == 0 { 1.0 } else { -1.0 },
+                        if j.is_multiple_of(2) { 1.0 } else { -1.0 },
                     );
                 }
                 (chol.factor_csc(), b.to_csc().permute_rows(chol.perm()))

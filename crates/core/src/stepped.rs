@@ -156,12 +156,12 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             ((state >> 33) as usize) % bound
         };
-        for trial in 0..50 {
+        for trial in 0usize..50 {
             let n = 5 + rnd(40);
             let m = 1 + rnd(25);
             let mut c = Coo::new(n, m);
             for j in 0..m {
-                if trial % 7 == 0 && j % 5 == 4 {
+                if trial.is_multiple_of(7) && j % 5 == 4 {
                     continue; // leave some columns empty
                 }
                 let k = 1 + rnd(3);

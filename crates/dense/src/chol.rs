@@ -35,6 +35,17 @@ impl std::error::Error for CholError {}
 
 /// Factor `A = L Lᵀ` in place. On success the lower triangle of `a` holds `L`
 /// (the strictly upper triangle is left untouched).
+///
+/// ```
+/// use sc_dense::{cholesky_in_place, Mat};
+///
+/// // A = [[4, 2], [2, 5]]  =>  L = [[2, 0], [1, 2]]
+/// let mut a = Mat::from_col_major(2, 2, vec![4.0, 2.0, 2.0, 5.0]);
+/// cholesky_in_place(a.as_mut()).unwrap();
+/// assert_eq!(a[(0, 0)], 2.0);
+/// assert_eq!(a[(1, 0)], 1.0);
+/// assert_eq!(a[(1, 1)], 2.0);
+/// ```
 pub fn cholesky_in_place<S: Scalar>(a: MatMutOf<'_, S>) -> Result<(), CholError> {
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "cholesky needs a square matrix");
@@ -48,9 +59,23 @@ pub fn cholesky_in_place<S: Scalar>(a: MatMutOf<'_, S>) -> Result<(), CholError>
 /// - trailing block `a[p.., p..]`: the Schur complement
 ///   `A₂₂ − L₂₁ L₂₁ᵀ` (lower triangle).
 ///
+/// Above [`crate::blocked::PANEL_BLOCK_MIN_ORDER`] the elimination routes to
+/// the blocked panel variant ([`crate::partial_cholesky_blocked`]); smaller
+/// fronts run the scalar reference ([`partial_cholesky_scalar`]).
+pub fn partial_cholesky_in_place<S: Scalar>(a: MatMutOf<'_, S>, p: usize) -> Result<(), CholError> {
+    if a.nrows() >= crate::blocked::PANEL_BLOCK_MIN_ORDER && p >= crate::blocked::NB {
+        crate::blocked::partial_cholesky_blocked(a, p)
+    } else {
+        partial_cholesky_scalar(a, p)
+    }
+}
+
+/// Scalar reference partial Cholesky (the pre-blocking kernel, kept as the
+/// comparison baseline for the blocked path).
+///
 /// This is right-looking outer-product elimination; with `p == n` it is a
 /// complete Cholesky factorization.
-pub fn partial_cholesky_in_place<S: Scalar>(
+pub fn partial_cholesky_scalar<S: Scalar>(
     mut a: MatMutOf<'_, S>,
     p: usize,
 ) -> Result<(), CholError> {

@@ -29,7 +29,43 @@ fn op_shape<S: Scalar>(a: MatRefOf<'_, S>, t: Trans) -> (usize, usize) {
 /// `C = alpha * op(A) * op(B) + beta * C` (sequential).
 ///
 /// Shapes: `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`.
+///
+/// Above [`crate::blocked::GEMM_BLOCK_MIN_VOLUME`] the product routes to the
+/// cache-blocked microkernel ([`crate::gemm_blocked`]); smaller problems run
+/// the scalar reference ([`gemm_scalar`]). `beta == 0` always overwrites `C`
+/// (NaN/inf in uninitialized output storage does not survive).
+///
+/// ```
+/// use sc_dense::{gemm, Mat, Trans};
+///
+/// let a = Mat::from_fn(2, 3, |i, j| (i + j) as f64);
+/// let b = Mat::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+/// let mut c = Mat::zeros(2, 2);
+/// gemm(1.0, a.as_ref(), Trans::No, b.as_ref(), Trans::No, 0.0, c.as_mut());
+/// // C[0,0] = 0*0 + 1*2 + 2*4 = 10
+/// assert_eq!(c[(0, 0)], 10.0);
+/// ```
 pub fn gemm<S: Scalar>(
+    alpha: S,
+    a: MatRefOf<'_, S>,
+    ta: Trans,
+    b: MatRefOf<'_, S>,
+    tb: Trans,
+    beta: S,
+    c: MatMutOf<'_, S>,
+) {
+    let (m, ka) = op_shape(a, ta);
+    let (_, n) = op_shape(b, tb);
+    if crate::blocked::gemm_prefers_blocked(m, n, ka) {
+        crate::blocked::gemm_blocked(alpha, a, ta, b, tb, beta, c);
+    } else {
+        gemm_scalar(alpha, a, ta, b, tb, beta, c);
+    }
+}
+
+/// Scalar reference `C = alpha * op(A) * op(B) + beta * C` (the pre-blocking
+/// kernel, kept as the comparison baseline for the blocked path).
+pub fn gemm_scalar<S: Scalar>(
     alpha: S,
     a: MatRefOf<'_, S>,
     ta: Trans,
@@ -57,7 +93,7 @@ pub fn gemm<S: Scalar>(
 }
 
 #[inline]
-fn scale<S: Scalar>(beta: S, mut c: MatMutOf<'_, S>) {
+pub(crate) fn scale<S: Scalar>(beta: S, mut c: MatMutOf<'_, S>) {
     // sc-analyze: allow(float-eq)
     if beta == S::ONE {
         return;

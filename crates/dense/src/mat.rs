@@ -207,16 +207,19 @@ impl<'a, S: Scalar> MatRefOf<'a, S> {
         }
     }
 
+    /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
     }
 
+    /// Number of columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.ncols
     }
 
+    /// Leading dimension (stride between consecutive columns).
     #[inline]
     pub fn ld(&self) -> usize {
         self.ld
@@ -287,16 +290,19 @@ impl<'a, S: Scalar> MatMutOf<'a, S> {
         }
     }
 
+    /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
     }
 
+    /// Number of columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.ncols
     }
 
+    /// Leading dimension (stride between consecutive columns).
     #[inline]
     pub fn ld(&self) -> usize {
         self.ld
@@ -324,12 +330,14 @@ impl<'a, S: Scalar> MatMutOf<'a, S> {
         }
     }
 
+    /// Entry access (bounds-checked in debug builds only).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> S {
         debug_assert!(i < self.nrows && j < self.ncols);
         self.data[j * self.ld + i]
     }
 
+    /// Entry write (bounds-checked in debug builds only).
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: S) {
         debug_assert!(i < self.nrows && j < self.ncols);

@@ -1,0 +1,246 @@
+//! Packed panel storage for the cache-blocked kernels.
+//!
+//! BLIS-style packing: before a cache block of `op(A)`/`op(B)` enters the
+//! register microkernel, it is copied once into a contiguous panel layout so
+//! the innermost loop streams both operands with unit stride regardless of
+//! the source leading dimension or transposition:
+//!
+//! - [`PackedA`] holds an `mc × kc` block of `op(A)` as a sequence of
+//!   [`MR`]-row *micro-panels*, each stored k-major (`panel[p * MR + ir]` is
+//!   row `ir`, depth `p`).
+//! - [`PackedB`] holds a `kc × nc` block of `op(B)` as a sequence of
+//!   [`NR`]-column micro-panels, each stored k-major
+//!   (`panel[p * NR + jr]` is depth `p`, column `jr`).
+//!
+//! Edge panels (block height not a multiple of `MR`, width not a multiple of
+//! `NR`) are zero-padded, so the microkernel always runs full `MR × NR`
+//! tiles and never branches on the boundary; the padded lanes contribute
+//! exact zeros and the write-back simply drops them.
+
+use crate::gemm::Trans;
+use crate::mat::MatRefOf;
+use crate::scalar::Scalar;
+
+/// Rows per A micro-panel: the register-block height of the gemm
+/// microkernel. Sixteen `f64` lanes = two AVX-512 vectors (or four AVX2
+/// vectors); `f32` packs twice the lanes into the same byte width for
+/// free.
+pub const MR: usize = 16;
+
+/// Columns per B micro-panel: the register-block width of the gemm
+/// microkernel. `MR × NR` accumulators stay resident in registers.
+pub const NR: usize = 8;
+
+/// An `mc × kc` cache block of `op(A)`, repacked into [`MR`]-row
+/// micro-panels (see module docs for the layout).
+pub struct PackedA<S> {
+    data: Vec<S>,
+    mc: usize,
+    kc: usize,
+}
+
+impl<S: Scalar> PackedA<S> {
+    /// Pack the block of `op(A)` whose rows are `i0 .. i0 + mc` and whose
+    /// depth range is `p0 .. p0 + kc` (row/depth indices in the *operated*
+    /// orientation: `ta == Trans::Yes` reads `a` transposed).
+    pub fn pack(a: MatRefOf<'_, S>, ta: Trans, i0: usize, mc: usize, p0: usize, kc: usize) -> Self {
+        let panels = mc.div_ceil(MR).max(1);
+        let mut data = vec![S::ZERO; panels * kc * MR];
+        for ip in 0..mc.div_ceil(MR) {
+            let base = ip * kc * MR;
+            let h = MR.min(mc - ip * MR);
+            match ta {
+                Trans::No => {
+                    // columns of `a` are contiguous: copy column slivers
+                    for p in 0..kc {
+                        let src = &a.col(p0 + p)[i0 + ip * MR..i0 + ip * MR + h];
+                        data[base + p * MR..base + p * MR + h].copy_from_slice(src);
+                    }
+                }
+                Trans::Yes => {
+                    // rows of `op(A)` are columns of `a`: gather with `get`
+                    for p in 0..kc {
+                        for ir in 0..h {
+                            data[base + p * MR + ir] = a.get(p0 + p, i0 + ip * MR + ir);
+                        }
+                    }
+                }
+            }
+        }
+        PackedA { data, mc, kc }
+    }
+
+    /// Micro-panel `ip` (rows `ip * MR .. ip * MR + MR` of the block),
+    /// length `kc * MR`.
+    #[inline]
+    pub fn panel(&self, ip: usize) -> &[S] {
+        &self.data[ip * self.kc * MR..(ip + 1) * self.kc * MR]
+    }
+
+    /// Read back element `(i, p)` of the packed block (round-trip accessor
+    /// used by the packing tests; zero in the padded region).
+    #[inline]
+    pub fn get(&self, i: usize, p: usize) -> S {
+        debug_assert!(p < self.kc);
+        self.data[(i / MR) * self.kc * MR + p * MR + i % MR]
+    }
+
+    /// Block height `mc` (unpadded).
+    #[inline]
+    pub fn block_rows(&self) -> usize {
+        self.mc
+    }
+
+    /// Block depth `kc`.
+    #[inline]
+    pub fn block_depth(&self) -> usize {
+        self.kc
+    }
+}
+
+/// A `kc × nc` cache block of `op(B)`, repacked into [`NR`]-column
+/// micro-panels (see module docs for the layout).
+pub struct PackedB<S> {
+    data: Vec<S>,
+    nc: usize,
+    kc: usize,
+}
+
+impl<S: Scalar> PackedB<S> {
+    /// Pack the block of `op(B)` whose depth range is `p0 .. p0 + kc` and
+    /// whose columns are `j0 .. j0 + nc` (indices in the operated
+    /// orientation, as in [`PackedA::pack`]).
+    pub fn pack(b: MatRefOf<'_, S>, tb: Trans, p0: usize, kc: usize, j0: usize, nc: usize) -> Self {
+        let panels = nc.div_ceil(NR).max(1);
+        let mut data = vec![S::ZERO; panels * kc * NR];
+        for jp in 0..nc.div_ceil(NR) {
+            let base = jp * kc * NR;
+            let w = NR.min(nc - jp * NR);
+            match tb {
+                Trans::No => {
+                    for jr in 0..w {
+                        let src = &b.col(j0 + jp * NR + jr)[p0..p0 + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            data[base + p * NR + jr] = v;
+                        }
+                    }
+                }
+                Trans::Yes => {
+                    // depth runs along the columns of `b`: row sliver copies
+                    for p in 0..kc {
+                        let src = b.col(p0 + p);
+                        for jr in 0..w {
+                            data[base + p * NR + jr] = src[j0 + jp * NR + jr];
+                        }
+                    }
+                }
+            }
+        }
+        PackedB { data, nc, kc }
+    }
+
+    /// Micro-panel `jp` (columns `jp * NR .. jp * NR + NR` of the block),
+    /// length `kc * NR`.
+    #[inline]
+    pub fn panel(&self, jp: usize) -> &[S] {
+        &self.data[jp * self.kc * NR..(jp + 1) * self.kc * NR]
+    }
+
+    /// Read back element `(p, j)` of the packed block (round-trip accessor;
+    /// zero in the padded region).
+    #[inline]
+    pub fn get(&self, p: usize, j: usize) -> S {
+        debug_assert!(p < self.kc);
+        self.data[(j / NR) * self.kc * NR + p * NR + j % NR]
+    }
+
+    /// Block width `nc` (unpadded).
+    #[inline]
+    pub fn block_cols(&self) -> usize {
+        self.nc
+    }
+
+    /// Block depth `kc`.
+    #[inline]
+    pub fn block_depth(&self) -> usize {
+        self.kc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn mk(m: usize, n: usize, seed: u64) -> Mat {
+        let mut state = seed | 1;
+        Mat::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn packed_a_round_trips_both_orientations() {
+        let a = mk(13, 11, 1);
+        for ta in [Trans::No, Trans::Yes] {
+            let (rows, depth) = match ta {
+                Trans::No => (13, 11),
+                Trans::Yes => (11, 13),
+            };
+            let p = PackedA::pack(a.as_ref(), ta, 1, rows - 2, 2, depth - 3);
+            for i in 0..rows - 2 {
+                for k in 0..depth - 3 {
+                    let want = match ta {
+                        Trans::No => a[(1 + i, 2 + k)],
+                        Trans::Yes => a[(2 + k, 1 + i)],
+                    };
+                    assert_eq!(p.get(i, k), want, "mismatch at ({i},{k}) ta={ta:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_b_round_trips_both_orientations() {
+        let b = mk(9, 14, 2);
+        for tb in [Trans::No, Trans::Yes] {
+            let (depth, cols) = match tb {
+                Trans::No => (9, 14),
+                Trans::Yes => (14, 9),
+            };
+            let p = PackedB::pack(b.as_ref(), tb, 1, depth - 2, 3, cols - 4);
+            for k in 0..depth - 2 {
+                for j in 0..cols - 4 {
+                    let want = match tb {
+                        Trans::No => b[(1 + k, 3 + j)],
+                        Trans::Yes => b[(3 + j, 1 + k)],
+                    };
+                    assert_eq!(p.get(k, j), want, "mismatch at ({k},{j}) tb={tb:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_panels_are_zero_padded() {
+        let a = mk(5, 3, 3);
+        let p = PackedA::pack(a.as_ref(), Trans::No, 0, 5, 0, 3);
+        // rows 5..8 of the only panel are padding
+        for k in 0..3 {
+            for i in 5..MR {
+                assert_eq!(p.panel(0)[k * MR + i], 0.0);
+            }
+        }
+        let b = mk(3, 5, 4);
+        let pb = PackedB::pack(b.as_ref(), Trans::No, 0, 3, 0, 5);
+        for k in 0..3 {
+            for j in 5..NR {
+                // columns 5..NR of the only panel are padding
+                assert_eq!(pb.panel(0)[k * NR + j], 0.0);
+            }
+        }
+    }
+}

@@ -80,6 +80,14 @@ pub trait Scalar:
     fn is_finite(self) -> bool;
     /// IEEE `maximum` of two values (`f64::max` semantics).
     fn max_with(self, other: Self) -> Self;
+    /// Fused multiply-add `self * a + b` with a single rounding.
+    ///
+    /// Maps to the hardware FMA instruction; the cache-blocked microkernels
+    /// use it explicitly because Rust never contracts separate `*`/`+` into
+    /// an FMA on its own. Results differ from unfused arithmetic by at most
+    /// one rounding per operation (which is why blocked kernels are pinned
+    /// to the scalar reference by tolerance, not bitwise).
+    fn mul_add(self, a: Self, b: Self) -> Self;
 }
 
 impl Scalar for f64 {
@@ -123,6 +131,11 @@ impl Scalar for f64 {
     fn max_with(self, other: Self) -> Self {
         f64::max(self, other)
     }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
 }
 
 impl Scalar for f32 {
@@ -165,6 +178,11 @@ impl Scalar for f32 {
     #[inline(always)]
     fn max_with(self, other: Self) -> Self {
         f32::max(self, other)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
     }
 }
 

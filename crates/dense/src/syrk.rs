@@ -11,8 +11,33 @@ use crate::scalar::Scalar;
 /// `C(lower) = beta * C(lower) + alpha * Aᵀ A` (sequential).
 ///
 /// `A` is `k × n`, `C` is `n × n`. The strictly upper triangle of `C` is left
-/// untouched.
-pub fn syrk_t<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, beta: S, mut c: MatMutOf<'_, S>) {
+/// untouched. Above [`crate::blocked::PANEL_BLOCK_MIN_ORDER`] the update
+/// routes to the cache-blocked variant ([`crate::syrk_t_blocked`]); smaller
+/// problems run the scalar reference ([`syrk_t_scalar`]).
+///
+/// ```
+/// use sc_dense::{syrk_t, Mat};
+///
+/// // A = [[1, 2]] (1×2)  =>  AᵀA = [[1, 2], [2, 4]], lower triangle stored
+/// let a = Mat::from_col_major(1, 2, vec![1.0, 2.0]);
+/// let mut c = Mat::zeros(2, 2);
+/// syrk_t(1.0, a.as_ref(), 0.0, c.as_mut());
+/// assert_eq!(c[(0, 0)], 1.0);
+/// assert_eq!(c[(1, 0)], 2.0);
+/// assert_eq!(c[(1, 1)], 4.0);
+/// assert_eq!(c[(0, 1)], 0.0); // strictly upper untouched
+/// ```
+pub fn syrk_t<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>) {
+    if a.ncols() >= crate::blocked::PANEL_BLOCK_MIN_ORDER && a.nrows() >= 16 {
+        crate::blocked::syrk_t_blocked(alpha, a, beta, c);
+    } else {
+        syrk_t_scalar(alpha, a, beta, c);
+    }
+}
+
+/// Scalar reference SYRK (the pre-blocking kernel, kept as the comparison
+/// baseline for the blocked path).
+pub fn syrk_t_scalar<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, beta: S, mut c: MatMutOf<'_, S>) {
     let n = a.ncols();
     assert_eq!(c.nrows(), n, "syrk C row mismatch");
     assert_eq!(c.ncols(), n, "syrk C col mismatch");

@@ -12,11 +12,37 @@ use crate::scalar::Scalar;
 
 /// Solve `L X = B` in place, `L` lower triangular (non-unit diagonal).
 ///
+/// Above [`crate::blocked::PANEL_BLOCK_MIN_ORDER`] (with at least a handful
+/// of RHS columns) the solve routes to the cache-blocked variant
+/// ([`crate::trsm_lower_left_blocked`]); smaller problems run the scalar
+/// reference ([`trsm_lower_left_scalar`]).
+///
+/// ```
+/// use sc_dense::{trsm_lower_left, Mat};
+///
+/// // L = [[2, 0], [1, 3]], B = [[2], [7]]  =>  X = [[1], [2]]
+/// let l = Mat::from_col_major(2, 2, vec![2.0, 1.0, 0.0, 3.0]);
+/// let mut b = Mat::from_col_major(2, 1, vec![2.0, 7.0]);
+/// trsm_lower_left(l.as_ref(), b.as_mut());
+/// assert_eq!(b[(0, 0)], 1.0);
+/// assert_eq!(b[(1, 0)], 2.0);
+/// ```
+pub fn trsm_lower_left<S: Scalar>(l: MatRefOf<'_, S>, b: MatMutOf<'_, S>) {
+    if l.nrows() >= crate::blocked::PANEL_BLOCK_MIN_ORDER && b.ncols() >= 4 {
+        crate::blocked::trsm_lower_left_blocked(l, b);
+    } else {
+        trsm_lower_left_scalar(l, b);
+    }
+}
+
+/// Scalar reference forward substitution (the pre-blocking kernel, kept as
+/// the comparison baseline for the blocked path).
+///
 /// Column-sweep forward substitution: for each factor column `k`, the
 /// just-computed solution row `k` is eliminated from all rows below via a
 /// contiguous AXPY on the RHS column. Cost `n² m` flops for an `n × n` factor
 /// and `n × m` RHS.
-pub fn trsm_lower_left<S: Scalar>(l: MatRefOf<'_, S>, mut b: MatMutOf<'_, S>) {
+pub fn trsm_lower_left_scalar<S: Scalar>(l: MatRefOf<'_, S>, mut b: MatMutOf<'_, S>) {
     let n = l.nrows();
     assert_eq!(l.ncols(), n, "factor must be square");
     assert_eq!(b.nrows(), n, "RHS row mismatch");

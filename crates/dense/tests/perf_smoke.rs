@@ -1,0 +1,65 @@
+use sc_dense::{gemm_blocked, gemm_scalar, Mat, Trans};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn blocked_vs_scalar_512() {
+    let n = 512;
+    let a = Mat::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 97) as f64 / 97.0);
+    let b = Mat::from_fn(n, n, |i, j| ((i * 13 + j * 17) % 89) as f64 / 89.0);
+    let mut c = Mat::zeros(n, n);
+    // warmup
+    gemm_blocked(
+        1.0,
+        a.as_ref(),
+        Trans::No,
+        b.as_ref(),
+        Trans::No,
+        0.0,
+        c.as_mut(),
+    );
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        gemm_blocked(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c.as_mut(),
+        );
+    }
+    let tb = t0.elapsed().as_secs_f64() / 3.0;
+    gemm_scalar(
+        1.0,
+        a.as_ref(),
+        Trans::No,
+        b.as_ref(),
+        Trans::No,
+        0.0,
+        c.as_mut(),
+    );
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        gemm_scalar(
+            1.0,
+            a.as_ref(),
+            Trans::No,
+            b.as_ref(),
+            Trans::No,
+            0.0,
+            c.as_mut(),
+        );
+    }
+    let ts = t0.elapsed().as_secs_f64() / 3.0;
+    let gf = 2.0 * (n as f64).powi(3) / 1e9;
+    eprintln!(
+        "blocked {:.1} ms ({:.2} GF/s)  scalar {:.1} ms ({:.2} GF/s)  speedup {:.2}x",
+        tb * 1e3,
+        gf / tb,
+        ts * 1e3,
+        gf / ts,
+        ts / tb
+    );
+}

@@ -182,7 +182,7 @@ impl Geometry {
     fn axis_members(&self, g: usize, s: usize) -> [Option<usize>; 2] {
         let c = self.c;
         let q = g / c;
-        if g % c == 0 {
+        if g.is_multiple_of(c) {
             if q == 0 {
                 [Some(0), None]
             } else if q == s {

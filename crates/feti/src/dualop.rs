@@ -7,7 +7,7 @@ use sc_dense::{Mat, Scalar};
 use sc_factor::{Engine, SparseCholesky};
 use sc_fem::Subdomain;
 use sc_gpu::GpuKernels;
-use sc_sparse::{Csc, CscOf};
+use sc_sparse::{binned_gather, BinnedPlan, Csc, CscOf};
 
 /// Hoisted gather/scatter index map of `B̃ᵢᵀ`, flattened column-major:
 /// column `j` of the gluing block owns `rows[offsets[j]..offsets[j+1]]` with
@@ -27,6 +27,12 @@ pub struct BoundaryMapOf<S = f64> {
     coeffs: Vec<S>,
     /// Factor dimension (length of the dof-space work vector).
     n_rows: usize,
+    /// Column-length binning of the gather side (see
+    /// [`sc_sparse::binned`]): the per-multiplier dot products run in
+    /// fixed-trip-count length classes instead of one irregular loop. The
+    /// scatter side accumulates into shared dof slots and must stay
+    /// column-ordered, so it does not use the plan.
+    plan: BinnedPlan,
 }
 
 /// The `f64` boundary map (the historical default working precision).
@@ -35,11 +41,14 @@ pub type BoundaryMap = BoundaryMapOf<f64>;
 impl<S: Scalar> BoundaryMapOf<S> {
     /// Extract the map from the row-permuted gluing block.
     pub fn of(bt_perm: &CscOf<S>) -> Self {
+        let offsets = bt_perm.col_ptr().to_vec();
+        let plan = BinnedPlan::from_offsets(&offsets);
         BoundaryMapOf {
-            offsets: bt_perm.col_ptr().to_vec(),
+            offsets,
             rows: bt_perm.row_idx().to_vec(),
             coeffs: bt_perm.values().to_vec(),
             n_rows: bt_perm.nrows(),
+            plan,
         }
     }
 
@@ -69,17 +78,13 @@ impl<S: Scalar> BoundaryMapOf<S> {
     }
 
     /// Gather `out = B̃ t` from the dof-space vector — bitwise identical to
-    /// `bt_perm.spmv_t(1.0, t, 0.0, out)`.
+    /// `bt_perm.spmv_t(1.0, t, 0.0, out)`. Runs through the hoisted
+    /// length-binned schedule ([`sc_sparse::binned_gather`]); per-multiplier
+    /// accumulation order is unchanged, only the multiplier visit order.
     pub fn gather(&self, t: &[S], out: &mut [S]) {
         debug_assert_eq!(out.len(), self.n_lambda());
         debug_assert_eq!(t.len(), self.n_rows);
-        for (j, oj) in out.iter_mut().enumerate() {
-            let mut s = S::ZERO;
-            for k in self.offsets[j]..self.offsets[j + 1] {
-                s += self.coeffs[k] * t[self.rows[k]];
-            }
-            *oj = s;
-        }
+        binned_gather(&self.plan, &self.offsets, &self.rows, &self.coeffs, t, out);
     }
 }
 

@@ -1,0 +1,295 @@
+//! Row-length-binned SpMV for the implicit dual-operator hot loop.
+//!
+//! The gather side of the implicit application (`out = B̃ t`, one short dot
+//! product per Lagrange multiplier) spends its time in a loop whose trip
+//! count changes every row — the branch predictor and the vectorizer both
+//! lose. Binning rows by their *exact* nonzero count (the technique of Wong,
+//! Kuhl & Darve for ELL-like GPU SpMV) turns the irregular loop into a few
+//! regular ones: all rows of length `L` run a fixed-trip-count kernel, and
+//! the common tiny lengths (`1..=4`, the redundant-gluing case is almost
+//! entirely length 1–2) get fully unrolled specializations.
+//!
+//! Binning only reorders *which row* is processed when — never the order of
+//! accumulation *within* a row. Rows write disjoint outputs, so
+//! [`binned_spmv`] is **bitwise identical** to [`CsrOf::spmv`], and
+//! [`binned_gather`] to the per-column gather of the boundary map in
+//! `sc_feti` (pinned by tests in both crates). The scatter side of the
+//! boundary map accumulates into *shared* dof-space slots and skips zero
+//! multipliers, so reordering it would change results; it stays row-ordered.
+
+use crate::csr::CsrOf;
+use sc_dense::Scalar;
+
+/// Rows of one length class: every row in `rows` has exactly `len` stored
+/// entries.
+struct Bin {
+    len: usize,
+    rows: Vec<usize>,
+}
+
+/// Row-length binning of a sparse row structure (CSR rows, or the columns of
+/// the hoisted boundary map — anything described by a `row_ptr`-style offset
+/// array). Build once, apply every iteration.
+pub struct BinnedPlan {
+    bins: Vec<Bin>,
+    n_rows: usize,
+}
+
+impl BinnedPlan {
+    /// Bin the rows of an offset array (`offsets[i]..offsets[i+1]` is row
+    /// `i`'s entry range, as in CSR `row_ptr` or the boundary-map column
+    /// offsets). Empty rows are skipped entirely — the `beta` term is applied
+    /// to them separately by the apply routines.
+    pub fn from_offsets(offsets: &[usize]) -> Self {
+        assert!(!offsets.is_empty(), "offset array has n + 1 entries");
+        let n_rows = offsets.len() - 1;
+        let mut by_len: Vec<(usize, Vec<usize>)> = Vec::new();
+        for i in 0..n_rows {
+            let len = offsets[i + 1] - offsets[i];
+            if len == 0 {
+                continue;
+            }
+            match by_len.binary_search_by_key(&len, |(l, _)| *l) {
+                Ok(pos) => by_len[pos].1.push(i),
+                Err(pos) => by_len.insert(pos, (len, vec![i])),
+            }
+        }
+        BinnedPlan {
+            bins: by_len
+                .into_iter()
+                .map(|(len, rows)| Bin { len, rows })
+                .collect(),
+            n_rows,
+        }
+    }
+
+    /// Bin the rows of a CSR matrix.
+    pub fn of<S: Scalar>(a: &CsrOf<S>) -> Self {
+        let mut offsets = Vec::with_capacity(a.nrows() + 1);
+        offsets.push(0);
+        let mut end = 0;
+        for i in 0..a.nrows() {
+            end += a.row(i).0.len();
+            offsets.push(end);
+        }
+        Self::from_offsets(&offsets)
+    }
+
+    /// Number of distinct row lengths (excluding empty rows).
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Number of rows of the binned structure (including empty rows).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Largest row length present.
+    pub fn max_len(&self) -> usize {
+        self.bins.last().map_or(0, |b| b.len)
+    }
+}
+
+/// One row's dot product, accumulated in stored order exactly like the
+/// scalar reference (`s` starts at zero and each term is added in turn, so
+/// the result is bitwise identical). Lengths `1..=4` are fully unrolled.
+#[inline(always)]
+fn row_dot<S: Scalar>(len: usize, cols: &[usize], vals: &[S], x: &[S]) -> S {
+    let mut s = S::ZERO;
+    match len {
+        1 => {
+            s += vals[0] * x[cols[0]];
+        }
+        2 => {
+            s += vals[0] * x[cols[0]];
+            s += vals[1] * x[cols[1]];
+        }
+        3 => {
+            s += vals[0] * x[cols[0]];
+            s += vals[1] * x[cols[1]];
+            s += vals[2] * x[cols[2]];
+        }
+        4 => {
+            s += vals[0] * x[cols[0]];
+            s += vals[1] * x[cols[1]];
+            s += vals[2] * x[cols[2]];
+            s += vals[3] * x[cols[3]];
+        }
+        _ => {
+            for (&j, &v) in cols[..len].iter().zip(&vals[..len]) {
+                s += v * x[j];
+            }
+        }
+    }
+    s
+}
+
+/// `y = alpha * A x + beta * y` through a row-length-binned schedule —
+/// bitwise identical to [`CsrOf::spmv`] on the same matrix (binning reorders
+/// rows, which write disjoint `y` slots; within-row accumulation order is
+/// preserved).
+///
+/// ```
+/// use sc_sparse::{binned_spmv, BinnedPlan, Coo};
+///
+/// // [[2, 0], [1, 3]] · [1, 10] = [2, 31]
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 0, 2.0);
+/// coo.push(1, 0, 1.0);
+/// coo.push(1, 1, 3.0);
+/// let a = coo.to_csr();
+/// let plan = BinnedPlan::of(&a);
+/// let mut y = vec![f64::NAN; 2]; // beta == 0 overwrites, NaN never survives
+/// binned_spmv(&plan, &a, 1.0, &[1.0, 10.0], 0.0, &mut y);
+/// assert_eq!(y, vec![2.0, 31.0]);
+/// ```
+pub fn binned_spmv<S: Scalar>(
+    plan: &BinnedPlan,
+    a: &CsrOf<S>,
+    alpha: S,
+    x: &[S],
+    beta: S,
+    y: &mut [S],
+) {
+    assert_eq!(x.len(), a.ncols(), "x length");
+    assert_eq!(y.len(), a.nrows(), "y length");
+    assert_eq!(plan.n_rows(), a.nrows(), "plan built for another structure");
+    // beta pass first: covers empty rows (which no bin visits) and matches
+    // the reference's `alpha * s + beta * y[i]` term for the rest.
+    // sc-analyze: allow(float-eq)
+    if beta == S::ZERO {
+        y.fill(S::ZERO);
+    } else {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for bin in &plan.bins {
+        for &i in &bin.rows {
+            let (cols, vals) = a.row(i);
+            y[i] += alpha * row_dot(bin.len, cols, vals, x);
+        }
+    }
+}
+
+/// Binned gather `y[i] = Σ_k vals[k] * x[idx[k]]` over the raw offset/index/
+/// value slices of a hoisted index map (the `sc_feti` boundary map) — the
+/// `alpha == 1, beta == 0` SpMV without a matrix type in the way. Bitwise
+/// identical to the straight per-row loop.
+pub fn binned_gather<S: Scalar>(
+    plan: &BinnedPlan,
+    offsets: &[usize],
+    idx: &[usize],
+    vals: &[S],
+    x: &[S],
+    y: &mut [S],
+) {
+    assert_eq!(offsets.len(), y.len() + 1, "offsets length");
+    assert_eq!(plan.n_rows(), y.len(), "plan built for another structure");
+    y.fill(S::ZERO);
+    for bin in &plan.bins {
+        for &i in &bin.rows {
+            let k0 = offsets[i];
+            y[i] = row_dot(bin.len, &idx[k0..], &vals[k0..], x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn irregular(n: usize, m: usize, seed: u64) -> CsrOf<f64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut coo = Coo::new(n, m);
+        for i in 0..n {
+            let len = (next() % 7) as usize; // includes empty rows
+            for _ in 0..len {
+                let j = (next() % m as u64) as usize;
+                let v = (next() % 1000) as f64 / 500.0 - 1.0;
+                coo.push(i, j, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matches_reference_bitwise() {
+        for seed in 1..6 {
+            let a = irregular(37, 19, seed);
+            let plan = BinnedPlan::of(&a);
+            let x: Vec<f64> = (0..19).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+            for (alpha, beta) in [(1.0, 0.0), (2.0, 0.0), (1.0, 1.0), (-0.5, 0.25)] {
+                let mut y_ref: Vec<f64> = (0..37).map(|i| i as f64 * 0.5 - 9.0).collect();
+                let mut y_bin = y_ref.clone();
+                a.spmv(alpha, &x, beta, &mut y_ref);
+                binned_spmv(&plan, &a, alpha, &x, beta, &mut y_bin);
+                assert_eq!(y_ref, y_bin, "seed {seed} alpha {alpha} beta {beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = irregular(10, 8, 9);
+        let plan = BinnedPlan::of(&a);
+        let x = vec![1.0; 8];
+        let mut y = vec![f64::NAN; 10];
+        binned_spmv(&plan, &a, 1.0, &x, 0.0, &mut y);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bins_partition_nonempty_rows() {
+        let a = irregular(50, 20, 3);
+        let plan = BinnedPlan::of(&a);
+        let mut seen = vec![0usize; 50];
+        for bin in &plan.bins {
+            for &i in &bin.rows {
+                assert_eq!(a.row(i).0.len(), bin.len);
+                seen[i] += 1;
+            }
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            let expect = usize::from(!a.row(i).0.is_empty());
+            assert_eq!(count, expect, "row {i}");
+        }
+        assert!(plan.n_bins() <= plan.max_len());
+    }
+
+    #[test]
+    fn gather_matches_direct_loop_bitwise() {
+        let a = irregular(31, 23, 7);
+        // view the CSR rows as a gather map
+        let mut offsets = vec![0usize];
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..31 {
+            let (c, v) = a.row(i);
+            idx.extend_from_slice(c);
+            vals.extend_from_slice(v);
+            offsets.push(idx.len());
+        }
+        let plan = BinnedPlan::from_offsets(&offsets);
+        let x: Vec<f64> = (0..23).map(|i| ((i * 5 % 11) as f64) - 5.0).collect();
+        let mut y_ref = vec![0.0; 31];
+        for (i, yi) in y_ref.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for k in offsets[i]..offsets[i + 1] {
+                s += vals[k] * x[idx[k]];
+            }
+            *yi = s;
+        }
+        let mut y_bin = vec![f64::NAN; 31];
+        binned_gather(&plan, &offsets, &idx, &vals, &x, &mut y_bin);
+        assert_eq!(y_ref, y_bin);
+    }
+}

@@ -20,7 +20,9 @@
 //! | [`sc_feti`]   | Total-FETI solver (PCPG, dual operator strategies) |
 //!
 //! `sc_bench` (not re-exported) holds the experiment drivers that regenerate
-//! the paper's tables and figures.
+//! the paper's tables and figures. The repository's `ARCHITECTURE.md` maps
+//! the data flow between these crates, the planner's topology hierarchy,
+//! and the record-then-replay execution model.
 //!
 //! ## Quickstart
 //!

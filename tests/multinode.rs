@@ -44,7 +44,7 @@ fn cluster_strategy() -> impl Strategy<Value = Vec<(Csc, Csc)>> {
                     b.push(
                         d,
                         j,
-                        if (j as u64 + seed) % 2 == 0 {
+                        if (j as u64 + seed).is_multiple_of(2) {
                             1.0
                         } else {
                             -1.0
