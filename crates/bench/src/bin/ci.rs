@@ -38,8 +38,10 @@ use std::process::Command;
 /// their gates regress (`precision` gates the f32 arena high water and the
 /// planner's extra explicit admissions; `multinode` gates the 4-node
 /// weak-scaling efficiency; `kernels` gates the blocked-vs-scalar gemm
-/// speedup and the calibrated cost model). The same names select the
-/// `trace-audit` workloads.
+/// speedup and the calibrated cost model; `serve` gates the multi-tenant
+/// service's warm-cache preprocessing throughput and its contended
+/// scheduling fairness). The same names select the `trace-audit`
+/// workloads.
 const PERF_BINS: &[&str] = &[
     "headline",
     "schedule",
@@ -48,6 +50,7 @@ const PERF_BINS: &[&str] = &[
     "precision",
     "multinode",
     "kernels",
+    "serve",
 ];
 
 const STAGES: &[&str] = &[
@@ -72,6 +75,7 @@ const EXAMPLES: &[&str] = &[
     "amortization",
     "tuning",
     "multinode",
+    "serve",
 ];
 
 struct Args {

@@ -1,0 +1,335 @@
+//! `serve` perf gate: the persistent multi-tenant solver service under a
+//! 4-tenant mixed workload, cold then warm, through the real JSON-lines
+//! intake (`sc_serve::encode_request` → `ServeHandle::request`).
+//!
+//! Three hard gates (non-zero exit on regression):
+//!
+//! 1. **warm runs entirely from cache** — resubmitting the whole mixed
+//!    workload after the cold drain must hit the prepared-state cache on
+//!    every job (one keying bug, or a budget that silently evicts live
+//!    entries, and this trips);
+//! 2. **warm-cache preprocessing throughput ≥ [`PREP_GATE`]× cold** — the
+//!    preprocessing seconds paid per job in the warm phase must be at
+//!    least 3× smaller than the cold phase's (cold pays the symbolic +
+//!    numeric factorizations once per distinct spec; warm pays none);
+//! 3. **fairness under contention ≤ [`FAIR_GATE`]** — re-running the warm
+//!    workload under a device-second budget that cuts the drain roughly in
+//!    half, the realized device-seconds served per tenant (all weights
+//!    equal) must stay within a [`FAIR_GATE`] max/min ratio: the deficit
+//!    round-robin may not starve a tenant whose jobs are coarser or whose
+//!    queue is deeper.
+//!
+//! End-to-end wall throughput (jobs/s, cold vs warm) is reported for the
+//! record without a hard gate — on the warm path the remaining cost is the
+//! real assembly/PCPG compute, which the cache deliberately does not skip.
+//!
+//! Usage: `cargo run -p sc_bench --release --bin serve [--json PATH]`
+
+use sc_bench::{bench_record, ms, write_json, Json, Table};
+use sc_serve::{
+    encode_request, BackendTag, GluingTag, JobKind, JobRequest, MeshSpec, PrecisionTag, Request,
+    ServeHandle, ServeOptions, TenantStats,
+};
+use std::time::Instant;
+
+/// Minimum admissible cold/warm per-job preprocessing ratio.
+const PREP_GATE: f64 = 3.0;
+
+/// Maximum admissible max/min per-tenant realized device-seconds ratio
+/// under the contended (budgeted) warm run, at equal weights.
+const FAIR_GATE: f64 = 1.5;
+
+/// Fraction of the cold drain's realized device-seconds granted as the
+/// contended run's budget — low enough that every tenant is still
+/// backlogged at the cutoff, so the shares measure the scheduler, not
+/// queue exhaustion.
+const BUDGET_FRAC: f64 = 0.5;
+
+/// One tenant of the mixed workload: a uniform job spec, repeated.
+struct TenantLoad {
+    name: &'static str,
+    kind: JobKind,
+    dim: u8,
+    cells: usize,
+    subs: (usize, usize, usize),
+    jobs: usize,
+}
+
+/// The 4-tenant mix: small-2D-heavy, coarse-3D, assembly-only, and a
+/// mid-size 2D solver — four distinct content keys, four distinct job
+/// granularities, equal scheduler weights.
+const TENANTS: &[TenantLoad] = &[
+    TenantLoad {
+        name: "alpha",
+        kind: JobKind::Solve,
+        dim: 2,
+        cells: 8,
+        subs: (2, 2, 1),
+        jobs: 24,
+    },
+    TenantLoad {
+        name: "bravo",
+        kind: JobKind::Solve,
+        dim: 3,
+        cells: 6,
+        subs: (2, 2, 2),
+        jobs: 10,
+    },
+    TenantLoad {
+        name: "charlie",
+        kind: JobKind::Assemble,
+        dim: 2,
+        cells: 16,
+        subs: (2, 2, 1),
+        jobs: 24,
+    },
+    TenantLoad {
+        name: "delta",
+        kind: JobKind::Solve,
+        dim: 2,
+        cells: 12,
+        subs: (3, 3, 1),
+        jobs: 10,
+    },
+];
+
+fn parse_args() -> Option<std::path::PathBuf> {
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = Some(it.next().expect("--json needs a path").into()),
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    json
+}
+
+fn submit_line(t: &TenantLoad, phase: &str, i: usize) -> String {
+    encode_request(&Request::Submit(JobRequest {
+        kind: t.kind,
+        tenant: t.name.to_string(),
+        job: format!("{phase}-{i}"),
+        spec: MeshSpec {
+            dim: t.dim,
+            cells: t.cells,
+            subs: t.subs,
+            gluing: GluingTag::Redundant,
+        },
+        precision: PrecisionTag::F64,
+        backend: BackendTag::Cluster,
+        scale: 1.0,
+        weight: None, // equal weights: the fairness gate's precondition
+        timeout_s: None,
+    }))
+}
+
+/// Submit one phase's full mixed workload through the wire protocol,
+/// asserting every job is admitted.
+fn submit_all(svc: &mut ServeHandle, phase: &str) -> usize {
+    let mut n = 0;
+    for t in TENANTS {
+        for i in 0..t.jobs {
+            let reply = svc.request(&submit_line(t, phase, i));
+            assert!(
+                reply[0].contains("\"event\":\"accepted\""),
+                "perf-gate submissions must be admitted: {}",
+                reply[0]
+            );
+            n += 1;
+        }
+    }
+    n
+}
+
+fn run(svc: &mut ServeHandle, budget_s: Option<f64>) {
+    svc.request(&encode_request(&Request::Run { budget_s }));
+}
+
+/// Per-tenant roll-up snapshot, keyed by tenant name in `TENANTS` order.
+fn snapshot(svc: &ServeHandle) -> Vec<TenantStats> {
+    let stats = svc.tenant_stats();
+    TENANTS
+        .iter()
+        .map(|t| {
+            stats
+                .iter()
+                .find(|(n, _)| n == t.name)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+fn main() {
+    let json_path = parse_args();
+    let mut svc = ServeHandle::new(ServeOptions::default());
+    let n_jobs = TENANTS.iter().map(|t| t.jobs).sum::<usize>();
+
+    // ---- phase 1: cold drain (empty cache, full budget) -----------------
+    let t0 = Instant::now();
+    submit_all(&mut svc, "cold");
+    run(&mut svc, None);
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let cold = snapshot(&svc);
+    let cold_cache = svc.cache_stats();
+    let cold_prep: f64 = cold.iter().map(|s| s.prep_s).sum();
+    let cold_device: f64 = cold.iter().map(|s| s.device_s).sum();
+    assert_eq!(
+        cold.iter().map(|s| s.jobs_done).sum::<usize>(),
+        n_jobs,
+        "cold phase must drain the whole workload"
+    );
+
+    // ---- phase 2a: warm, contended (device-second budget) ---------------
+    let budget = BUDGET_FRAC * cold_device;
+    let t1 = Instant::now();
+    submit_all(&mut svc, "warm");
+    run(&mut svc, Some(budget));
+    let contended = snapshot(&svc);
+    let shares: Vec<f64> = contended
+        .iter()
+        .zip(&cold)
+        .map(|(now, before)| now.device_s - before.device_s)
+        .collect();
+    let share_max = shares.iter().cloned().fold(f64::MIN, f64::max);
+    let share_min = shares.iter().cloned().fold(f64::MAX, f64::min);
+    let fairness = share_max / share_min.max(1e-300);
+
+    // ---- phase 2b: drain the warm remainder ------------------------------
+    run(&mut svc, None);
+    let warm_wall = t1.elapsed().as_secs_f64();
+    let warm = snapshot(&svc);
+    let warm_cache = svc.cache_stats();
+    let warm_prep: f64 = warm.iter().map(|s| s.prep_s).sum::<f64>() - cold_prep;
+    let warm_hits = warm_cache.hits - cold_cache.hits;
+    let warm_misses = warm_cache.misses - cold_cache.misses;
+    assert_eq!(
+        warm.iter().map(|s| s.jobs_done).sum::<usize>(),
+        2 * n_jobs,
+        "warm phase must drain the whole workload"
+    );
+
+    // warm prep per job can be exactly 0.0 (every hit skips preprocessing
+    // entirely); report the ratio against a floor so the table stays finite
+    let cold_prep_per_job = cold_prep / n_jobs as f64; // sc-analyze: allow(precision-discipline)
+    let warm_prep_per_job = warm_prep / n_jobs as f64; // sc-analyze: allow(precision-discipline)
+    let prep_speedup = cold_prep_per_job / warm_prep_per_job.max(1e-12);
+
+    // ---- report ----------------------------------------------------------
+    let mut table = Table::new(
+        &format!(
+            "sc_serve 4-tenant mixed workload ({n_jobs} jobs/phase, equal weights, \
+             budgeted warm run at {BUDGET_FRAC:.2}x cold device-seconds)"
+        ),
+        &[
+            "tenant",
+            "jobs",
+            "cold prep",
+            "cold device",
+            "contended share",
+            "warm hit ratio",
+        ],
+    );
+    for (i, t) in TENANTS.iter().enumerate() {
+        let warm_hit_ratio = warm[i].hit_ratio();
+        table.row(vec![
+            t.name.to_string(),
+            t.jobs.to_string(),
+            ms(cold[i].prep_s),
+            ms(cold[i].device_s),
+            ms(shares[i]),
+            format!("{warm_hit_ratio:.2}"),
+        ]);
+    }
+    table.emit("serve");
+    println!(
+        "serve: cold drain {} wall ({} preprocessing, {} device) vs warm {} wall \
+         ({} preprocessing); warm cache {warm_hits} hits / {warm_misses} misses; \
+         per-job prep speedup {prep_speedup:.1}x; contended fairness max/min {fairness:.3} \
+         (budget {}).",
+        ms(cold_wall),
+        ms(cold_prep),
+        ms(cold_device),
+        ms(warm_wall),
+        ms(warm_prep),
+        ms(budget),
+    );
+
+    if let Some(path) = &json_path {
+        let mut tenants_json = Json::obj();
+        for (i, t) in TENANTS.iter().enumerate() {
+            tenants_json = tenants_json.field(
+                t.name,
+                Json::obj()
+                    .field("jobs", t.jobs)
+                    .field("cold_prep_s", cold[i].prep_s)
+                    .field("cold_device_s", cold[i].device_s)
+                    .field("contended_device_s", shares[i])
+                    .field("warm_cache_hits", warm[i].cache_hits - cold[i].cache_hits)
+                    .field("queue_wait_s", warm[i].queue_wait_s),
+            );
+        }
+        let record = bench_record(
+            "serve",
+            Json::obj()
+                .field("name", "serve_multi_tenant")
+                .field("n_tenants", TENANTS.len())
+                .field("n_jobs_per_phase", n_jobs)
+                .field("budget_frac", BUDGET_FRAC),
+            Json::obj()
+                .field("tenants", tenants_json)
+                .field("cold_wall_s", cold_wall)
+                .field("warm_wall_s", warm_wall)
+                .field("cold_prep_s", cold_prep)
+                .field("warm_prep_s", warm_prep)
+                .field("prep_speedup", prep_speedup)
+                .field("prep_gate", PREP_GATE)
+                .field("fairness_ratio", fairness)
+                .field("fairness_gate", FAIR_GATE)
+                .field("cache_hits", warm_cache.hits)
+                .field("cache_misses", warm_cache.misses)
+                .field("cache_evictions", warm_cache.evictions)
+                .field("cache_bytes", warm_cache.bytes)
+                .field("cache_budget_bytes", warm_cache.budget_bytes),
+        );
+        if let Err(err) = write_json(path, &record) {
+            eprintln!("warning: failed to write {}: {err}", path.display());
+        }
+    }
+
+    // ---- hard gates ------------------------------------------------------
+    let mut failed = false;
+    if warm_hits != n_jobs || warm_misses != 0 {
+        eprintln!(
+            "FAIL: the warm phase must run entirely from cache \
+             ({warm_hits} hits / {warm_misses} misses over {n_jobs} jobs)"
+        );
+        failed = true;
+    }
+    if PREP_GATE * warm_prep > cold_prep {
+        eprintln!(
+            "FAIL: warm-cache preprocessing throughput is {prep_speedup:.2}x cold \
+             (gate >= {PREP_GATE}x): warm {} vs cold {}",
+            ms(warm_prep),
+            ms(cold_prep),
+        );
+        failed = true;
+    }
+    if fairness > FAIR_GATE {
+        eprintln!(
+            "FAIL: contended per-tenant device-seconds ratio {fairness:.3} exceeds \
+             {FAIR_GATE} at equal weights (shares: {})",
+            TENANTS
+                .iter()
+                .zip(&shares)
+                .map(|(t, s)| format!("{} {}", t.name, ms(*s)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -12,7 +12,7 @@
 //! workload that produced no trace), `2` usage error.
 //!
 //! Usage: `cargo run -p sc_bench --release --bin trace_audit
-//! [--only <headline|schedule|cluster|hybrid|precision|multinode|kernels>]
+//! [--only <headline|schedule|cluster|hybrid|precision|multinode|kernels|serve>]
 //! [--out <dir>]`
 
 use sc_analyze::trace::validate;
@@ -29,6 +29,7 @@ const WORKLOADS: &[&str] = &[
     "precision",
     "multinode",
     "kernels",
+    "serve",
 ];
 
 fn usage() -> ! {
@@ -154,6 +155,34 @@ fn run_workload(name: &str) -> AssemblyReport {
             AssemblySession::new(Backend::multi_node(pool), cfg)
                 .assemble(&items)
                 .report
+        }
+        // the serve bin's traffic: one warm cluster job exactly as the
+        // multi-tenant service dispatches it — prepared bundle built by
+        // `sc_serve::prepare` (the cross-session cache's cold path),
+        // Arc-shared factors into the solver build, explicit assembly on
+        // the shared pool (the serve bin's bravo tenant, its coarsest
+        // granularity)
+        "serve" => {
+            let opts = sc_feti::FetiOptions::default();
+            let spec = sc_serve::MeshSpec {
+                dim: 3,
+                cells: 6,
+                subs: (2, 2, 2),
+                gluing: sc_serve::GluingTag::Redundant,
+            };
+            let prep = sc_serve::prepare(&spec, &opts);
+            let pool = DevicePool::uniform(DeviceSpec::a100(), 2, 2);
+            let solver = sc_feti::FetiSolverBuilder::new()
+                .options(opts)
+                .backend(Backend::cluster(pool))
+                .formulation(sc_feti::FormulationChoice::Explicit)
+                .assembly(ScConfig::Auto)
+                .factors(std::sync::Arc::clone(&prep.factors))
+                .build(&prep.problem);
+            solver
+                .report()
+                .cloned()
+                .expect("an explicit cluster build records an assembly report")
         }
         // the kernels bin's calibration batch (the headline decomposition),
         // replayed through the scheduled GPU backend so the audited traces

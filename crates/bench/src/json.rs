@@ -34,7 +34,15 @@ use std::path::Path;
 /// microkernel rates (`probe_*`), and the calibration comparison
 /// (`realized_host_s`, `predicted_nominal_s`, `predicted_calibrated_s`,
 /// `gap_nominal`, `gap_calibrated`).
-pub const BENCH_SCHEMA: &str = "sc-bench/v4";
+/// v5: records may carry multi-tenant service fields — the `serve` bin's
+/// metrics object holds a `tenants` map of per-tenant rows
+/// (`{jobs, cold_prep_s, cold_device_s, contended_device_s,
+/// warm_cache_hits, queue_wait_s}` keyed by tenant name), the
+/// cross-session cache counters (`cache_hits`, `cache_misses`,
+/// `cache_evictions`, `cache_bytes`, `cache_budget_bytes`), and the two
+/// gate readings (`prep_speedup` vs `prep_gate`, `fairness_ratio` vs
+/// `fairness_gate`).
+pub const BENCH_SCHEMA: &str = "sc-bench/v5";
 
 /// A JSON value with insertion-ordered object keys.
 #[derive(Clone, Debug)]

@@ -24,6 +24,7 @@ pub mod calibrate;
 pub mod exec;
 pub mod schedule;
 pub mod session;
+pub mod sessioncache;
 pub mod source;
 pub mod stepped;
 pub mod syrk;
@@ -62,6 +63,7 @@ pub use session::{
     AssemblyReport, AssemblyResult, AssemblySession, Backend, DeviceReport, HybridSummary,
     NodeReport, Precision, StreamLane, Target,
 };
+pub use sessioncache::{ContentHasher, SessionCache, SessionCacheStats};
 pub use source::{BatchSource, IntoBatchSource, LazyBatch};
 pub use stepped::{SteppedRhs, SteppedRhsOf};
 pub use syrk::{run_syrk as run_syrk_variant, run_syrk_with_cache, SyrkVariant};

@@ -1064,6 +1064,18 @@ pub struct HybridPlanOptions {
     /// Spec pricing host-side work (explicit-CPU assembly/apply, implicit
     /// applies). Defaults to [`DeviceSpec::host`].
     pub host: DeviceSpec,
+    /// Measured microkernel rates pricing host-side work per kernel family
+    /// instead of through the single-rate `host` spec: explicit-CPU assembly
+    /// via [`MicrokernelRates::assembly_seconds`], applies via
+    /// [`MicrokernelRates::explicit_apply_seconds`] /
+    /// [`MicrokernelRates::implicit_apply_seconds`]. `None` (the default)
+    /// keeps the historical spec-based pricing; set by
+    /// [`with_calibrated_host`](Self::with_calibrated_host).
+    ///
+    /// [`MicrokernelRates::assembly_seconds`]: crate::calibrate::MicrokernelRates::assembly_seconds
+    /// [`MicrokernelRates::explicit_apply_seconds`]: crate::calibrate::MicrokernelRates::explicit_apply_seconds
+    /// [`MicrokernelRates::implicit_apply_seconds`]: crate::calibrate::MicrokernelRates::implicit_apply_seconds
+    pub host_rates: Option<crate::calibrate::MicrokernelRates>,
     /// Whether explicit-CPU is in the candidate set (it is the fail-over
     /// for arena-spilled subdomains when the iteration count is high).
     pub allow_explicit_cpu: bool,
@@ -1076,6 +1088,7 @@ impl Default for HybridPlanOptions {
         HybridPlanOptions {
             iters: 50.0,
             host: DeviceSpec::host(),
+            host_rates: None,
             allow_explicit_cpu: true,
             force: HybridForce::Auto,
         }
@@ -1102,8 +1115,21 @@ impl HybridPlanOptions {
     /// server-class throughput; on slower machines that skews the hybrid
     /// decision toward explicit-CPU, and calibration closes the
     /// predicted-vs-realized gap the `kernels` bench bin gates on.
+    ///
+    /// Beyond folding the rates into the host spec, this also stores the
+    /// rates themselves ([`host_rates`](Self::host_rates)) so `plan_hybrid`
+    /// prices the assembly *and apply* paths per kernel family: GEMV at
+    /// measured stream bandwidth, sparse trisolves at the measured
+    /// latency-bound rate.
     pub fn with_calibrated_host(self, rates: &crate::calibrate::MicrokernelRates) -> Self {
-        self.with_host(rates.host_spec())
+        self.with_host(rates.host_spec()).with_host_rates(*rates)
+    }
+
+    /// Set measured per-family host rates (see
+    /// [`host_rates`](Self::host_rates)) without touching the host spec.
+    pub fn with_host_rates(mut self, rates: crate::calibrate::MicrokernelRates) -> Self {
+        self.host_rates = Some(rates);
+        self
     }
 
     /// Include or exclude explicit-CPU from the candidate set.
@@ -1251,15 +1277,24 @@ pub fn plan_hybrid(
             candidates.push((
                 Formulation::ExplicitCpu,
                 None,
-                c.seconds_on(&opts.host),
-                a.explicit_seconds_on(&opts.host),
+                match &opts.host_rates {
+                    Some(r) => r.assembly_seconds(c),
+                    None => c.seconds_on(&opts.host),
+                },
+                match &opts.host_rates {
+                    Some(r) => r.explicit_apply_seconds(a),
+                    None => a.explicit_seconds_on(&opts.host),
+                },
             ));
         }
         candidates.push((
             Formulation::Implicit,
             None,
             0.0,
-            a.implicit_seconds_on(&opts.host),
+            match &opts.host_rates {
+                Some(r) => r.implicit_apply_seconds(a),
+                None => a.implicit_seconds_on(&opts.host),
+            },
         ));
 
         match opts.force {

@@ -250,6 +250,25 @@ impl BlockCutsCache {
     pub fn misses(&self) -> usize {
         self.misses.load(std::sync::atomic::Ordering::Relaxed)
     }
+
+    /// Approximate heap bytes held by the memo tables (keys + cut vectors),
+    /// so a byte-budgeted session cache
+    /// ([`SessionCache`](crate::sessioncache::SessionCache)) can account for
+    /// a bundled cuts cache when charging an entry against its budget.
+    pub fn approx_bytes(&self) -> usize {
+        let table = |t: &std::sync::Mutex<
+            std::collections::HashMap<CutsKey, std::sync::Arc<Vec<usize>>>,
+        >| {
+            let t = t.lock().unwrap_or_else(|e| e.into_inner());
+            t.iter()
+                .map(|(k, v)| {
+                    std::mem::size_of::<CutsKey>()
+                        + (k.3.len() + v.len()) * std::mem::size_of::<usize>()
+                })
+                .sum::<usize>()
+        };
+        table(&self.rows) + table(&self.cols)
+    }
 }
 
 /// The paper's Table 1: optimal splitting parameters per algorithm, platform

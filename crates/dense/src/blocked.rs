@@ -1,6 +1,6 @@
 //! Cache-blocked, SIMD-friendly variants of the dense hot kernels.
 //!
-//! The scalar kernels in [`crate::gemm`], [`crate::trsm`], [`crate::syrk`]
+//! The scalar kernels in [`mod@crate::gemm`], [`crate::trsm`], [`crate::syrk`]
 //! and [`crate::chol`] stay as the reference implementations; the public
 //! entry points (`gemm`, `trsm_lower_left`, `syrk_t`,
 //! `partial_cholesky_in_place`) auto-select the blocked variants here once a
@@ -49,7 +49,7 @@ pub const NC: usize = 1024;
 /// Diagonal-block order for the blocked TRSM/SYRK/Cholesky panel loops.
 pub const NB: usize = 64;
 
-/// Minimum `m * n * k` volume for [`crate::gemm`] to route to the blocked
+/// Minimum `m * n * k` volume for [`crate::gemm()`] to route to the blocked
 /// kernel; below it the packing traffic dominates and the scalar AXPY/dot
 /// forms win.
 pub const GEMM_BLOCK_MIN_VOLUME: usize = 64 * 64 * 64;
@@ -68,7 +68,7 @@ fn op_shape<S: Scalar>(a: MatRefOf<'_, S>, t: Trans) -> (usize, usize) {
 
 /// `true` when [`gemm_blocked`] is expected to beat the scalar kernel for an
 /// `m × k` by `k × n` product (the dispatch predicate used by
-/// [`crate::gemm`]).
+/// [`crate::gemm()`]).
 #[inline]
 pub fn gemm_prefers_blocked(m: usize, n: usize, k: usize) -> bool {
     m >= MR && n >= NR && k >= 8 && m * n * k >= GEMM_BLOCK_MIN_VOLUME
@@ -285,7 +285,7 @@ fn store_tile<S: Scalar>(
 
 /// Cache-blocked `C = alpha * op(A) * op(B) + beta * C`.
 ///
-/// Same contract as [`crate::gemm`] (which routes here above
+/// Same contract as [`crate::gemm()`] (which routes here above
 /// [`GEMM_BLOCK_MIN_VOLUME`]); callers can invoke it directly to force the
 /// blocked path, e.g. for the perf-gate comparison in the `kernels` bench
 /// bin. `beta == 0` overwrites `C` outright, so NaN/inf in uninitialized
@@ -406,6 +406,77 @@ pub fn syrk_t_blocked<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, beta: S, mut c: M
             );
         }
     }
+}
+
+/// Rayon-parallel blocked `C(lower) = beta * C + alpha * Aᵀ A`: the serial
+/// [`syrk_t_blocked`] loop touches a disjoint `NB`-column stripe of `C` per
+/// block (the diagonal tile and the below-diagonal rectangle both live in
+/// columns `jb .. jb + nb`), so the stripes fan out over the shim workers
+/// the same way [`par_trsm_lower_left`] distributes RHS column blocks.
+///
+/// Each stripe replays the **exact** `syrk_t_scalar` + `gemm` calls of the
+/// serial loop on the same sub-views, so the result is bitwise identical to
+/// [`syrk_t_blocked`] regardless of the worker count (pinned by the
+/// proptest in `tests/blocked.rs`).
+pub fn par_syrk_t_blocked<S: Scalar>(alpha: S, a: MatRefOf<'_, S>, beta: S, c: MatMutOf<'_, S>) {
+    let n = a.ncols();
+    assert_eq!(c.nrows(), n, "syrk C row mismatch");
+    assert_eq!(c.ncols(), n, "syrk C col mismatch");
+    let workers = rayon::current_num_threads().max(1);
+    // columns per worker, rounded up to a whole number of NB blocks so every
+    // split boundary coincides with a serial-loop block boundary
+    let chunk = n.div_ceil(NB).div_ceil(workers).max(1) * NB;
+
+    /// One NB-aligned column stripe of the serial loop: `c` holds **all** `n`
+    /// rows of global columns `col0 .. col0 + c.ncols()`.
+    fn stripe<S: Scalar>(
+        alpha: S,
+        a: MatRefOf<'_, S>,
+        beta: S,
+        mut c: MatMutOf<'_, S>,
+        col0: usize,
+    ) {
+        let n = a.ncols();
+        let k = a.nrows();
+        for jl in (0..c.ncols()).step_by(NB) {
+            let jb = col0 + jl;
+            let nb = NB.min(n - jb);
+            syrk_t_scalar(alpha, a.sub(0, jb, k, nb), beta, c.sub_mut(jb, jl, nb, nb));
+            let rem = n - jb - nb;
+            if rem > 0 {
+                gemm(
+                    alpha,
+                    a.sub(0, jb + nb, k, rem),
+                    Trans::Yes,
+                    a.sub(0, jb, k, nb),
+                    Trans::No,
+                    beta,
+                    c.sub_mut(jb + nb, jl, rem, nb),
+                );
+            }
+        }
+    }
+
+    fn rec<S: Scalar>(
+        alpha: S,
+        a: MatRefOf<'_, S>,
+        beta: S,
+        c: MatMutOf<'_, S>,
+        col0: usize,
+        chunk: usize,
+    ) {
+        if c.ncols() <= chunk {
+            stripe(alpha, a, beta, c, col0);
+            return;
+        }
+        let half = (c.ncols() / chunk / 2 * chunk).max(chunk);
+        let (lo, hi) = c.split_cols_at(half);
+        rayon::join(
+            || rec(alpha, a, beta, lo, col0, chunk),
+            || rec(alpha, a, beta, hi, col0 + half, chunk),
+        );
+    }
+    rec(alpha, a, beta, c, 0, chunk);
 }
 
 /// `C(lower) += alpha * L Lᵀ` for the trailing update of the blocked
@@ -629,6 +700,20 @@ mod tests {
         // each column is solved by the same sequential kernel regardless of
         // which worker owns its block
         assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn par_syrk_matches_blocked() {
+        for n in [1, NB - 1, NB, NB * 2 + 13, NB * 3] {
+            let a = mk(37, n, 18);
+            let mut c1 = mk(n, n, 19);
+            let mut c2 = c1.clone();
+            syrk_t_blocked(0.75, a.as_ref(), -0.5, c1.as_mut());
+            par_syrk_t_blocked(0.75, a.as_ref(), -0.5, c2.as_mut());
+            // each NB column-block runs the same scalar tile + gemm calls on the
+            // same sub-views regardless of which worker owns its stripe
+            assert_eq!(c1, c2, "n={n}");
+        }
     }
 
     #[test]

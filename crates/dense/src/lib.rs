@@ -36,8 +36,8 @@ pub mod syrk;
 pub mod trsm;
 
 pub use blocked::{
-    gemm_blocked, par_trsm_lower_left, partial_cholesky_blocked, syrk_t_blocked,
-    trsm_lower_left_blocked,
+    gemm_blocked, par_syrk_t_blocked, par_trsm_lower_left, partial_cholesky_blocked,
+    syrk_t_blocked, trsm_lower_left_blocked,
 };
 pub use chol::{
     cholesky_in_place, cholesky_logdet, cholesky_solve, dense_schur_reference,

@@ -9,9 +9,9 @@
 
 use proptest::prelude::*;
 use sc_dense::{
-    gemm_blocked, gemm_scalar, partial_cholesky_blocked, partial_cholesky_scalar, syrk_t_blocked,
-    syrk_t_scalar, trsm_lower_left_blocked, trsm_lower_left_scalar, Mat, MatOf, PackedA, PackedB,
-    Scalar, Trans,
+    gemm_blocked, gemm_scalar, par_syrk_t_blocked, partial_cholesky_blocked,
+    partial_cholesky_scalar, syrk_t_blocked, syrk_t_scalar, trsm_lower_left_blocked,
+    trsm_lower_left_scalar, Mat, MatOf, PackedA, PackedB, Scalar, Trans,
 };
 
 fn mat_strategy(m: usize, n: usize) -> impl Strategy<Value = Mat> {
@@ -132,6 +132,25 @@ proptest! {
         syrk_t_blocked(0.75, x.as_ref(), -1.25, cb.as_mut());
         syrk_t_scalar(0.75, x.as_ref(), -1.25, cs.as_mut());
         prop_assert!(sc_dense::max_abs_diff(cb.as_ref(), cs.as_ref()) < tol::<f64>(k));
+    }
+
+    #[test]
+    fn par_syrk_bitwise_matches_serial_blocked(
+        k in 1usize..50, n in 1usize..200, seed in 0u64..1_000_000,
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let x = Mat::from_fn(k, n, |_, _| next());
+        let mut cs = Mat::from_fn(n, n, |_, _| next());
+        let mut cp = cs.clone();
+        syrk_t_blocked(1.25, x.as_ref(), -0.75, cs.as_mut());
+        par_syrk_t_blocked(1.25, x.as_ref(), -0.75, cp.as_mut());
+        // column-stripe partitioning replays the exact serial sub-view calls,
+        // so the parallel variant is bitwise identical, not just close
+        prop_assert_eq!(cs, cp);
     }
 
     #[test]

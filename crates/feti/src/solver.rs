@@ -305,6 +305,7 @@ pub struct FetiSolverBuilder {
     backend: Option<Backend>,
     formulation: FormulationChoice,
     precision: Option<Precision>,
+    factors: Option<Arc<Vec<SubdomainFactors>>>,
 }
 
 impl FetiSolverBuilder {
@@ -349,6 +350,20 @@ impl FetiSolverBuilder {
         self
     }
 
+    /// Reuse previously built per-subdomain factorizations instead of
+    /// re-running the ordering + symbolic + numeric pipeline (the dominant
+    /// preprocessing cost). The bundle must come from a
+    /// [`FetiSolver::shared_factors`] call (or `SubdomainFactors::build`
+    /// loop) over a problem with **identical** subdomain matrices, gluing
+    /// and solver engine/ordering — the session-cache layer guarantees this
+    /// by content-addressing its entries; a length mismatch panics at
+    /// build time. `SubdomainFactors::build` is deterministic, so a build
+    /// from reused factors is bitwise identical to a cold build.
+    pub fn factors(mut self, factors: Arc<Vec<SubdomainFactors>>) -> Self {
+        self.factors = Some(factors);
+        self
+    }
+
     /// Run preprocessing and return the reusable solver handle.
     pub fn build<'p>(self, problem: &'p HeatProblem) -> FetiSolver<'p> {
         let mut backend = self.backend.unwrap_or_else(Backend::cpu);
@@ -360,7 +375,7 @@ impl FetiSolverBuilder {
             backend,
             formulation: self.formulation,
         };
-        FetiSolver::build_with_plan(problem, self.opts, plan)
+        FetiSolver::build_with_plan_prepared(problem, self.opts, plan, self.factors)
     }
 }
 
@@ -501,7 +516,7 @@ pub struct FetiSolver<'p> {
     problem: &'p HeatProblem,
     /// Options captured at construction; `solve()` takes no arguments.
     opts: FetiOptions,
-    factors: Vec<SubdomainFactors>,
+    factors: Arc<Vec<SubdomainFactors>>,
     /// `Some` for the explicit and hybrid modes; the implicit mode applies
     /// through `factors` directly.
     explicit_ops: Option<Vec<OpSlot>>,
@@ -546,14 +561,33 @@ impl<'p> FetiSolver<'p> {
         opts: FetiOptions,
         plan: ExecPlan,
     ) -> Self {
+        Self::build_with_plan_prepared(problem, opts, plan, None)
+    }
+
+    pub(crate) fn build_with_plan_prepared(
+        problem: &'p HeatProblem,
+        opts: FetiOptions,
+        plan: ExecPlan,
+        prepared: Option<Arc<Vec<SubdomainFactors>>>,
+    ) -> Self {
         let precision = plan.backend.precision;
         // per-subdomain factorizations in parallel (the paper's loop over the
-        // cluster's subdomains, one thread per subdomain)
-        let factors: Vec<SubdomainFactors> = problem
-            .subdomains
-            .par_iter()
-            .map(|sd| SubdomainFactors::build(sd, opts.engine, opts.ordering))
-            .collect();
+        // cluster's subdomains, one thread per subdomain) — unless a
+        // session cache already holds the bundle for this exact problem
+        let factors: Arc<Vec<SubdomainFactors>> = prepared.unwrap_or_else(|| {
+            Arc::new(
+                problem
+                    .subdomains
+                    .par_iter()
+                    .map(|sd| SubdomainFactors::build(sd, opts.engine, opts.ordering))
+                    .collect(),
+            )
+        });
+        assert_eq!(
+            factors.len(),
+            problem.subdomains.len(),
+            "prepared factor bundle must cover every subdomain of the problem"
+        );
 
         // dual operators: the explicit formulations pre-assemble the dense
         // F̃ᵢ through one AssemblySession on the plan's backend; the
@@ -1204,6 +1238,13 @@ impl<'p> FetiSolver<'p> {
     pub fn factors(&self) -> &[SubdomainFactors] {
         &self.factors
     }
+
+    /// Clone the shared handle of the per-subdomain factor bundles, so a
+    /// session cache can retain them past this solver's lifetime and feed
+    /// them back through [`FetiSolverBuilder::factors`].
+    pub fn shared_factors(&self) -> Arc<Vec<SubdomainFactors>> {
+        Arc::clone(&self.factors)
+    }
 }
 
 /// Exact widening of a dual vector to `f64` (mixed-precision boundary).
@@ -1503,6 +1544,41 @@ mod tests {
         let p = HeatProblem::build_2d(4, (3, 2), Gluing::Redundant);
         let solver = FetiSolverBuilder::new().build(&p);
         check_solver(&p, &solver, 1e-6);
+    }
+
+    #[test]
+    fn reused_factors_solve_is_bitwise_identical() {
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        for formulation in [FormulationChoice::Implicit, FormulationChoice::Explicit] {
+            let cold = FetiSolverBuilder::new()
+                .formulation(formulation.clone())
+                .assembly(ScConfig::optimized(false, false))
+                .build(&p);
+            let warm = FetiSolverBuilder::new()
+                .formulation(formulation)
+                .assembly(ScConfig::optimized(false, false))
+                .factors(cold.shared_factors())
+                .build(&p);
+            let sc = cold.solve();
+            let sw = warm.solve();
+            assert_eq!(sc.lambda, sw.lambda, "dual solutions must match bitwise");
+            assert_eq!(
+                sc.u_locals, sw.u_locals,
+                "primal solutions must match bitwise"
+            );
+            assert_eq!(sc.stats.iterations, sw.stats.iterations);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every subdomain")]
+    fn mismatched_factor_bundle_panics() {
+        let p = HeatProblem::build_2d(4, (2, 2), Gluing::Redundant);
+        let solver = FetiSolverBuilder::new().build(&p);
+        let bigger = HeatProblem::build_2d(4, (3, 2), Gluing::Redundant);
+        FetiSolverBuilder::new()
+            .factors(solver.shared_factors())
+            .build(&bigger);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`sc_gpu`]    | event-driven GPU execution simulator (A100 cost model) |
 //! | [`sc_core`]   | **the paper's contribution**: stepped TRSM/SYRK splitting + the batched multi-subdomain driver |
 //! | [`sc_feti`]   | Total-FETI solver (PCPG, dual operator strategies) |
+//! | [`sc_serve`]  | persistent multi-tenant solver service (JSON-lines intake, cross-session caching, fair scheduling) |
 //!
 //! `sc_bench` (not re-exported) holds the experiment drivers that regenerate
 //! the paper's tables and figures. The repository's `ARCHITECTURE.md` maps
@@ -72,6 +73,7 @@ pub use sc_fem;
 pub use sc_feti;
 pub use sc_gpu;
 pub use sc_order;
+pub use sc_serve;
 pub use sc_sparse;
 
 /// One-stop imports for examples and downstream users.
@@ -106,5 +108,6 @@ pub mod prelude {
         Device, DevicePool, DeviceSpec, GpuKernels, Interconnect, NodePool, NodeSpec,
     };
     pub use sc_order::Ordering;
+    pub use sc_serve::{JobOutcome, ServeHandle, ServeOptions};
     pub use sc_sparse::{Csc, Csr, Perm};
 }
